@@ -1,0 +1,52 @@
+//! Timing the IDLZ pipeline (experiments F1–F11): subdivision element
+//! creation, full idealization of every catalog model, and the capacity
+//! sweep toward Table 2's limits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cafemio::idlz::{Idealization, Subdivision};
+use cafemio::models::{catalog, plate};
+
+fn subdivision_elements(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subdivision_grid_elements");
+    let rect = Subdivision::rectangular(1, (0, 0), (20, 20)).unwrap();
+    let trap = Subdivision::row_trapezoid(1, (0, 0), (40, 10), 2).unwrap();
+    group.bench_function("rectangle_20x20", |b| {
+        b.iter(|| black_box(&rect).grid_elements())
+    });
+    group.bench_function("trapezoid_ntaprw2", |b| {
+        b.iter(|| black_box(&trap).grid_elements())
+    });
+    group.finish();
+}
+
+fn idealize_catalog(c: &mut Criterion) {
+    let mut group = c.benchmark_group("idealize");
+    for entry in catalog() {
+        let spec = (entry.spec)();
+        group.bench_with_input(BenchmarkId::from_parameter(entry.name), &spec, |b, spec| {
+            b.iter(|| Idealization::run(black_box(spec)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn idealize_capacity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("idealize_capacity");
+    group.sample_size(20);
+    for target in [100usize, 250, 500, 800] {
+        let spec = plate::capacity_spec(target);
+        group.bench_with_input(BenchmarkId::from_parameter(target), &spec, |b, spec| {
+            b.iter(|| Idealization::run(black_box(spec)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = subdivision_elements, idealize_catalog, idealize_capacity
+}
+criterion_main!(benches);

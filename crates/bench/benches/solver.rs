@@ -1,0 +1,100 @@
+//! The bandwidth ablation (experiment C4): banded Cholesky cost scales
+//! with the square of the semi-bandwidth, so the renumbered mesh solves
+//! faster — this is the payoff of IDLZ's "numbering scheme of Reference
+//! 2". The dense reference solver shows what either numbering saves over
+//! not exploiting the band at all.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cafemio::idlz::{Idealization, Options};
+use cafemio::models::plate;
+use cafemio::prelude::*;
+
+/// A wide strip (60 × 4 cells) whose natural left-right/bottom-top
+/// numbering is poor: rows of 61 nodes make the row-major bandwidth ~62,
+/// which Cuthill–McKee collapses to ~6.
+fn strip_meshes() -> (TriMesh, TriMesh) {
+    let mut spec = plate::spec(60, 4, 15.0, 1.0);
+    let renumbered = Idealization::run(&spec).unwrap();
+    spec.set_options(Options {
+        renumber: false,
+        ..Options::default()
+    });
+    let plain = Idealization::run(&spec).unwrap();
+    assert!(
+        renumbered.mesh.bandwidth() < plain.mesh.bandwidth() / 4,
+        "the ablation needs a real bandwidth gap"
+    );
+    (renumbered.mesh, plain.mesh)
+}
+
+fn loaded_model(mesh: &TriMesh) -> FemModel {
+    let mut model = plate::tension_model(mesh);
+    // Extra off-axis load so the solution is non-trivial.
+    let last = NodeId(mesh.node_count() - 1);
+    model.add_force(last, 10.0, -25.0);
+    model
+}
+
+fn banded_vs_dense(c: &mut Criterion) {
+    let (renumbered, plain) = strip_meshes();
+    let mut group = c.benchmark_group("solve");
+    group.sample_size(20);
+    let model_renumbered = loaded_model(&renumbered);
+    let model_plain = loaded_model(&plain);
+    group.bench_function(
+        BenchmarkId::new("banded", format!("bw{}", model_renumbered.dof_bandwidth())),
+        |b| b.iter(|| black_box(&model_renumbered).solve().unwrap()),
+    );
+    group.bench_function(
+        BenchmarkId::new("banded", format!("bw{}", model_plain.dof_bandwidth())),
+        |b| b.iter(|| black_box(&model_plain).solve().unwrap()),
+    );
+    group.bench_function("skyline_renumbered", |b| {
+        b.iter(|| black_box(&model_renumbered).solve_skyline().unwrap())
+    });
+    group.bench_function("skyline_plain", |b| {
+        b.iter(|| black_box(&model_plain).solve_skyline().unwrap())
+    });
+    group.bench_function("dense_reference", |b| {
+        b.iter(|| black_box(&model_renumbered).solve_dense().unwrap())
+    });
+    group.finish();
+}
+
+fn assembly_only(c: &mut Criterion) {
+    let (renumbered, _) = strip_meshes();
+    let model = loaded_model(&renumbered);
+    c.bench_function("assemble_banded", |b| {
+        b.iter(|| black_box(&model).assemble_banded().unwrap())
+    });
+}
+
+fn factorization_scaling(c: &mut Criterion) {
+    // Pure band-Cholesky scaling in the bandwidth at fixed order.
+    let mut group = c.benchmark_group("band_cholesky_n1000");
+    group.sample_size(20);
+    for bw in [4usize, 16, 64] {
+        let n = 1000;
+        let mut matrix = cafemio::fem::BandMatrix::new(n, bw);
+        for i in 0..n {
+            matrix.add(i, i, 4.0 + bw as f64);
+            for d in 1..=bw.min(n - 1 - i) {
+                matrix.add(i, i + d, -1.0 / d as f64);
+            }
+        }
+        let rhs = vec![1.0; n];
+        group.bench_with_input(BenchmarkId::from_parameter(bw), &matrix, |b, matrix| {
+            b.iter(|| matrix.clone().solve(black_box(&rhs)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(25);
+    targets = banded_vs_dense, assembly_only, factorization_scaling
+}
+criterion_main!(benches);

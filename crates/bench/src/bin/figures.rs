@@ -1,0 +1,39 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```sh
+//! cargo run -p cafemio-bench --bin figures            # all experiments
+//! cargo run -p cafemio-bench --bin figures -- F13 C3  # a selection
+//! ```
+//!
+//! SVGs land in `target/figures/`; the measured rows print to stdout and
+//! are the source for `EXPERIMENTS.md`.
+
+use std::error::Error;
+use std::fs;
+
+use cafemio::plotter::render_svg;
+use cafemio_bench::experiments::run_all;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let filters: Vec<String> = std::env::args().skip(1).map(|a| a.to_uppercase()).collect();
+    let out_dir = "target/figures";
+    fs::create_dir_all(out_dir)?;
+    let mut frames_written = 0usize;
+    for report in run_all()? {
+        if !filters.is_empty() && !filters.iter().any(|f| report.id.to_uppercase().contains(f)) {
+            continue;
+        }
+        println!("== {}  {}", report.id, report.title);
+        for row in &report.rows {
+            println!("   {row}");
+        }
+        for (stem, frame) in &report.frames {
+            let path = format!("{out_dir}/{stem}.svg");
+            fs::write(&path, render_svg(frame))?;
+            frames_written += 1;
+        }
+        println!();
+    }
+    println!("{frames_written} figure files written to {out_dir}/");
+    Ok(())
+}

@@ -1,0 +1,323 @@
+//! Card and deck models.
+
+use std::fmt;
+
+use crate::CardError;
+
+/// Number of columns on a punched card.
+pub const CARD_COLUMNS: usize = 80;
+
+/// One 80-column card image, blank-padded.
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_cards::Card;
+/// # fn main() -> Result<(), cafemio_cards::CardError> {
+/// let card = Card::new("    1    2")?;
+/// assert_eq!(card.text().len(), 80);
+/// assert_eq!(card.columns(1, 5), "    1");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Card {
+    text: String,
+}
+
+impl Card {
+    /// Creates a card from up to 80 columns of text, blank-padding to 80.
+    ///
+    /// # Errors
+    ///
+    /// [`CardError::CardTooLong`] when the text exceeds 80 columns.
+    pub fn new(text: &str) -> Result<Card, CardError> {
+        let len = text.chars().count();
+        if len > CARD_COLUMNS {
+            return Err(CardError::CardTooLong { len });
+        }
+        let mut padded = text.to_owned();
+        for _ in len..CARD_COLUMNS {
+            padded.push(' ');
+        }
+        Ok(Card { text: padded })
+    }
+
+    /// A completely blank card.
+    pub fn blank() -> Card {
+        Card {
+            text: " ".repeat(CARD_COLUMNS),
+        }
+    }
+
+    /// The full 80-column image.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Columns `from..=to` (one-based, inclusive, like a keypunch chart).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `from` is zero or the range is out of order or past
+    /// column 80.
+    pub fn columns(&self, from: usize, to: usize) -> &str {
+        assert!(
+            from >= 1 && from <= to && to <= CARD_COLUMNS,
+            "column range {from}..={to} is not a valid card range"
+        );
+        &self.text[from - 1..to]
+    }
+
+    /// The image with trailing blanks removed (for listings).
+    pub fn trimmed(&self) -> &str {
+        self.text.trim_end()
+    }
+
+    /// True when every column is blank.
+    pub fn is_blank(&self) -> bool {
+        self.text.trim().is_empty()
+    }
+}
+
+impl fmt::Display for Card {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.trimmed())
+    }
+}
+
+/// An ordered stack of cards — one program's input or punched output.
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_cards::Deck;
+/// # fn main() -> Result<(), cafemio_cards::CardError> {
+/// let deck = Deck::from_text("CARD ONE\nCARD TWO\n")?;
+/// assert_eq!(deck.len(), 2);
+/// assert_eq!(deck.card(1).trimmed(), "CARD TWO");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Deck {
+    cards: Vec<Card>,
+}
+
+impl Deck {
+    /// An empty deck.
+    pub fn new() -> Deck {
+        Deck::default()
+    }
+
+    /// Builds a deck from newline-separated card images.
+    ///
+    /// # Errors
+    ///
+    /// [`CardError::CardTooLong`] if any line exceeds 80 columns.
+    pub fn from_text(text: &str) -> Result<Deck, CardError> {
+        let mut deck = Deck::new();
+        for line in text.lines() {
+            deck.push(Card::new(line)?);
+        }
+        Ok(deck)
+    }
+
+    /// Appends a card.
+    pub fn push(&mut self, card: Card) {
+        self.cards.push(card);
+    }
+
+    /// Appends a card built from text.
+    ///
+    /// # Errors
+    ///
+    /// [`CardError::CardTooLong`] if the text exceeds 80 columns.
+    pub fn push_text(&mut self, text: &str) -> Result<(), CardError> {
+        self.push(Card::new(text)?);
+        Ok(())
+    }
+
+    /// Number of cards.
+    pub fn len(&self) -> usize {
+        self.cards.len()
+    }
+
+    /// True when the deck holds no cards.
+    pub fn is_empty(&self) -> bool {
+        self.cards.is_empty()
+    }
+
+    /// The card at `index` (zero-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn card(&self, index: usize) -> &Card {
+        &self.cards[index]
+    }
+
+    /// Iterator over the cards in order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Card> {
+        self.cards.iter()
+    }
+
+    /// The deck as newline-separated trimmed card images.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for card in &self.cards {
+            out.push_str(card.trimmed());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Total count of non-blank data characters, used by the paper's
+    /// "input is less than five percent of output" accounting (experiment
+    /// C1 in `DESIGN.md`).
+    pub fn nonblank_chars(&self) -> usize {
+        self.cards
+            .iter()
+            .map(|c| c.text().chars().filter(|ch| !ch.is_whitespace()).count())
+            .sum()
+    }
+
+    /// Reads a deck from any reader (newline-separated card images).
+    /// A `&mut` reference can be passed as the reader.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the reader; [`CardError::CardTooLong`] (wrapped in
+    /// [`std::io::Error`]) for over-long lines.
+    pub fn read_from<R: std::io::Read>(mut reader: R) -> std::io::Result<Deck> {
+        let mut text = String::new();
+        reader.read_to_string(&mut text)?;
+        Deck::from_text(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Writes the deck to any writer as newline-separated trimmed card
+    /// images. A `&mut` reference can be passed as the writer.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the writer.
+    pub fn write_to<W: std::io::Write>(&self, mut writer: W) -> std::io::Result<()> {
+        writer.write_all(self.to_text().as_bytes())
+    }
+}
+
+impl Extend<Card> for Deck {
+    fn extend<T: IntoIterator<Item = Card>>(&mut self, iter: T) {
+        self.cards.extend(iter);
+    }
+}
+
+impl FromIterator<Card> for Deck {
+    fn from_iter<T: IntoIterator<Item = Card>>(iter: T) -> Self {
+        Deck {
+            cards: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Deck {
+    type Item = &'a Card;
+    type IntoIter = std::slice::Iter<'a, Card>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.cards.iter()
+    }
+}
+
+impl IntoIterator for Deck {
+    type Item = Card;
+    type IntoIter = std::vec::IntoIter<Card>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.cards.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn card_pads_to_eighty() {
+        let c = Card::new("HELLO").unwrap();
+        assert_eq!(c.text().len(), CARD_COLUMNS);
+        assert_eq!(c.trimmed(), "HELLO");
+    }
+
+    #[test]
+    fn card_too_long_rejected() {
+        let long = "X".repeat(81);
+        assert_eq!(
+            Card::new(&long).unwrap_err(),
+            CardError::CardTooLong { len: 81 }
+        );
+    }
+
+    #[test]
+    fn exactly_eighty_columns_allowed() {
+        let exact = "Y".repeat(80);
+        let c = Card::new(&exact).unwrap();
+        assert_eq!(c.text(), exact);
+    }
+
+    #[test]
+    fn one_based_column_access() {
+        let c = Card::new("ABCDEFGH").unwrap();
+        assert_eq!(c.columns(1, 1), "A");
+        assert_eq!(c.columns(3, 5), "CDE");
+        assert_eq!(c.columns(80, 80), " ");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a valid card range")]
+    fn zero_column_panics() {
+        Card::new("A").unwrap().columns(0, 1);
+    }
+
+    #[test]
+    fn deck_round_trips_text() {
+        let deck = Deck::from_text("FIRST\nSECOND\n").unwrap();
+        assert_eq!(deck.to_text(), "FIRST\nSECOND\n");
+    }
+
+    #[test]
+    fn blank_card_detection() {
+        assert!(Card::blank().is_blank());
+        assert!(!Card::new("X").unwrap().is_blank());
+    }
+
+    #[test]
+    fn nonblank_chars_counts_data() {
+        let deck = Deck::from_text("  12  34\nAB\n").unwrap();
+        assert_eq!(deck.nonblank_chars(), 6);
+    }
+
+    #[test]
+    fn deck_io_round_trip() {
+        let deck = Deck::from_text("FIRST CARD\nSECOND CARD\n").unwrap();
+        let mut buffer = Vec::new();
+        deck.write_to(&mut buffer).unwrap();
+        let back = Deck::read_from(buffer.as_slice()).unwrap();
+        assert_eq!(back, deck);
+    }
+
+    #[test]
+    fn read_from_rejects_long_lines() {
+        let long = format!("{}\n", "Z".repeat(81));
+        let err = Deck::read_from(long.as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn deck_collects_from_iterator() {
+        let deck: Deck = (0..3)
+            .map(|i| Card::new(&format!("CARD {i}")).unwrap())
+            .collect();
+        assert_eq!(deck.len(), 3);
+        assert_eq!(deck.card(2).trimmed(), "CARD 2");
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type for card and format handling.
+
+use std::fmt;
+
+/// Errors raised by the card substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CardError {
+    /// The format specification string could not be parsed.
+    ParseFormat {
+        /// The offending specification text.
+        spec: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A card image exceeds the 80-column limit.
+    CardTooLong {
+        /// Actual length in columns.
+        len: usize,
+    },
+    /// A numeric field on a card could not be interpreted.
+    BadNumber {
+        /// The raw column content.
+        text: String,
+        /// One-based starting column of the field.
+        column: usize,
+    },
+    /// A value of one kind was supplied where the format expects another
+    /// (e.g. an integer against an `F` descriptor).
+    KindMismatch {
+        /// What the edit descriptor expects.
+        expected: &'static str,
+        /// What was supplied.
+        found: &'static str,
+    },
+    /// The format contains no data edit descriptors, so values can never
+    /// be consumed and format reuse would loop forever.
+    NoDataDescriptors,
+    /// A record ended before all requested fields were read.
+    RecordExhausted {
+        /// One-based column where the next field would start.
+        column: usize,
+        /// Width of the missing field.
+        width: usize,
+    },
+}
+
+impl fmt::Display for CardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CardError::ParseFormat { spec, reason } => {
+                write!(f, "cannot parse format {spec:?}: {reason}")
+            }
+            CardError::CardTooLong { len } => {
+                write!(f, "card image is {len} columns, the limit is 80")
+            }
+            CardError::BadNumber { text, column } => {
+                write!(f, "cannot read number {text:?} at column {column}")
+            }
+            CardError::KindMismatch { expected, found } => {
+                write!(f, "format expects {expected} but value is {found}")
+            }
+            CardError::NoDataDescriptors => {
+                write!(f, "format has no data edit descriptors")
+            }
+            CardError::RecordExhausted { column, width } => {
+                write!(
+                    f,
+                    "record ends before field of width {width} at column {column}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CardError {}

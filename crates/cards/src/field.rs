@@ -1,0 +1,129 @@
+//! Data values carried by formatted fields.
+
+use std::fmt;
+
+/// One value read from or written to a formatted field.
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_cards::Field;
+/// let f = Field::Real(2.5);
+/// assert_eq!(f.as_f64(), Some(2.5));
+/// assert_eq!(Field::Int(7).as_i64(), Some(7));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Field {
+    /// An integer (`I` descriptor).
+    Int(i64),
+    /// A real number (`F` or `E` descriptor).
+    Real(f64),
+    /// Alphanumeric text (`A` descriptor).
+    Alpha(String),
+}
+
+impl Field {
+    /// The value as an integer, if it is one.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Field::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a real, widening integers (FORTRAN list-style
+    /// convenience; `I` fields are frequently consumed as counts that feed
+    /// real arithmetic).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Field::Real(v) => Some(*v),
+            Field::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as text, if it is alphanumeric.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Field::Alpha(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Name of the variant for diagnostics.
+    pub(crate) fn kind_name(&self) -> &'static str {
+        match self {
+            Field::Int(_) => "integer",
+            Field::Real(_) => "real",
+            Field::Alpha(_) => "alphanumeric",
+        }
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Field::Int(v) => write!(f, "{v}"),
+            Field::Real(v) => write!(f, "{v}"),
+            Field::Alpha(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Field {
+    fn from(v: i64) -> Self {
+        Field::Int(v)
+    }
+}
+
+impl From<i32> for Field {
+    fn from(v: i32) -> Self {
+        Field::Int(v as i64)
+    }
+}
+
+impl From<usize> for Field {
+    fn from(v: usize) -> Self {
+        Field::Int(v as i64)
+    }
+}
+
+impl From<f64> for Field {
+    fn from(v: f64) -> Self {
+        Field::Real(v)
+    }
+}
+
+impl From<&str> for Field {
+    fn from(v: &str) -> Self {
+        Field::Alpha(v.to_owned())
+    }
+}
+
+impl From<String> for Field {
+    fn from(v: String) -> Self {
+        Field::Alpha(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Field::Int(3).as_i64(), Some(3));
+        assert_eq!(Field::Real(3.0).as_i64(), None);
+        assert_eq!(Field::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Field::Alpha("ab".into()).as_str(), Some("ab"));
+        assert_eq!(Field::Alpha("ab".into()).as_f64(), None);
+    }
+
+    #[test]
+    fn conversions_from_primitives() {
+        assert_eq!(Field::from(5usize), Field::Int(5));
+        assert_eq!(Field::from(-2i32), Field::Int(-2));
+        assert_eq!(Field::from(1.5f64), Field::Real(1.5));
+        assert_eq!(Field::from("hi"), Field::Alpha("hi".into()));
+    }
+}

@@ -1,0 +1,563 @@
+//! FORTRAN `FORMAT` specifications.
+//!
+//! IDLZ's Type-7 cards carry, verbatim, "the format to be used in punching
+//! 'nodal cards'" and "'element cards'", e.g. `(2F9.5, 51X, I3, 5X, I3)`
+//! and `(3I5, 62X, I3)`. This module parses such specifications into a
+//! structured [`Format`].
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::CardError;
+
+/// One field edit descriptor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EditDescriptor {
+    /// `Iw` — integer, right-justified in `width` columns.
+    Int {
+        /// Field width in columns.
+        width: usize,
+    },
+    /// `Fw.d` — fixed-point real with `decimals` digits after the point.
+    Fixed {
+        /// Field width in columns.
+        width: usize,
+        /// Digits after the decimal point.
+        decimals: usize,
+    },
+    /// `Ew.d` — exponential real, FORTRAN-normalized `0.dddE±ee`.
+    Exp {
+        /// Field width in columns.
+        width: usize,
+        /// Significant digits of the mantissa.
+        decimals: usize,
+    },
+    /// `Aw` — alphanumeric text, left-justified.
+    Alpha {
+        /// Field width in columns.
+        width: usize,
+    },
+    /// `wX` — skip columns (blank fill on output).
+    Skip {
+        /// Columns skipped.
+        width: usize,
+    },
+    /// `nHtext` or `'text'` — a literal (Hollerith) field: written
+    /// verbatim on output, skipped on input. The 1970 plot banners
+    /// ("CONTOUR PLOT * EFFECTIVE STRESS *") were punched exactly this
+    /// way.
+    Literal {
+        /// The literal characters.
+        text: String,
+    },
+}
+
+impl EditDescriptor {
+    /// Column width occupied by the field.
+    pub fn width(&self) -> usize {
+        match self {
+            EditDescriptor::Int { width }
+            | EditDescriptor::Fixed { width, .. }
+            | EditDescriptor::Exp { width, .. }
+            | EditDescriptor::Alpha { width }
+            | EditDescriptor::Skip { width } => *width,
+            EditDescriptor::Literal { text } => text.chars().count(),
+        }
+    }
+
+    /// True for descriptors that consume or produce a data value.
+    pub fn is_data(&self) -> bool {
+        !matches!(
+            self,
+            EditDescriptor::Skip { .. } | EditDescriptor::Literal { .. }
+        )
+    }
+}
+
+impl fmt::Display for EditDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditDescriptor::Int { width } => write!(f, "I{width}"),
+            EditDescriptor::Fixed { width, decimals } => write!(f, "F{width}.{decimals}"),
+            EditDescriptor::Exp { width, decimals } => write!(f, "E{width}.{decimals}"),
+            EditDescriptor::Alpha { width } => write!(f, "A{width}"),
+            EditDescriptor::Skip { width } => write!(f, "{width}X"),
+            EditDescriptor::Literal { text } => write!(f, "{}H{text}", text.chars().count()),
+        }
+    }
+}
+
+/// One item of a format list: a (possibly repeated) descriptor or group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatItem {
+    /// A repeated edit descriptor, e.g. `2F9.5`.
+    Edit {
+        /// Repeat count (≥ 1).
+        repeat: usize,
+        /// The descriptor repeated.
+        descriptor: EditDescriptor,
+    },
+    /// A parenthesized repeated group, e.g. `2(I5, F8.4)`.
+    Group {
+        /// Repeat count (≥ 1).
+        repeat: usize,
+        /// Items inside the group.
+        items: Vec<FormatItem>,
+    },
+}
+
+/// A parsed FORTRAN format specification.
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_cards::Format;
+/// # fn main() -> Result<(), cafemio_cards::CardError> {
+/// let fmt: Format = "(3I5, 62X, I3)".parse()?;
+/// assert_eq!(fmt.record_width(), 80);
+/// assert_eq!(fmt.data_field_count(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Format {
+    items: Vec<FormatItem>,
+    spec: String,
+}
+
+impl Format {
+    /// Parses a specification; equivalent to `spec.parse()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CardError::ParseFormat`] for malformed specifications.
+    pub fn parse(spec: &str) -> Result<Format, CardError> {
+        spec.parse()
+    }
+
+    /// Top-level items of the format.
+    pub fn items(&self) -> &[FormatItem] {
+        &self.items
+    }
+
+    /// The original specification text.
+    pub fn spec(&self) -> &str {
+        &self.spec
+    }
+
+    /// Fully expanded descriptor sequence for one record (all repeat counts
+    /// and groups unrolled).
+    pub fn expanded(&self) -> Vec<EditDescriptor> {
+        let mut out = Vec::new();
+        expand_items(&self.items, &mut out);
+        out
+    }
+
+    /// Total column width of one record.
+    pub fn record_width(&self) -> usize {
+        self.expanded().iter().map(EditDescriptor::width).sum()
+    }
+
+    /// Number of data-carrying fields (`I`, `F`, `E`, `A`) per record.
+    pub fn data_field_count(&self) -> usize {
+        self.expanded().iter().filter(|d| d.is_data()).count()
+    }
+}
+
+impl fmt::Display for Format {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.spec)
+    }
+}
+
+fn expand_items(items: &[FormatItem], out: &mut Vec<EditDescriptor>) {
+    for item in items {
+        match item {
+            FormatItem::Edit { repeat, descriptor } => {
+                for _ in 0..*repeat {
+                    out.push(descriptor.clone());
+                }
+            }
+            FormatItem::Group { repeat, items } => {
+                for _ in 0..*repeat {
+                    expand_items(items, out);
+                }
+            }
+        }
+    }
+}
+
+impl FromStr for Format {
+    type Err = CardError;
+
+    fn from_str(spec: &str) -> Result<Self, Self::Err> {
+        let mut parser = Parser {
+            spec,
+            chars: spec.chars().collect(),
+            pos: 0,
+        };
+        parser.skip_ws();
+        parser.expect('(')?;
+        let items = parser.parse_list()?;
+        parser.expect(')')?;
+        parser.skip_ws();
+        if parser.pos != parser.chars.len() {
+            return Err(parser.error("trailing characters after closing parenthesis"));
+        }
+        if items.is_empty() {
+            return Err(parser.error("empty format list"));
+        }
+        Ok(Format {
+            items,
+            spec: spec.trim().to_owned(),
+        })
+    }
+}
+
+struct Parser<'a> {
+    spec: &'a str,
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, reason: &str) -> CardError {
+        CardError::ParseFormat {
+            spec: self.spec.to_owned(),
+            reason: format!("{reason} (at offset {})", self.pos),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), CardError> {
+        self.skip_ws();
+        match self.bump() {
+            Some(c) if c == want => Ok(()),
+            Some(c) => Err(self.error(&format!("expected {want:?}, found {c:?}"))),
+            None => Err(self.error(&format!("expected {want:?}, found end of input"))),
+        }
+    }
+
+    fn parse_number(&mut self) -> Option<usize> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            None
+        } else {
+            let text: String = self.chars[start..self.pos].iter().collect();
+            text.parse().ok()
+        }
+    }
+
+    fn parse_list(&mut self) -> Result<Vec<FormatItem>, CardError> {
+        let mut items = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(')') | None => break,
+                Some(',') | Some('/') => {
+                    // Commas separate items; record separators (`/`) are
+                    // tolerated and treated as item separators since the
+                    // writer starts a new card per record anyway.
+                    self.pos += 1;
+                    continue;
+                }
+                _ => {}
+            }
+            items.push(self.parse_item()?);
+        }
+        Ok(items)
+    }
+
+    fn parse_item(&mut self) -> Result<FormatItem, CardError> {
+        self.skip_ws();
+        let count = self.parse_number();
+        self.skip_ws();
+        match self.peek() {
+            Some('(') => {
+                self.bump();
+                let items = self.parse_list()?;
+                self.expect(')')?;
+                if items.is_empty() {
+                    return Err(self.error("empty group"));
+                }
+                Ok(FormatItem::Group {
+                    repeat: count.unwrap_or(1).max(1),
+                    items,
+                })
+            }
+            Some('X') | Some('x') => {
+                self.bump();
+                let width = count.ok_or_else(|| self.error("X descriptor needs a count"))?;
+                if width == 0 {
+                    return Err(self.error("0X is not a valid skip"));
+                }
+                Ok(FormatItem::Edit {
+                    repeat: 1,
+                    descriptor: EditDescriptor::Skip { width },
+                })
+            }
+            Some('H') | Some('h') => {
+                // Hollerith: the count is the number of literal characters
+                // that follow, taken verbatim (including blanks/commas).
+                self.bump();
+                let n = count.ok_or_else(|| self.error("H descriptor needs a count"))?;
+                if n == 0 {
+                    return Err(self.error("0H is not a valid literal"));
+                }
+                let mut text = String::new();
+                for _ in 0..n {
+                    match self.bump() {
+                        Some(c) => text.push(c),
+                        None => {
+                            return Err(self.error("Hollerith literal runs past end of format"))
+                        }
+                    }
+                }
+                Ok(FormatItem::Edit {
+                    repeat: 1,
+                    descriptor: EditDescriptor::Literal { text },
+                })
+            }
+            Some('\'') => {
+                // Quoted literal; '' inside is an escaped quote.
+                if count.is_some() {
+                    return Err(self.error("a quoted literal takes no repeat count"));
+                }
+                self.bump();
+                let mut text = String::new();
+                loop {
+                    match self.bump() {
+                        Some('\'') => {
+                            if self.peek() == Some('\'') {
+                                self.bump();
+                                text.push('\'');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(c) => text.push(c),
+                        None => return Err(self.error("unterminated quoted literal")),
+                    }
+                }
+                if text.is_empty() {
+                    return Err(self.error("empty quoted literal"));
+                }
+                Ok(FormatItem::Edit {
+                    repeat: 1,
+                    descriptor: EditDescriptor::Literal { text },
+                })
+            }
+            Some(letter) if letter.is_ascii_alphabetic() => {
+                self.bump();
+                let descriptor = self.parse_descriptor(letter)?;
+                Ok(FormatItem::Edit {
+                    repeat: count.unwrap_or(1).max(1),
+                    descriptor,
+                })
+            }
+            Some(c) => Err(self.error(&format!("unexpected character {c:?}"))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn parse_descriptor(&mut self, letter: char) -> Result<EditDescriptor, CardError> {
+        let width = self
+            .parse_number()
+            .ok_or_else(|| self.error("descriptor needs a field width"))?;
+        if width == 0 {
+            return Err(self.error("field width must be positive"));
+        }
+        let decimals = if self.peek() == Some('.') {
+            self.bump();
+            Some(
+                self.parse_number()
+                    .ok_or_else(|| self.error("expected digits after decimal point"))?,
+            )
+        } else {
+            None
+        };
+        match letter.to_ascii_uppercase() {
+            'I' => {
+                if decimals.is_some() {
+                    return Err(self.error("I descriptor takes no decimal count"));
+                }
+                Ok(EditDescriptor::Int { width })
+            }
+            'F' => Ok(EditDescriptor::Fixed {
+                width,
+                decimals: decimals
+                    .ok_or_else(|| self.error("F descriptor needs a decimal count"))?,
+            }),
+            'E' | 'D' => Ok(EditDescriptor::Exp {
+                width,
+                decimals: decimals
+                    .ok_or_else(|| self.error("E descriptor needs a decimal count"))?,
+            }),
+            'A' => {
+                if decimals.is_some() {
+                    return Err(self.error("A descriptor takes no decimal count"));
+                }
+                Ok(EditDescriptor::Alpha { width })
+            }
+            other => Err(self.error(&format!("unsupported descriptor letter {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_nodal_format() {
+        let fmt: Format = "(2F9.5, 51X, I3, 5X, I3)".parse().unwrap();
+        assert_eq!(fmt.record_width(), 80);
+        assert_eq!(fmt.data_field_count(), 4);
+        let exp = fmt.expanded();
+        assert_eq!(exp[0], EditDescriptor::Fixed { width: 9, decimals: 5 });
+        assert_eq!(exp[1], EditDescriptor::Fixed { width: 9, decimals: 5 });
+        assert_eq!(exp[2], EditDescriptor::Skip { width: 51 });
+        assert_eq!(exp[3], EditDescriptor::Int { width: 3 });
+    }
+
+    #[test]
+    fn parses_paper_element_format() {
+        let fmt: Format = "(3I5, 62X, I3)".parse().unwrap();
+        assert_eq!(fmt.record_width(), 80);
+        assert_eq!(fmt.data_field_count(), 4);
+    }
+
+    #[test]
+    fn parses_ospl_type1_format() {
+        // Type 1: NN, NE, XMX, XMN, YMX, YMN, DELTA — FORMAT (2I5, 5F10.4)
+        let fmt: Format = "(2I5, 5F10.4)".parse().unwrap();
+        assert_eq!(fmt.record_width(), 60);
+        assert_eq!(fmt.data_field_count(), 7);
+    }
+
+    #[test]
+    fn parses_nested_group() {
+        let fmt: Format = "(I5, 2(F8.4, 1X), A6)".parse().unwrap();
+        let exp = fmt.expanded();
+        assert_eq!(exp.len(), 6);
+        assert_eq!(exp[1], EditDescriptor::Fixed { width: 8, decimals: 4 });
+        assert_eq!(exp[2], EditDescriptor::Skip { width: 1 });
+        assert_eq!(exp[3], EditDescriptor::Fixed { width: 8, decimals: 4 });
+        assert_eq!(fmt.record_width(), 5 + 2 * 9 + 6);
+    }
+
+    #[test]
+    fn parses_alpha_title_format() {
+        let fmt: Format = "(12A6)".parse().unwrap();
+        assert_eq!(fmt.record_width(), 72);
+        assert_eq!(fmt.data_field_count(), 12);
+    }
+
+    #[test]
+    fn case_insensitive_letters() {
+        let fmt: Format = "(2f9.5, 51x, i3)".parse().unwrap();
+        assert_eq!(fmt.data_field_count(), 3);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in [
+            "",
+            "I5",
+            "(I5",
+            "()",
+            "(I)",
+            "(F8)",
+            "(I5.2)",
+            "(Q5)",
+            "(X)",
+            "(0X)",
+            "(F0.2)",
+            "(I5) junk",
+            "(A6.2)",
+        ] {
+            assert!(
+                bad.parse::<Format>().is_err(),
+                "{bad:?} should fail to parse"
+            );
+        }
+    }
+
+    #[test]
+    fn display_round_trips_spec_text() {
+        let text = "(2F9.5, 51X, I3, 5X, I3)";
+        let fmt: Format = text.parse().unwrap();
+        assert_eq!(fmt.to_string(), text);
+        // Re-parsing the display output yields an equal format.
+        let again: Format = fmt.to_string().parse().unwrap();
+        assert_eq!(again, fmt);
+    }
+
+    #[test]
+    fn hollerith_literal_parsed_verbatim() {
+        // The count governs exactly how many characters are literal —
+        // commas and blanks included.
+        let fmt: Format = "(14HCONTOUR PLOT *, I5)".parse().unwrap();
+        let exp = fmt.expanded();
+        assert_eq!(
+            exp[0],
+            EditDescriptor::Literal {
+                text: "CONTOUR PLOT *".into()
+            }
+        );
+        assert_eq!(exp[1], EditDescriptor::Int { width: 5 });
+        assert_eq!(fmt.record_width(), 19);
+        assert_eq!(fmt.data_field_count(), 1);
+    }
+
+    #[test]
+    fn quoted_literal_with_escaped_quote() {
+        let fmt: Format = "('DON''T PANIC', 2X)".parse().unwrap();
+        assert_eq!(
+            fmt.expanded()[0],
+            EditDescriptor::Literal {
+                text: "DON'T PANIC".into()
+            }
+        );
+    }
+
+    #[test]
+    fn bad_literals_rejected() {
+        for bad in ["(0HX)", "(5HAB)", "('open)", "('')", "(3'ABC')"] {
+            assert!(bad.parse::<Format>().is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn literal_display_round_trips() {
+        let fmt: Format = "(4HTEST)".parse().unwrap();
+        assert_eq!(fmt.expanded()[0].to_string(), "4HTEST");
+    }
+
+    #[test]
+    fn exp_and_double_precision_aliases() {
+        let e: Format = "(E15.8)".parse().unwrap();
+        let d: Format = "(D15.8)".parse().unwrap();
+        assert_eq!(e.expanded(), d.expanded());
+    }
+}

@@ -1,0 +1,55 @@
+//! # cafemio-cards
+//!
+//! Punched-card input/output substrate.
+//!
+//! The paper's entire data path is card-shaped: IDLZ reads seven types of
+//! fixed-column data cards (Appendix B), punches "nodal cards" and "element
+//! cards" *in a FORTRAN `FORMAT` supplied by the user on a Type-7 card*,
+//! and OSPL reads four card types (Appendix C). Reproducing that faithfully
+//! requires a card model and a `FORMAT` interpreter, which this crate
+//! provides:
+//!
+//! * [`Card`] — one 80-column card image,
+//! * [`Deck`] — an ordered stack of cards,
+//! * [`Format`] — a parsed FORTRAN format specification such as
+//!   `(2F9.5, 51X, I3, 5X, I3)` (the paper's example nodal-card format for
+//!   the analysis program of its Reference 1),
+//! * [`FormatWriter`] / [`FormatReader`] — formatted punch and read with
+//!   FORTRAN semantics (right-justified integers, implied decimal scaling,
+//!   blank-as-zero, asterisk fill on overflow, format reuse across
+//!   records).
+//!
+//! # Examples
+//!
+//! ```
+//! use cafemio_cards::{Field, Format, FormatWriter};
+//! # fn main() -> Result<(), cafemio_cards::CardError> {
+//! let format: Format = "(2F9.5, 51X, I3, 5X, I3)".parse()?;
+//! let record = FormatWriter::new(&format).write_record(&[
+//!     Field::Real(1.25),
+//!     Field::Real(-0.5),
+//!     Field::Int(1),
+//!     Field::Int(42),
+//! ])?;
+//! assert_eq!(record.len(), 80);
+//! assert_eq!(&record[0..9], "  1.25000");
+//! assert_eq!(&record[9..18], " -0.50000");
+//! assert_eq!(&record[69..72], "  1");
+//! assert_eq!(&record[77..80], " 42");
+//! # Ok(())
+//! # }
+//! ```
+
+mod card;
+mod error;
+mod field;
+mod format;
+mod reader;
+mod writer;
+
+pub use card::{Card, Deck, CARD_COLUMNS};
+pub use error::CardError;
+pub use field::Field;
+pub use format::{EditDescriptor, Format, FormatItem};
+pub use reader::FormatReader;
+pub use writer::FormatWriter;

@@ -1,0 +1,225 @@
+//! Formatted input (the card-reading side).
+
+use crate::format::EditDescriptor;
+use crate::{CardError, Field, Format};
+
+/// Reads values from fixed-column records under a [`Format`], with FORTRAN
+/// semantics: an all-blank numeric field reads as zero, an `F`/`E` field
+/// without an explicit decimal point is scaled by the implied decimal
+/// count, and records shorter than the format are treated as blank-padded.
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_cards::{Field, Format, FormatReader};
+/// # fn main() -> Result<(), cafemio_cards::CardError> {
+/// let fmt: Format = "(I5, F8.4)".parse()?;
+/// let values = FormatReader::new(&fmt).read_record("   12  3.5")?;
+/// assert_eq!(values[0], Field::Int(12));
+/// assert_eq!(values[1], Field::Real(3.5));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct FormatReader<'f> {
+    format: &'f Format,
+}
+
+impl<'f> FormatReader<'f> {
+    /// Creates a reader for the given format.
+    pub fn new(format: &'f Format) -> Self {
+        Self { format }
+    }
+
+    /// Reads one record, returning one [`Field`] per data descriptor.
+    ///
+    /// # Errors
+    ///
+    /// [`CardError::BadNumber`] when a numeric field contains characters
+    /// that cannot be interpreted.
+    pub fn read_record(&self, record: &str) -> Result<Vec<Field>, CardError> {
+        let chars: Vec<char> = record.chars().collect();
+        let mut column = 0usize; // zero-based
+        let mut out = Vec::with_capacity(self.format.data_field_count());
+        for desc in self.format.expanded() {
+            let width = desc.width();
+            let slice: String = chars
+                .iter()
+                .skip(column)
+                .take(width)
+                .collect::<String>();
+            // Blank-pad virtually: a record shorter than the format reads
+            // as blanks, which numeric fields interpret as zero.
+            let padded = format!("{slice:<width$}");
+            match desc {
+                // Literals are output decoration; on input their columns
+                // are skipped like `X`.
+                EditDescriptor::Skip { .. } | EditDescriptor::Literal { .. } => {}
+                EditDescriptor::Int { .. } => {
+                    out.push(Field::Int(read_int(&padded, column + 1)?));
+                }
+                EditDescriptor::Fixed { decimals, .. } | EditDescriptor::Exp { decimals, .. } => {
+                    out.push(Field::Real(read_real(&padded, decimals, column + 1)?));
+                }
+                EditDescriptor::Alpha { .. } => {
+                    out.push(Field::Alpha(padded.trim_end().to_owned()));
+                }
+            }
+            column += width;
+        }
+        Ok(out)
+    }
+
+    /// Reads several records produced by format reuse, concatenating the
+    /// fields in order.
+    ///
+    /// # Errors
+    ///
+    /// See [`read_record`](Self::read_record).
+    pub fn read_all<'r, I>(&self, records: I) -> Result<Vec<Field>, CardError>
+    where
+        I: IntoIterator<Item = &'r str>,
+    {
+        let mut out = Vec::new();
+        for record in records {
+            out.extend(self.read_record(record)?);
+        }
+        Ok(out)
+    }
+}
+
+fn read_int(text: &str, column: usize) -> Result<i64, CardError> {
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        return Ok(0);
+    }
+    trimmed.parse().map_err(|_| CardError::BadNumber {
+        text: text.to_owned(),
+        column,
+    })
+}
+
+fn read_real(text: &str, implied_decimals: usize, column: usize) -> Result<f64, CardError> {
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        return Ok(0.0);
+    }
+    let bad = || CardError::BadNumber {
+        text: text.to_owned(),
+        column,
+    };
+    // FORTRAN accepts D exponents in double-precision card images.
+    let normalized = trimmed.replace(['D', 'd'], "E");
+    if normalized.contains('.') || normalized.contains(['E', 'e']) {
+        normalized.parse().map_err(|_| bad())
+    } else {
+        // No explicit decimal point: the descriptor's decimal count is
+        // implied, e.g. `F8.4` reading `  1234` yields 0.1234.
+        let as_int: i64 = normalized.parse().map_err(|_| bad())?;
+        Ok(as_int as f64 / 10f64.powi(implied_decimals as i32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FormatWriter;
+
+    fn fmt(spec: &str) -> Format {
+        spec.parse().unwrap()
+    }
+
+    #[test]
+    fn blank_numeric_fields_read_zero() {
+        let f = fmt("(I5, F8.4)");
+        let values = FormatReader::new(&f).read_record("").unwrap();
+        assert_eq!(values, vec![Field::Int(0), Field::Real(0.0)]);
+    }
+
+    #[test]
+    fn implied_decimal_scaling() {
+        let f = fmt("(F8.4)");
+        let values = FormatReader::new(&f).read_record("    1234").unwrap();
+        assert_eq!(values[0], Field::Real(0.1234));
+    }
+
+    #[test]
+    fn explicit_point_wins_over_implied() {
+        let f = fmt("(F8.4)");
+        let values = FormatReader::new(&f).read_record("  1.5   ").unwrap();
+        assert_eq!(values[0], Field::Real(1.5));
+    }
+
+    #[test]
+    fn exponent_forms_accepted() {
+        let f = fmt("(E14.7)");
+        let r = FormatReader::new(&f);
+        assert_eq!(
+            r.read_record(" 0.1234568E+02").unwrap()[0],
+            Field::Real(12.34568)
+        );
+        assert_eq!(
+            r.read_record("    1.5D+01   ").unwrap()[0],
+            Field::Real(15.0)
+        );
+    }
+
+    #[test]
+    fn skip_columns_ignored() {
+        let f = fmt("(I2, 3X, I2)");
+        let values = FormatReader::new(&f).read_record(" 1XXX 2").unwrap();
+        assert_eq!(values, vec![Field::Int(1), Field::Int(2)]);
+    }
+
+    #[test]
+    fn bad_number_reports_column() {
+        let f = fmt("(5X, I5)");
+        let err = FormatReader::new(&f)
+            .read_record("     AB   ")
+            .unwrap_err();
+        match err {
+            CardError::BadNumber { column, .. } => assert_eq!(column, 6),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn alpha_preserves_interior_spaces() {
+        let f = fmt("(A12)");
+        let values = FormatReader::new(&f).read_record("GLASS JOINT ").unwrap();
+        assert_eq!(values[0], Field::Alpha("GLASS JOINT".into()));
+    }
+
+    #[test]
+    fn write_read_round_trip_paper_nodal_card() {
+        let f = fmt("(2F9.5, 51X, I3, 5X, I3)");
+        let original = vec![
+            Field::Real(12.5),
+            Field::Real(-3.25),
+            Field::Int(1),
+            Field::Int(128),
+        ];
+        let record = FormatWriter::new(&f).write_record(&original).unwrap();
+        let back = FormatReader::new(&f).read_record(&record).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn read_all_concatenates() {
+        let f = fmt("(2I4)");
+        let fields = FormatReader::new(&f)
+            .read_all(["   1   2", "   3"])
+            .unwrap();
+        assert_eq!(
+            fields,
+            vec![Field::Int(1), Field::Int(2), Field::Int(3), Field::Int(0)]
+        );
+    }
+
+    #[test]
+    fn negative_implied_decimal() {
+        let f = fmt("(F6.2)");
+        let values = FormatReader::new(&f).read_record("  -125").unwrap();
+        assert_eq!(values[0], Field::Real(-1.25));
+    }
+}

@@ -1,0 +1,337 @@
+//! Formatted output (the "punch" side).
+
+use crate::format::EditDescriptor;
+use crate::{CardError, Field, Format};
+
+/// Writes values under a [`Format`] with FORTRAN punch semantics:
+/// right-justified integers, fixed-point rounding, asterisk fill when a
+/// value does not fit its field, blank fill for `X`, and format reuse (a
+/// new record is started and the format restarted when values remain after
+/// the last descriptor).
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_cards::{Field, Format, FormatWriter};
+/// # fn main() -> Result<(), cafemio_cards::CardError> {
+/// let fmt: Format = "(3I5)".parse()?;
+/// let records = FormatWriter::new(&fmt).write_all(&[
+///     Field::Int(1), Field::Int(2), Field::Int(3),
+///     Field::Int(4), Field::Int(5),
+/// ])?;
+/// assert_eq!(records, vec![
+///     "    1    2    3".to_string(),
+///     "    4    5".to_string(),
+/// ]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct FormatWriter<'f> {
+    format: &'f Format,
+}
+
+impl<'f> FormatWriter<'f> {
+    /// Creates a writer for the given format.
+    pub fn new(format: &'f Format) -> Self {
+        Self { format }
+    }
+
+    /// Writes exactly one record. Values beyond one record's worth of data
+    /// descriptors are rejected; fewer values leave later fields blank
+    /// (the record is truncated after the last written field's trailing
+    /// skip columns, matching FORTRAN's early-termination on an exhausted
+    /// I/O list).
+    ///
+    /// # Errors
+    ///
+    /// [`CardError::KindMismatch`] when a value's type does not match its
+    /// descriptor, [`CardError::NoDataDescriptors`] for a format that can
+    /// never consume a value.
+    pub fn write_record(&self, values: &[Field]) -> Result<String, CardError> {
+        let mut records = self.write_all(values)?;
+        if records.len() > 1 {
+            return Err(CardError::KindMismatch {
+                expected: "a single record of values",
+                found: "more values than one record holds",
+            });
+        }
+        Ok(records.pop().unwrap_or_default())
+    }
+
+    /// Writes as many records as needed to consume every value, restarting
+    /// the format for each new record.
+    ///
+    /// # Errors
+    ///
+    /// See [`write_record`](Self::write_record).
+    pub fn write_all(&self, values: &[Field]) -> Result<Vec<String>, CardError> {
+        let descriptors = self.format.expanded();
+        if !values.is_empty() && !descriptors.iter().any(EditDescriptor::is_data) {
+            return Err(CardError::NoDataDescriptors);
+        }
+        let mut records = Vec::new();
+        let mut remaining = values;
+        loop {
+            let mut line = String::new();
+            let mut consumed = 0usize;
+            for desc in &descriptors {
+                if desc.is_data() {
+                    match remaining.get(consumed) {
+                        Some(value) => {
+                            line.push_str(&write_field(desc, value)?);
+                            consumed += 1;
+                        }
+                        None => break,
+                    }
+                } else if let EditDescriptor::Literal { text } = desc {
+                    line.push_str(text);
+                } else {
+                    line.push_str(&" ".repeat(desc.width()));
+                }
+            }
+            // Drop trailing blanks introduced by skip fields after the last
+            // data field so short records stay short (cards are padded to
+            // 80 columns separately by `Card`).
+            while line.ends_with(' ') && consumed < self.format.data_field_count() {
+                line.pop();
+            }
+            records.push(line);
+            remaining = &remaining[consumed.min(remaining.len())..];
+            if remaining.is_empty() {
+                break;
+            }
+        }
+        Ok(records)
+    }
+}
+
+/// Formats one value into one field.
+fn write_field(desc: &EditDescriptor, value: &Field) -> Result<String, CardError> {
+    match *desc {
+        EditDescriptor::Int { width } => {
+            let v = value.as_i64().ok_or(CardError::KindMismatch {
+                expected: "integer",
+                found: value.kind_name(),
+            })?;
+            Ok(fit(format!("{v:>width$}"), width))
+        }
+        EditDescriptor::Fixed { width, decimals } => {
+            let v = value.as_f64().ok_or(CardError::KindMismatch {
+                expected: "real",
+                found: value.kind_name(),
+            })?;
+            Ok(fit(format!("{v:>width$.decimals$}"), width))
+        }
+        EditDescriptor::Exp { width, decimals } => {
+            let v = value.as_f64().ok_or(CardError::KindMismatch {
+                expected: "real",
+                found: value.kind_name(),
+            })?;
+            Ok(fit(fortran_exponential(v, width, decimals), width))
+        }
+        EditDescriptor::Alpha { width } => {
+            let s = match value {
+                Field::Alpha(s) => s.clone(),
+                other => other.to_string(),
+            };
+            let mut out: String = s.chars().take(width).collect();
+            while out.len() < width {
+                out.push(' ');
+            }
+            Ok(out)
+        }
+        EditDescriptor::Skip { width } => Ok(" ".repeat(width)),
+        EditDescriptor::Literal { ref text } => Ok(text.clone()),
+    }
+}
+
+/// Right-justifies or, on overflow, fills the field with asterisks — the
+/// classic FORTRAN behaviour a card-deck user of 1970 would recognize.
+fn fit(text: String, width: usize) -> String {
+    if text.len() > width {
+        "*".repeat(width)
+    } else {
+        format!("{text:>width$}")
+    }
+}
+
+/// FORTRAN `Ew.d` normalization: `±0.ddddE±ee` with the mantissa in
+/// `[0.1, 1)`.
+fn fortran_exponential(v: f64, width: usize, decimals: usize) -> String {
+    if v == 0.0 {
+        return format!("{:>width$}", format!("0.{}E+00", "0".repeat(decimals)));
+    }
+    let sign = if v < 0.0 { "-" } else { "" };
+    let mut exp = v.abs().log10().floor() as i32 + 1;
+    let mut mantissa = v.abs() / 10f64.powi(exp);
+    // Rounding the mantissa to `decimals` digits can push it to 1.0;
+    // renormalize if so.
+    let scale = 10f64.powi(decimals as i32);
+    let mut rounded = (mantissa * scale).round() / scale;
+    if rounded >= 1.0 {
+        exp += 1;
+        mantissa = v.abs() / 10f64.powi(exp);
+        rounded = (mantissa * scale).round() / scale;
+    }
+    let digits = format!("{rounded:.decimals$}");
+    // digits looks like "0.1234"; keep it as-is.
+    let esign = if exp < 0 { '-' } else { '+' };
+    format!("{:>width$}", format!("{sign}{digits}E{esign}{:02}", exp.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fmt(spec: &str) -> Format {
+        spec.parse().unwrap()
+    }
+
+    #[test]
+    fn integer_right_justified() {
+        let f = fmt("(I5)");
+        let rec = FormatWriter::new(&f).write_record(&[Field::Int(-42)]).unwrap();
+        assert_eq!(rec, "  -42");
+    }
+
+    #[test]
+    fn integer_overflow_prints_asterisks() {
+        let f = fmt("(I3)");
+        let rec = FormatWriter::new(&f)
+            .write_record(&[Field::Int(12345)])
+            .unwrap();
+        assert_eq!(rec, "***");
+    }
+
+    #[test]
+    #[allow(clippy::approx_constant)] // the literal demonstrates F-rounding
+    fn fixed_point_rounds() {
+        let f = fmt("(F8.3)");
+        let rec = FormatWriter::new(&f)
+            .write_record(&[Field::Real(3.14159)])
+            .unwrap();
+        assert_eq!(rec, "   3.142");
+    }
+
+    #[test]
+    fn fixed_point_overflow() {
+        let f = fmt("(F5.3)");
+        let rec = FormatWriter::new(&f)
+            .write_record(&[Field::Real(-123.456)])
+            .unwrap();
+        assert_eq!(rec, "*****");
+    }
+
+    #[test]
+    fn skip_emits_blanks_between_fields() {
+        let f = fmt("(I2, 3X, I2)");
+        let rec = FormatWriter::new(&f)
+            .write_record(&[Field::Int(1), Field::Int(2)])
+            .unwrap();
+        assert_eq!(rec, " 1    2");
+    }
+
+    #[test]
+    fn alpha_left_justified_and_truncated() {
+        let f = fmt("(A6)");
+        let w = FormatWriter::new(&f);
+        assert_eq!(w.write_record(&[Field::from("AB")]).unwrap(), "AB    ");
+        assert_eq!(
+            w.write_record(&[Field::from("ABCDEFGH")]).unwrap(),
+            "ABCDEF"
+        );
+    }
+
+    #[test]
+    fn exponential_fortran_normalized() {
+        let f = fmt("(E14.7)");
+        let w = FormatWriter::new(&f);
+        assert_eq!(
+            w.write_record(&[Field::Real(12.3456789)]).unwrap(),
+            " 0.1234568E+02"
+        );
+        assert_eq!(
+            w.write_record(&[Field::Real(-0.00123)]).unwrap(),
+            "-0.1230000E-02"
+        );
+        assert_eq!(
+            w.write_record(&[Field::Real(0.0)]).unwrap(),
+            " 0.0000000E+00"
+        );
+    }
+
+    #[test]
+    fn exponential_mantissa_rollover() {
+        // 0.99999 rounded to two digits becomes 1.0 and must renormalize
+        // to 0.10E+01 rather than print "1.00E+00".
+        let f = fmt("(E10.2)");
+        let rec = FormatWriter::new(&f)
+            .write_record(&[Field::Real(0.999_99)])
+            .unwrap();
+        assert_eq!(rec.trim(), "0.10E+01");
+    }
+
+    #[test]
+    fn hollerith_banner_written_and_skipped_on_read() {
+        let f = fmt("(8HPRESSURE, 1X, F7.1)");
+        let record = FormatWriter::new(&f)
+            .write_record(&[Field::Real(650.0)])
+            .unwrap();
+        assert_eq!(record, "PRESSURE   650.0");
+        // Reading the same record under the same format skips the banner
+        // and recovers the number.
+        let back = crate::FormatReader::new(&f).read_record(&record).unwrap();
+        assert_eq!(back, vec![Field::Real(650.0)]);
+    }
+
+    #[test]
+    fn quoted_literal_written() {
+        let f = fmt("('T = ', I3, 's')");
+        let record = FormatWriter::new(&f).write_record(&[Field::Int(2)]).unwrap();
+        assert_eq!(record, "T =   2s");
+    }
+
+    #[test]
+    fn format_reuse_across_records() {
+        let f = fmt("(2I4)");
+        let recs = FormatWriter::new(&f)
+            .write_all(&[1.into(), 2.into(), 3.into(), 4.into(), 5.into()])
+            .unwrap();
+        assert_eq!(recs, vec!["   1   2", "   3   4", "   5"]);
+    }
+
+    #[test]
+    fn kind_mismatch_reported() {
+        let f = fmt("(I5)");
+        let err = FormatWriter::new(&f)
+            .write_record(&[Field::Real(1.0)])
+            .unwrap_err();
+        assert!(matches!(err, CardError::KindMismatch { .. }));
+    }
+
+    #[test]
+    fn no_data_descriptor_error() {
+        let f = fmt("(5X)");
+        let err = FormatWriter::new(&f)
+            .write_all(&[Field::Int(1)])
+            .unwrap_err();
+        assert_eq!(err, CardError::NoDataDescriptors);
+    }
+
+    #[test]
+    fn empty_values_give_blank_record() {
+        let f = fmt("(3I5)");
+        let recs = FormatWriter::new(&f).write_all(&[]).unwrap();
+        assert_eq!(recs, vec![String::new()]);
+    }
+
+    #[test]
+    fn int_accepted_for_real_field() {
+        // FORTRAN programmers pass integers to F fields through implicit
+        // conversion in the I/O list; `Field::as_f64` allows the same.
+        let f = fmt("(F6.1)");
+        let rec = FormatWriter::new(&f).write_record(&[Field::Int(3)]).unwrap();
+        assert_eq!(rec, "   3.0");
+    }
+}

@@ -1,0 +1,87 @@
+//! # cafemio
+//!
+//! Computer-aided input/output for the finite element method — a Rust
+//! reproduction of R. D. Rockwell and D. S. Pincus's NSRDC programs
+//! **IDLZ** (automatic idealization of a plane surface into triangular
+//! elements) and **OSPL** (isogram/contour plotting of analysis output),
+//! together with every substrate they serve: punched-card I/O with a
+//! FORTRAN `FORMAT` interpreter, an SD-4020 plotter model, a triangle-mesh
+//! library with Cuthill–McKee renumbering, and the axisymmetric / plane
+//! stress / plane strain / transient-thermal finite element analyses
+//! whose data the two programs carry.
+//!
+//! This crate is the umbrella: it re-exports the workspace crates as
+//! modules and adds the [`pipeline`] helpers that chain them the way the
+//! paper's Figures 15–18 did — *idealize → analyze → contour-plot*.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cafemio::prelude::*;
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. Idealize: a 4 × 2 plate.
+//! let mut spec = IdealizationSpec::new("QUICKSTART PLATE");
+//! spec.add_subdivision(Subdivision::rectangular(1, (0, 0), (8, 4))?);
+//! spec.add_shape_line(1, ShapeLine::straight(
+//!     (0, 0), (8, 0), Point::new(0.0, 0.0), Point::new(4.0, 0.0)));
+//! spec.add_shape_line(1, ShapeLine::straight(
+//!     (0, 4), (8, 4), Point::new(0.0, 2.0), Point::new(4.0, 2.0)));
+//! let idealized = Idealization::run(&spec)?;
+//!
+//! // 2. Analyze: pull the plate sideways.
+//! let mut model = FemModel::new(
+//!     idealized.mesh.clone(),
+//!     AnalysisKind::PlaneStress { thickness: 0.25 },
+//!     Material::isotropic(30.0e6, 0.3),
+//! );
+//! for (id, node) in idealized.mesh.nodes() {
+//!     if node.position.x < 1e-9 {
+//!         model.fix_x(id);
+//!     }
+//!     if node.position.x < 1e-9 && node.position.y < 1e-9 {
+//!         model.fix_y(id);
+//!     }
+//!     if (node.position.x - 4.0).abs() < 1e-9 {
+//!         model.add_force(id, 50.0, 0.0);
+//!     }
+//! }
+//!
+//! // 3. Contour-plot the effective stress.
+//! let plot = cafemio::pipeline::solve_and_contour(
+//!     &model,
+//!     StressComponent::Effective,
+//!     &ContourOptions::new(),
+//! )?;
+//! assert!(plot.contours.drawn_contours() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use cafemio_cards as cards;
+pub use cafemio_fem as fem;
+pub use cafemio_geom as geom;
+pub use cafemio_idlz as idlz;
+pub use cafemio_mesh as mesh;
+pub use cafemio_models as models;
+pub use cafemio_ospl as ospl;
+pub use cafemio_plotter as plotter;
+
+pub mod pipeline;
+
+/// The names most programs want in scope.
+pub mod prelude {
+    pub use cafemio_fem::{
+        solve_contact_increments, solve_with_contact, AnalysisKind, ContactSupport, FemModel,
+        Material, StressField, ThermalMaterial, ThermalModel,
+    };
+    pub use cafemio_geom::{BoundingBox, Point};
+    pub use cafemio_idlz::{
+        Idealization, IdealizationResult, IdealizationSpec, Limits, ShapeLine, Subdivision,
+        Taper,
+    };
+    pub use cafemio_mesh::{BoundaryKind, NodalField, NodeId, TriMesh};
+    pub use cafemio_ospl::{ContourOptions, Ospl, OsplResult};
+    pub use cafemio_plotter::{render_svg, AsciiCanvas, Frame};
+
+    pub use crate::pipeline::{solve_and_contour, StressComponent, StressPlot};
+}

@@ -1,0 +1,230 @@
+//! End-to-end helpers: *idealize → analyze → contour-plot*, the workflow
+//! of the paper's "Results and Discussion" ("program IDLZ has been used to
+//! idealize the structure and then program OSPL used to plot results from
+//! the finite element analysis").
+
+use std::fmt;
+
+use cafemio_fem::{FemError, FemModel, StressField};
+use cafemio_mesh::NodalField;
+use cafemio_ospl::{ContourOptions, Ospl, OsplError, OsplResult};
+
+/// Which recovered stress field to plot — one per contour plot in
+/// Figures 13 and 15–18.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StressComponent {
+    /// Radial stress σr.
+    Radial,
+    /// Meridional / axial stress σz.
+    Meridional,
+    /// Circumferential (hoop) stress σθ.
+    Circumferential,
+    /// In-plane shear τrz.
+    Shear,
+    /// Von Mises effective stress.
+    Effective,
+}
+
+impl StressComponent {
+    /// Every component, in the order the paper's figures use them.
+    pub const ALL: [StressComponent; 5] = [
+        StressComponent::Radial,
+        StressComponent::Meridional,
+        StressComponent::Circumferential,
+        StressComponent::Shear,
+        StressComponent::Effective,
+    ];
+
+    /// Extracts the matching nodal field from a recovered stress state.
+    pub fn field(self, stresses: &StressField) -> NodalField {
+        match self {
+            StressComponent::Radial => stresses.radial(),
+            StressComponent::Meridional => stresses.meridional(),
+            StressComponent::Circumferential => stresses.circumferential(),
+            StressComponent::Shear => stresses.shear(),
+            StressComponent::Effective => stresses.effective(),
+        }
+    }
+}
+
+impl fmt::Display for StressComponent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            StressComponent::Radial => "RADIAL STRESS",
+            StressComponent::Meridional => "MERIDIONAL STRESS",
+            StressComponent::Circumferential => "CIRCUMFERENTIAL STRESS",
+            StressComponent::Shear => "SHEAR STRESS",
+            StressComponent::Effective => "EFFECTIVE STRESS",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Error from the combined pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// The analysis failed.
+    Fem(FemError),
+    /// The plotting failed.
+    Ospl(OsplError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Fem(e) => write!(f, "analysis failed: {e}"),
+            PipelineError::Ospl(e) => write!(f, "plotting failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Fem(e) => Some(e),
+            PipelineError::Ospl(e) => Some(e),
+        }
+    }
+}
+
+impl From<FemError> for PipelineError {
+    fn from(e: FemError) -> Self {
+        PipelineError::Fem(e)
+    }
+}
+
+impl From<OsplError> for PipelineError {
+    fn from(e: OsplError) -> Self {
+        PipelineError::Ospl(e)
+    }
+}
+
+/// The product of [`solve_and_contour`]: the plotted field plus the
+/// contour result (frame, isograms, interval).
+#[derive(Debug, Clone)]
+pub struct StressPlot {
+    /// The nodal field that was contoured.
+    pub field: NodalField,
+    /// The OSPL output.
+    pub contours: OsplResult,
+}
+
+/// Solves a structural model, recovers the requested stress component at
+/// the nodes, and contours it.
+///
+/// # Errors
+///
+/// [`PipelineError::Fem`] for assembly/solve/recovery failures,
+/// [`PipelineError::Ospl`] for contouring failures.
+///
+/// # Examples
+///
+/// See the [crate-level quick start](crate).
+pub fn solve_and_contour(
+    model: &FemModel,
+    component: StressComponent,
+    options: &ContourOptions,
+) -> Result<StressPlot, PipelineError> {
+    let solution = model.solve()?;
+    let stresses = StressField::compute(model, &solution)?;
+    let field = component.field(&stresses);
+    let contours = Ospl::run(model.mesh(), &field, options)?;
+    Ok(StressPlot { field, contours })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cafemio_fem::{AnalysisKind, Material};
+    use cafemio_geom::Point;
+    use cafemio_mesh::{BoundaryKind, TriMesh};
+
+    fn loaded_plate() -> FemModel {
+        let mut mesh = TriMesh::new();
+        let mut ids = Vec::new();
+        for j in 0..=2 {
+            for i in 0..=4 {
+                ids.push(mesh.add_node(
+                    Point::new(i as f64, j as f64 * 0.5),
+                    BoundaryKind::Boundary,
+                ));
+            }
+        }
+        let at = |i: usize, j: usize| ids[j * 5 + i];
+        for j in 0..2 {
+            for i in 0..4 {
+                mesh.add_element([at(i, j), at(i + 1, j), at(i + 1, j + 1)]).unwrap();
+                mesh.add_element([at(i, j), at(i + 1, j + 1), at(i, j + 1)]).unwrap();
+            }
+        }
+        let mut model = FemModel::new(
+            mesh,
+            AnalysisKind::PlaneStress { thickness: 1.0 },
+            Material::isotropic(1.0e7, 0.3),
+        );
+        for j in 0..=2 {
+            model.fix_x(at(0, j));
+        }
+        model.fix_y(at(0, 0));
+        // Point load at the far corner: a stress gradient worth plotting.
+        model.add_force(at(4, 2), 200.0, -100.0);
+        model
+    }
+
+    #[test]
+    fn pipeline_produces_contours() {
+        let model = loaded_plate();
+        let plot =
+            solve_and_contour(&model, StressComponent::Effective, &ContourOptions::new())
+                .unwrap();
+        assert!(plot.contours.drawn_contours() > 0);
+        assert_eq!(plot.field.name(), "EFFECTIVE STRESS");
+        assert!(plot.contours.frame.vector_count() > 0);
+    }
+
+    #[test]
+    fn all_components_plot() {
+        let model = loaded_plate();
+        for component in StressComponent::ALL {
+            // Some components may be constant-zero (no contours with an
+            // explicit interval); they must not error.
+            let result = solve_and_contour(
+                &model,
+                component,
+                &ContourOptions::with_interval(25.0),
+            );
+            assert!(result.is_ok(), "{component}");
+        }
+    }
+
+    #[test]
+    fn under_constrained_model_reports_fem_error() {
+        let mut mesh = TriMesh::new();
+        let a = mesh.add_node(Point::new(0.0, 0.0), BoundaryKind::Boundary);
+        let b = mesh.add_node(Point::new(1.0, 0.0), BoundaryKind::Boundary);
+        let c = mesh.add_node(Point::new(0.0, 1.0), BoundaryKind::Boundary);
+        mesh.add_element([a, b, c]).unwrap();
+        let model = FemModel::new(
+            mesh,
+            AnalysisKind::PlaneStrain,
+            Material::isotropic(1.0e6, 0.3),
+        );
+        let err = solve_and_contour(
+            &model,
+            StressComponent::Effective,
+            &ContourOptions::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, PipelineError::Fem(_)));
+    }
+
+    #[test]
+    fn component_display_names_match_field_names() {
+        let model = loaded_plate();
+        let solution = model.solve().unwrap();
+        let stresses = StressField::compute(&model, &solution).unwrap();
+        for component in StressComponent::ALL {
+            assert_eq!(component.to_string(), component.field(&stresses).name());
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! Unilateral contact by active-set iteration.
+//!
+//! Figure 13 of the report is titled "DSSV BOTTOM HATCH MODIFIED FOR
+//! CONTACT. SECOND IDEALIZATION" — the Reference-1 analysis handled
+//! hatch-to-seat contact, and its captions count load "INCREMENT"s. The
+//! classic linear-era treatment is the active-set method implemented
+//! here: a frictionless rigid support under selected nodes that can push
+//! but never pull, found by iterating the set of engaged supports.
+
+use cafemio_mesh::NodeId;
+
+use crate::model::{FemModel, Solution};
+use crate::FemError;
+
+/// Tolerance on penetrations and tensile reactions when updating the
+/// active set.
+const CONTACT_TOL: f64 = 1e-9;
+
+/// One candidate contact: a rigid frictionless support below `node`,
+/// `gap` away in the −y direction (the node may move down by at most
+/// `gap`, and the support can only push back upward).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContactSupport {
+    /// The supported node.
+    pub node: NodeId,
+    /// Initial clearance (≥ 0; zero means initially touching).
+    pub gap: f64,
+}
+
+impl ContactSupport {
+    /// A support touching the node at rest.
+    pub fn touching(node: NodeId) -> ContactSupport {
+        ContactSupport { node, gap: 0.0 }
+    }
+}
+
+/// The converged contact solution.
+#[derive(Debug, Clone)]
+pub struct ContactResult {
+    /// The displacement solution with the final active set imposed.
+    pub solution: Solution,
+    /// Which candidate supports ended up engaged.
+    pub active: Vec<bool>,
+    /// Active-set iterations used.
+    pub iterations: usize,
+}
+
+impl ContactResult {
+    /// Number of engaged supports.
+    pub fn engaged(&self) -> usize {
+        self.active.iter().filter(|a| **a).count()
+    }
+}
+
+/// Solves `model` with unilateral vertical supports, iterating the
+/// active set until no support penetrates and none pulls.
+///
+/// The base `model` carries all ordinary loads and bilateral constraints;
+/// the candidate supports are applied on top. Up to `max_iterations`
+/// active-set updates are attempted (each costs one linear solve).
+///
+/// # Errors
+///
+/// Solver errors from the inner solves (the base model must be
+/// well-posed at least once the supports engage), or
+/// [`FemError::NoConvergence`] when the active set keeps changing past
+/// the iteration budget.
+///
+/// # Examples
+///
+/// See `contact::tests::beam_lifts_off_one_support`.
+pub fn solve_with_contact(
+    model: &FemModel,
+    supports: &[ContactSupport],
+    max_iterations: usize,
+) -> Result<ContactResult, FemError> {
+    let mut active = vec![false; supports.len()];
+    for iteration in 1..=max_iterations {
+        // Impose the engaged supports as prescribed displacements.
+        let mut trial = model.clone();
+        for (support, engaged) in supports.iter().zip(&active) {
+            if *engaged {
+                trial.prescribe_y(support.node, -support.gap);
+            }
+        }
+        let solution = match trial.solve() {
+            Ok(solution) => solution,
+            Err(e) => {
+                // An under-constrained trial (no supports engaged yet on a
+                // floating body) is legal mid-iteration: engage the next
+                // candidate and retry.
+                if let Some(idx) = active.iter().position(|a| !a) {
+                    active[idx] = true;
+                    continue;
+                }
+                return Err(e);
+            }
+        };
+        let reactions = trial.reactions(&solution)?;
+        let mut changed = false;
+        for (idx, support) in supports.iter().enumerate() {
+            let dof_y = 2 * support.node.index() + 1;
+            if active[idx] {
+                // Engaged support must push up (+y); release if pulling.
+                if reactions[dof_y] < -CONTACT_TOL {
+                    active[idx] = false;
+                    changed = true;
+                }
+            } else {
+                // Disengaged node must not penetrate the support.
+                let v = solution.displacement(support.node).1;
+                if v < -support.gap - CONTACT_TOL {
+                    active[idx] = true;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return Ok(ContactResult {
+                solution,
+                active,
+                iterations: iteration,
+            });
+        }
+    }
+    Err(FemError::NoConvergence {
+        iterations: max_iterations,
+        what: "contact active set",
+    })
+}
+
+/// One step of an incremental contact solution.
+#[derive(Debug, Clone)]
+pub struct ContactIncrement {
+    /// One-based increment number (as the OSPL captions print it).
+    pub number: usize,
+    /// Load factor applied (`number / total`).
+    pub factor: f64,
+    /// The converged contact state at this load level.
+    pub result: ContactResult,
+}
+
+/// Solves the model at `increments` proportional load levels
+/// (`1/n, 2/n, …, 1`), re-converging the contact active set at each —
+/// the load-increment sweep behind captions like "EFFECTIVE STRESS *
+/// INCREMENT NUMBER 100". With contact in play the active set can change
+/// between increments, making the response genuinely piecewise linear.
+///
+/// # Errors
+///
+/// As for [`solve_with_contact`]; `increments` must be at least 1 or
+/// [`FemError::NoConvergence`] is returned immediately.
+pub fn solve_contact_increments(
+    model: &FemModel,
+    supports: &[ContactSupport],
+    increments: usize,
+    max_iterations_each: usize,
+) -> Result<Vec<ContactIncrement>, FemError> {
+    if increments == 0 {
+        return Err(FemError::NoConvergence {
+            iterations: 0,
+            what: "zero-increment schedule",
+        });
+    }
+    let mut out = Vec::with_capacity(increments);
+    for number in 1..=increments {
+        let factor = number as f64 / increments as f64;
+        let scaled = model.with_load_factor(factor);
+        let result = solve_with_contact(&scaled, supports, max_iterations_each)?;
+        out.push(ContactIncrement {
+            number,
+            factor,
+            result,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AnalysisKind, Material};
+    use cafemio_geom::Point;
+    use cafemio_mesh::{BoundaryKind, TriMesh};
+
+    /// A slender horizontal beam, 2 rows of elements.
+    fn beam(nx: usize) -> TriMesh {
+        let mut mesh = TriMesh::new();
+        let mut ids = Vec::new();
+        for j in 0..=1 {
+            for i in 0..=nx {
+                ids.push(mesh.add_node(
+                    Point::new(i as f64, j as f64 * 0.5),
+                    BoundaryKind::Boundary,
+                ));
+            }
+        }
+        let at = |i: usize, j: usize| ids[j * (nx + 1) + i];
+        for i in 0..nx {
+            mesh.add_element([at(i, 0), at(i + 1, 0), at(i + 1, 1)]).unwrap();
+            mesh.add_element([at(i, 0), at(i + 1, 1), at(i, 1)]).unwrap();
+        }
+        mesh
+    }
+
+    fn base_model(mesh: &TriMesh) -> FemModel {
+        let mut model = FemModel::new(
+            mesh.clone(),
+            AnalysisKind::PlaneStress { thickness: 1.0 },
+            Material::isotropic(1.0e7, 0.3),
+        );
+        // Pin the left end fully (bilateral), so the trial solves are
+        // well-posed even with no contacts engaged.
+        model.fix_both(NodeId(0));
+        model.fix_x(NodeId(mesh.node_count() / 2)); // left end, top row
+        model.fix_y(NodeId(mesh.node_count() / 2));
+        model
+    }
+
+    #[test]
+    fn downward_load_engages_the_support() {
+        let mesh = beam(8);
+        let mut model = base_model(&mesh);
+        let tip_bottom = NodeId(8);
+        model.add_force(tip_bottom, 0.0, -500.0);
+        let support = ContactSupport::touching(tip_bottom);
+        let result = solve_with_contact(&model, &[support], 10).unwrap();
+        assert_eq!(result.engaged(), 1);
+        // The supported node sits exactly at the support.
+        let (_, v) = result.solution.displacement(tip_bottom);
+        assert!(v.abs() < 1e-9, "v = {v}");
+    }
+
+    #[test]
+    fn upward_load_releases_the_support() {
+        let mesh = beam(8);
+        let mut model = base_model(&mesh);
+        let tip_bottom = NodeId(8);
+        model.add_force(tip_bottom, 0.0, 500.0); // lifting the tip
+        let support = ContactSupport::touching(tip_bottom);
+        let result = solve_with_contact(&model, &[support], 10).unwrap();
+        assert_eq!(result.engaged(), 0);
+        let (_, v) = result.solution.displacement(tip_bottom);
+        assert!(v > 0.0, "tip should lift, v = {v}");
+    }
+
+    #[test]
+    fn beam_lifts_off_one_support() {
+        // Supports under mid and tip; the load pushes down *between* the
+        // clamp and the mid support, hogging the beam over it — the tip
+        // levers up and its support must release.
+        let mesh = beam(12);
+        let mut model = base_model(&mesh);
+        let mid_bottom = NodeId(6);
+        let tip_bottom = NodeId(12);
+        model.add_force(NodeId(3), 0.0, -2000.0);
+        let supports = [
+            ContactSupport::touching(mid_bottom),
+            ContactSupport::touching(tip_bottom),
+        ];
+        let result = solve_with_contact(&model, &supports, 20).unwrap();
+        assert!(result.active[0], "mid support engaged");
+        assert!(!result.active[1], "tip support released");
+        let (_, v_tip) = result.solution.displacement(tip_bottom);
+        assert!(v_tip > -1e-9, "tip must not penetrate, v = {v_tip}");
+    }
+
+    #[test]
+    fn gap_must_close_before_contact() {
+        let mesh = beam(8);
+        let mut model = base_model(&mesh);
+        let tip_bottom = NodeId(8);
+        // A small load that deflects less than the gap: no contact.
+        model.add_force(tip_bottom, 0.0, -1.0);
+        let wide_gap = ContactSupport {
+            node: tip_bottom,
+            gap: 1.0,
+        };
+        let result = solve_with_contact(&model, &[wide_gap], 10).unwrap();
+        assert_eq!(result.engaged(), 0);
+        // A large load closes the gap and engages.
+        model.add_force(tip_bottom, 0.0, -1.0e6);
+        let result = solve_with_contact(&model, &[wide_gap], 10).unwrap();
+        assert_eq!(result.engaged(), 1);
+        let (_, v) = result.solution.displacement(tip_bottom);
+        assert!((v + 1.0).abs() < 1e-9, "rests at the gap, v = {v}");
+    }
+
+    #[test]
+    fn increments_cross_the_gap_engagement_threshold() {
+        // A gapped support engages only once the load is big enough: the
+        // active set changes partway through the increment sweep, and
+        // the response is piecewise linear around that increment.
+        let mesh = beam(8);
+        let mut model = base_model(&mesh);
+        let tip_bottom = NodeId(8);
+        model.add_force(tip_bottom, 0.0, -4000.0);
+        // Gap sized so roughly half the full load closes it.
+        let free_tip = {
+            let solution = model.solve().unwrap();
+            solution.displacement(tip_bottom).1
+        };
+        let gap = 0.5 * free_tip.abs();
+        let support = ContactSupport {
+            node: tip_bottom,
+            gap,
+        };
+        let increments = solve_contact_increments(&model, &[support], 10, 20).unwrap();
+        let engaged: Vec<bool> = increments
+            .iter()
+            .map(|inc| inc.result.engaged() == 1)
+            .collect();
+        assert!(!engaged[0], "first increment stays clear of the gap");
+        assert!(*engaged.last().unwrap(), "full load engages");
+        // Engagement is monotone: once closed, it stays closed under
+        // growing proportional load.
+        let first_engaged = engaged.iter().position(|&e| e).unwrap();
+        assert!(engaged[first_engaged..].iter().all(|&e| e));
+        // After engagement the tip displacement saturates at the gap.
+        for inc in &increments[first_engaged..] {
+            let v = inc.result.solution.displacement(tip_bottom).1;
+            assert!((v + gap).abs() < 1e-9, "v = {v}, gap = {gap}");
+        }
+    }
+
+    #[test]
+    fn with_load_factor_scales_linearly() {
+        let mesh = beam(6);
+        let mut model = base_model(&mesh);
+        model.add_force(NodeId(6), 0.0, -900.0);
+        let full = model.solve().unwrap();
+        let third = model.with_load_factor(1.0 / 3.0).solve().unwrap();
+        for (a, b) in full.dofs().iter().zip(third.dofs()) {
+            assert!((a / 3.0 - b).abs() < 1e-12 * a.abs().max(1e-12));
+        }
+    }
+
+    #[test]
+    fn reactions_balance_applied_load() {
+        let mesh = beam(8);
+        let mut model = base_model(&mesh);
+        model.add_force(NodeId(8), 0.0, -500.0);
+        let solution = model.solve().unwrap();
+        let reactions = model.reactions(&solution).unwrap();
+        // The supports push +500 upward to balance the applied −500.
+        let total_y: f64 = reactions.iter().skip(1).step_by(2).sum();
+        assert!((total_y - 500.0).abs() < 1e-6, "sum = {total_y}");
+        // Free dofs (including the loaded one) carry no residual.
+        for (dof, r) in reactions.iter().enumerate() {
+            let node = dof / 2;
+            let constrained = node == 0 || node == mesh.node_count() / 2;
+            if !constrained {
+                assert!(r.abs() < 1e-6, "residual {r} at dof {dof}");
+            }
+        }
+    }
+}

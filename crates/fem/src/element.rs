@@ -1,0 +1,309 @@
+//! Constant-strain-triangle element matrices.
+//!
+//! The idealizations IDLZ produces are meshes of three-node triangles; the
+//! matching element is the constant strain triangle (CST), in both its
+//! plane and its axisymmetric ring form (the ring element integrates the
+//! centroidal `B` over the hoop, giving the `2π r̄ A` volume factor).
+
+use cafemio_geom::Triangle;
+
+use crate::model::AnalysisKind;
+use crate::{DenseMatrix, FemError};
+
+/// The element matrices of one CST.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElementMatrices {
+    /// Strain–displacement matrix (3 × 6 plane, 4 × 6 axisymmetric), dof
+    /// order `[u1, v1, u2, v2, u3, v3]`.
+    pub b: DenseMatrix,
+    /// 6 × 6 element stiffness.
+    pub stiffness: DenseMatrix,
+    /// Integration volume: `t·A` (plane stress), `A` (plane strain, unit
+    /// thickness), or `2π·r̄·A` (axisymmetric).
+    pub volume: f64,
+}
+
+/// Computes the element matrices for a triangle under the given analysis
+/// kind and constitutive matrix `d`.
+///
+/// Works for either vertex winding (the sign of the area cancels in
+/// `BᵀDB`), but a numerically zero area is rejected.
+///
+/// # Errors
+///
+/// * [`FemError::BadMaterial`] when `d` has the wrong order for the
+///   analysis kind,
+/// * [`FemError::NegativeRadius`] when an axisymmetric element crosses or
+///   touches the axis with non-positive centroid radius,
+/// * [`FemError::SingularMatrix`] (equation 0) for degenerate triangles.
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_fem::{element_stiffness, AnalysisKind, Material};
+/// use cafemio_geom::{Point, Triangle};
+/// # fn main() -> Result<(), cafemio_fem::FemError> {
+/// let tri = Triangle::new(Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(0.0, 1.0));
+/// let d = Material::isotropic(1.0e7, 0.3).d_plane_stress()?;
+/// let m = element_stiffness(&tri, &d, AnalysisKind::PlaneStress { thickness: 0.5 })?;
+/// assert_eq!(m.stiffness.rows(), 6);
+/// assert!(m.stiffness.asymmetry() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn element_stiffness(
+    tri: &Triangle,
+    d: &DenseMatrix,
+    kind: AnalysisKind,
+) -> Result<ElementMatrices, FemError> {
+    let area2 = 2.0 * tri.signed_area();
+    if area2.abs() < 1e-300 {
+        return Err(FemError::SingularMatrix { equation: 0 });
+    }
+    let [p1, p2, p3] = tri.vertices;
+    // Shape-function derivative coefficients.
+    let b1 = p2.y - p3.y;
+    let b2 = p3.y - p1.y;
+    let b3 = p1.y - p2.y;
+    let c1 = p3.x - p2.x;
+    let c2 = p1.x - p3.x;
+    let c3 = p2.x - p1.x;
+
+    let (b, volume) = match kind {
+        AnalysisKind::PlaneStress { thickness } => {
+            if d.rows() != 3 {
+                return Err(FemError::BadMaterial {
+                    reason: "plane analysis needs a 3x3 constitutive matrix".to_owned(),
+                });
+            }
+            if thickness <= 0.0 {
+                return Err(FemError::BadMaterial {
+                    reason: "plane-stress thickness must be positive".to_owned(),
+                });
+            }
+            (plane_b(area2, b1, b2, b3, c1, c2, c3), thickness * tri.area())
+        }
+        AnalysisKind::PlaneStrain => {
+            if d.rows() != 3 {
+                return Err(FemError::BadMaterial {
+                    reason: "plane analysis needs a 3x3 constitutive matrix".to_owned(),
+                });
+            }
+            (plane_b(area2, b1, b2, b3, c1, c2, c3), tri.area())
+        }
+        AnalysisKind::Axisymmetric => {
+            if d.rows() != 4 {
+                return Err(FemError::BadMaterial {
+                    reason: "axisymmetric analysis needs a 4x4 constitutive matrix".to_owned(),
+                });
+            }
+            let r_bar = tri.centroid().x;
+            if r_bar <= 0.0 {
+                return Err(FemError::NegativeRadius {
+                    index: 0,
+                    radius: r_bar,
+                });
+            }
+            let mut b = DenseMatrix::zeros(4, 6);
+            let inv = 1.0 / area2;
+            for (i, (bi, ci)) in [(b1, c1), (b2, c2), (b3, c3)].iter().enumerate() {
+                b[(0, 2 * i)] = bi * inv; // εr = ∂u/∂r
+                b[(1, 2 * i + 1)] = ci * inv; // εz = ∂w/∂z
+                b[(2, 2 * i)] = 1.0 / (3.0 * r_bar); // εθ = u/r at centroid
+                b[(3, 2 * i)] = ci * inv; // γrz
+                b[(3, 2 * i + 1)] = bi * inv;
+            }
+            (b, 2.0 * std::f64::consts::PI * r_bar * tri.area())
+        }
+    };
+
+    let mut stiffness = d.congruence(&b);
+    stiffness.scale(volume);
+    Ok(ElementMatrices {
+        b,
+        stiffness,
+        volume,
+    })
+}
+
+fn plane_b(area2: f64, b1: f64, b2: f64, b3: f64, c1: f64, c2: f64, c3: f64) -> DenseMatrix {
+    let inv = 1.0 / area2;
+    let mut b = DenseMatrix::zeros(3, 6);
+    for (i, (bi, ci)) in [(b1, c1), (b2, c2), (b3, c3)].iter().enumerate() {
+        b[(0, 2 * i)] = bi * inv;
+        b[(1, 2 * i + 1)] = ci * inv;
+        b[(2, 2 * i)] = ci * inv;
+        b[(2, 2 * i + 1)] = bi * inv;
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Material;
+    use cafemio_geom::Point;
+
+    fn unit_tri() -> Triangle {
+        Triangle::new(
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+        )
+    }
+
+    #[test]
+    fn rigid_body_modes_have_zero_strain() {
+        let d = Material::isotropic(1.0e7, 0.25).d_plane_stress().unwrap();
+        let m = element_stiffness(&unit_tri(), &d, AnalysisKind::PlaneStrain).unwrap();
+        // Translation in x, translation in y, small rotation about origin.
+        let tx = [1.0, 0.0, 1.0, 0.0, 1.0, 0.0];
+        let ty = [0.0, 1.0, 0.0, 1.0, 0.0, 1.0];
+        let [p1, p2, p3] = unit_tri().vertices;
+        let rot = [-p1.y, p1.x, -p2.y, p2.x, -p3.y, p3.x];
+        for mode in [tx, ty, rot] {
+            let strain = m.b.mul_vec(&mode);
+            for s in strain {
+                assert!(s.abs() < 1e-12, "rigid mode produced strain {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_strain_reproduced() {
+        // Displacement u = 0.001 x gives εx = 0.001 exactly.
+        let d = Material::isotropic(1.0e7, 0.25).d_plane_stress().unwrap();
+        let m = element_stiffness(&unit_tri(), &d, AnalysisKind::PlaneStrain).unwrap();
+        let [p1, p2, p3] = unit_tri().vertices;
+        let u = [
+            0.001 * p1.x,
+            0.0,
+            0.001 * p2.x,
+            0.0,
+            0.001 * p3.x,
+            0.0,
+        ];
+        let strain = m.b.mul_vec(&u);
+        assert!((strain[0] - 0.001).abs() < 1e-15);
+        assert!(strain[1].abs() < 1e-15);
+        assert!(strain[2].abs() < 1e-15);
+    }
+
+    #[test]
+    fn stiffness_invariant_under_winding() {
+        let d = Material::isotropic(1.0e7, 0.3).d_plane_stress().unwrap();
+        let ccw = element_stiffness(
+            &unit_tri(),
+            &d,
+            AnalysisKind::PlaneStress { thickness: 1.0 },
+        )
+        .unwrap();
+        let tri_cw = Triangle::new(
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(1.0, 0.0),
+        );
+        let cw =
+            element_stiffness(&tri_cw, &d, AnalysisKind::PlaneStress { thickness: 1.0 }).unwrap();
+        // Same corner set in different order: compare the (0,0) entry,
+        // which belongs to the shared first corner.
+        assert!((ccw.stiffness[(0, 0)] - cw.stiffness[(0, 0)]).abs() < 1e-6);
+        assert!((ccw.volume - cw.volume).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thickness_scales_plane_stress() {
+        let d = Material::isotropic(1.0e7, 0.3).d_plane_stress().unwrap();
+        let thin = element_stiffness(
+            &unit_tri(),
+            &d,
+            AnalysisKind::PlaneStress { thickness: 1.0 },
+        )
+        .unwrap();
+        let thick = element_stiffness(
+            &unit_tri(),
+            &d,
+            AnalysisKind::PlaneStress { thickness: 2.0 },
+        )
+        .unwrap();
+        assert!((thick.stiffness[(0, 0)] / thin.stiffness[(0, 0)] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axisymmetric_volume_is_pappus() {
+        let d = Material::isotropic(1.0e7, 0.3).d_axisymmetric().unwrap();
+        let tri = Triangle::new(
+            Point::new(2.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(2.0, 1.0),
+        );
+        let m = element_stiffness(&tri, &d, AnalysisKind::Axisymmetric).unwrap();
+        let r_bar = tri.centroid().x;
+        assert!((m.volume - 2.0 * std::f64::consts::PI * r_bar * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axis_touching_element_rejected() {
+        let d = Material::isotropic(1.0e7, 0.3).d_axisymmetric().unwrap();
+        let tri = Triangle::new(
+            Point::new(-1.0, 0.0),
+            Point::new(0.5, 0.0),
+            Point::new(-1.0, 1.0),
+        );
+        assert!(matches!(
+            element_stiffness(&tri, &d, AnalysisKind::Axisymmetric),
+            Err(FemError::NegativeRadius { .. })
+        ));
+    }
+
+    #[test]
+    fn degenerate_triangle_rejected() {
+        let d = Material::isotropic(1.0e7, 0.3).d_plane_stress().unwrap();
+        let tri = Triangle::new(
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+        );
+        assert!(element_stiffness(&tri, &d, AnalysisKind::PlaneStrain).is_err());
+    }
+
+    #[test]
+    fn wrong_d_order_rejected() {
+        let d3 = Material::isotropic(1.0e7, 0.3).d_plane_stress().unwrap();
+        let d4 = Material::isotropic(1.0e7, 0.3).d_axisymmetric().unwrap();
+        assert!(element_stiffness(&unit_tri(), &d4, AnalysisKind::PlaneStrain).is_err());
+        let shifted = Triangle::new(
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(1.0, 1.0),
+        );
+        assert!(element_stiffness(&shifted, &d3, AnalysisKind::Axisymmetric).is_err());
+    }
+
+    #[test]
+    fn zero_thickness_rejected() {
+        let d = Material::isotropic(1.0e7, 0.3).d_plane_stress().unwrap();
+        assert!(element_stiffness(
+            &unit_tri(),
+            &d,
+            AnalysisKind::PlaneStress { thickness: 0.0 }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn axisymmetric_hoop_row_uses_centroid_radius() {
+        let d = Material::isotropic(1.0e7, 0.3).d_axisymmetric().unwrap();
+        let tri = Triangle::new(
+            Point::new(2.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(2.0, 1.0),
+        );
+        let m = element_stiffness(&tri, &d, AnalysisKind::Axisymmetric).unwrap();
+        let r_bar = tri.centroid().x;
+        for i in 0..3 {
+            assert!((m.b[(2, 2 * i)] - 1.0 / (3.0 * r_bar)).abs() < 1e-15);
+            assert_eq!(m.b[(2, 2 * i + 1)], 0.0);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type for the analysis substrate.
+
+use std::fmt;
+
+/// Errors raised by model assembly and solution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FemError {
+    /// The global stiffness matrix is singular or not positive definite —
+    /// almost always an under-constrained model (rigid-body motion left
+    /// free).
+    SingularMatrix {
+        /// Equation (degree-of-freedom) index where factorization failed.
+        equation: usize,
+    },
+    /// The model has no elements to assemble.
+    EmptyModel,
+    /// A material is physically inadmissible (e.g. Poisson ratio ≥ 0.5 in
+    /// plane strain, non-positive modulus).
+    BadMaterial {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// A referenced node does not exist in the mesh.
+    UnknownNode {
+        /// The offending index.
+        index: usize,
+    },
+    /// An axisymmetric model contains a node at negative radius.
+    NegativeRadius {
+        /// The offending node index.
+        index: usize,
+        /// The radius found.
+        radius: f64,
+    },
+    /// A time-stepping parameter is out of range.
+    BadTimeStep {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// An iterative procedure (e.g. the contact active set) failed to
+    /// settle within its iteration budget.
+    NoConvergence {
+        /// Iterations attempted.
+        iterations: usize,
+        /// What was iterating.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for FemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FemError::SingularMatrix { equation } => write!(
+                f,
+                "stiffness matrix not positive definite at equation {equation} \
+                 (model may be under-constrained)"
+            ),
+            FemError::EmptyModel => write!(f, "model has no elements"),
+            FemError::BadMaterial { reason } => write!(f, "inadmissible material: {reason}"),
+            FemError::UnknownNode { index } => write!(f, "node {index} does not exist"),
+            FemError::NegativeRadius { index, radius } => write!(
+                f,
+                "axisymmetric node {index} lies at negative radius {radius}"
+            ),
+            FemError::BadTimeStep { reason } => write!(f, "bad time step: {reason}"),
+            FemError::NoConvergence { iterations, what } => {
+                write!(f, "{what} did not converge in {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FemError {}

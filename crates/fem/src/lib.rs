@@ -1,0 +1,80 @@
+//! # cafemio-fem
+//!
+//! The finite-element analysis substrate the paper's tools serve.
+//!
+//! IDLZ punches node/element cards "suitable for input to the finite
+//! element analysis program" (the paper's Reference 1: an axisymmetric /
+//! plane stress / plane strain solid analysis), and OSPL plots the nodal
+//! stresses and temperatures those analyses print. Neither NSRDC program
+//! survives in public form, so this crate implements the same technology
+//! class from scratch:
+//!
+//! * constant-strain triangles for **plane stress**, **plane strain**, and
+//!   **axisymmetric ring** problems ([`AnalysisKind`]),
+//! * isotropic and (cylindrically) orthotropic materials ([`Material`]) —
+//!   the orthotropic case carries the GRP cylinders of Figures 15–16,
+//! * nodal loads, edge pressures, and displacement constraints on a
+//!   [`FemModel`],
+//! * a **symmetric banded Cholesky solver** ([`BandMatrix`]) whose cost
+//!   scales with the square of the bandwidth — the quantity IDLZ's
+//!   renumbering pass minimizes — plus a dense reference solver,
+//! * nodal stress recovery ([`StressField`]): radial, axial/meridional,
+//!   circumferential, shear, and von Mises effective stress (the fields
+//!   OSPL contours in Figures 13 and 15–18),
+//! * **transient heat conduction** ([`ThermalModel`]) with surface flux
+//!   pulses, for the T-beam temperature plots of Figure 14.
+//!
+//! # Examples
+//!
+//! ```
+//! use cafemio_fem::{AnalysisKind, FemModel, Material};
+//! use cafemio_geom::Point;
+//! use cafemio_mesh::{BoundaryKind, TriMesh};
+//! # fn main() -> Result<(), cafemio_fem::FemError> {
+//! // One CST under uniaxial tension via two constrained corners.
+//! let mut mesh = TriMesh::new();
+//! let a = mesh.add_node(Point::new(0.0, 0.0), BoundaryKind::Boundary);
+//! let b = mesh.add_node(Point::new(1.0, 0.0), BoundaryKind::Boundary);
+//! let c = mesh.add_node(Point::new(0.0, 1.0), BoundaryKind::Boundary);
+//! mesh.add_element([a, b, c]).unwrap();
+//! let mut model = FemModel::new(mesh, AnalysisKind::PlaneStress { thickness: 1.0 },
+//!                               Material::isotropic(1.0e7, 0.3));
+//! model.fix_both(a);
+//! model.fix_y(b);
+//! model.add_force(b, 100.0, 0.0);
+//! let solution = model.solve()?;
+//! assert!(solution.displacement(b).0 > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+// Banded/skyline factorizations are index algebra; iterator rewrites of
+// their triangular loops obscure the textbook form.
+#![allow(clippy::needless_range_loop)]
+
+mod band;
+mod contact;
+mod element;
+mod error;
+mod linalg;
+mod material;
+mod model;
+mod skyline;
+mod stress;
+mod thermal;
+mod thermal_stress;
+
+pub use band::{BandMatrix, CholeskyFactor};
+pub use contact::{
+    solve_contact_increments, solve_with_contact, ContactIncrement, ContactResult,
+    ContactSupport,
+};
+pub use element::{element_stiffness, ElementMatrices};
+pub use error::FemError;
+pub use linalg::DenseMatrix;
+pub use material::{Material, ThermalMaterial};
+pub use model::{AnalysisKind, FemModel, Solution};
+pub use skyline::{dof_profile, SkylineMatrix};
+pub use stress::{ElementStress, StressField};
+pub use thermal::{ThermalModel, ThermalSolution};
+pub use thermal_stress::ThermalLoad;

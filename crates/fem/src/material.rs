@@ -1,0 +1,393 @@
+//! Constitutive models: isotropic and orthotropic elasticity, plus
+//! thermal properties.
+//!
+//! The orthotropic case is not a luxury: Figures 15 and 16 of the paper
+//! analyze *GRP (glass-reinforced plastic) orthotropic cylinders* with
+//! titanium end closures, so the substrate must handle cylindrically
+//! orthotropic axisymmetric materials.
+
+use crate::{DenseMatrix, FemError};
+
+/// An elastic material.
+///
+/// The constitutive (`D`) matrices use these strain orderings:
+///
+/// * plane problems: `[εx, εy, γxy]`,
+/// * axisymmetric problems: `[εr, εz, εθ, γrz]` (with `x ≡ r` the radial
+///   and `y ≡ z` the axial coordinate).
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_fem::Material;
+/// let steel = Material::isotropic(30.0e6, 0.3);
+/// let d = steel.d_plane_stress().unwrap();
+/// assert!(d[(0, 0)] > 0.0);
+/// assert!((d[(0, 1)] - d[(1, 0)]).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Material {
+    /// An isotropic material: Young's modulus and Poisson's ratio.
+    Isotropic {
+        /// Young's modulus (force/area; the paper's examples are psi).
+        e: f64,
+        /// Poisson's ratio.
+        nu: f64,
+    },
+    /// A (cylindrically) orthotropic material with principal axes aligned
+    /// to the problem axes: 1 ≡ x/r, 2 ≡ y/z, 3 ≡ θ (out of plane).
+    Orthotropic {
+        /// Modulus along axis 1 (radial / x).
+        e1: f64,
+        /// Modulus along axis 2 (axial / y).
+        e2: f64,
+        /// Modulus along axis 3 (circumferential / out-of-plane).
+        e3: f64,
+        /// Poisson ratio ν₁₂ (contraction along 2 per extension along 1).
+        nu12: f64,
+        /// Poisson ratio ν₁₃.
+        nu13: f64,
+        /// Poisson ratio ν₂₃.
+        nu23: f64,
+        /// In-plane shear modulus G₁₂.
+        g12: f64,
+    },
+}
+
+impl Material {
+    /// An isotropic material.
+    pub fn isotropic(e: f64, nu: f64) -> Material {
+        Material::Isotropic { e, nu }
+    }
+
+    /// An orthotropic material; see the variant docs for axis conventions.
+    #[allow(clippy::too_many_arguments)]
+    pub fn orthotropic(
+        e1: f64,
+        e2: f64,
+        e3: f64,
+        nu12: f64,
+        nu13: f64,
+        nu23: f64,
+        g12: f64,
+    ) -> Material {
+        Material::Orthotropic {
+            e1,
+            e2,
+            e3,
+            nu12,
+            nu13,
+            nu23,
+            g12,
+        }
+    }
+
+    /// Checks physical admissibility.
+    ///
+    /// # Errors
+    ///
+    /// [`FemError::BadMaterial`] for non-positive moduli or Poisson ratios
+    /// outside the stable range.
+    pub fn validate(&self) -> Result<(), FemError> {
+        let bad = |reason: &str| FemError::BadMaterial {
+            reason: reason.to_owned(),
+        };
+        match *self {
+            Material::Isotropic { e, nu } => {
+                if e <= 0.0 {
+                    return Err(bad("Young's modulus must be positive"));
+                }
+                if !(-1.0..0.5).contains(&nu) {
+                    return Err(bad("Poisson's ratio must lie in (-1, 0.5)"));
+                }
+                Ok(())
+            }
+            Material::Orthotropic {
+                e1,
+                e2,
+                e3,
+                g12,
+                ..
+            } => {
+                if e1 <= 0.0 || e2 <= 0.0 || e3 <= 0.0 {
+                    return Err(bad("all orthotropic moduli must be positive"));
+                }
+                if g12 <= 0.0 {
+                    return Err(bad("shear modulus must be positive"));
+                }
+                // Thermodynamic stability of the full compliance is
+                // checked by the D-matrix construction (inversion fails or
+                // yields a non-positive diagonal otherwise).
+                Ok(())
+            }
+        }
+    }
+
+    /// The 3 × 3 plane-stress constitutive matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`FemError::BadMaterial`] when inadmissible (including an unstable
+    /// orthotropic constant set).
+    pub fn d_plane_stress(&self) -> Result<DenseMatrix, FemError> {
+        self.validate()?;
+        match *self {
+            Material::Isotropic { e, nu } => {
+                let c = e / (1.0 - nu * nu);
+                Ok(DenseMatrix::from_rows(&[
+                    &[c, c * nu, 0.0],
+                    &[c * nu, c, 0.0],
+                    &[0.0, 0.0, c * (1.0 - nu) / 2.0],
+                ]))
+            }
+            Material::Orthotropic {
+                e1,
+                e2,
+                nu12,
+                g12,
+                ..
+            } => {
+                let nu21 = nu12 * e2 / e1;
+                let denom = 1.0 - nu12 * nu21;
+                if denom <= 0.0 {
+                    return Err(FemError::BadMaterial {
+                        reason: "orthotropic constants violate 1 - ν₁₂ν₂₁ > 0".to_owned(),
+                    });
+                }
+                Ok(DenseMatrix::from_rows(&[
+                    &[e1 / denom, nu21 * e1 / denom, 0.0],
+                    &[nu12 * e2 / denom, e2 / denom, 0.0],
+                    &[0.0, 0.0, g12],
+                ]))
+            }
+        }
+    }
+
+    /// The 3 × 3 plane-strain constitutive matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`FemError::BadMaterial`] when inadmissible.
+    pub fn d_plane_strain(&self) -> Result<DenseMatrix, FemError> {
+        self.validate()?;
+        match *self {
+            Material::Isotropic { e, nu } => {
+                let c = e / ((1.0 + nu) * (1.0 - 2.0 * nu));
+                Ok(DenseMatrix::from_rows(&[
+                    &[c * (1.0 - nu), c * nu, 0.0],
+                    &[c * nu, c * (1.0 - nu), 0.0],
+                    &[0.0, 0.0, c * (1.0 - 2.0 * nu) / 2.0],
+                ]))
+            }
+            Material::Orthotropic { .. } => {
+                // Condense the 4×4 axisymmetric/3-D matrix by enforcing
+                // ε₃ = 0: simply delete the θ row/column (no condensation
+                // needed because ε₃ = 0 removes its coupling from the
+                // strain energy given the remaining strain components).
+                let d4 = self.d_axisymmetric()?;
+                Ok(DenseMatrix::from_rows(&[
+                    &[d4[(0, 0)], d4[(0, 1)], 0.0],
+                    &[d4[(1, 0)], d4[(1, 1)], 0.0],
+                    &[0.0, 0.0, d4[(3, 3)]],
+                ]))
+            }
+        }
+    }
+
+    /// The 4 × 4 axisymmetric constitutive matrix, strain order
+    /// `[εr, εz, εθ, γrz]`.
+    ///
+    /// # Errors
+    ///
+    /// [`FemError::BadMaterial`] when inadmissible.
+    pub fn d_axisymmetric(&self) -> Result<DenseMatrix, FemError> {
+        self.validate()?;
+        match *self {
+            Material::Isotropic { e, nu } => {
+                let c = e / ((1.0 + nu) * (1.0 - 2.0 * nu));
+                Ok(DenseMatrix::from_rows(&[
+                    &[c * (1.0 - nu), c * nu, c * nu, 0.0],
+                    &[c * nu, c * (1.0 - nu), c * nu, 0.0],
+                    &[c * nu, c * nu, c * (1.0 - nu), 0.0],
+                    &[0.0, 0.0, 0.0, c * (1.0 - 2.0 * nu) / 2.0],
+                ]))
+            }
+            Material::Orthotropic {
+                e1,
+                e2,
+                e3,
+                nu12,
+                nu13,
+                nu23,
+                g12,
+            } => {
+                // Build the normal-strain compliance and invert it.
+                let nu21 = nu12 * e2 / e1;
+                let nu31 = nu13 * e3 / e1;
+                let nu32 = nu23 * e3 / e2;
+                let s = DenseMatrix::from_rows(&[
+                    &[1.0 / e1, -nu21 / e2, -nu31 / e3],
+                    &[-nu12 / e1, 1.0 / e2, -nu32 / e3],
+                    &[-nu13 / e1, -nu23 / e2, 1.0 / e3],
+                ]);
+                let c =
+                    s.inverse()
+                        .map_err(|_| FemError::BadMaterial {
+                            reason: "orthotropic compliance matrix is singular".to_owned(),
+                        })?;
+                for i in 0..3 {
+                    if c[(i, i)] <= 0.0 {
+                        return Err(FemError::BadMaterial {
+                            reason: "orthotropic constants are thermodynamically unstable"
+                                .to_owned(),
+                        });
+                    }
+                }
+                let mut d = DenseMatrix::zeros(4, 4);
+                for i in 0..3 {
+                    for j in 0..3 {
+                        d[(i, j)] = c[(i, j)];
+                    }
+                }
+                d[(3, 3)] = g12;
+                Ok(d)
+            }
+        }
+    }
+}
+
+/// Thermal material properties for the transient conduction analysis
+/// (Figure 14's T-beam under a thermal radiation pulse).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalMaterial {
+    /// Thermal conductivity (energy / time · length · temperature).
+    pub conductivity: f64,
+    /// Mass density.
+    pub density: f64,
+    /// Specific heat capacity.
+    pub specific_heat: f64,
+}
+
+impl ThermalMaterial {
+    /// Creates a thermal material.
+    pub fn new(conductivity: f64, density: f64, specific_heat: f64) -> ThermalMaterial {
+        ThermalMaterial {
+            conductivity,
+            density,
+            specific_heat,
+        }
+    }
+
+    /// Volumetric heat capacity `ρ·c`.
+    pub fn volumetric_capacity(&self) -> f64 {
+        self.density * self.specific_heat
+    }
+
+    /// Thermal diffusivity `k / (ρ·c)`.
+    pub fn diffusivity(&self) -> f64 {
+        self.conductivity / self.volumetric_capacity()
+    }
+
+    /// Checks physical admissibility.
+    ///
+    /// # Errors
+    ///
+    /// [`FemError::BadMaterial`] for non-positive properties.
+    pub fn validate(&self) -> Result<(), FemError> {
+        if self.conductivity <= 0.0 || self.density <= 0.0 || self.specific_heat <= 0.0 {
+            return Err(FemError::BadMaterial {
+                reason: "thermal properties must be positive".to_owned(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isotropic_plane_stress_matches_textbook() {
+        let m = Material::isotropic(1.0, 0.25);
+        let d = m.d_plane_stress().unwrap();
+        let c = 1.0 / (1.0 - 0.0625);
+        assert!((d[(0, 0)] - c).abs() < 1e-12);
+        assert!((d[(0, 1)] - 0.25 * c).abs() < 1e-12);
+        assert!((d[(2, 2)] - c * 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plane_strain_stiffer_than_plane_stress() {
+        let m = Material::isotropic(1.0e7, 0.3);
+        let ps = m.d_plane_stress().unwrap();
+        let pe = m.d_plane_strain().unwrap();
+        assert!(pe[(0, 0)] > ps[(0, 0)]);
+    }
+
+    #[test]
+    fn axisymmetric_d_is_symmetric() {
+        let m = Material::isotropic(2.0e6, 0.2);
+        let d = m.d_axisymmetric().unwrap();
+        assert!(d.asymmetry() < 1e-9);
+    }
+
+    #[test]
+    fn orthotropic_reduces_to_isotropic() {
+        let e = 1.0e7;
+        let nu = 0.3;
+        let g = e / (2.0 * (1.0 + nu));
+        let iso = Material::isotropic(e, nu);
+        let ortho = Material::orthotropic(e, e, e, nu, nu, nu, g);
+        let d_iso = iso.d_axisymmetric().unwrap();
+        let d_ortho = ortho.d_axisymmetric().unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!(
+                    (d_iso[(i, j)] - d_ortho[(i, j)]).abs() < 1e-3 * e,
+                    "({i},{j}): {} vs {}",
+                    d_iso[(i, j)],
+                    d_ortho[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn orthotropic_plane_stress_symmetric() {
+        // GRP-like constants: stiff hoop direction.
+        let m = Material::orthotropic(3.0e6, 2.0e6, 5.0e6, 0.15, 0.1, 0.12, 0.8e6);
+        let d = m.d_plane_stress().unwrap();
+        assert!(d.asymmetry() < 1e-6);
+        assert!(d[(0, 0)] > 0.0 && d[(1, 1)] > 0.0);
+    }
+
+    #[test]
+    fn invalid_materials_rejected() {
+        assert!(Material::isotropic(-1.0, 0.3).validate().is_err());
+        assert!(Material::isotropic(1.0, 0.5).validate().is_err());
+        assert!(Material::isotropic(1.0, 0.6).validate().is_err());
+        assert!(Material::orthotropic(1.0, 1.0, -1.0, 0.1, 0.1, 0.1, 1.0)
+            .validate()
+            .is_err());
+        assert!(Material::orthotropic(1.0, 1.0, 1.0, 0.1, 0.1, 0.1, 0.0)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn unstable_orthotropic_rejected_by_d() {
+        // ν₁₂ so large that 1 - ν₁₂ν₂₁ < 0.
+        let m = Material::orthotropic(1.0, 1.0, 1.0, 1.5, 0.0, 0.0, 1.0);
+        assert!(m.d_plane_stress().is_err());
+    }
+
+    #[test]
+    fn thermal_material_accessors() {
+        let t = ThermalMaterial::new(2.0, 4.0, 0.5);
+        assert_eq!(t.volumetric_capacity(), 2.0);
+        assert_eq!(t.diffusivity(), 1.0);
+        t.validate().unwrap();
+        assert!(ThermalMaterial::new(0.0, 1.0, 1.0).validate().is_err());
+    }
+}

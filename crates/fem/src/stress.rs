@@ -1,0 +1,325 @@
+//! Stress recovery: element stresses and nodal averaging.
+//!
+//! OSPL plots *nodal* values ("Output from a finite element analysis
+//! generally includes, at every node, one or more … values of stress"),
+//! so after computing the constant element stresses this module averages
+//! them to the nodes with element-area weights — the standard practice of
+//! the Reference-1 era codes whose output the paper's Figures 13 and 15–18
+//! contour.
+
+use cafemio_mesh::{ElementId, NodalField, NodeId};
+
+use crate::element::element_stiffness;
+use crate::model::{AnalysisKind, FemModel, Solution};
+use crate::FemError;
+
+/// The stress state of one constant-strain element.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ElementStress {
+    /// Radial stress σr (σx in plane problems).
+    pub radial: f64,
+    /// Axial / meridional stress σz (σy in plane problems).
+    pub meridional: f64,
+    /// Circumferential (hoop) stress σθ (out-of-plane σz in plane
+    /// problems: zero for plane stress, ν(σx+σy)-like for plane strain).
+    pub circumferential: f64,
+    /// In-plane shear τrz (τxy).
+    pub shear: f64,
+}
+
+impl ElementStress {
+    /// Von Mises effective stress — the quantity contoured in the paper's
+    /// Figure 13 ("CONTOUR PLOT * EFFECTIVE STRESS").
+    pub fn effective(&self) -> f64 {
+        let (sr, sz, st, t) = (
+            self.radial,
+            self.meridional,
+            self.circumferential,
+            self.shear,
+        );
+        (0.5 * ((sr - sz).powi(2) + (sz - st).powi(2) + (st - sr).powi(2)) + 3.0 * t * t).sqrt()
+    }
+}
+
+/// Per-element stresses plus their nodal averages, packaged as the
+/// [`NodalField`]s OSPL consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StressField {
+    element_stresses: Vec<ElementStress>,
+    nodal: Vec<ElementStress>,
+}
+
+impl StressField {
+    /// Recovers stresses for a solved model.
+    ///
+    /// # Errors
+    ///
+    /// Material/element errors as in assembly (the same matrices are
+    /// rebuilt for recovery).
+    pub fn compute(model: &FemModel, solution: &Solution) -> Result<StressField, FemError> {
+        let mesh = model.mesh();
+        let mut element_stresses = Vec::with_capacity(mesh.element_count());
+        let mut nodal_acc = vec![(ElementStress::default(), 0.0f64); mesh.node_count()];
+        for (id, el) in mesh.elements() {
+            let material = model.element_material(id);
+            let d = match model.kind() {
+                AnalysisKind::PlaneStress { .. } => material.d_plane_stress()?,
+                AnalysisKind::PlaneStrain => material.d_plane_strain()?,
+                AnalysisKind::Axisymmetric => material.d_axisymmetric()?,
+            };
+            let tri = mesh.triangle(id);
+            let matrices = element_stiffness(&tri, &d, model.kind())?;
+            let mut u = [0.0; 6];
+            for (local, node) in el.nodes.iter().enumerate() {
+                let (ux, uy) = solution.displacement(*node);
+                u[2 * local] = ux;
+                u[2 * local + 1] = uy;
+            }
+            let mut strain = matrices.b.mul_vec(&u);
+            // Thermal loading: stress comes from the *mechanical* strain,
+            // ε − ε₀, so free expansion is stress-free.
+            if let Some(thermal) = model.thermal_load() {
+                let initial = thermal.initial_strain(
+                    [
+                        el.nodes[0].index(),
+                        el.nodes[1].index(),
+                        el.nodes[2].index(),
+                    ],
+                    model.kind(),
+                    &material,
+                );
+                for (s, e0) in strain.iter_mut().zip(&initial) {
+                    *s -= e0;
+                }
+            }
+            let stress_vec = d.mul_vec(&strain);
+            let stress = match model.kind() {
+                AnalysisKind::PlaneStress { .. } => ElementStress {
+                    radial: stress_vec[0],
+                    meridional: stress_vec[1],
+                    circumferential: 0.0,
+                    shear: stress_vec[2],
+                },
+                AnalysisKind::PlaneStrain => {
+                    // Out-of-plane normal stress from the 4×4 law with
+                    // εθ = 0.
+                    let d4 = material.d_axisymmetric()?;
+                    let s_theta = d4[(2, 0)] * strain[0] + d4[(2, 1)] * strain[1];
+                    ElementStress {
+                        radial: stress_vec[0],
+                        meridional: stress_vec[1],
+                        circumferential: s_theta,
+                        shear: stress_vec[2],
+                    }
+                }
+                AnalysisKind::Axisymmetric => ElementStress {
+                    radial: stress_vec[0],
+                    meridional: stress_vec[1],
+                    circumferential: stress_vec[2],
+                    shear: stress_vec[3],
+                },
+            };
+            element_stresses.push(stress);
+            let weight = tri.area();
+            for node in el.nodes {
+                let (acc, w) = &mut nodal_acc[node.index()];
+                acc.radial += stress.radial * weight;
+                acc.meridional += stress.meridional * weight;
+                acc.circumferential += stress.circumferential * weight;
+                acc.shear += stress.shear * weight;
+                *w += weight;
+            }
+        }
+        let nodal = nodal_acc
+            .into_iter()
+            .map(|(acc, w)| {
+                if w > 0.0 {
+                    ElementStress {
+                        radial: acc.radial / w,
+                        meridional: acc.meridional / w,
+                        circumferential: acc.circumferential / w,
+                        shear: acc.shear / w,
+                    }
+                } else {
+                    ElementStress::default()
+                }
+            })
+            .collect();
+        Ok(StressField {
+            element_stresses,
+            nodal,
+        })
+    }
+
+    /// The constant stress of one element.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id is out of range.
+    pub fn element(&self, id: ElementId) -> ElementStress {
+        self.element_stresses[id.index()]
+    }
+
+    /// The averaged stress at one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id is out of range.
+    pub fn node(&self, id: NodeId) -> ElementStress {
+        self.nodal[id.index()]
+    }
+
+    /// Nodal radial stress field (`σr` / `σx`).
+    pub fn radial(&self) -> NodalField {
+        self.field("RADIAL STRESS", |s| s.radial)
+    }
+
+    /// Nodal meridional / axial stress field (`σz` / `σy`).
+    pub fn meridional(&self) -> NodalField {
+        self.field("MERIDIONAL STRESS", |s| s.meridional)
+    }
+
+    /// Nodal circumferential (hoop) stress field.
+    pub fn circumferential(&self) -> NodalField {
+        self.field("CIRCUMFERENTIAL STRESS", |s| s.circumferential)
+    }
+
+    /// Nodal in-plane shear stress field.
+    pub fn shear(&self) -> NodalField {
+        self.field("SHEAR STRESS", |s| s.shear)
+    }
+
+    /// Nodal von Mises effective stress field.
+    pub fn effective(&self) -> NodalField {
+        self.field("EFFECTIVE STRESS", |s| s.effective())
+    }
+
+    fn field<F: Fn(&ElementStress) -> f64>(&self, name: &str, f: F) -> NodalField {
+        NodalField::new(name, self.nodal.iter().map(f).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Material;
+    use cafemio_geom::Point;
+    use cafemio_mesh::{BoundaryKind, TriMesh};
+
+    fn tension_strip() -> (FemModel, Solution) {
+        // 2×1 strip of 4 elements under uniform σx = 1000 (plane stress,
+        // t = 1).
+        let mut mesh = TriMesh::new();
+        let mut ids = Vec::new();
+        for j in 0..=1 {
+            for i in 0..=2 {
+                ids.push(mesh.add_node(
+                    Point::new(i as f64, j as f64),
+                    BoundaryKind::Boundary,
+                ));
+            }
+        }
+        let at = |i: usize, j: usize| ids[j * 3 + i];
+        for i in 0..2 {
+            mesh.add_element([at(i, 0), at(i + 1, 0), at(i + 1, 1)]).unwrap();
+            mesh.add_element([at(i, 0), at(i + 1, 1), at(i, 1)]).unwrap();
+        }
+        let mut model = FemModel::new(
+            mesh,
+            AnalysisKind::PlaneStress { thickness: 1.0 },
+            Material::isotropic(1.0e7, 0.3),
+        );
+        model.fix_x(at(0, 0));
+        model.fix_x(at(0, 1));
+        model.fix_y(at(0, 0));
+        let sigma = 1000.0;
+        model.add_force(at(2, 0), sigma * 0.5, 0.0);
+        model.add_force(at(2, 1), sigma * 0.5, 0.0);
+        let solution = model.solve().unwrap();
+        (model, solution)
+    }
+
+    #[test]
+    fn uniform_tension_recovers_exact_stress() {
+        let (model, solution) = tension_strip();
+        let stresses = StressField::compute(&model, &solution).unwrap();
+        for (id, _) in model.mesh().elements() {
+            let s = stresses.element(id);
+            assert!((s.radial - 1000.0).abs() < 1e-6, "σx in {id}");
+            assert!(s.meridional.abs() < 1e-6);
+            assert!(s.shear.abs() < 1e-6);
+            assert_eq!(s.circumferential, 0.0);
+        }
+        // Nodal averages equal the constant element value.
+        for (id, _) in model.mesh().nodes() {
+            assert!((stresses.node(id).radial - 1000.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn effective_stress_of_uniaxial_state() {
+        let s = ElementStress {
+            radial: 1000.0,
+            meridional: 0.0,
+            circumferential: 0.0,
+            shear: 0.0,
+        };
+        assert!((s.effective() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn effective_stress_of_pure_shear() {
+        let s = ElementStress {
+            radial: 0.0,
+            meridional: 0.0,
+            circumferential: 0.0,
+            shear: 100.0,
+        };
+        assert!((s.effective() - 100.0 * 3.0f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hydrostatic_state_has_zero_effective() {
+        let s = ElementStress {
+            radial: -500.0,
+            meridional: -500.0,
+            circumferential: -500.0,
+            shear: 0.0,
+        };
+        assert!(s.effective().abs() < 1e-9);
+    }
+
+    #[test]
+    fn fields_named_for_plot_titles() {
+        let (model, solution) = tension_strip();
+        let stresses = StressField::compute(&model, &solution).unwrap();
+        assert_eq!(stresses.effective().name(), "EFFECTIVE STRESS");
+        assert_eq!(
+            stresses.circumferential().name(),
+            "CIRCUMFERENTIAL STRESS"
+        );
+        assert_eq!(stresses.effective().len(), model.mesh().node_count());
+    }
+
+    #[test]
+    fn plane_strain_hoop_stress_nonzero() {
+        // Same strip but plane strain: σθ = ν(σx + σy) ≠ 0.
+        let (model, _) = tension_strip();
+        let mut pe_model = FemModel::new(
+            model.mesh().clone(),
+            AnalysisKind::PlaneStrain,
+            Material::isotropic(1.0e7, 0.3),
+        );
+        pe_model.fix_x(NodeId(0));
+        pe_model.fix_x(NodeId(3));
+        pe_model.fix_y(NodeId(0));
+        pe_model.add_force(NodeId(2), 500.0, 0.0);
+        pe_model.add_force(NodeId(5), 500.0, 0.0);
+        let solution = pe_model.solve().unwrap();
+        let stresses = StressField::compute(&pe_model, &solution).unwrap();
+        let s = stresses.element(ElementId(0));
+        let expected = 0.3 * (s.radial + s.meridional);
+        assert!((s.circumferential - expected).abs() < 1e-6);
+        assert!(s.circumferential.abs() > 1.0);
+    }
+}

@@ -1,0 +1,406 @@
+//! Transient heat conduction on triangle meshes.
+//!
+//! The paper's Figure 14 contours "the temperature distribution in a T-beam
+//! exposed to a thermal radiation pulse" at t = 2 s and t = 3 s, computed
+//! with "the analysis of Reference 3". This module is that substrate: a
+//! linear-triangle conduction/capacitance formulation with θ-method time
+//! stepping and time-scaled surface flux loads (the radiation pulse).
+
+use std::collections::BTreeMap;
+
+use cafemio_mesh::{ElementId, NodalField, NodeId, TriMesh};
+
+use crate::{BandMatrix, FemError, ThermalMaterial};
+
+/// A transient heat-conduction model (plane section, unit thickness).
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_fem::{ThermalMaterial, ThermalModel};
+/// use cafemio_geom::Point;
+/// use cafemio_mesh::{BoundaryKind, TriMesh};
+/// # fn main() -> Result<(), cafemio_fem::FemError> {
+/// let mut mesh = TriMesh::new();
+/// let a = mesh.add_node(Point::new(0.0, 0.0), BoundaryKind::Boundary);
+/// let b = mesh.add_node(Point::new(1.0, 0.0), BoundaryKind::Boundary);
+/// let c = mesh.add_node(Point::new(0.0, 1.0), BoundaryKind::Boundary);
+/// mesh.add_element([a, b, c]).unwrap();
+/// let mut model = ThermalModel::new(mesh, ThermalMaterial::new(1.0, 1.0, 1.0));
+/// model.add_edge_flux(a, b, 10.0);
+/// let result = model.simulate(0.0, 0.01, 100, 0.5, &|_t| 1.0)?;
+/// // Heated body: final temperatures are above the initial 0.
+/// assert!(result.last().values().iter().all(|&t| t > 0.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThermalModel {
+    mesh: TriMesh,
+    default_material: ThermalMaterial,
+    element_materials: BTreeMap<usize, ThermalMaterial>,
+    flux_edges: Vec<(NodeId, NodeId, f64)>,
+    fixed_temperatures: BTreeMap<usize, f64>,
+}
+
+impl ThermalModel {
+    /// Creates a model with one material everywhere.
+    pub fn new(mesh: TriMesh, material: ThermalMaterial) -> ThermalModel {
+        ThermalModel {
+            mesh,
+            default_material: material,
+            element_materials: BTreeMap::new(),
+            flux_edges: Vec::new(),
+            fixed_temperatures: BTreeMap::new(),
+        }
+    }
+
+    /// The underlying mesh.
+    pub fn mesh(&self) -> &TriMesh {
+        &self.mesh
+    }
+
+    /// Overrides the material of one element.
+    pub fn set_element_material(&mut self, element: ElementId, material: ThermalMaterial) {
+        self.element_materials.insert(element.index(), material);
+    }
+
+    /// The material of an element.
+    pub fn element_material(&self, element: ElementId) -> ThermalMaterial {
+        self.element_materials
+            .get(&element.index())
+            .copied()
+            .unwrap_or(self.default_material)
+    }
+
+    /// Applies a surface heat flux `q` (energy per time per length, unit
+    /// thickness) to an edge. At solve time every flux is multiplied by
+    /// the pulse function of time, so the same edges can carry a radiation
+    /// pulse that switches on and off.
+    pub fn add_edge_flux(&mut self, a: NodeId, b: NodeId, q: f64) {
+        self.flux_edges.push((a, b, q));
+    }
+
+    /// Prescribes the temperature of a node for all time.
+    pub fn fix_temperature(&mut self, node: NodeId, value: f64) {
+        self.fixed_temperatures.insert(node.index(), value);
+    }
+
+    /// Runs the θ-method (`theta` = 0.5 Crank–Nicolson, 1.0 backward
+    /// Euler) for `steps` steps of `dt` from a uniform initial
+    /// temperature. `pulse(t)` scales the flux loads at time `t`.
+    ///
+    /// # Errors
+    ///
+    /// [`FemError::EmptyModel`], [`FemError::BadTimeStep`] for `dt <= 0`
+    /// or `theta` outside `[0.5, 1]` (the unconditionally stable range),
+    /// material errors, and solver errors.
+    pub fn simulate(
+        &self,
+        initial_temperature: f64,
+        dt: f64,
+        steps: usize,
+        theta: f64,
+        pulse: &dyn Fn(f64) -> f64,
+    ) -> Result<ThermalSolution, FemError> {
+        if self.mesh.element_count() == 0 {
+            return Err(FemError::EmptyModel);
+        }
+        if dt <= 0.0 {
+            return Err(FemError::BadTimeStep {
+                reason: format!("dt = {dt} must be positive"),
+            });
+        }
+        if !(0.5..=1.0).contains(&theta) {
+            return Err(FemError::BadTimeStep {
+                reason: format!("theta = {theta} must lie in [0.5, 1] for stability"),
+            });
+        }
+        let n = self.mesh.node_count();
+        let bw = self.mesh.bandwidth();
+
+        // Assemble conduction matrix K and lumped capacitance C.
+        let mut conduction = BandMatrix::new(n, bw);
+        let mut capacitance = vec![0.0f64; n];
+        for (id, el) in self.mesh.elements() {
+            let material = self.element_material(id);
+            material.validate()?;
+            let tri = self.mesh.triangle(id);
+            let area2 = 2.0 * tri.signed_area();
+            if area2.abs() < 1e-300 {
+                return Err(FemError::SingularMatrix { equation: 0 });
+            }
+            let [p1, p2, p3] = tri.vertices;
+            let grads = [
+                (p2.y - p3.y, p3.x - p2.x),
+                (p3.y - p1.y, p1.x - p3.x),
+                (p1.y - p2.y, p2.x - p1.x),
+            ];
+            let area = tri.area();
+            let k = material.conductivity;
+            for i in 0..3 {
+                for j in i..3 {
+                    let v = k * (grads[i].0 * grads[j].0 + grads[i].1 * grads[j].1)
+                        / (area2 * area2)
+                        * area;
+                    conduction.add(el.nodes[i].index(), el.nodes[j].index(), v);
+                }
+                capacitance[el.nodes[i].index()] += material.volumetric_capacity() * area / 3.0;
+            }
+        }
+
+        // Base flux load vector (scaled by pulse(t) each step).
+        let mut base_flux = vec![0.0f64; n];
+        for &(a, b, q) in &self.flux_edges {
+            let length = self
+                .mesh
+                .node(a)
+                .position
+                .distance_to(self.mesh.node(b).position);
+            base_flux[a.index()] += q * length / 2.0;
+            base_flux[b.index()] += q * length / 2.0;
+        }
+
+        // Left matrix A = θK + C/dt; the right side is applied with
+        // mul_vec on K each step: (C/dt − (1−θ)K)·T + flux terms.
+        let mut left = BandMatrix::new(n, bw);
+        for i in 0..n {
+            for j in i..(i + bw + 1).min(n) {
+                let v = conduction.get(i, j);
+                if v != 0.0 {
+                    left.add(i, j, theta * v);
+                }
+            }
+            left.add(i, i, capacitance[i] / dt);
+        }
+        // Constrain fixed-temperature nodes.
+        let mut constrained_columns: BTreeMap<usize, Vec<(usize, f64)>> = BTreeMap::new();
+        for &node in self.fixed_temperatures.keys() {
+            let column = left.constrain(node);
+            constrained_columns.insert(node, column);
+        }
+        let factor = left.cholesky()?;
+
+        let mut temperature = vec![initial_temperature; n];
+        for (&node, &value) in &self.fixed_temperatures {
+            temperature[node] = value;
+        }
+        let mut snapshots = vec![NodalField::new("TEMPERATURE", temperature.clone())];
+        let mut times = vec![0.0];
+
+        for step in 0..steps {
+            let t_now = step as f64 * dt;
+            let t_next = t_now + dt;
+            let k_t = conduction.mul_vec(&temperature);
+            let mut rhs = vec![0.0f64; n];
+            let scale_now = pulse(t_now);
+            let scale_next = pulse(t_next);
+            for i in 0..n {
+                rhs[i] = capacitance[i] / dt * temperature[i] - (1.0 - theta) * k_t[i]
+                    + theta * scale_next * base_flux[i]
+                    + (1.0 - theta) * scale_now * base_flux[i];
+            }
+            // Fixed temperatures: impose value, adjust coupled rows.
+            for (&node, &value) in &self.fixed_temperatures {
+                for &(other, coupling) in &constrained_columns[&node] {
+                    if !self.fixed_temperatures.contains_key(&other) {
+                        rhs[other] -= coupling * value;
+                    }
+                }
+            }
+            for (&node, &value) in &self.fixed_temperatures {
+                rhs[node] = value;
+            }
+            temperature = factor.solve(&rhs);
+            times.push(t_next);
+            snapshots.push(NodalField::new("TEMPERATURE", temperature.clone()));
+        }
+
+        Ok(ThermalSolution { times, snapshots })
+    }
+}
+
+/// The temperature history of a transient simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalSolution {
+    times: Vec<f64>,
+    snapshots: Vec<NodalField>,
+}
+
+impl ThermalSolution {
+    /// The recorded time instants (including t = 0).
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The temperature field at snapshot `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the index is out of range.
+    pub fn snapshot(&self, i: usize) -> &NodalField {
+        &self.snapshots[i]
+    }
+
+    /// The snapshot closest to time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the solution is empty (never happens for a successful
+    /// `simulate`).
+    pub fn at_time(&self, t: f64) -> &NodalField {
+        let idx = self
+            .times
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                (*a - t).abs().partial_cmp(&(*b - t).abs()).expect("no NaN")
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty solution");
+        &self.snapshots[idx]
+    }
+
+    /// The final temperature field.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the solution is empty.
+    pub fn last(&self) -> &NodalField {
+        self.snapshots.last().expect("non-empty solution")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cafemio_geom::Point;
+    use cafemio_mesh::BoundaryKind;
+
+    /// 1-D slab: a thin strip of `n` cells along x.
+    fn slab(n: usize, length: f64) -> (TriMesh, Vec<NodeId>, Vec<NodeId>) {
+        let mut mesh = TriMesh::new();
+        let dy = length / n as f64; // keep cells square-ish
+        let mut bottom = Vec::new();
+        let mut top = Vec::new();
+        for i in 0..=n {
+            let x = length * i as f64 / n as f64;
+            bottom.push(mesh.add_node(Point::new(x, 0.0), BoundaryKind::Boundary));
+            top.push(mesh.add_node(Point::new(x, dy), BoundaryKind::Boundary));
+        }
+        for i in 0..n {
+            mesh.add_element([bottom[i], bottom[i + 1], top[i + 1]]).unwrap();
+            mesh.add_element([bottom[i], top[i + 1], top[i]]).unwrap();
+        }
+        (mesh, bottom, top)
+    }
+
+    #[test]
+    fn insulated_body_conserves_energy() {
+        let (mesh, _, _) = slab(8, 1.0);
+        let material = ThermalMaterial::new(1.0, 2.0, 3.0);
+        let model = ThermalModel::new(mesh, material);
+        let result = model.simulate(100.0, 0.01, 50, 0.5, &|_| 1.0).unwrap();
+        // Uniform initial state with no loads stays exactly uniform.
+        for &v in result.last().values() {
+            assert!((v - 100.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn steady_state_linear_profile() {
+        let (mesh, bottom, top) = slab(10, 1.0);
+        let material = ThermalMaterial::new(1.0, 1.0, 1.0);
+        let mut model = ThermalModel::new(mesh, material);
+        // Fix both ends of the slab (both rows so the section is uniform).
+        model.fix_temperature(bottom[0], 100.0);
+        model.fix_temperature(top[0], 100.0);
+        model.fix_temperature(bottom[10], 0.0);
+        model.fix_temperature(top[10], 0.0);
+        // March long enough to reach steady state.
+        let result = model.simulate(0.0, 0.05, 400, 1.0, &|_| 1.0).unwrap();
+        let field = result.last();
+        let mesh = model.mesh();
+        for (id, node) in mesh.nodes() {
+            let exact = 100.0 * (1.0 - node.position.x);
+            assert!(
+                (field.value(id) - exact).abs() < 0.5,
+                "node at x = {}: {} vs {}",
+                node.position.x,
+                field.value(id),
+                exact
+            );
+        }
+    }
+
+    #[test]
+    fn surface_flux_matches_semi_infinite_solution() {
+        // Constant flux q on the face of a long slab: surface temperature
+        // rises as T(0,t) = 2 q sqrt(α t / π) / k.
+        let (mesh, bottom, top) = slab(80, 4.0);
+        let k = 1.0;
+        let rho_c = 1.0;
+        let material = ThermalMaterial::new(k, 1.0, rho_c);
+        let mut model = ThermalModel::new(mesh, material);
+        let q = 10.0;
+        model.add_edge_flux(bottom[0], top[0], q);
+        let t_end = 0.25; // short enough that the far end stays cold
+        let steps = 250;
+        let result = model
+            .simulate(0.0, t_end / steps as f64, steps, 0.5, &|_| 1.0)
+            .unwrap();
+        let surface = result.last().value(bottom[0]);
+        let alpha = k / rho_c;
+        let exact = 2.0 * q * (alpha * t_end / std::f64::consts::PI).sqrt() / k;
+        let err = (surface - exact).abs() / exact;
+        assert!(err < 0.05, "surface = {surface}, exact = {exact}");
+    }
+
+    #[test]
+    fn pulse_switches_off() {
+        let (mesh, bottom, top) = slab(8, 1.0);
+        let mut model = ThermalModel::new(mesh, ThermalMaterial::new(1.0, 1.0, 1.0));
+        model.add_edge_flux(bottom[0], top[0], 100.0);
+        // Pulse active only for t < 0.05.
+        let pulse = |t: f64| if t < 0.05 { 1.0 } else { 0.0 };
+        let result = model.simulate(0.0, 0.01, 30, 0.5, &pulse).unwrap();
+        let heated = result.at_time(0.05).value(bottom[0]);
+        let later = result.last().value(bottom[0]);
+        // After the pulse the surface cools as heat diffuses inward...
+        assert!(heated > later, "{heated} vs {later}");
+        // ...while the far end keeps warming from the stored heat.
+        let far_mid = result.at_time(0.1).value(bottom[8]);
+        let far_end = result.last().value(bottom[8]);
+        assert!(far_end > far_mid, "{far_end} vs {far_mid}");
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        let (mesh, _, _) = slab(2, 1.0);
+        let model = ThermalModel::new(mesh, ThermalMaterial::new(1.0, 1.0, 1.0));
+        assert!(matches!(
+            model.simulate(0.0, -0.1, 10, 0.5, &|_| 1.0),
+            Err(FemError::BadTimeStep { .. })
+        ));
+        assert!(matches!(
+            model.simulate(0.0, 0.1, 10, 0.3, &|_| 1.0),
+            Err(FemError::BadTimeStep { .. })
+        ));
+        let empty = ThermalModel::new(TriMesh::new(), ThermalMaterial::new(1.0, 1.0, 1.0));
+        assert_eq!(
+            empty.simulate(0.0, 0.1, 1, 0.5, &|_| 1.0).unwrap_err(),
+            FemError::EmptyModel
+        );
+    }
+
+    #[test]
+    fn snapshot_bookkeeping() {
+        let (mesh, _, _) = slab(2, 1.0);
+        let model = ThermalModel::new(mesh, ThermalMaterial::new(1.0, 1.0, 1.0));
+        let result = model.simulate(5.0, 0.1, 10, 1.0, &|_| 1.0).unwrap();
+        assert_eq!(result.times().len(), 11);
+        assert_eq!(result.times()[0], 0.0);
+        assert!((result.times()[10] - 1.0).abs() < 1e-12);
+        assert_eq!(result.snapshot(0).value(NodeId(0)), 5.0);
+    }
+}

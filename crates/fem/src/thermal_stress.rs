@@ -1,0 +1,132 @@
+//! Thermal-stress coupling: temperature fields as initial-strain loads.
+//!
+//! The paper's T-beam study (Figure 14) computes a transient temperature
+//! field; the engineering consumer of that field is a thermal-stress
+//! analysis. This module closes the loop: a nodal temperature field plus
+//! an expansion coefficient become equivalent nodal forces
+//! `f = ∫ Bᵀ D ε₀ dV` with the thermal strain `ε₀ = α·ΔT` on the normal
+//! components, and stress recovery subtracts `ε₀` so a free expansion is
+//! stress-free.
+
+use crate::model::AnalysisKind;
+use crate::{DenseMatrix, Material};
+
+/// A thermal load: per-node temperatures against a stress-free reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalLoad {
+    /// Nodal temperatures (index = node id).
+    pub temperatures: Vec<f64>,
+    /// Coefficient of thermal expansion (strain per degree).
+    pub expansion: f64,
+    /// The stress-free reference temperature.
+    pub reference: f64,
+}
+
+impl ThermalLoad {
+    /// Creates a thermal load.
+    pub fn new(temperatures: Vec<f64>, expansion: f64, reference: f64) -> ThermalLoad {
+        ThermalLoad {
+            temperatures,
+            expansion,
+            reference,
+        }
+    }
+
+    /// Mean temperature rise over an element's three corners.
+    pub(crate) fn mean_delta(&self, nodes: [usize; 3]) -> f64 {
+        let sum: f64 = nodes
+            .iter()
+            .map(|&n| self.temperatures.get(n).copied().unwrap_or(self.reference))
+            .sum();
+        sum / 3.0 - self.reference
+    }
+
+    /// The initial (thermal) strain vector for one element under the
+    /// given analysis kind.
+    ///
+    /// For plane strain the effective in-plane expansion is `(1 + ν)·α·ΔT`
+    /// for isotropic materials (the suppressed out-of-plane expansion
+    /// feeds back through Poisson coupling); orthotropic materials use
+    /// the nominal `α·ΔT` (a documented approximation — the paper's
+    /// thermal case is an isotropic steel Tee).
+    pub(crate) fn initial_strain(
+        &self,
+        nodes: [usize; 3],
+        kind: AnalysisKind,
+        material: &Material,
+    ) -> Vec<f64> {
+        let dt = self.mean_delta(nodes);
+        let e0 = self.expansion * dt;
+        match kind {
+            AnalysisKind::PlaneStress { .. } => vec![e0, e0, 0.0],
+            AnalysisKind::PlaneStrain => {
+                let factor = match material {
+                    Material::Isotropic { nu, .. } => 1.0 + nu,
+                    Material::Orthotropic { .. } => 1.0,
+                };
+                vec![factor * e0, factor * e0, 0.0]
+            }
+            AnalysisKind::Axisymmetric => vec![e0, e0, e0, 0.0],
+        }
+    }
+
+    /// Equivalent nodal force contribution of one element:
+    /// `volume · Bᵀ · D · ε₀`, in the element's local dof order.
+    pub(crate) fn element_forces(
+        &self,
+        nodes: [usize; 3],
+        kind: AnalysisKind,
+        material: &Material,
+        b: &DenseMatrix,
+        d: &DenseMatrix,
+        volume: f64,
+    ) -> Vec<f64> {
+        let strain = self.initial_strain(nodes, kind, material);
+        let stress0 = d.mul_vec(&strain);
+        let mut forces = b.transpose().mul_vec(&stress0);
+        for f in &mut forces {
+            *f *= volume;
+        }
+        forces
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_delta_averages_corners() {
+        let load = ThermalLoad::new(vec![100.0, 120.0, 140.0], 1e-5, 70.0);
+        let dt = load.mean_delta([0, 1, 2]);
+        assert!((dt - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_nodes_read_reference() {
+        let load = ThermalLoad::new(vec![100.0], 1e-5, 70.0);
+        // Nodes 5 and 6 default to the reference: ΔT = (30 + 0 + 0)/3.
+        assert!((load.mean_delta([0, 5, 6]) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plane_strain_isotropic_amplifies_by_one_plus_nu() {
+        let load = ThermalLoad::new(vec![170.0; 3], 1e-5, 70.0);
+        let material = Material::isotropic(1.0e7, 0.3);
+        let ps = load.initial_strain([0, 1, 2], AnalysisKind::PlaneStress { thickness: 1.0 }, &material);
+        let pe = load.initial_strain([0, 1, 2], AnalysisKind::PlaneStrain, &material);
+        assert!((ps[0] - 1e-3).abs() < 1e-15);
+        assert!((pe[0] - 1.3e-3).abs() < 1e-15);
+        assert_eq!(ps[2], 0.0);
+    }
+
+    #[test]
+    fn axisymmetric_strain_has_hoop_component() {
+        let load = ThermalLoad::new(vec![170.0; 3], 1e-5, 70.0);
+        let material = Material::isotropic(1.0e7, 0.3);
+        let ax = load.initial_strain([0, 1, 2], AnalysisKind::Axisymmetric, &material);
+        assert_eq!(ax.len(), 4);
+        assert_eq!(ax[0], ax[2]); // εr = εθ
+        assert_eq!(ax[3], 0.0); // no thermal shear
+    }
+}

@@ -1,0 +1,299 @@
+//! Circular arcs for boundary shaping.
+//!
+//! IDLZ's Type-6 data card specifies a boundary piece by its two end nodes
+//! and a `RADIUS`; "the center of curvature is located such that moving from
+//! end 1 to end 2 on the arc is a counterclockwise motion", and the report's
+//! general restrictions require "the angle subtended by the arc must be less
+//! than or equal to 90 degrees". [`Arc::from_endpoints_radius`] implements
+//! exactly those rules.
+
+use std::f64::consts::TAU;
+use std::fmt;
+
+use crate::{Point, Vector};
+
+/// Error constructing an [`Arc`] from end points and a radius.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArcError {
+    /// The radius is smaller than half the chord length, so no circle of
+    /// that radius passes through both end points.
+    RadiusTooSmall,
+    /// The two end points coincide; the arc is undefined.
+    DegenerateChord,
+    /// The counter-clockwise arc from end 1 to end 2 subtends more than
+    /// 90°, which the paper's shaping procedure forbids.
+    ExceedsQuarterTurn,
+    /// The radius is zero or negative.
+    NonPositiveRadius,
+}
+
+impl fmt::Display for ArcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArcError::RadiusTooSmall => {
+                write!(f, "radius is smaller than half the chord length")
+            }
+            ArcError::DegenerateChord => write!(f, "arc end points coincide"),
+            ArcError::ExceedsQuarterTurn => {
+                write!(f, "arc subtends more than 90 degrees")
+            }
+            ArcError::NonPositiveRadius => write!(f, "arc radius must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for ArcError {}
+
+/// A counter-clockwise circular arc.
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_geom::{Arc, Point};
+/// # fn main() -> Result<(), cafemio_geom::ArcError> {
+/// // Quarter circle of radius 1 from (1, 0) to (0, 1), CCW about the origin.
+/// let arc = Arc::from_endpoints_radius(
+///     Point::new(1.0, 0.0),
+///     Point::new(0.0, 1.0),
+///     1.0,
+/// )?;
+/// assert!(arc.center().approx_eq(Point::new(0.0, 0.0), 1e-9));
+/// let mid = arc.point_at(0.5);
+/// let s = std::f64::consts::FRAC_1_SQRT_2;
+/// assert!(mid.approx_eq(Point::new(s, s), 1e-12));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arc {
+    center: Point,
+    radius: f64,
+    /// Angle of the first end point, radians CCW from +x.
+    start_angle: f64,
+    /// Subtended angle, radians, positive (CCW sweep).
+    sweep: f64,
+}
+
+impl Arc {
+    /// Builds the arc through `start` and `end` with the given `radius`,
+    /// traversed counter-clockwise from `start` to `end`, taking the minor
+    /// (≤ 180°) solution, exactly as IDLZ's shaping step does.
+    ///
+    /// # Errors
+    ///
+    /// * [`ArcError::NonPositiveRadius`] if `radius <= 0`,
+    /// * [`ArcError::DegenerateChord`] if the end points coincide,
+    /// * [`ArcError::RadiusTooSmall`] if no circle of that radius passes
+    ///   through both points,
+    /// * [`ArcError::ExceedsQuarterTurn`] if the subtended angle is more
+    ///   than 90° (plus a small tolerance so exact quarter circles pass).
+    pub fn from_endpoints_radius(start: Point, end: Point, radius: f64) -> Result<Arc, ArcError> {
+        if radius <= 0.0 {
+            return Err(ArcError::NonPositiveRadius);
+        }
+        let chord = end - start;
+        let chord_len = chord.norm();
+        if chord_len <= f64::EPSILON {
+            return Err(ArcError::DegenerateChord);
+        }
+        let half = 0.5 * chord_len;
+        if radius < half * (1.0 - 1e-12) {
+            return Err(ArcError::RadiusTooSmall);
+        }
+        // Height of the center above the chord midpoint. Clamp the radicand
+        // so a radius exactly equal to half the chord (a semicircle) does
+        // not go negative through rounding.
+        let h = (radius * radius - half * half).max(0.0).sqrt();
+        // For a CCW minor arc the center lies on the left-hand side of the
+        // directed chord (see module tests for the derivation check).
+        let left = chord
+            .perp()
+            .normalized()
+            .expect("non-degenerate chord has a direction");
+        let center = start.midpoint(end) + left * h;
+        let start_angle = (start - center).angle();
+        let end_angle = (end - center).angle();
+        let mut sweep = end_angle - start_angle;
+        while sweep <= 0.0 {
+            sweep += TAU;
+        }
+        while sweep > TAU {
+            sweep -= TAU;
+        }
+        // The minor-arc construction gives sweep <= PI by geometry; enforce
+        // the paper's 90-degree shaping restriction.
+        if sweep > std::f64::consts::FRAC_PI_2 * (1.0 + 1e-9) {
+            return Err(ArcError::ExceedsQuarterTurn);
+        }
+        Ok(Arc {
+            center,
+            radius,
+            start_angle,
+            sweep,
+        })
+    }
+
+    /// Builds an arc directly from center, radius, start angle, and CCW
+    /// sweep. Unlike [`Arc::from_endpoints_radius`] this does not enforce
+    /// the 90° restriction; it serves the plotter, which may draw full
+    /// circles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius <= 0` or `sweep <= 0`.
+    pub fn from_center(center: Point, radius: f64, start_angle: f64, sweep: f64) -> Arc {
+        assert!(radius > 0.0, "arc radius must be positive");
+        assert!(sweep > 0.0, "arc sweep must be positive");
+        Arc {
+            center,
+            radius,
+            start_angle,
+            sweep,
+        }
+    }
+
+    /// Center of curvature.
+    pub fn center(&self) -> Point {
+        self.center
+    }
+
+    /// Radius of curvature.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Subtended angle in radians (positive; CCW).
+    pub fn sweep(&self) -> f64 {
+        self.sweep
+    }
+
+    /// Arc length.
+    pub fn length(&self) -> f64 {
+        self.radius * self.sweep
+    }
+
+    /// Point at parameter `t ∈ [0, 1]` along the arc (equal angular
+    /// spacing, which is the rule IDLZ uses to place grid nodes on an arc).
+    pub fn point_at(&self, t: f64) -> Point {
+        let a = self.start_angle + t * self.sweep;
+        self.center + Vector::new(a.cos(), a.sin()) * self.radius
+    }
+
+    /// First end point.
+    pub fn start(&self) -> Point {
+        self.point_at(0.0)
+    }
+
+    /// Second end point.
+    pub fn end(&self) -> Point {
+        self.point_at(1.0)
+    }
+
+    /// `n + 1` points at equal angular spacing including both ends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn subdivide(&self, n: usize) -> Vec<Point> {
+        assert!(n > 0, "arc subdivision needs at least one step");
+        (0..=n).map(|i| self.point_at(i as f64 / n as f64)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn quarter_circle_center_is_left_of_chord() {
+        let arc =
+            Arc::from_endpoints_radius(Point::new(1.0, 0.0), Point::new(0.0, 1.0), 1.0).unwrap();
+        assert!(arc.center().approx_eq(Point::ORIGIN, 1e-9));
+        assert!((arc.sweep() - FRAC_PI_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reversing_endpoints_moves_center_to_other_side() {
+        // CCW from (0,1) to (1,0) with radius 1 must curve about (1,1).
+        let arc =
+            Arc::from_endpoints_radius(Point::new(0.0, 1.0), Point::new(1.0, 0.0), 1.0).unwrap();
+        assert!(arc.center().approx_eq(Point::new(1.0, 1.0), 1e-9));
+    }
+
+    #[test]
+    fn radius_too_small_rejected() {
+        let err = Arc::from_endpoints_radius(Point::new(0.0, 0.0), Point::new(10.0, 0.0), 1.0)
+            .unwrap_err();
+        assert_eq!(err, ArcError::RadiusTooSmall);
+    }
+
+    #[test]
+    fn degenerate_chord_rejected() {
+        let p = Point::new(3.0, 3.0);
+        assert_eq!(
+            Arc::from_endpoints_radius(p, p, 1.0).unwrap_err(),
+            ArcError::DegenerateChord
+        );
+    }
+
+    #[test]
+    fn nonpositive_radius_rejected() {
+        let err = Arc::from_endpoints_radius(Point::ORIGIN, Point::new(1.0, 0.0), 0.0).unwrap_err();
+        assert_eq!(err, ArcError::NonPositiveRadius);
+    }
+
+    #[test]
+    fn more_than_quarter_turn_rejected() {
+        // Chord of a 120° arc on the unit circle has length sqrt(3); the
+        // minor CCW arc then subtends 120° > 90°.
+        let a = Point::new(1.0, 0.0);
+        let b = Point::new((2.0 * PI / 3.0).cos(), (2.0 * PI / 3.0).sin());
+        assert_eq!(
+            Arc::from_endpoints_radius(a, b, 1.0).unwrap_err(),
+            ArcError::ExceedsQuarterTurn
+        );
+    }
+
+    #[test]
+    fn exact_quarter_turn_allowed() {
+        // The paper allows angles up to and including 90 degrees.
+        let arc =
+            Arc::from_endpoints_radius(Point::new(2.0, 0.0), Point::new(0.0, 2.0), 2.0).unwrap();
+        assert!((arc.sweep() - FRAC_PI_2).abs() < 1e-9);
+        assert!((arc.length() - PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subdivide_points_lie_on_circle_with_equal_angles() {
+        let arc =
+            Arc::from_endpoints_radius(Point::new(5.0, 0.0), Point::new(0.0, 5.0), 5.0).unwrap();
+        let pts = arc.subdivide(8);
+        assert_eq!(pts.len(), 9);
+        for p in &pts {
+            assert!((p.distance_to(arc.center()) - 5.0).abs() < 1e-9);
+        }
+        // Equal chord lengths imply equal sub-angles on a circle.
+        let chord = pts[0].distance_to(pts[1]);
+        for w in pts.windows(2) {
+            assert!((w[0].distance_to(w[1]) - chord).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn endpoints_reproduced() {
+        let a = Point::new(3.0, 1.0);
+        let b = Point::new(1.0, 3.0);
+        let arc = Arc::from_endpoints_radius(a, b, 2.5).unwrap();
+        assert!(arc.start().approx_eq(a, 1e-9));
+        assert!(arc.end().approx_eq(b, 1e-9));
+    }
+
+    #[test]
+    fn from_center_full_parameters() {
+        let arc = Arc::from_center(Point::new(1.0, 1.0), 2.0, 0.0, PI);
+        assert!(arc.start().approx_eq(Point::new(3.0, 1.0), 1e-12));
+        assert!(arc.end().approx_eq(Point::new(-1.0, 1.0), 1e-9));
+        assert!((arc.length() - 2.0 * PI).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,235 @@
+//! Axis-aligned bounding boxes: plot extents and OSPL zoom windows.
+
+use crate::Point;
+
+/// An axis-aligned rectangle.
+///
+/// OSPL's Type-1 card carries `XMX, XMN, YMX, YMN` — "the desired extent of
+/// the plot must be a part of the input data" so the analyst can "zoom-in"
+/// on a critical area. That window is a `BoundingBox`.
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_geom::{BoundingBox, Point};
+/// let mut bb = BoundingBox::empty();
+/// bb.expand(Point::new(1.0, 5.0));
+/// bb.expand(Point::new(-2.0, 3.0));
+/// assert_eq!(bb.min(), Point::new(-2.0, 3.0));
+/// assert_eq!(bb.max(), Point::new(1.0, 5.0));
+/// assert!(bb.contains(Point::new(0.0, 4.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundingBox {
+    min: Point,
+    max: Point,
+}
+
+impl BoundingBox {
+    /// An empty box that any [`expand`](Self::expand) call will overwrite.
+    pub fn empty() -> Self {
+        Self {
+            min: Point::new(f64::INFINITY, f64::INFINITY),
+            max: Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+        }
+    }
+
+    /// Box from explicit corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min` exceeds `max` in either coordinate.
+    pub fn new(min: Point, max: Point) -> Self {
+        assert!(
+            min.x <= max.x && min.y <= max.y,
+            "bounding box min must not exceed max"
+        );
+        Self { min, max }
+    }
+
+    /// The smallest box containing every point of the iterator, or an
+    /// empty box for an empty iterator.
+    pub fn from_points<I: IntoIterator<Item = Point>>(points: I) -> Self {
+        let mut bb = Self::empty();
+        for p in points {
+            bb.expand(p);
+        }
+        bb
+    }
+
+    /// True when no point has been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y
+    }
+
+    /// Lower-left corner.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the box is empty.
+    pub fn min(&self) -> Point {
+        assert!(!self.is_empty(), "empty bounding box has no corners");
+        self.min
+    }
+
+    /// Upper-right corner.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the box is empty.
+    pub fn max(&self) -> Point {
+        assert!(!self.is_empty(), "empty bounding box has no corners");
+        self.max
+    }
+
+    /// Width (x extent). Zero for an empty box.
+    pub fn width(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.max.x - self.min.x
+        }
+    }
+
+    /// Height (y extent). Zero for an empty box.
+    pub fn height(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.max.y - self.min.y
+        }
+    }
+
+    /// Center of the box.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the box is empty.
+    pub fn center(&self) -> Point {
+        self.min().midpoint(self.max())
+    }
+
+    /// Grows the box to include `p`.
+    pub fn expand(&mut self, p: Point) {
+        self.min.x = self.min.x.min(p.x);
+        self.min.y = self.min.y.min(p.y);
+        self.max.x = self.max.x.max(p.x);
+        self.max.y = self.max.y.max(p.y);
+    }
+
+    /// Grows the box to include another box.
+    pub fn expand_box(&mut self, other: &BoundingBox) {
+        if !other.is_empty() {
+            self.expand(other.min);
+            self.expand(other.max);
+        }
+    }
+
+    /// The box enlarged by `margin` on every side.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the box is empty or when a negative margin would turn
+    /// the box inside out.
+    pub fn inflated(&self, margin: f64) -> BoundingBox {
+        let min = self.min();
+        let max = self.max();
+        BoundingBox::new(
+            Point::new(min.x - margin, min.y - margin),
+            Point::new(max.x + margin, max.y + margin),
+        )
+    }
+
+    /// True when `p` lies inside or on the box.
+    pub fn contains(&self, p: Point) -> bool {
+        !self.is_empty()
+            && p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+    }
+
+    /// True when the two boxes overlap (sharing an edge counts).
+    pub fn intersects(&self, other: &BoundingBox) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+    }
+}
+
+impl Default for BoundingBox {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_box_contains_nothing() {
+        let bb = BoundingBox::empty();
+        assert!(bb.is_empty());
+        assert!(!bb.contains(Point::ORIGIN));
+        assert_eq!(bb.width(), 0.0);
+    }
+
+    #[test]
+    fn from_points_covers_all() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(3.0, -1.0),
+            Point::new(-2.0, 7.0),
+        ];
+        let bb = BoundingBox::from_points(pts);
+        for p in pts {
+            assert!(bb.contains(p));
+        }
+        assert_eq!(bb.width(), 5.0);
+        assert_eq!(bb.height(), 8.0);
+    }
+
+    #[test]
+    fn single_point_box_is_degenerate_but_valid() {
+        let bb = BoundingBox::from_points([Point::new(2.0, 2.0)]);
+        assert!(!bb.is_empty());
+        assert_eq!(bb.width(), 0.0);
+        assert!(bb.contains(Point::new(2.0, 2.0)));
+    }
+
+    #[test]
+    fn inflated_adds_margin() {
+        let bb = BoundingBox::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)).inflated(0.5);
+        assert_eq!(bb.min(), Point::new(-0.5, -0.5));
+        assert_eq!(bb.max(), Point::new(1.5, 1.5));
+    }
+
+    #[test]
+    fn intersects_shares_edge() {
+        let a = BoundingBox::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        let b = BoundingBox::new(Point::new(1.0, 0.0), Point::new(2.0, 1.0));
+        let c = BoundingBox::new(Point::new(1.1, 0.0), Point::new(2.0, 1.0));
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "min must not exceed max")]
+    fn inverted_box_panics() {
+        BoundingBox::new(Point::new(1.0, 0.0), Point::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn expand_box_merges() {
+        let mut a = BoundingBox::from_points([Point::new(0.0, 0.0), Point::new(1.0, 1.0)]);
+        let b = BoundingBox::from_points([Point::new(5.0, -2.0)]);
+        a.expand_box(&b);
+        assert!(a.contains(Point::new(5.0, -2.0)));
+        a.expand_box(&BoundingBox::empty()); // no-op
+        assert_eq!(a.max(), Point::new(5.0, 1.0));
+    }
+}

@@ -1,0 +1,95 @@
+//! Linear interpolation helpers.
+//!
+//! Both shaping (interior node placement between two located sides, report
+//! section "Node Locations") and isogram extraction (contour end points on
+//! element edges, Figure 12) are defined by the paper in terms of linear
+//! interpolation; these helpers are the single shared implementation.
+
+use crate::Point;
+
+/// Linear interpolation between two scalars: `a` at `t = 0`, `b` at `t = 1`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(cafemio_geom::lerp(10.0, 30.0, 0.25), 15.0);
+/// ```
+pub fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    a + (b - a) * t
+}
+
+/// Inverse of [`lerp`]: the parameter at which the line from `a` to `b`
+/// takes the value `v`.
+///
+/// Returns `None` when `a == b` (the value is constant along the edge, so
+/// no unique parameter exists). This is exactly the degenerate case OSPL
+/// must skip when a contour level coincides with a flat element edge.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(cafemio_geom::inverse_lerp(10.0, 30.0, 15.0), Some(0.25));
+/// assert_eq!(cafemio_geom::inverse_lerp(5.0, 5.0, 5.0), None);
+/// ```
+pub fn inverse_lerp(a: f64, b: f64, v: f64) -> Option<f64> {
+    if a == b {
+        None
+    } else {
+        Some((v - a) / (b - a))
+    }
+}
+
+/// Linear interpolation between two points.
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_geom::{lerp_point, Point};
+/// let m = lerp_point(Point::new(0.0, 0.0), Point::new(2.0, 4.0), 0.5);
+/// assert_eq!(m, Point::new(1.0, 2.0));
+/// ```
+pub fn lerp_point(a: Point, b: Point, t: f64) -> Point {
+    Point::new(lerp(a.x, b.x, t), lerp(a.y, b.y, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lerp_endpoints() {
+        assert_eq!(lerp(-3.0, 7.0, 0.0), -3.0);
+        assert_eq!(lerp(-3.0, 7.0, 1.0), 7.0);
+    }
+
+    #[test]
+    fn lerp_extrapolates() {
+        assert_eq!(lerp(0.0, 10.0, 1.5), 15.0);
+        assert_eq!(lerp(0.0, 10.0, -0.5), -5.0);
+    }
+
+    #[test]
+    fn inverse_lerp_round_trip() {
+        let (a, b) = (2.0, 9.0);
+        for &t in &[0.0, 0.125, 0.5, 0.875, 1.0] {
+            let v = lerp(a, b, t);
+            let back = inverse_lerp(a, b, v).unwrap();
+            assert!((back - t).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn inverse_lerp_decreasing_edge() {
+        // Values may decrease along an edge; the parameter must still be in
+        // [0, 1] for a bounded value.
+        let t = inverse_lerp(30.0, 10.0, 15.0).unwrap();
+        assert!((t - 0.75).abs() < 1e-14);
+    }
+
+    #[test]
+    fn lerp_point_midpoint_matches_point_midpoint() {
+        let a = Point::new(1.0, -1.0);
+        let b = Point::new(5.0, 3.0);
+        assert_eq!(lerp_point(a, b, 0.5), a.midpoint(b));
+    }
+}

@@ -1,0 +1,49 @@
+//! # cafemio-geom
+//!
+//! Plane-geometry substrate for the `cafemio` workspace.
+//!
+//! Everything in the IDLZ/OSPL reproduction happens in two dimensions: the
+//! integer subdivision grid, the shaped cross-section, the plotter frame.
+//! This crate supplies the small, well-tested vocabulary those layers share:
+//!
+//! * [`Point`] / [`Vector`] — double-precision plane coordinates,
+//! * [`Segment`] — straight boundary pieces,
+//! * [`Arc`] — circular boundary pieces (the paper restricts arcs to a
+//!   subtended angle of at most 90°),
+//! * [`Triangle`] — element geometry with the quality metrics IDLZ's
+//!   reforming pass optimizes,
+//! * [`BoundingBox`] — plot extents and zoom windows,
+//! * linear interpolation helpers used by both shaping and isogram
+//!   extraction.
+//!
+//! # Examples
+//!
+//! ```
+//! use cafemio_geom::{Point, Triangle};
+//!
+//! let tri = Triangle::new(
+//!     Point::new(0.0, 0.0),
+//!     Point::new(1.0, 0.0),
+//!     Point::new(0.0, 1.0),
+//! );
+//! assert!((tri.area() - 0.5).abs() < 1e-12);
+//! assert!(tri.is_ccw());
+//! ```
+
+mod arc;
+mod bbox;
+mod interp;
+mod point;
+mod segment;
+mod triangle;
+
+pub use arc::{Arc, ArcError};
+pub use bbox::BoundingBox;
+pub use interp::{inverse_lerp, lerp, lerp_point};
+pub use point::{Point, Vector};
+pub use segment::Segment;
+pub use triangle::{Orientation, Triangle};
+
+/// Comparison tolerance used throughout the workspace for geometric
+/// coincidence tests (distinct from solver tolerances, which are stricter).
+pub const GEOM_EPS: f64 = 1e-9;

@@ -1,0 +1,295 @@
+//! Points and vectors in the plane.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A position in the plane.
+///
+/// In the axisymmetric problems of the paper the first coordinate is the
+/// radial direction `r` and the second the axial direction `z`; for plane
+/// problems they are ordinary `x`/`y`. The type is deliberately a plain
+/// value type (`Copy`) because meshes hold hundreds of thousands of them.
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_geom::Point;
+/// let a = Point::new(1.0, 2.0);
+/// let b = Point::new(4.0, 6.0);
+/// assert!((a.distance_to(b) - 5.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal (or radial) coordinate.
+    pub x: f64,
+    /// Vertical (or axial) coordinate.
+    pub y: f64,
+}
+
+/// A displacement in the plane.
+///
+/// Kept distinct from [`Point`] so that "position" and "direction" cannot be
+/// confused in shaping and contouring code.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vector {
+    /// Horizontal component.
+    pub x: f64,
+    /// Vertical component.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// The origin, `(0, 0)`.
+    pub const ORIGIN: Point = Point::new(0.0, 0.0);
+
+    /// Euclidean distance to another point.
+    pub fn distance_to(self, other: Point) -> f64 {
+        (other - self).norm()
+    }
+
+    /// Squared Euclidean distance (avoids the square root in comparisons).
+    pub fn distance_sq_to(self, other: Point) -> f64 {
+        (other - self).norm_sq()
+    }
+
+    /// The point halfway between `self` and `other`.
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new(0.5 * (self.x + other.x), 0.5 * (self.y + other.y))
+    }
+
+    /// Displacement vector from `self` to `other`.
+    pub fn to(self, other: Point) -> Vector {
+        other - self
+    }
+
+    /// True when both coordinates agree within `tol`.
+    pub fn approx_eq(self, other: Point, tol: f64) -> bool {
+        (self.x - other.x).abs() <= tol && (self.y - other.y).abs() <= tol
+    }
+}
+
+impl Vector {
+    /// Creates a vector from its components.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// The zero vector.
+    pub const ZERO: Vector = Vector::new(0.0, 0.0);
+
+    /// Euclidean length.
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Squared Euclidean length.
+    pub fn norm_sq(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Dot product.
+    pub fn dot(self, other: Vector) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Scalar (z-component of the) cross product.
+    ///
+    /// Positive when `other` lies counter-clockwise of `self`.
+    pub fn cross(self, other: Vector) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Unit vector in the same direction, or `None` for (near-)zero vectors.
+    pub fn normalized(self) -> Option<Vector> {
+        let n = self.norm();
+        if n <= f64::EPSILON {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// The vector rotated a quarter turn counter-clockwise.
+    pub fn perp(self) -> Vector {
+        Vector::new(-self.y, self.x)
+    }
+
+    /// Angle of the vector measured counter-clockwise from the +x axis,
+    /// in radians within `(-π, π]`.
+    pub fn angle(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}, {}>", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+impl From<(f64, f64)> for Vector {
+    fn from((x, y): (f64, f64)) -> Self {
+        Vector::new(x, y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Vector;
+    fn sub(self, rhs: Point) -> Vector {
+        Vector::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Add<Vector> for Point {
+    type Output = Point;
+    fn add(self, rhs: Vector) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub<Vector> for Point {
+    type Output = Point;
+    fn sub(self, rhs: Vector) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl AddAssign<Vector> for Point {
+    fn add_assign(&mut self, rhs: Vector) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl SubAssign<Vector> for Point {
+    fn sub_assign(&mut self, rhs: Vector) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Add for Vector {
+    type Output = Vector;
+    fn add(self, rhs: Vector) -> Vector {
+        Vector::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Vector {
+    type Output = Vector;
+    fn sub(self, rhs: Vector) -> Vector {
+        Vector::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Neg for Vector {
+    type Output = Vector;
+    fn neg(self) -> Vector {
+        Vector::new(-self.x, -self.y)
+    }
+}
+
+impl Mul<f64> for Vector {
+    type Output = Vector;
+    fn mul(self, rhs: f64) -> Vector {
+        Vector::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Mul<Vector> for f64 {
+    type Output = Vector;
+    fn mul(self, rhs: Vector) -> Vector {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Vector {
+    type Output = Vector;
+    fn div(self, rhs: f64) -> Vector {
+        Vector::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(-1.0, 3.0);
+        let b = Point::new(2.0, -1.0);
+        assert_eq!(a.distance_to(b), b.distance_to(a));
+        assert!((a.distance_to(b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn midpoint_bisects() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(4.0, 2.0);
+        let m = a.midpoint(b);
+        assert!((m.distance_to(a) - m.distance_to(b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_sign_encodes_orientation() {
+        let e1 = Vector::new(1.0, 0.0);
+        let e2 = Vector::new(0.0, 1.0);
+        assert!(e1.cross(e2) > 0.0);
+        assert!(e2.cross(e1) < 0.0);
+        assert_eq!(e1.cross(e1), 0.0);
+    }
+
+    #[test]
+    fn perp_is_quarter_turn() {
+        let v = Vector::new(3.0, 4.0);
+        let p = v.perp();
+        assert_eq!(v.dot(p), 0.0);
+        assert!(v.cross(p) > 0.0);
+        assert_eq!(p.norm(), v.norm());
+    }
+
+    #[test]
+    fn normalized_zero_is_none() {
+        assert!(Vector::ZERO.normalized().is_none());
+        let n = Vector::new(0.0, -2.0).normalized().unwrap();
+        assert!((n.norm() - 1.0).abs() < 1e-15);
+        assert_eq!(n, Vector::new(0.0, -1.0));
+    }
+
+    #[test]
+    fn point_vector_arithmetic_round_trips() {
+        let p = Point::new(1.5, -2.5);
+        let v = Vector::new(0.5, 4.0);
+        assert_eq!((p + v) - v, p);
+        assert_eq!((p + v) - p, v);
+    }
+
+    #[test]
+    fn angle_of_axes() {
+        assert_eq!(Vector::new(1.0, 0.0).angle(), 0.0);
+        assert!((Vector::new(0.0, 1.0).angle() - std::f64::consts::FRAC_PI_2).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,138 @@
+//! Straight line segments.
+
+use crate::{lerp_point, Point, Vector};
+
+/// A straight segment from `start` to `end`.
+///
+/// IDLZ uses segments to locate boundary nodes ("Adjacent boundary nodes
+/// forming a straight line … need only have the coordinates of the two end
+/// nodes specified"), and OSPL uses them as the drawn pieces of every
+/// isogram.
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_geom::{Point, Segment};
+/// let s = Segment::new(Point::new(0.0, 0.0), Point::new(4.0, 0.0));
+/// assert_eq!(s.length(), 4.0);
+/// assert_eq!(s.point_at(0.25), Point::new(1.0, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// First end point.
+    pub start: Point,
+    /// Second end point.
+    pub end: Point,
+}
+
+impl Segment {
+    /// Creates a segment between two points.
+    pub const fn new(start: Point, end: Point) -> Self {
+        Self { start, end }
+    }
+
+    /// Length of the segment.
+    pub fn length(&self) -> f64 {
+        self.start.distance_to(self.end)
+    }
+
+    /// Direction vector from start to end (not normalized).
+    pub fn direction(&self) -> Vector {
+        self.end - self.start
+    }
+
+    /// Point at parameter `t` (`0` at `start`, `1` at `end`).
+    pub fn point_at(&self, t: f64) -> Point {
+        lerp_point(self.start, self.end, t)
+    }
+
+    /// `n + 1` evenly spaced points including both ends (`n` steps).
+    ///
+    /// This is the spacing rule IDLZ applies when several integer grid nodes
+    /// lie along one user-specified straight shaping line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn subdivide(&self, n: usize) -> Vec<Point> {
+        assert!(n > 0, "segment subdivision needs at least one step");
+        (0..=n).map(|i| self.point_at(i as f64 / n as f64)).collect()
+    }
+
+    /// The segment with its end points swapped.
+    pub fn reversed(&self) -> Segment {
+        Segment::new(self.end, self.start)
+    }
+
+    /// Perpendicular distance from `p` to the infinite line through the
+    /// segment, or to the nearer end point when the projection falls
+    /// outside the segment.
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        let d = self.direction();
+        let len_sq = d.norm_sq();
+        if len_sq <= f64::EPSILON {
+            return self.start.distance_to(p);
+        }
+        let t = ((p - self.start).dot(d) / len_sq).clamp(0.0, 1.0);
+        self.point_at(t).distance_to(p)
+    }
+
+    /// Midpoint of the segment.
+    pub fn midpoint(&self) -> Point {
+        self.start.midpoint(self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subdivide_counts_and_ends() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(3.0, 6.0));
+        let pts = s.subdivide(3);
+        assert_eq!(pts.len(), 4);
+        assert_eq!(pts[0], s.start);
+        assert_eq!(pts[3], s.end);
+        assert_eq!(pts[1], Point::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn subdivide_points_evenly_spaced() {
+        let s = Segment::new(Point::new(1.0, 1.0), Point::new(5.0, 4.0));
+        let pts = s.subdivide(5);
+        let step = pts[0].distance_to(pts[1]);
+        for w in pts.windows(2) {
+            assert!((w[0].distance_to(w[1]) - step).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn subdivide_zero_panics() {
+        Segment::new(Point::ORIGIN, Point::new(1.0, 0.0)).subdivide(0);
+    }
+
+    #[test]
+    fn distance_to_point_interior_and_beyond() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        assert_eq!(s.distance_to_point(Point::new(5.0, 3.0)), 3.0);
+        assert_eq!(s.distance_to_point(Point::new(-4.0, 3.0)), 5.0);
+        assert_eq!(s.distance_to_point(Point::new(14.0, 3.0)), 5.0);
+    }
+
+    #[test]
+    fn degenerate_segment_distance() {
+        let s = Segment::new(Point::new(2.0, 2.0), Point::new(2.0, 2.0));
+        assert_eq!(s.distance_to_point(Point::new(2.0, 5.0)), 3.0);
+    }
+
+    #[test]
+    fn reversed_swaps_ends() {
+        let s = Segment::new(Point::new(1.0, 2.0), Point::new(3.0, 4.0));
+        let r = s.reversed();
+        assert_eq!(r.start, s.end);
+        assert_eq!(r.end, s.start);
+        assert_eq!(r.length(), s.length());
+    }
+}

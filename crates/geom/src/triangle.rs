@@ -1,0 +1,275 @@
+//! Triangle geometry and the quality measures used by element reforming.
+
+use crate::Point;
+
+/// Winding order of a triangle's vertices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Orientation {
+    /// Counter-clockwise (positive signed area).
+    CounterClockwise,
+    /// Clockwise (negative signed area).
+    Clockwise,
+    /// Collinear vertices (zero area within tolerance).
+    Degenerate,
+}
+
+/// A triangle given by its three vertices.
+///
+/// IDLZ's elements "are reformed … where necessary" when they have
+/// "needle-like corners"; the decision is driven by the minimum interior
+/// angle computed here.
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_geom::{Point, Triangle};
+/// let t = Triangle::new(
+///     Point::new(0.0, 0.0),
+///     Point::new(2.0, 0.0),
+///     Point::new(1.0, 3.0_f64.sqrt()),
+/// );
+/// // Equilateral: all angles 60 degrees.
+/// assert!((t.min_angle().to_degrees() - 60.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triangle {
+    /// The three vertices.
+    pub vertices: [Point; 3],
+}
+
+impl Triangle {
+    /// Creates a triangle from three vertices.
+    pub const fn new(a: Point, b: Point, c: Point) -> Self {
+        Self {
+            vertices: [a, b, c],
+        }
+    }
+
+    /// Signed area: positive for counter-clockwise vertex order.
+    pub fn signed_area(&self) -> f64 {
+        let [a, b, c] = self.vertices;
+        0.5 * (b - a).cross(c - a)
+    }
+
+    /// Absolute area.
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Winding order, with collinearity decided against the triangle's own
+    /// scale so large and small meshes behave alike.
+    pub fn orientation(&self) -> Orientation {
+        let [a, b, c] = self.vertices;
+        let scale = (b - a).norm().max((c - a).norm()).max((c - b).norm());
+        let area2 = (b - a).cross(c - a);
+        if area2.abs() <= 1e-14 * scale * scale {
+            Orientation::Degenerate
+        } else if area2 > 0.0 {
+            Orientation::CounterClockwise
+        } else {
+            Orientation::Clockwise
+        }
+    }
+
+    /// True when the vertex order is counter-clockwise.
+    pub fn is_ccw(&self) -> bool {
+        self.orientation() == Orientation::CounterClockwise
+    }
+
+    /// Centroid of the triangle.
+    pub fn centroid(&self) -> Point {
+        let [a, b, c] = self.vertices;
+        Point::new((a.x + b.x + c.x) / 3.0, (a.y + b.y + c.y) / 3.0)
+    }
+
+    /// Lengths of the three edges, ordered opposite to each vertex
+    /// (`edge[i]` faces `vertices[i]`).
+    pub fn edge_lengths(&self) -> [f64; 3] {
+        let [a, b, c] = self.vertices;
+        [b.distance_to(c), c.distance_to(a), a.distance_to(b)]
+    }
+
+    /// The three interior angles in radians, `angles[i]` at `vertices[i]`.
+    ///
+    /// Degenerate triangles yield zero for the collapsed corners.
+    pub fn angles(&self) -> [f64; 3] {
+        let [a, b, c] = self.vertices;
+        [
+            corner_angle(a, b, c),
+            corner_angle(b, c, a),
+            corner_angle(c, a, b),
+        ]
+    }
+
+    /// Smallest interior angle in radians — IDLZ's "needle" criterion.
+    pub fn min_angle(&self) -> f64 {
+        let ang = self.angles();
+        ang[0].min(ang[1]).min(ang[2])
+    }
+
+    /// Largest interior angle in radians.
+    pub fn max_angle(&self) -> f64 {
+        let ang = self.angles();
+        ang[0].max(ang[1]).max(ang[2])
+    }
+
+    /// Ratio of longest to shortest edge (1 for equilateral).
+    pub fn aspect_ratio(&self) -> f64 {
+        let e = self.edge_lengths();
+        let longest = e[0].max(e[1]).max(e[2]);
+        let shortest = e[0].min(e[1]).min(e[2]);
+        if shortest <= f64::EPSILON {
+            f64::INFINITY
+        } else {
+            longest / shortest
+        }
+    }
+
+    /// True when `p` lies inside or on the triangle (orientation
+    /// independent).
+    pub fn contains(&self, p: Point) -> bool {
+        let [a, b, c] = self.vertices;
+        let d1 = (b - a).cross(p - a);
+        let d2 = (c - b).cross(p - b);
+        let d3 = (a - c).cross(p - c);
+        let has_neg = d1 < 0.0 || d2 < 0.0 || d3 < 0.0;
+        let has_pos = d1 > 0.0 || d2 > 0.0 || d3 > 0.0;
+        !(has_neg && has_pos)
+    }
+
+    /// Barycentric coordinates of `p` with respect to the triangle, or
+    /// `None` for a degenerate triangle. Useful for interpolating nodal
+    /// values at arbitrary points (OSPL's per-element view of the field).
+    pub fn barycentric(&self, p: Point) -> Option<[f64; 3]> {
+        let [a, b, c] = self.vertices;
+        let denom = (b - a).cross(c - a);
+        if denom.abs() <= f64::EPSILON {
+            return None;
+        }
+        let w_a = (b - p).cross(c - p) / denom;
+        let w_b = (c - p).cross(a - p) / denom;
+        let w_c = 1.0 - w_a - w_b;
+        Some([w_a, w_b, w_c])
+    }
+}
+
+/// Interior angle at `at` formed by rays to `p` and `q`.
+fn corner_angle(at: Point, p: Point, q: Point) -> f64 {
+    let u = p - at;
+    let v = q - at;
+    let nu = u.norm();
+    let nv = v.norm();
+    if nu <= f64::EPSILON || nv <= f64::EPSILON {
+        return 0.0;
+    }
+    (u.dot(v) / (nu * nv)).clamp(-1.0, 1.0).acos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn right_triangle() -> Triangle {
+        Triangle::new(
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(0.0, 3.0),
+        )
+    }
+
+    #[test]
+    fn area_of_right_triangle() {
+        assert!((right_triangle().area() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn signed_area_flips_with_orientation() {
+        let t = right_triangle();
+        let r = Triangle::new(t.vertices[0], t.vertices[2], t.vertices[1]);
+        assert!((t.signed_area() + r.signed_area()).abs() < 1e-12);
+        assert!(t.is_ccw());
+        assert!(!r.is_ccw());
+    }
+
+    #[test]
+    fn angles_sum_to_pi() {
+        let t = Triangle::new(
+            Point::new(0.3, 0.1),
+            Point::new(5.2, 0.7),
+            Point::new(2.0, 4.0),
+        );
+        let sum: f64 = t.angles().iter().sum();
+        assert!((sum - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn needle_triangle_has_small_min_angle() {
+        let needle = Triangle::new(
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(5.0, 0.05),
+        );
+        assert!(needle.min_angle().to_degrees() < 1.0);
+        assert!(needle.aspect_ratio() > 1.9);
+    }
+
+    #[test]
+    fn degenerate_orientation_detected() {
+        let t = Triangle::new(
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+        );
+        assert_eq!(t.orientation(), Orientation::Degenerate);
+    }
+
+    #[test]
+    fn orientation_is_scale_invariant() {
+        // A tiny but healthy triangle must not be classified degenerate.
+        let t = Triangle::new(
+            Point::new(0.0, 0.0),
+            Point::new(1e-6, 0.0),
+            Point::new(0.0, 1e-6),
+        );
+        assert_eq!(t.orientation(), Orientation::CounterClockwise);
+    }
+
+    #[test]
+    fn contains_centroid_and_excludes_outside() {
+        let t = right_triangle();
+        assert!(t.contains(t.centroid()));
+        assert!(t.contains(Point::new(0.0, 0.0))); // vertex counts as inside
+        assert!(!t.contains(Point::new(4.0, 3.0)));
+    }
+
+    #[test]
+    fn barycentric_reconstructs_point() {
+        let t = right_triangle();
+        let p = Point::new(1.0, 1.0);
+        let w = t.barycentric(p).unwrap();
+        assert!((w[0] + w[1] + w[2] - 1.0).abs() < 1e-12);
+        let [a, b, c] = t.vertices;
+        let back = Point::new(
+            w[0] * a.x + w[1] * b.x + w[2] * c.x,
+            w[0] * a.y + w[1] * b.y + w[2] * c.y,
+        );
+        assert!(back.approx_eq(p, 1e-12));
+    }
+
+    #[test]
+    fn barycentric_of_degenerate_is_none() {
+        let t = Triangle::new(Point::ORIGIN, Point::new(1.0, 0.0), Point::new(2.0, 0.0));
+        assert!(t.barycentric(Point::new(0.5, 0.0)).is_none());
+    }
+
+    #[test]
+    fn aspect_ratio_of_equilateral_is_one() {
+        let t = Triangle::new(
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.5, 0.75_f64.sqrt()),
+        );
+        assert!((t.aspect_ratio() - 1.0).abs() < 1e-12);
+    }
+}

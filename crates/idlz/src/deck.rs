@@ -1,0 +1,462 @@
+//! Appendix-B card decks: reading IDLZ input and punching its output.
+//!
+//! The seven card types are implemented exactly as the appendix lays them
+//! out, and the punched nodal/element cards use the user's Type-7 FORTRAN
+//! formats — the paper's example formats being the ones "compatible with
+//! the finite element analysis program of reference 1".
+
+use cafemio_cards::{Card, Deck, Field, Format, FormatReader, FormatWriter};
+use cafemio_geom::Point;
+use cafemio_mesh::TriMesh;
+
+use crate::spec::{IdealizationSpec, Options};
+use crate::subdivision::Subdivision;
+use crate::{IdlzError, ShapeLine};
+
+fn fmt(spec: &str) -> Format {
+    spec.parse().expect("internal format literal is valid")
+}
+
+/// Parses a full IDLZ input deck (Type 1 through Type 7 cards) into one
+/// spec per data set.
+///
+/// # Errors
+///
+/// [`IdlzError::BadDeck`] for structural problems (wrong card counts),
+/// [`IdlzError::Card`] for unreadable fields, plus subdivision validation
+/// errors.
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_cards::Deck;
+/// use cafemio_idlz::deck::parse_deck;
+/// # fn main() -> Result<(), cafemio_idlz::IdlzError> {
+/// let text = concat!(
+///     "    1\n",
+///     "SIMPLE PLATE\n",
+///     "    1    1    1    1\n",
+///     "    1    0    0    4    2         0    0\n",
+///     "    1    2\n",
+///     "    0    0    4    0  0.0000  0.0000  2.0000  0.0000  0.0000\n",
+///     "    0    2    4    2  0.0000  0.5000  2.0000  0.5000  0.0000\n",
+///     "(2F9.5, 51X, I3, 5X, I3)\n",
+///     "(3I5, 62X, I3)\n",
+/// );
+/// let specs = parse_deck(&Deck::from_text(text)?)?;
+/// assert_eq!(specs.len(), 1);
+/// assert_eq!(specs[0].title(), "SIMPLE PLATE");
+/// assert_eq!(specs[0].subdivisions().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_deck(deck: &Deck) -> Result<Vec<IdealizationSpec>, IdlzError> {
+    let mut cursor = Cursor { deck, at: 0 };
+    let nset = cursor.read_ints(&fmt("(I5)"), 1)?[0];
+    if nset < 0 {
+        return Err(IdlzError::BadDeck {
+            reason: format!("NSET = {nset} is negative"),
+        });
+    }
+    let mut specs = Vec::new();
+    for _ in 0..nset {
+        specs.push(parse_data_set(&mut cursor)?);
+    }
+    Ok(specs)
+}
+
+fn parse_data_set(cursor: &mut Cursor<'_>) -> Result<IdealizationSpec, IdlzError> {
+    // Type 2: title.
+    let title = cursor.next_card("title (Type 2)")?.trimmed().to_owned();
+    let mut spec = IdealizationSpec::new(&title);
+
+    // Type 3: options + subdivision count.
+    let t3 = cursor.read_ints(&fmt("(4I5)"), 4)?;
+    spec.set_options(Options {
+        plots: t3[0] != 0,
+        renumber: t3[1] != 0,
+        punch: t3[2] != 0,
+    });
+    let nsbdvn = t3[3];
+    if nsbdvn <= 0 {
+        return Err(IdlzError::BadDeck {
+            reason: format!("NSBDVN = {nsbdvn} must be positive"),
+        });
+    }
+
+    // Type 4: one per subdivision.
+    let t4_format = fmt("(5I5, 5X, 2I5)");
+    for _ in 0..nsbdvn {
+        let v = cursor.read_ints(&t4_format, 7)?;
+        let id = usize::try_from(v[0]).map_err(|_| IdlzError::BadDeck {
+            reason: format!("subdivision number {} is negative", v[0]),
+        })?;
+        spec.add_subdivision(Subdivision::from_card_fields(
+            id,
+            (v[1] as i32, v[2] as i32),
+            (v[3] as i32, v[4] as i32),
+            v[5] as i32,
+            v[6] as i32,
+        )?);
+    }
+
+    // Type 5 + Type 6 groups: one group per subdivision.
+    let t5_format = fmt("(2I5)");
+    let t6_format = fmt("(4I5, 5F8.4)");
+    for _ in 0..nsbdvn {
+        let t5 = cursor.read_ints(&t5_format, 2)?;
+        let sub_id = usize::try_from(t5[0]).map_err(|_| IdlzError::BadDeck {
+            reason: format!("subdivision number {} is negative", t5[0]),
+        })?;
+        let nlines = t5[1];
+        if nlines < 0 {
+            return Err(IdlzError::BadDeck {
+                reason: format!("NLINES = {nlines} is negative"),
+            });
+        }
+        for _ in 0..nlines {
+            let card = cursor.next_card("shape line (Type 6)")?;
+            let values = FormatReader::new(&t6_format)
+                .read_record(card.text())
+                .map_err(IdlzError::Card)?;
+            let int = |i: usize| values[i].as_i64().expect("I field") as i32;
+            let real = |i: usize| values[i].as_f64().expect("F field");
+            spec.add_shape_line(
+                sub_id,
+                ShapeLine {
+                    from: (int(0), int(1)),
+                    to: (int(2), int(3)),
+                    start: Point::new(real(4), real(5)),
+                    end: Point::new(real(6), real(7)),
+                    radius: real(8),
+                },
+            );
+        }
+    }
+
+    // Type 7: two format cards.
+    let nodal = cursor.next_card("nodal format (Type 7)")?.trimmed().to_owned();
+    let element = cursor
+        .next_card("element format (Type 7)")?
+        .trimmed()
+        .to_owned();
+    // Validate the formats parse now rather than at punch time.
+    nodal.parse::<Format>().map_err(IdlzError::Card)?;
+    element.parse::<Format>().map_err(IdlzError::Card)?;
+    spec.set_punch_formats(&nodal, &element);
+    Ok(spec)
+}
+
+/// Writes one or more specs back to an Appendix-B deck (capacity limits
+/// are not card data and are therefore not preserved).
+///
+/// # Errors
+///
+/// [`IdlzError::Card`] when a value does not fit its card field.
+pub fn write_deck(specs: &[IdealizationSpec]) -> Result<Deck, IdlzError> {
+    let mut deck = Deck::new();
+    push_record(&mut deck, &fmt("(I5)"), &[Field::from(specs.len())])?;
+    for spec in specs {
+        deck.push_text(spec.title()).map_err(IdlzError::Card)?;
+        let o = spec.options();
+        push_record(
+            &mut deck,
+            &fmt("(4I5)"),
+            &[
+                Field::Int(o.plots as i64),
+                Field::Int(o.renumber as i64),
+                Field::Int(o.punch as i64),
+                Field::from(spec.subdivisions().len()),
+            ],
+        )?;
+        let t4 = fmt("(5I5, 5X, 2I5)");
+        for sub in spec.subdivisions() {
+            let (k1, l1) = sub.lower_left();
+            let (k2, l2) = sub.upper_right();
+            let (ntaprw, ntapcm) = match sub.taper() {
+                crate::Taper::None => (0, 0),
+                crate::Taper::Row(n) => (n, 0),
+                crate::Taper::Column(n) => (0, n),
+            };
+            push_record(
+                &mut deck,
+                &t4,
+                &[
+                    Field::from(sub.id()),
+                    Field::Int(k1 as i64),
+                    Field::Int(l1 as i64),
+                    Field::Int(k2 as i64),
+                    Field::Int(l2 as i64),
+                    Field::Int(ntaprw as i64),
+                    Field::Int(ntapcm as i64),
+                ],
+            )?;
+        }
+        let t5 = fmt("(2I5)");
+        let t6 = fmt("(4I5, 5F8.4)");
+        for sub in spec.subdivisions() {
+            let empty = Vec::new();
+            let lines = spec.shape_lines().get(&sub.id()).unwrap_or(&empty);
+            push_record(
+                &mut deck,
+                &t5,
+                &[Field::from(sub.id()), Field::from(lines.len())],
+            )?;
+            for line in lines {
+                push_record(
+                    &mut deck,
+                    &t6,
+                    &[
+                        Field::Int(line.from.0 as i64),
+                        Field::Int(line.from.1 as i64),
+                        Field::Int(line.to.0 as i64),
+                        Field::Int(line.to.1 as i64),
+                        Field::Real(line.start.x),
+                        Field::Real(line.start.y),
+                        Field::Real(line.end.x),
+                        Field::Real(line.end.y),
+                        Field::Real(line.radius),
+                    ],
+                )?;
+            }
+        }
+        deck.push_text(spec.nodal_format()).map_err(IdlzError::Card)?;
+        deck.push_text(spec.element_format())
+            .map_err(IdlzError::Card)?;
+    }
+    Ok(deck)
+}
+
+/// Punches the nodal cards of a finished mesh in the user's format: X, Y,
+/// boundary flag, and the one-based node number, one card per node.
+///
+/// # Errors
+///
+/// [`IdlzError::Card`] for an unparsable format or oversize fields.
+pub fn punch_nodal_cards(mesh: &TriMesh, format: &str) -> Result<Deck, IdlzError> {
+    let format: Format = format.parse().map_err(IdlzError::Card)?;
+    let writer = FormatWriter::new(&format);
+    let mut deck = Deck::new();
+    for (id, node) in mesh.nodes() {
+        let record = writer.write_record(&[
+            Field::Real(node.position.x),
+            Field::Real(node.position.y),
+            Field::Int(node.boundary.to_flag()),
+            Field::from(id.index() + 1),
+        ])?;
+        deck.push(Card::new(&record).map_err(IdlzError::Card)?);
+    }
+    Ok(deck)
+}
+
+/// Punches the element cards: three one-based node numbers plus the
+/// one-based element number, one card per element.
+///
+/// # Errors
+///
+/// [`IdlzError::Card`] for an unparsable format or oversize fields.
+pub fn punch_element_cards(mesh: &TriMesh, format: &str) -> Result<Deck, IdlzError> {
+    let format: Format = format.parse().map_err(IdlzError::Card)?;
+    let writer = FormatWriter::new(&format);
+    let mut deck = Deck::new();
+    for (id, el) in mesh.elements() {
+        let record = writer.write_record(&[
+            Field::from(el.nodes[0].index() + 1),
+            Field::from(el.nodes[1].index() + 1),
+            Field::from(el.nodes[2].index() + 1),
+            Field::from(id.index() + 1),
+        ])?;
+        deck.push(Card::new(&record).map_err(IdlzError::Card)?);
+    }
+    Ok(deck)
+}
+
+fn push_record(deck: &mut Deck, format: &Format, values: &[Field]) -> Result<(), IdlzError> {
+    let record = FormatWriter::new(format)
+        .write_record(values)
+        .map_err(IdlzError::Card)?;
+    deck.push(Card::new(&record).map_err(IdlzError::Card)?);
+    Ok(())
+}
+
+struct Cursor<'d> {
+    deck: &'d Deck,
+    at: usize,
+}
+
+impl Cursor<'_> {
+    fn next_card(&mut self, what: &str) -> Result<&Card, IdlzError> {
+        if self.at >= self.deck.len() {
+            return Err(IdlzError::BadDeck {
+                reason: format!("deck ends where a {what} card was expected"),
+            });
+        }
+        let card = self.deck.card(self.at);
+        self.at += 1;
+        Ok(card)
+    }
+
+    fn read_ints(&mut self, format: &Format, n: usize) -> Result<Vec<i64>, IdlzError> {
+        let card = self.next_card("data")?.clone();
+        let values = FormatReader::new(format)
+            .read_record(card.text())
+            .map_err(IdlzError::Card)?;
+        Ok(values
+            .iter()
+            .take(n)
+            .map(|v| v.as_i64().unwrap_or(0))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Idealization, Taper};
+
+    fn sample_spec() -> IdealizationSpec {
+        let mut spec = IdealizationSpec::new("ROUND TRIP");
+        spec.add_subdivision(Subdivision::rectangular(1, (0, 0), (4, 2)).unwrap());
+        spec.add_subdivision(Subdivision::row_trapezoid(2, (0, 2), (4, 4), -1).unwrap());
+        spec.add_shape_line(
+            1,
+            ShapeLine::straight((0, 0), (4, 0), Point::new(0.0, 0.0), Point::new(2.0, 0.0)),
+        );
+        spec.add_shape_line(
+            1,
+            ShapeLine::arc(
+                (0, 2),
+                (4, 2),
+                Point::new(2.0, 0.5),
+                Point::new(0.0, 2.5),
+                2.0,
+            ),
+        );
+        spec
+    }
+
+    #[test]
+    fn write_parse_round_trip() {
+        let spec = sample_spec();
+        let deck = write_deck(std::slice::from_ref(&spec)).unwrap();
+        let parsed = parse_deck(&deck).unwrap();
+        assert_eq!(parsed.len(), 1);
+        let p = &parsed[0];
+        assert_eq!(p.title(), spec.title());
+        assert_eq!(p.options(), spec.options());
+        assert_eq!(p.subdivisions(), spec.subdivisions());
+        assert_eq!(p.nodal_format(), spec.nodal_format());
+        // Shape lines round-trip within F8.4 precision.
+        let original = &spec.shape_lines()[&1];
+        let parsed_lines = &p.shape_lines()[&1];
+        assert_eq!(parsed_lines.len(), original.len());
+        for (a, b) in original.iter().zip(parsed_lines) {
+            assert_eq!(a.from, b.from);
+            assert_eq!(a.to, b.to);
+            assert!(a.start.approx_eq(b.start, 1e-4));
+            assert!(a.end.approx_eq(b.end, 1e-4));
+            assert!((a.radius - b.radius).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn trapezoid_taper_survives_round_trip() {
+        let deck = write_deck(&[sample_spec()]).unwrap();
+        let parsed = parse_deck(&deck).unwrap();
+        assert_eq!(parsed[0].subdivisions()[1].taper(), Taper::Row(-1));
+    }
+
+    #[test]
+    fn multiple_data_sets() {
+        let deck = write_deck(&[sample_spec(), sample_spec()]).unwrap();
+        let parsed = parse_deck(&deck).unwrap();
+        assert_eq!(parsed.len(), 2);
+    }
+
+    #[test]
+    fn truncated_deck_reports_missing_card() {
+        let full = write_deck(&[sample_spec()]).unwrap();
+        let full_text = full.to_text();
+        let mut text: Vec<&str> = full_text.lines().collect();
+        text.pop();
+        let truncated = Deck::from_text(&text.join("\n")).unwrap();
+        assert!(matches!(
+            parse_deck(&truncated).unwrap_err(),
+            IdlzError::BadDeck { .. }
+        ));
+    }
+
+    #[test]
+    fn punched_cards_match_paper_layout() {
+        // Build a tiny mesh and punch it in the paper's formats.
+        let mut spec = IdealizationSpec::new("PUNCH");
+        spec.add_subdivision(Subdivision::rectangular(1, (0, 0), (2, 1)).unwrap());
+        spec.add_shape_line(
+            1,
+            ShapeLine::straight((0, 0), (2, 0), Point::new(0.0, 0.0), Point::new(1.0, 0.0)),
+        );
+        spec.add_shape_line(
+            1,
+            ShapeLine::straight((0, 1), (2, 1), Point::new(0.0, 0.25), Point::new(1.0, 0.25)),
+        );
+        let result = Idealization::run(&spec).unwrap();
+        let nodal = punch_nodal_cards(&result.mesh, spec.nodal_format()).unwrap();
+        let element = punch_element_cards(&result.mesh, spec.element_format()).unwrap();
+        assert_eq!(nodal.len(), result.mesh.node_count());
+        assert_eq!(element.len(), result.mesh.element_count());
+        // Nodal card: X in cols 1-9, node number in cols 78-80.
+        let first = nodal.card(0);
+        let x: f64 = first.columns(1, 9).trim().parse().unwrap();
+        assert!((0.0..=1.0).contains(&x));
+        let num: usize = first.columns(78, 80).trim().parse().unwrap();
+        assert_eq!(num, 1);
+        // Element card: three node numbers in cols 1-15.
+        let e = element.card(0);
+        for f in 0..3 {
+            let n: usize = e.columns(5 * f + 1, 5 * f + 5).trim().parse().unwrap();
+            assert!(n >= 1 && n <= result.mesh.node_count());
+        }
+    }
+
+    #[test]
+    fn punched_deck_readable_by_analysis_format() {
+        let mut spec = IdealizationSpec::new("READBACK");
+        spec.add_subdivision(Subdivision::rectangular(1, (0, 0), (2, 1)).unwrap());
+        spec.add_shape_line(
+            1,
+            ShapeLine::straight((0, 0), (2, 0), Point::new(0.0, 0.0), Point::new(1.0, 0.0)),
+        );
+        spec.add_shape_line(
+            1,
+            ShapeLine::straight((0, 1), (2, 1), Point::new(0.0, 0.5), Point::new(1.0, 0.5)),
+        );
+        let result = Idealization::run(&spec).unwrap();
+        let nodal = punch_nodal_cards(&result.mesh, spec.nodal_format()).unwrap();
+        let format: Format = spec.nodal_format().parse().unwrap();
+        let reader = FormatReader::new(&format);
+        for (i, card) in nodal.iter().enumerate() {
+            let values = reader.read_record(card.text()).unwrap();
+            assert_eq!(values[3], Field::Int(i as i64 + 1));
+        }
+    }
+
+    #[test]
+    fn zero_data_sets_is_an_empty_run() {
+        let deck = Deck::from_text("    0\n").unwrap();
+        assert!(parse_deck(&deck).unwrap().is_empty());
+        let negative = Deck::from_text("   -1\n").unwrap();
+        assert!(matches!(
+            parse_deck(&negative).unwrap_err(),
+            IdlzError::BadDeck { .. }
+        ));
+    }
+
+    #[test]
+    fn bad_nsbdvn_rejected() {
+        let deck = Deck::from_text("    1\nTITLE\n    1    1    1    0\n").unwrap();
+        assert!(matches!(
+            parse_deck(&deck).unwrap_err(),
+            IdlzError::BadDeck { .. }
+        ));
+    }
+}

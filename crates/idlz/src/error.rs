@@ -1,0 +1,148 @@
+//! Error type for the idealization pipeline.
+
+use std::fmt;
+
+use cafemio_cards::CardError;
+use cafemio_geom::ArcError;
+use cafemio_mesh::MeshError;
+
+/// Errors raised by IDLZ.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IdlzError {
+    /// A subdivision's integer coordinates are inconsistent (corners out
+    /// of order, taper collapsing past a point, zero extent).
+    BadSubdivision {
+        /// Subdivision number (one-based, as on the cards).
+        id: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// One of Table 2's numerical restrictions is exceeded.
+    LimitExceeded {
+        /// Which limit (e.g. "nodes").
+        what: &'static str,
+        /// The attempted count.
+        attempted: usize,
+        /// The limit in force.
+        limit: usize,
+    },
+    /// A shape line references grid points that are not consecutive nodes
+    /// along one side of its subdivision.
+    BadShapeLine {
+        /// Subdivision number.
+        subdivision: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// After all shape lines were applied, a subdivision still has no
+    /// fully located pair of opposite sides to interpolate between.
+    SidesNotLocated {
+        /// Subdivision number.
+        subdivision: usize,
+    },
+    /// An arc in a shape line is invalid (see [`ArcError`]).
+    Arc {
+        /// Subdivision number.
+        subdivision: usize,
+        /// The underlying arc failure.
+        source: ArcError,
+    },
+    /// Shaping folded the surface over itself: some elements came out
+    /// clockwise and others counter-clockwise, which means shape lines
+    /// cross (e.g. a "top" side located below the "bottom" at one end).
+    FoldedShaping {
+        /// Elements that stayed counter-clockwise.
+        ccw: usize,
+        /// Elements that flipped clockwise.
+        cw: usize,
+    },
+    /// Two subdivisions produced the same element (they overlap).
+    OverlappingSubdivisions {
+        /// First subdivision number.
+        first: usize,
+        /// Second subdivision number.
+        second: usize,
+    },
+    /// A referenced subdivision number does not exist.
+    UnknownSubdivision {
+        /// The missing number.
+        id: usize,
+    },
+    /// Mesh construction failed (internal consistency error).
+    Mesh(MeshError),
+    /// Card-deck input/output failed.
+    Card(CardError),
+    /// A card deck is structurally malformed (wrong card counts, bad
+    /// option values).
+    BadDeck {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for IdlzError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdlzError::BadSubdivision { id, reason } => {
+                write!(f, "subdivision {id}: {reason}")
+            }
+            IdlzError::LimitExceeded {
+                what,
+                attempted,
+                limit,
+            } => write!(
+                f,
+                "numerical restriction exceeded: {attempted} {what} (limit {limit})"
+            ),
+            IdlzError::BadShapeLine {
+                subdivision,
+                reason,
+            } => write!(f, "shape line in subdivision {subdivision}: {reason}"),
+            IdlzError::SidesNotLocated { subdivision } => write!(
+                f,
+                "subdivision {subdivision} has no located pair of opposite sides"
+            ),
+            IdlzError::Arc {
+                subdivision,
+                source,
+            } => write!(f, "arc in subdivision {subdivision}: {source}"),
+            IdlzError::FoldedShaping { ccw, cw } => write!(
+                f,
+                "shaping folds the surface: {ccw} elements counter-clockwise but {cw} \
+                 clockwise (shape lines probably cross)"
+            ),
+            IdlzError::OverlappingSubdivisions { first, second } => {
+                write!(f, "subdivisions {first} and {second} overlap")
+            }
+            IdlzError::UnknownSubdivision { id } => {
+                write!(f, "subdivision {id} does not exist")
+            }
+            IdlzError::Mesh(e) => write!(f, "mesh error: {e}"),
+            IdlzError::Card(e) => write!(f, "card error: {e}"),
+            IdlzError::BadDeck { reason } => write!(f, "malformed deck: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for IdlzError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IdlzError::Mesh(e) => Some(e),
+            IdlzError::Card(e) => Some(e),
+            IdlzError::Arc { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<MeshError> for IdlzError {
+    fn from(e: MeshError) -> Self {
+        IdlzError::Mesh(e)
+    }
+}
+
+impl From<CardError> for IdlzError {
+    fn from(e: CardError) -> Self {
+        IdlzError::Card(e)
+    }
+}

@@ -1,0 +1,150 @@
+//! The numerical restrictions of Table 2.
+
+use crate::IdlzError;
+
+/// Capacity limits for an idealization run.
+///
+/// Table 2 of the report ("Numerical Restrictions in the Use of Program
+/// IDLZ") fixes the array sizes of the 1970 FORTRAN program. They are
+/// enforced by default so decks that worked then work now and vice versa;
+/// [`Limits::unbounded`] lifts them for capacity benchmarks.
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_idlz::Limits;
+/// let table2 = Limits::historical();
+/// assert_eq!(table2.max_nodes, 500);
+/// assert_eq!(table2.max_elements, 850);
+/// assert_eq!(table2.max_subdivisions, 50);
+/// assert_eq!(table2.max_grid_x, 40);
+/// assert_eq!(table2.max_grid_y, 60);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// "Total number of subdivisions allowed: 50".
+    pub max_subdivisions: usize,
+    /// "Total number of elements allowed: 850".
+    pub max_elements: usize,
+    /// "Total number of nodes allowed: 500".
+    pub max_nodes: usize,
+    /// "Maximum horizontal integer coordinate used to define a
+    /// subdivision: 40".
+    pub max_grid_x: i32,
+    /// "Maximum vertical integer coordinate used to define a subdivision:
+    /// 60".
+    pub max_grid_y: i32,
+}
+
+impl Limits {
+    /// The limits of Table 2.
+    pub fn historical() -> Limits {
+        Limits {
+            max_subdivisions: 50,
+            max_elements: 850,
+            max_nodes: 500,
+            max_grid_x: 40,
+            max_grid_y: 60,
+        }
+    }
+
+    /// No limits (for capacity sweeps and modern-scale meshes).
+    pub fn unbounded() -> Limits {
+        Limits {
+            max_subdivisions: usize::MAX,
+            max_elements: usize::MAX,
+            max_nodes: usize::MAX,
+            max_grid_x: i32::MAX,
+            max_grid_y: i32::MAX,
+        }
+    }
+
+    pub(crate) fn check_subdivisions(&self, n: usize) -> Result<(), IdlzError> {
+        if n > self.max_subdivisions {
+            return Err(IdlzError::LimitExceeded {
+                what: "subdivisions",
+                attempted: n,
+                limit: self.max_subdivisions,
+            });
+        }
+        Ok(())
+    }
+
+    pub(crate) fn check_nodes(&self, n: usize) -> Result<(), IdlzError> {
+        if n > self.max_nodes {
+            return Err(IdlzError::LimitExceeded {
+                what: "nodes",
+                attempted: n,
+                limit: self.max_nodes,
+            });
+        }
+        Ok(())
+    }
+
+    pub(crate) fn check_elements(&self, n: usize) -> Result<(), IdlzError> {
+        if n > self.max_elements {
+            return Err(IdlzError::LimitExceeded {
+                what: "elements",
+                attempted: n,
+                limit: self.max_elements,
+            });
+        }
+        Ok(())
+    }
+
+    pub(crate) fn check_grid(&self, id: usize, x: i32, y: i32) -> Result<(), IdlzError> {
+        if x < 0 || y < 0 {
+            return Err(IdlzError::BadSubdivision {
+                id,
+                reason: format!("grid coordinates ({x}, {y}) must be non-negative"),
+            });
+        }
+        if x > self.max_grid_x {
+            return Err(IdlzError::LimitExceeded {
+                what: "horizontal grid coordinate",
+                attempted: x as usize,
+                limit: self.max_grid_x as usize,
+            });
+        }
+        if y > self.max_grid_y {
+            return Err(IdlzError::LimitExceeded {
+                what: "vertical grid coordinate",
+                attempted: y as usize,
+                limit: self.max_grid_y as usize,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits::historical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn historical_matches_table_2() {
+        let l = Limits::historical();
+        assert!(l.check_nodes(500).is_ok());
+        assert!(l.check_nodes(501).is_err());
+        assert!(l.check_elements(850).is_ok());
+        assert!(l.check_elements(851).is_err());
+        assert!(l.check_subdivisions(50).is_ok());
+        assert!(l.check_subdivisions(51).is_err());
+        assert!(l.check_grid(1, 40, 60).is_ok());
+        assert!(l.check_grid(1, 41, 0).is_err());
+        assert!(l.check_grid(1, 0, 61).is_err());
+    }
+
+    #[test]
+    fn negative_coordinates_rejected_even_unbounded() {
+        let l = Limits::unbounded();
+        assert!(l.check_grid(3, -1, 0).is_err());
+        assert!(l.check_grid(3, 1_000_000, 1_000_000).is_ok());
+    }
+}

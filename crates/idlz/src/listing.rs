@@ -1,0 +1,265 @@
+//! Printed listings — the line-printer output of the original program
+//! ("output from IDLZ can include besides a printed listing, plots … and
+//! punched data cards").
+//!
+//! The listing is the analyst's permanent record: the echo of the input
+//! data set, the node table with coordinates and boundary flags, the
+//! element table, and the run statistics. It is plain fixed-column text,
+//! suitable for a 132-column line printer then and a terminal now.
+
+use std::fmt::Write as _;
+
+use crate::idealization::IdealizationResult;
+use crate::spec::IdealizationSpec;
+use crate::subdivision::Taper;
+
+/// Renders the full printed listing for a finished run.
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_idlz::{listing, Idealization, IdealizationSpec, ShapeLine, Subdivision};
+/// use cafemio_geom::Point;
+/// # fn main() -> Result<(), cafemio_idlz::IdlzError> {
+/// let mut spec = IdealizationSpec::new("LISTING DEMO");
+/// spec.add_subdivision(Subdivision::rectangular(1, (0, 0), (2, 1))?);
+/// spec.add_shape_line(1, ShapeLine::straight(
+///     (0, 0), (2, 0), Point::new(0.0, 0.0), Point::new(1.0, 0.0)));
+/// spec.add_shape_line(1, ShapeLine::straight(
+///     (0, 1), (2, 1), Point::new(0.0, 0.5), Point::new(1.0, 0.5)));
+/// let result = Idealization::run(&spec)?;
+/// let text = listing(&spec, &result);
+/// assert!(text.contains("LISTING DEMO"));
+/// assert!(text.contains("NODE"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn listing(spec: &IdealizationSpec, result: &IdealizationResult) -> String {
+    let mut out = String::new();
+    let rule = "=".repeat(78);
+    let _ = writeln!(out, "{rule}");
+    let _ = writeln!(out, "PROGRAM IDLZ - STRUCTURAL IDEALIZATION");
+    let _ = writeln!(out, "{}", spec.title());
+    let _ = writeln!(out, "{rule}");
+
+    // Options echo (the Type-3 card).
+    let o = spec.options();
+    let _ = writeln!(
+        out,
+        "OPTIONS   NOPLOT = {}   NONUMB = {}   NOPNCH = {}",
+        o.plots as u8, o.renumber as u8, o.punch as u8
+    );
+    let _ = writeln!(out, "SUBDIVISIONS = {}", spec.subdivisions().len());
+    let _ = writeln!(out);
+
+    // Subdivision table (the Type-4 cards).
+    let _ = writeln!(
+        out,
+        "  SUBDVN    KK1    LL1    KK2    LL2  NTAPRW  NTAPCM   NODES  ELEMENTS"
+    );
+    for sub in spec.subdivisions() {
+        let (k1, l1) = sub.lower_left();
+        let (k2, l2) = sub.upper_right();
+        let (ntaprw, ntapcm) = match sub.taper() {
+            Taper::None => (0, 0),
+            Taper::Row(n) => (n, 0),
+            Taper::Column(n) => (0, n),
+        };
+        let _ = writeln!(
+            out,
+            "  {:>6} {:>6} {:>6} {:>6} {:>6} {:>7} {:>7} {:>7} {:>9}",
+            sub.id(),
+            k1,
+            l1,
+            k2,
+            l2,
+            ntaprw,
+            ntapcm,
+            sub.node_count(),
+            sub.element_count(),
+        );
+    }
+    let _ = writeln!(out);
+
+    // Shape-line echo (the Type-5/6 cards).
+    let total_lines: usize = spec.shape_lines().values().map(Vec::len).sum();
+    let _ = writeln!(out, "SHAPE LINES = {total_lines}");
+    for (sub_id, lines) in spec.shape_lines() {
+        for line in lines {
+            let kind = if line.is_arc() {
+                format!("ARC R={:<8.4}", line.radius)
+            } else {
+                "STRAIGHT     ".to_owned()
+            };
+            let _ = writeln!(
+                out,
+                "  SUBDVN {:>3}  ({:>3},{:>3})-({:>3},{:>3})  {}  ({:>9.4},{:>9.4}) TO ({:>9.4},{:>9.4})",
+                sub_id,
+                line.from.0,
+                line.from.1,
+                line.to.0,
+                line.to.1,
+                kind,
+                line.start.x,
+                line.start.y,
+                line.end.x,
+                line.end.y,
+            );
+        }
+    }
+    let _ = writeln!(out);
+
+    // Node table.
+    let _ = writeln!(out, "    NODE          X          Y  BOUNDARY");
+    for (id, node) in result.mesh.nodes() {
+        let _ = writeln!(
+            out,
+            "  {:>6} {:>10.5} {:>10.5} {:>9}",
+            id.index() + 1,
+            node.position.x,
+            node.position.y,
+            node.boundary.to_flag(),
+        );
+    }
+    let _ = writeln!(out);
+
+    // Element table.
+    let _ = writeln!(out, " ELEMENT      N1      N2      N3");
+    for (id, el) in result.mesh.elements() {
+        let _ = writeln!(
+            out,
+            "  {:>6} {:>7} {:>7} {:>7}",
+            id.index() + 1,
+            el.nodes[0].index() + 1,
+            el.nodes[1].index() + 1,
+            el.nodes[2].index() + 1,
+        );
+    }
+    let _ = writeln!(out);
+
+    // Run statistics.
+    let _ = writeln!(out, "{rule}");
+    let _ = writeln!(
+        out,
+        "NODES = {}   ELEMENTS = {}   BANDWIDTH {} -> {}",
+        result.mesh.node_count(),
+        result.mesh.element_count(),
+        result.stats.bandwidth_before,
+        result.stats.bandwidth_after,
+    );
+    let _ = writeln!(
+        out,
+        "REFORM  SWAPS = {}   MIN ANGLE {:.2} -> {:.2} DEG   NEEDLES {} -> {}",
+        result.reform.swaps,
+        result.reform.min_angle_before.to_degrees(),
+        result.reform.min_angle_after.to_degrees(),
+        result.reform.needles_before,
+        result.reform.needles_after,
+    );
+    let _ = writeln!(
+        out,
+        "INPUT DATA = {} VALUES   OUTPUT DATA = {} VALUES   RATIO = {:.1} PERCENT",
+        result.stats.input_values,
+        result.stats.output_values,
+        100.0 * result.stats.input_fraction(),
+    );
+    let _ = writeln!(out, "{rule}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Idealization, ShapeLine, Subdivision};
+    use cafemio_geom::Point;
+
+    fn demo() -> (IdealizationSpec, IdealizationResult) {
+        let mut spec = IdealizationSpec::new("LISTING TEST CASE");
+        spec.add_subdivision(Subdivision::rectangular(1, (0, 0), (3, 2)).unwrap());
+        spec.add_shape_line(
+            1,
+            ShapeLine::straight((0, 0), (3, 0), Point::new(0.0, 0.0), Point::new(3.0, 0.0)),
+        );
+        spec.add_shape_line(
+            1,
+            ShapeLine::arc(
+                (0, 2),
+                (3, 2),
+                Point::new(0.0, 5.0),
+                Point::new(3.0, 2.0),
+                3.0,
+            ),
+        );
+        let result = Idealization::run(&spec).unwrap();
+        (spec, result)
+    }
+
+    #[test]
+    fn listing_contains_all_sections() {
+        let (spec, result) = demo();
+        let text = listing(&spec, &result);
+        for needle in [
+            "PROGRAM IDLZ",
+            "LISTING TEST CASE",
+            "OPTIONS",
+            "SUBDVN",
+            "NTAPRW",
+            "SHAPE LINES = 2",
+            "ARC R=3.0000",
+            "STRAIGHT",
+            "NODE",
+            "ELEMENT",
+            "BANDWIDTH",
+            "RATIO",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?}\n{text}");
+        }
+    }
+
+    #[test]
+    fn listing_row_counts_match_mesh() {
+        let (spec, result) = demo();
+        let text = listing(&spec, &result);
+        // One row per node and per element (identified by their leading
+        // double-space indent and numeric columns).
+        let node_rows = text
+            .lines()
+            .skip_while(|l| !l.contains("    NODE"))
+            .skip(1)
+            .take_while(|l| !l.trim().is_empty())
+            .count();
+        assert_eq!(node_rows, result.mesh.node_count());
+        let element_rows = text
+            .lines()
+            .skip_while(|l| !l.contains(" ELEMENT "))
+            .skip(1)
+            .take_while(|l| !l.trim().is_empty())
+            .count();
+        assert_eq!(element_rows, result.mesh.element_count());
+    }
+
+    #[test]
+    fn one_based_numbering_in_listing() {
+        let (spec, result) = demo();
+        let text = listing(&spec, &result);
+        // FORTRAN-style: the first node row is node 1, not node 0.
+        let first_node_row = text
+            .lines()
+            .skip_while(|l| !l.contains("    NODE"))
+            .nth(1)
+            .unwrap();
+        assert!(first_node_row.trim_start().starts_with('1'));
+        // And the first element row is element 1 referencing nodes >= 1.
+        let first_element_row = text
+            .lines()
+            .skip_while(|l| !l.contains(" ELEMENT "))
+            .nth(1)
+            .unwrap();
+        let ids: Vec<usize> = first_element_row
+            .split_whitespace()
+            .map(|f| f.parse().unwrap())
+            .collect();
+        assert_eq!(ids[0], 1);
+        assert!(ids[1..].iter().all(|&n| n >= 1));
+    }
+}

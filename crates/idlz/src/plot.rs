@@ -1,0 +1,168 @@
+//! Idealization plots — the optional output of Figure 11.
+//!
+//! "Optional plots produced with the Stromberg-Datagraphic 4020 Plotter
+//! include X-Y plots of the surface with the elements shown, before and
+//! after shaping, and plots of each subdivision after shaping with the
+//! node numbers labeled."
+
+use cafemio_mesh::{NodeId, TriMesh};
+use cafemio_plotter::{Frame, Window};
+
+/// Options for a mesh plot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlotOptions {
+    /// Label every node with its number.
+    pub node_numbers: bool,
+    /// Label every element with its number at the centroid.
+    pub element_numbers: bool,
+}
+
+/// Draws a mesh into a plotter frame: every element edge exactly once,
+/// plus optional node/element number labels.
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_geom::Point;
+/// use cafemio_idlz::{plot_mesh, PlotOptions};
+/// use cafemio_mesh::{BoundaryKind, TriMesh};
+/// # fn main() -> Result<(), cafemio_mesh::MeshError> {
+/// let mut mesh = TriMesh::new();
+/// let a = mesh.add_node(Point::new(0.0, 0.0), BoundaryKind::Boundary);
+/// let b = mesh.add_node(Point::new(1.0, 0.0), BoundaryKind::Boundary);
+/// let c = mesh.add_node(Point::new(0.0, 1.0), BoundaryKind::Boundary);
+/// mesh.add_element([a, b, c])?;
+/// let frame = plot_mesh(&mesh, "ONE ELEMENT", PlotOptions::default());
+/// assert_eq!(frame.vector_count(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn plot_mesh(mesh: &TriMesh, title: &str, options: PlotOptions) -> Frame {
+    let mut frame = Frame::new(title);
+    if mesh.node_count() == 0 {
+        return frame;
+    }
+    let window = Window::fit(&mesh.bounding_box(), &frame);
+    for (edge, _) in mesh.edges() {
+        frame.draw_segment(
+            &window,
+            mesh.node(edge.0).position,
+            mesh.node(edge.1).position,
+        );
+    }
+    if options.node_numbers {
+        for (id, node) in mesh.nodes() {
+            // One-based numbers, as the original listings print them.
+            frame.label(&window, node.position, &format!("{}", id.index() + 1));
+        }
+    }
+    if options.element_numbers {
+        for (id, _) in mesh.elements() {
+            let c = mesh.triangle(id).centroid();
+            frame.label(&window, c, &format!("{}", id.index() + 1));
+        }
+    }
+    frame
+}
+
+/// One frame per subdivision with its node numbers labeled (Figure 11c).
+///
+/// Only elements whose three corners all belong to the subdivision are
+/// drawn, and only that subdivision's nodes are labeled.
+pub fn plot_subdivision_numbers(
+    mesh: &TriMesh,
+    title: &str,
+    subdivision_nodes: &[(usize, Vec<NodeId>)],
+) -> Vec<Frame> {
+    let mut frames = Vec::new();
+    for (sub_id, nodes) in subdivision_nodes {
+        let mut frame = Frame::new(&format!("{title} - SUBDIVISION {sub_id}"));
+        if nodes.is_empty() {
+            frames.push(frame);
+            continue;
+        }
+        let in_sub: std::collections::BTreeSet<NodeId> = nodes.iter().copied().collect();
+        let bbox = cafemio_geom::BoundingBox::from_points(
+            nodes.iter().map(|n| mesh.node(*n).position),
+        );
+        let window = Window::fit(&bbox, &frame);
+        for (edge, _) in mesh.edges() {
+            if in_sub.contains(&edge.0) && in_sub.contains(&edge.1) {
+                frame.draw_segment(
+                    &window,
+                    mesh.node(edge.0).position,
+                    mesh.node(edge.1).position,
+                );
+            }
+        }
+        for node in nodes {
+            frame.label(
+                &window,
+                mesh.node(*node).position,
+                &format!("{}", node.index() + 1),
+            );
+        }
+        frames.push(frame);
+    }
+    frames
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cafemio_geom::Point;
+    use cafemio_mesh::BoundaryKind;
+
+    fn two_tri_mesh() -> TriMesh {
+        let mut mesh = TriMesh::new();
+        let a = mesh.add_node(Point::new(0.0, 0.0), BoundaryKind::Boundary);
+        let b = mesh.add_node(Point::new(1.0, 0.0), BoundaryKind::Boundary);
+        let c = mesh.add_node(Point::new(1.0, 1.0), BoundaryKind::Boundary);
+        let d = mesh.add_node(Point::new(0.0, 1.0), BoundaryKind::Boundary);
+        mesh.add_element([a, b, c]).unwrap();
+        mesh.add_element([a, c, d]).unwrap();
+        mesh
+    }
+
+    #[test]
+    fn each_edge_drawn_once() {
+        let frame = plot_mesh(&two_tri_mesh(), "T", PlotOptions::default());
+        // 5 unique edges, not 6 (shared diagonal drawn once).
+        assert_eq!(frame.vector_count(), 5);
+        assert_eq!(frame.label_count(), 0);
+    }
+
+    #[test]
+    fn node_numbers_one_based() {
+        let frame = plot_mesh(
+            &two_tri_mesh(),
+            "T",
+            PlotOptions {
+                node_numbers: true,
+                element_numbers: true,
+            },
+        );
+        assert_eq!(frame.label_count(), 4 + 2);
+    }
+
+    #[test]
+    fn empty_mesh_gives_empty_frame() {
+        let frame = plot_mesh(&TriMesh::new(), "EMPTY", PlotOptions::default());
+        assert_eq!(frame.vector_count(), 0);
+    }
+
+    #[test]
+    fn subdivision_frames_cover_only_their_nodes() {
+        let mesh = two_tri_mesh();
+        let frames = plot_subdivision_numbers(
+            &mesh,
+            "T",
+            &[(1, vec![NodeId(0), NodeId(1), NodeId(2)])],
+        );
+        assert_eq!(frames.len(), 1);
+        assert!(frames[0].title().contains("SUBDIVISION 1"));
+        // Only the 3 edges internal to the listed nodes are drawn.
+        assert_eq!(frames[0].vector_count(), 3);
+        assert_eq!(frames[0].label_count(), 3);
+    }
+}

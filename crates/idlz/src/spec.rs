@@ -1,0 +1,183 @@
+//! The idealization problem description (one "data set" of Appendix B).
+
+use std::collections::BTreeMap;
+
+use crate::shape::ShapeLine;
+use crate::subdivision::Subdivision;
+use crate::Limits;
+
+/// The option switches of the Type-3 card.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Options {
+    /// `NOPLOT`: produce plots.
+    pub plots: bool,
+    /// `NONUMB`: renumber the nodes "so as to ensure a narrow bandwidth".
+    pub renumber: bool,
+    /// `NOPNCH`: punch output cards.
+    pub punch: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            plots: true,
+            renumber: true,
+            punch: true,
+        }
+    }
+}
+
+/// One idealization problem: title, options, subdivisions, shape lines,
+/// and punch formats — everything an Appendix-B data set carries.
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_idlz::{IdealizationSpec, Subdivision};
+/// # fn main() -> Result<(), cafemio_idlz::IdlzError> {
+/// let mut spec = IdealizationSpec::new("CIRCULAR RING");
+/// spec.add_subdivision(Subdivision::rectangular(1, (0, 0), (8, 2))?);
+/// assert_eq!(spec.subdivisions().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct IdealizationSpec {
+    title: String,
+    options: Options,
+    limits: Limits,
+    subdivisions: Vec<Subdivision>,
+    shape_lines: BTreeMap<usize, Vec<ShapeLine>>,
+    nodal_format: String,
+    element_format: String,
+}
+
+impl IdealizationSpec {
+    /// A fresh spec with default options, Table-2 limits, and the paper's
+    /// example punch formats (those "compatible with the finite element
+    /// analysis program of reference 1").
+    pub fn new(title: &str) -> IdealizationSpec {
+        IdealizationSpec {
+            title: title.to_owned(),
+            options: Options::default(),
+            limits: Limits::historical(),
+            subdivisions: Vec::new(),
+            shape_lines: BTreeMap::new(),
+            nodal_format: "(2F9.5, 51X, I3, 5X, I3)".to_owned(),
+            element_format: "(3I5, 62X, I3)".to_owned(),
+        }
+    }
+
+    /// The data-set title (Type-2 card).
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The option switches.
+    pub fn options(&self) -> Options {
+        self.options
+    }
+
+    /// Sets the option switches.
+    pub fn set_options(&mut self, options: Options) {
+        self.options = options;
+    }
+
+    /// The capacity limits in force.
+    pub fn limits(&self) -> Limits {
+        self.limits
+    }
+
+    /// Replaces the capacity limits (e.g. [`Limits::unbounded`] for
+    /// capacity sweeps).
+    pub fn set_limits(&mut self, limits: Limits) {
+        self.limits = limits;
+    }
+
+    /// Adds a subdivision (Type-4 card).
+    pub fn add_subdivision(&mut self, subdivision: Subdivision) {
+        self.subdivisions.push(subdivision);
+    }
+
+    /// The subdivisions in input order.
+    pub fn subdivisions(&self) -> &[Subdivision] {
+        &self.subdivisions
+    }
+
+    /// Adds a shape line (Type-6 card) to the subdivision with card
+    /// number `subdivision_id`.
+    pub fn add_shape_line(&mut self, subdivision_id: usize, line: ShapeLine) {
+        self.shape_lines
+            .entry(subdivision_id)
+            .or_default()
+            .push(line);
+    }
+
+    /// The shape lines keyed by subdivision number.
+    pub fn shape_lines(&self) -> &BTreeMap<usize, Vec<ShapeLine>> {
+        &self.shape_lines
+    }
+
+    /// Sets the punch formats of the two Type-7 cards.
+    pub fn set_punch_formats(&mut self, nodal: &str, element: &str) {
+        self.nodal_format = nodal.to_owned();
+        self.element_format = element.to_owned();
+    }
+
+    /// The nodal-card punch format.
+    pub fn nodal_format(&self) -> &str {
+        &self.nodal_format
+    }
+
+    /// The element-card punch format.
+    pub fn element_format(&self) -> &str {
+        &self.element_format
+    }
+
+    /// Number of input data values the analyst keypunched for this spec —
+    /// the numerator of the paper's "less than five percent" claim.
+    /// Counts the fields of the Type 3–7 cards exactly as Appendix B lays
+    /// them out.
+    pub fn input_value_count(&self) -> usize {
+        let type3 = 4;
+        let type4 = 7 * self.subdivisions.len();
+        let type5 = 2 * self.shape_lines.len();
+        let type6: usize = self.shape_lines.values().map(|v| 9 * v.len()).sum();
+        let type7 = 2;
+        type3 + type4 + type5 + type6 + type7
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Subdivision;
+    use cafemio_geom::Point;
+
+    #[test]
+    fn default_formats_match_paper() {
+        let spec = IdealizationSpec::new("T");
+        assert_eq!(spec.nodal_format(), "(2F9.5, 51X, I3, 5X, I3)");
+        assert_eq!(spec.element_format(), "(3I5, 62X, I3)");
+    }
+
+    #[test]
+    fn input_value_count_follows_appendix_b() {
+        let mut spec = IdealizationSpec::new("T");
+        spec.add_subdivision(Subdivision::rectangular(1, (0, 0), (2, 2)).unwrap());
+        spec.add_subdivision(Subdivision::rectangular(2, (2, 0), (4, 2)).unwrap());
+        spec.add_shape_line(
+            1,
+            ShapeLine::straight((0, 0), (2, 0), Point::new(0.0, 0.0), Point::new(1.0, 0.0)),
+        );
+        // 4 (type3) + 14 (two type4) + 2 (one type5) + 9 (one type6) + 2
+        // (type7) = 31.
+        assert_eq!(spec.input_value_count(), 31);
+    }
+
+    #[test]
+    fn options_default_all_on() {
+        let o = Options::default();
+        assert!(o.plots && o.renumber && o.punch);
+    }
+}

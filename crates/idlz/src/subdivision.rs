@@ -1,0 +1,503 @@
+//! Structure subdivisions: rectangles, isosceles trapezoids, and their
+//! degenerate three-sided form.
+//!
+//! "Representing the surface to be idealized by an assemblage of
+//! rectangles and trapezoids is a most important step in the use of IDLZ."
+//! A subdivision lives on the integer grid (Table 2 limits it to 40 × 60):
+//! its Type-4 card gives the integer corners of its bounding box plus the
+//! `NTAPRW` / `NTAPCM` taper indicators, whose value "specifies one half
+//! of the change in the number of nodes from one row to the next".
+
+use crate::IdlzError;
+
+/// A point of the integer definition grid (`KK`, `LL` on the cards).
+pub type GridPoint = (i32, i32);
+
+/// The taper indicator of a subdivision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Taper {
+    /// A plain rectangle (`NTAPRW = NTAPCM = 0`).
+    #[default]
+    None,
+    /// `NTAPRW ≠ 0`: isosceles trapezoid with horizontal parallel sides.
+    /// Positive: the top side is longer; negative: the top side is
+    /// shorter. The magnitude is half the node-count change per row.
+    Row(i32),
+    /// `NTAPCM ≠ 0`: isosceles trapezoid with vertical parallel sides.
+    /// Positive: the right side is longer; negative: the right side is
+    /// shorter. The magnitude is half the node-count change per column.
+    Column(i32),
+}
+
+/// One of the four sides of a subdivision.
+///
+/// For the degenerate (three-sided) trapezoid, the collapsed side is still
+/// addressed as a side of one node — the report's General Restriction 4:
+/// "the triangular subdivision … is considered to have four sides. … the
+/// point is located as if it were a line".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The lowest row of nodes.
+    Bottom,
+    /// The highest row of nodes.
+    Top,
+    /// The leftmost node of every row (or the leftmost column).
+    Left,
+    /// The rightmost node of every row (or the rightmost column).
+    Right,
+}
+
+impl Side {
+    /// The opposite side.
+    pub fn opposite(self) -> Side {
+        match self {
+            Side::Bottom => Side::Top,
+            Side::Top => Side::Bottom,
+            Side::Left => Side::Right,
+            Side::Right => Side::Left,
+        }
+    }
+
+    /// All four sides.
+    pub const ALL: [Side; 4] = [Side::Bottom, Side::Top, Side::Left, Side::Right];
+}
+
+/// One structure subdivision (a Type-4 card).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Subdivision {
+    id: usize,
+    lower_left: GridPoint,
+    upper_right: GridPoint,
+    taper: Taper,
+}
+
+impl Subdivision {
+    /// Creates a rectangular subdivision from its integer corners.
+    ///
+    /// # Errors
+    ///
+    /// [`IdlzError::BadSubdivision`] for corners out of order or a
+    /// degenerate box.
+    pub fn rectangular(
+        id: usize,
+        lower_left: GridPoint,
+        upper_right: GridPoint,
+    ) -> Result<Subdivision, IdlzError> {
+        Subdivision::new(id, lower_left, upper_right, Taper::None)
+    }
+
+    /// Creates a row trapezoid (`NTAPRW = taper`, horizontal parallel
+    /// sides).
+    ///
+    /// # Errors
+    ///
+    /// [`IdlzError::BadSubdivision`] when the taper is zero or collapses
+    /// the short side past a point.
+    pub fn row_trapezoid(
+        id: usize,
+        lower_left: GridPoint,
+        upper_right: GridPoint,
+        taper: i32,
+    ) -> Result<Subdivision, IdlzError> {
+        if taper == 0 {
+            return Err(IdlzError::BadSubdivision {
+                id,
+                reason: "NTAPRW must be nonzero for a row trapezoid".into(),
+            });
+        }
+        Subdivision::new(id, lower_left, upper_right, Taper::Row(taper))
+    }
+
+    /// Creates a column trapezoid (`NTAPCM = taper`, vertical parallel
+    /// sides).
+    ///
+    /// # Errors
+    ///
+    /// [`IdlzError::BadSubdivision`] when the taper is zero or collapses
+    /// the short side past a point.
+    pub fn column_trapezoid(
+        id: usize,
+        lower_left: GridPoint,
+        upper_right: GridPoint,
+        taper: i32,
+    ) -> Result<Subdivision, IdlzError> {
+        if taper == 0 {
+            return Err(IdlzError::BadSubdivision {
+                id,
+                reason: "NTAPCM must be nonzero for a column trapezoid".into(),
+            });
+        }
+        Subdivision::new(id, lower_left, upper_right, Taper::Column(taper))
+    }
+
+    /// Creates a subdivision from card fields (`NTAPRW` wins when both
+    /// indicators are nonzero, mirroring the original's reading order).
+    ///
+    /// # Errors
+    ///
+    /// [`IdlzError::BadSubdivision`] as for the specific constructors.
+    pub fn from_card_fields(
+        id: usize,
+        lower_left: GridPoint,
+        upper_right: GridPoint,
+        ntaprw: i32,
+        ntapcm: i32,
+    ) -> Result<Subdivision, IdlzError> {
+        if ntaprw != 0 {
+            Subdivision::row_trapezoid(id, lower_left, upper_right, ntaprw)
+        } else if ntapcm != 0 {
+            Subdivision::column_trapezoid(id, lower_left, upper_right, ntapcm)
+        } else {
+            Subdivision::rectangular(id, lower_left, upper_right)
+        }
+    }
+
+    fn new(
+        id: usize,
+        lower_left: GridPoint,
+        upper_right: GridPoint,
+        taper: Taper,
+    ) -> Result<Subdivision, IdlzError> {
+        let (k1, l1) = lower_left;
+        let (k2, l2) = upper_right;
+        let bad = |reason: String| IdlzError::BadSubdivision { id, reason };
+        if k2 <= k1 || l2 <= l1 {
+            return Err(bad(format!(
+                "upper-right corner ({k2}, {l2}) must exceed lower-left ({k1}, {l1}) in both \
+                 coordinates"
+            )));
+        }
+        let sub = Subdivision {
+            id,
+            lower_left,
+            upper_right,
+            taper,
+        };
+        // The short side must not collapse past a point.
+        match taper {
+            Taper::None => {}
+            Taper::Row(n) => {
+                let height = l2 - l1;
+                let width = k2 - k1;
+                if 2 * n.abs() * height > width {
+                    return Err(bad(format!(
+                        "row taper {n} over {height} rows shrinks the short side below a point \
+                         (long side is {width} units)"
+                    )));
+                }
+            }
+            Taper::Column(n) => {
+                let width = k2 - k1;
+                let height = l2 - l1;
+                if 2 * n.abs() * width > height {
+                    return Err(bad(format!(
+                        "column taper {n} over {width} columns shrinks the short side below a \
+                         point (long side is {height} units)"
+                    )));
+                }
+            }
+        }
+        Ok(sub)
+    }
+
+    /// The subdivision number (one-based, from the card).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Lower-left corner of the bounding box (`KK1`, `LL1`).
+    pub fn lower_left(&self) -> GridPoint {
+        self.lower_left
+    }
+
+    /// Upper-right corner of the bounding box (`KK2`, `LL2`).
+    pub fn upper_right(&self) -> GridPoint {
+        self.upper_right
+    }
+
+    /// The taper indicator.
+    pub fn taper(&self) -> Taper {
+        self.taper
+    }
+
+    /// True when the short parallel side has shrunk to one node — the
+    /// "three-sided" subdivision used for the DSSV viewports.
+    pub fn is_triangular(&self) -> bool {
+        self.strips()
+            .iter()
+            .any(|s| s.len() == 1)
+    }
+
+    /// The node strips: horizontal rows bottom-to-top for rectangles and
+    /// row trapezoids, vertical columns left-to-right for column
+    /// trapezoids. Each strip lists its grid points in ascending
+    /// coordinate order.
+    pub fn strips(&self) -> Vec<Vec<GridPoint>> {
+        let (k1, l1) = self.lower_left;
+        let (k2, l2) = self.upper_right;
+        match self.taper {
+            Taper::None => (l1..=l2)
+                .map(|l| (k1..=k2).map(|k| (k, l)).collect())
+                .collect(),
+            Taper::Row(n) => (l1..=l2)
+                .map(|l| {
+                    let inset = if n > 0 {
+                        n * (l2 - l)
+                    } else {
+                        -n * (l - l1)
+                    };
+                    ((k1 + inset)..=(k2 - inset)).map(|k| (k, l)).collect()
+                })
+                .collect(),
+            Taper::Column(n) => (k1..=k2)
+                .map(|k| {
+                    let inset = if n > 0 {
+                        n * (k2 - k)
+                    } else {
+                        -n * (k - k1)
+                    };
+                    ((l1 + inset)..=(l2 - inset)).map(|l| (k, l)).collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// All grid points of the subdivision.
+    pub fn grid_points(&self) -> Vec<GridPoint> {
+        self.strips().into_iter().flatten().collect()
+    }
+
+    /// The node sequence of one side, in ascending strip order.
+    pub fn side_nodes(&self, side: Side) -> Vec<GridPoint> {
+        let strips = self.strips();
+        let firsts = || strips.iter().map(|s| s[0]).collect::<Vec<_>>();
+        let lasts = || strips.iter().map(|s| *s.last().expect("non-empty strip")).collect();
+        match self.taper {
+            Taper::None | Taper::Row(_) => match side {
+                Side::Bottom => strips[0].clone(),
+                Side::Top => strips.last().expect("at least two strips").clone(),
+                Side::Left => firsts(),
+                Side::Right => lasts(),
+            },
+            Taper::Column(_) => match side {
+                Side::Left => strips[0].clone(),
+                Side::Right => strips.last().expect("at least two strips").clone(),
+                Side::Bottom => firsts(),
+                Side::Top => lasts(),
+            },
+        }
+    }
+
+    /// The triangles of the subdivision as grid-point triples.
+    ///
+    /// Consecutive strips of unequal length are joined by the two-pointer
+    /// fan march that gives the trapezoids of Figures 3–5 their
+    /// characteristic look; equal-length strips degenerate to the familiar
+    /// diagonal split of Figure 2.
+    pub fn grid_elements(&self) -> Vec<[GridPoint; 3]> {
+        let strips = self.strips();
+        let mut elements = Vec::new();
+        let along = |p: GridPoint| -> i32 {
+            match self.taper {
+                Taper::Column(_) => p.1,
+                _ => p.0,
+            }
+        };
+        for pair in strips.windows(2) {
+            let (lower, upper) = (&pair[0], &pair[1]);
+            let mut i = 0; // index into lower
+            let mut j = 0; // index into upper
+            while i + 1 < lower.len() || j + 1 < upper.len() {
+                let advance_lower = if i + 1 >= lower.len() {
+                    false
+                } else if j + 1 >= upper.len() {
+                    true
+                } else {
+                    along(lower[i + 1]) <= along(upper[j + 1])
+                };
+                if advance_lower {
+                    elements.push([lower[i], lower[i + 1], upper[j]]);
+                    i += 1;
+                } else {
+                    elements.push([lower[i], upper[j + 1], upper[j]]);
+                    j += 1;
+                }
+            }
+        }
+        // Normalize orientation to counter-clockwise in grid space.
+        for tri in &mut elements {
+            let [a, b, c] = *tri;
+            let cross = (b.0 - a.0) as i64 * (c.1 - a.1) as i64
+                - (b.1 - a.1) as i64 * (c.0 - a.0) as i64;
+            if cross < 0 {
+                tri.swap(1, 2);
+            }
+        }
+        elements
+    }
+
+    /// Number of nodes (closed form cross-checked against
+    /// [`grid_points`](Self::grid_points) in tests).
+    pub fn node_count(&self) -> usize {
+        self.strips().iter().map(Vec::len).sum()
+    }
+
+    /// Number of elements.
+    pub fn element_count(&self) -> usize {
+        self.strips()
+            .windows(2)
+            .map(|pair| pair[0].len() + pair[1].len() - 2)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangle_counts() {
+        // Figure 2's rectangular subdivision: every unit cell splits in
+        // two.
+        let s = Subdivision::rectangular(1, (0, 0), (4, 3)).unwrap();
+        assert_eq!(s.node_count(), 5 * 4);
+        assert_eq!(s.element_count(), 4 * 3 * 2);
+        assert_eq!(s.grid_elements().len(), s.element_count());
+        assert!(!s.is_triangular());
+    }
+
+    #[test]
+    fn row_trapezoid_positive_top_longer() {
+        // NTAPRW = +1, height 2: rows of 1, 3, 5 nodes.
+        let s = Subdivision::row_trapezoid(1, (0, 0), (4, 2), 1).unwrap();
+        let strips = s.strips();
+        assert_eq!(strips[0].len(), 1);
+        assert_eq!(strips[1].len(), 3);
+        assert_eq!(strips[2].len(), 5);
+        assert_eq!(strips[0][0], (2, 0)); // centered apex
+        assert!(s.is_triangular());
+        // Node-count change per row is 2·|NTAPRW|.
+        assert_eq!(strips[1].len() - strips[0].len(), 2);
+    }
+
+    #[test]
+    fn row_trapezoid_negative_top_shorter() {
+        let s = Subdivision::row_trapezoid(1, (0, 0), (6, 2), -1).unwrap();
+        let strips = s.strips();
+        assert_eq!(strips[0].len(), 7);
+        assert_eq!(strips[2].len(), 3);
+        assert_eq!(strips[2][0], (2, 2));
+    }
+
+    #[test]
+    fn column_trapezoid_signs() {
+        // NTAPCM = +2: right side longer.
+        let right_long = Subdivision::column_trapezoid(1, (0, 0), (2, 8), 2).unwrap();
+        let strips = right_long.strips();
+        assert_eq!(strips[0].len(), 1); // left column collapsed
+        assert_eq!(strips[2].len(), 9); // right column full
+        let left_long = Subdivision::column_trapezoid(1, (0, 0), (2, 8), -2).unwrap();
+        let strips = left_long.strips();
+        assert_eq!(strips[0].len(), 9);
+        assert_eq!(strips[2].len(), 1);
+    }
+
+    #[test]
+    fn element_count_matches_euler() {
+        // For a simply connected triangulation: E = 2·(nodes) − boundary
+        // nodes − 2. Spot-check a trapezoid against direct enumeration.
+        for taper in [1, -1, 2, -2] {
+            let s = Subdivision::row_trapezoid(1, (0, 0), (8, 2), taper).unwrap();
+            assert_eq!(s.grid_elements().len(), s.element_count(), "taper {taper}");
+        }
+    }
+
+    #[test]
+    fn all_elements_ccw_and_distinct_corners() {
+        let s = Subdivision::row_trapezoid(1, (0, 0), (6, 3), -1).unwrap();
+        for tri in s.grid_elements() {
+            let [a, b, c] = tri;
+            assert_ne!(a, b);
+            assert_ne!(b, c);
+            assert_ne!(a, c);
+            let cross = (b.0 - a.0) * (c.1 - a.1) - (b.1 - a.1) * (c.0 - a.0);
+            assert!(cross > 0, "element {tri:?} not CCW");
+        }
+    }
+
+    #[test]
+    fn elements_cover_every_node() {
+        let s = Subdivision::column_trapezoid(1, (0, 0), (3, 10), 1).unwrap();
+        let mut used: std::collections::BTreeSet<GridPoint> = Default::default();
+        for tri in s.grid_elements() {
+            used.extend(tri);
+        }
+        let all: std::collections::BTreeSet<GridPoint> = s.grid_points().into_iter().collect();
+        assert_eq!(used, all);
+    }
+
+    #[test]
+    fn side_nodes_of_rectangle() {
+        let s = Subdivision::rectangular(1, (1, 1), (3, 4)).unwrap();
+        assert_eq!(s.side_nodes(Side::Bottom), vec![(1, 1), (2, 1), (3, 1)]);
+        assert_eq!(s.side_nodes(Side::Left).len(), 4);
+        assert_eq!(s.side_nodes(Side::Right)[0], (3, 1));
+        assert_eq!(s.side_nodes(Side::Top).last(), Some(&(3, 4)));
+    }
+
+    #[test]
+    fn side_nodes_of_column_trapezoid() {
+        let s = Subdivision::column_trapezoid(1, (0, 0), (2, 4), -1).unwrap();
+        // Left side is the full left column; bottom follows the slope.
+        assert_eq!(s.side_nodes(Side::Left).len(), 5);
+        assert_eq!(s.side_nodes(Side::Right).len(), 1);
+        let bottom = s.side_nodes(Side::Bottom);
+        assert_eq!(bottom, vec![(0, 0), (1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn degenerate_side_is_single_point() {
+        // Triangle: apex at top. "The point is located as if it were a
+        // line."
+        let s = Subdivision::row_trapezoid(1, (0, 0), (4, 2), -1).unwrap();
+        assert_eq!(s.side_nodes(Side::Top).len(), 1);
+    }
+
+    #[test]
+    fn invalid_subdivisions_rejected() {
+        assert!(Subdivision::rectangular(1, (3, 0), (2, 2)).is_err());
+        assert!(Subdivision::rectangular(1, (0, 0), (2, 0)).is_err());
+        assert!(Subdivision::row_trapezoid(1, (0, 0), (2, 2), 0).is_err());
+        // Taper 2 over 2 rows needs an 8-unit long side; 4 is too narrow.
+        assert!(Subdivision::row_trapezoid(1, (0, 0), (4, 2), 2).is_err());
+        assert!(Subdivision::column_trapezoid(1, (0, 0), (2, 2), 2).is_err());
+    }
+
+    #[test]
+    fn from_card_fields_dispatch() {
+        let rect = Subdivision::from_card_fields(1, (0, 0), (2, 2), 0, 0).unwrap();
+        assert_eq!(rect.taper(), Taper::None);
+        let row = Subdivision::from_card_fields(2, (0, 0), (8, 2), -2, 0).unwrap();
+        assert_eq!(row.taper(), Taper::Row(-2));
+        let col = Subdivision::from_card_fields(3, (0, 0), (2, 8), 0, 1).unwrap();
+        assert_eq!(col.taper(), Taper::Column(1));
+    }
+
+    #[test]
+    fn opposite_sides() {
+        assert_eq!(Side::Bottom.opposite(), Side::Top);
+        assert_eq!(Side::Left.opposite(), Side::Right);
+    }
+
+    #[test]
+    fn figure5_style_steep_taper() {
+        // NTAPRW = +2 over 2 rows: rows of 1, 5, 9 nodes.
+        let s = Subdivision::row_trapezoid(1, (0, 0), (8, 2), 2).unwrap();
+        let strips = s.strips();
+        assert_eq!(
+            strips.iter().map(Vec::len).collect::<Vec<_>>(),
+            vec![1, 5, 9]
+        );
+        assert_eq!(s.element_count(), (1 + 5 - 2) + (5 + 9 - 2));
+    }
+}

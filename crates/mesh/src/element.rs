@@ -1,0 +1,106 @@
+//! Three-node elements.
+
+use std::fmt;
+
+use crate::node::NodeId;
+
+/// Zero-based element identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ElementId(pub usize);
+
+impl ElementId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ElementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A triangular element: three node references.
+///
+/// "Elements are created by grouping three adjacent nodes together" — the
+/// only element type in the paper (and in the analysis programs it feeds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Element {
+    /// The three corner nodes.
+    pub nodes: [NodeId; 3],
+}
+
+impl Element {
+    /// Creates an element from its corner nodes.
+    pub fn new(nodes: [NodeId; 3]) -> Element {
+        Element { nodes }
+    }
+
+    /// True when the element references `node`.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.nodes.contains(&node)
+    }
+
+    /// The three directed edges in corner order.
+    pub fn edges(&self) -> [(NodeId, NodeId); 3] {
+        let [a, b, c] = self.nodes;
+        [(a, b), (b, c), (c, a)]
+    }
+
+    /// The corner opposite to the directed edge `(a, b)`, if the element
+    /// has that edge in either direction.
+    pub fn opposite(&self, a: NodeId, b: NodeId) -> Option<NodeId> {
+        if !self.contains(a) || !self.contains(b) || a == b {
+            return None;
+        }
+        self.nodes.iter().copied().find(|n| *n != a && *n != b)
+    }
+
+    /// Replaces node `from` by `to`, returning whether a replacement
+    /// happened (used by the diagonal-swap reformer).
+    pub fn replace(&mut self, from: NodeId, to: NodeId) -> bool {
+        for n in &mut self.nodes {
+            if *n == from {
+                *n = to;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e() -> Element {
+        Element::new([NodeId(0), NodeId(1), NodeId(2)])
+    }
+
+    #[test]
+    fn contains_and_opposite() {
+        let el = e();
+        assert!(el.contains(NodeId(1)));
+        assert!(!el.contains(NodeId(3)));
+        assert_eq!(el.opposite(NodeId(0), NodeId(1)), Some(NodeId(2)));
+        assert_eq!(el.opposite(NodeId(1), NodeId(0)), Some(NodeId(2)));
+        assert_eq!(el.opposite(NodeId(0), NodeId(3)), None);
+        assert_eq!(el.opposite(NodeId(0), NodeId(0)), None);
+    }
+
+    #[test]
+    fn edges_cycle_corners() {
+        let edges = e().edges();
+        assert_eq!(edges[0], (NodeId(0), NodeId(1)));
+        assert_eq!(edges[2], (NodeId(2), NodeId(0)));
+    }
+
+    #[test]
+    fn replace_swaps_first_match() {
+        let mut el = e();
+        assert!(el.replace(NodeId(1), NodeId(9)));
+        assert_eq!(el.nodes, [NodeId(0), NodeId(9), NodeId(2)]);
+        assert!(!el.replace(NodeId(1), NodeId(5)));
+    }
+}

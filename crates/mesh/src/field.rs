@@ -1,0 +1,168 @@
+//! Nodal scalar fields — the unit of OSPL input.
+
+use std::fmt;
+
+use crate::node::NodeId;
+
+/// One scalar value per node of a mesh: a stress component, a temperature,
+/// a displacement magnitude — whatever the analysis produced and the
+/// analyst wants contoured ("at every node, one or more … values of
+/// stress, strain, etc.").
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_mesh::{NodalField, NodeId};
+/// let field = NodalField::new("EFFECTIVE STRESS", vec![10.0, 20.0, 35.0]);
+/// assert_eq!(field.value(NodeId(2)), 35.0);
+/// assert_eq!(field.min_max(), Some((10.0, 35.0)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodalField {
+    name: String,
+    values: Vec<f64>,
+}
+
+impl NodalField {
+    /// Creates a named field from per-node values (index = node id).
+    pub fn new(name: &str, values: Vec<f64>) -> NodalField {
+        NodalField {
+            name: name.to_owned(),
+            values,
+        }
+    }
+
+    /// A zero field over `n` nodes.
+    pub fn zeros(name: &str, n: usize) -> NodalField {
+        NodalField::new(name, vec![0.0; n])
+    }
+
+    /// The field's display name (used as the plot title line).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodal values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the field holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The value at a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the node id is out of range.
+    pub fn value(&self, node: NodeId) -> f64 {
+        self.values[node.index()]
+    }
+
+    /// Sets the value at a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the node id is out of range.
+    pub fn set(&mut self, node: NodeId, value: f64) {
+        self.values[node.index()] = value;
+    }
+
+    /// All values in node order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Smallest and largest value, or `None` for an empty field. NaN
+    /// values are ignored (they would poison the contour interval).
+    pub fn min_max(&self) -> Option<(f64, f64)> {
+        let mut it = self.values.iter().copied().filter(|v| !v.is_nan());
+        let first = it.next()?;
+        let (mut lo, mut hi) = (first, first);
+        for v in it {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Some((lo, hi))
+    }
+
+    /// Applies a node renumbering `permutation[old] = new`, keeping values
+    /// attached to their nodes when the mesh is renumbered.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `permutation` length differs from the field length or
+    /// is not a permutation.
+    pub fn renumber(&mut self, permutation: &[usize]) {
+        assert_eq!(permutation.len(), self.values.len());
+        let mut new_values = vec![f64::NAN; self.values.len()];
+        for (old, &v) in self.values.iter().enumerate() {
+            let slot = permutation[old];
+            assert!(
+                slot < new_values.len() && new_values[slot].is_nan(),
+                "not a permutation"
+            );
+            new_values[slot] = v;
+        }
+        self.values = new_values;
+    }
+}
+
+impl fmt::Display for NodalField {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} values)", self.name, self.values.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_max_skips_nan() {
+        let f = NodalField::new("T", vec![3.0, f64::NAN, -1.0]);
+        assert_eq!(f.min_max(), Some((-1.0, 3.0)));
+    }
+
+    #[test]
+    fn empty_field_has_no_extent() {
+        assert_eq!(NodalField::new("T", vec![]).min_max(), None);
+        assert!(NodalField::new("T", vec![]).is_empty());
+    }
+
+    #[test]
+    fn zeros_constructor() {
+        let f = NodalField::zeros("Z", 4);
+        assert_eq!(f.len(), 4);
+        assert_eq!(f.min_max(), Some((0.0, 0.0)));
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut f = NodalField::zeros("T", 3);
+        f.set(NodeId(1), 7.5);
+        assert_eq!(f.value(NodeId(1)), 7.5);
+        assert_eq!(f.value(NodeId(0)), 0.0);
+    }
+
+    #[test]
+    fn renumber_moves_values_with_nodes() {
+        let mut f = NodalField::new("T", vec![10.0, 20.0, 30.0]);
+        f.renumber(&[2, 0, 1]);
+        assert_eq!(f.values(), &[20.0, 30.0, 10.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn renumber_rejects_duplicates() {
+        NodalField::new("T", vec![1.0, 2.0]).renumber(&[0, 0]);
+    }
+
+    #[test]
+    fn display_includes_name_and_count() {
+        let f = NodalField::zeros("SHEAR STRESS", 2);
+        assert_eq!(f.to_string(), "SHEAR STRESS (2 values)");
+    }
+}

@@ -1,0 +1,51 @@
+//! # cafemio-mesh
+//!
+//! Triangle-mesh substrate shared by IDLZ (which produces meshes), OSPL
+//! (which plots fields on them), and the finite element solvers (which
+//! assemble over them).
+//!
+//! The central type is [`TriMesh`]: indexed nodes with the paper's
+//! boundary flags (OSPL's Type-3 card carries `N(I)` = 0/1/2 for interior /
+//! boundary / boundary-in-one-element-only nodes) and three-node elements.
+//! Around it sit:
+//!
+//! * adjacency queries ([`TriMesh::node_elements`], [`TriMesh::edges`],
+//!   [`TriMesh::boundary_edges`]),
+//! * the matrix [`bandwidth`](TriMesh::bandwidth) that IDLZ's renumbering
+//!   pass minimizes,
+//! * [`cuthill_mckee`] / [`reverse_cuthill_mckee`] orderings (the paper's
+//!   "numbering scheme of Reference 2 … to ensure a narrow bandwidth"),
+//! * [`NodalField`] — one scalar per node, the unit of OSPL input,
+//! * [`QualityReport`] — the element-shape statistics IDLZ's reforming
+//!   pass improves.
+//!
+//! # Examples
+//!
+//! ```
+//! use cafemio_geom::Point;
+//! use cafemio_mesh::{BoundaryKind, TriMesh};
+//! # fn main() -> Result<(), cafemio_mesh::MeshError> {
+//! let mut mesh = TriMesh::new();
+//! let a = mesh.add_node(Point::new(0.0, 0.0), BoundaryKind::Boundary);
+//! let b = mesh.add_node(Point::new(1.0, 0.0), BoundaryKind::Boundary);
+//! let c = mesh.add_node(Point::new(0.0, 1.0), BoundaryKind::Boundary);
+//! mesh.add_element([a, b, c])?;
+//! assert_eq!(mesh.node_count(), 3);
+//! assert!((mesh.total_area() - 0.5).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+mod bandwidth;
+mod element;
+mod field;
+mod mesh;
+mod node;
+mod quality;
+
+pub use bandwidth::{cuthill_mckee, reverse_cuthill_mckee};
+pub use element::{Element, ElementId};
+pub use field::NodalField;
+pub use mesh::{Edge, MeshError, TriMesh};
+pub use node::{BoundaryKind, Node, NodeId};
+pub use quality::QualityReport;

@@ -1,0 +1,740 @@
+//! The triangle mesh container and its adjacency queries.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cafemio_geom::{BoundingBox, Point, Triangle};
+
+use crate::element::{Element, ElementId};
+use crate::node::{BoundaryKind, Node, NodeId};
+use crate::quality::QualityReport;
+
+/// An undirected edge, stored with its node indices in ascending order so
+/// it can key adjacency maps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge(pub NodeId, pub NodeId);
+
+impl Edge {
+    /// Creates the canonical (sorted) form of an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics when both ends are the same node.
+    pub fn new(a: NodeId, b: NodeId) -> Edge {
+        assert!(a != b, "an edge needs two distinct nodes");
+        if a < b {
+            Edge(a, b)
+        } else {
+            Edge(b, a)
+        }
+    }
+}
+
+/// Errors raised by mesh construction and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MeshError {
+    /// An element references a node index that does not exist.
+    NodeOutOfRange {
+        /// The offending reference.
+        node: NodeId,
+        /// Number of nodes in the mesh.
+        node_count: usize,
+    },
+    /// An element references the same node more than once.
+    RepeatedNode {
+        /// The repeated node.
+        node: NodeId,
+    },
+    /// Validation found an element with (numerically) zero area.
+    DegenerateElement {
+        /// The degenerate element.
+        element: ElementId,
+    },
+    /// Validation found a node used by no element.
+    OrphanNode {
+        /// The unused node.
+        node: NodeId,
+    },
+    /// An edge is shared by more than two elements (non-manifold mesh).
+    NonManifoldEdge {
+        /// The over-shared edge.
+        edge: (NodeId, NodeId),
+        /// How many elements share it.
+        count: usize,
+    },
+}
+
+impl fmt::Display for MeshError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeshError::NodeOutOfRange { node, node_count } => {
+                write!(f, "element references {node} but mesh has {node_count} nodes")
+            }
+            MeshError::RepeatedNode { node } => {
+                write!(f, "element references {node} more than once")
+            }
+            MeshError::DegenerateElement { element } => {
+                write!(f, "{element} has zero area")
+            }
+            MeshError::OrphanNode { node } => {
+                write!(f, "{node} is used by no element")
+            }
+            MeshError::NonManifoldEdge { edge, count } => {
+                write!(
+                    f,
+                    "edge {}-{} is shared by {count} elements",
+                    edge.0, edge.1
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MeshError {}
+
+/// A triangle mesh: nodes (with positions and boundary flags) plus
+/// three-node elements.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TriMesh {
+    nodes: Vec<Node>,
+    elements: Vec<Element>,
+}
+
+impl TriMesh {
+    /// An empty mesh.
+    pub fn new() -> TriMesh {
+        TriMesh::default()
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add_node(&mut self, position: Point, boundary: BoundaryKind) -> NodeId {
+        self.nodes.push(Node::new(position, boundary));
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Adds an element over existing nodes.
+    ///
+    /// # Errors
+    ///
+    /// [`MeshError::NodeOutOfRange`] or [`MeshError::RepeatedNode`] when
+    /// the references are invalid. (Geometric degeneracy is *not* checked
+    /// here — IDLZ legitimately creates badly shaped elements first and
+    /// reforms them afterwards; call [`validate`](Self::validate) when the
+    /// mesh should be final.)
+    pub fn add_element(&mut self, nodes: [NodeId; 3]) -> Result<ElementId, MeshError> {
+        for &n in &nodes {
+            if n.index() >= self.nodes.len() {
+                return Err(MeshError::NodeOutOfRange {
+                    node: n,
+                    node_count: self.nodes.len(),
+                });
+            }
+        }
+        if nodes[0] == nodes[1] || nodes[1] == nodes[2] || nodes[0] == nodes[2] {
+            let repeated = if nodes[0] == nodes[1] || nodes[0] == nodes[2] {
+                nodes[0]
+            } else {
+                nodes[1]
+            };
+            return Err(MeshError::RepeatedNode { node: repeated });
+        }
+        self.elements.push(Element::new(nodes));
+        Ok(ElementId(self.elements.len() - 1))
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of elements.
+    pub fn element_count(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// The node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable access to a node (shaping moves nodes in place).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id is out of range.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.index()]
+    }
+
+    /// The element with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id is out of range.
+    pub fn element(&self, id: ElementId) -> &Element {
+        &self.elements[id.index()]
+    }
+
+    /// Mutable access to an element (the reformer rewrites corner lists).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id is out of range.
+    pub fn element_mut(&mut self, id: ElementId) -> &mut Element {
+        &mut self.elements[id.index()]
+    }
+
+    /// Iterator over `(NodeId, &Node)` in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i), n))
+    }
+
+    /// Iterator over `(ElementId, &Element)` in id order.
+    pub fn elements(&self) -> impl Iterator<Item = (ElementId, &Element)> {
+        self.elements
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (ElementId(i), e))
+    }
+
+    /// Geometry of an element as a [`Triangle`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id is out of range.
+    pub fn triangle(&self, id: ElementId) -> Triangle {
+        let el = self.element(id);
+        Triangle::new(
+            self.node(el.nodes[0]).position,
+            self.node(el.nodes[1]).position,
+            self.node(el.nodes[2]).position,
+        )
+    }
+
+    /// Sum of element areas.
+    pub fn total_area(&self) -> f64 {
+        (0..self.elements.len())
+            .map(|i| self.triangle(ElementId(i)).area())
+            .sum()
+    }
+
+    /// Bounding box of all node positions.
+    pub fn bounding_box(&self) -> BoundingBox {
+        BoundingBox::from_points(self.nodes.iter().map(|n| n.position))
+    }
+
+    /// For every edge, the elements sharing it (1 on the boundary, 2 in
+    /// the interior of a manifold mesh).
+    pub fn edges(&self) -> BTreeMap<Edge, Vec<ElementId>> {
+        let mut map: BTreeMap<Edge, Vec<ElementId>> = BTreeMap::new();
+        for (id, el) in self.elements() {
+            for (a, b) in el.edges() {
+                map.entry(Edge::new(a, b)).or_default().push(id);
+            }
+        }
+        map
+    }
+
+    /// Edges belonging to exactly one element — the mesh outline OSPL
+    /// draws by "connecting adjacent boundary nodes by straight lines".
+    pub fn boundary_edges(&self) -> Vec<Edge> {
+        self.edges()
+            .into_iter()
+            .filter(|(_, els)| els.len() == 1)
+            .map(|(e, _)| e)
+            .collect()
+    }
+
+    /// For every node, the elements using it.
+    pub fn node_elements(&self) -> Vec<Vec<ElementId>> {
+        let mut map = vec![Vec::new(); self.nodes.len()];
+        for (id, el) in self.elements() {
+            for n in el.nodes {
+                map[n.index()].push(id);
+            }
+        }
+        map
+    }
+
+    /// Node-to-node adjacency (nodes sharing an element edge), sorted.
+    pub fn node_adjacency(&self) -> Vec<Vec<NodeId>> {
+        let mut adj = vec![Vec::new(); self.nodes.len()];
+        for (edge, _) in self.edges() {
+            adj[edge.0.index()].push(edge.1);
+            adj[edge.1.index()].push(edge.0);
+        }
+        for list in &mut adj {
+            list.sort();
+            list.dedup();
+        }
+        adj
+    }
+
+    /// Semi-bandwidth of the node numbering: `max |i - j|` over all element
+    /// node pairs. This is the quantity the paper's renumbering minimizes
+    /// ("the size of the coefficient matrix bandwidth … is directly
+    /// related to the numbering scheme").
+    pub fn bandwidth(&self) -> usize {
+        self.elements
+            .iter()
+            .flat_map(|el| {
+                let [a, b, c] = el.nodes;
+                [
+                    a.index().abs_diff(b.index()),
+                    b.index().abs_diff(c.index()),
+                    a.index().abs_diff(c.index()),
+                ]
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Applies a node renumbering: `permutation[old] = new`. Node storage
+    /// is reordered and every element reference rewritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `permutation` is not a permutation of `0..node_count`.
+    pub fn renumber_nodes(&mut self, permutation: &[usize]) {
+        assert_eq!(
+            permutation.len(),
+            self.nodes.len(),
+            "permutation length must equal node count"
+        );
+        let mut seen = vec![false; permutation.len()];
+        for &p in permutation {
+            assert!(p < permutation.len() && !seen[p], "not a permutation");
+            seen[p] = true;
+        }
+        let mut new_nodes = vec![
+            Node::new(Point::ORIGIN, BoundaryKind::Interior);
+            self.nodes.len()
+        ];
+        for (old, node) in self.nodes.iter().enumerate() {
+            new_nodes[permutation[old]] = *node;
+        }
+        self.nodes = new_nodes;
+        for el in &mut self.elements {
+            for n in &mut el.nodes {
+                *n = NodeId(permutation[n.index()]);
+            }
+        }
+    }
+
+    /// Element-shape statistics (see [`QualityReport`]).
+    pub fn quality(&self) -> QualityReport {
+        QualityReport::measure(self)
+    }
+
+    /// Recomputes every node's [`BoundaryKind`] from the current
+    /// connectivity: nodes on single-element edges are `Boundary`,
+    /// downgraded to `BoundaryCorner` when they belong to exactly one
+    /// element, everything else `Interior` — the flags OSPL's Type-3
+    /// cards carry.
+    pub fn classify_boundary(&mut self) {
+        let boundary_edges = self.boundary_edges();
+        let node_elements = self.node_elements();
+        let mut on_boundary = vec![false; self.node_count()];
+        for edge in boundary_edges {
+            on_boundary[edge.0.index()] = true;
+            on_boundary[edge.1.index()] = true;
+        }
+        for i in 0..self.node_count() {
+            self.nodes[i].boundary = if !on_boundary[i] {
+                BoundaryKind::Interior
+            } else if node_elements[i].len() == 1 {
+                BoundaryKind::BoundaryCorner
+            } else {
+                BoundaryKind::Boundary
+            };
+        }
+    }
+
+    /// Merges nodes whose positions coincide within `tol`, rewriting
+    /// element references, dropping the duplicates, and re-classifying
+    /// the boundary. Returns the number of nodes removed.
+    ///
+    /// This is how a seam left by a closed-loop idealization (the
+    /// circular ring of Figure 11 is built as an open strip of four
+    /// quarters) is sealed before analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tol` is negative.
+    pub fn merge_coincident_nodes(&mut self, tol: f64) -> usize {
+        assert!(tol >= 0.0, "merge tolerance must be non-negative");
+        let n = self.node_count();
+        // Quantized spatial buckets; compare within the 3×3 neighbourhood
+        // so near-boundary pairs are not missed.
+        let cell = tol.max(1e-300);
+        let mut buckets: BTreeMap<(i64, i64), Vec<usize>> = BTreeMap::new();
+        let key = |p: Point| ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64);
+        let mut canon: Vec<usize> = (0..n).collect();
+        for i in 0..n {
+            let p = self.nodes[i].position;
+            let (kx, ky) = key(p);
+            let mut found = None;
+            'search: for dx in -1..=1 {
+                for dy in -1..=1 {
+                    if let Some(candidates) = buckets.get(&(kx + dx, ky + dy)) {
+                        for &j in candidates {
+                            if self.nodes[j].position.approx_eq(p, tol) {
+                                found = Some(j);
+                                break 'search;
+                            }
+                        }
+                    }
+                }
+            }
+            match found {
+                Some(j) => canon[i] = j,
+                None => buckets.entry((kx, ky)).or_default().push(i),
+            }
+        }
+        // Compact the survivors.
+        let mut new_index = vec![usize::MAX; n];
+        let mut survivors = Vec::new();
+        for i in 0..n {
+            if canon[i] == i {
+                new_index[i] = survivors.len();
+                survivors.push(self.nodes[i]);
+            }
+        }
+        for i in 0..n {
+            if canon[i] != i {
+                new_index[i] = new_index[canon[i]];
+            }
+        }
+        let removed = n - survivors.len();
+        if removed == 0 {
+            return 0;
+        }
+        self.nodes = survivors;
+        for el in &mut self.elements {
+            for node in &mut el.nodes {
+                *node = NodeId(new_index[node.index()]);
+            }
+        }
+        self.classify_boundary();
+        removed
+    }
+
+    /// One level of uniform refinement: every triangle splits into four
+    /// at its edge midpoints (shared edges share their midpoint node).
+    /// Boundary flags are recomputed. Node positions interpolate
+    /// linearly, so refined boundaries stay on the coarse mesh's
+    /// polygonal outline — use it for h-convergence studies, not to
+    /// recover curved geometry.
+    pub fn refined(&self) -> TriMesh {
+        let mut fine = TriMesh::new();
+        for node in &self.nodes {
+            fine.add_node(node.position, node.boundary);
+        }
+        let mut midpoints: BTreeMap<Edge, NodeId> = BTreeMap::new();
+        let mut midpoint = |fine: &mut TriMesh, a: NodeId, b: NodeId| -> NodeId {
+            let edge = Edge::new(a, b);
+            if let Some(&id) = midpoints.get(&edge) {
+                return id;
+            }
+            let p = self.nodes[a.index()]
+                .position
+                .midpoint(self.nodes[b.index()].position);
+            let id = fine.add_node(p, BoundaryKind::Interior);
+            midpoints.insert(edge, id);
+            id
+        };
+        for el in &self.elements {
+            let [a, b, c] = el.nodes;
+            let ab = midpoint(&mut fine, a, b);
+            let bc = midpoint(&mut fine, b, c);
+            let ca = midpoint(&mut fine, c, a);
+            for tri in [[a, ab, ca], [ab, b, bc], [ca, bc, c], [ab, bc, ca]] {
+                fine.add_element(tri)
+                    .expect("refinement references existing nodes");
+            }
+        }
+        fine.classify_boundary();
+        fine
+    }
+
+    /// Full structural validation for a finished mesh.
+    ///
+    /// # Errors
+    ///
+    /// The first problem found among: out-of-range or repeated node
+    /// references, zero-area elements, orphan nodes, non-manifold edges.
+    pub fn validate(&self) -> Result<(), MeshError> {
+        let mut used = vec![false; self.nodes.len()];
+        for (id, el) in self.elements() {
+            for &n in &el.nodes {
+                if n.index() >= self.nodes.len() {
+                    return Err(MeshError::NodeOutOfRange {
+                        node: n,
+                        node_count: self.nodes.len(),
+                    });
+                }
+                used[n.index()] = true;
+            }
+            if el.nodes[0] == el.nodes[1]
+                || el.nodes[1] == el.nodes[2]
+                || el.nodes[0] == el.nodes[2]
+            {
+                return Err(MeshError::RepeatedNode { node: el.nodes[0] });
+            }
+            if self.triangle(id).area() <= f64::EPSILON {
+                return Err(MeshError::DegenerateElement { element: id });
+            }
+        }
+        if let Some(orphan) = used.iter().position(|u| !u) {
+            if !self.elements.is_empty() {
+                return Err(MeshError::OrphanNode {
+                    node: NodeId(orphan),
+                });
+            }
+        }
+        for (edge, els) in self.edges() {
+            if els.len() > 2 {
+                return Err(MeshError::NonManifoldEdge {
+                    edge: (edge.0, edge.1),
+                    count: els.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two triangles sharing the diagonal of a unit square.
+    fn square() -> TriMesh {
+        let mut m = TriMesh::new();
+        let a = m.add_node(Point::new(0.0, 0.0), BoundaryKind::Boundary);
+        let b = m.add_node(Point::new(1.0, 0.0), BoundaryKind::Boundary);
+        let c = m.add_node(Point::new(1.0, 1.0), BoundaryKind::Boundary);
+        let d = m.add_node(Point::new(0.0, 1.0), BoundaryKind::Boundary);
+        m.add_element([a, b, c]).unwrap();
+        m.add_element([a, c, d]).unwrap();
+        m
+    }
+
+    #[test]
+    fn counts_and_area() {
+        let m = square();
+        assert_eq!(m.node_count(), 4);
+        assert_eq!(m.element_count(), 2);
+        assert!((m.total_area() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_edges_of_square() {
+        let m = square();
+        let boundary = m.boundary_edges();
+        assert_eq!(boundary.len(), 4);
+        // The diagonal a-c is interior.
+        assert!(!boundary.contains(&Edge::new(NodeId(0), NodeId(2))));
+    }
+
+    #[test]
+    fn bandwidth_of_square() {
+        let m = square();
+        // Element [0,1,2] has pair 0-2; element [0,2,3] has pair 0-3.
+        assert_eq!(m.bandwidth(), 3);
+    }
+
+    #[test]
+    fn renumber_preserves_geometry_and_bandwidth_changes() {
+        let mut m = square();
+        let before_area = m.total_area();
+        // Reverse the numbering.
+        m.renumber_nodes(&[3, 2, 1, 0]);
+        assert!((m.total_area() - before_area).abs() < 1e-12);
+        assert_eq!(m.node(NodeId(3)).position, Point::new(0.0, 0.0));
+        m.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn bad_permutation_panics() {
+        square().renumber_nodes(&[0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn add_element_rejects_bad_references() {
+        let mut m = TriMesh::new();
+        let a = m.add_node(Point::new(0.0, 0.0), BoundaryKind::Interior);
+        let b = m.add_node(Point::new(1.0, 0.0), BoundaryKind::Interior);
+        assert!(matches!(
+            m.add_element([a, b, NodeId(5)]),
+            Err(MeshError::NodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            m.add_element([a, b, a]),
+            Err(MeshError::RepeatedNode { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_flags_degenerate_element() {
+        let mut m = TriMesh::new();
+        let a = m.add_node(Point::new(0.0, 0.0), BoundaryKind::Interior);
+        let b = m.add_node(Point::new(1.0, 0.0), BoundaryKind::Interior);
+        let c = m.add_node(Point::new(2.0, 0.0), BoundaryKind::Interior);
+        m.add_element([a, b, c]).unwrap();
+        assert!(matches!(
+            m.validate(),
+            Err(MeshError::DegenerateElement { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_flags_orphan_node() {
+        let mut m = square();
+        m.add_node(Point::new(9.0, 9.0), BoundaryKind::Interior);
+        assert!(matches!(m.validate(), Err(MeshError::OrphanNode { .. })));
+    }
+
+    #[test]
+    fn validate_flags_non_manifold_edge() {
+        let mut m = square();
+        // A third element on edge a-c.
+        let e = m.add_node(Point::new(2.0, 0.5), BoundaryKind::Interior);
+        m.add_element([NodeId(0), NodeId(2), e]).unwrap();
+        assert!(matches!(
+            m.validate(),
+            Err(MeshError::NonManifoldEdge { count: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn node_adjacency_sorted_unique() {
+        let m = square();
+        let adj = m.node_adjacency();
+        assert_eq!(adj[0], vec![NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(adj[1], vec![NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn node_elements_inverse_map() {
+        let m = square();
+        let map = m.node_elements();
+        assert_eq!(map[0], vec![ElementId(0), ElementId(1)]);
+        assert_eq!(map[1], vec![ElementId(0)]);
+    }
+
+    #[test]
+    fn empty_mesh_is_valid_and_harmless() {
+        let m = TriMesh::new();
+        assert_eq!(m.bandwidth(), 0);
+        assert_eq!(m.total_area(), 0.0);
+        m.validate().unwrap();
+        assert!(m.bounding_box().is_empty());
+    }
+
+    #[test]
+    fn merge_coincident_seals_a_seam() {
+        // Two squares meeting along x = 1, built with duplicated seam
+        // nodes.
+        let mut m = TriMesh::new();
+        let a = m.add_node(Point::new(0.0, 0.0), BoundaryKind::Boundary);
+        let b1 = m.add_node(Point::new(1.0, 0.0), BoundaryKind::Boundary);
+        let c1 = m.add_node(Point::new(1.0, 1.0), BoundaryKind::Boundary);
+        let d = m.add_node(Point::new(0.0, 1.0), BoundaryKind::Boundary);
+        let b2 = m.add_node(Point::new(1.0, 0.0), BoundaryKind::Boundary); // dup
+        let c2 = m.add_node(Point::new(1.0, 1.0), BoundaryKind::Boundary); // dup
+        let e = m.add_node(Point::new(2.0, 0.0), BoundaryKind::Boundary);
+        let f = m.add_node(Point::new(2.0, 1.0), BoundaryKind::Boundary);
+        m.add_element([a, b1, c1]).unwrap();
+        m.add_element([a, c1, d]).unwrap();
+        m.add_element([b2, e, f]).unwrap();
+        m.add_element([b2, f, c2]).unwrap();
+        // Before: the seam edges each appear once → 8 boundary edges.
+        assert_eq!(m.boundary_edges().len(), 8);
+        let removed = m.merge_coincident_nodes(1e-9);
+        assert_eq!(removed, 2);
+        assert_eq!(m.node_count(), 6);
+        m.validate().unwrap();
+        // After: the seam is interior; the outline is the 2×1 rectangle
+        // (6 boundary edges: the long sides are split at the old seam).
+        assert_eq!(m.boundary_edges().len(), 6);
+        // Seam nodes reclassified as interior.
+        let interior = m.nodes().filter(|(_, n)| !n.boundary.is_boundary()).count();
+        assert_eq!(interior, 0); // 2×1 rectangle of 2 cells: all on outline
+        assert!((m.total_area() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refinement_quadruples_elements_and_preserves_area() {
+        let coarse = square();
+        let fine = coarse.refined();
+        assert_eq!(fine.element_count(), 4 * coarse.element_count());
+        // Nodes: 4 original + 5 edge midpoints (the shared diagonal's
+        // midpoint counted once).
+        assert_eq!(fine.node_count(), 4 + 5);
+        assert!((fine.total_area() - coarse.total_area()).abs() < 1e-12);
+        fine.validate().unwrap();
+        // The outline is unchanged in total length.
+        let length = |m: &TriMesh| -> f64 {
+            m.boundary_edges()
+                .iter()
+                .map(|e| m.node(e.0).position.distance_to(m.node(e.1).position))
+                .sum()
+        };
+        assert!((length(&coarse) - length(&fine)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refinement_preserves_quality_bounds() {
+        // Midpoint subdivision produces four similar triangles: the
+        // minimum angle of the mesh is unchanged.
+        let mut m = TriMesh::new();
+        let a = m.add_node(Point::new(0.0, 0.0), BoundaryKind::Boundary);
+        let b = m.add_node(Point::new(5.0, 0.0), BoundaryKind::Boundary);
+        let c = m.add_node(Point::new(1.0, 2.0), BoundaryKind::Boundary);
+        m.add_element([a, b, c]).unwrap();
+        let fine = m.refined();
+        assert!((fine.quality().min_angle - m.quality().min_angle).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_a_noop_without_duplicates() {
+        let mut m = square();
+        assert_eq!(m.merge_coincident_nodes(1e-9), 0);
+        assert_eq!(m.node_count(), 4);
+    }
+
+    #[test]
+    fn classify_boundary_matches_flags() {
+        let mut m = square();
+        // Scramble the flags, then restore them.
+        for i in 0..m.node_count() {
+            m.node_mut(NodeId(i)).boundary = BoundaryKind::Interior;
+        }
+        m.classify_boundary();
+        assert!(m.nodes().all(|(_, n)| n.boundary.is_boundary()));
+        // In the two-triangle square every node is on the outline; the
+        // two diagonal-free corners belong to a single element each.
+        let corners = m
+            .nodes()
+            .filter(|(_, n)| n.boundary == BoundaryKind::BoundaryCorner)
+            .count();
+        assert_eq!(corners, 2);
+    }
+
+    #[test]
+    fn edge_canonicalizes_order() {
+        assert_eq!(Edge::new(NodeId(5), NodeId(2)), Edge::new(NodeId(2), NodeId(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct nodes")]
+    fn self_edge_panics() {
+        Edge::new(NodeId(1), NodeId(1));
+    }
+}

@@ -1,0 +1,118 @@
+//! Nodes and their boundary classification.
+
+use std::fmt;
+
+use cafemio_geom::Point;
+
+/// Zero-based node identifier.
+///
+/// The paper's listings use one-based FORTRAN numbering; conversion happens
+/// only at the card boundary (`cafemio-cards` decks), never inside the
+/// library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// OSPL's boundary flag for a node (Type-3 card, field `N(I)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BoundaryKind {
+    /// `N = 0`: node is not on the boundary.
+    #[default]
+    Interior,
+    /// `N = 1`: node is on the boundary and belongs to more than one
+    /// element.
+    Boundary,
+    /// `N = 2`: node is on the boundary and belongs to exactly one element
+    /// (a sharp corner of the outline).
+    BoundaryCorner,
+}
+
+impl BoundaryKind {
+    /// True for either boundary variant.
+    pub fn is_boundary(self) -> bool {
+        !matches!(self, BoundaryKind::Interior)
+    }
+
+    /// The card integer for this flag.
+    pub fn to_flag(self) -> i64 {
+        match self {
+            BoundaryKind::Interior => 0,
+            BoundaryKind::Boundary => 1,
+            BoundaryKind::BoundaryCorner => 2,
+        }
+    }
+
+    /// Parses the card integer. Unknown flags map to `Interior` like the
+    /// original program's arithmetic IF would fall through — callers that
+    /// want strictness validate the deck beforehand.
+    pub fn from_flag(flag: i64) -> BoundaryKind {
+        match flag {
+            1 => BoundaryKind::Boundary,
+            2 => BoundaryKind::BoundaryCorner,
+            _ => BoundaryKind::Interior,
+        }
+    }
+}
+
+/// A mesh node: position plus boundary classification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Node {
+    /// Location in problem coordinates.
+    pub position: Point,
+    /// Boundary flag.
+    pub boundary: BoundaryKind,
+}
+
+impl Node {
+    /// Creates a node.
+    pub fn new(position: Point, boundary: BoundaryKind) -> Node {
+        Node { position, boundary }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_round_trip() {
+        for kind in [
+            BoundaryKind::Interior,
+            BoundaryKind::Boundary,
+            BoundaryKind::BoundaryCorner,
+        ] {
+            assert_eq!(BoundaryKind::from_flag(kind.to_flag()), kind);
+        }
+    }
+
+    #[test]
+    fn unknown_flag_is_interior() {
+        assert_eq!(BoundaryKind::from_flag(9), BoundaryKind::Interior);
+        assert_eq!(BoundaryKind::from_flag(-1), BoundaryKind::Interior);
+    }
+
+    #[test]
+    fn is_boundary_covers_both_variants() {
+        assert!(!BoundaryKind::Interior.is_boundary());
+        assert!(BoundaryKind::Boundary.is_boundary());
+        assert!(BoundaryKind::BoundaryCorner.is_boundary());
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId(7).to_string(), "n7");
+        assert_eq!(NodeId(7).index(), 7);
+    }
+}

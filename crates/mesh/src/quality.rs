@@ -1,0 +1,120 @@
+//! Element-shape statistics.
+
+use crate::mesh::TriMesh;
+
+/// Shape statistics over all elements of a mesh.
+///
+/// The paper's reforming pass exists because the first, "convenient
+/// arbitrary" element creation "often produces elements having shapes quite
+/// different from the most desirable equilateral shape" — these numbers
+/// quantify how far a mesh is from that ideal, and the reform benches
+/// (experiment F9/F10) report them before and after.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityReport {
+    /// Number of elements measured.
+    pub element_count: usize,
+    /// Smallest interior angle over the whole mesh, radians.
+    pub min_angle: f64,
+    /// Mean over elements of each element's smallest angle, radians.
+    pub mean_min_angle: f64,
+    /// Largest interior angle over the whole mesh, radians.
+    pub max_angle: f64,
+    /// Worst (largest) edge-length aspect ratio.
+    pub worst_aspect: f64,
+    /// Elements whose smallest angle is below 15° — the "needle-like
+    /// corners" of Figure 9b.
+    pub needle_count: usize,
+}
+
+/// Threshold below which a corner counts as needle-like (radians).
+pub(crate) const NEEDLE_ANGLE: f64 = 15.0 * std::f64::consts::PI / 180.0;
+
+impl QualityReport {
+    /// Measures a mesh. Empty meshes yield a report of zeros.
+    pub fn measure(mesh: &TriMesh) -> QualityReport {
+        let mut report = QualityReport {
+            element_count: mesh.element_count(),
+            min_angle: f64::INFINITY,
+            mean_min_angle: 0.0,
+            max_angle: 0.0,
+            worst_aspect: 0.0,
+            needle_count: 0,
+        };
+        if mesh.element_count() == 0 {
+            report.min_angle = 0.0;
+            return report;
+        }
+        let mut sum_min = 0.0;
+        for (id, _) in mesh.elements() {
+            let tri = mesh.triangle(id);
+            let min = tri.min_angle();
+            let max = tri.max_angle();
+            sum_min += min;
+            report.min_angle = report.min_angle.min(min);
+            report.max_angle = report.max_angle.max(max);
+            report.worst_aspect = report.worst_aspect.max(tri.aspect_ratio());
+            if min < NEEDLE_ANGLE {
+                report.needle_count += 1;
+            }
+        }
+        report.mean_min_angle = sum_min / mesh.element_count() as f64;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::BoundaryKind;
+    use cafemio_geom::Point;
+
+    #[test]
+    fn equilateral_mesh_is_perfect() {
+        let mut m = TriMesh::new();
+        let a = m.add_node(Point::new(0.0, 0.0), BoundaryKind::Boundary);
+        let b = m.add_node(Point::new(1.0, 0.0), BoundaryKind::Boundary);
+        let c = m.add_node(Point::new(0.5, 0.75_f64.sqrt()), BoundaryKind::Boundary);
+        m.add_element([a, b, c]).unwrap();
+        let q = m.quality();
+        assert_eq!(q.element_count, 1);
+        assert!((q.min_angle.to_degrees() - 60.0).abs() < 1e-9);
+        assert!((q.worst_aspect - 1.0).abs() < 1e-9);
+        assert_eq!(q.needle_count, 0);
+    }
+
+    #[test]
+    fn needle_detected() {
+        let mut m = TriMesh::new();
+        let a = m.add_node(Point::new(0.0, 0.0), BoundaryKind::Boundary);
+        let b = m.add_node(Point::new(10.0, 0.0), BoundaryKind::Boundary);
+        let c = m.add_node(Point::new(5.0, 0.1), BoundaryKind::Boundary);
+        m.add_element([a, b, c]).unwrap();
+        let q = m.quality();
+        assert_eq!(q.needle_count, 1);
+        assert!(q.min_angle.to_degrees() < 2.0);
+        assert!(q.max_angle.to_degrees() > 175.0);
+    }
+
+    #[test]
+    fn empty_mesh_report_is_zero() {
+        let q = TriMesh::new().quality();
+        assert_eq!(q.element_count, 0);
+        assert_eq!(q.min_angle, 0.0);
+        assert_eq!(q.needle_count, 0);
+    }
+
+    #[test]
+    fn mean_min_angle_averages() {
+        let mut m = TriMesh::new();
+        // One equilateral, one right isoceles.
+        let a = m.add_node(Point::new(0.0, 0.0), BoundaryKind::Boundary);
+        let b = m.add_node(Point::new(1.0, 0.0), BoundaryKind::Boundary);
+        let c = m.add_node(Point::new(0.5, 0.75_f64.sqrt()), BoundaryKind::Boundary);
+        let d = m.add_node(Point::new(1.0, -1.0), BoundaryKind::Boundary);
+        m.add_element([a, b, c]).unwrap();
+        m.add_element([a, b, d]).unwrap();
+        let q = m.quality();
+        let expected = (60.0 + 45.0) / 2.0;
+        assert!((q.mean_min_angle.to_degrees() - expected).abs() < 1e-9);
+    }
+}

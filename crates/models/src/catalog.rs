@@ -1,0 +1,142 @@
+//! The model catalog: every figure's structure, enumerable for the
+//! benches and the figure-regeneration binary.
+
+use cafemio_idlz::IdealizationSpec;
+
+/// One catalog entry: a named builder tied to the paper figures it
+/// serves.
+pub struct ModelEntry {
+    /// Short identifier (used on the bench command line).
+    pub name: &'static str,
+    /// The paper figures this model reproduces.
+    pub figures: &'static str,
+    /// Builds the idealization spec.
+    pub spec: fn() -> IdealizationSpec,
+}
+
+impl std::fmt::Debug for ModelEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelEntry")
+            .field("name", &self.name)
+            .field("figures", &self.figures)
+            .finish()
+    }
+}
+
+/// All the paper's structures.
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_idlz::Idealization;
+/// for entry in cafemio_models::catalog() {
+///     let result = Idealization::run(&(entry.spec)()).unwrap();
+///     assert!(result.mesh.element_count() > 0, "{}", entry.name);
+/// }
+/// ```
+pub fn catalog() -> Vec<ModelEntry> {
+    vec![
+        ModelEntry {
+            name: "glass-joint",
+            figures: "Figures 1, 17",
+            spec: crate::joint::spec,
+        },
+        ModelEntry {
+            name: "viewport-juncture",
+            figures: "Figure 6",
+            spec: crate::viewport::juncture_spec,
+        },
+        ModelEntry {
+            name: "dssv-viewport",
+            figures: "Figure 7",
+            spec: crate::viewport::viewport_spec,
+        },
+        ModelEntry {
+            name: "dssv-transition",
+            figures: "Figure 8",
+            spec: crate::viewport::transition_spec,
+        },
+        ModelEntry {
+            name: "dsrv-hatch",
+            figures: "Figure 9",
+            spec: crate::hatch::dsrv_spec,
+        },
+        ModelEntry {
+            name: "typical-shape",
+            figures: "Figure 10",
+            spec: crate::typical_shape::spec,
+        },
+        ModelEntry {
+            name: "circular-ring",
+            figures: "Figure 11",
+            spec: crate::ring::spec,
+        },
+        ModelEntry {
+            name: "dssv-hatch",
+            figures: "Figure 13",
+            spec: crate::hatch::dssv_hatch_spec,
+        },
+        ModelEntry {
+            name: "t-beam",
+            figures: "Figure 14",
+            spec: crate::tbeam::spec,
+        },
+        ModelEntry {
+            name: "stiffened-cylinder",
+            figures: "Figure 15",
+            spec: crate::cylinder::stiffened_spec,
+        },
+        ModelEntry {
+            name: "unstiffened-cylinder",
+            figures: "Figure 16",
+            spec: crate::cylinder::unstiffened_spec,
+        },
+        ModelEntry {
+            name: "hemi-hatch",
+            figures: "Figure 18",
+            spec: crate::hatch::hemi_hatch_spec,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cafemio_idlz::Idealization;
+
+    #[test]
+    fn every_model_idealizes_and_validates() {
+        for entry in catalog() {
+            let result = Idealization::run(&(entry.spec)())
+                .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+            result
+                .mesh
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+            assert!(result.mesh.node_count() >= 10, "{}", entry.name);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = catalog().iter().map(|e| e.name).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn input_under_five_percent_of_output_across_catalog() {
+        // The paper's headline claim (C1), across every real structure.
+        for entry in catalog() {
+            let result = Idealization::run(&(entry.spec)()).unwrap();
+            let fraction = result.stats.input_fraction();
+            assert!(
+                fraction < 0.40,
+                "{}: input fraction {fraction}",
+                entry.name
+            );
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! The GRP orthotropic cylinders with titanium end closures of Figures
+//! 15 (ring-stiffened) and 16 (unstiffened).
+//!
+//! Axisymmetric: a filament-wound GRP cylinder wall, optionally carrying
+//! internal GRP ring stiffeners, closed by a titanium hemisphere. Loaded
+//! by external submergence pressure over the wall and closure; the open
+//! end is the symmetry plane of a longer hull.
+
+use cafemio_fem::{AnalysisKind, FemModel};
+use cafemio_geom::Point;
+use cafemio_idlz::{IdealizationSpec, Limits, ShapeLine, Subdivision};
+use cafemio_mesh::TriMesh;
+
+use crate::materials;
+use crate::shells::add_shell_sector;
+use crate::support::{apply_pressure_where, fix_axis, fix_y_where, SELECT_TOL};
+
+/// Inner radius of the cylinder wall.
+pub const INNER_RADIUS: f64 = 24.0;
+/// Outer radius of the cylinder wall.
+pub const OUTER_RADIUS: f64 = 25.0;
+/// Length of the modeled cylinder barrel.
+pub const BARREL_LENGTH: f64 = 30.0;
+/// Inner radius of the ring stiffeners.
+pub const STIFFENER_INNER_RADIUS: f64 = 22.0;
+/// Grid rows per stiffener (each row is 3 in of barrel).
+const ROWS_PER_BAY: i32 = 10;
+
+/// Submergence pressure (psi).
+pub const PRESSURE: f64 = 650.0;
+
+fn base_spec(title: &str, stiffener_rows: &[i32], refine: i32) -> IdealizationSpec {
+    assert!(refine >= 1, "refinement factor must be at least 1");
+    let mut spec = IdealizationSpec::new(title);
+    spec.set_limits(Limits::unbounded());
+    let thick = 2 * refine; // columns through the wall
+    let rows = ROWS_PER_BAY * refine;
+    // Barrel: columns k thick..2·thick (wall thickness), rows 0..rows.
+    spec.add_subdivision(
+        Subdivision::rectangular(1, (thick, 0), (2 * thick, rows)).expect("valid barrel"),
+    );
+    for (k, radius) in [(thick, INNER_RADIUS), (2 * thick, OUTER_RADIUS)] {
+        spec.add_shape_line(
+            1,
+            ShapeLine::straight(
+                (k, 0),
+                (k, rows),
+                Point::new(radius, 0.0),
+                Point::new(radius, BARREL_LENGTH),
+            ),
+        );
+    }
+    // Hemisphere closure: same columns, rows continue past the barrel.
+    add_shell_sector(
+        &mut spec,
+        2,
+        (thick, rows),
+        (2 * thick, rows + 8 * refine),
+        Point::new(0.0, BARREL_LENGTH),
+        INNER_RADIUS,
+        OUTER_RADIUS,
+        90.0,
+        0.0,
+    );
+    // Internal ring stiffeners: one-bay-tall rectangles protruding
+    // inward, sharing the wall's inner column.
+    let dz = BARREL_LENGTH / rows as f64;
+    for (i, &bay) in stiffener_rows.iter().enumerate() {
+        let id = 3 + i;
+        let row = bay * refine;
+        spec.add_subdivision(
+            Subdivision::rectangular(id, (0, row), (thick, row + refine))
+                .expect("valid stiffener"),
+        );
+        spec.add_shape_line(
+            id,
+            ShapeLine::straight(
+                (0, row),
+                (0, row + refine),
+                Point::new(STIFFENER_INNER_RADIUS, row as f64 * dz),
+                Point::new(STIFFENER_INNER_RADIUS, (row + refine) as f64 * dz),
+            ),
+        );
+    }
+    spec
+}
+
+/// Figure 16: the unstiffened cylinder and titanium end closure.
+pub fn unstiffened_spec() -> IdealizationSpec {
+    base_spec("11 69 RE-DESIGN FOR UNSTIFF CYL", &[], 1)
+}
+
+/// Figure 15: the ring-stiffened cylinder and titanium end closure
+/// (three internal rings along the barrel).
+pub fn stiffened_spec() -> IdealizationSpec {
+    base_spec(
+        "REDESIGN STIFFENED OF OCT 1969 WITH FULL HEMISPHERE",
+        &[1, 4, 7],
+        1,
+    )
+}
+
+/// The unstiffened cylinder at roughly the paper's "moderate problem"
+/// scale (a few hundred nodes, inside Table 2's 500-node limit).
+pub fn unstiffened_spec_dense() -> IdealizationSpec {
+    base_spec("11 69 RE-DESIGN FOR UNSTIFF CYL - DENSE", &[], 3)
+}
+
+/// The stiffened cylinder at paper scale.
+pub fn stiffened_spec_dense() -> IdealizationSpec {
+    base_spec(
+        "REDESIGN STIFFENED OF OCT 1969 - DENSE",
+        &[1, 4, 7],
+        2,
+    )
+}
+
+/// True when the point belongs to the titanium closure rather than the
+/// GRP cylinder/stiffeners.
+pub fn is_closure(p: Point) -> bool {
+    p.y > BARREL_LENGTH + SELECT_TOL
+}
+
+/// The external-pressure model: GRP barrel + stiffeners, titanium
+/// hemisphere, pressure over the whole wetted surface, symmetry plane at
+/// the open end, axis constrained.
+pub fn pressure_model(mesh: &TriMesh) -> FemModel {
+    let mut model = FemModel::new(mesh.clone(), AnalysisKind::Axisymmetric, materials::grp());
+    for (id, _) in mesh.elements() {
+        if is_closure(mesh.triangle(id).centroid()) {
+            model.set_element_material(id, materials::titanium());
+        }
+    }
+    fix_y_where(&mut model, |p| p.y.abs() < SELECT_TOL);
+    fix_axis(&mut model);
+    // Wetted surface: the outer wall and the outer hemisphere. The
+    // hemisphere's polygonal chords sag inward by up to R(1−cos Δθ/2), so
+    // the radius test is generous.
+    let closure_center = Point::new(0.0, BARREL_LENGTH);
+    let chord_sag = OUTER_RADIUS * 0.02 + SELECT_TOL;
+    let loaded = apply_pressure_where(&mut model, PRESSURE, move |p| {
+        if p.y <= BARREL_LENGTH + SELECT_TOL {
+            (p.x - OUTER_RADIUS).abs() < SELECT_TOL
+        } else {
+            p.distance_to(closure_center) > OUTER_RADIUS - chord_sag - SELECT_TOL
+        }
+    });
+    debug_assert!(loaded > 0);
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cafemio_fem::StressField;
+    use cafemio_idlz::Idealization;
+
+    #[test]
+    fn unstiffened_geometry() {
+        let result = Idealization::run(&unstiffened_spec()).unwrap();
+        result.mesh.validate().unwrap();
+        // Wall strip + quarter annulus of the hemisphere section.
+        let wall = (OUTER_RADIUS - INNER_RADIUS) * BARREL_LENGTH;
+        let hemi = std::f64::consts::FRAC_PI_4
+            * (OUTER_RADIUS * OUTER_RADIUS - INNER_RADIUS * INNER_RADIUS);
+        let err = (result.mesh.total_area() - wall - hemi).abs() / (wall + hemi);
+        assert!(err < 0.01, "area error {err}");
+    }
+
+    #[test]
+    fn stiffened_adds_three_rings() {
+        let plain = Idealization::run(&unstiffened_spec()).unwrap();
+        let stiff = Idealization::run(&stiffened_spec()).unwrap();
+        stiff.mesh.validate().unwrap();
+        let ring_area = (INNER_RADIUS - STIFFENER_INNER_RADIUS) * 3.0; // 2 in × 3 in each...
+        let extra = stiff.mesh.total_area() - plain.mesh.total_area();
+        assert!((extra - 3.0 * ring_area).abs() < 1e-6, "extra = {extra}");
+    }
+
+    #[test]
+    fn hoop_stress_matches_thin_shell_estimate() {
+        let result = Idealization::run(&unstiffened_spec()).unwrap();
+        let model = pressure_model(&result.mesh);
+        let solution = model.solve().unwrap();
+        let stresses = StressField::compute(&model, &solution).unwrap();
+        // Mid-barrel hoop stress ≈ −P·R/t = −650 × 24.5 / 1 ≈ −16 000.
+        let mesh = model.mesh();
+        let mut mid_hoop = 0.0;
+        let mut count = 0;
+        for (id, node) in mesh.nodes() {
+            if (node.position.y - BARREL_LENGTH / 2.0).abs() < 4.0 {
+                mid_hoop += stresses.node(id).circumferential;
+                count += 1;
+            }
+        }
+        mid_hoop /= count as f64;
+        let estimate = -PRESSURE * 24.5;
+        let err = (mid_hoop - estimate).abs() / estimate.abs();
+        assert!(err < 0.25, "hoop {mid_hoop} vs estimate {estimate}");
+    }
+
+    #[test]
+    fn stiffeners_cut_midbay_displacement() {
+        let plain = Idealization::run(&unstiffened_spec()).unwrap();
+        let stiff = Idealization::run(&stiffened_spec()).unwrap();
+        let radial_at_midbarrel = |mesh: &TriMesh| {
+            let model = pressure_model(mesh);
+            let solution = model.solve().unwrap();
+            let mut worst = 0.0f64;
+            for (id, node) in model.mesh().nodes() {
+                if (node.position.y - BARREL_LENGTH / 2.0).abs() < 5.0 {
+                    worst = worst.max(solution.displacement(id).0.abs());
+                }
+            }
+            worst
+        };
+        let plain_disp = radial_at_midbarrel(&plain.mesh);
+        let stiff_disp = radial_at_midbarrel(&stiff.mesh);
+        assert!(
+            stiff_disp < plain_disp,
+            "stiffened {stiff_disp} vs plain {plain_disp}"
+        );
+    }
+
+    #[test]
+    fn dense_variants_reach_paper_scale_within_table_2() {
+        for (spec, label) in [
+            (unstiffened_spec_dense(), "unstiffened"),
+            (stiffened_spec_dense(), "stiffened"),
+        ] {
+            let result = Idealization::run(&spec).unwrap();
+            result.mesh.validate().unwrap();
+            let n = result.mesh.node_count();
+            assert!(
+                (150..=500).contains(&n),
+                "{label}: {n} nodes (want paper-moderate scale)"
+            );
+            // The dense mesh still solves and carries compressive hoop
+            // stress like the coarse one.
+            let model = pressure_model(&result.mesh);
+            let solution = model.solve().unwrap();
+            let stresses = StressField::compute(&model, &solution).unwrap();
+            let (_, hi) = stresses.circumferential().min_max().unwrap();
+            assert!(hi < 0.0, "{label}: hoop max {hi}");
+        }
+    }
+
+    #[test]
+    fn refinement_converges_displacement() {
+        // The dense mesh's peak displacement agrees with the coarse one
+        // within a few percent (h-convergence sanity).
+        let coarse = Idealization::run(&unstiffened_spec()).unwrap();
+        let dense = Idealization::run(&unstiffened_spec_dense()).unwrap();
+        let peak = |mesh: &TriMesh| {
+            pressure_model(mesh).solve().unwrap().max_displacement()
+        };
+        let (pc, pd) = (peak(&coarse.mesh), peak(&dense.mesh));
+        let err = (pc - pd).abs() / pd;
+        assert!(err < 0.10, "coarse {pc} vs dense {pd} ({err:.3})");
+    }
+
+    #[test]
+    fn closure_is_titanium_barrel_is_grp() {
+        let result = Idealization::run(&unstiffened_spec()).unwrap();
+        let model = pressure_model(&result.mesh);
+        let mut closure_elements = 0;
+        let mut barrel_elements = 0;
+        for (id, _) in model.mesh().elements() {
+            let c = model.mesh().triangle(id).centroid();
+            match model.element_material(id) {
+                cafemio_fem::Material::Isotropic { .. } => {
+                    assert!(is_closure(c));
+                    closure_elements += 1;
+                }
+                cafemio_fem::Material::Orthotropic { .. } => {
+                    assert!(!is_closure(c));
+                    barrel_elements += 1;
+                }
+            }
+        }
+        assert!(closure_elements > 0 && barrel_elements > 0);
+    }
+}

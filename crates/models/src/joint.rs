@@ -1,0 +1,187 @@
+//! The internally reinforced glass joint of Figures 1 and 17.
+//!
+//! A glass cylinder wall with an internal metal reinforcement ring bonded
+//! at mid-height. The critical region is the glass/metal joint — the
+//! paper crowds elements there ("the critical area of the structure
+//! requiring many elements is near the joint at the third and fourth rows
+//! from the bottom"), which this model reproduces with the report's Hint
+//! 5: several shaping line segments per side, finer node spacing near the
+//! joint.
+
+use cafemio_fem::{AnalysisKind, FemModel};
+use cafemio_geom::Point;
+use cafemio_idlz::{IdealizationSpec, ShapeLine, Subdivision};
+use cafemio_mesh::TriMesh;
+
+use crate::materials;
+use crate::support::{apply_pressure_where, fix_y_where, SELECT_TOL};
+
+/// Inner radius of the glass wall.
+pub const WALL_INNER_RADIUS: f64 = 23.0;
+/// Outer radius of the glass wall.
+pub const WALL_OUTER_RADIUS: f64 = 25.0;
+/// Half-height of the joint section.
+pub const HALF_HEIGHT: f64 = 16.0;
+/// Inner radius of the reinforcement ring.
+pub const RING_INNER_RADIUS: f64 = 21.0;
+/// Half-height of the reinforcement ring.
+pub const RING_HALF_HEIGHT: f64 = 2.0;
+
+/// Submergence pressure (psi) on the outer wall.
+pub const PRESSURE: f64 = 1500.0;
+
+/// The joint spec: wall columns `k 2..4`, reinforcement ring `k 0..2`
+/// protruding inward at mid-height, node rows crowded toward the joint.
+pub fn spec() -> IdealizationSpec {
+    let mut spec = IdealizationSpec::new("INTERNALLY REINFORCED GLASS JOINT");
+    spec.add_subdivision(Subdivision::rectangular(1, (2, 0), (4, 16)).expect("valid wall"));
+    // Crowding: 16 grid rows over 32 units of height, but rows 6..10 are
+    // squeezed into the 4 units around the joint (Hint 5: several line
+    // segments, each with its own node spacing).
+    let mid = HALF_HEIGHT;
+    let joint_lo = mid - RING_HALF_HEIGHT;
+    let joint_hi = mid + RING_HALF_HEIGHT;
+    for (k, radius) in [(2, WALL_INNER_RADIUS), (4, WALL_OUTER_RADIUS)] {
+        spec.add_shape_line(
+            1,
+            ShapeLine::straight(
+                (k, 0),
+                (k, 6),
+                Point::new(radius, 0.0),
+                Point::new(radius, joint_lo),
+            ),
+        );
+        spec.add_shape_line(
+            1,
+            ShapeLine::straight(
+                (k, 6),
+                (k, 10),
+                Point::new(radius, joint_lo),
+                Point::new(radius, joint_hi),
+            ),
+        );
+        spec.add_shape_line(
+            1,
+            ShapeLine::straight(
+                (k, 10),
+                (k, 16),
+                Point::new(radius, joint_hi),
+                Point::new(radius, 2.0 * HALF_HEIGHT),
+            ),
+        );
+    }
+    // Reinforcement ring: shares the wall's inner column rows 6..10.
+    spec.add_subdivision(Subdivision::rectangular(2, (0, 6), (2, 10)).expect("valid ring"));
+    spec.add_shape_line(
+        2,
+        ShapeLine::straight(
+            (0, 6),
+            (0, 10),
+            Point::new(RING_INNER_RADIUS, joint_lo),
+            Point::new(RING_INNER_RADIUS, joint_hi),
+        ),
+    );
+    spec
+}
+
+/// True when the point lies in the glass wall (as opposed to the metal
+/// reinforcement ring).
+pub fn is_glass(p: Point) -> bool {
+    p.x >= WALL_INNER_RADIUS - SELECT_TOL
+}
+
+/// The Figure-17 load case: external pressure, both cut ends held
+/// axially (the joint continues into the rest of the hull).
+pub fn pressure_model(mesh: &TriMesh) -> FemModel {
+    let mut model = FemModel::new(mesh.clone(), AnalysisKind::Axisymmetric, materials::glass());
+    for (id, _) in mesh.elements() {
+        if !is_glass(mesh.triangle(id).centroid()) {
+            model.set_element_material(id, materials::titanium());
+        }
+    }
+    fix_y_where(&mut model, |p| p.y.abs() < SELECT_TOL);
+    fix_y_where(&mut model, |p| (p.y - 2.0 * HALF_HEIGHT).abs() < SELECT_TOL);
+    apply_pressure_where(&mut model, PRESSURE, |p| {
+        (p.x - WALL_OUTER_RADIUS).abs() < SELECT_TOL
+    });
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cafemio_fem::StressField;
+    use cafemio_idlz::Idealization;
+    use cafemio_mesh::NodalField;
+
+    #[test]
+    fn joint_geometry() {
+        let result = Idealization::run(&spec()).unwrap();
+        result.mesh.validate().unwrap();
+        let wall = (WALL_OUTER_RADIUS - WALL_INNER_RADIUS) * 2.0 * HALF_HEIGHT;
+        let ring = (WALL_INNER_RADIUS - RING_INNER_RADIUS) * 2.0 * RING_HALF_HEIGHT;
+        assert!((result.mesh.total_area() - wall - ring).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rows_crowded_at_joint() {
+        // Grid rows 6..10 span only 4 units of height; rows 0..6 span 14.
+        let result = Idealization::run(&spec()).unwrap();
+        let ys: Vec<f64> = {
+            let mut ys: Vec<f64> = result
+                .mesh
+                .nodes()
+                .filter(|(_, n)| (n.position.x - WALL_INNER_RADIUS).abs() < 1e-9)
+                .map(|(_, n)| n.position.y)
+                .collect();
+            ys.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            ys
+        };
+        // Coarse spacing below the joint, fine spacing within it.
+        let coarse = ys[1] - ys[0];
+        let joint_idx = ys
+            .iter()
+            .position(|&y| (y - (HALF_HEIGHT - RING_HALF_HEIGHT)).abs() < 1e-9)
+            .expect("joint row exists");
+        let fine = ys[joint_idx + 1] - ys[joint_idx];
+        assert!(fine < 0.5 * coarse, "fine {fine} vs coarse {coarse}");
+    }
+
+    #[test]
+    fn hoop_compression_under_external_pressure() {
+        let result = Idealization::run(&spec()).unwrap();
+        let model = pressure_model(&result.mesh);
+        let solution = model.solve().unwrap();
+        let stresses = StressField::compute(&model, &solution).unwrap();
+        // Thin-wall estimate: σθ ≈ −P·R/t = −1500·24/2 = −18 000 psi.
+        let hoop: NodalField = stresses.circumferential();
+        let (lo, hi) = hoop.min_max().unwrap();
+        assert!(hi < 0.0, "entire wall in hoop compression, hi = {hi}");
+        assert!(
+            lo > -40_000.0 && lo < -10_000.0,
+            "thin-wall magnitude, lo = {lo}"
+        );
+    }
+
+    #[test]
+    fn stress_concentrates_near_the_joint() {
+        let result = Idealization::run(&spec()).unwrap();
+        let model = pressure_model(&result.mesh);
+        let solution = model.solve().unwrap();
+        let stresses = StressField::compute(&model, &solution).unwrap();
+        let eff = stresses.effective();
+        // Peak effective stress within the joint band vs. far field.
+        let mesh = model.mesh();
+        let mut near = 0.0f64;
+        let mut far = 0.0f64;
+        for (id, node) in mesh.nodes() {
+            let d = (node.position.y - HALF_HEIGHT).abs();
+            if d < 2.0 * RING_HALF_HEIGHT {
+                near = near.max(eff.value(id));
+            } else if d > 8.0 {
+                far = far.max(eff.value(id));
+            }
+        }
+        assert!(near > far, "near {near} vs far {far}");
+    }
+}

@@ -1,0 +1,53 @@
+//! # cafemio-models
+//!
+//! The structure library: programmatic builders for every structure in
+//! the paper's figures, used by the examples, integration tests, and the
+//! figure-regeneration benches.
+//!
+//! The original NSRDC drawings (DSSV/DSRV hardware) are not public;
+//! these models reconstruct figure-faithful geometry — same subdivision
+//! layouts, same use of trapezoids/triangles/arcs, same load type
+//! (external submergence pressure, thermal radiation pulse) — which is
+//! what the paper's input/output claims are about (see `DESIGN.md` §4).
+//!
+//! Each module pairs an [`cafemio_idlz::IdealizationSpec`] builder with
+//! the analysis setup that produces the fields the corresponding OSPL
+//! figure contours:
+//!
+//! | Module | Figures | Structure |
+//! |---|---|---|
+//! | [`plate`] | — | generic graded plates (quickstart + capacity sweeps) |
+//! | [`ring`] | 11 | circular ring idealized with triangular subdivisions |
+//! | [`joint`] | 1, 17 | internally reinforced glass joint |
+//! | [`viewport`] | 6, 7, 8 | glass viewport juncture, DSSV viewport, transition ring |
+//! | [`hatch`] | 9, 13, 18 | DSRV hatch, DSSV bottom hatch, hemispherical glass hatch |
+//! | [`cylinder`] | 15, 16 | stiffened/unstiffened GRP cylinder + titanium closure |
+//! | [`tbeam`] | 14 | T-beam under a thermal radiation pulse |
+//!
+//! # Examples
+//!
+//! ```
+//! use cafemio_idlz::Idealization;
+//! # fn main() -> Result<(), cafemio_idlz::IdlzError> {
+//! let spec = cafemio_models::ring::spec();
+//! let result = Idealization::run(&spec)?;
+//! assert!(result.mesh.element_count() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod catalog;
+pub mod cylinder;
+pub mod hatch;
+pub mod joint;
+pub mod materials;
+pub mod plate;
+pub mod plate_with_hole;
+pub mod ring;
+pub mod shells;
+pub mod support;
+pub mod tbeam;
+pub mod typical_shape;
+pub mod viewport;
+
+pub use catalog::{catalog, ModelEntry};

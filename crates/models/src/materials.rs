@@ -1,0 +1,82 @@
+//! Material constants for the paper's structures.
+//!
+//! Values are representative engineering constants in inch/pound/second
+//! units (psi for moduli) for the materials the report names: glass
+//! pressure-hull components, titanium end closures, GRP (glass-reinforced
+//! plastic) orthotropic cylinders, and steel framing. The paper does not
+//! publish its exact constants, so the reproduction cares about their
+//! *ratios* (glass stiff and brittle, GRP strongly orthotropic with a
+//! stiff hoop direction), not the absolute values.
+
+use cafemio_fem::{Material, ThermalMaterial};
+
+/// Massive glass, as used in the deep-submergence viewports and spheres.
+pub fn glass() -> Material {
+    Material::isotropic(10.0e6, 0.22)
+}
+
+/// Titanium alloy (end closures, rings).
+pub fn titanium() -> Material {
+    Material::isotropic(16.5e6, 0.34)
+}
+
+/// Hull steel.
+pub fn steel() -> Material {
+    Material::isotropic(30.0e6, 0.30)
+}
+
+/// Filament-wound GRP, cylindrically orthotropic: hoop direction (axis 3)
+/// stiffest, radial (axis 1) softest.
+pub fn grp() -> Material {
+    Material::orthotropic(
+        2.0e6, // E_r
+        3.2e6, // E_z
+        5.5e6, // E_theta
+        0.12,  // nu_rz
+        0.10,  // nu_r-theta
+        0.15,  // nu_z-theta
+        0.7e6, // G_rz
+    )
+}
+
+/// Steel thermal properties in BTU/in/s/°F units: conductivity
+/// ≈ 6.5·10⁻⁴ BTU/(s·in·°F), density 0.284 lb/in³, specific heat
+/// 0.11 BTU/(lb·°F) — diffusivity ≈ 0.021 in²/s, which puts the
+/// Figure-14 gradients a fraction of an inch into the flange after a
+/// 2–3 s pulse.
+pub fn steel_thermal() -> ThermalMaterial {
+    ThermalMaterial::new(6.5e-4, 0.284, 0.11)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_materials_admissible() {
+        for m in [glass(), titanium(), steel(), grp()] {
+            m.validate().unwrap();
+            // Every material must yield usable constitutive matrices.
+            m.d_plane_stress().unwrap();
+            m.d_axisymmetric().unwrap();
+        }
+        steel_thermal().validate().unwrap();
+    }
+
+    #[test]
+    fn grp_is_strongly_orthotropic() {
+        let d = grp().d_axisymmetric().unwrap();
+        // Hoop direction visibly stiffer than radial.
+        assert!(d[(2, 2)] > 1.5 * d[(0, 0)]);
+    }
+
+    #[test]
+    fn stiffness_ordering_glass_titanium_steel() {
+        let e = |m: Material| match m {
+            Material::Isotropic { e, .. } => e,
+            _ => unreachable!(),
+        };
+        assert!(e(glass()) < e(titanium()));
+        assert!(e(titanium()) < e(steel()));
+    }
+}

@@ -1,0 +1,105 @@
+//! Generic rectangular plates: the quickstart workload and the capacity
+//! sweeps of Tables 1 and 2.
+
+use cafemio_fem::{AnalysisKind, FemModel};
+use cafemio_geom::Point;
+use cafemio_idlz::{IdealizationSpec, Limits, ShapeLine, Subdivision};
+use cafemio_mesh::TriMesh;
+
+use crate::materials;
+use crate::support::{apply_pressure_where, fix_x_where, fix_y_where, SELECT_TOL};
+
+/// A `nx × ny`-cell rectangular plate of the given physical size.
+///
+/// # Panics
+///
+/// Panics when a dimension is not positive (programming error in a
+/// workload definition).
+pub fn spec(nx: i32, ny: i32, width: f64, height: f64) -> IdealizationSpec {
+    assert!(nx > 0 && ny > 0 && width > 0.0 && height > 0.0);
+    let mut spec = IdealizationSpec::new("RECTANGULAR PLATE");
+    spec.set_limits(Limits::unbounded());
+    spec.add_subdivision(
+        Subdivision::rectangular(1, (0, 0), (nx, ny)).expect("validated dimensions"),
+    );
+    spec.add_shape_line(
+        1,
+        ShapeLine::straight(
+            (0, 0),
+            (nx, 0),
+            Point::new(0.0, 0.0),
+            Point::new(width, 0.0),
+        ),
+    );
+    spec.add_shape_line(
+        1,
+        ShapeLine::straight(
+            (0, ny),
+            (nx, ny),
+            Point::new(0.0, height),
+            Point::new(width, height),
+        ),
+    );
+    spec
+}
+
+/// A plate sized to approximately `target_nodes` nodes (for the Table-1/2
+/// capacity sweeps), keeping the 40 × 60 grid proportions of Table 2.
+pub fn capacity_spec(target_nodes: usize) -> IdealizationSpec {
+    // nodes = (nx + 1)(ny + 1) with ny ≈ 1.5 nx.
+    let nx = ((target_nodes as f64 / 1.5).sqrt() - 1.0).round().max(1.0) as i32;
+    let ny = ((target_nodes as f64) / (nx + 1) as f64 - 1.0).round().max(1.0) as i32;
+    let mut s = spec(nx, ny, nx as f64, ny as f64);
+    s.set_limits(Limits::unbounded());
+    s
+}
+
+/// A plane-stress tension model: left edge held, uniform pressure pulling
+/// on the right edge.
+pub fn tension_model(mesh: &TriMesh) -> FemModel {
+    let bbox = mesh.bounding_box();
+    let (x0, x1) = (bbox.min().x, bbox.max().x);
+    let mut model = FemModel::new(
+        mesh.clone(),
+        AnalysisKind::PlaneStress { thickness: 0.5 },
+        materials::steel(),
+    );
+    fix_x_where(&mut model, |p| (p.x - x0).abs() < SELECT_TOL);
+    fix_y_where(&mut model, |p| {
+        (p.x - x0).abs() < SELECT_TOL && (p.y - bbox.min().y).abs() < SELECT_TOL
+    });
+    // Negative pressure = suction = pulling the right edge outward.
+    apply_pressure_where(&mut model, -1000.0, |p| (p.x - x1).abs() < SELECT_TOL);
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cafemio_fem::StressField;
+    use cafemio_idlz::Idealization;
+
+    #[test]
+    fn plate_tension_stress_is_uniform() {
+        let result = Idealization::run(&spec(6, 3, 3.0, 1.0)).unwrap();
+        let model = tension_model(&result.mesh);
+        let solution = model.solve().unwrap();
+        let stresses = StressField::compute(&model, &solution).unwrap();
+        for (id, _) in model.mesh().elements() {
+            let s = stresses.element(id);
+            assert!((s.radial - 1000.0).abs() < 1.0, "σx = {}", s.radial);
+        }
+    }
+
+    #[test]
+    fn capacity_spec_hits_target_roughly() {
+        for target in [100usize, 500, 800] {
+            let result = Idealization::run(&capacity_spec(target)).unwrap();
+            let n = result.mesh.node_count();
+            assert!(
+                (n as f64) > 0.7 * target as f64 && (n as f64) < 1.4 * target as f64,
+                "target {target}, got {n}"
+            );
+        }
+    }
+}

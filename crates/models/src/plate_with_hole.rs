@@ -1,0 +1,197 @@
+//! A quarter plate with a central circular hole under remote tension —
+//! the canonical stress-concentration problem (Kirsch: `σθ = 3σ` at the
+//! hole for an infinite plate).
+//!
+//! Not one of the paper's figures, but exactly the class of problem its
+//! introduction motivates, and a sharp exercise of all three layers at
+//! once: IDLZ's circular-arc shaping (the hole), polyline side location
+//! (the outer corner), the plane-stress substrate, and OSPL's isograms
+//! closing in on the concentration.
+
+use cafemio_fem::{AnalysisKind, FemModel};
+use cafemio_geom::Point;
+use cafemio_idlz::{IdealizationSpec, Limits, ShapeLine, Subdivision};
+use cafemio_mesh::TriMesh;
+
+use crate::materials;
+use crate::support::{apply_pressure_where, fix_x_where, fix_y_where, SELECT_TOL};
+
+/// Hole radius.
+pub const HOLE_RADIUS: f64 = 1.0;
+/// Plate half-width (the quarter model spans `0..WIDTH` in both axes).
+pub const WIDTH: f64 = 5.0;
+/// Remote tension applied on the far x face.
+pub const TENSION: f64 = 1000.0;
+
+/// Radial grid intervals from the hole to the outer boundary.
+const RADIAL: i32 = 6;
+/// Tangential grid intervals over the quarter.
+const TANGENTIAL: i32 = 8;
+
+/// The quarter-plate spec: one subdivision wrapped from the hole arc to
+/// the square outer corner.
+pub fn spec() -> IdealizationSpec {
+    let mut spec = IdealizationSpec::new("QUARTER PLATE WITH CIRCULAR HOLE");
+    spec.set_limits(Limits::unbounded());
+    spec.add_subdivision(
+        Subdivision::rectangular(1, (0, 0), (RADIAL, TANGENTIAL)).expect("valid grid"),
+    );
+    // Left side (k = 0): the hole, a quarter arc from (a, 0) to (0, a).
+    spec.add_shape_line(
+        1,
+        ShapeLine::arc(
+            (0, 0),
+            (0, TANGENTIAL),
+            Point::new(HOLE_RADIUS, 0.0),
+            Point::new(0.0, HOLE_RADIUS),
+            HOLE_RADIUS,
+        ),
+    );
+    // Right side (k = RADIAL): the outer square corner as two straight
+    // segments (Hint 5: several segments with their own node spacing).
+    let half = TANGENTIAL / 2;
+    spec.add_shape_line(
+        1,
+        ShapeLine::straight(
+            (RADIAL, 0),
+            (RADIAL, half),
+            Point::new(WIDTH, 0.0),
+            Point::new(WIDTH, WIDTH),
+        ),
+    );
+    spec.add_shape_line(
+        1,
+        ShapeLine::straight(
+            (RADIAL, half),
+            (RADIAL, TANGENTIAL),
+            Point::new(WIDTH, WIDTH),
+            Point::new(0.0, WIDTH),
+        ),
+    );
+    spec
+}
+
+/// The tension model: symmetry planes on both axes, remote tension on
+/// the far x face.
+pub fn tension_model(mesh: &TriMesh) -> FemModel {
+    let mut model = FemModel::new(
+        mesh.clone(),
+        AnalysisKind::PlaneStress { thickness: 1.0 },
+        materials::steel(),
+    );
+    fix_y_where(&mut model, |p| p.y.abs() < SELECT_TOL);
+    fix_x_where(&mut model, |p| p.x.abs() < SELECT_TOL);
+    // Suction (negative pressure) pulls the far face outward in +x.
+    apply_pressure_where(&mut model, -TENSION, |p| (p.x - WIDTH).abs() < SELECT_TOL);
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cafemio_fem::StressField;
+    use cafemio_idlz::Idealization;
+    use cafemio_mesh::NodeId;
+
+    #[test]
+    fn hole_nodes_lie_on_the_circle() {
+        let result = Idealization::run(&spec()).unwrap();
+        result.mesh.validate().unwrap();
+        let on_hole: Vec<NodeId> = result
+            .mesh
+            .nodes()
+            .filter(|(_, n)| {
+                (n.position.distance_to(Point::ORIGIN) - HOLE_RADIUS).abs() < 1e-9
+            })
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(on_hole.len(), TANGENTIAL as usize + 1);
+    }
+
+    #[test]
+    fn stress_concentration_near_kirsch_factor() {
+        let result = Idealization::run(&spec()).unwrap();
+        let model = tension_model(&result.mesh);
+        let solution = model.solve().unwrap();
+        let stresses = StressField::compute(&model, &solution).unwrap();
+        // Peak σx at the hole's crown (0, a), where the hoop direction is
+        // x. Kirsch gives 3σ for an infinite plate; the finite width and
+        // the coarse CST mesh pull the nodal value down.
+        let crown = result
+            .mesh
+            .nodes()
+            .filter(|(_, n)| {
+                n.position.x.abs() < 1e-9
+                    && (n.position.y - HOLE_RADIUS).abs() < 1e-9
+            })
+            .map(|(id, _)| id)
+            .next()
+            .expect("crown node exists");
+        let kt = stresses.node(crown).radial / TENSION;
+        assert!(kt > 1.8 && kt < 3.6, "Kt = {kt}");
+        // And it is the global maximum of σx.
+        let (_, hi) = stresses.radial().min_max().unwrap();
+        assert!(
+            (hi - stresses.node(crown).radial) / hi < 0.3,
+            "peak {hi} vs crown {}",
+            stresses.node(crown).radial
+        );
+    }
+
+    #[test]
+    fn side_of_hole_is_relieved() {
+        // Kirsch: σx at (a, 0) is compressive (−σ for infinite plates) —
+        // at minimum far below the remote tension.
+        let result = Idealization::run(&spec()).unwrap();
+        let model = tension_model(&result.mesh);
+        let solution = model.solve().unwrap();
+        let stresses = StressField::compute(&model, &solution).unwrap();
+        let side = result
+            .mesh
+            .nodes()
+            .filter(|(_, n)| {
+                n.position.y.abs() < 1e-9
+                    && (n.position.x - HOLE_RADIUS).abs() < 1e-9
+            })
+            .map(|(id, _)| id)
+            .next()
+            .expect("side node exists");
+        assert!(
+            stresses.node(side).radial < 0.3 * TENSION,
+            "σx at the side = {}",
+            stresses.node(side).radial
+        );
+    }
+
+    #[test]
+    fn contours_concentrate_at_the_hole() {
+        use cafemio_ospl::{ContourOptions, Ospl};
+        let result = Idealization::run(&spec()).unwrap();
+        let model = tension_model(&result.mesh);
+        let solution = model.solve().unwrap();
+        let stresses = StressField::compute(&model, &solution).unwrap();
+        let plot = Ospl::run(
+            model.mesh(),
+            &stresses.effective(),
+            &ContourOptions::new(),
+        )
+        .unwrap();
+        assert!(plot.drawn_contours() > 5);
+        // The highest-level isogram hugs the hole: every segment end
+        // within twice the hole radius of the origin.
+        let top = plot
+            .isograms
+            .iter()
+            .rev()
+            .find(|i| !i.segments.is_empty())
+            .expect("some contour drawn");
+        for seg in &top.segments {
+            for p in [seg.a, seg.b] {
+                assert!(
+                    p.distance_to(Point::ORIGIN) < 2.0 * HOLE_RADIUS,
+                    "peak contour far from the hole at {p}"
+                );
+            }
+        }
+    }
+}

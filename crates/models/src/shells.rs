@@ -1,0 +1,146 @@
+//! Shared builder for spherical-shell subdivisions.
+//!
+//! Most of the paper's structures are bodies of revolution whose
+//! cross-sections chain spherical segments (crowns, knuckles, hemispheres)
+//! onto walls and rings. This helper adds one shell-sector subdivision —
+//! a rectangle in the integer grid, shaped by two concentric arcs — to a
+//! spec, respecting the report's 90° arc restriction.
+
+use cafemio_geom::Point;
+use cafemio_idlz::{GridPoint, IdealizationSpec, ShapeLine, Subdivision};
+
+/// A point on a meridian: surface radius `r` about `center`, at meridian
+/// angle `phi` measured *from the pole* (so `phi = 0` is on the axis and
+/// `phi = 90°` is the equator).
+pub fn meridian_point(center: Point, r: f64, phi_deg: f64) -> Point {
+    let phi = phi_deg.to_radians();
+    Point::new(center.x + r * phi.sin(), center.y + r * phi.cos())
+}
+
+/// Adds a shell-sector subdivision: grid rectangle from `lower_left` to
+/// `upper_right` (thickness along `k`, meridian along `l`, with `l`
+/// increasing toward the pole), shaped by inner/outer arcs about
+/// `center` from meridian angle `phi_lower` (at the low-`l` row) to
+/// `phi_upper` (at the high-`l` row, closer to the pole).
+///
+/// # Panics
+///
+/// Panics when the sweep exceeds 90° (the report's restriction), when the
+/// angles are out of order, or when the grid rectangle is invalid — all
+/// programming errors in a model definition.
+#[allow(clippy::too_many_arguments)]
+pub fn add_shell_sector(
+    spec: &mut IdealizationSpec,
+    id: usize,
+    lower_left: GridPoint,
+    upper_right: GridPoint,
+    center: Point,
+    r_inner: f64,
+    r_outer: f64,
+    phi_lower_deg: f64,
+    phi_upper_deg: f64,
+) {
+    assert!(
+        phi_upper_deg < phi_lower_deg,
+        "l increases toward the pole: phi_upper must be smaller"
+    );
+    assert!(
+        phi_lower_deg - phi_upper_deg <= 90.0 + 1e-9,
+        "arc subtends more than 90 degrees"
+    );
+    assert!(r_outer > r_inner && r_inner > 0.0);
+    let (k0, l0) = lower_left;
+    let (k1, l1) = upper_right;
+    spec.add_subdivision(
+        Subdivision::rectangular(id, lower_left, upper_right).expect("valid shell grid"),
+    );
+    // Inner arc along the left side, outer along the right; both run CCW
+    // (from the lower meridian angle toward the pole).
+    for (k, radius) in [(k0, r_inner), (k1, r_outer)] {
+        spec.add_shape_line(
+            id,
+            ShapeLine::arc(
+                (k, l0),
+                (k, l1),
+                meridian_point(center, radius, phi_lower_deg),
+                meridian_point(center, radius, phi_upper_deg),
+                radius,
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cafemio_idlz::{Idealization, Limits};
+
+    #[test]
+    fn meridian_point_poles_and_equator() {
+        let c = Point::new(0.0, 10.0);
+        assert!(meridian_point(c, 5.0, 0.0).approx_eq(Point::new(0.0, 15.0), 1e-12));
+        assert!(meridian_point(c, 5.0, 90.0).approx_eq(Point::new(5.0, 10.0), 1e-12));
+    }
+
+    #[test]
+    fn hemisphere_from_one_sector() {
+        let mut spec = IdealizationSpec::new("HEMI");
+        spec.set_limits(Limits::unbounded());
+        add_shell_sector(
+            &mut spec,
+            1,
+            (0, 0),
+            (2, 8),
+            Point::new(0.0, 0.0),
+            10.0,
+            11.0,
+            90.0,
+            0.0,
+        );
+        let result = Idealization::run(&spec).unwrap();
+        result.mesh.validate().unwrap();
+        // Every node lies between the two spheres.
+        for (_, node) in result.mesh.nodes() {
+            let r = node.position.distance_to(Point::ORIGIN);
+            assert!(r > 10.0 - 1e-9 && r < 11.0 + 1e-9, "r = {r}");
+        }
+        // Pole nodes sit on the axis.
+        let on_axis = result
+            .mesh
+            .nodes()
+            .filter(|(_, n)| n.position.x.abs() < 1e-9)
+            .count();
+        assert_eq!(on_axis, 3);
+    }
+
+    #[test]
+    fn chained_sectors_are_conformal() {
+        // Crown 0–45° and band 45–90° share the 45° row exactly.
+        let mut spec = IdealizationSpec::new("CHAIN");
+        let c = Point::new(0.0, 0.0);
+        add_shell_sector(&mut spec, 1, (0, 0), (2, 4), c, 8.0, 9.0, 90.0, 45.0);
+        add_shell_sector(&mut spec, 2, (0, 4), (2, 8), c, 8.0, 9.0, 45.0, 0.0);
+        let result = Idealization::run(&spec).unwrap();
+        result.mesh.validate().unwrap();
+        // No duplicate nodes at the shared row: total = 2 sectors × 5 rows
+        // × 3 − 3 shared.
+        assert_eq!(result.mesh.node_count(), 2 * 5 * 3 - 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than 90 degrees")]
+    fn oversized_sweep_panics() {
+        let mut spec = IdealizationSpec::new("BAD");
+        add_shell_sector(
+            &mut spec,
+            1,
+            (0, 0),
+            (2, 4),
+            Point::ORIGIN,
+            8.0,
+            9.0,
+            120.0,
+            0.0,
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! Helpers for turning a shaped mesh into a loaded, constrained model.
+
+use cafemio_fem::FemModel;
+use cafemio_geom::Point;
+use cafemio_mesh::{Edge, NodeId, TriMesh};
+
+/// Geometric tolerance for node selection predicates.
+pub const SELECT_TOL: f64 = 1e-6;
+
+/// All nodes whose position satisfies the predicate.
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_geom::Point;
+/// use cafemio_mesh::{BoundaryKind, TriMesh};
+/// use cafemio_models::support::nodes_where;
+/// let mut mesh = TriMesh::new();
+/// mesh.add_node(Point::new(0.0, 0.0), BoundaryKind::Boundary);
+/// mesh.add_node(Point::new(1.0, 0.0), BoundaryKind::Boundary);
+/// let on_axis = nodes_where(&mesh, |p| p.x.abs() < 1e-9);
+/// assert_eq!(on_axis.len(), 1);
+/// ```
+pub fn nodes_where<F: Fn(Point) -> bool>(mesh: &TriMesh, pred: F) -> Vec<NodeId> {
+    mesh.nodes()
+        .filter(|(_, n)| pred(n.position))
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// The boundary edges of the mesh *directed so the material lies on the
+/// left* of each edge. Elements are counter-clockwise, so an element's
+/// own edge ordering has the interior to its left; a boundary edge
+/// inherits that direction from its single owning element.
+///
+/// With this orientation, [`FemModel::add_edge_pressure`] with a positive
+/// pressure pushes *into* the structure — the compressive sense of
+/// submergence pressure on the paper's hulls.
+pub fn directed_boundary_edges(mesh: &TriMesh) -> Vec<(NodeId, NodeId)> {
+    let edge_counts = mesh.edges();
+    let mut out = Vec::new();
+    for (_, el) in mesh.elements() {
+        for (a, b) in el.edges() {
+            if edge_counts
+                .get(&Edge::new(a, b))
+                .map(Vec::len)
+                .unwrap_or(0)
+                == 1
+            {
+                out.push((a, b));
+            }
+        }
+    }
+    out
+}
+
+/// Applies pressure `p` (positive = compressing the structure) to every
+/// boundary edge whose midpoint satisfies the predicate. Returns the
+/// number of loaded edges so callers can assert the load actually landed.
+pub fn apply_pressure_where<F: Fn(Point) -> bool>(
+    model: &mut FemModel,
+    p: f64,
+    pred: F,
+) -> usize {
+    let edges = directed_boundary_edges(model.mesh());
+    let mut loaded = 0;
+    for (a, b) in edges {
+        let mid = model
+            .mesh()
+            .node(a)
+            .position
+            .midpoint(model.mesh().node(b).position);
+        if pred(mid) {
+            model.add_edge_pressure(a, b, p);
+            loaded += 1;
+        }
+    }
+    loaded
+}
+
+/// Fixes the x/r displacement of every node satisfying the predicate;
+/// returns how many were fixed.
+pub fn fix_x_where<F: Fn(Point) -> bool>(model: &mut FemModel, pred: F) -> usize {
+    let nodes = nodes_where(model.mesh(), pred);
+    for &n in &nodes {
+        model.fix_x(n);
+    }
+    nodes.len()
+}
+
+/// Fixes the y/z displacement of every node satisfying the predicate;
+/// returns how many were fixed.
+pub fn fix_y_where<F: Fn(Point) -> bool>(model: &mut FemModel, pred: F) -> usize {
+    let nodes = nodes_where(model.mesh(), pred);
+    for &n in &nodes {
+        model.fix_y(n);
+    }
+    nodes.len()
+}
+
+/// Fixes both displacements of every node satisfying the predicate.
+pub fn fix_where<F: Fn(Point) -> bool>(model: &mut FemModel, pred: F) -> usize {
+    let nodes = nodes_where(model.mesh(), pred);
+    for &n in &nodes {
+        model.fix_both(n);
+    }
+    nodes.len()
+}
+
+/// Fixes the radial displacement of every node on the axis of symmetry
+/// (`r ≈ 0`), which every axisymmetric model needs.
+pub fn fix_axis(model: &mut FemModel) -> usize {
+    fix_x_where(model, |p| p.x.abs() < SELECT_TOL)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cafemio_fem::{AnalysisKind, Material};
+    use cafemio_mesh::BoundaryKind;
+
+    fn square() -> TriMesh {
+        let mut m = TriMesh::new();
+        let a = m.add_node(Point::new(0.0, 0.0), BoundaryKind::Boundary);
+        let b = m.add_node(Point::new(1.0, 0.0), BoundaryKind::Boundary);
+        let c = m.add_node(Point::new(1.0, 1.0), BoundaryKind::Boundary);
+        let d = m.add_node(Point::new(0.0, 1.0), BoundaryKind::Boundary);
+        m.add_element([a, b, c]).unwrap();
+        m.add_element([a, c, d]).unwrap();
+        m
+    }
+
+    #[test]
+    fn directed_edges_have_material_on_left() {
+        let edges = directed_boundary_edges(&square());
+        assert_eq!(edges.len(), 4);
+        // Walk the boundary: the polygon must be traversed CCW overall
+        // (shoelace positive), which means material on the left.
+        let mesh = square();
+        let mut area2 = 0.0;
+        for (a, b) in &edges {
+            let pa = mesh.node(*a).position;
+            let pb = mesh.node(*b).position;
+            area2 += pa.x * pb.y - pb.x * pa.y;
+        }
+        assert!(area2 > 0.0);
+    }
+
+    #[test]
+    fn pressure_on_predicate_edges_compresses() {
+        let mesh = square();
+        let mut model = FemModel::new(
+            mesh,
+            AnalysisKind::PlaneStrain,
+            Material::isotropic(1.0e6, 0.3),
+        );
+        fix_where(&mut model, |p| p.x < SELECT_TOL);
+        // Pressure on the right face (x = 1).
+        let loaded = apply_pressure_where(&mut model, 100.0, |p| (p.x - 1.0).abs() < SELECT_TOL);
+        assert_eq!(loaded, 1);
+        let solution = model.solve().unwrap();
+        // The right face moves inward (-x).
+        let (u, _) = solution.displacement(NodeId(1));
+        assert!(u < 0.0, "u = {u}");
+    }
+
+    #[test]
+    fn fixers_count_nodes() {
+        let mesh = square();
+        let mut model = FemModel::new(
+            mesh,
+            AnalysisKind::PlaneStrain,
+            Material::isotropic(1.0e6, 0.3),
+        );
+        assert_eq!(fix_x_where(&mut model, |p| p.y < SELECT_TOL), 2);
+        assert_eq!(fix_y_where(&mut model, |p| p.y < SELECT_TOL), 2);
+        assert_eq!(fix_axis(&mut model), 2); // x = 0 side
+    }
+}

@@ -1,0 +1,221 @@
+//! The T-beam of Figure 14: "the temperature distribution in a T-beam
+//! exposed to a thermal radiation pulse", computed with the transient
+//! conduction substrate and contoured at t = 2 s and t = 3 s.
+//!
+//! The section is one half of a Tee frame (symmetry cut through the web):
+//! a flange slab with the half-web hanging below it, the radiation pulse
+//! striking the flange's top face.
+
+use cafemio_fem::{FemError, ThermalModel, ThermalSolution};
+use cafemio_geom::Point;
+use cafemio_idlz::{IdealizationSpec, ShapeLine, Subdivision};
+use cafemio_mesh::TriMesh;
+
+use crate::materials;
+use crate::support::SELECT_TOL;
+
+/// Half-width of the flange (in).
+pub const FLANGE_HALF_WIDTH: f64 = 3.0;
+/// Flange thickness (in).
+pub const FLANGE_THICKNESS: f64 = 0.75;
+/// Web depth below the flange (in).
+pub const WEB_DEPTH: f64 = 3.0;
+/// Half-thickness of the web (the symmetry cut halves it) (in). Chosen
+/// as two flange-grid columns (2 × 0.25) so the web's top nodes coincide
+/// exactly with the flange's bottom-row nodes.
+pub const WEB_HALF_THICKNESS: f64 = 0.5;
+
+/// Radiation pulse heat flux on the flange face (BTU/(s·in²)).
+pub const PULSE_FLUX: f64 = 2.0;
+/// Pulse duration (s).
+pub const PULSE_DURATION: f64 = 1.0;
+
+/// The half-Tee idealization: a flange subdivision over a web
+/// subdivision, sharing the grid row where they meet.
+pub fn spec() -> IdealizationSpec {
+    let mut spec =
+        IdealizationSpec::new("TEMPERATURE DISTRIBUTION IN T-BEAM EXPOSED TO A THERMAL PULSE");
+    // Grid: web occupies k 0..2, l 0..8; flange k 0..12, l 8..11.
+    // Physical: x from the symmetry plane, y upward, flange top at y = 0.
+    let web_top = -FLANGE_THICKNESS;
+    let web_bottom = web_top - WEB_DEPTH;
+    spec.add_subdivision(Subdivision::rectangular(1, (0, 0), (2, 8)).expect("valid"));
+    spec.add_subdivision(Subdivision::rectangular(2, (0, 8), (12, 11)).expect("valid"));
+    // Web: bottom and top rows located; note the top row spans only the
+    // web's two columns — the flange interpolation covers the rest.
+    spec.add_shape_line(
+        1,
+        ShapeLine::straight(
+            (0, 0),
+            (2, 0),
+            Point::new(0.0, web_bottom),
+            Point::new(WEB_HALF_THICKNESS, web_bottom),
+        ),
+    );
+    spec.add_shape_line(
+        1,
+        ShapeLine::straight(
+            (0, 8),
+            (2, 8),
+            Point::new(0.0, web_top),
+            Point::new(WEB_HALF_THICKNESS, web_top),
+        ),
+    );
+    // Flange: bottom row (shared with the web over k 0..2) and top row.
+    spec.add_shape_line(
+        2,
+        ShapeLine::straight(
+            (0, 8),
+            (12, 8),
+            Point::new(0.0, web_top),
+            Point::new(FLANGE_HALF_WIDTH, web_top),
+        ),
+    );
+    spec.add_shape_line(
+        2,
+        ShapeLine::straight(
+            (0, 11),
+            (12, 11),
+            Point::new(0.0, 0.0),
+            Point::new(FLANGE_HALF_WIDTH, 0.0),
+        ),
+    );
+    spec
+}
+
+/// The transient model: steel, radiation flux on the flange top face.
+pub fn thermal_model(mesh: &TriMesh) -> ThermalModel {
+    let mut model = ThermalModel::new(mesh.clone(), materials::steel_thermal());
+    // Flux on every boundary edge lying on the top face (y = 0).
+    let edges = crate::support::directed_boundary_edges(mesh);
+    for (a, b) in edges {
+        let mid = mesh.node(a).position.midpoint(mesh.node(b).position);
+        if mid.y.abs() < SELECT_TOL {
+            model.add_edge_flux(a, b, PULSE_FLUX);
+        }
+    }
+    model
+}
+
+/// Runs the pulse transient to `t_end` seconds and returns the history.
+///
+/// # Errors
+///
+/// Propagates [`FemError`] from the stepper.
+pub fn run_pulse(mesh: &TriMesh, t_end: f64, steps: usize) -> Result<ThermalSolution, FemError> {
+    let model = thermal_model(mesh);
+    let pulse = |t: f64| if t < PULSE_DURATION { 1.0 } else { 0.0 };
+    model.simulate(INITIAL_TEMPERATURE, t_end / steps as f64, steps, 0.5, &pulse)
+}
+
+/// Ambient (stress-free) temperature at t = 0 (°F).
+pub const INITIAL_TEMPERATURE: f64 = 70.0;
+
+/// Steel's coefficient of thermal expansion (1/°F).
+pub const EXPANSION: f64 = 6.5e-6;
+
+/// The thermal-*stress* model for a temperature snapshot: the Tee is held
+/// where it frames into the hull (web tip clamped, symmetry plane on the
+/// web centerline), and the temperature field loads it through thermal
+/// expansion. This closes the loop the paper's Figure 14 opens: the
+/// plotted temperature distribution is the input to exactly this
+/// analysis.
+pub fn thermal_stress_model(
+    mesh: &TriMesh,
+    temperatures: &cafemio_mesh::NodalField,
+) -> cafemio_fem::FemModel {
+    use cafemio_fem::{AnalysisKind, FemModel};
+    let mut model = FemModel::new(
+        mesh.clone(),
+        AnalysisKind::PlaneStress { thickness: 1.0 },
+        crate::materials::steel(),
+    );
+    // Symmetry: no x motion across the web centerline.
+    crate::support::fix_x_where(&mut model, |p| p.x.abs() < SELECT_TOL);
+    // Framed into the hull at the web tip.
+    let web_bottom = -FLANGE_THICKNESS - WEB_DEPTH;
+    crate::support::fix_y_where(&mut model, |p| (p.y - web_bottom).abs() < SELECT_TOL);
+    model.set_thermal_load(
+        temperatures.values().to_vec(),
+        EXPANSION,
+        INITIAL_TEMPERATURE,
+    );
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cafemio_idlz::Idealization;
+
+    #[test]
+    fn tee_geometry_is_a_tee() {
+        let result = Idealization::run(&spec()).unwrap();
+        let mesh = &result.mesh;
+        mesh.validate().unwrap();
+        let area = FLANGE_HALF_WIDTH * FLANGE_THICKNESS + WEB_HALF_THICKNESS * WEB_DEPTH;
+        assert!((mesh.total_area() - area).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flange_heats_web_lags() {
+        let result = Idealization::run(&spec()).unwrap();
+        let history = run_pulse(&result.mesh, 3.0, 150).unwrap();
+        let t2 = history.at_time(2.0);
+        // Hottest point on the irradiated face, coolest at the web tip.
+        let mesh = &result.mesh;
+        let mut face_max: f64 = 0.0;
+        let mut tip_min = f64::INFINITY;
+        for (id, node) in mesh.nodes() {
+            if node.position.y.abs() < SELECT_TOL {
+                face_max = face_max.max(t2.value(id));
+            }
+            if (node.position.y - (-FLANGE_THICKNESS - WEB_DEPTH)).abs() < SELECT_TOL {
+                tip_min = tip_min.min(t2.value(id));
+            }
+        }
+        assert!(
+            face_max > tip_min + 50.0,
+            "face {face_max} vs tip {tip_min}"
+        );
+        // The web tip barely notices the pulse by t = 2 s.
+        assert!(tip_min < 80.0, "tip = {tip_min}");
+    }
+
+    #[test]
+    fn heated_flange_develops_compressive_thermal_stress() {
+        // The irradiated flange face wants to expand but the cold web
+        // restrains it: the hot face goes into in-plane compression.
+        let result = Idealization::run(&spec()).unwrap();
+        let history = run_pulse(&result.mesh, 2.0, 100).unwrap();
+        let model = thermal_stress_model(&result.mesh, history.at_time(2.0));
+        let solution = model.solve().unwrap();
+        let stresses = cafemio_fem::StressField::compute(&model, &solution).unwrap();
+        let mesh = model.mesh();
+        let mut face_sx = 0.0;
+        let mut count = 0;
+        for (id, node) in mesh.nodes() {
+            if node.position.y.abs() < SELECT_TOL && node.position.x > 1.0 {
+                face_sx += stresses.node(id).radial; // sigma_x along the face
+                count += 1;
+            }
+        }
+        face_sx /= count as f64;
+        assert!(face_sx < -1000.0, "hot face sigma_x = {face_sx}");
+    }
+
+    #[test]
+    fn surface_cools_between_two_and_three_seconds() {
+        // The pulse ends at 1 s; Figure 14's t = 3 s plot is flatter than
+        // the t = 2 s plot.
+        let result = Idealization::run(&spec()).unwrap();
+        let history = run_pulse(&result.mesh, 3.0, 150).unwrap();
+        let spread = |f: &cafemio_mesh::NodalField| {
+            let (lo, hi) = f.min_max().unwrap();
+            hi - lo
+        };
+        let spread2 = spread(history.at_time(2.0));
+        let spread3 = spread(history.at_time(3.0));
+        assert!(spread3 < spread2, "{spread3} vs {spread2}");
+    }
+}

@@ -1,0 +1,88 @@
+//! The "typical shape" of Figure 10: a subdivision whose shaping leaves
+//! elements "having needle-like corners" (Figure 10a) that the reforming
+//! pass then fixes (Figure 10b).
+//!
+//! The mechanism: element creation happens on the integer grid *before*
+//! shaping, so the diagonals are chosen blind. Shearing the subdivision
+//! hard to one side during shaping turns every fixed diagonal into the
+//! long diagonal of its cell — exactly the pathology the report's
+//! Figures 9b and 10a show — and the diagonal-swapping reformer restores
+//! well-shaped elements without moving a single node.
+
+use cafemio_geom::Point;
+use cafemio_idlz::{IdealizationSpec, ShapeLine, Subdivision};
+
+/// Horizontal shear of the top edge relative to the bottom (negative =
+/// leftward, which fights the fixed diagonal orientation).
+pub const SHEAR: f64 = -4.5;
+/// Cells along the shape.
+pub const CELLS_X: i32 = 6;
+/// Cells through the shape.
+pub const CELLS_Y: i32 = 3;
+
+/// The sheared-quadrilateral spec.
+pub fn spec() -> IdealizationSpec {
+    let mut spec = IdealizationSpec::new("TYPICAL SHAPE - TRAPEZOIDAL SUBDIVISION REFORMED");
+    spec.add_subdivision(
+        Subdivision::rectangular(1, (0, 0), (CELLS_X, CELLS_Y)).expect("valid rectangle"),
+    );
+    spec.add_shape_line(
+        1,
+        ShapeLine::straight(
+            (0, 0),
+            (CELLS_X, 0),
+            Point::new(0.0, 0.0),
+            Point::new(CELLS_X as f64, 0.0),
+        ),
+    );
+    spec.add_shape_line(
+        1,
+        ShapeLine::straight(
+            (0, CELLS_Y),
+            (CELLS_X, CELLS_Y),
+            Point::new(SHEAR, CELLS_Y as f64),
+            Point::new(CELLS_X as f64 + SHEAR, CELLS_Y as f64),
+        ),
+    );
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cafemio_idlz::{Idealization, Options};
+
+    #[test]
+    fn shaping_creates_needles_and_reform_fixes_them() {
+        let result = Idealization::run(&spec()).unwrap();
+        // The run's reform report is the Figure 10a → 10b transition.
+        assert!(result.reform.swaps > 0, "no diagonals swapped");
+        assert!(
+            result.reform.min_angle_after > result.reform.min_angle_before + 0.05,
+            "min angle {:.3} -> {:.3}",
+            result.reform.min_angle_before,
+            result.reform.min_angle_after,
+        );
+        assert!(result.reform.needles_after < result.reform.needles_before);
+        result.mesh.validate().unwrap();
+    }
+
+    #[test]
+    fn reform_preserves_the_sheared_geometry() {
+        let result = Idealization::run(&spec()).unwrap();
+        // Area of the parallelogram: base × height, shear-invariant.
+        let exact = (CELLS_X * CELLS_Y) as f64;
+        assert!((result.mesh.total_area() - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn without_reform_option_the_needles_remain() {
+        // The reformer is part of the pipeline; compare against the raw
+        // shaped mesh quality recorded in the report.
+        let mut s = spec();
+        s.set_options(Options::default());
+        let result = Idealization::run(&s).unwrap();
+        let final_quality = result.mesh.quality();
+        assert!(final_quality.min_angle > result.reform.min_angle_before);
+    }
+}

@@ -1,0 +1,261 @@
+//! The deep-submergence viewports of Figures 6, 7, and 8.
+//!
+//! A viewport window is a solid glass conical frustum seated in a metal
+//! ring. The cross-section (axisymmetric; `x` is the radius) is a
+//! trapezoid for the glass, a wedge for the seat ring (a genuinely
+//! *triangular* subdivision — the degenerate trapezoid the report built
+//! for exactly these shapes), and a rectangular transition ring under the
+//! seat for the Figure-8 variant.
+
+use cafemio_fem::{AnalysisKind, FemModel};
+use cafemio_geom::Point;
+use cafemio_idlz::{IdealizationSpec, ShapeLine, Subdivision};
+use cafemio_mesh::{ElementId, TriMesh};
+
+use crate::materials;
+use crate::support::{apply_pressure_where, fix_axis, fix_where, SELECT_TOL};
+
+/// Radius of the window's low-pressure (inner) face.
+pub const INNER_FACE_RADIUS: f64 = 3.0;
+/// Radius of the window's high-pressure (outer) face.
+pub const OUTER_FACE_RADIUS: f64 = 6.0;
+/// Window thickness.
+pub const THICKNESS: f64 = 2.0;
+/// Outer radius of the seat/transition rings.
+pub const RING_OUTER_RADIUS: f64 = 9.0;
+/// Depth of the transition ring below the window seat.
+pub const TRANSITION_DEPTH: f64 = 1.5;
+
+/// Design pressure (psi), applied to the high-pressure face.
+pub const PRESSURE: f64 = 1000.0;
+
+/// The radius of the glass/metal seat interface at height `z` (the
+/// frustum's slant line).
+pub fn seat_radius(z: f64) -> f64 {
+    INNER_FACE_RADIUS + (OUTER_FACE_RADIUS - INNER_FACE_RADIUS) * (z / THICKNESS)
+}
+
+/// Adds the glass cone: a `NTAPRW = +1` trapezoid whose short bottom row
+/// is the inner face and whose long top row is the outer face. Grid rows
+/// `l0..l0+4`.
+fn add_cone(spec: &mut IdealizationSpec, id: usize, l0: i32) {
+    spec.add_subdivision(
+        Subdivision::row_trapezoid(id, (0, l0), (12, l0 + 4), 1).expect("valid cone"),
+    );
+    // Bottom row spans grid k 4..8 (5 nodes): the inner face.
+    spec.add_shape_line(
+        id,
+        ShapeLine::straight(
+            (4, l0),
+            (8, l0),
+            Point::new(0.0, 0.0),
+            Point::new(INNER_FACE_RADIUS, 0.0),
+        ),
+    );
+    spec.add_shape_line(
+        id,
+        ShapeLine::straight(
+            (0, l0 + 4),
+            (12, l0 + 4),
+            Point::new(0.0, THICKNESS),
+            Point::new(OUTER_FACE_RADIUS, THICKNESS),
+        ),
+    );
+}
+
+/// Figure 7: the DSSV viewport — the glass cone alone.
+pub fn viewport_spec() -> IdealizationSpec {
+    let mut spec = IdealizationSpec::new("DSSV VIEWPORT");
+    add_cone(&mut spec, 1, 0);
+    spec
+}
+
+/// Figure 6: the viewport juncture — cone plus the metal seat wedge, a
+/// degenerate (three-sided) trapezoid whose slanted left side *is* the
+/// cone's seat line, node for node.
+pub fn juncture_spec() -> IdealizationSpec {
+    let mut spec = IdealizationSpec::new("GLASS VIEWPORT JUNCTURE WITH METAL RING");
+    add_cone(&mut spec, 1, 0);
+    // Seat wedge: NTAPRW = -1 over rows 0..4, columns 8..16; its left
+    // side nodes (8,0), (9,1) … (12,4) coincide with the cone's right
+    // side, so the two subdivisions knit.
+    spec.add_subdivision(
+        Subdivision::row_trapezoid(2, (8, 0), (16, 4), -1).expect("valid wedge"),
+    );
+    // Bottom of the wedge: from the seat corner out to the ring edge.
+    spec.add_shape_line(
+        2,
+        ShapeLine::straight(
+            (8, 0),
+            (16, 0),
+            Point::new(INNER_FACE_RADIUS, 0.0),
+            Point::new(RING_OUTER_RADIUS, 0.0),
+        ),
+    );
+    // Top of the wedge collapses to its apex at the window's outer rim.
+    spec.add_shape_line(
+        2,
+        ShapeLine::straight(
+            (12, 4),
+            (12, 4),
+            Point::new(OUTER_FACE_RADIUS, THICKNESS),
+            Point::new(OUTER_FACE_RADIUS, THICKNESS),
+        ),
+    );
+    spec
+}
+
+/// Figure 8: viewport and transition ring — the juncture with a
+/// rectangular ring carried below the seat. (Grid rows cannot go
+/// negative, so the whole assembly sits two rows up.)
+pub fn transition_spec() -> IdealizationSpec {
+    let mut spec = IdealizationSpec::new("DSSV VIEWPORT AND TRANSITION RING");
+    add_cone(&mut spec, 1, 2);
+    spec.add_subdivision(
+        Subdivision::row_trapezoid(2, (8, 2), (16, 6), -1).expect("valid wedge"),
+    );
+    spec.add_shape_line(
+        2,
+        ShapeLine::straight(
+            (8, 2),
+            (16, 2),
+            Point::new(INNER_FACE_RADIUS, 0.0),
+            Point::new(RING_OUTER_RADIUS, 0.0),
+        ),
+    );
+    spec.add_shape_line(
+        2,
+        ShapeLine::straight(
+            (12, 6),
+            (12, 6),
+            Point::new(OUTER_FACE_RADIUS, THICKNESS),
+            Point::new(OUTER_FACE_RADIUS, THICKNESS),
+        ),
+    );
+    // Transition ring below the wedge: rows 0..2, sharing row 2.
+    spec.add_subdivision(Subdivision::rectangular(3, (8, 0), (16, 2)).expect("valid ring"));
+    spec.add_shape_line(
+        3,
+        ShapeLine::straight(
+            (8, 0),
+            (16, 0),
+            Point::new(INNER_FACE_RADIUS + 0.5, -TRANSITION_DEPTH),
+            Point::new(RING_OUTER_RADIUS, -TRANSITION_DEPTH),
+        ),
+    );
+    spec
+}
+
+/// True when the point lies in the glass cone (as opposed to the metal
+/// ring) — used to assign element materials.
+pub fn is_glass(p: Point) -> bool {
+    p.y >= -SELECT_TOL && p.y <= THICKNESS + SELECT_TOL && p.x <= seat_radius(p.y) + SELECT_TOL
+}
+
+/// The pressure model for any of the three variants: glass cone, titanium
+/// ring, design pressure on the high-pressure face, supported at the ring
+/// rim.
+pub fn pressure_model(mesh: &TriMesh) -> FemModel {
+    let mut model = FemModel::new(mesh.clone(), AnalysisKind::Axisymmetric, materials::glass());
+    for (id, _) in mesh.elements() {
+        let c = mesh.triangle(ElementId(id.index())).centroid();
+        if !is_glass(c) {
+            model.set_element_material(id, materials::titanium());
+        }
+    }
+    fix_axis(&mut model);
+    // Supported at the ring's outer rim.
+    fix_where(&mut model, |p| {
+        (p.x - RING_OUTER_RADIUS).abs() < SELECT_TOL
+    });
+    // Pressure down onto every top face (z = THICKNESS for the window,
+    // z = 0 on the exposed wedge top).
+    apply_pressure_where(&mut model, PRESSURE, |p| {
+        (p.y - THICKNESS).abs() < SELECT_TOL
+            || (p.y.abs() < SELECT_TOL && p.x > OUTER_FACE_RADIUS)
+    });
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cafemio_fem::StressField;
+    use cafemio_idlz::Idealization;
+
+    #[test]
+    fn viewport_is_a_frustum() {
+        let result = Idealization::run(&viewport_spec()).unwrap();
+        result.mesh.validate().unwrap();
+        // Frustum cross-section area: trapezoid (R1 + R2)/2 × T.
+        let exact = (INNER_FACE_RADIUS + OUTER_FACE_RADIUS) / 2.0 * THICKNESS;
+        assert!((result.mesh.total_area() - exact).abs() < 1e-6);
+    }
+
+    #[test]
+    fn juncture_wedge_is_triangular_subdivision() {
+        let spec = juncture_spec();
+        assert!(spec.subdivisions()[1].is_triangular());
+        let result = Idealization::run(&spec).unwrap();
+        result.mesh.validate().unwrap();
+        // Wedge adds the triangle between seat line, bottom, and rim.
+        let cone = (INNER_FACE_RADIUS + OUTER_FACE_RADIUS) / 2.0 * THICKNESS;
+        let wedge_area = result.mesh.total_area() - cone;
+        assert!(wedge_area > 1.0, "wedge area {wedge_area}");
+    }
+
+    #[test]
+    fn cone_and_wedge_knit_without_duplicates() {
+        let alone = Idealization::run(&viewport_spec()).unwrap();
+        let joined = Idealization::run(&juncture_spec()).unwrap();
+        // Wedge has 9+7+5+3+1 = 25 nodes, 5 shared with the cone.
+        assert_eq!(
+            joined.mesh.node_count(),
+            alone.mesh.node_count() + 25 - 5
+        );
+    }
+
+    #[test]
+    fn transition_ring_attaches_below() {
+        let result = Idealization::run(&transition_spec()).unwrap();
+        result.mesh.validate().unwrap();
+        let min_y = result
+            .mesh
+            .nodes()
+            .map(|(_, n)| n.position.y)
+            .fold(f64::INFINITY, f64::min);
+        assert!((min_y + TRANSITION_DEPTH).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pressure_bows_window_inward() {
+        let result = Idealization::run(&juncture_spec()).unwrap();
+        let model = pressure_model(&result.mesh);
+        let solution = model.solve().unwrap();
+        // The window center (axis, low-pressure face) deflects downward.
+        let center = crate::support::nodes_where(model.mesh(), |p| {
+            p.x.abs() < SELECT_TOL && p.y.abs() < SELECT_TOL
+        });
+        assert_eq!(center.len(), 1);
+        let (_, w) = solution.displacement(center[0]);
+        assert!(w < 0.0, "w = {w}");
+    }
+
+    #[test]
+    fn window_compression_dominates() {
+        // A pressure-loaded window is predominantly in compression:
+        // the volume-weighted mean meridional stress is negative.
+        let result = Idealization::run(&juncture_spec()).unwrap();
+        let model = pressure_model(&result.mesh);
+        let solution = model.solve().unwrap();
+        let stresses = StressField::compute(&model, &solution).unwrap();
+        let mut weighted = 0.0;
+        let mut total = 0.0;
+        for (id, _) in model.mesh().elements() {
+            let a = model.mesh().triangle(id).area();
+            weighted += stresses.element(id).meridional * a;
+            total += a;
+        }
+        assert!(weighted / total < 0.0);
+    }
+}

@@ -1,0 +1,336 @@
+//! Appendix-C card decks for OSPL.
+//!
+//! Four card types: the Type-1 control card (`NN, NE, XMX, XMN, YMX, YMN,
+//! DELTA`), two Type-2 title cards, one Type-3 card per node (`X, Y, S,
+//! N` — "the order of these cards specifies the order in which the nodes
+//! are numbered"), and one Type-4 card per element (three node numbers).
+
+use cafemio_cards::{Card, Deck, Field, Format, FormatReader, FormatWriter};
+use cafemio_geom::{BoundingBox, Point};
+use cafemio_mesh::{BoundaryKind, NodalField, NodeId, TriMesh};
+
+use crate::ospl::ContourOptions;
+use crate::OsplError;
+
+fn fmt(spec: &str) -> Format {
+    spec.parse().expect("internal format literal is valid")
+}
+
+/// A parsed OSPL input deck.
+#[derive(Debug, Clone)]
+pub struct OsplInput {
+    /// The mesh (positions + boundary flags from the Type-3 cards,
+    /// elements from the Type-4 cards).
+    pub mesh: TriMesh,
+    /// The nodal values to contour, named after the first title card.
+    pub field: NodalField,
+    /// Window and interval from the Type-1 card.
+    pub options: ContourOptions,
+    /// The two title cards.
+    pub titles: (String, String),
+}
+
+/// Parses an Appendix-C deck.
+///
+/// A `DELTA` of zero selects the automatic interval; an all-zero window
+/// plots everything (the appendix requires explicit extents, but an
+/// all-zero card is the conventional "no zoom" sentinel in surviving
+/// decks of this kind).
+///
+/// # Errors
+///
+/// [`OsplError::BadDeck`] for structural problems, [`OsplError::Card`]
+/// for unreadable fields, [`OsplError::Mesh`] for bad element references.
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_cards::Deck;
+/// use cafemio_ospl::deck::parse_ospl_deck;
+/// # fn main() -> Result<(), cafemio_ospl::OsplError> {
+/// let text = concat!(
+///     "    3    1    4.0       0.0       3.0       0.0       10.0\n",
+///     "FIGURE 12 TRIANGLE\n",
+///     "DEMONSTRATION DATA\n",
+///     "  0.00000  0.00000                           5.0002\n",
+///     "  4.00000  0.00000                          15.0002\n",
+///     "  2.00000  3.00000                          35.0002\n",
+///     "    1    2    3\n",
+/// );
+/// let input = parse_ospl_deck(&Deck::from_text(text)?)?;
+/// assert_eq!(input.mesh.node_count(), 3);
+/// assert_eq!(input.options.interval, Some(10.0));
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_ospl_deck(deck: &Deck) -> Result<OsplInput, OsplError> {
+    let mut at = 0usize;
+    let mut next = |what: &str| -> Result<&Card, OsplError> {
+        if at >= deck.len() {
+            return Err(OsplError::BadDeck {
+                reason: format!("deck ends where a {what} card was expected"),
+            });
+        }
+        let card = deck.card(at);
+        at += 1;
+        Ok(card)
+    };
+
+    // Type 1.
+    let t1 = FormatReader::new(&fmt("(2I5, 5F10.4)"))
+        .read_record(next("control (Type 1)")?.text())
+        .map_err(OsplError::Card)?;
+    let nn = t1[0].as_i64().unwrap_or(0);
+    let ne = t1[1].as_i64().unwrap_or(0);
+    if nn <= 0 || ne <= 0 {
+        return Err(OsplError::BadDeck {
+            reason: format!("NN = {nn}, NE = {ne} must both be positive"),
+        });
+    }
+    let (xmx, xmn, ymx, ymn, delta) = (
+        t1[2].as_f64().unwrap_or(0.0),
+        t1[3].as_f64().unwrap_or(0.0),
+        t1[4].as_f64().unwrap_or(0.0),
+        t1[5].as_f64().unwrap_or(0.0),
+        t1[6].as_f64().unwrap_or(0.0),
+    );
+    let window = if xmx == 0.0 && xmn == 0.0 && ymx == 0.0 && ymn == 0.0 {
+        None
+    } else if xmx > xmn && ymx > ymn {
+        Some(BoundingBox::new(
+            Point::new(xmn, ymn),
+            Point::new(xmx, ymx),
+        ))
+    } else {
+        return Err(OsplError::BadWindow {
+            reason: format!("XMX {xmx} / XMN {xmn} / YMX {ymx} / YMN {ymn} are inconsistent"),
+        });
+    };
+
+    // Type 2: two titles.
+    let title1 = next("title (Type 2)")?.trimmed().to_owned();
+    let title2 = next("title (Type 2)")?.trimmed().to_owned();
+
+    // Type 3: nodes.
+    let t3_format = fmt("(2F9.5, 22X, F10.3, I1)");
+    let t3_reader = FormatReader::new(&t3_format);
+    let mut mesh = TriMesh::new();
+    let mut values = Vec::with_capacity(nn as usize);
+    for _ in 0..nn {
+        let v = t3_reader
+            .read_record(next("nodal (Type 3)")?.text())
+            .map_err(OsplError::Card)?;
+        let x = v[0].as_f64().unwrap_or(0.0);
+        let y = v[1].as_f64().unwrap_or(0.0);
+        let s = v[2].as_f64().unwrap_or(0.0);
+        let n = v[3].as_i64().unwrap_or(0);
+        mesh.add_node(Point::new(x, y), BoundaryKind::from_flag(n));
+        values.push(s);
+    }
+
+    // Type 4: elements (one-based node numbers).
+    let t4_reader_format = fmt("(3I5)");
+    let t4_reader = FormatReader::new(&t4_reader_format);
+    for _ in 0..ne {
+        let v = t4_reader
+            .read_record(next("element (Type 4)")?.text())
+            .map_err(OsplError::Card)?;
+        let mut nodes = [NodeId(0); 3];
+        for (slot, field) in nodes.iter_mut().zip(&v) {
+            let one_based = field.as_i64().unwrap_or(0);
+            if one_based < 1 || one_based > nn {
+                return Err(OsplError::BadDeck {
+                    reason: format!("element references node {one_based} of {nn}"),
+                });
+            }
+            *slot = NodeId(one_based as usize - 1);
+        }
+        mesh.add_element(nodes)?;
+    }
+
+    let options = ContourOptions {
+        interval: if delta == 0.0 { None } else { Some(delta) },
+        window,
+        title: Some(title1.clone()),
+        ..ContourOptions::default()
+    };
+    Ok(OsplInput {
+        mesh,
+        field: NodalField::new(&title1, values),
+        options,
+        titles: (title1, title2),
+    })
+}
+
+/// Writes a mesh + field back to an Appendix-C deck.
+///
+/// # Errors
+///
+/// [`OsplError::Card`] when a value does not fit its field.
+pub fn write_ospl_deck(
+    mesh: &TriMesh,
+    field: &NodalField,
+    options: &ContourOptions,
+    titles: (&str, &str),
+) -> Result<Deck, OsplError> {
+    if field.len() != mesh.node_count() {
+        return Err(OsplError::FieldSizeMismatch {
+            nodes: mesh.node_count(),
+            values: field.len(),
+        });
+    }
+    let mut deck = Deck::new();
+    let (xmn, xmx, ymn, ymx) = match options.window {
+        Some(w) => (w.min().x, w.max().x, w.min().y, w.max().y),
+        None => (0.0, 0.0, 0.0, 0.0),
+    };
+    let t1 = fmt("(2I5, 5F10.4)");
+    let record = FormatWriter::new(&t1)
+        .write_record(&[
+            Field::from(mesh.node_count()),
+            Field::from(mesh.element_count()),
+            Field::Real(xmx),
+            Field::Real(xmn),
+            Field::Real(ymx),
+            Field::Real(ymn),
+            Field::Real(options.interval.unwrap_or(0.0)),
+        ])
+        .map_err(OsplError::Card)?;
+    deck.push(Card::new(&record).map_err(OsplError::Card)?);
+    deck.push_text(titles.0).map_err(OsplError::Card)?;
+    deck.push_text(titles.1).map_err(OsplError::Card)?;
+    let t3 = fmt("(2F9.5, 22X, F10.3, I1)");
+    let w3 = FormatWriter::new(&t3);
+    for (id, node) in mesh.nodes() {
+        let record = w3
+            .write_record(&[
+                Field::Real(node.position.x),
+                Field::Real(node.position.y),
+                Field::Real(field.value(id)),
+                Field::Int(node.boundary.to_flag()),
+            ])
+            .map_err(OsplError::Card)?;
+        deck.push(Card::new(&record).map_err(OsplError::Card)?);
+    }
+    let t4 = fmt("(3I5)");
+    let w4 = FormatWriter::new(&t4);
+    for (_, el) in mesh.elements() {
+        let record = w4
+            .write_record(&[
+                Field::from(el.nodes[0].index() + 1),
+                Field::from(el.nodes[1].index() + 1),
+                Field::from(el.nodes[2].index() + 1),
+            ])
+            .map_err(OsplError::Card)?;
+        deck.push(Card::new(&record).map_err(OsplError::Card)?);
+    }
+    Ok(deck)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (TriMesh, NodalField) {
+        let mut mesh = TriMesh::new();
+        let a = mesh.add_node(Point::new(0.0, 0.0), BoundaryKind::Boundary);
+        let b = mesh.add_node(Point::new(4.0, 0.0), BoundaryKind::BoundaryCorner);
+        let c = mesh.add_node(Point::new(2.0, 3.0), BoundaryKind::Interior);
+        let d = mesh.add_node(Point::new(0.0, 3.0), BoundaryKind::Boundary);
+        mesh.add_element([a, b, c]).unwrap();
+        mesh.add_element([a, c, d]).unwrap();
+        (mesh, NodalField::new("S", vec![5.0, 15.0, 35.0, 10.5]))
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let (mesh, field) = sample();
+        let options = ContourOptions {
+            interval: Some(10.0),
+            window: Some(BoundingBox::new(
+                Point::new(-1.0, -1.0),
+                Point::new(5.0, 4.0),
+            )),
+            ..ContourOptions::default()
+        };
+        let deck = write_ospl_deck(&mesh, &field, &options, ("TITLE ONE", "TITLE TWO")).unwrap();
+        let input = parse_ospl_deck(&deck).unwrap();
+        assert_eq!(input.mesh.node_count(), 4);
+        assert_eq!(input.mesh.element_count(), 2);
+        assert_eq!(input.titles.0, "TITLE ONE");
+        assert_eq!(input.options.interval, Some(10.0));
+        assert_eq!(input.options.window, options.window);
+        for (id, node) in mesh.nodes() {
+            let got = input.mesh.node(id);
+            assert!(got.position.approx_eq(node.position, 1e-5));
+            assert_eq!(got.boundary, node.boundary);
+            assert!((input.field.value(id) - field.value(id)).abs() < 1e-3);
+        }
+        for (id, el) in mesh.elements() {
+            assert_eq!(input.mesh.element(id).nodes, el.nodes);
+        }
+    }
+
+    #[test]
+    fn zero_window_and_delta_mean_automatic() {
+        let (mesh, field) = sample();
+        let deck =
+            write_ospl_deck(&mesh, &field, &ContourOptions::new(), ("A", "B")).unwrap();
+        let input = parse_ospl_deck(&deck).unwrap();
+        assert_eq!(input.options.interval, None);
+        assert_eq!(input.options.window, None);
+    }
+
+    #[test]
+    fn bad_element_reference_rejected() {
+        let (mesh, field) = sample();
+        let deck = write_ospl_deck(&mesh, &field, &ContourOptions::new(), ("A", "B")).unwrap();
+        // Corrupt the first element card to reference node 9.
+        let mut lines: Vec<String> = deck.to_text().lines().map(String::from).collect();
+        let first_element = lines.len() - 2;
+        lines[first_element] = "    9    2    3".to_owned();
+        let corrupted = Deck::from_text(&lines.join("\n")).unwrap();
+        assert!(matches!(
+            parse_ospl_deck(&corrupted).unwrap_err(),
+            OsplError::BadDeck { .. }
+        ));
+    }
+
+    #[test]
+    fn inconsistent_window_rejected() {
+        let (mesh, field) = sample();
+        let deck = write_ospl_deck(&mesh, &field, &ContourOptions::new(), ("A", "B")).unwrap();
+        let mut lines: Vec<String> = deck.to_text().lines().map(String::from).collect();
+        // XMX < XMN.
+        lines[0] =
+            "    4    2    1.0       2.0       3.0       0.0       0.0".to_owned();
+        let corrupted = Deck::from_text(&lines.join("\n")).unwrap();
+        assert!(matches!(
+            parse_ospl_deck(&corrupted).unwrap_err(),
+            OsplError::BadWindow { .. }
+        ));
+    }
+
+    #[test]
+    fn truncated_deck_rejected() {
+        let (mesh, field) = sample();
+        let deck = write_ospl_deck(&mesh, &field, &ContourOptions::new(), ("A", "B")).unwrap();
+        let text = deck.to_text();
+        let shorter: Vec<&str> = text.lines().take(4).collect();
+        let truncated = Deck::from_text(&shorter.join("\n")).unwrap();
+        assert!(matches!(
+            parse_ospl_deck(&truncated).unwrap_err(),
+            OsplError::BadDeck { .. }
+        ));
+    }
+
+    #[test]
+    fn field_mismatch_on_write_rejected() {
+        let (mesh, _) = sample();
+        let short = NodalField::new("S", vec![1.0]);
+        assert!(matches!(
+            write_ospl_deck(&mesh, &short, &ContourOptions::new(), ("A", "B")).unwrap_err(),
+            OsplError::FieldSizeMismatch { .. }
+        ));
+    }
+}

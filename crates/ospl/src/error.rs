@@ -1,0 +1,99 @@
+//! Error type for the plotting pipeline.
+
+use std::fmt;
+
+use cafemio_cards::CardError;
+use cafemio_mesh::MeshError;
+
+/// Errors raised by OSPL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OsplError {
+    /// The field length does not match the mesh node count.
+    FieldSizeMismatch {
+        /// Nodes in the mesh.
+        nodes: usize,
+        /// Values in the field.
+        values: usize,
+    },
+    /// One of Table 1's numerical restrictions is exceeded.
+    LimitExceeded {
+        /// Which limit.
+        what: &'static str,
+        /// The attempted count.
+        attempted: usize,
+        /// The limit in force.
+        limit: usize,
+    },
+    /// The field is constant (or empty), so no contour interval exists.
+    NoContours,
+    /// A user-supplied contour interval is not positive.
+    BadInterval {
+        /// The offending value.
+        interval: f64,
+    },
+    /// A zoom window is inverted or degenerate.
+    BadWindow {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The underlying mesh is invalid.
+    Mesh(MeshError),
+    /// Card input/output failed.
+    Card(CardError),
+    /// A card deck is structurally malformed.
+    BadDeck {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for OsplError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OsplError::FieldSizeMismatch { nodes, values } => write!(
+                f,
+                "field has {values} values but the mesh has {nodes} nodes"
+            ),
+            OsplError::LimitExceeded {
+                what,
+                attempted,
+                limit,
+            } => write!(
+                f,
+                "numerical restriction exceeded: {attempted} {what} (limit {limit})"
+            ),
+            OsplError::NoContours => {
+                write!(f, "field is constant or empty; nothing to contour")
+            }
+            OsplError::BadInterval { interval } => {
+                write!(f, "contour interval {interval} must be positive")
+            }
+            OsplError::BadWindow { reason } => write!(f, "bad zoom window: {reason}"),
+            OsplError::Mesh(e) => write!(f, "mesh error: {e}"),
+            OsplError::Card(e) => write!(f, "card error: {e}"),
+            OsplError::BadDeck { reason } => write!(f, "malformed deck: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for OsplError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OsplError::Mesh(e) => Some(e),
+            OsplError::Card(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MeshError> for OsplError {
+    fn from(e: MeshError) -> Self {
+        OsplError::Mesh(e)
+    }
+}
+
+impl From<CardError> for OsplError {
+    fn from(e: CardError) -> Self {
+        OsplError::Card(e)
+    }
+}

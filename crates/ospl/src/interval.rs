@@ -1,0 +1,183 @@
+//! Automatic contour spacing — Appendix D.
+//!
+//! "After examination of many hand-drawn plots, it was decided that in
+//! order to achieve good spacing, an interval should be used which is
+//! about 5 percent of the difference between the largest and smallest
+//! value. Using base intervals of 1.0, 2.5, and 5.0, OSPL chooses the
+//! interval which is the product of a base interval and a power of ten
+//! [closest to 5 percent of the range]. The procedure results in
+//! intervals of 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, etc. For example, if the
+//! largest and smallest values to be plotted are 50000 psi and 10000 psi,
+//! the determined interval would be 2500 psi."
+//!
+//! Note: the appendix's prose says "closest to, but not greater than,
+//! 5 percent", which contradicts its own worked example (5 % of 40 000 is
+//! 2 000, and the largest candidate not exceeding 2 000 is 1 000, not
+//! 2 500). We follow the worked example — the candidate *closest* to
+//! 5 % of the range, ties resolved downward — because the example is what
+//! the figures' "CONTOUR INTERVAL IS …" banners were produced with. The
+//! discrepancy is recorded in `EXPERIMENTS.md` (experiment C3).
+
+const BASES: [f64; 3] = [1.0, 2.5, 5.0];
+
+/// The automatic contour interval for values spanning `[min, max]`, or
+/// `None` when the range is degenerate (`max <= min`, or not finite).
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_ospl::automatic_interval;
+/// // Appendix D's worked example.
+/// assert_eq!(automatic_interval(10_000.0, 50_000.0), Some(2500.0));
+/// assert_eq!(automatic_interval(5.0, 5.0), None);
+/// ```
+pub fn automatic_interval(min: f64, max: f64) -> Option<f64> {
+    if !(min.is_finite() && max.is_finite()) || max <= min {
+        return None;
+    }
+    let target = 0.05 * (max - min);
+    // Candidates are base × 10^k; scan the decades around the target.
+    let k0 = target.log10().floor() as i32;
+    let mut best = f64::NAN;
+    let mut best_dist = f64::INFINITY;
+    for k in (k0 - 2)..=(k0 + 2) {
+        for base in BASES {
+            let candidate = base * 10f64.powi(k);
+            let dist = (candidate - target).abs();
+            // Ties resolve toward the smaller interval (more contours,
+            // never fewer than the target spacing suggests).
+            if dist < best_dist - 1e-12 * target
+                || (dist <= best_dist + 1e-12 * target && candidate < best)
+            {
+                best = candidate;
+                best_dist = dist;
+            }
+        }
+    }
+    Some(best)
+}
+
+/// The contour levels for a `[min, max]` range and interval: integer
+/// multiples of `interval` from the first at or above `min` through the
+/// last at or below `max`. "Since adjacent contours are either one
+/// interval apart or of equal value, these labels sufficiently specify
+/// the value at any point inside the boundary."
+///
+/// Returns an empty vector for a non-positive interval or an inverted
+/// range.
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_ospl::contour_levels;
+/// assert_eq!(contour_levels(5.0, 35.0, 10.0), vec![10.0, 20.0, 30.0]);
+/// assert_eq!(contour_levels(-15.0, 15.0, 10.0), vec![-10.0, 0.0, 10.0]);
+/// ```
+pub fn contour_levels(min: f64, max: f64, interval: f64) -> Vec<f64> {
+    if interval <= 0.0 || max < min || !interval.is_finite() {
+        return Vec::new();
+    }
+    let first = (min / interval).ceil();
+    let last = (max / interval).floor();
+    let mut levels = Vec::new();
+    let mut n = first;
+    while n <= last {
+        // Multiply rather than accumulate to avoid drift over many levels.
+        let level = n * interval;
+        // Skip levels that only touch the extremes exactly: they produce
+        // zero-length contours. Keep interior equality (min/max nodes are
+        // legitimate contour seeds elsewhere in the mesh).
+        levels.push(level);
+        n += 1.0;
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn appendix_d_example() {
+        assert_eq!(automatic_interval(10_000.0, 50_000.0), Some(2_500.0));
+    }
+
+    #[test]
+    fn produces_the_documented_series() {
+        // Ranges chosen so 5 % lands exactly on each series member.
+        for (min, max, expect) in [
+            (0.0, 20.0, 1.0),
+            (0.0, 50.0, 2.5),
+            (0.0, 100.0, 5.0),
+            (0.0, 200.0, 10.0),
+            (0.0, 500.0, 25.0),
+            (0.0, 1000.0, 50.0),
+        ] {
+            assert_eq!(automatic_interval(min, max), Some(expect), "{min}..{max}");
+        }
+    }
+
+    #[test]
+    fn small_and_negative_ranges() {
+        // Figure 17's glass joint plots used "CONTOUR INTERVAL IS 0.10".
+        let i = automatic_interval(-1.0, 1.0).unwrap();
+        assert_eq!(i, 0.1);
+        let i = automatic_interval(-5000.0, -1000.0).unwrap();
+        assert_eq!(i, 250.0);
+    }
+
+    #[test]
+    fn degenerate_ranges_yield_none() {
+        assert_eq!(automatic_interval(3.0, 3.0), None);
+        assert_eq!(automatic_interval(5.0, 2.0), None);
+        assert_eq!(automatic_interval(f64::NAN, 2.0), None);
+        assert_eq!(automatic_interval(0.0, f64::INFINITY), None);
+    }
+
+    #[test]
+    fn interval_is_always_a_base_times_power_of_ten() {
+        let mut x = 0.001;
+        while x < 1.0e9 {
+            let i = automatic_interval(0.0, x).unwrap();
+            let mantissa = i / 10f64.powf(i.log10().floor());
+            let ok = BASES
+                .iter()
+                .any(|b| (mantissa - b).abs() < 1e-9 || (mantissa - b * 10.0).abs() < 1e-6);
+            assert!(ok, "range {x}: interval {i}, mantissa {mantissa}");
+            x *= 3.7;
+        }
+    }
+
+    #[test]
+    fn levels_are_integer_multiples() {
+        let levels = contour_levels(12_345.0, 47_777.0, 2_500.0);
+        assert_eq!(levels[0], 12_500.0);
+        assert_eq!(*levels.last().unwrap(), 47_500.0);
+        for level in levels {
+            assert_eq!(level % 2_500.0, 0.0);
+        }
+    }
+
+    #[test]
+    fn level_count_near_twenty_for_auto_interval() {
+        // ~5 % spacing means roughly 16–20 contours across the range.
+        let (min, max) = (-3721.0, 9583.0);
+        let i = automatic_interval(min, max).unwrap();
+        let n = contour_levels(min, max, i).len();
+        assert!((13..=28).contains(&n), "n = {n}");
+    }
+
+    #[test]
+    fn empty_levels_for_bad_input() {
+        assert!(contour_levels(0.0, 10.0, 0.0).is_empty());
+        assert!(contour_levels(0.0, 10.0, -1.0).is_empty());
+        assert!(contour_levels(10.0, 0.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn zero_level_included_when_range_straddles_zero() {
+        let levels = contour_levels(-7.0, 7.0, 2.5);
+        assert!(levels.contains(&0.0));
+        assert_eq!(levels, vec![-5.0, -2.5, 0.0, 2.5, 5.0]);
+    }
+}

@@ -1,0 +1,63 @@
+//! # cafemio-ospl
+//!
+//! The paper's second contribution: **OSPL**, the output plotting program.
+//! "OSPL plots the output data in a form which can be quickly interpreted
+//! by the analyst" — lines of constant value ("isograms") over the
+//! triangulated cross-section, resembling "contour maps on which the
+//! physical features of the earth's surface are indicated".
+//!
+//! The algorithm is the paper's, element by element:
+//!
+//! 1. "The number and size of the contours passing through the element
+//!    are determined."
+//! 2. "Two pairs of adjacent corners are found, each of whose values
+//!    bound the subject contour."
+//! 3. "End points of the subject contour in the element are found by
+//!    interpolating linearly between the values at the adjacent corners
+//!    of each pair."
+//! 4. "A straight line is drawn between these end points."
+//!
+//! Plus the supporting machinery: the automatic contour-interval selection
+//! of Appendix D ([`automatic_interval`]), the boundary outline drawn from
+//! the nodal boundary flags, contour-value labels at boundary
+//! intersections with overlap suppression (zero contours always labeled),
+//! and the `XMX/XMN/YMX/YMN` zoom window of the Type-1 card.
+//!
+//! # Examples
+//!
+//! ```
+//! use cafemio_geom::Point;
+//! use cafemio_mesh::{BoundaryKind, NodalField, TriMesh};
+//! use cafemio_ospl::{ContourOptions, Ospl};
+//! # fn main() -> Result<(), cafemio_ospl::OsplError> {
+//! // The paper's Figure 12: one triangle with corner values 5, 15, 35
+//! // crossed by the contours 10, 20, and 30.
+//! let mut mesh = TriMesh::new();
+//! let a = mesh.add_node(Point::new(0.0, 0.0), BoundaryKind::BoundaryCorner);
+//! let b = mesh.add_node(Point::new(4.0, 0.0), BoundaryKind::BoundaryCorner);
+//! let c = mesh.add_node(Point::new(2.0, 3.0), BoundaryKind::BoundaryCorner);
+//! mesh.add_element([a, b, c]).unwrap();
+//! let field = NodalField::new("FIGURE 12", vec![5.0, 15.0, 35.0]);
+//! let result = Ospl::run(&mesh, &field, &ContourOptions::with_interval(10.0))?;
+//! let levels: Vec<f64> = result.isograms.iter().map(|i| i.level).collect();
+//! assert_eq!(levels, vec![10.0, 20.0, 30.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod deck;
+mod error;
+mod interval;
+mod isogram;
+mod limits;
+mod listing;
+mod ospl;
+mod plot;
+
+pub use error::OsplError;
+pub use interval::{automatic_interval, contour_levels};
+pub use isogram::{extract_isograms, IsoSegment, Isogram};
+pub use limits::OsplLimits;
+pub use listing::listing;
+pub use ospl::{ContourOptions, Ospl, OsplResult};
+pub use plot::plot_contours;

@@ -1,0 +1,79 @@
+//! The numerical restrictions of Table 1.
+
+use crate::OsplError;
+
+/// Capacity limits for an OSPL run — Table 1 of the report: "Total number
+/// of elements allowed: 1000. Total number of points data may be given:
+/// 800."
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_ospl::OsplLimits;
+/// let table1 = OsplLimits::historical();
+/// assert_eq!(table1.max_nodes, 800);
+/// assert_eq!(table1.max_elements, 1000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OsplLimits {
+    /// Maximum nodes ("points data may be given").
+    pub max_nodes: usize,
+    /// Maximum elements.
+    pub max_elements: usize,
+}
+
+impl OsplLimits {
+    /// The limits of Table 1.
+    pub fn historical() -> OsplLimits {
+        OsplLimits {
+            max_nodes: 800,
+            max_elements: 1000,
+        }
+    }
+
+    /// No limits.
+    pub fn unbounded() -> OsplLimits {
+        OsplLimits {
+            max_nodes: usize::MAX,
+            max_elements: usize::MAX,
+        }
+    }
+
+    pub(crate) fn check(&self, nodes: usize, elements: usize) -> Result<(), OsplError> {
+        if nodes > self.max_nodes {
+            return Err(OsplError::LimitExceeded {
+                what: "nodes",
+                attempted: nodes,
+                limit: self.max_nodes,
+            });
+        }
+        if elements > self.max_elements {
+            return Err(OsplError::LimitExceeded {
+                what: "elements",
+                attempted: elements,
+                limit: self.max_elements,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for OsplLimits {
+    fn default() -> Self {
+        OsplLimits::historical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_1_enforced() {
+        let l = OsplLimits::historical();
+        assert!(l.check(800, 1000).is_ok());
+        assert!(l.check(801, 0).is_err());
+        assert!(l.check(0, 1001).is_err());
+        assert!(OsplLimits::unbounded().check(10_000, 20_000).is_ok());
+    }
+}

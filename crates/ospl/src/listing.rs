@@ -1,0 +1,99 @@
+//! OSPL's printed summary — the line-printer companion to the contour
+//! plot, listing every level with its drawn extent (the analyst's check
+//! that the film would be worth waiting for).
+
+use std::fmt::Write as _;
+
+use crate::ospl::OsplResult;
+
+/// Renders a printed summary of a contour run.
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_geom::Point;
+/// use cafemio_mesh::{BoundaryKind, NodalField, TriMesh};
+/// use cafemio_ospl::{listing, ContourOptions, Ospl};
+/// # fn main() -> Result<(), cafemio_ospl::OsplError> {
+/// let mut mesh = TriMesh::new();
+/// let a = mesh.add_node(Point::new(0.0, 0.0), BoundaryKind::BoundaryCorner);
+/// let b = mesh.add_node(Point::new(4.0, 0.0), BoundaryKind::BoundaryCorner);
+/// let c = mesh.add_node(Point::new(2.0, 3.0), BoundaryKind::BoundaryCorner);
+/// mesh.add_element([a, b, c]).unwrap();
+/// let field = NodalField::new("S", vec![5.0, 15.0, 35.0]);
+/// let result = Ospl::run(&mesh, &field, &ContourOptions::with_interval(10.0))?;
+/// let text = listing(&result);
+/// assert!(text.contains("PROGRAM OSPL"));
+/// assert!(text.contains("CONTOUR INTERVAL"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn listing(result: &OsplResult) -> String {
+    let mut out = String::new();
+    let rule = "=".repeat(66);
+    let _ = writeln!(out, "{rule}");
+    let _ = writeln!(out, "PROGRAM OSPL - ISOGRAM PLOT SUMMARY");
+    let _ = writeln!(out, "{}", result.frame.title());
+    let _ = writeln!(out, "{rule}");
+    let _ = writeln!(out, "CONTOUR INTERVAL = {}", result.interval);
+    let _ = writeln!(
+        out,
+        "LEVELS = {}   DRAWN = {}   SEGMENTS = {}",
+        result.levels.len(),
+        result.drawn_contours(),
+        result.segment_count(),
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(out, "       LEVEL   SEGMENTS      LENGTH  BOUNDARY HITS");
+    for iso in &result.isograms {
+        let _ = writeln!(
+            out,
+            "  {:>10.3} {:>10} {:>11.4} {:>14}",
+            iso.level,
+            iso.segments.len(),
+            iso.length(),
+            iso.boundary_intersections().len(),
+        );
+    }
+    let _ = writeln!(out, "{rule}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ContourOptions, Ospl};
+    use cafemio_geom::Point;
+    use cafemio_mesh::{BoundaryKind, NodalField, TriMesh};
+
+    fn run() -> OsplResult {
+        let mut mesh = TriMesh::new();
+        let a = mesh.add_node(Point::new(0.0, 0.0), BoundaryKind::BoundaryCorner);
+        let b = mesh.add_node(Point::new(4.0, 0.0), BoundaryKind::BoundaryCorner);
+        let c = mesh.add_node(Point::new(2.0, 3.0), BoundaryKind::BoundaryCorner);
+        mesh.add_element([a, b, c]).unwrap();
+        let field = NodalField::new("DEMO", vec![5.0, 15.0, 35.0]);
+        Ospl::run(&mesh, &field, &ContourOptions::with_interval(10.0)).unwrap()
+    }
+
+    #[test]
+    fn one_row_per_level() {
+        let result = run();
+        let text = listing(&result);
+        let rows = text
+            .lines()
+            .skip_while(|l| !l.contains("LEVEL   SEGMENTS"))
+            .skip(1)
+            .take_while(|l| !l.starts_with('='))
+            .count();
+        assert_eq!(rows, result.levels.len());
+    }
+
+    #[test]
+    fn summary_numbers_consistent() {
+        let result = run();
+        let text = listing(&result);
+        assert!(text.contains(&format!("SEGMENTS = {}", result.segment_count())));
+        assert!(text.contains(&format!("DRAWN = {}", result.drawn_contours())));
+    }
+}

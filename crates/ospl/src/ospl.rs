@@ -1,0 +1,301 @@
+//! The OSPL driver: options, pipeline, result.
+
+use cafemio_geom::BoundingBox;
+use cafemio_mesh::{NodalField, TriMesh};
+use cafemio_plotter::Frame;
+
+use crate::interval::{automatic_interval, contour_levels};
+use crate::isogram::{extract_isograms, Isogram};
+use crate::limits::OsplLimits;
+use crate::plot::plot_contours;
+use crate::OsplError;
+
+/// Options for a contour plot — the knobs of the Type-1 card.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ContourOptions {
+    /// Contour interval (`DELTA`); `None` invokes the Appendix-D
+    /// automatic determination ("If DELTA = 0, this interval will be
+    /// determined automatically").
+    pub interval: Option<f64>,
+    /// Value of the lowest contour; `None` starts at the first interval
+    /// multiple at or above the field minimum.
+    pub lowest: Option<f64>,
+    /// Zoom window (`XMX, XMN, YMX, YMN`); `None` plots everything.
+    pub window: Option<BoundingBox>,
+    /// Capacity limits (Table 1 by default).
+    pub limits: OsplLimits,
+    /// Extra title line; the field name is always shown.
+    pub title: Option<String>,
+}
+
+impl ContourOptions {
+    /// Defaults: automatic interval, no zoom, Table-1 limits.
+    pub fn new() -> ContourOptions {
+        ContourOptions::default()
+    }
+
+    /// Defaults with a fixed contour interval.
+    pub fn with_interval(interval: f64) -> ContourOptions {
+        ContourOptions {
+            interval: Some(interval),
+            ..ContourOptions::default()
+        }
+    }
+}
+
+/// The product of an OSPL run.
+#[derive(Debug, Clone)]
+pub struct OsplResult {
+    /// The extracted contours, one per level, in ascending level order.
+    pub isograms: Vec<Isogram>,
+    /// The interval actually used (user-set or automatic).
+    pub interval: f64,
+    /// The contour levels plotted.
+    pub levels: Vec<f64>,
+    /// The finished plot frame.
+    pub frame: Frame,
+}
+
+impl OsplResult {
+    /// Number of non-empty contours.
+    pub fn drawn_contours(&self) -> usize {
+        self.isograms.iter().filter(|i| !i.segments.is_empty()).count()
+    }
+
+    /// Total number of straight pieces across all contours.
+    pub fn segment_count(&self) -> usize {
+        self.isograms.iter().map(|i| i.segments.len()).sum()
+    }
+}
+
+/// The OSPL program.
+#[derive(Debug)]
+pub struct Ospl;
+
+impl Ospl {
+    /// Runs the full pipeline: limits, interval, levels, extraction,
+    /// plot.
+    ///
+    /// # Errors
+    ///
+    /// * [`OsplError::LimitExceeded`] past the Table-1 sizes,
+    /// * [`OsplError::FieldSizeMismatch`] when field and mesh disagree,
+    /// * [`OsplError::BadInterval`] for a non-positive user interval,
+    /// * [`OsplError::NoContours`] for constant or empty fields with an
+    ///   automatic interval,
+    /// * [`OsplError::BadWindow`] for a degenerate zoom window.
+    pub fn run(
+        mesh: &TriMesh,
+        field: &NodalField,
+        options: &ContourOptions,
+    ) -> Result<OsplResult, OsplError> {
+        options.limits.check(mesh.node_count(), mesh.element_count())?;
+        if field.len() != mesh.node_count() {
+            return Err(OsplError::FieldSizeMismatch {
+                nodes: mesh.node_count(),
+                values: field.len(),
+            });
+        }
+        if let Some(window) = &options.window {
+            if window.is_empty() || window.width() <= 0.0 || window.height() <= 0.0 {
+                return Err(OsplError::BadWindow {
+                    reason: "window must have positive width and height".to_owned(),
+                });
+            }
+        }
+        let (min, max) = field.min_max().ok_or(OsplError::NoContours)?;
+        let interval = match options.interval {
+            Some(delta) if delta > 0.0 => delta,
+            Some(delta) => return Err(OsplError::BadInterval { interval: delta }),
+            None => automatic_interval(min, max).ok_or(OsplError::NoContours)?,
+        };
+        let levels = match options.lowest {
+            Some(lowest) => {
+                let mut levels = Vec::new();
+                let mut level = lowest;
+                while level <= max {
+                    levels.push(level);
+                    level += interval;
+                }
+                levels
+            }
+            None => contour_levels(min, max, interval),
+        };
+        let isograms = extract_isograms(mesh, field, &levels)?;
+        let title = match &options.title {
+            Some(extra) => format!("{extra}  CONTOUR PLOT * {} *", field.name()),
+            None => format!("CONTOUR PLOT * {} *", field.name()),
+        };
+        let frame = plot_contours(mesh, &isograms, interval, options.window, &title);
+        Ok(OsplResult {
+            isograms,
+            interval,
+            levels,
+            frame,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cafemio_geom::Point;
+    use cafemio_mesh::BoundaryKind;
+
+    /// A unit-square grid with field = 1000·x (levels every 100 with auto
+    /// spacing).
+    fn gradient_plate(n: usize) -> (TriMesh, NodalField) {
+        let mut mesh = TriMesh::new();
+        let mut values = Vec::new();
+        let mut ids = Vec::new();
+        for j in 0..=n {
+            for i in 0..=n {
+                let x = i as f64 / n as f64;
+                let y = j as f64 / n as f64;
+                let kind = if i == 0 || j == 0 || i == n || j == n {
+                    BoundaryKind::Boundary
+                } else {
+                    BoundaryKind::Interior
+                };
+                ids.push(mesh.add_node(Point::new(x, y), kind));
+                values.push(1000.0 * x);
+            }
+        }
+        let at = |i: usize, j: usize| ids[j * (n + 1) + i];
+        for j in 0..n {
+            for i in 0..n {
+                mesh.add_element([at(i, j), at(i + 1, j), at(i + 1, j + 1)]).unwrap();
+                mesh.add_element([at(i, j), at(i + 1, j + 1), at(i, j + 1)]).unwrap();
+            }
+        }
+        (mesh, NodalField::new("GRADIENT", values))
+    }
+
+    #[test]
+    fn automatic_interval_selected() {
+        let (mesh, field) = gradient_plate(8);
+        let result = Ospl::run(&mesh, &field, &ContourOptions::new()).unwrap();
+        // Range 0..1000 → 5 % = 50 → interval 50.
+        assert_eq!(result.interval, 50.0);
+        assert!(result.drawn_contours() > 10);
+    }
+
+    #[test]
+    fn contours_of_linear_field_are_straight_and_vertical() {
+        let (mesh, field) = gradient_plate(6);
+        let result = Ospl::run(&mesh, &field, &ContourOptions::with_interval(250.0)).unwrap();
+        for iso in &result.isograms {
+            let x_expected = iso.level / 1000.0;
+            for seg in &iso.segments {
+                assert!((seg.a.x - x_expected).abs() < 1e-9, "level {}", iso.level);
+                assert!((seg.b.x - x_expected).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn contour_length_matches_plate_height() {
+        // n = 5 keeps the 250-multiples off the grid columns: a level
+        // coinciding with a node column is legitimately traced by the
+        // elements on both sides (doubling its drawn length).
+        let (mesh, field) = gradient_plate(5);
+        let result = Ospl::run(&mesh, &field, &ContourOptions::with_interval(250.0)).unwrap();
+        // Each interior vertical contour spans the unit height.
+        for iso in &result.isograms {
+            if iso.segments.is_empty() {
+                continue;
+            }
+            assert!((iso.length() - 1.0).abs() < 1e-9, "level {}", iso.level);
+        }
+    }
+
+    #[test]
+    fn lowest_contour_honored() {
+        let (mesh, field) = gradient_plate(4);
+        let options = ContourOptions {
+            interval: Some(300.0),
+            lowest: Some(150.0),
+            ..ContourOptions::default()
+        };
+        let result = Ospl::run(&mesh, &field, &options).unwrap();
+        assert_eq!(result.levels, vec![150.0, 450.0, 750.0]);
+    }
+
+    #[test]
+    fn constant_field_has_no_contours() {
+        let (mesh, _) = gradient_plate(2);
+        let flat = NodalField::new("FLAT", vec![7.0; mesh.node_count()]);
+        assert_eq!(
+            Ospl::run(&mesh, &flat, &ContourOptions::new()).unwrap_err(),
+            OsplError::NoContours
+        );
+        // But a user-set interval still works (no contours drawn).
+        let result = Ospl::run(&mesh, &flat, &ContourOptions::with_interval(1.0)).unwrap();
+        assert_eq!(result.drawn_contours(), 0);
+    }
+
+    #[test]
+    fn bad_interval_rejected() {
+        let (mesh, field) = gradient_plate(2);
+        assert!(matches!(
+            Ospl::run(&mesh, &field, &ContourOptions::with_interval(-5.0)).unwrap_err(),
+            OsplError::BadInterval { .. }
+        ));
+    }
+
+    #[test]
+    fn table1_limits_enforced() {
+        // 21 × 21 nodes = 441 ≤ 800, 800 elements ≤ 1000: fine.
+        let (mesh, field) = gradient_plate(20);
+        assert!(Ospl::run(&mesh, &field, &ContourOptions::new()).is_ok());
+        // 29 × 29 = 841 nodes > 800: rejected.
+        let (mesh, field) = gradient_plate(28);
+        assert!(matches!(
+            Ospl::run(&mesh, &field, &ContourOptions::new()).unwrap_err(),
+            OsplError::LimitExceeded { what: "nodes", .. }
+        ));
+        let options = ContourOptions {
+            limits: OsplLimits::unbounded(),
+            ..ContourOptions::default()
+        };
+        assert!(Ospl::run(&mesh, &field, &options).is_ok());
+    }
+
+    #[test]
+    fn zoom_window_validated_and_applied() {
+        let (mesh, field) = gradient_plate(6);
+        let options = ContourOptions {
+            interval: Some(100.0),
+            window: Some(BoundingBox::new(
+                Point::new(0.0, 0.0),
+                Point::new(0.5, 1.0),
+            )),
+            ..ContourOptions::default()
+        };
+        let zoomed = Ospl::run(&mesh, &field, &options).unwrap();
+        let full = Ospl::run(&mesh, &field, &ContourOptions::with_interval(100.0)).unwrap();
+        // Fewer labels/vectors inside the half-plate window.
+        assert!(zoomed.frame.vector_count() < full.frame.vector_count());
+        // Degenerate window rejected.
+        let bad = ContourOptions {
+            window: Some(BoundingBox::from_points([Point::new(1.0, 1.0)])),
+            ..ContourOptions::default()
+        };
+        assert!(matches!(
+            Ospl::run(&mesh, &field, &bad).unwrap_err(),
+            OsplError::BadWindow { .. }
+        ));
+    }
+
+    #[test]
+    fn frame_title_names_the_field() {
+        let (mesh, field) = gradient_plate(3);
+        let result = Ospl::run(&mesh, &field, &ContourOptions::with_interval(200.0)).unwrap();
+        assert!(result.frame.title().contains("CONTOUR PLOT * GRADIENT *"));
+        assert!(result
+            .frame
+            .subtitle()
+            .unwrap()
+            .starts_with("CONTOUR INTERVAL IS"));
+    }
+}

@@ -1,0 +1,378 @@
+//! Rendering: boundary outline, contour lines, and labels on an SD-4020
+//! frame.
+
+use cafemio_geom::{BoundingBox, Point};
+use cafemio_mesh::TriMesh;
+use cafemio_plotter::{Frame, Window};
+
+use crate::isogram::Isogram;
+
+/// Approximate character cell width in raster units, used for label
+/// overlap suppression.
+const LABEL_CHAR_W: f64 = 10.0;
+/// Approximate character cell height in raster units.
+const LABEL_CHAR_H: f64 = 14.0;
+/// Dash length (raster units) for negative contour levels.
+const NEGATIVE_DASH: f64 = 9.0;
+
+/// Draws a complete contour plot: the mesh outline ("adjacent boundary
+/// nodes are connected by straight lines"), every isogram, and the value
+/// labels at boundary intersections — "unless adjacent labels overlap.
+/// All contours of zero value are labeled."
+///
+/// `window` is the Type-1 card's `XMX/XMN/YMX/YMN` zoom rectangle; pass
+/// `None` to plot the whole mesh. Geometry outside the window is clipped
+/// (Liang–Barsky), which is how OSPL "zooms in on a critical area even
+/// though some nodes in the data set are outside that area".
+pub fn plot_contours(
+    mesh: &TriMesh,
+    isograms: &[Isogram],
+    interval: f64,
+    window: Option<BoundingBox>,
+    title: &str,
+) -> Frame {
+    let mut frame = Frame::new(title);
+    frame.set_subtitle(&format!("CONTOUR INTERVAL IS {}", format_value(interval, interval)));
+    let world = window.unwrap_or_else(|| mesh.bounding_box());
+    if world.is_empty() {
+        return frame;
+    }
+    let view = Window::fit(&world, &frame);
+
+    // Boundary outline.
+    for edge in mesh.boundary_edges() {
+        let a = mesh.node(edge.0).position;
+        let b = mesh.node(edge.1).position;
+        if let Some((ca, cb)) = clip_segment(a, b, &world) {
+            frame.draw_segment(&view, ca, cb);
+        }
+    }
+
+    // Contour lines. Label sites are the contour's intersections with
+    // "the boundary of the plot": mesh-boundary crossings inside the
+    // window, plus the points where the zoom window itself cuts a
+    // contour.
+    let mut label_sites: Vec<(usize, Point)> = Vec::new();
+    for (index, iso) in isograms.iter().enumerate() {
+        for seg in &iso.segments {
+            if let Some(clip) = clip_segment_detailed(seg.a, seg.b, &world) {
+                if iso.level < 0.0 {
+                    // Negative levels are dashed, as in the report's
+                    // stress figures.
+                    frame.draw_dashed_segment(&view, clip.a, clip.b, NEGATIVE_DASH);
+                } else {
+                    frame.draw_segment(&view, clip.a, clip.b);
+                }
+                if seg.a_on_boundary || clip.a_moved {
+                    label_sites.push((index, clip.a));
+                }
+                if seg.b_on_boundary || clip.b_moved {
+                    label_sites.push((index, clip.b));
+                }
+            }
+        }
+    }
+
+    // Labels: zero contours first (they are always labeled), then the
+    // rest with overlap suppression.
+    let mut placed: Vec<(f64, f64, usize)> = Vec::new(); // raster x, y, chars
+    let mut label_pass = |frame: &mut Frame, zero_pass: bool| {
+        for &(index, p) in &label_sites {
+            let level = isograms[index].level;
+            let is_zero = level == 0.0;
+            if is_zero != zero_pass {
+                continue;
+            }
+            let text = format_value(level, interval);
+            let r = view.to_raster(p);
+            let (rx, ry) = (r.x() as f64, r.y() as f64);
+            let overlaps = placed.iter().any(|&(px, py, chars)| {
+                let w = LABEL_CHAR_W * chars.max(text.len()) as f64;
+                (rx - px).abs() < w && (ry - py).abs() < LABEL_CHAR_H
+            });
+            if overlaps && !is_zero {
+                continue;
+            }
+            frame.label(&view, p, &text);
+            placed.push((rx, ry, text.len()));
+        }
+    };
+    label_pass(&mut frame, true);
+    label_pass(&mut frame, false);
+    frame
+}
+
+/// Result of clipping with provenance: whether each end point moved onto
+/// the window edge.
+struct ClippedSegment {
+    a: Point,
+    b: Point,
+    a_moved: bool,
+    b_moved: bool,
+}
+
+fn clip_segment_detailed(a: Point, b: Point, world: &BoundingBox) -> Option<ClippedSegment> {
+    let (ca, cb) = clip_segment(a, b, world)?;
+    Some(ClippedSegment {
+        a: ca,
+        b: cb,
+        a_moved: !ca.approx_eq(a, 1e-12),
+        b_moved: !cb.approx_eq(b, 1e-12),
+    })
+}
+
+/// Formats a contour value the way the report's figures print them:
+/// `0` for zero, otherwise an explicit sign and a trailing decimal point
+/// (`+2500.`, `-125.`), with decimals shown when the interval is finer
+/// than one unit (`+0.10`).
+pub(crate) fn format_value(value: f64, interval: f64) -> String {
+    if value == 0.0 {
+        return "0".to_owned();
+    }
+    let decimals = if interval >= 1.0 || interval <= 0.0 {
+        0usize
+    } else {
+        (-interval.log10().floor() as i32).max(1) as usize
+    };
+    if decimals == 0 {
+        format!("{value:+.0}.")
+    } else {
+        format!("{value:+.decimals$}")
+    }
+}
+
+/// Liang–Barsky segment clipping against an axis-aligned box.
+pub(crate) fn clip_segment(a: Point, b: Point, world: &BoundingBox) -> Option<(Point, Point)> {
+    let (min, max) = (world.min(), world.max());
+    let dx = b.x - a.x;
+    let dy = b.y - a.y;
+    let mut t0 = 0.0f64;
+    let mut t1 = 1.0f64;
+    for (p, q) in [
+        (-dx, a.x - min.x),
+        (dx, max.x - a.x),
+        (-dy, a.y - min.y),
+        (dy, max.y - a.y),
+    ] {
+        if p == 0.0 {
+            if q < 0.0 {
+                return None; // parallel and outside
+            }
+        } else {
+            let r = q / p;
+            if p < 0.0 {
+                if r > t1 {
+                    return None;
+                }
+                t0 = t0.max(r);
+            } else {
+                if r < t0 {
+                    return None;
+                }
+                t1 = t1.min(r);
+            }
+        }
+    }
+    if t0 > t1 {
+        return None;
+    }
+    Some((
+        Point::new(a.x + t0 * dx, a.y + t0 * dy),
+        Point::new(a.x + t1 * dx, a.y + t1 * dy),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isogram::IsoSegment;
+    use cafemio_mesh::BoundaryKind;
+
+    fn bbox(x0: f64, y0: f64, x1: f64, y1: f64) -> BoundingBox {
+        BoundingBox::new(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    #[test]
+    fn clip_inside_untouched() {
+        let w = bbox(0.0, 0.0, 10.0, 10.0);
+        let (a, b) = clip_segment(Point::new(1.0, 1.0), Point::new(9.0, 9.0), &w).unwrap();
+        assert_eq!(a, Point::new(1.0, 1.0));
+        assert_eq!(b, Point::new(9.0, 9.0));
+    }
+
+    #[test]
+    fn clip_crossing_segment() {
+        let w = bbox(0.0, 0.0, 10.0, 10.0);
+        let (a, b) = clip_segment(Point::new(-5.0, 5.0), Point::new(15.0, 5.0), &w).unwrap();
+        assert_eq!(a, Point::new(0.0, 5.0));
+        assert_eq!(b, Point::new(10.0, 5.0));
+    }
+
+    #[test]
+    fn clip_outside_rejected() {
+        let w = bbox(0.0, 0.0, 10.0, 10.0);
+        assert!(clip_segment(Point::new(-5.0, -5.0), Point::new(-1.0, -1.0), &w).is_none());
+        assert!(clip_segment(Point::new(20.0, 0.0), Point::new(20.0, 10.0), &w).is_none());
+    }
+
+    #[test]
+    fn clip_diagonal_corner() {
+        let w = bbox(0.0, 0.0, 10.0, 10.0);
+        let (a, b) = clip_segment(Point::new(-2.0, 8.0), Point::new(4.0, 14.0), &w).unwrap();
+        assert!(a.approx_eq(Point::new(0.0, 10.0), 1e-12) || b.approx_eq(Point::new(0.0, 10.0), 1e-12));
+    }
+
+    #[test]
+    fn format_values_like_the_figures() {
+        assert_eq!(format_value(0.0, 2500.0), "0");
+        assert_eq!(format_value(2500.0, 2500.0), "+2500.");
+        assert_eq!(format_value(-12500.0, 2500.0), "-12500.");
+        assert_eq!(format_value(0.1, 0.1), "+0.1");
+        assert_eq!(format_value(-0.25, 0.05), "-0.25");
+    }
+
+    #[test]
+    fn labels_suppressed_when_overlapping() {
+        // Two isograms intersecting the boundary at nearly the same
+        // point: only one label lands.
+        let mut mesh = TriMesh::new();
+        let a = mesh.add_node(Point::new(0.0, 0.0), BoundaryKind::BoundaryCorner);
+        let b = mesh.add_node(Point::new(10.0, 0.0), BoundaryKind::BoundaryCorner);
+        let c = mesh.add_node(Point::new(5.0, 10.0), BoundaryKind::BoundaryCorner);
+        mesh.add_element([a, b, c]).unwrap();
+        let close_segment = |x: f64| IsoSegment {
+            a: Point::new(x, 0.0),
+            b: Point::new(5.0, 5.0),
+            a_on_boundary: true,
+            b_on_boundary: false,
+        };
+        let isograms = vec![
+            Isogram {
+                level: 100.0,
+                segments: vec![close_segment(5.0)],
+            },
+            Isogram {
+                level: 200.0,
+                segments: vec![close_segment(5.05)],
+            },
+        ];
+        let frame = plot_contours(&mesh, &isograms, 100.0, None, "T");
+        assert_eq!(frame.label_count(), 1);
+    }
+
+    #[test]
+    fn zero_contour_always_labeled() {
+        let mut mesh = TriMesh::new();
+        let a = mesh.add_node(Point::new(0.0, 0.0), BoundaryKind::BoundaryCorner);
+        let b = mesh.add_node(Point::new(10.0, 0.0), BoundaryKind::BoundaryCorner);
+        let c = mesh.add_node(Point::new(5.0, 10.0), BoundaryKind::BoundaryCorner);
+        mesh.add_element([a, b, c]).unwrap();
+        let seg = |x: f64| IsoSegment {
+            a: Point::new(x, 0.0),
+            b: Point::new(5.0, 5.0),
+            a_on_boundary: true,
+            b_on_boundary: false,
+        };
+        let isograms = vec![
+            Isogram {
+                level: 100.0,
+                segments: vec![seg(5.0)],
+            },
+            Isogram {
+                level: 0.0,
+                segments: vec![seg(5.02)],
+            },
+        ];
+        let frame = plot_contours(&mesh, &isograms, 100.0, None, "T");
+        // The zero label is placed first; the +100. label then overlaps
+        // and is suppressed — but zero itself is never suppressed.
+        assert_eq!(frame.label_count(), 1);
+    }
+
+    #[test]
+    fn window_excludes_outside_geometry() {
+        let mut mesh = TriMesh::new();
+        let a = mesh.add_node(Point::new(0.0, 0.0), BoundaryKind::BoundaryCorner);
+        let b = mesh.add_node(Point::new(10.0, 0.0), BoundaryKind::BoundaryCorner);
+        let c = mesh.add_node(Point::new(5.0, 10.0), BoundaryKind::BoundaryCorner);
+        mesh.add_element([a, b, c]).unwrap();
+        let isograms = vec![Isogram {
+            level: 5.0,
+            segments: vec![IsoSegment {
+                a: Point::new(8.0, 8.0),
+                b: Point::new(9.0, 9.0),
+                a_on_boundary: true,
+                b_on_boundary: false,
+            }],
+        }];
+        // Zoom to the lower-left corner: contour and its label fall away.
+        let window = Some(bbox(0.0, 0.0, 2.0, 2.0));
+        let frame = plot_contours(&mesh, &isograms, 5.0, window, "ZOOM");
+        assert_eq!(frame.label_count(), 0);
+        // Only the clipped parts of the two boundary edges near the
+        // corner are drawn.
+        assert!(frame.vector_count() >= 1);
+    }
+
+    #[test]
+    fn negative_levels_drawn_dashed() {
+        let mut mesh = TriMesh::new();
+        let a = mesh.add_node(Point::new(0.0, 0.0), BoundaryKind::BoundaryCorner);
+        let b = mesh.add_node(Point::new(10.0, 0.0), BoundaryKind::BoundaryCorner);
+        let c = mesh.add_node(Point::new(5.0, 10.0), BoundaryKind::BoundaryCorner);
+        mesh.add_element([a, b, c]).unwrap();
+        let long_segment = IsoSegment {
+            a: Point::new(1.0, 5.0),
+            b: Point::new(9.0, 5.0),
+            a_on_boundary: false,
+            b_on_boundary: false,
+        };
+        let positive = vec![Isogram {
+            level: 100.0,
+            segments: vec![long_segment],
+        }];
+        let negative = vec![Isogram {
+            level: -100.0,
+            segments: vec![long_segment],
+        }];
+        let solid = plot_contours(&mesh, &positive, 100.0, None, "T");
+        let dashed = plot_contours(&mesh, &negative, 100.0, None, "T");
+        // The dashed rendering splits the one contour vector into many.
+        assert!(dashed.vector_count() > solid.vector_count() + 3);
+    }
+
+    #[test]
+    fn zoom_window_edge_becomes_a_label_site() {
+        // A contour crossing the zoom boundary is labeled where the
+        // window cuts it, even though neither endpoint is on the mesh
+        // boundary.
+        let mut mesh = TriMesh::new();
+        let a = mesh.add_node(Point::new(0.0, 0.0), BoundaryKind::BoundaryCorner);
+        let b = mesh.add_node(Point::new(10.0, 0.0), BoundaryKind::BoundaryCorner);
+        let c = mesh.add_node(Point::new(5.0, 10.0), BoundaryKind::BoundaryCorner);
+        mesh.add_element([a, b, c]).unwrap();
+        let isograms = vec![Isogram {
+            level: 42.0,
+            segments: vec![IsoSegment {
+                a: Point::new(1.0, 1.0),
+                b: Point::new(6.0, 1.0),
+                a_on_boundary: false,
+                b_on_boundary: false,
+            }],
+        }];
+        // Full plot: interior segment, no label anywhere.
+        let full = plot_contours(&mesh, &isograms, 42.0, None, "T");
+        assert_eq!(full.label_count(), 0);
+        // Zoomed so the window edge at x = 4 cuts the segment: one label.
+        let window = Some(bbox(0.0, 0.0, 4.0, 4.0));
+        let zoomed = plot_contours(&mesh, &isograms, 42.0, window, "T");
+        assert_eq!(zoomed.label_count(), 1);
+    }
+
+    #[test]
+    fn subtitle_carries_interval_banner() {
+        let mesh = TriMesh::new();
+        let frame = plot_contours(&mesh, &[], 2500.0, None, "T");
+        assert_eq!(frame.subtitle(), Some("CONTOUR INTERVAL IS +2500."));
+    }
+}

@@ -1,0 +1,207 @@
+//! ASCII back-end: a line-printer rendering of a frame.
+//!
+//! Before film came back from the SC-4020 queue, analysts proofed plots on
+//! the line printer; this back-end fills the same role for tests and
+//! terminals. Vectors are drawn with Bresenham's algorithm onto a character
+//! grid; labels overwrite the grid.
+
+use crate::device::{PlotCommand, RasterPoint, RASTER_SIZE};
+use crate::frame::Frame;
+
+/// A character raster onto which a frame can be rendered.
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_plotter::{AsciiCanvas, Frame, RasterPoint};
+/// let mut f = Frame::new("T");
+/// f.move_to(RasterPoint::new(0, 0));
+/// f.draw_to(RasterPoint::new(1023, 1023));
+/// let canvas = AsciiCanvas::render(&f, 40, 20);
+/// let text = canvas.to_string();
+/// assert!(text.contains('*'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AsciiCanvas {
+    width: usize,
+    height: usize,
+    cells: Vec<char>,
+}
+
+impl AsciiCanvas {
+    /// Renders `frame` onto a `width` × `height` character grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either dimension is zero.
+    pub fn render(frame: &Frame, width: usize, height: usize) -> AsciiCanvas {
+        assert!(width > 0 && height > 0, "canvas dimensions must be positive");
+        let mut canvas = AsciiCanvas {
+            width,
+            height,
+            cells: vec![' '; width * height],
+        };
+        let mut cursor: Option<(usize, usize)> = None;
+        for cmd in frame.commands() {
+            match cmd {
+                PlotCommand::MoveTo(p) => cursor = Some(canvas.map(*p)),
+                PlotCommand::DrawTo(p) => {
+                    let to = canvas.map(*p);
+                    if let Some(from) = cursor {
+                        canvas.line(from, to);
+                    }
+                    cursor = Some(to);
+                }
+                PlotCommand::Text { at, text, .. } => {
+                    let (cx, cy) = canvas.map(*at);
+                    for (i, ch) in text.chars().enumerate() {
+                        canvas.put(cx + i, cy, ch);
+                    }
+                }
+            }
+        }
+        canvas
+    }
+
+    /// Character at column `x`, row `y` (row 0 at the *top*, print order).
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    pub fn at(&self, x: usize, y: usize) -> char {
+        assert!(x < self.width && y < self.height, "cell out of range");
+        self.cells[y * self.width + x]
+    }
+
+    /// Grid width in characters.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Grid height in characters.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of non-blank cells (a cheap "ink" measure for tests).
+    pub fn ink(&self) -> usize {
+        self.cells.iter().filter(|c| **c != ' ').count()
+    }
+
+    fn map(&self, p: RasterPoint) -> (usize, usize) {
+        let x = (p.x() as usize * self.width) / RASTER_SIZE as usize;
+        // Flip: raster y up, print rows down.
+        let yr = (p.y() as usize * self.height) / RASTER_SIZE as usize;
+        let y = self.height - 1 - yr.min(self.height - 1);
+        (x.min(self.width - 1), y)
+    }
+
+    fn put(&mut self, x: usize, y: usize, ch: char) {
+        if x < self.width && y < self.height {
+            self.cells[y * self.width + x] = ch;
+        }
+    }
+
+    fn line(&mut self, from: (usize, usize), to: (usize, usize)) {
+        // Bresenham on the character grid.
+        let (mut x0, mut y0) = (from.0 as i64, from.1 as i64);
+        let (x1, y1) = (to.0 as i64, to.1 as i64);
+        let dx = (x1 - x0).abs();
+        let dy = -(y1 - y0).abs();
+        let sx = if x0 < x1 { 1 } else { -1 };
+        let sy = if y0 < y1 { 1 } else { -1 };
+        let mut err = dx + dy;
+        loop {
+            self.put(x0 as usize, y0 as usize, '*');
+            if x0 == x1 && y0 == y1 {
+                break;
+            }
+            let e2 = 2 * err;
+            if e2 >= dy {
+                err += dy;
+                x0 += sx;
+            }
+            if e2 <= dx {
+                err += dx;
+                y0 += sy;
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for AsciiCanvas {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for y in 0..self.height {
+            let row: String = (0..self.width).map(|x| self.at(x, y)).collect();
+            writeln!(f, "{}", row.trim_end())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horizontal_line_fills_a_row() {
+        let mut f = Frame::new("T");
+        f.move_to(RasterPoint::new(0, 512));
+        f.draw_to(RasterPoint::new(1023, 512));
+        let c = AsciiCanvas::render(&f, 40, 20);
+        let row = c.height() - 1 - (512 * 20) / 1024;
+        for x in 0..40 {
+            assert_eq!(c.at(x, row), '*', "column {x}");
+        }
+    }
+
+    #[test]
+    fn text_written_left_to_right() {
+        let mut f = Frame::new("T");
+        f.text_at(RasterPoint::new(0, 0), "AB");
+        let c = AsciiCanvas::render(&f, 10, 5);
+        assert_eq!(c.at(0, 4), 'A');
+        assert_eq!(c.at(1, 4), 'B');
+    }
+
+    #[test]
+    fn empty_frame_has_no_ink() {
+        let f = Frame::new("T");
+        assert_eq!(AsciiCanvas::render(&f, 10, 10).ink(), 0);
+    }
+
+    #[test]
+    fn diagonal_line_has_expected_ink() {
+        let mut f = Frame::new("T");
+        f.move_to(RasterPoint::new(0, 0));
+        f.draw_to(RasterPoint::new(1023, 1023));
+        let c = AsciiCanvas::render(&f, 30, 30);
+        // A 45° diagonal on an n×n grid marks about n cells.
+        assert!(c.ink() >= 29 && c.ink() <= 31, "ink = {}", c.ink());
+    }
+
+    #[test]
+    fn display_trims_trailing_blanks() {
+        let mut f = Frame::new("T");
+        f.text_at(RasterPoint::new(0, 1023), "Z");
+        let c = AsciiCanvas::render(&f, 10, 3);
+        let text = c.to_string();
+        assert!(text.starts_with("Z\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_size_canvas_panics() {
+        AsciiCanvas::render(&Frame::new("T"), 0, 5);
+    }
+
+    #[test]
+    fn labels_past_right_edge_are_clipped() {
+        let mut f = Frame::new("T");
+        f.text_at(RasterPoint::new(1023, 0), "WIDE");
+        let c = AsciiCanvas::render(&f, 8, 4);
+        // Only the first character fits; the rest fall off the canvas.
+        assert_eq!(c.at(7, 3), 'W');
+        assert_eq!(c.ink(), 1);
+    }
+}

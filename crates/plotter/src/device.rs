@@ -1,0 +1,88 @@
+//! The raster command model of the SD-4020.
+
+use std::fmt;
+
+/// Addressable raster positions per axis (0 ..= `RASTER_SIZE - 1`).
+pub const RASTER_SIZE: u32 = 1024;
+
+/// One addressable position on the plotter raster.
+///
+/// The origin is the lower-left corner, matching the plotting convention
+/// of the paper's figures (x to the right, y upward).
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_plotter::RasterPoint;
+/// let p = RasterPoint::new(512, 512);
+/// assert_eq!(p.x(), 512);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RasterPoint {
+    x: u32,
+    y: u32,
+}
+
+impl RasterPoint {
+    /// Creates a raster point, clamping coordinates into the frame the way
+    /// the hardware's register width did.
+    pub fn new(x: u32, y: u32) -> RasterPoint {
+        RasterPoint {
+            x: x.min(RASTER_SIZE - 1),
+            y: y.min(RASTER_SIZE - 1),
+        }
+    }
+
+    /// Horizontal raster coordinate.
+    pub fn x(&self) -> u32 {
+        self.x
+    }
+
+    /// Vertical raster coordinate.
+    pub fn y(&self) -> u32 {
+        self.y
+    }
+}
+
+impl fmt::Display for RasterPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.x, self.y)
+    }
+}
+
+/// One command in the plot stream of a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlotCommand {
+    /// Move the beam without exposing.
+    MoveTo(RasterPoint),
+    /// Expose a straight vector from the current position.
+    DrawTo(RasterPoint),
+    /// Expose a character string whose *lower-left* corner sits at the
+    /// position (the SC-4020 typed hardware characters of a fixed size; we
+    /// carry the size in raster units for the back-ends).
+    Text {
+        /// Lower-left anchor of the first character.
+        at: RasterPoint,
+        /// The characters to expose.
+        text: String,
+        /// Character cell height in raster units.
+        size: u32,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raster_point_clamps_to_frame() {
+        let p = RasterPoint::new(5000, 10);
+        assert_eq!(p.x(), RASTER_SIZE - 1);
+        assert_eq!(p.y(), 10);
+    }
+
+    #[test]
+    fn display_formats_brackets() {
+        assert_eq!(RasterPoint::new(1, 2).to_string(), "[1, 2]");
+    }
+}

@@ -1,0 +1,323 @@
+//! One film frame and the high-level drawing helpers on it.
+
+use cafemio_geom::Point;
+
+use crate::device::{PlotCommand, RasterPoint};
+use crate::window::Window;
+
+/// Default character cell height in raster units (the SC-4020's standard
+/// hardware character was roughly this tall on its 1024-unit frame).
+pub(crate) const CHAR_SIZE: u32 = 12;
+
+/// One plotter frame: a title plus the ordered command stream exposed onto
+/// it. IDLZ produced one frame per optional plot (initial representation,
+/// shaped idealization, per-subdivision numbering) and OSPL one frame per
+/// contour plot.
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_plotter::Frame;
+/// let mut frame = Frame::new("STRUCTURAL IDEALIZATION");
+/// assert_eq!(frame.title(), "STRUCTURAL IDEALIZATION");
+/// assert_eq!(frame.vector_count(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    title: String,
+    subtitle: Option<String>,
+    commands: Vec<PlotCommand>,
+    cursor: Option<RasterPoint>,
+}
+
+/// Volume statistics of a frame's command stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FrameStats {
+    /// Number of exposed vectors.
+    pub vectors: usize,
+    /// Number of beam moves.
+    pub moves: usize,
+    /// Number of text strings.
+    pub labels: usize,
+    /// Total characters across all labels.
+    pub label_chars: usize,
+}
+
+impl Frame {
+    /// Creates an empty frame with a title line.
+    pub fn new(title: &str) -> Frame {
+        Frame {
+            title: title.to_owned(),
+            subtitle: None,
+            commands: Vec::new(),
+            cursor: None,
+        }
+    }
+
+    /// The frame title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Optional second title line (OSPL prints e.g. the contour interval).
+    pub fn subtitle(&self) -> Option<&str> {
+        self.subtitle.as_deref()
+    }
+
+    /// Sets the second title line.
+    pub fn set_subtitle(&mut self, subtitle: &str) {
+        self.subtitle = Some(subtitle.to_owned());
+    }
+
+    /// The raw command stream.
+    pub fn commands(&self) -> &[PlotCommand] {
+        &self.commands
+    }
+
+    /// Moves the beam without exposing.
+    pub fn move_to(&mut self, p: RasterPoint) {
+        // Collapse consecutive moves, as the device driver would.
+        if let Some(PlotCommand::MoveTo(last)) = self.commands.last_mut() {
+            *last = p;
+        } else {
+            self.commands.push(PlotCommand::MoveTo(p));
+        }
+        self.cursor = Some(p);
+    }
+
+    /// Exposes a vector from the current beam position to `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no beam position has been established with
+    /// [`move_to`](Self::move_to) (drawing from nowhere is a programming
+    /// error, the hardware would expose garbage).
+    pub fn draw_to(&mut self, p: RasterPoint) {
+        assert!(
+            self.cursor.is_some(),
+            "draw_to requires a prior move_to to set the beam position"
+        );
+        self.commands.push(PlotCommand::DrawTo(p));
+        self.cursor = Some(p);
+    }
+
+    /// Exposes a text string at a raster position.
+    pub fn text_at(&mut self, at: RasterPoint, text: &str) {
+        if text.is_empty() {
+            return;
+        }
+        self.commands.push(PlotCommand::Text {
+            at,
+            text: text.to_owned(),
+            size: CHAR_SIZE,
+        });
+    }
+
+    // ----- world-coordinate helpers (through a Window) -----
+
+    /// Draws a straight segment between two world points.
+    pub fn draw_segment(&mut self, window: &Window, a: Point, b: Point) {
+        self.move_to(window.to_raster(a));
+        self.draw_to(window.to_raster(b));
+    }
+
+    /// Draws a dashed segment between two world points: alternating
+    /// exposed and skipped pieces of `dash` raster units each. The
+    /// SC-4020 had no hardware dash — the driver chopped the vector into
+    /// short exposures, exactly as here. Segments shorter than one dash
+    /// are drawn solid.
+    pub fn draw_dashed_segment(&mut self, window: &Window, a: Point, b: Point, dash: f64) {
+        let ra = window.to_raster(a);
+        let rb = window.to_raster(b);
+        let dx = rb.x() as f64 - ra.x() as f64;
+        let dy = rb.y() as f64 - ra.y() as f64;
+        let length = (dx * dx + dy * dy).sqrt();
+        if dash <= 0.0 || length <= dash {
+            self.draw_segment(window, a, b);
+            return;
+        }
+        let pieces = (length / dash).ceil() as usize;
+        let at = |i: usize| {
+            let t = i as f64 / pieces as f64;
+            RasterPoint::new(
+                (ra.x() as f64 + t * dx).round() as u32,
+                (ra.y() as f64 + t * dy).round() as u32,
+            )
+        };
+        let mut i = 0;
+        while i < pieces {
+            self.move_to(at(i));
+            self.draw_to(at((i + 1).min(pieces)));
+            i += 2;
+        }
+    }
+
+    /// Draws an open polyline through world points (no-op for fewer than
+    /// two points).
+    pub fn draw_polyline(&mut self, window: &Window, points: &[Point]) {
+        if points.len() < 2 {
+            return;
+        }
+        self.move_to(window.to_raster(points[0]));
+        for p in &points[1..] {
+            self.draw_to(window.to_raster(*p));
+        }
+    }
+
+    /// Draws a closed polygon through world points.
+    pub fn draw_polygon(&mut self, window: &Window, points: &[Point]) {
+        if points.len() < 2 {
+            return;
+        }
+        self.draw_polyline(window, points);
+        self.draw_to(window.to_raster(points[0]));
+    }
+
+    /// Exposes a label whose lower-left corner sits at a world point.
+    pub fn label(&mut self, window: &Window, at: Point, text: &str) {
+        self.text_at(window.to_raster(at), text);
+    }
+
+    /// Command stream statistics.
+    pub fn stats(&self) -> FrameStats {
+        let mut stats = FrameStats::default();
+        for cmd in &self.commands {
+            match cmd {
+                PlotCommand::MoveTo(_) => stats.moves += 1,
+                PlotCommand::DrawTo(_) => stats.vectors += 1,
+                PlotCommand::Text { text, .. } => {
+                    stats.labels += 1;
+                    stats.label_chars += text.chars().count();
+                }
+            }
+        }
+        stats
+    }
+
+    /// Number of exposed vectors (shorthand for `stats().vectors`).
+    pub fn vector_count(&self) -> usize {
+        self.stats().vectors
+    }
+
+    /// Number of text strings.
+    pub fn label_count(&self) -> usize {
+        self.stats().labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cafemio_geom::BoundingBox;
+
+    fn unit_window(frame: &Frame) -> Window {
+        Window::fit(
+            &BoundingBox::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)),
+            frame,
+        )
+    }
+
+    #[test]
+    fn polyline_emits_one_move_then_draws() {
+        let mut f = Frame::new("T");
+        let w = unit_window(&f);
+        f.draw_polyline(
+            &w,
+            &[
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(1.0, 1.0),
+            ],
+        );
+        let s = f.stats();
+        assert_eq!(s.moves, 1);
+        assert_eq!(s.vectors, 2);
+    }
+
+    #[test]
+    fn polygon_closes() {
+        let mut f = Frame::new("T");
+        let w = unit_window(&f);
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.5, 1.0),
+        ];
+        f.draw_polygon(&w, &pts);
+        assert_eq!(f.vector_count(), 3);
+        // Last drawn raster position equals the first point's position.
+        if let Some(PlotCommand::DrawTo(p)) = f.commands().last() {
+            assert_eq!(*p, w.to_raster(pts[0]));
+        } else {
+            panic!("expected a draw command");
+        }
+    }
+
+    #[test]
+    fn dashed_segment_alternates_exposure() {
+        let mut f = Frame::new("T");
+        let w = unit_window(&f);
+        f.draw_dashed_segment(&w, Point::new(0.0, 0.5), Point::new(1.0, 0.5), 40.0);
+        let s = f.stats();
+        // Several short vectors, roughly half the full length exposed.
+        assert!(s.vectors >= 5, "vectors = {}", s.vectors);
+        assert_eq!(s.moves, s.vectors, "one move per dash");
+    }
+
+    #[test]
+    fn short_dashed_segment_drawn_solid() {
+        let mut f = Frame::new("T");
+        let w = unit_window(&f);
+        f.draw_dashed_segment(&w, Point::new(0.0, 0.0), Point::new(0.01, 0.0), 40.0);
+        assert_eq!(f.vector_count(), 1);
+    }
+
+    #[test]
+    fn consecutive_moves_collapse() {
+        let mut f = Frame::new("T");
+        f.move_to(RasterPoint::new(0, 0));
+        f.move_to(RasterPoint::new(5, 5));
+        f.move_to(RasterPoint::new(9, 9));
+        assert_eq!(f.commands().len(), 1);
+        assert_eq!(f.commands()[0], PlotCommand::MoveTo(RasterPoint::new(9, 9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a prior move_to")]
+    fn draw_without_move_panics() {
+        Frame::new("T").draw_to(RasterPoint::new(1, 1));
+    }
+
+    #[test]
+    fn empty_text_ignored() {
+        let mut f = Frame::new("T");
+        f.text_at(RasterPoint::new(0, 0), "");
+        assert_eq!(f.label_count(), 0);
+    }
+
+    #[test]
+    fn subtitle_stored() {
+        let mut f = Frame::new("T");
+        assert!(f.subtitle().is_none());
+        f.set_subtitle("CONTOUR INTERVAL IS 2500.");
+        assert_eq!(f.subtitle(), Some("CONTOUR INTERVAL IS 2500."));
+    }
+
+    #[test]
+    fn stats_count_label_chars() {
+        let mut f = Frame::new("T");
+        f.text_at(RasterPoint::new(1, 1), "+2500.");
+        f.text_at(RasterPoint::new(2, 2), "0");
+        let s = f.stats();
+        assert_eq!(s.labels, 2);
+        assert_eq!(s.label_chars, 7);
+    }
+
+    #[test]
+    fn short_polyline_is_noop() {
+        let mut f = Frame::new("T");
+        let w = unit_window(&f);
+        f.draw_polyline(&w, &[Point::new(0.0, 0.0)]);
+        assert!(f.commands().is_empty());
+    }
+}

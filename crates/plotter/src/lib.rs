@@ -1,0 +1,50 @@
+//! # cafemio-plotter
+//!
+//! A software model of the **Stromberg-Datagraphix 4020** plotter, the
+//! microfilm/CRT output device on which IDLZ drew its idealization plots and
+//! OSPL its isogram plots.
+//!
+//! The original hardware exposed a square raster (modeled here as
+//! 1024 × 1024 addressable positions per frame) and consumed a stream of
+//! *move*, *draw*, and *character* commands. The paper's plotting logic —
+//! window scaling, label overlap suppression, frame sequencing — lives
+//! above that command stream, so this crate reproduces the stream itself
+//! and supplies two back-ends that rasterize it:
+//!
+//! * [`render_svg`] — an SVG rendering for modern inspection,
+//! * [`AsciiCanvas`] — a line-printer-style character rendering that needs
+//!   no viewer at all (handy in tests and terminals).
+//!
+//! World-coordinate plotting goes through a [`Window`], which maps a
+//! rectangle of problem space onto the raster with preserved aspect ratio —
+//! the same role the SC-4020 subroutine libraries' "grid" calls played.
+//!
+//! # Examples
+//!
+//! ```
+//! use cafemio_plotter::{Frame, RasterPoint, Window};
+//! use cafemio_geom::{BoundingBox, Point};
+//!
+//! let mut frame = Frame::new("QUARTER CIRCLE");
+//! let window = Window::fit(
+//!     &BoundingBox::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)),
+//!     &frame,
+//! );
+//! frame.draw_segment(&window, Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+//! frame.label(&window, Point::new(0.5, 0.5), "MID");
+//! assert_eq!(frame.vector_count(), 1);
+//! let _svg = cafemio_plotter::render_svg(&frame);
+//! let _ = RasterPoint::new(0, 0);
+//! ```
+
+mod ascii;
+mod device;
+mod frame;
+mod svg;
+mod window;
+
+pub use ascii::AsciiCanvas;
+pub use device::{PlotCommand, RasterPoint, RASTER_SIZE};
+pub use frame::{Frame, FrameStats};
+pub use svg::render_svg;
+pub use window::Window;

@@ -1,0 +1,152 @@
+//! SVG back-end: rasterizes a frame's command stream to an SVG document.
+
+use crate::device::{PlotCommand, RasterPoint, RASTER_SIZE};
+use crate::frame::Frame;
+
+/// Renders a frame as a standalone SVG document.
+///
+/// The plotter raster's origin is lower-left; SVG's is upper-left, so the
+/// y axis is flipped here and nowhere else.
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_plotter::{Frame, RasterPoint};
+/// let mut f = Frame::new("DEMO");
+/// f.move_to(RasterPoint::new(0, 0));
+/// f.draw_to(RasterPoint::new(100, 100));
+/// let svg = cafemio_plotter::render_svg(&f);
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("polyline"));
+/// ```
+pub fn render_svg(frame: &Frame) -> String {
+    let size = RASTER_SIZE;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{size}\" height=\"{size}\" \
+         viewBox=\"0 0 {size} {size}\">\n"
+    ));
+    out.push_str(&format!(
+        "  <rect width=\"{size}\" height=\"{size}\" fill=\"#101408\"/>\n"
+    ));
+    // Title lines across the top, like the figures in the report.
+    out.push_str(&format!(
+        "  <text x=\"{}\" y=\"28\" fill=\"#d8e8c0\" font-family=\"monospace\" \
+         font-size=\"20\" text-anchor=\"middle\">{}</text>\n",
+        size / 2,
+        escape(frame.title())
+    ));
+    if let Some(sub) = frame.subtitle() {
+        out.push_str(&format!(
+            "  <text x=\"{}\" y=\"52\" fill=\"#d8e8c0\" font-family=\"monospace\" \
+             font-size=\"16\" text-anchor=\"middle\">{}</text>\n",
+            size / 2,
+            escape(sub)
+        ));
+    }
+
+    // Group consecutive draw commands into polylines.
+    let mut path: Vec<RasterPoint> = Vec::new();
+    let flush = |path: &mut Vec<RasterPoint>, out: &mut String| {
+        if path.len() >= 2 {
+            let pts: Vec<String> = path
+                .iter()
+                .map(|p| format!("{},{}", p.x(), flip(p.y())))
+                .collect();
+            out.push_str(&format!(
+                "  <polyline points=\"{}\" fill=\"none\" stroke=\"#d8e8c0\" \
+                 stroke-width=\"1\"/>\n",
+                pts.join(" ")
+            ));
+        }
+        path.clear();
+    };
+
+    for cmd in frame.commands() {
+        match cmd {
+            PlotCommand::MoveTo(p) => {
+                flush(&mut path, &mut out);
+                path.push(*p);
+            }
+            PlotCommand::DrawTo(p) => {
+                path.push(*p);
+            }
+            PlotCommand::Text { at, text, size: h } => {
+                out.push_str(&format!(
+                    "  <text x=\"{}\" y=\"{}\" fill=\"#f0e890\" font-family=\"monospace\" \
+                     font-size=\"{h}\">{}</text>\n",
+                    at.x(),
+                    flip(at.y()),
+                    escape(text)
+                ));
+            }
+        }
+    }
+    flush(&mut path, &mut out);
+    out.push_str("</svg>\n");
+    out
+}
+
+fn flip(y: u32) -> u32 {
+    RASTER_SIZE - 1 - y
+}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_title_and_vectors() {
+        let mut f = Frame::new("GLASS JOINT");
+        f.move_to(RasterPoint::new(10, 10));
+        f.draw_to(RasterPoint::new(20, 20));
+        f.draw_to(RasterPoint::new(30, 10));
+        let svg = render_svg(&f);
+        assert!(svg.contains("GLASS JOINT"));
+        // Three points collapse into one polyline element.
+        assert_eq!(svg.matches("<polyline").count(), 1);
+    }
+
+    #[test]
+    fn y_axis_is_flipped() {
+        let mut f = Frame::new("T");
+        f.move_to(RasterPoint::new(0, 0));
+        f.draw_to(RasterPoint::new(0, 100));
+        let svg = render_svg(&f);
+        // Raster y=0 maps to SVG y=1023.
+        assert!(svg.contains("0,1023"));
+        assert!(svg.contains("0,923"));
+    }
+
+    #[test]
+    fn text_escaped() {
+        let mut f = Frame::new("A<B");
+        f.text_at(RasterPoint::new(1, 1), "R&D");
+        let svg = render_svg(&f);
+        assert!(svg.contains("A&lt;B"));
+        assert!(svg.contains("R&amp;D"));
+    }
+
+    #[test]
+    fn subtitle_rendered_when_present() {
+        let mut f = Frame::new("T");
+        f.set_subtitle("CONTOUR INTERVAL IS 10.");
+        assert!(render_svg(&f).contains("CONTOUR INTERVAL IS 10."));
+    }
+
+    #[test]
+    fn disjoint_strokes_make_separate_polylines() {
+        let mut f = Frame::new("T");
+        f.move_to(RasterPoint::new(0, 0));
+        f.draw_to(RasterPoint::new(10, 0));
+        f.move_to(RasterPoint::new(50, 50));
+        f.draw_to(RasterPoint::new(60, 50));
+        assert_eq!(render_svg(&f).matches("<polyline").count(), 2);
+    }
+}

@@ -1,0 +1,142 @@
+//! World-to-raster coordinate mapping.
+
+use cafemio_geom::{BoundingBox, Point};
+
+use crate::device::{RasterPoint, RASTER_SIZE};
+use crate::frame::Frame;
+
+/// A mapping from a rectangle of problem coordinates onto the plotter
+/// raster, preserving aspect ratio (a circle in the structure plots as a
+/// circle on film — essential for judging element shapes in the
+/// idealization figures).
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_plotter::{Frame, Window};
+/// use cafemio_geom::{BoundingBox, Point};
+/// let frame = Frame::new("T");
+/// let window = Window::fit(
+///     &BoundingBox::new(Point::new(0.0, 0.0), Point::new(2.0, 1.0)),
+///     &frame,
+/// );
+/// let center = window.to_raster(Point::new(1.0, 0.5));
+/// // The window is centered on the usable raster area.
+/// assert!((center.x() as i64 - 512).abs() <= 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Window {
+    world_min: Point,
+    scale: f64,
+    offset_x: f64,
+    offset_y: f64,
+}
+
+/// Margin (in raster units) left around plots for titles and labels.
+const MARGIN: f64 = 64.0;
+
+impl Window {
+    /// Builds the window that fits `world` into the frame's usable area
+    /// with equal x/y scale, centered.
+    ///
+    /// Degenerate worlds (zero width *and* height) map everything to the
+    /// frame center.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `world` is an empty bounding box.
+    pub fn fit(world: &BoundingBox, _frame: &Frame) -> Window {
+        assert!(!world.is_empty(), "cannot fit a window to an empty extent");
+        let usable = RASTER_SIZE as f64 - 2.0 * MARGIN;
+        let w = world.width();
+        let h = world.height();
+        let scale = if w <= 0.0 && h <= 0.0 {
+            1.0
+        } else {
+            usable / w.max(h)
+        };
+        // Center the drawing within the usable square.
+        let offset_x = MARGIN + 0.5 * (usable - scale * w);
+        let offset_y = MARGIN + 0.5 * (usable - scale * h);
+        Window {
+            world_min: world.min(),
+            scale,
+            offset_x,
+            offset_y,
+        }
+    }
+
+    /// Raster units per world unit.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Maps a world point to raster coordinates (clamped into the frame).
+    pub fn to_raster(&self, p: Point) -> RasterPoint {
+        let x = self.offset_x + self.scale * (p.x - self.world_min.x);
+        let y = self.offset_y + self.scale * (p.y - self.world_min.y);
+        RasterPoint::new(x.round().max(0.0) as u32, y.round().max(0.0) as u32)
+    }
+
+    /// Maps a world distance to raster units.
+    pub fn length_to_raster(&self, d: f64) -> f64 {
+        d * self.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window_for(min: (f64, f64), max: (f64, f64)) -> Window {
+        let frame = Frame::new("TEST");
+        Window::fit(
+            &BoundingBox::new(Point::new(min.0, min.1), Point::new(max.0, max.1)),
+            &frame,
+        )
+    }
+
+    #[test]
+    fn preserves_aspect_ratio() {
+        let w = window_for((0.0, 0.0), (10.0, 1.0));
+        let a = w.to_raster(Point::new(0.0, 0.0));
+        let b = w.to_raster(Point::new(10.0, 0.0));
+        let c = w.to_raster(Point::new(0.0, 1.0));
+        let dx = b.x() - a.x();
+        let dy = c.y() - a.y();
+        // 10:1 world rectangle must map 10:1 on the raster.
+        assert!((dx as f64 / dy as f64 - 10.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn world_corners_stay_inside_margin() {
+        let w = window_for((-3.0, 2.0), (7.0, 12.0));
+        for p in [
+            Point::new(-3.0, 2.0),
+            Point::new(7.0, 12.0),
+            Point::new(-3.0, 12.0),
+        ] {
+            let r = w.to_raster(p);
+            assert!(r.x() >= 60 && r.x() <= RASTER_SIZE - 60);
+            assert!(r.y() >= 60 && r.y() <= RASTER_SIZE - 60);
+        }
+    }
+
+    #[test]
+    fn degenerate_world_maps_to_center() {
+        let frame = Frame::new("T");
+        let w = Window::fit(
+            &BoundingBox::from_points([Point::new(5.0, 5.0)]),
+            &frame,
+        );
+        let r = w.to_raster(Point::new(5.0, 5.0));
+        assert!((r.x() as i64 - 512).abs() <= 1);
+        assert!((r.y() as i64 - 512).abs() <= 1);
+    }
+
+    #[test]
+    fn length_scales_linearly() {
+        let w = window_for((0.0, 0.0), (4.0, 4.0));
+        assert!((w.length_to_raster(2.0) - 2.0 * w.scale()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,87 @@
+//! The full 1970 card-deck data path, end to end:
+//!
+//! 1. keypunch an Appendix-B input deck for IDLZ,
+//! 2. run IDLZ; punch nodal and element cards in the user's FORTRAN
+//!    format (the Type-7 cards),
+//! 3. run the analysis on the punched mesh,
+//! 4. assemble an Appendix-C deck for OSPL and plot the isograms.
+//!
+//! ```sh
+//! cargo run --example card_decks
+//! ```
+
+use std::error::Error;
+
+use cafemio::cards::Deck;
+use cafemio::idlz::deck::{parse_deck, punch_element_cards, punch_nodal_cards};
+use cafemio::ospl::deck::{parse_ospl_deck, write_ospl_deck};
+use cafemio::prelude::*;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // ---- 1. The analyst's input deck (Appendix B) ----------------------
+    let input = concat!(
+        "    1\n",
+        "CANTILEVER STRIP FROM CARDS\n",
+        "    1    1    1    1\n",
+        "    1    0    0   10    2         0    0\n",
+        "    1    2\n",
+        "    0    0   10    0  0.0000  0.0000  5.0000  0.0000  0.0000\n",
+        "    0    2   10    2  0.0000  1.0000  5.0000  1.0000  0.0000\n",
+        "(2F9.5, 51X, I3, 5X, I3)\n",
+        "(3I5, 62X, I3)\n",
+    );
+    let deck = Deck::from_text(input)?;
+    println!("input deck: {} cards", deck.len());
+
+    // ---- 2. IDLZ --------------------------------------------------------
+    let specs = parse_deck(&deck)?;
+    let spec = &specs[0];
+    let result = Idealization::run(spec)?;
+    let nodal_cards = punch_nodal_cards(&result.mesh, spec.nodal_format())?;
+    let element_cards = punch_element_cards(&result.mesh, spec.element_format())?;
+    println!(
+        "IDLZ punched {} nodal + {} element cards; a sample nodal card:",
+        nodal_cards.len(),
+        element_cards.len()
+    );
+    println!("  |{}|", nodal_cards.card(4).text());
+
+    // ---- 3. Analysis ----------------------------------------------------
+    let mut model = FemModel::new(
+        result.mesh.clone(),
+        AnalysisKind::PlaneStress { thickness: 0.5 },
+        Material::isotropic(10.0e6, 0.33),
+    );
+    for (id, node) in result.mesh.nodes() {
+        if node.position.x < 1e-9 {
+            model.fix_x(id);
+            model.fix_y(id); // clamped end
+        }
+        if (node.position.x - 5.0).abs() < 1e-9 {
+            model.add_force(id, 0.0, -40.0); // tip shear
+        }
+    }
+    let solution = model.solve()?;
+    let stresses = StressField::compute(&model, &solution)?;
+    let field = stresses.meridional();
+
+    // ---- 4. OSPL via its own card deck (Appendix C) ---------------------
+    let ospl_deck = write_ospl_deck(
+        &result.mesh,
+        &field,
+        &ContourOptions::new(),
+        ("CANTILEVER BENDING STRESS", "FROM PUNCHED CARDS"),
+    )?;
+    println!("OSPL input deck: {} cards", ospl_deck.len());
+    let ospl_input = parse_ospl_deck(&ospl_deck)?;
+    let plot = Ospl::run(&ospl_input.mesh, &ospl_input.field, &ospl_input.options)?;
+    println!(
+        "OSPL: interval {}, {} contours; bending stress is antisymmetric:",
+        plot.interval,
+        plot.drawn_contours()
+    );
+    let (lo, hi) = field.min_max().expect("non-empty field");
+    println!("  sigma-y range {lo:.0} .. {hi:.0} psi");
+    print!("{}", AsciiCanvas::render(&plot.frame, 100, 30));
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Regenerates the idealization plots of every structure in the paper's
+//! figures, with printed listings — the quickest way to eyeball the whole
+//! model catalog.
+//!
+//! ```sh
+//! cargo run --example figure_gallery
+//! ```
+
+use std::error::Error;
+use std::fs;
+
+use cafemio::idlz::listing;
+use cafemio::models::catalog;
+use cafemio::prelude::*;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let out_dir = "target/gallery";
+    fs::create_dir_all(out_dir)?;
+    println!(
+        "{:<22} {:>6} {:>9} {:>10} {:>10}  figures",
+        "model", "nodes", "elements", "bandwidth", "input %"
+    );
+    for entry in catalog() {
+        let spec = (entry.spec)();
+        let result = Idealization::run(&spec)?;
+        println!(
+            "{:<22} {:>6} {:>9} {:>10} {:>9.1}%  {}",
+            entry.name,
+            result.mesh.node_count(),
+            result.mesh.element_count(),
+            result.stats.bandwidth_after,
+            100.0 * result.stats.input_fraction(),
+            entry.figures,
+        );
+        for (frame, stem) in result.frames.iter().zip(["initial", "final"]) {
+            fs::write(
+                format!("{out_dir}/{}_{stem}.svg", entry.name),
+                render_svg(frame),
+            )?;
+        }
+        fs::write(
+            format!("{out_dir}/{}_listing.txt", entry.name),
+            listing(&spec, &result),
+        )?;
+    }
+    println!("\nplots and listings written to {out_dir}/");
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Quickstart: idealize a plate with IDLZ, analyze it, and contour the
+//! effective stress with OSPL.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! Writes `target/quickstart.svg` and prints a line-printer preview of
+//! the contour plot — the same proofing view a 1970 analyst used while
+//! the SC-4020 film was in the queue.
+
+use std::error::Error;
+use std::fs;
+
+use cafemio::prelude::*;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // ---- 1. Idealization (program IDLZ) -------------------------------
+    // A 4 in × 2 in plate, 8 × 4 subdivision cells.
+    let mut spec = IdealizationSpec::new("QUICKSTART PLATE");
+    spec.add_subdivision(Subdivision::rectangular(1, (0, 0), (8, 4))?);
+    spec.add_shape_line(
+        1,
+        ShapeLine::straight((0, 0), (8, 0), Point::new(0.0, 0.0), Point::new(4.0, 0.0)),
+    );
+    spec.add_shape_line(
+        1,
+        ShapeLine::straight((0, 4), (8, 4), Point::new(0.0, 2.0), Point::new(4.0, 2.0)),
+    );
+    let idealized = Idealization::run(&spec)?;
+    println!(
+        "IDLZ: {} nodes, {} elements, bandwidth {} -> {}",
+        idealized.mesh.node_count(),
+        idealized.mesh.element_count(),
+        idealized.stats.bandwidth_before,
+        idealized.stats.bandwidth_after,
+    );
+    println!(
+        "      input data = {} values, punched output = {} values ({:.1} %)",
+        idealized.stats.input_values,
+        idealized.stats.output_values,
+        100.0 * idealized.stats.input_fraction(),
+    );
+
+    // ---- 2. Analysis (the substrate the paper's Reference 1 provided) -
+    let mut model = FemModel::new(
+        idealized.mesh.clone(),
+        AnalysisKind::PlaneStress { thickness: 0.25 },
+        Material::isotropic(30.0e6, 0.3),
+    );
+    for (id, node) in idealized.mesh.nodes() {
+        if node.position.x < 1e-9 {
+            model.fix_x(id);
+            if node.position.y < 1e-9 {
+                model.fix_y(id);
+            }
+        }
+        // A shear load along the right edge gives a field worth looking at.
+        if (node.position.x - 4.0).abs() < 1e-9 {
+            model.add_force(id, 120.0, -60.0);
+        }
+    }
+
+    // ---- 3. Output plotting (program OSPL) ----------------------------
+    let plot = cafemio::pipeline::solve_and_contour(
+        &model,
+        StressComponent::Effective,
+        &ContourOptions::new(),
+    )?;
+    println!(
+        "OSPL: interval {} (automatic), {} contours, {} segments",
+        plot.contours.interval,
+        plot.contours.drawn_contours(),
+        plot.contours.segment_count(),
+    );
+
+    fs::create_dir_all("target")?;
+    fs::write("target/quickstart.svg", render_svg(&plot.contours.frame))?;
+    println!("wrote target/quickstart.svg\n");
+    print!("{}", AsciiCanvas::render(&plot.contours.frame, 100, 34));
+    Ok(())
+}

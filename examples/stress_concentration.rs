@@ -1,0 +1,56 @@
+//! The Kirsch problem: a plate with a circular hole under remote tension.
+//! One subdivision wraps from the hole arc to the square outer corner —
+//! the pattern behind every "crowd elements where it matters" idealization
+//! in the paper.
+//!
+//! ```sh
+//! cargo run --example stress_concentration
+//! ```
+
+use std::error::Error;
+use std::fs;
+
+use cafemio::models::plate_with_hole as hole;
+use cafemio::prelude::*;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let idealized = Idealization::run(&hole::spec())?;
+    println!(
+        "quarter plate: {} nodes, {} elements; hole r = {}, width = {}",
+        idealized.mesh.node_count(),
+        idealized.mesh.element_count(),
+        hole::HOLE_RADIUS,
+        hole::WIDTH,
+    );
+    let model = hole::tension_model(&idealized.mesh);
+    let solution = model.solve()?;
+    let stresses = StressField::compute(&model, &solution)?;
+    // The concentration factor at the hole crown.
+    let crown = idealized
+        .mesh
+        .nodes()
+        .find(|(_, n)| n.position.x.abs() < 1e-9 && (n.position.y - hole::HOLE_RADIUS).abs() < 1e-9)
+        .map(|(id, _)| id)
+        .expect("crown node");
+    println!(
+        "Kt at the hole crown = {:.2}  (Kirsch infinite-plate value: 3.00)",
+        stresses.node(crown).radial / hole::TENSION
+    );
+    let plot = cafemio::pipeline::solve_and_contour(
+        &model,
+        StressComponent::Effective,
+        &ContourOptions::new(),
+    )?;
+    fs::create_dir_all("target")?;
+    fs::write(
+        "target/stress_concentration.svg",
+        render_svg(&plot.contours.frame),
+    )?;
+    println!(
+        "contours: interval {}, {} isograms -> target/stress_concentration.svg\n",
+        plot.contours.interval,
+        plot.contours.drawn_contours()
+    );
+    print!("{}", AsciiCanvas::render(&plot.contours.frame, 80, 34));
+    Ok(())
+}

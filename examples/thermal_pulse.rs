@@ -1,0 +1,62 @@
+//! The Figure 14 workload: a T-beam exposed to a thermal radiation
+//! pulse, with the temperature distribution contoured at t = 2 s and
+//! t = 3 s.
+//!
+//! ```sh
+//! cargo run --example thermal_pulse
+//! ```
+
+use std::error::Error;
+use std::fs;
+
+use cafemio::models::tbeam;
+use cafemio::prelude::*;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let idealized = Idealization::run(&tbeam::spec())?;
+    println!(
+        "T-beam: {} nodes, {} elements; pulse {} BTU/(s in^2) for {} s",
+        idealized.mesh.node_count(),
+        idealized.mesh.element_count(),
+        tbeam::PULSE_FLUX,
+        tbeam::PULSE_DURATION,
+    );
+    let history = tbeam::run_pulse(&idealized.mesh, 3.0, 300)?;
+    fs::create_dir_all("target")?;
+    for t in [2.0, 3.0] {
+        let field = history.at_time(t);
+        let (lo, hi) = field.min_max().expect("non-empty field");
+        let plot = Ospl::run(&idealized.mesh, field, &ContourOptions::new())?;
+        println!(
+            "t = {t} s: {lo:.0} .. {hi:.0} degF, contour interval {}, {} isograms",
+            plot.interval,
+            plot.drawn_contours()
+        );
+        let path = format!("target/tbeam_t{t}.svg");
+        fs::write(&path, render_svg(&plot.frame))?;
+        println!("  wrote {path}");
+        print!("{}", AsciiCanvas::render(&plot.frame, 90, 26));
+    }
+    println!(
+        "As in Figure 14, the t = 3 s plot is flatter than t = 2 s: the\n\
+         pulse ended at t = 1 s and the flange heat soaks into the web."
+    );
+
+    // The engineering consumer of Figure 14's field: thermal stress.
+    let model = tbeam::thermal_stress_model(&idealized.mesh, history.at_time(2.0));
+    let plot = cafemio::pipeline::solve_and_contour(
+        &model,
+        StressComponent::Effective,
+        &ContourOptions::new(),
+    )?;
+    let (lo, hi) = plot.field.min_max().expect("non-empty field");
+    println!(
+        "\nthermal stress at t = 2 s: effective {lo:.0} .. {hi:.0} psi \
+         ({} isograms, interval {})",
+        plot.contours.drawn_contours(),
+        plot.contours.interval
+    );
+    fs::write("target/tbeam_thermal_stress.svg", render_svg(&plot.contours.frame))?;
+    println!("  wrote target/tbeam_thermal_stress.svg");
+    Ok(())
+}

@@ -1,0 +1,8 @@
+//! Root package of the `cafemio` workspace.
+//!
+//! This package carries the workspace-wide integration tests (`tests/`) and
+//! the runnable examples (`examples/`). The library itself re-exports the
+//! umbrella crate so examples can write `use cafemio_repro as cafemio;` if
+//! they wish, though they normally import `cafemio` directly.
+
+pub use cafemio::*;

@@ -1,0 +1,94 @@
+//! h-convergence: refining an IDLZ idealization drives the finite element
+//! answers toward the closed-form values — the check a 1970 analyst ran
+//! by re-keypunching a finer subdivision card, done here with
+//! `TriMesh::refined`.
+
+use cafemio::fem::StressField;
+use cafemio::idlz::Idealization;
+use cafemio::models::plate_with_hole as hole;
+use cafemio::prelude::*;
+
+#[test]
+fn kirsch_factor_improves_under_refinement() {
+    let coarse_mesh = Idealization::run(&hole::spec()).unwrap().mesh;
+    let fine_mesh = coarse_mesh.refined();
+    assert_eq!(fine_mesh.element_count(), 4 * coarse_mesh.element_count());
+
+    let kt = |mesh: &TriMesh| -> f64 {
+        let model = hole::tension_model(mesh);
+        let solution = model.solve().unwrap();
+        let stresses = StressField::compute(&model, &solution).unwrap();
+        let crown = mesh
+            .nodes()
+            .find(|(_, n)| {
+                n.position.x.abs() < 1e-9 && (n.position.y - hole::HOLE_RADIUS).abs() < 1e-9
+            })
+            .map(|(id, _)| id)
+            .expect("crown node survives refinement");
+        stresses.node(crown).radial / hole::TENSION
+    };
+    let kt_coarse = kt(&coarse_mesh);
+    let kt_fine = kt(&fine_mesh);
+    // The finite-width Kirsch factor is a bit above 3; the CST
+    // under-predicts and refinement must close the gap monotonically.
+    assert!(
+        kt_fine > kt_coarse,
+        "refinement should raise Kt: {kt_coarse} -> {kt_fine}"
+    );
+    assert!(kt_fine > 2.9, "fine Kt = {kt_fine}");
+}
+
+#[test]
+fn refined_idealization_still_plots() {
+    let mesh = Idealization::run(&hole::spec()).unwrap().mesh.refined();
+    let model = hole::tension_model(&mesh);
+    let plot = cafemio::pipeline::solve_and_contour(
+        &model,
+        StressComponent::Effective,
+        &ContourOptions::new(),
+    )
+    .unwrap();
+    assert!(plot.contours.drawn_contours() > 10);
+}
+
+#[test]
+fn tip_deflection_converges_on_refined_strip() {
+    // A shear-loaded cantilever: one refinement level moves the tip
+    // deflection toward the next one by a shrinking amount (Cauchy-style
+    // convergence check without needing the exact beam factor).
+    let spec = cafemio::models::plate::spec(8, 2, 8.0, 1.0);
+    let m0 = Idealization::run(&spec).unwrap().mesh;
+    let m1 = m0.refined();
+    let m2 = m1.refined();
+    let tip = |mesh: &TriMesh| -> f64 {
+        let mut model = FemModel::new(
+            mesh.clone(),
+            AnalysisKind::PlaneStress { thickness: 1.0 },
+            Material::isotropic(1.0e7, 0.3),
+        );
+        for (id, node) in mesh.nodes() {
+            if node.position.x < 1e-9 {
+                model.fix_both(id);
+            }
+            if (node.position.x - 8.0).abs() < 1e-9 {
+                model.add_force(id, 0.0, -10.0);
+            }
+        }
+        // Refinement adds nodes on the tip face: normalize the load by
+        // counting loaded nodes would change totals; instead measure the
+        // deflection per unit load via max displacement scaled by loaded
+        // node count.
+        let loaded = mesh
+            .nodes()
+            .filter(|(_, n)| (n.position.x - 8.0).abs() < 1e-9)
+            .count() as f64;
+        model.solve().unwrap().max_displacement() / loaded
+    };
+    let (d0, d1, d2) = (tip(&m0), tip(&m1), tip(&m2));
+    let step1 = (d1 - d0).abs();
+    let step2 = (d2 - d1).abs();
+    assert!(
+        step2 < step1,
+        "refinement steps must shrink: {step1} then {step2} ({d0}, {d1}, {d2})"
+    );
+}

@@ -1,0 +1,88 @@
+//! Integration: the coupled analysis chains the paper's figures imply —
+//! Figure 14's temperatures feeding a thermal-stress analysis, and
+//! Figure 13's "MODIFIED FOR CONTACT" seat resolved through load
+//! increments, each ending in an OSPL plot.
+
+use cafemio::fem::{solve_contact_increments, StressField};
+use cafemio::idlz::Idealization;
+use cafemio::models::{hatch, tbeam};
+use cafemio::ospl::listing;
+use cafemio::prelude::*;
+
+#[test]
+fn temperature_field_to_thermal_stress_to_contour() {
+    let idealized = Idealization::run(&tbeam::spec()).unwrap();
+    let history = tbeam::run_pulse(&idealized.mesh, 2.0, 100).unwrap();
+    let temperatures = history.at_time(2.0);
+    let model = tbeam::thermal_stress_model(&idealized.mesh, temperatures);
+    let plot = cafemio::pipeline::solve_and_contour(
+        &model,
+        StressComponent::Effective,
+        &ContourOptions::new(),
+    )
+    .unwrap();
+    assert!(plot.contours.drawn_contours() > 3);
+    // The stress scale is hundreds to thousands of psi for a ~250 °F
+    // gradient in steel (E·α·ΔT ~ 30e6 × 6.5e-6 × 250 ≈ 49 000 psi upper
+    // bound; the partially free flange sits well below it).
+    let (_, hi) = plot.field.min_max().unwrap();
+    assert!(hi > 500.0 && hi < 60_000.0, "peak effective {hi}");
+    // The OSPL summary prints one row per level.
+    let text = listing(&plot.contours);
+    assert!(text.contains("PROGRAM OSPL"));
+}
+
+#[test]
+fn contact_increments_to_contour() {
+    let idealized = Idealization::run(&hatch::dssv_hatch_spec()).unwrap();
+    let (model, supports) = hatch::dssv_contact_model(&idealized.mesh);
+    let increments = solve_contact_increments(&model, &supports, 4, 20).unwrap();
+    assert_eq!(increments.len(), 4);
+    // Proportional loading: displacements grow monotonically with the
+    // factor once the bearing set settles.
+    let pole = cafemio::models::support::nodes_where(model.mesh(), |p| p.x.abs() < 1e-9);
+    let mut last = 0.0f64;
+    for inc in &increments {
+        let w = inc.result.solution.displacement(pole[0]).1.abs();
+        assert!(w >= last - 1e-12, "increment {}: {w} < {last}", inc.number);
+        last = w;
+    }
+    // Final increment contours cleanly.
+    let final_increment = increments.last().unwrap();
+    let stresses = StressField::compute(&model, &final_increment.result.solution).unwrap();
+    let plot = Ospl::run(
+        model.mesh(),
+        &stresses.effective(),
+        &ContourOptions::new(),
+    )
+    .unwrap();
+    assert!(plot.drawn_contours() > 3);
+}
+
+#[test]
+fn thermal_stress_scales_with_the_pulse() {
+    // Half the pulse, roughly half the thermal stress (linearity of the
+    // whole chain through with_load_factor on the thermal load).
+    let idealized = Idealization::run(&tbeam::spec()).unwrap();
+    let history = tbeam::run_pulse(&idealized.mesh, 2.0, 100).unwrap();
+    let model = tbeam::thermal_stress_model(&idealized.mesh, history.at_time(2.0));
+    let half = model.with_load_factor(0.5);
+    let full_solution = model.solve().unwrap();
+    let half_solution = half.solve().unwrap();
+    let full_peak = StressField::compute(&model, &full_solution)
+        .unwrap()
+        .effective()
+        .min_max()
+        .unwrap()
+        .1;
+    let half_peak = StressField::compute(&half, &half_solution)
+        .unwrap()
+        .effective()
+        .min_max()
+        .unwrap()
+        .1;
+    assert!(
+        (half_peak - 0.5 * full_peak).abs() < 1e-6 * full_peak,
+        "{half_peak} vs half of {full_peak}"
+    );
+}

@@ -1,0 +1,97 @@
+//! Determinism and reproducibility: the same input deck must produce the
+//! same mesh, the same punched cards, and the same plot command stream,
+//! run after run — the property that made card-driven batch workflows
+//! auditable.
+
+use cafemio::idlz::deck::{punch_element_cards, punch_nodal_cards, write_deck};
+use cafemio::idlz::Idealization;
+use cafemio::models::{catalog, joint};
+use cafemio::plotter::render_svg;
+use cafemio::prelude::*;
+
+#[test]
+fn idealization_is_deterministic() {
+    for entry in catalog() {
+        let a = Idealization::run(&(entry.spec)()).unwrap();
+        let b = Idealization::run(&(entry.spec)()).unwrap();
+        assert_eq!(a.mesh, b.mesh, "{}", entry.name);
+        assert_eq!(a.stats.bandwidth_after, b.stats.bandwidth_after);
+        assert_eq!(a.reform.swaps, b.reform.swaps);
+    }
+}
+
+#[test]
+fn punched_decks_are_byte_identical() {
+    let spec = joint::spec();
+    let run = |spec: &IdealizationSpec| {
+        let result = Idealization::run(spec).unwrap();
+        let nodal = punch_nodal_cards(&result.mesh, spec.nodal_format()).unwrap();
+        let element = punch_element_cards(&result.mesh, spec.element_format()).unwrap();
+        (nodal.to_text(), element.to_text())
+    };
+    let (n1, e1) = run(&spec);
+    let (n2, e2) = run(&spec);
+    assert_eq!(n1, n2);
+    assert_eq!(e1, e2);
+}
+
+#[test]
+fn input_decks_are_byte_identical() {
+    let spec = joint::spec();
+    let d1 = write_deck(std::slice::from_ref(&spec)).unwrap().to_text();
+    let d2 = write_deck(std::slice::from_ref(&spec)).unwrap().to_text();
+    assert_eq!(d1, d2);
+}
+
+#[test]
+fn plot_streams_are_deterministic() {
+    let entry = &catalog()[1];
+    let a = Idealization::run(&(entry.spec)()).unwrap();
+    let b = Idealization::run(&(entry.spec)()).unwrap();
+    for (fa, fb) in a.frames.iter().zip(&b.frames) {
+        assert_eq!(fa.commands(), fb.commands());
+        assert_eq!(render_svg(fa), render_svg(fb));
+    }
+}
+
+#[test]
+fn contours_invariant_under_renumbering() {
+    // Isograms are geometric: renumbering the nodes (and carrying the
+    // field along) must not change any contour's level set.
+    let result = Idealization::run(&joint::spec()).unwrap();
+    let model = joint::pressure_model(&result.mesh);
+    let solution = model.solve().unwrap();
+    let stresses = StressField::compute(&model, &solution).unwrap();
+    let field = stresses.effective();
+    let before = Ospl::run(&result.mesh, &field, &ContourOptions::new()).unwrap();
+
+    let mut mesh = result.mesh.clone();
+    let mut field = field.clone();
+    let perm = cafemio::mesh::reverse_cuthill_mckee(&mesh);
+    mesh.renumber_nodes(&perm);
+    field.renumber(&perm);
+    let after = Ospl::run(&mesh, &field, &ContourOptions::new()).unwrap();
+
+    assert_eq!(before.levels, after.levels);
+    for (a, b) in before.isograms.iter().zip(&after.isograms) {
+        assert_eq!(a.segments.len(), b.segments.len(), "level {}", a.level);
+        assert!((a.length() - b.length()).abs() < 1e-9, "level {}", a.level);
+    }
+}
+
+#[test]
+fn solver_is_deterministic() {
+    let result = Idealization::run(&joint::spec()).unwrap();
+    let model = joint::pressure_model(&result.mesh);
+    let s1 = model.solve().unwrap();
+    let s2 = model.solve().unwrap();
+    assert_eq!(s1.dofs(), s2.dofs());
+    // All three solver paths agree to tight tolerance.
+    let sky = model.solve_skyline().unwrap();
+    let dense = model.solve_dense().unwrap();
+    let scale = s1.max_displacement();
+    for i in 0..s1.dofs().len() {
+        assert!((s1.dofs()[i] - sky.dofs()[i]).abs() < 1e-9 * scale);
+        assert!((s1.dofs()[i] - dense.dofs()[i]).abs() < 1e-8 * scale);
+    }
+}

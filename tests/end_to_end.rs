@@ -1,0 +1,152 @@
+//! Workspace integration: the full 1970 data path over every model in
+//! the catalog — idealize, punch cards, read them back, analyze, contour.
+
+use cafemio::cards::{Field, Format, FormatReader};
+use cafemio::idlz::deck::{parse_deck, punch_element_cards, punch_nodal_cards, write_deck};
+use cafemio::idlz::Idealization;
+use cafemio::models::{catalog, cylinder, joint, viewport};
+use cafemio::ospl::deck::{parse_ospl_deck, write_ospl_deck};
+use cafemio::prelude::*;
+
+#[test]
+fn every_catalog_model_idealizes_and_plots() {
+    for entry in catalog() {
+        let spec = (entry.spec)();
+        let result = Idealization::run(&spec).unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        result.mesh.validate().unwrap();
+        // Plot frames were produced and contain geometry.
+        assert!(!result.frames.is_empty(), "{}", entry.name);
+        assert!(result.frames[1].vector_count() > 0, "{}", entry.name);
+    }
+}
+
+#[test]
+fn idlz_deck_round_trip_reproduces_the_mesh() {
+    // Deck-serializable models (historical Table-2 limits, card-precision
+    // coordinates) must produce the same mesh when their deck is read
+    // back.
+    for spec in [viewport::juncture_spec(), joint::spec()] {
+        let direct = Idealization::run(&spec).unwrap();
+        let deck = write_deck(std::slice::from_ref(&spec)).unwrap();
+        let parsed = parse_deck(&deck).unwrap();
+        let from_cards = Idealization::run(&parsed[0]).unwrap();
+        assert_eq!(direct.mesh.node_count(), from_cards.mesh.node_count());
+        assert_eq!(direct.mesh.element_count(), from_cards.mesh.element_count());
+        for (id, node) in direct.mesh.nodes() {
+            assert!(
+                node.position
+                    .approx_eq(from_cards.mesh.node(id).position, 1e-3),
+                "node {id} moved through the card round trip"
+            );
+        }
+    }
+}
+
+#[test]
+fn punched_cards_feed_the_analysis_format() {
+    // The punched nodal cards must read back exactly under the analysis
+    // program's own format — that is the whole point of IDLZ.
+    let spec = viewport::juncture_spec();
+    let result = Idealization::run(&spec).unwrap();
+    let nodal = punch_nodal_cards(&result.mesh, spec.nodal_format()).unwrap();
+    let element = punch_element_cards(&result.mesh, spec.element_format()).unwrap();
+    let nodal_format: Format = spec.nodal_format().parse().unwrap();
+    let reader = FormatReader::new(&nodal_format);
+    for (i, card) in nodal.iter().enumerate() {
+        let values = reader.read_record(card.text()).unwrap();
+        assert_eq!(values[3], Field::Int(i as i64 + 1), "node number");
+        let x = values[0].as_f64().unwrap();
+        let y = values[1].as_f64().unwrap();
+        let node = result.mesh.node(NodeId(i));
+        assert!((x - node.position.x).abs() < 1e-4);
+        assert!((y - node.position.y).abs() < 1e-4);
+    }
+    let element_format: Format = spec.element_format().parse().unwrap();
+    let ereader = FormatReader::new(&element_format);
+    for (i, card) in element.iter().enumerate() {
+        let values = ereader.read_record(card.text()).unwrap();
+        assert_eq!(values[3], Field::Int(i as i64 + 1), "element number");
+    }
+}
+
+#[test]
+fn analysis_to_ospl_deck_to_plot() {
+    // Figure 17's full chain with the glass joint: idealize, solve,
+    // write the OSPL deck, read it back, contour the radial stress.
+    let result = Idealization::run(&joint::spec()).unwrap();
+    let model = joint::pressure_model(&result.mesh);
+    let solution = model.solve().unwrap();
+    let stresses = StressField::compute(&model, &solution).unwrap();
+    let field = stresses.radial();
+    let deck = write_ospl_deck(
+        model.mesh(),
+        &field,
+        &ContourOptions::new(),
+        ("GLASS JOINT RADIAL STRESS", "INTEGRATION TEST"),
+    )
+    .unwrap();
+    let input = parse_ospl_deck(&deck).unwrap();
+    let plot = Ospl::run(&input.mesh, &input.field, &input.options).unwrap();
+    assert!(plot.drawn_contours() > 0);
+    assert!(plot.frame.label_count() > 0);
+}
+
+#[test]
+fn moderate_problem_data_volume_matches_paper_scale() {
+    // C2: "A problem of moderate size requiring 500 elements would need
+    // almost 2000 input data values and produce nearly 2000 output data
+    // values" — for the *analysis program*. IDLZ's punched output is that
+    // input: 4 values per node + 4 per element.
+    let spec = cafemio::models::plate::capacity_spec(280);
+    let result = Idealization::run(&spec).unwrap();
+    let elements = result.mesh.element_count();
+    assert!(
+        (450..=560).contains(&elements),
+        "want a ~500-element problem, got {elements}"
+    );
+    let analysis_input = result.stats.output_values;
+    assert!(
+        (1500..=3500).contains(&analysis_input),
+        "analysis input data = {analysis_input}"
+    );
+    // And IDLZ needed a small fraction of that.
+    assert!(result.stats.input_fraction() < 0.05);
+}
+
+#[test]
+fn stiffened_cylinder_full_chain_matches_figure_15_shape() {
+    let result = Idealization::run(&cylinder::stiffened_spec()).unwrap();
+    let model = cylinder::pressure_model(&result.mesh);
+    let plot = cafemio::pipeline::solve_and_contour(
+        &model,
+        StressComponent::Circumferential,
+        &ContourOptions::new(),
+    )
+    .unwrap();
+    // Figure 15c: hoop stress everywhere compressive in the GRP barrel.
+    let (lo, hi) = plot.field.min_max().unwrap();
+    assert!(hi < 0.0, "hoop range {lo} .. {hi}");
+    assert!(plot.contours.drawn_contours() >= 5);
+}
+
+#[test]
+fn renumbering_does_not_change_the_physics() {
+    // Solve the same structure with and without bandwidth renumbering;
+    // displacements at matching positions must agree.
+    let mut spec = viewport::juncture_spec();
+    let renumbered = Idealization::run(&spec).unwrap();
+    spec.set_options(cafemio::idlz::Options {
+        renumber: false,
+        ..cafemio::idlz::Options::default()
+    });
+    let plain = Idealization::run(&spec).unwrap();
+    assert!(renumbered.stats.bandwidth_after <= plain.stats.bandwidth_after);
+
+    let solve_max = |mesh: &TriMesh| {
+        let model = viewport::pressure_model(mesh);
+        model.solve().unwrap().max_displacement()
+    };
+    let a = solve_max(&renumbered.mesh);
+    let b = solve_max(&plain.mesh);
+    assert!((a - b).abs() < 1e-9 * a.max(1e-30), "{a} vs {b}");
+}

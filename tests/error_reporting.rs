@@ -1,0 +1,116 @@
+//! Every public error variant renders a useful message and plays well
+//! with `std::error::Error` chaining — the debuggability contract of the
+//! public API.
+
+use std::error::Error as _;
+
+use cafemio::cards::{Card, CardError, Deck, Format, FormatReader, FormatWriter};
+use cafemio::fem::FemError;
+use cafemio::geom::{Arc, Point};
+use cafemio::idlz::{Idealization, IdealizationSpec, IdlzError, ShapeLine, Subdivision};
+use cafemio::ospl::OsplError;
+
+#[test]
+fn card_errors_name_the_problem() {
+    let too_long = Card::new(&"X".repeat(99)).unwrap_err();
+    assert!(too_long.to_string().contains("99 columns"));
+
+    let bad_format = "(Q9)".parse::<Format>().unwrap_err();
+    assert!(bad_format.to_string().contains("cannot parse format"));
+
+    let format: Format = "(I5)".parse().unwrap();
+    let bad_number = FormatReader::new(&format)
+        .read_record("  ABC")
+        .unwrap_err();
+    assert!(bad_number.to_string().contains("column 1"));
+
+    let mismatch = FormatWriter::new(&format)
+        .write_record(&[cafemio::cards::Field::Alpha("X".into())])
+        .unwrap_err();
+    assert!(matches!(mismatch, CardError::KindMismatch { .. }));
+    assert!(mismatch.to_string().contains("integer"));
+}
+
+#[test]
+fn idlz_errors_carry_subdivision_context() {
+    let bad_sub = Subdivision::rectangular(7, (5, 5), (3, 8)).unwrap_err();
+    assert!(bad_sub.to_string().starts_with("subdivision 7"));
+
+    // A folded shaping error names both element counts.
+    let mut spec = IdealizationSpec::new("FOLD");
+    spec.add_subdivision(Subdivision::rectangular(1, (0, 0), (4, 2)).unwrap());
+    spec.add_shape_line(
+        1,
+        ShapeLine::straight((0, 0), (4, 0), Point::new(0.0, 0.0), Point::new(4.0, 0.0)),
+    );
+    spec.add_shape_line(
+        1,
+        ShapeLine::straight((0, 2), (4, 2), Point::new(0.0, 1.0), Point::new(4.0, -1.0)),
+    );
+    let fold = Idealization::run(&spec).unwrap_err();
+    assert!(fold.to_string().contains("folds the surface"));
+
+    // Card errors chain as sources through IdlzError.
+    let deck = Deck::from_text("  XYZ\n").unwrap();
+    let err = cafemio::idlz::deck::parse_deck(&deck).unwrap_err();
+    assert!(matches!(err, IdlzError::Card(_)));
+    assert!(err.source().is_some(), "source chain intact");
+}
+
+#[test]
+fn arc_errors_chain_through_shaping() {
+    let mut spec = IdealizationSpec::new("BAD ARC");
+    spec.add_subdivision(Subdivision::rectangular(3, (0, 0), (2, 1)).unwrap());
+    // Radius smaller than half the chord.
+    spec.add_shape_line(
+        3,
+        ShapeLine::arc((0, 0), (2, 0), Point::new(0.0, 0.0), Point::new(10.0, 0.0), 1.0),
+    );
+    let err = Idealization::run(&spec).unwrap_err();
+    match &err {
+        IdlzError::Arc { subdivision, .. } => assert_eq!(*subdivision, 3),
+        other => panic!("unexpected error {other:?}"),
+    }
+    assert!(err.to_string().contains("radius is smaller"));
+    assert!(err.source().is_some());
+    // The underlying ArcError is reachable by downcast.
+    let source = err.source().unwrap();
+    assert!(source.downcast_ref::<cafemio::geom::ArcError>().is_some());
+}
+
+#[test]
+fn fem_errors_describe_the_failure() {
+    let singular = FemError::SingularMatrix { equation: 42 };
+    assert!(singular.to_string().contains("equation 42"));
+    assert!(singular.to_string().contains("under-constrained"));
+
+    let no_convergence = FemError::NoConvergence {
+        iterations: 5,
+        what: "contact active set",
+    };
+    assert!(no_convergence
+        .to_string()
+        .contains("did not converge in 5 iterations"));
+}
+
+#[test]
+fn ospl_errors_describe_the_failure() {
+    let limit = OsplError::LimitExceeded {
+        what: "nodes",
+        attempted: 900,
+        limit: 800,
+    };
+    assert!(limit.to_string().contains("900 nodes (limit 800)"));
+    assert_eq!(
+        OsplError::NoContours.to_string(),
+        "field is constant or empty; nothing to contour"
+    );
+}
+
+#[test]
+fn geometry_errors_are_terse_and_lowercase() {
+    let err = Arc::from_endpoints_radius(Point::ORIGIN, Point::new(10.0, 0.0), 1.0).unwrap_err();
+    let text = err.to_string();
+    assert!(text.chars().next().unwrap().is_lowercase());
+    assert!(!text.ends_with('.'));
+}

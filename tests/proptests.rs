@@ -1,0 +1,372 @@
+//! Property-based tests over the workspace's core invariants
+//! (`DESIGN.md` §6).
+
+use proptest::prelude::*;
+
+use cafemio::cards::{Field, Format, FormatReader, FormatWriter};
+use cafemio::geom::{Arc, Point, Segment, Triangle};
+use cafemio::idlz::reform_elements;
+use cafemio::mesh::{cuthill_mckee, BoundaryKind, NodalField, TriMesh};
+use cafemio::ospl::{automatic_interval, contour_levels, extract_isograms};
+
+// ---------------------------------------------------------------------
+// Card formats
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Iw fields round-trip any integer that fits the width.
+    #[test]
+    fn integer_fields_round_trip(v in -9999i64..=9999) {
+        let format: Format = "(I5)".parse().unwrap();
+        let record = FormatWriter::new(&format)
+            .write_record(&[Field::Int(v)])
+            .unwrap();
+        let back = FormatReader::new(&format).read_record(&record).unwrap();
+        prop_assert_eq!(back[0].clone(), Field::Int(v));
+    }
+
+    /// Fw.d fields round-trip to within half a unit in the last place.
+    #[test]
+    fn fixed_fields_round_trip(v in -99.0f64..99.0) {
+        let format: Format = "(F9.4)".parse().unwrap();
+        let record = FormatWriter::new(&format)
+            .write_record(&[Field::Real(v)])
+            .unwrap();
+        let back = FormatReader::new(&format).read_record(&record).unwrap();
+        let got = back[0].as_f64().unwrap();
+        prop_assert!((got - v).abs() <= 0.5e-4, "{} -> {}", v, got);
+    }
+
+    /// Ew.d fields round-trip within the mantissa precision.
+    #[test]
+    fn exponential_fields_round_trip(m in 0.1f64..1.0, e in -12i32..12, neg: bool) {
+        let v = if neg { -m } else { m } * 10f64.powi(e);
+        let format: Format = "(E15.7)".parse().unwrap();
+        let record = FormatWriter::new(&format)
+            .write_record(&[Field::Real(v)])
+            .unwrap();
+        let back = FormatReader::new(&format).read_record(&record).unwrap();
+        let got = back[0].as_f64().unwrap();
+        prop_assert!((got - v).abs() <= 1e-6 * v.abs().max(1e-300), "{} -> {}", v, got);
+    }
+
+    /// Multi-record format reuse never loses or reorders values.
+    #[test]
+    fn format_reuse_preserves_order(values in prop::collection::vec(-999i64..=999, 1..30)) {
+        let format: Format = "(4I4)".parse().unwrap();
+        let fields: Vec<Field> = values.iter().map(|&v| Field::Int(v)).collect();
+        let records = FormatWriter::new(&format).write_all(&fields).unwrap();
+        let mut back = Vec::new();
+        let reader = FormatReader::new(&format);
+        for record in &records {
+            back.extend(reader.read_record(record).unwrap());
+        }
+        // Short final records read trailing blanks as zeros; compare the
+        // prefix.
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(back[i].as_i64().unwrap(), v);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Geometry
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arc construction: every subdivided point lies on the circle and
+    /// consecutive points subtend equal chords.
+    #[test]
+    fn arc_points_on_circle(
+        x0 in -10.0f64..10.0, y0 in -10.0f64..10.0,
+        angle in 0.1f64..1.4, radius in 0.5f64..20.0, n in 2usize..12,
+    ) {
+        let start = Point::new(x0 + radius, y0);
+        let end = Point::new(x0 + radius * angle.cos(), y0 + radius * angle.sin());
+        let arc = Arc::from_endpoints_radius(start, end, radius).unwrap();
+        let pts = arc.subdivide(n);
+        let center = arc.center();
+        let chord = pts[0].distance_to(pts[1]);
+        for w in pts.windows(2) {
+            prop_assert!((w[0].distance_to(center) - radius).abs() < 1e-9);
+            prop_assert!((w[0].distance_to(w[1]) - chord).abs() < 1e-9);
+        }
+    }
+
+    /// Segment subdivision: even spacing, exact end points.
+    #[test]
+    fn segment_subdivision_even(
+        ax in -5.0f64..5.0, ay in -5.0f64..5.0,
+        bx in -5.0f64..5.0, by in -5.0f64..5.0, n in 1usize..20,
+    ) {
+        prop_assume!((ax - bx).abs() + (ay - by).abs() > 1e-6);
+        let s = Segment::new(Point::new(ax, ay), Point::new(bx, by));
+        let pts = s.subdivide(n);
+        prop_assert_eq!(pts.len(), n + 1);
+        let step = s.length() / n as f64;
+        for w in pts.windows(2) {
+            prop_assert!((w[0].distance_to(w[1]) - step).abs() < 1e-9);
+        }
+    }
+
+    /// Triangle angles always sum to π; barycentric coordinates
+    /// reconstruct the query point.
+    #[test]
+    fn triangle_invariants(
+        ax in -5.0f64..5.0, ay in -5.0f64..5.0,
+        bx in -5.0f64..5.0, by in -5.0f64..5.0,
+        cx in -5.0f64..5.0, cy in -5.0f64..5.0,
+        wa in 0.05f64..0.9,
+    ) {
+        let t = Triangle::new(Point::new(ax, ay), Point::new(bx, by), Point::new(cx, cy));
+        prop_assume!(t.area() > 1e-3);
+        let sum: f64 = t.angles().iter().sum();
+        prop_assert!((sum - std::f64::consts::PI).abs() < 1e-9);
+        let wb = (1.0 - wa) * 0.6;
+        let wc = 1.0 - wa - wb;
+        let [a, b, c] = t.vertices;
+        let p = Point::new(
+            wa * a.x + wb * b.x + wc * c.x,
+            wa * a.y + wb * b.y + wc * c.y,
+        );
+        let w = t.barycentric(p).unwrap();
+        prop_assert!((w[0] - wa).abs() < 1e-9);
+        prop_assert!((w[1] - wb).abs() < 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Contour spacing (Appendix D)
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The automatic interval is always a base × power of ten, and the
+    /// resulting contour count stays in the hand-plot sweet spot.
+    #[test]
+    fn automatic_interval_properties(lo in -1.0e6f64..1.0e6, span in 1e-3f64..1.0e6) {
+        let hi = lo + span;
+        let interval = automatic_interval(lo, hi).unwrap();
+        let mantissa = interval / 10f64.powf(interval.log10().floor());
+        prop_assert!(
+            [1.0, 2.5, 5.0].iter().any(|b| (mantissa - b).abs() < 1e-9),
+            "interval {} mantissa {}", interval, mantissa
+        );
+        // About 5 % spacing. The candidate series {1, 2.5, 5}×10^k has
+        // its widest relative gap between 1 and 2.5 (a 2.5× step whose
+        // midpoint is 1.75), so the closest-to-5% rule bounds the contour
+        // count to [20/ (2.5/1.75), 20·1.75] = [14, 35] across the range.
+        let count = span / interval;
+        prop_assert!((13.9..35.1).contains(&count), "count {}", count);
+    }
+
+    /// Contour levels are ascending multiples of the interval, all within
+    /// range.
+    #[test]
+    fn contour_levels_properties(lo in -1000.0f64..1000.0, span in 0.5f64..500.0) {
+        let hi = lo + span;
+        let interval = automatic_interval(lo, hi).unwrap();
+        let levels = contour_levels(lo, hi, interval);
+        prop_assert!(!levels.is_empty());
+        for w in levels.windows(2) {
+            prop_assert!((w[1] - w[0] - interval).abs() < 1e-9 * interval.max(1.0));
+        }
+        prop_assert!(levels[0] >= lo - 1e-9 * span);
+        prop_assert!(*levels.last().unwrap() <= hi + 1e-9 * span);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mesh algorithms
+// ---------------------------------------------------------------------
+
+/// A jittered strip mesh, the staple random workload.
+fn strip_mesh(cells: usize, jitter: &[f64]) -> TriMesh {
+    let mut mesh = TriMesh::new();
+    let mut ids = Vec::new();
+    let mut k = 0;
+    for j in 0..=1 {
+        for i in 0..=cells {
+            let dx = jitter.get(k).copied().unwrap_or(0.0) * 0.2;
+            let dy = jitter.get(k + 1).copied().unwrap_or(0.0) * 0.2;
+            k += 2;
+            ids.push(mesh.add_node(
+                Point::new(i as f64 + dx, j as f64 + dy),
+                BoundaryKind::Boundary,
+            ));
+        }
+    }
+    let at = |i: usize, j: usize| ids[j * (cells + 1) + i];
+    for i in 0..cells {
+        mesh.add_element([at(i, 0), at(i + 1, 0), at(i + 1, 1)]).unwrap();
+        mesh.add_element([at(i, 0), at(i + 1, 1), at(i, 1)]).unwrap();
+    }
+    mesh
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Cuthill–McKee always yields a valid permutation and never loses
+    /// connectivity.
+    #[test]
+    fn cuthill_mckee_is_a_permutation(
+        cells in 2usize..20,
+        jitter in prop::collection::vec(-1.0f64..1.0, 0..80),
+    ) {
+        let mesh = strip_mesh(cells, &jitter);
+        let perm = cuthill_mckee(&mesh);
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..mesh.node_count()).collect::<Vec<_>>());
+        let mut renumbered = mesh.clone();
+        renumbered.renumber_nodes(&perm);
+        prop_assert_eq!(renumbered.element_count(), mesh.element_count());
+        prop_assert!((renumbered.total_area() - mesh.total_area()).abs() < 1e-9);
+        prop_assert_eq!(renumbered.boundary_edges().len(), mesh.boundary_edges().len());
+    }
+
+    /// Reforming never shrinks the minimum angle, never changes area,
+    /// node positions, or the boundary.
+    #[test]
+    fn reform_invariants(
+        cells in 2usize..15,
+        jitter in prop::collection::vec(-1.0f64..1.0, 0..64),
+    ) {
+        let mut mesh = strip_mesh(cells, &jitter);
+        prop_assume!(mesh.validate().is_ok());
+        let area = mesh.total_area();
+        let min_angle = mesh.quality().min_angle;
+        let boundary = mesh.boundary_edges();
+        let report = reform_elements(&mut mesh, 20);
+        prop_assert!(report.min_angle_after >= min_angle - 1e-12);
+        prop_assert!((mesh.total_area() - area).abs() < 1e-9 * area);
+        prop_assert_eq!(mesh.boundary_edges(), boundary);
+        prop_assert!(mesh.validate().is_ok());
+    }
+
+    /// Uniform refinement preserves area, boundary length, and the mesh
+    /// minimum angle, and exactly quadruples the element count.
+    #[test]
+    fn refinement_invariants(
+        cells in 2usize..10,
+        jitter in prop::collection::vec(-1.0f64..1.0, 0..48),
+    ) {
+        let coarse = strip_mesh(cells, &jitter);
+        prop_assume!(coarse.validate().is_ok());
+        let fine = coarse.refined();
+        prop_assert!(fine.validate().is_ok());
+        prop_assert_eq!(fine.element_count(), 4 * coarse.element_count());
+        prop_assert!((fine.total_area() - coarse.total_area()).abs() < 1e-9);
+        prop_assert!(
+            (fine.quality().min_angle - coarse.quality().min_angle).abs() < 1e-9
+        );
+        let outline = |m: &cafemio::mesh::TriMesh| -> f64 {
+            m.boundary_edges()
+                .iter()
+                .map(|e| m.node(e.0).position.distance_to(m.node(e.1).position))
+                .sum()
+        };
+        prop_assert!((outline(&fine) - outline(&coarse)).abs() < 1e-9);
+    }
+
+    /// Doubling a mesh (all nodes duplicated) and merging restores the
+    /// original node count and total area exactly.
+    #[test]
+    fn merge_undoes_duplication(
+        cells in 2usize..10,
+        jitter in prop::collection::vec(-1.0f64..1.0, 0..48),
+    ) {
+        let base = strip_mesh(cells, &jitter);
+        prop_assume!(base.validate().is_ok());
+        // Rebuild with every node stored twice; elements alternate
+        // between the two copies.
+        let mut doubled = cafemio::mesh::TriMesh::new();
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for (_, node) in base.nodes() {
+            first.push(doubled.add_node(node.position, node.boundary));
+        }
+        for (_, node) in base.nodes() {
+            second.push(doubled.add_node(node.position, node.boundary));
+        }
+        for (i, (_, el)) in base.elements().enumerate() {
+            let pick = |n: cafemio::mesh::NodeId| if i % 2 == 0 { first[n.index()] } else { second[n.index()] };
+            doubled.add_element([pick(el.nodes[0]), pick(el.nodes[1]), pick(el.nodes[2])]).unwrap();
+        }
+        let removed = doubled.merge_coincident_nodes(1e-9);
+        prop_assert_eq!(removed, base.node_count());
+        prop_assert_eq!(doubled.node_count(), base.node_count());
+        prop_assert!((doubled.total_area() - base.total_area()).abs() < 1e-9);
+        prop_assert!(doubled.validate().is_ok());
+    }
+
+    /// Polyline chaining conserves total contour length and never drops a
+    /// segment.
+    #[test]
+    fn polyline_chaining_conserves_length(
+        cells in 2usize..10,
+        values in prop::collection::vec(-40.0f64..40.0, 6..22),
+        t in 0.15f64..0.85,
+    ) {
+        let mesh = strip_mesh(cells, &[]);
+        prop_assume!(values.len() >= mesh.node_count());
+        let field = NodalField::new("S", values[..mesh.node_count()].to_vec());
+        let (lo, hi) = field.min_max().unwrap();
+        prop_assume!(hi - lo > 1.0);
+        let level = lo + t * (hi - lo);
+        let isograms = extract_isograms(&mesh, &field, &[level]).unwrap();
+        let chains = isograms[0].polylines(1e-9);
+        let chained: f64 = chains
+            .iter()
+            .map(|c| c.windows(2).map(|w| w[0].distance_to(w[1])).sum::<f64>())
+            .sum();
+        prop_assert!((chained - isograms[0].length()).abs() < 1e-9);
+        let points: usize = chains.iter().map(|c| c.len() - 1).sum();
+        prop_assert_eq!(points, isograms[0].segments.len());
+    }
+
+    /// Every isogram segment endpoint interpolates exactly to its level,
+    /// and levels outside the field range draw nothing.
+    #[test]
+    fn isogram_interpolation_exact(
+        cells in 2usize..10,
+        values in prop::collection::vec(-50.0f64..50.0, 6..22),
+        t in 0.1f64..0.9,
+    ) {
+        let mesh = strip_mesh(cells, &[]);
+        prop_assume!(values.len() >= mesh.node_count());
+        let values = &values[..mesh.node_count()];
+        let field = NodalField::new("S", values.to_vec());
+        let (lo, hi) = field.min_max().unwrap();
+        prop_assume!(hi - lo > 1.0);
+        let level = lo + t * (hi - lo);
+        let isograms = extract_isograms(&mesh, &field, &[level, hi + 10.0]).unwrap();
+        prop_assert!(isograms[1].segments.is_empty());
+        for seg in &isograms[0].segments {
+            for p in [seg.a, seg.b] {
+                // Find the element containing p and interpolate.
+                let mut matched = false;
+                for (id, el) in mesh.elements() {
+                    let tri = mesh.triangle(id);
+                    if let Some(w) = tri.barycentric(p) {
+                        if w.iter().all(|&wi| wi >= -1e-9) {
+                            let v = w[0] * field.value(el.nodes[0])
+                                + w[1] * field.value(el.nodes[1])
+                                + w[2] * field.value(el.nodes[2]);
+                            prop_assert!((v - level).abs() < 1e-6, "v {} level {}", v, level);
+                            matched = true;
+                            break;
+                        }
+                    }
+                }
+                prop_assert!(matched, "segment endpoint outside the mesh");
+            }
+        }
+    }
+}

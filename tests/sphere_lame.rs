@@ -1,0 +1,100 @@
+//! Closed-form validation of the axisymmetric substrate on a thick
+//! spherical shell under external pressure — the geometry of every
+//! deep-submergence structure in the paper's figures.
+
+use cafemio::fem::StressField;
+use cafemio::idlz::{Idealization, IdealizationSpec, Limits};
+use cafemio::models::shells::add_shell_sector;
+use cafemio::models::support::{apply_pressure_where, fix_axis, fix_y_where, SELECT_TOL};
+use cafemio::prelude::*;
+
+const RI: f64 = 10.0;
+const RO: f64 = 12.0;
+const P: f64 = 1000.0;
+
+/// A full hemisphere of shell, meshed fine enough for a 10 % comparison.
+fn hemisphere() -> TriMesh {
+    let mut spec = IdealizationSpec::new("THICK HEMISPHERE");
+    spec.set_limits(Limits::unbounded());
+    // Two 45° bands, 3 columns through the thickness.
+    add_shell_sector(&mut spec, 1, (0, 0), (3, 8), Point::ORIGIN, RI, RO, 90.0, 45.0);
+    add_shell_sector(&mut spec, 2, (0, 8), (3, 16), Point::ORIGIN, RI, RO, 45.0, 0.0);
+    Idealization::run(&spec).unwrap().mesh.refined()
+}
+
+/// Lamé thick sphere under external pressure: tangential stress
+/// σθ(r) = −p·ro³·(2r³ + ri³) / (2r³·(ro³ − ri³)).
+fn hoop_exact(r: f64) -> f64 {
+    -P * RO.powi(3) * (2.0 * r.powi(3) + RI.powi(3))
+        / (2.0 * r.powi(3) * (RO.powi(3) - RI.powi(3)))
+}
+
+#[test]
+fn thick_sphere_matches_lame() {
+    let mesh = hemisphere();
+    let mut model = FemModel::new(
+        mesh.clone(),
+        AnalysisKind::Axisymmetric,
+        Material::isotropic(1.0e7, 0.3),
+    );
+    fix_axis(&mut model);
+    // Equator symmetry plane: no axial motion.
+    fix_y_where(&mut model, |p| p.y.abs() < SELECT_TOL);
+    // External pressure on the outer sphere (generous sag tolerance for
+    // the polygonal meridian).
+    let loaded = apply_pressure_where(&mut model, P, |p| {
+        p.distance_to(Point::ORIGIN) > RO - 0.05
+    });
+    assert!(loaded >= 16, "outer surface loaded ({loaded} edges)");
+    let solution = model.solve().unwrap();
+    let stresses = StressField::compute(&model, &solution).unwrap();
+
+    // Compare the hoop stress at mid-thickness nodes away from the
+    // equator and pole (where the coarse boundary treatment bites).
+    let r_mid = 0.5 * (RI + RO);
+    let mut checked = 0;
+    for (id, node) in model.mesh().nodes() {
+        let r = node.position.distance_to(Point::ORIGIN);
+        let phi = node.position.x.atan2(node.position.y).to_degrees();
+        if (r - r_mid).abs() < 0.2 && (30.0..60.0).contains(&phi) {
+            let measured = stresses.node(id).circumferential;
+            let exact = hoop_exact(r);
+            let err = (measured - exact).abs() / exact.abs();
+            assert!(
+                err < 0.10,
+                "at r = {r:.2}, phi = {phi:.0}: {measured:.0} vs {exact:.0} ({err:.3})"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 3, "checked {checked} mid-thickness nodes");
+}
+
+#[test]
+fn displacement_is_purely_radial_in_the_sphere() {
+    // Spherical symmetry: every node's displacement vector points along
+    // its own radius (within discretization error).
+    let mesh = hemisphere();
+    let mut model = FemModel::new(
+        mesh.clone(),
+        AnalysisKind::Axisymmetric,
+        Material::isotropic(1.0e7, 0.3),
+    );
+    fix_axis(&mut model);
+    fix_y_where(&mut model, |p| p.y.abs() < SELECT_TOL);
+    apply_pressure_where(&mut model, P, |p| p.distance_to(Point::ORIGIN) > RO - 0.05);
+    let solution = model.solve().unwrap();
+    let mut worst_angle: f64 = 0.0;
+    for (id, node) in model.mesh().nodes() {
+        let (u, w) = solution.displacement(id);
+        let disp = cafemio::geom::Vector::new(u, w);
+        let radial = node.position - Point::ORIGIN;
+        if disp.norm() < 1e-9 || radial.norm() < 1e-9 {
+            continue;
+        }
+        let cos = disp.dot(radial) / (disp.norm() * radial.norm());
+        // Compression: displacement anti-parallel to the radius.
+        worst_angle = worst_angle.max(1.0 + cos);
+    }
+    assert!(worst_angle < 0.05, "max misalignment {worst_angle}");
+}
