@@ -2,15 +2,15 @@
 //! stress-contour figures (experiments F13, F15–F18), plus the card-deck
 //! data path of the appendices.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use cafemio::idlz::deck::{punch_element_cards, punch_nodal_cards, write_deck};
 use cafemio::idlz::Idealization;
 use cafemio::models::{cylinder, hatch, joint};
 use cafemio::prelude::*;
+use cafemio_bench::timing::{bench, Group};
 
-fn figure_pipelines(c: &mut Criterion) {
+fn figure_pipelines() {
     type ModelFn = fn(&TriMesh) -> FemModel;
     let cases: Vec<(&str, IdealizationSpec, ModelFn)> = vec![
         ("f13_dssv_hatch", hatch::dssv_hatch_spec(), hatch::dssv_pressure_model),
@@ -19,54 +19,46 @@ fn figure_pipelines(c: &mut Criterion) {
         ("f17_glass_joint", joint::spec(), joint::pressure_model),
         ("f18_hemi_hatch", hatch::hemi_hatch_spec(), hatch::hemi_pressure_model),
     ];
-    let mut group = c.benchmark_group("figure_pipeline");
-    group.sample_size(15);
+    let group = Group::new("figure_pipeline").sample_size(15);
     for (name, spec, model_fn) in cases {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, spec| {
-            b.iter(|| {
-                let idealized = Idealization::run(black_box(spec)).unwrap();
-                let model = model_fn(&idealized.mesh);
-                cafemio::pipeline::solve_and_contour(
-                    &model,
-                    StressComponent::Effective,
-                    &ContourOptions::new(),
-                )
-                .unwrap()
-            })
+        group.bench(name, || {
+            let idealized = Idealization::run(black_box(&spec)).unwrap();
+            let model = model_fn(&idealized.mesh);
+            cafemio::pipeline::solve_and_contour(
+                &model,
+                StressComponent::Effective,
+                &ContourOptions::new(),
+            )
+            .unwrap()
         });
     }
-    group.finish();
 }
 
-fn card_path(c: &mut Criterion) {
+fn card_path() {
     let spec = joint::spec();
     let result = Idealization::run(&spec).unwrap();
-    let mut group = c.benchmark_group("card_path");
-    group.bench_function("write_input_deck", |b| {
-        b.iter(|| write_deck(black_box(std::slice::from_ref(&spec))).unwrap())
+    let group = Group::new("card_path");
+    group.bench("write_input_deck", || {
+        write_deck(black_box(std::slice::from_ref(&spec))).unwrap()
     });
-    group.bench_function("punch_output_decks", |b| {
-        b.iter(|| {
-            let nodal = punch_nodal_cards(black_box(&result.mesh), spec.nodal_format()).unwrap();
-            let element =
-                punch_element_cards(black_box(&result.mesh), spec.element_format()).unwrap();
-            (nodal, element)
-        })
+    group.bench("punch_output_decks", || {
+        let nodal = punch_nodal_cards(black_box(&result.mesh), spec.nodal_format()).unwrap();
+        let element =
+            punch_element_cards(black_box(&result.mesh), spec.element_format()).unwrap();
+        (nodal, element)
     });
-    group.finish();
 }
 
-fn svg_rendering(c: &mut Criterion) {
+fn svg_rendering() {
     let result = Idealization::run(&cylinder::stiffened_spec()).unwrap();
     let frame = &result.frames[1];
-    c.bench_function("render_svg_idealization", |b| {
-        b.iter(|| cafemio::plotter::render_svg(black_box(frame)))
+    bench("render_svg_idealization", || {
+        cafemio::plotter::render_svg(black_box(frame))
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = figure_pipelines, card_path, svg_rendering
+fn main() {
+    figure_pipelines();
+    card_path();
+    svg_rendering();
 }
-criterion_main!(benches);

@@ -2,51 +2,40 @@
 //! creation, full idealization of every catalog model, and the capacity
 //! sweep toward Table 2's limits.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use cafemio::idlz::{Idealization, Subdivision};
 use cafemio::models::{catalog, plate};
+use cafemio_bench::timing::Group;
 
-fn subdivision_elements(c: &mut Criterion) {
-    let mut group = c.benchmark_group("subdivision_grid_elements");
+fn subdivision_elements() {
+    let group = Group::new("subdivision_grid_elements").sample_size(30);
     let rect = Subdivision::rectangular(1, (0, 0), (20, 20)).unwrap();
     let trap = Subdivision::row_trapezoid(1, (0, 0), (40, 10), 2).unwrap();
-    group.bench_function("rectangle_20x20", |b| {
-        b.iter(|| black_box(&rect).grid_elements())
-    });
-    group.bench_function("trapezoid_ntaprw2", |b| {
-        b.iter(|| black_box(&trap).grid_elements())
-    });
-    group.finish();
+    group.bench("rectangle_20x20", || black_box(&rect).grid_elements());
+    group.bench("trapezoid_ntaprw2", || black_box(&trap).grid_elements());
 }
 
-fn idealize_catalog(c: &mut Criterion) {
-    let mut group = c.benchmark_group("idealize");
+fn idealize_catalog() {
+    let group = Group::new("idealize").sample_size(30);
     for entry in catalog() {
         let spec = (entry.spec)();
-        group.bench_with_input(BenchmarkId::from_parameter(entry.name), &spec, |b, spec| {
-            b.iter(|| Idealization::run(black_box(spec)).unwrap())
-        });
+        group.bench(entry.name, || Idealization::run(black_box(&spec)).unwrap());
     }
-    group.finish();
 }
 
-fn idealize_capacity(c: &mut Criterion) {
-    let mut group = c.benchmark_group("idealize_capacity");
-    group.sample_size(20);
+fn idealize_capacity() {
+    let group = Group::new("idealize_capacity").sample_size(20);
     for target in [100usize, 250, 500, 800] {
         let spec = plate::capacity_spec(target);
-        group.bench_with_input(BenchmarkId::from_parameter(target), &spec, |b, spec| {
-            b.iter(|| Idealization::run(black_box(spec)).unwrap())
+        group.bench(&target.to_string(), || {
+            Idealization::run(black_box(&spec)).unwrap()
         });
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = subdivision_elements, idealize_catalog, idealize_capacity
+fn main() {
+    subdivision_elements();
+    idealize_catalog();
+    idealize_capacity();
 }
-criterion_main!(benches);

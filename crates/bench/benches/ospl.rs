@@ -1,13 +1,13 @@
 //! Timing the OSPL pipeline (experiments F12–F14, T1): isogram
 //! extraction, the automatic interval, and full plots at Table-1 scale.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use cafemio::idlz::Idealization;
 use cafemio::models::plate;
 use cafemio::ospl::{automatic_interval, contour_levels, extract_isograms};
 use cafemio::prelude::*;
+use cafemio_bench::timing::{bench, Group};
 
 /// A plate mesh with a smooth two-lobe field — lots of contour activity.
 fn workload(nx: i32, ny: i32) -> (TriMesh, NodalField) {
@@ -23,34 +23,32 @@ fn workload(nx: i32, ny: i32) -> (TriMesh, NodalField) {
     (result.mesh, NodalField::new("LOBES", values))
 }
 
-fn interval_selection(c: &mut Criterion) {
-    c.bench_function("automatic_interval", |b| {
-        b.iter(|| automatic_interval(black_box(-3721.0), black_box(9583.0)))
+fn interval_selection() {
+    bench("automatic_interval", || {
+        automatic_interval(black_box(-3721.0), black_box(9583.0))
     });
 }
 
-fn isogram_extraction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("extract_isograms");
+fn isogram_extraction() {
+    let group = Group::new("extract_isograms").sample_size(30);
     for (nx, ny) in [(10, 10), (24, 20), (40, 40)] {
         let (mesh, field) = workload(nx, ny);
         let (lo, hi) = field.min_max().unwrap();
         let interval = automatic_interval(lo, hi).unwrap();
         let levels = contour_levels(lo, hi, interval);
         let label = format!("{}nodes", mesh.node_count());
-        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, ()| {
-            b.iter(|| extract_isograms(black_box(&mesh), black_box(&field), &levels).unwrap())
+        group.bench(&label, || {
+            extract_isograms(black_box(&mesh), black_box(&field), &levels).unwrap()
         });
     }
-    group.finish();
 }
 
-fn full_plot(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ospl_run");
-    group.sample_size(20);
+fn full_plot() {
+    let group = Group::new("ospl_run").sample_size(20);
     // Table-1 scale: 525 nodes / 960 elements (inside the limits).
     let (mesh, field) = workload(24, 20);
-    group.bench_function("table1_scale", |b| {
-        b.iter(|| Ospl::run(black_box(&mesh), black_box(&field), &ContourOptions::new()).unwrap())
+    group.bench("table1_scale", || {
+        Ospl::run(black_box(&mesh), black_box(&field), &ContourOptions::new()).unwrap()
     });
     // Zoomed window (clipping path active).
     let window = Some(BoundingBox::new(Point::new(2.0, 2.0), Point::new(12.0, 10.0)));
@@ -58,15 +56,13 @@ fn full_plot(c: &mut Criterion) {
         window,
         ..ContourOptions::default()
     };
-    group.bench_function("table1_scale_zoomed", |b| {
-        b.iter(|| Ospl::run(black_box(&mesh), black_box(&field), &options).unwrap())
+    group.bench("table1_scale_zoomed", || {
+        Ospl::run(black_box(&mesh), black_box(&field), &options).unwrap()
     });
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = interval_selection, isogram_extraction, full_plot
+fn main() {
+    interval_selection();
+    isogram_extraction();
+    full_plot();
 }
-criterion_main!(benches);

@@ -4,12 +4,12 @@
 //! 2". The dense reference solver shows what either numbering saves over
 //! not exploiting the band at all.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use cafemio::idlz::{Idealization, Options};
 use cafemio::models::plate;
 use cafemio::prelude::*;
+use cafemio_bench::timing::{bench, Group};
 
 /// A wide strip (60 × 4 cells) whose natural left-right/bottom-top
 /// numbering is poor: rows of 61 nodes make the row-major bandwidth ~62,
@@ -37,44 +37,40 @@ fn loaded_model(mesh: &TriMesh) -> FemModel {
     model
 }
 
-fn banded_vs_dense(c: &mut Criterion) {
+fn banded_vs_dense() {
     let (renumbered, plain) = strip_meshes();
-    let mut group = c.benchmark_group("solve");
-    group.sample_size(20);
+    let group = Group::new("solve").sample_size(20);
     let model_renumbered = loaded_model(&renumbered);
     let model_plain = loaded_model(&plain);
-    group.bench_function(
-        BenchmarkId::new("banded", format!("bw{}", model_renumbered.dof_bandwidth())),
-        |b| b.iter(|| black_box(&model_renumbered).solve().unwrap()),
+    group.bench(
+        &format!("banded/bw{}", model_renumbered.dof_bandwidth()),
+        || black_box(&model_renumbered).solve().unwrap(),
     );
-    group.bench_function(
-        BenchmarkId::new("banded", format!("bw{}", model_plain.dof_bandwidth())),
-        |b| b.iter(|| black_box(&model_plain).solve().unwrap()),
-    );
-    group.bench_function("skyline_renumbered", |b| {
-        b.iter(|| black_box(&model_renumbered).solve_skyline().unwrap())
+    group.bench(&format!("banded/bw{}", model_plain.dof_bandwidth()), || {
+        black_box(&model_plain).solve().unwrap()
     });
-    group.bench_function("skyline_plain", |b| {
-        b.iter(|| black_box(&model_plain).solve_skyline().unwrap())
+    group.bench("skyline_renumbered", || {
+        black_box(&model_renumbered).solve_skyline().unwrap()
     });
-    group.bench_function("dense_reference", |b| {
-        b.iter(|| black_box(&model_renumbered).solve_dense().unwrap())
+    group.bench("skyline_plain", || {
+        black_box(&model_plain).solve_skyline().unwrap()
     });
-    group.finish();
+    group.bench("dense_reference", || {
+        black_box(&model_renumbered).solve_dense().unwrap()
+    });
 }
 
-fn assembly_only(c: &mut Criterion) {
+fn assembly_only() {
     let (renumbered, _) = strip_meshes();
     let model = loaded_model(&renumbered);
-    c.bench_function("assemble_banded", |b| {
-        b.iter(|| black_box(&model).assemble_banded().unwrap())
+    bench("assemble_banded", || {
+        black_box(&model).assemble_banded().unwrap()
     });
 }
 
-fn factorization_scaling(c: &mut Criterion) {
+fn factorization_scaling() {
     // Pure band-Cholesky scaling in the bandwidth at fixed order.
-    let mut group = c.benchmark_group("band_cholesky_n1000");
-    group.sample_size(20);
+    let group = Group::new("band_cholesky_n1000").sample_size(20);
     for bw in [4usize, 16, 64] {
         let n = 1000;
         let mut matrix = cafemio::fem::BandMatrix::new(n, bw);
@@ -85,16 +81,14 @@ fn factorization_scaling(c: &mut Criterion) {
             }
         }
         let rhs = vec![1.0; n];
-        group.bench_with_input(BenchmarkId::from_parameter(bw), &matrix, |b, matrix| {
-            b.iter(|| matrix.clone().solve(black_box(&rhs)).unwrap())
+        group.bench(&bw.to_string(), || {
+            matrix.clone().solve(black_box(&rhs)).unwrap()
         });
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(25);
-    targets = banded_vs_dense, assembly_only, factorization_scaling
+fn main() {
+    banded_vs_dense();
+    assembly_only();
+    factorization_scaling();
 }
-criterion_main!(benches);

@@ -3,35 +3,31 @@
 //! one θ-method step (the factor is reused, so stepping is back-solve
 //! dominated).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use cafemio::idlz::Idealization;
 use cafemio::models::tbeam;
+use cafemio_bench::timing::{bench, Group};
 
-fn tbeam_pulse(c: &mut Criterion) {
+fn tbeam_pulse() {
     let mesh = Idealization::run(&tbeam::spec()).unwrap().mesh;
-    let mut group = c.benchmark_group("tbeam_pulse");
-    group.sample_size(15);
+    let group = Group::new("tbeam_pulse").sample_size(15);
     for steps in [50usize, 150, 300] {
-        group.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, &steps| {
-            b.iter(|| tbeam::run_pulse(black_box(&mesh), 3.0, steps).unwrap())
+        group.bench(&steps.to_string(), || {
+            tbeam::run_pulse(black_box(&mesh), 3.0, steps).unwrap()
         });
     }
-    group.finish();
 }
 
-fn single_snapshot_query(c: &mut Criterion) {
+fn single_snapshot_query() {
     let mesh = Idealization::run(&tbeam::spec()).unwrap().mesh;
     let history = tbeam::run_pulse(&mesh, 3.0, 300).unwrap();
-    c.bench_function("thermal_at_time", |b| {
-        b.iter(|| black_box(&history).at_time(black_box(2.0)))
+    bench("thermal_at_time", || {
+        black_box(&history).at_time(black_box(2.0))
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = tbeam_pulse, single_snapshot_query
+fn main() {
+    tbeam_pulse();
+    single_snapshot_query();
 }
-criterion_main!(benches);

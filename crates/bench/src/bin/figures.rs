@@ -6,13 +6,34 @@
 //! ```
 //!
 //! SVGs land in `target/figures/`; the measured rows print to stdout and
-//! are the source for `EXPERIMENTS.md`.
+//! are the source for `EXPERIMENTS.md`. Every run also performs one
+//! instrumented idealize → solve → contour pass and writes its per-stage
+//! wall-clock timings and counters to `BENCH_pipeline.json`.
 
 use std::error::Error;
 use std::fs;
 
+use cafemio::idlz::Idealization;
+use cafemio::models::joint;
+use cafemio::ospl::ContourOptions;
+use cafemio::pipeline::{solve_and_contour, StressComponent};
 use cafemio::plotter::render_svg;
 use cafemio_bench::experiments::run_all;
+
+/// One instrumented end-to-end run (the Figure-17 glass joint), reported
+/// as a [`cafemio::instrument::PerfReport`].
+fn profile_pipeline() -> Result<cafemio::instrument::PerfReport, Box<dyn Error>> {
+    use cafemio::instrument::{set_enabled, span, take_report};
+    set_enabled(true);
+    {
+        let _total = span("pipeline.total");
+        let idealized = Idealization::run(&joint::spec())?;
+        let model = joint::pressure_model(&idealized.mesh);
+        solve_and_contour(&model, StressComponent::Effective, &ContourOptions::new())?;
+    }
+    set_enabled(false);
+    Ok(take_report())
+}
 
 fn main() -> Result<(), Box<dyn Error>> {
     let filters: Vec<String> = std::env::args().skip(1).map(|a| a.to_uppercase()).collect();
@@ -35,5 +56,16 @@ fn main() -> Result<(), Box<dyn Error>> {
         println!();
     }
     println!("{frames_written} figure files written to {out_dir}/");
+
+    let perf = profile_pipeline()?;
+    fs::write("BENCH_pipeline.json", perf.to_json())?;
+    println!("pipeline stage timings written to BENCH_pipeline.json");
+    for span in &perf.spans {
+        let indent = "  ".repeat(span.depth as usize + 1);
+        println!("{indent}{:<28} {:>10.3} ms", span.name, span.nanos as f64 / 1e6);
+    }
+    for counter in &perf.counters {
+        println!("  {:<30} {:>8}", counter.name, counter.value);
+    }
     Ok(())
 }

@@ -4,9 +4,10 @@
 //! index lives in `DESIGN.md` §3). The [`experiments`] module produces
 //! [`FigureReport`]s — printable rows plus the regenerated plot frames —
 //! shared by the `figures` binary (which writes the SVGs) and the
-//! Criterion benches (which time the pipelines).
+//! `cargo bench` harnesses (which time the pipelines via [`timing`]).
 
 pub mod experiments;
+pub mod timing;
 
 use cafemio::plotter::Frame;
 

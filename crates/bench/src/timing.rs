@@ -1,0 +1,119 @@
+//! A dependency-free micro-benchmark harness: the `[[bench]]` targets use
+//! it in place of an external framework (the build pulls in no external
+//! crates). Each measurement warms up, runs a fixed number of samples,
+//! and prints min / median / mean wall-clock per iteration.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Default number of timed samples per benchmark.
+pub const DEFAULT_SAMPLES: usize = 20;
+
+/// A named group of measurements, printed with a header.
+pub struct Group {
+    name: String,
+    samples: usize,
+}
+
+impl Group {
+    /// Starts a group printing `name` as a header.
+    pub fn new(name: &str) -> Group {
+        println!("\n== {name} ==");
+        Group {
+            name: name.to_owned(),
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(mut self, samples: usize) -> Group {
+        self.samples = samples.max(3);
+        self
+    }
+
+    /// Times `f` and prints one row. The closure's result is passed
+    /// through [`black_box`] so the work is not optimized away.
+    pub fn bench<T>(&self, label: &str, mut f: impl FnMut() -> T) {
+        let stats = measure(self.samples, &mut f);
+        println!("{}/{label:<32} {stats}", self.name);
+    }
+}
+
+/// Times a standalone benchmark (its own one-row group).
+pub fn bench<T>(label: &str, mut f: impl FnMut() -> T) {
+    let stats = measure(DEFAULT_SAMPLES, &mut f);
+    println!("{label:<40} {stats}");
+}
+
+/// Summary statistics over the timed samples, in nanoseconds.
+pub struct Stats {
+    /// Fastest sample.
+    pub min: u64,
+    /// Middle sample.
+    pub median: u64,
+    /// Average sample.
+    pub mean: u64,
+}
+
+impl std::fmt::Display for Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "min {:>12}  median {:>12}  mean {:>12}",
+            human(self.min),
+            human(self.median),
+            human(self.mean)
+        )
+    }
+}
+
+fn measure<T>(samples: usize, f: &mut impl FnMut() -> T) -> Stats {
+    // Warm-up: populate caches and page in the code path.
+    black_box(f());
+    let mut nanos: Vec<u64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_nanos() as u64
+        })
+        .collect();
+    nanos.sort_unstable();
+    Stats {
+        min: nanos[0],
+        median: nanos[nanos.len() / 2],
+        mean: nanos.iter().sum::<u64>() / nanos.len() as u64,
+    }
+}
+
+fn human(nanos: u64) -> String {
+    let n = nanos as f64;
+    if n < 1_000.0 {
+        format!("{n:.0} ns")
+    } else if n < 1_000_000.0 {
+        format!("{:.2} µs", n / 1_000.0)
+    } else if n < 1_000_000_000.0 {
+        format!("{:.2} ms", n / 1_000_000.0)
+    } else {
+        format!("{:.3} s", n / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_are_ordered() {
+        let stats = measure(5, &mut || std::thread::sleep(std::time::Duration::from_micros(50)));
+        assert!(stats.min <= stats.median);
+        assert!(stats.min > 0);
+    }
+
+    #[test]
+    fn human_units() {
+        assert_eq!(human(999), "999 ns");
+        assert_eq!(human(1_500), "1.50 µs");
+        assert_eq!(human(2_500_000), "2.50 ms");
+        assert_eq!(human(3_000_000_000), "3.000 s");
+    }
+}

@@ -57,10 +57,13 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub use cafemio_cards as cards;
 pub use cafemio_fem as fem;
 pub use cafemio_geom as geom;
 pub use cafemio_idlz as idlz;
+pub use cafemio_instrument as instrument;
 pub use cafemio_mesh as mesh;
 pub use cafemio_models as models;
 pub use cafemio_ospl as ospl;

@@ -125,6 +125,7 @@ pub fn solve_and_contour(
     component: StressComponent,
     options: &ContourOptions,
 ) -> Result<StressPlot, PipelineError> {
+    let _span = cafemio_instrument::span("pipeline.solve_and_contour");
     let solution = model.solve()?;
     let stresses = StressField::compute(model, &solution)?;
     let field = component.field(&stresses);

@@ -207,7 +207,14 @@ impl FemModel {
     /// constitutive matrices, [`FemError::SingularMatrix`] for
     /// under-constrained models.
     pub fn solve(&self) -> Result<Solution, FemError> {
-        let (matrix, rhs) = self.assemble_banded()?;
+        let _span = cafemio_instrument::span("fem.solve");
+        cafemio_instrument::counter("fem.dofs", (self.mesh.node_count() * 2) as u64);
+        cafemio_instrument::counter("fem.dof_bandwidth", self.dof_bandwidth() as u64);
+        let (matrix, rhs) = {
+            let _s = cafemio_instrument::span("fem.assemble");
+            self.assemble_banded()?
+        };
+        let _s = cafemio_instrument::span("fem.factor_solve");
         let displacements = matrix.solve(&rhs)?;
         Ok(Solution {
             kind: self.kind,
@@ -238,7 +245,12 @@ impl FemModel {
     ///
     /// As for [`solve`](Self::solve).
     pub fn solve_skyline(&self) -> Result<Solution, FemError> {
-        let (matrix, rhs) = self.assemble_skyline()?;
+        let _span = cafemio_instrument::span("fem.solve_skyline");
+        let (matrix, rhs) = {
+            let _s = cafemio_instrument::span("fem.assemble");
+            self.assemble_skyline()?
+        };
+        let _s = cafemio_instrument::span("fem.factor_solve");
         let displacements = matrix.solve(&rhs)?;
         Ok(Solution {
             kind: self.kind,
@@ -385,16 +397,35 @@ impl FemModel {
 
     /// Runs the element loop, reporting every global `(i, j, k_ij)` triple
     /// (both orderings) to `sink`.
+    ///
+    /// The per-element stiffness matrices are computed in parallel (they
+    /// are independent), but `sink` always receives contributions serially
+    /// in element order — the same floating-point accumulation order as a
+    /// plain loop, so assembly stays bit-for-bit deterministic regardless
+    /// of the thread count.
     fn assemble_into<F: FnMut(usize, usize, f64)>(&self, mut sink: F) -> Result<(), FemError> {
-        for (id, el) in self.mesh.elements() {
+        let elements: Vec<(ElementId, [usize; 6])> = self
+            .mesh
+            .elements()
+            .map(|(id, el)| {
+                let mut dofs = [0usize; 6];
+                for (slot, n) in el.nodes.iter().enumerate() {
+                    dofs[2 * slot] = 2 * n.index();
+                    dofs[2 * slot + 1] = 2 * n.index() + 1;
+                }
+                (id, dofs)
+            })
+            .collect();
+        let _span = cafemio_instrument::span("fem.element_stiffness");
+        let computed = cafemio_instrument::par::parallel_map(&elements, |&(id, _)| {
             let material = self.element_material(id);
             let d = self.d_matrix(&material)?;
-            let matrices = element_stiffness(&self.mesh.triangle(id), &d, self.kind)?;
-            let dofs: Vec<usize> = el
-                .nodes
-                .iter()
-                .flat_map(|n| [2 * n.index(), 2 * n.index() + 1])
-                .collect();
+            element_stiffness(&self.mesh.triangle(id), &d, self.kind)
+        });
+        drop(_span);
+        let _span = cafemio_instrument::span("fem.scatter");
+        for ((_, dofs), matrices) in elements.iter().zip(computed) {
+            let matrices = matrices?;
             for p in 0..6 {
                 for q in 0..6 {
                     let v = matrices.stiffness[(p, q)];

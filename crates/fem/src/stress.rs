@@ -57,6 +57,7 @@ impl StressField {
     /// Material/element errors as in assembly (the same matrices are
     /// rebuilt for recovery).
     pub fn compute(model: &FemModel, solution: &Solution) -> Result<StressField, FemError> {
+        let _span = cafemio_instrument::span("fem.stress_recovery");
         let mesh = model.mesh();
         let mut element_stresses = Vec::with_capacity(mesh.element_count());
         let mut nodal_acc = vec![(ElementStress::default(), 0.0f64); mesh.node_count()];

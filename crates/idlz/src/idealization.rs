@@ -112,7 +112,10 @@ impl Idealization {
             }
         }
 
+        let _run_span = cafemio_instrument::span("idlz.run");
+
         // ---- Assign nodal numbers: left to right, bottom to top. ----
+        let grid_span = cafemio_instrument::span("idlz.grid");
         let mut points: Vec<GridPoint> = spec
             .subdivisions()
             .iter()
@@ -168,8 +171,12 @@ impl Idealization {
         for ids in &element_triples {
             unshaped.add_element([NodeId(ids[0]), NodeId(ids[1]), NodeId(ids[2])])?;
         }
+        drop(grid_span);
+        cafemio_instrument::counter("idlz.nodes", points.len() as u64);
+        cafemio_instrument::counter("idlz.elements", element_triples.len() as u64);
 
         // ---- Shape the structure. ----
+        let shape_span = cafemio_instrument::span("idlz.shape");
         let positions = shape_nodes(
             spec.subdivisions(),
             spec.shape_lines(),
@@ -202,15 +209,19 @@ impl Idealization {
                 mesh.element_mut(id).nodes.swap(1, 2);
             }
         }
+        drop(shape_span);
 
         // ---- Reform needle elements. ----
+        let reform_span = cafemio_instrument::span("idlz.reform");
         let reform = reform_elements(&mut mesh, 20);
+        drop(reform_span);
 
         // ---- Classify boundary nodes (the OSPL flags). ----
         mesh.classify_boundary();
         unshaped.classify_boundary();
 
         // ---- Renumber for bandwidth. ----
+        let renumber_span = cafemio_instrument::span("idlz.renumber");
         let bandwidth_before = mesh.bandwidth();
         let mut subdivision_nodes: Vec<(usize, Vec<NodeId>)> = subdivision_node_sets
             .iter()
@@ -233,6 +244,9 @@ impl Idealization {
         } else {
             bandwidth_before
         };
+        drop(renumber_span);
+        cafemio_instrument::counter("idlz.bandwidth_before", bandwidth_before as u64);
+        cafemio_instrument::counter("idlz.bandwidth_after", bandwidth_after as u64);
 
         mesh.validate()?;
 
@@ -244,6 +258,7 @@ impl Idealization {
         };
 
         // ---- Plots. ----
+        let _plot_span = cafemio_instrument::span("idlz.plot");
         let mut frames = Vec::new();
         if spec.options().plots {
             frames.push(plot_mesh(

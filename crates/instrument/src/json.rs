@@ -1,0 +1,295 @@
+//! A minimal JSON reader/writer for [`PerfReport`](crate::PerfReport).
+//!
+//! The workspace builds with no external dependencies, so the report
+//! carries its own (strict, small) JSON subset: objects, arrays, strings,
+//! non-negative integers, `true`/`false`/`null`. That is exactly the shape
+//! `PerfReport::to_json` emits; anything else is a parse error.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum JsonValue {
+    Null,
+    Bool(bool),
+    /// Non-negative integer (all the report's numbers are u64).
+    UInt(u64),
+    Str(String),
+    Array(Vec<JsonValue>),
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    pub(crate) fn as_object(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::UInt(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Escapes a string into a double-quoted JSON literal.
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+pub(crate) fn parse(text: &str) -> Result<JsonValue, String> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing data at byte {}", parser.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}",
+                byte as char, self.pos
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            map.insert(key, self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let digits = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        digits
+            .parse::<u64>()
+            .map(JsonValue::UInt)
+            .map_err(|_| format!("integer out of range at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Copy the longest run of plain bytes in one go.
+            while !matches!(self.peek(), Some(b'"' | b'\\') | None) {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid UTF-8 in string".to_owned())?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escaped = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match escaped {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| "bad \\u escape".to_owned())?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape".to_owned())?;
+                            out.push(
+                                char::from_u32(code).ok_or("\\u escape is not a scalar value")?,
+                            );
+                        }
+                        other => {
+                            return Err(format!("unknown escape '\\{}'", other as char));
+                        }
+                    }
+                }
+                None => return Err("unterminated string".to_owned()),
+                _ => unreachable!("loop exits only on quote, backslash, or end"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_and_parse_invert() {
+        for s in ["plain", "with \"quotes\" and \\slashes\\", "tab\there\nnewline", "héllo ☃"] {
+            let parsed = parse(&escape(s)).unwrap();
+            assert_eq!(parsed.as_str(), Some(s));
+        }
+    }
+
+    #[test]
+    fn control_characters_escape_as_u_sequences() {
+        let s = "bell\u{7}end";
+        assert_eq!(escape(s), "\"bell\\u0007end\"");
+        assert_eq!(parse(&escape(s)).unwrap().as_str(), Some(s));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_negatives() {
+        assert!(parse("{} extra").is_err());
+        assert!(parse("-3").is_err());
+        assert!(parse("18446744073709551616").is_err()); // u64::MAX + 1
+    }
+
+    #[test]
+    fn nested_structures_parse() {
+        let value = parse("{\"a\": [1, {\"b\": true}, null], \"c\": \"d\"}").unwrap();
+        let object = value.as_object().unwrap();
+        let a = object["a"].as_array().unwrap();
+        assert_eq!(a[0].as_u64(), Some(1));
+        assert_eq!(a[1].as_object().unwrap()["b"], JsonValue::Bool(true));
+        assert_eq!(object["c"].as_str(), Some("d"));
+    }
+}

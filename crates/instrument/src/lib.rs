@@ -1,0 +1,52 @@
+//! # cafemio-instrument
+//!
+//! Stage-level observability for the cafemio pipeline, plus the
+//! deterministic parallelism helper the hot paths share.
+//!
+//! The paper's programs ran as overnight batch jobs where the only
+//! "profile" was the operator's wall clock. Growing the reproduction into
+//! a system that is "fast as the hardware allows" needs per-stage cost
+//! visibility first: this crate provides **timing spans** (RAII guards
+//! recording wall-clock durations with nesting depth), **stage counters**
+//! (node counts, bandwidths, isogram segment totals), and a
+//! [`PerfReport`] that serializes both to JSON — the machine-readable
+//! artifact every perf PR benchmarks against.
+//!
+//! Instrumentation is **off by default and free when off**: a disabled
+//! [`span`] constructs no timer and takes no lock, and a disabled
+//! [`counter`] is a single relaxed atomic load. Turn collection on around
+//! the region you care about, then drain with [`take_report`]:
+//!
+//! ```
+//! cafemio_instrument::set_enabled(true);
+//! {
+//!     let _outer = cafemio_instrument::span("demo.outer");
+//!     let _inner = cafemio_instrument::span("demo.inner");
+//!     cafemio_instrument::counter("demo.items", 3);
+//! }
+//! let report = cafemio_instrument::take_report();
+//! cafemio_instrument::set_enabled(false);
+//! assert_eq!(report.spans.len(), 2);
+//! assert_eq!(report.spans[0].name, "demo.outer");
+//! assert_eq!(report.spans[1].depth, 1);
+//! let json = report.to_json();
+//! let back = cafemio_instrument::PerfReport::from_json(&json).unwrap();
+//! assert_eq!(report, back);
+//! ```
+//!
+//! The [`par`] module hosts [`par::parallel_map`], an ordered,
+//! deterministic fork/join map over slices built on [`std::thread::scope`]
+//! — no external dependency — used by `cafemio-fem` (per-element stiffness
+//! computation) and `cafemio-ospl` (per-level isogram extraction). Its
+//! output is *bit-identical* to the serial path because results are
+//! concatenated in input order and every reduction stays serial.
+
+#![warn(missing_docs)]
+
+mod json;
+pub mod par;
+mod report;
+mod span;
+
+pub use report::{CounterRecord, PerfReport, ReportError, SpanRecord};
+pub use span::{counter, is_enabled, set_enabled, span, take_report, Span};

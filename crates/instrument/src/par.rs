@@ -1,0 +1,143 @@
+//! Deterministic fork/join parallelism on [`std::thread::scope`].
+//!
+//! The two hot paths of the pipeline — per-element stiffness computation
+//! and per-level isogram extraction — are embarrassingly parallel *maps*
+//! whose results feed a serial, ordered reduction. [`parallel_map`] covers
+//! exactly that shape: the input slice is split into contiguous chunks,
+//! one worker thread per chunk, and the chunk outputs are concatenated in
+//! input order. Because each output element depends only on its input
+//! element and the reduction order never changes, results are
+//! **bit-identical** to the serial loop — floating-point summation order
+//! is preserved by construction.
+//!
+//! Parallelism can be vetoed globally with [`set_parallel`] (the
+//! determinism tests diff the two modes) or capped with the
+//! `CAFEMIO_THREADS` environment variable (`1` forces serial).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// Global veto. On (the default) means `parallel_map` may use threads.
+static PARALLEL: AtomicBool = AtomicBool::new(true);
+
+/// Default grain: below this many items per thread a spawn costs more
+/// than it saves for cheap per-item work (e.g. one element stiffness).
+const DEFAULT_GRAIN: usize = 256;
+
+/// Enables or disables worker threads globally. With parallelism off,
+/// [`parallel_map`] degenerates to the plain serial iterator — useful for
+/// determinism diffing and single-tenant batch runs.
+pub fn set_parallel(on: bool) {
+    PARALLEL.store(on, Ordering::Relaxed);
+}
+
+/// Whether worker threads are currently allowed.
+pub fn parallel_enabled() -> bool {
+    PARALLEL.load(Ordering::Relaxed)
+}
+
+/// The worker-thread budget: `CAFEMIO_THREADS` when set and positive,
+/// otherwise [`std::thread::available_parallelism`].
+pub fn max_threads() -> usize {
+    static MAX: OnceLock<usize> = OnceLock::new();
+    *MAX.get_or_init(|| {
+        if let Ok(var) = std::env::var("CAFEMIO_THREADS") {
+            if let Ok(n) = var.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    })
+}
+
+/// Maps `f` over `items`, returning outputs in input order.
+///
+/// Runs serially when parallelism is vetoed, the thread budget is 1, or
+/// the slice is too small to amortize thread spawns; otherwise splits the
+/// slice into contiguous chunks and runs one scoped worker per chunk.
+/// Either way the result is the same as `items.iter().map(f).collect()`
+/// — including bit-for-bit identical floats.
+///
+/// # Examples
+///
+/// ```
+/// let squares = cafemio_instrument::par::parallel_map(&[1u64, 2, 3], |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9]);
+/// ```
+pub fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    parallel_map_grained(items, DEFAULT_GRAIN, f)
+}
+
+/// [`parallel_map`] with an explicit grain: the minimum number of items
+/// each worker thread must receive before threads are worth spawning.
+/// Use a small grain (even 1) when each item is expensive — e.g. tracing
+/// one contour level across the whole mesh — and the default for cheap
+/// per-item work.
+pub fn parallel_map_grained<T, U, F>(items: &[T], grain: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let budget = max_threads();
+    let threads = budget.min(items.len() / grain.max(1));
+    if !parallel_enabled() || threads < 2 {
+        return items.iter().map(f).collect();
+    }
+    // Contiguous chunks, sized so every thread gets work. chunks() keeps
+    // input order, so concatenating per-chunk outputs keeps output order.
+    let chunk_size = items.len().div_ceil(threads);
+    let mut out = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_size)
+            .map(|chunk| scope.spawn(|| chunk.iter().map(&f).collect::<Vec<U>>()))
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("parallel_map worker panicked"));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_on_large_inputs() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let mapped = parallel_map(&items, |&x| x * 3);
+        assert_eq!(mapped, items.iter().map(|&x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn small_inputs_run_serially_and_still_match() {
+        let items = [1.5f64, -2.25, 3.0];
+        assert_eq!(parallel_map(&items, |&x| x / 3.0), vec![0.5, -0.75, 1.0]);
+    }
+
+    #[test]
+    fn veto_forces_serial_with_identical_results() {
+        let items: Vec<f64> = (0..5_000).map(|i| i as f64 * 0.1).collect();
+        let f = |&x: &f64| (x.sin() * 1e6).trunc();
+        let with_threads = parallel_map(&items, f);
+        set_parallel(false);
+        let serial = parallel_map(&items, f);
+        set_parallel(true);
+        assert_eq!(with_threads, serial);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u8> = parallel_map(&[] as &[u8], |&x| x);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,235 @@
+//! The global span/counter collector.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::report::{CounterRecord, PerfReport, SpanRecord};
+
+/// Master switch. All recording is skipped while this is false.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Monotone sequence for start order, so the report lists spans in the
+/// order they opened even though they are recorded when they close.
+static START_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Completed spans and counters, drained by [`take_report`].
+static COLLECTOR: Mutex<Collector> = Mutex::new(Collector {
+    spans: Vec::new(),
+    counters: Vec::new(),
+});
+
+struct Collector {
+    /// `(start sequence, record)` pairs; sorted on drain.
+    spans: Vec<(u64, SpanRecord)>,
+    counters: Vec<CounterRecord>,
+}
+
+thread_local! {
+    /// Nesting depth of open spans on this thread.
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Turns collection on or off. Off is the default; a disabled [`span`]
+/// costs one relaxed atomic load.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether collection is currently on.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Opens a timing span; the returned guard records the elapsed wall-clock
+/// time when dropped. Spans opened while another span is live on the same
+/// thread record a one-greater nesting depth.
+pub fn span(name: &'static str) -> Span {
+    if !is_enabled() {
+        return Span { armed: None, name };
+    }
+    let depth = DEPTH.with(|d| {
+        let depth = d.get();
+        d.set(depth + 1);
+        depth
+    });
+    Span {
+        armed: Some(Armed {
+            start: Instant::now(),
+            seq: START_SEQ.fetch_add(1, Ordering::Relaxed),
+            depth,
+        }),
+        name,
+    }
+}
+
+/// Records a named counter value. Re-recording a name overwrites the
+/// previous value, so stages can report "last value wins" totals.
+pub fn counter(name: &'static str, value: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let mut collector = COLLECTOR.lock().expect("instrument collector poisoned");
+    if let Some(existing) = collector.counters.iter_mut().find(|c| c.name == name) {
+        existing.value = value;
+    } else {
+        collector.counters.push(CounterRecord {
+            name: name.to_owned(),
+            value,
+        });
+    }
+}
+
+/// Drains everything recorded so far into a [`PerfReport`]. Spans are
+/// listed in start order; counters in first-recorded order.
+pub fn take_report() -> PerfReport {
+    let mut collector = COLLECTOR.lock().expect("instrument collector poisoned");
+    let mut spans = std::mem::take(&mut collector.spans);
+    let counters = std::mem::take(&mut collector.counters);
+    spans.sort_by_key(|&(seq, _)| seq);
+    PerfReport {
+        spans: spans.into_iter().map(|(_, record)| record).collect(),
+        counters,
+    }
+}
+
+/// RAII timing guard returned by [`span`]. Dropping it records the span;
+/// a guard created while collection is disabled does nothing.
+#[must_use = "a span measures the scope it lives in; bind it to a variable"]
+#[derive(Debug)]
+pub struct Span {
+    armed: Option<Armed>,
+    name: &'static str,
+}
+
+#[derive(Debug)]
+struct Armed {
+    start: Instant,
+    seq: u64,
+    depth: u32,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(armed) = self.armed.take() else {
+            return;
+        };
+        let nanos = armed.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let record = SpanRecord {
+            name: self.name.to_owned(),
+            depth: armed.depth,
+            nanos,
+        };
+        let mut collector = COLLECTOR.lock().expect("instrument collector poisoned");
+        collector.spans.push((armed.seq, record));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The collector is global, so tests that enable it must not run
+    /// concurrently with each other; one lock serializes them.
+    static TEST_GUARD: Mutex<()> = Mutex::new(());
+
+    fn with_clean_collector<R>(f: impl FnOnce() -> R) -> R {
+        let _guard = TEST_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(true);
+        let _ = take_report();
+        let out = f();
+        set_enabled(false);
+        out
+    }
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let _guard = TEST_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(false);
+        let _ = take_report();
+        {
+            let _s = span("off");
+            counter("off", 1);
+        }
+        let report = take_report();
+        assert!(report.spans.is_empty());
+        assert!(report.counters.is_empty());
+    }
+
+    #[test]
+    fn nesting_depth_tracks_scopes() {
+        let report = with_clean_collector(|| {
+            let _a = span("a");
+            {
+                let _b = span("b");
+                let _c = span("c");
+            }
+            let _d = span("d");
+            drop(_d);
+            drop(_a);
+            take_report()
+        });
+        let by_name: Vec<(&str, u32)> = report
+            .spans
+            .iter()
+            .map(|s| (s.name.as_str(), s.depth))
+            .collect();
+        assert_eq!(by_name, [("a", 0), ("b", 1), ("c", 2), ("d", 1)]);
+    }
+
+    #[test]
+    fn spans_listed_in_start_order_not_close_order() {
+        let report = with_clean_collector(|| {
+            let outer = span("outer");
+            let inner = span("inner");
+            drop(inner); // closes first
+            drop(outer);
+            take_report()
+        });
+        assert_eq!(report.spans[0].name, "outer");
+        assert_eq!(report.spans[1].name, "inner");
+    }
+
+    #[test]
+    fn counters_overwrite_by_name() {
+        let report = with_clean_collector(|| {
+            counter("nodes", 10);
+            counter("elements", 18);
+            counter("nodes", 12);
+            take_report()
+        });
+        assert_eq!(report.counters.len(), 2);
+        assert_eq!(report.counter("nodes"), Some(12));
+        assert_eq!(report.counter("elements"), Some(18));
+    }
+
+    #[test]
+    fn take_report_drains() {
+        let report = with_clean_collector(|| {
+            let _s = span("once");
+            drop(_s);
+            let first = take_report();
+            assert_eq!(first.spans.len(), 1);
+            take_report()
+        });
+        assert!(report.spans.is_empty());
+    }
+
+    #[test]
+    fn depth_recovers_after_drain() {
+        // A span dropped after an intervening drain must not underflow or
+        // corrupt the depth of later spans.
+        let report = with_clean_collector(|| {
+            let open = span("left-open");
+            let _ = take_report();
+            drop(open);
+            let _fresh = span("fresh");
+            drop(_fresh);
+            take_report()
+        });
+        let fresh = report.spans.iter().find(|s| s.name == "fresh").unwrap();
+        assert_eq!(fresh.depth, 0);
+    }
+}

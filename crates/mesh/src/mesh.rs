@@ -373,7 +373,7 @@ impl TriMesh {
         let cell = tol.max(1e-300);
         let mut buckets: BTreeMap<(i64, i64), Vec<usize>> = BTreeMap::new();
         let key = |p: Point| ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64);
-        let mut canon: Vec<usize> = (0..n).collect();
+        let mut canon: Vec<usize> = Vec::with_capacity(n);
         for i in 0..n {
             let p = self.nodes[i].position;
             let (kx, ky) = key(p);
@@ -391,8 +391,11 @@ impl TriMesh {
                 }
             }
             match found {
-                Some(j) => canon[i] = j,
-                None => buckets.entry((kx, ky)).or_default().push(i),
+                Some(j) => canon.push(j),
+                None => {
+                    buckets.entry((kx, ky)).or_default().push(i);
+                    canon.push(i);
+                }
             }
         }
         // Compact the survivors.

@@ -148,64 +148,97 @@ pub fn extract_isograms(
             values: field.len(),
         });
     }
+    // Gather the per-element corner values, vertices, and edge boundary
+    // flags once, so each contour level traces from a flat array instead
+    // of re-querying the mesh. Levels are then independent: each one is
+    // traced in its own task, element order preserved within a level —
+    // the per-level segment lists are identical to the serial loop's.
     let edge_map = mesh.edges();
-    let is_boundary_edge = |a, b| edge_map.get(&Edge::new(a, b)).map(Vec::len) == Some(1);
-
-    let mut isograms: Vec<Isogram> = levels
-        .iter()
-        .map(|&level| Isogram {
-            level,
-            segments: Vec::new(),
+    let elements: Vec<ElementTrace> = mesh
+        .elements()
+        .map(|(id, el)| {
+            let values = [
+                field.value(el.nodes[0]),
+                field.value(el.nodes[1]),
+                field.value(el.nodes[2]),
+            ];
+            let mut edge_on_boundary = [false; 3];
+            for (e, (i, j)) in ELEMENT_EDGES.into_iter().enumerate() {
+                edge_on_boundary[e] =
+                    edge_map.get(&Edge::new(el.nodes[i], el.nodes[j])).map(Vec::len) == Some(1);
+            }
+            ElementTrace {
+                vertices: mesh.triangle(id).vertices,
+                values,
+                lo: values[0].min(values[1]).min(values[2]),
+                hi: values[0].max(values[1]).max(values[2]),
+                edge_on_boundary,
+            }
         })
         .collect();
 
-    for (id, el) in mesh.elements() {
-        let values = [
-            field.value(el.nodes[0]),
-            field.value(el.nodes[1]),
-            field.value(el.nodes[2]),
-        ];
-        let lo = values[0].min(values[1]).min(values[2]);
-        let hi = values[0].max(values[1]).max(values[2]);
-        let tri = mesh.triangle(id);
-        for iso in &mut isograms {
-            let level = iso.level;
-            if level < lo || level > hi || lo == hi {
-                continue;
+    // Grain 2: one level already sweeps every element, so even a handful
+    // of levels are worth fanning out.
+    Ok(cafemio_instrument::par::parallel_map_grained(
+        levels,
+        2,
+        |&level| Isogram {
+            level,
+            segments: trace_level(&elements, level),
+        },
+    ))
+}
+
+/// Vertex index pairs of a triangle's three edges, in trace order.
+const ELEMENT_EDGES: [(usize, usize); 3] = [(0, 1), (1, 2), (2, 0)];
+
+/// Everything isogram tracing needs from one element, gathered up front.
+struct ElementTrace {
+    vertices: [Point; 3],
+    values: [f64; 3],
+    lo: f64,
+    hi: f64,
+    edge_on_boundary: [bool; 3],
+}
+
+/// Traces one contour level across every element, in element order.
+fn trace_level(elements: &[ElementTrace], level: f64) -> Vec<IsoSegment> {
+    let mut segments = Vec::new();
+    for el in elements {
+        if level < el.lo || level > el.hi || el.lo == el.hi {
+            continue;
+        }
+        // Find the crossing points on the element's edges.
+        let mut crossings: Vec<(Point, bool)> = Vec::new();
+        for (e, (i, j)) in ELEMENT_EDGES.into_iter().enumerate() {
+            let (va, vb) = (el.values[i], el.values[j]);
+            if va == vb {
+                continue; // flat edge: neighbours draw the line
             }
-            // Find the crossing points on the element's edges.
-            let mut crossings: Vec<(Point, bool)> = Vec::new();
-            for (i, j) in [(0usize, 1usize), (1, 2), (2, 0)] {
-                let (va, vb) = (values[i], values[j]);
-                if va == vb {
-                    continue; // flat edge: neighbours draw the line
-                }
-                let t = match inverse_lerp(va, vb, level) {
-                    Some(t) if (0.0..=1.0).contains(&t) => t,
-                    _ => continue,
-                };
-                let p = lerp_point(tri.vertices[i], tri.vertices[j], t);
-                let boundary = is_boundary_edge(el.nodes[i], el.nodes[j]);
-                // A level hitting a shared corner appears on both incident
-                // edges; keep one copy.
-                if !crossings
-                    .iter()
-                    .any(|(q, _)| q.approx_eq(p, 1e-12 * (1.0 + p.x.abs() + p.y.abs())))
-                {
-                    crossings.push((p, boundary));
-                }
-            }
-            if crossings.len() == 2 {
-                iso.segments.push(IsoSegment {
-                    a: crossings[0].0,
-                    b: crossings[1].0,
-                    a_on_boundary: crossings[0].1,
-                    b_on_boundary: crossings[1].1,
-                });
+            let t = match inverse_lerp(va, vb, level) {
+                Some(t) if (0.0..=1.0).contains(&t) => t,
+                _ => continue,
+            };
+            let p = lerp_point(el.vertices[i], el.vertices[j], t);
+            // A level hitting a shared corner appears on both incident
+            // edges; keep one copy.
+            if !crossings
+                .iter()
+                .any(|(q, _)| q.approx_eq(p, 1e-12 * (1.0 + p.x.abs() + p.y.abs())))
+            {
+                crossings.push((p, el.edge_on_boundary[e]));
             }
         }
+        if crossings.len() == 2 {
+            segments.push(IsoSegment {
+                a: crossings[0].0,
+                b: crossings[1].0,
+                a_on_boundary: crossings[0].1,
+                b_on_boundary: crossings[1].1,
+            });
+        }
     }
-    Ok(isograms)
+    segments
 }
 
 #[cfg(test)]

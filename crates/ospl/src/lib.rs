@@ -45,6 +45,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod deck;
 mod error;
 mod interval;

@@ -103,6 +103,8 @@ impl Ospl {
                 });
             }
         }
+        let run_span = cafemio_instrument::span("ospl.run");
+        let interval_span = cafemio_instrument::span("ospl.interval");
         let (min, max) = field.min_max().ok_or(OsplError::NoContours)?;
         let interval = match options.interval {
             Some(delta) if delta > 0.0 => delta,
@@ -121,12 +123,25 @@ impl Ospl {
             }
             None => contour_levels(min, max, interval),
         };
-        let isograms = extract_isograms(mesh, field, &levels)?;
+        drop(interval_span);
+        let isograms = {
+            let _s = cafemio_instrument::span("ospl.isograms");
+            extract_isograms(mesh, field, &levels)?
+        };
+        cafemio_instrument::counter("ospl.levels", levels.len() as u64);
+        cafemio_instrument::counter(
+            "ospl.segments",
+            isograms.iter().map(|i| i.segments.len() as u64).sum(),
+        );
         let title = match &options.title {
             Some(extra) => format!("{extra}  CONTOUR PLOT * {} *", field.name()),
             None => format!("CONTOUR PLOT * {} *", field.name()),
         };
-        let frame = plot_contours(mesh, &isograms, interval, options.window, &title);
+        let frame = {
+            let _s = cafemio_instrument::span("ospl.plot");
+            plot_contours(mesh, &isograms, interval, options.window, &title)
+        };
+        drop(run_span);
         Ok(OsplResult {
             isograms,
             interval,

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full verification gate: build, tests, docs (warnings denied), clippy
+# (warnings denied). Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release)"
+cargo build --release --workspace
+
+echo "== tests"
+cargo test -q --workspace
+
+echo "== rustdoc (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "== clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: all gates passed"

@@ -79,6 +79,69 @@ fn contours_invariant_under_renumbering() {
     }
 }
 
+/// Runs `f` twice — once with the parallel hot paths vetoed, once with
+/// them enabled — and returns both results. Always re-enables
+/// parallelism afterwards.
+fn serial_then_parallel<T>(mut f: impl FnMut() -> T) -> (T, T) {
+    use cafemio::instrument::par::set_parallel;
+    // The veto is global: hold a lock so concurrently-running tests
+    // can't re-enable parallelism mid-comparison.
+    static VETO: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _guard = VETO.lock().unwrap();
+    set_parallel(false);
+    let serial = f();
+    set_parallel(true);
+    let parallel = f();
+    (serial, parallel)
+}
+
+#[test]
+fn parallel_assembly_is_bit_identical_to_serial() {
+    // The element-stiffness fan-out must not change the result at all:
+    // stiffness matrices are computed in parallel but scattered serially
+    // in element order, so every floating-point addition happens in the
+    // same order as the serial run.
+    let result = Idealization::run(&joint::spec()).unwrap();
+    let model = joint::pressure_model(&result.mesh);
+    let (serial, parallel) = serial_then_parallel(|| model.solve().unwrap());
+    assert_eq!(serial.dofs().len(), parallel.dofs().len());
+    for (i, (s, p)) in serial.dofs().iter().zip(parallel.dofs()).enumerate() {
+        assert_eq!(s.to_bits(), p.to_bits(), "dof {i}: {s} vs {p}");
+    }
+    // The skyline path fans out the same way.
+    let (serial, parallel) = serial_then_parallel(|| model.solve_skyline().unwrap());
+    for (s, p) in serial.dofs().iter().zip(parallel.dofs()) {
+        assert_eq!(s.to_bits(), p.to_bits());
+    }
+}
+
+#[test]
+fn parallel_isogram_extraction_is_bit_identical_to_serial() {
+    // Levels are traced in parallel but each level sweeps the elements
+    // in the same order as the serial loop, so every crossing point is
+    // computed identically.
+    let result = Idealization::run(&joint::spec()).unwrap();
+    let model = joint::pressure_model(&result.mesh);
+    let solution = model.solve().unwrap();
+    let stresses = StressField::compute(&model, &solution).unwrap();
+    let field = stresses.effective();
+    let (serial, parallel) =
+        serial_then_parallel(|| Ospl::run(&result.mesh, &field, &ContourOptions::new()).unwrap());
+    assert_eq!(serial.levels, parallel.levels);
+    assert_eq!(serial.isograms.len(), parallel.isograms.len());
+    for (a, b) in serial.isograms.iter().zip(&parallel.isograms) {
+        assert_eq!(a.segments.len(), b.segments.len(), "level {}", a.level);
+        for (sa, sb) in a.segments.iter().zip(&b.segments) {
+            assert_eq!(sa.a.x.to_bits(), sb.a.x.to_bits());
+            assert_eq!(sa.a.y.to_bits(), sb.a.y.to_bits());
+            assert_eq!(sa.b.x.to_bits(), sb.b.x.to_bits());
+            assert_eq!(sa.b.y.to_bits(), sb.b.y.to_bits());
+            assert_eq!(sa.a_on_boundary, sb.a_on_boundary);
+            assert_eq!(sa.b_on_boundary, sb.b_on_boundary);
+        }
+    }
+}
+
 #[test]
 fn solver_is_deterministic() {
     let result = Idealization::run(&joint::spec()).unwrap();
