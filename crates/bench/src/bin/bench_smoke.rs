@@ -1,0 +1,88 @@
+//! CI bench smoke: validates the stage-timing artifact the `figures`
+//! binary writes.
+//!
+//! Parses `BENCH_pipeline.json` (path overridable as the first argument)
+//! with the instrument crate's own reader and checks the structural
+//! contract CI relies on: every pipeline stage span is present with a
+//! positive wall-clock time, and the mesh/solver counters carry real
+//! values. Exits nonzero with a list of violations otherwise.
+
+use std::process::ExitCode;
+
+use cafemio::instrument::PerfReport;
+
+/// Every stage span one instrumented idealize → solve → contour pass
+/// must record.
+const EXPECTED_SPANS: [&str; 18] = [
+    "pipeline.total",
+    "idlz.run",
+    "idlz.grid",
+    "idlz.shape",
+    "idlz.reform",
+    "idlz.renumber",
+    "idlz.plot",
+    "pipeline.solve_and_contour",
+    "fem.solve",
+    "fem.assemble",
+    "fem.element_stiffness",
+    "fem.scatter",
+    "fem.factor_solve",
+    "fem.stress_recovery",
+    "ospl.run",
+    "ospl.interval",
+    "ospl.isograms",
+    "ospl.plot",
+];
+
+/// Counters that must be present and positive.
+const EXPECTED_COUNTERS: [&str; 4] = ["idlz.nodes", "idlz.elements", "fem.dofs", "ospl.segments"];
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pipeline.json".into());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("bench-smoke: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match PerfReport::from_json(&text) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("bench-smoke: {path} does not parse as a perf report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut violations = Vec::new();
+    for name in EXPECTED_SPANS {
+        match report.spans.iter().find(|s| s.name == name) {
+            None => violations.push(format!("span {name:?} missing")),
+            Some(s) if s.nanos == 0 => violations.push(format!("span {name:?} recorded 0 ns")),
+            Some(_) => {}
+        }
+    }
+    for name in EXPECTED_COUNTERS {
+        match report.counters.iter().find(|c| c.name == name) {
+            None => violations.push(format!("counter {name:?} missing")),
+            Some(c) if c.value == 0 => violations.push(format!("counter {name:?} is zero")),
+            Some(_) => {}
+        }
+    }
+
+    if violations.is_empty() {
+        println!(
+            "bench-smoke: {path} ok ({} spans, {} counters)",
+            report.spans.len(),
+            report.counters.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("bench-smoke: {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,40 @@
+//! CI fuzz smoke: a fixed-seed, fixed-size fault-injection sweep.
+//!
+//! Mutates every round-trippable catalog deck with every [`Fault`] kind
+//! for a fixed number of rounds (at least 200 cases total) and exits
+//! nonzero if any case panics, succeeds where it must fail, or reports
+//! its error from the wrong pipeline stage. Deterministic: the same seed
+//! always produces the same mutations, so a CI failure reproduces
+//! locally by running this binary again.
+
+use cafemio_bench::mutate::{run_sweep, Fault};
+
+/// Fixed seed — change only deliberately, alongside the expected output.
+const SEED: u64 = 0xCAFE_F00D;
+/// Sweep floor demanded by the fault-injection acceptance criteria.
+const MIN_CASES: usize = 200;
+
+fn main() {
+    // Enough rounds that decks × faults × rounds clears the floor.
+    let per_round = cafemio_bench::mutate::base_decks().len() * Fault::ALL.len();
+    assert!(per_round > 0, "no catalog deck survives a round trip");
+    let rounds = MIN_CASES.div_ceil(per_round);
+    let report = run_sweep(SEED, rounds);
+    println!(
+        "fuzz-smoke: {} mutated decks across {} rounds (seed {SEED:#x}): {} violations",
+        report.cases,
+        rounds,
+        report.failures.len()
+    );
+    assert!(
+        report.cases >= MIN_CASES,
+        "sweep ran only {} cases (need {MIN_CASES})",
+        report.cases
+    );
+    if !report.failures.is_empty() {
+        for failure in &report.failures {
+            eprintln!("FAIL {failure}");
+        }
+        std::process::exit(1);
+    }
+}

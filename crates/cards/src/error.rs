@@ -42,6 +42,16 @@ pub enum CardError {
         /// Width of the missing field.
         width: usize,
     },
+    /// A value, once formatted, is wider than its edit descriptor's field.
+    /// The 1970 punch would fill the field with asterisks (or silently
+    /// truncate an `A` field) and carry on; here the data loss is an
+    /// error so decks always read back to the values that were written.
+    FieldOverflow {
+        /// The formatted text that did not fit.
+        text: String,
+        /// The field width from the edit descriptor.
+        width: usize,
+    },
 }
 
 impl fmt::Display for CardError {
@@ -67,6 +77,9 @@ impl fmt::Display for CardError {
                     f,
                     "record ends before field of width {width} at column {column}"
                 )
+            }
+            CardError::FieldOverflow { text, width } => {
+                write!(f, "value {text:?} does not fit a field of width {width}")
             }
         }
     }

@@ -4,10 +4,12 @@ use crate::format::EditDescriptor;
 use crate::{CardError, Field, Format};
 
 /// Writes values under a [`Format`] with FORTRAN punch semantics:
-/// right-justified integers, fixed-point rounding, asterisk fill when a
-/// value does not fit its field, blank fill for `X`, and format reuse (a
-/// new record is started and the format restarted when values remain after
-/// the last descriptor).
+/// right-justified integers, fixed-point rounding, blank fill for `X`, and
+/// format reuse (a new record is started and the format restarted when
+/// values remain after the last descriptor). One deliberate departure from
+/// 1970: a value wider than its field is a [`CardError::FieldOverflow`]
+/// rather than an asterisk-filled (or silently truncated) field, so a deck
+/// that writes without error always reads back to the same values.
 ///
 /// # Examples
 ///
@@ -47,7 +49,8 @@ impl<'f> FormatWriter<'f> {
     ///
     /// [`CardError::KindMismatch`] when a value's type does not match its
     /// descriptor, [`CardError::NoDataDescriptors`] for a format that can
-    /// never consume a value.
+    /// never consume a value, [`CardError::FieldOverflow`] when a
+    /// formatted value is wider than its field.
     pub fn write_record(&self, values: &[Field]) -> Result<String, CardError> {
         let mut records = self.write_all(values)?;
         if records.len() > 1 {
@@ -114,28 +117,31 @@ fn write_field(desc: &EditDescriptor, value: &Field) -> Result<String, CardError
                 expected: "integer",
                 found: value.kind_name(),
             })?;
-            Ok(fit(format!("{v:>width$}"), width))
+            fit(format!("{v:>width$}"), width)
         }
         EditDescriptor::Fixed { width, decimals } => {
             let v = value.as_f64().ok_or(CardError::KindMismatch {
                 expected: "real",
                 found: value.kind_name(),
             })?;
-            Ok(fit(format!("{v:>width$.decimals$}"), width))
+            fit(format!("{v:>width$.decimals$}"), width)
         }
         EditDescriptor::Exp { width, decimals } => {
             let v = value.as_f64().ok_or(CardError::KindMismatch {
                 expected: "real",
                 found: value.kind_name(),
             })?;
-            Ok(fit(fortran_exponential(v, width, decimals), width))
+            fit(fortran_exponential(v, width, decimals), width)
         }
         EditDescriptor::Alpha { width } => {
             let s = match value {
                 Field::Alpha(s) => s.clone(),
                 other => other.to_string(),
             };
-            let mut out: String = s.chars().take(width).collect();
+            if s.chars().count() > width {
+                return Err(CardError::FieldOverflow { text: s, width });
+            }
+            let mut out = s;
             while out.len() < width {
                 out.push(' ');
             }
@@ -146,13 +152,14 @@ fn write_field(desc: &EditDescriptor, value: &Field) -> Result<String, CardError
     }
 }
 
-/// Right-justifies or, on overflow, fills the field with asterisks — the
-/// classic FORTRAN behaviour a card-deck user of 1970 would recognize.
-fn fit(text: String, width: usize) -> String {
+/// Right-justifies, or reports overflow. The classic FORTRAN punch would
+/// fill an overflowing field with asterisks; that loses the value on the
+/// card with no indication in the program, so here it is a typed error.
+fn fit(text: String, width: usize) -> Result<String, CardError> {
     if text.len() > width {
-        "*".repeat(width)
+        Err(CardError::FieldOverflow { text, width })
     } else {
-        format!("{text:>width$}")
+        Ok(format!("{text:>width$}"))
     }
 }
 
@@ -196,12 +203,18 @@ mod tests {
     }
 
     #[test]
-    fn integer_overflow_prints_asterisks() {
+    fn integer_overflow_is_an_error() {
         let f = fmt("(I3)");
-        let rec = FormatWriter::new(&f)
+        let err = FormatWriter::new(&f)
             .write_record(&[Field::Int(12345)])
-            .unwrap();
-        assert_eq!(rec, "***");
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CardError::FieldOverflow {
+                text: "12345".to_owned(),
+                width: 3,
+            }
+        );
     }
 
     #[test]
@@ -215,12 +228,39 @@ mod tests {
     }
 
     #[test]
-    fn fixed_point_overflow() {
+    fn fixed_point_overflow_is_an_error() {
         let f = fmt("(F5.3)");
-        let rec = FormatWriter::new(&f)
+        let err = FormatWriter::new(&f)
             .write_record(&[Field::Real(-123.456)])
-            .unwrap();
-        assert_eq!(rec, "*****");
+            .unwrap_err();
+        assert!(matches!(err, CardError::FieldOverflow { width: 5, .. }));
+    }
+
+    #[test]
+    fn exponential_overflow_is_an_error() {
+        // 0.1235E+03 needs ten columns; E8.4 offers eight.
+        let f = fmt("(E8.4)");
+        let err = FormatWriter::new(&f)
+            .write_record(&[Field::Real(123.456)])
+            .unwrap_err();
+        assert!(matches!(err, CardError::FieldOverflow { width: 8, .. }));
+    }
+
+    #[test]
+    fn overflow_free_records_round_trip() {
+        // Whatever the writer accepts, the reader recovers exactly — the
+        // guarantee FieldOverflow exists to protect.
+        let f = fmt("(2I5, F8.4, E14.7, A8)");
+        let values = [
+            Field::Int(-9999),
+            Field::Int(31),
+            Field::Real(-12.5),
+            Field::Real(0.0004375),
+            Field::from("HULL TOP"),
+        ];
+        let record = FormatWriter::new(&f).write_record(&values).unwrap();
+        let back = crate::FormatReader::new(&f).read_record(&record).unwrap();
+        assert_eq!(back, values);
     }
 
     #[test]
@@ -233,13 +273,16 @@ mod tests {
     }
 
     #[test]
-    fn alpha_left_justified_and_truncated() {
+    fn alpha_left_justified_and_overflow_rejected() {
         let f = fmt("(A6)");
         let w = FormatWriter::new(&f);
         assert_eq!(w.write_record(&[Field::from("AB")]).unwrap(), "AB    ");
         assert_eq!(
-            w.write_record(&[Field::from("ABCDEFGH")]).unwrap(),
-            "ABCDEF"
+            w.write_record(&[Field::from("ABCDEFGH")]).unwrap_err(),
+            CardError::FieldOverflow {
+                text: "ABCDEFGH".to_owned(),
+                width: 6,
+            }
         );
     }
 

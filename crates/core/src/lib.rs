@@ -86,5 +86,8 @@ pub mod prelude {
     pub use cafemio_ospl::{ContourOptions, Ospl, OsplResult};
     pub use cafemio_plotter::{render_svg, AsciiCanvas, Frame};
 
-    pub use crate::pipeline::{solve_and_contour, StressComponent, StressPlot};
+    pub use crate::pipeline::{
+        idealize_deck_text, run_deck, solve_and_contour, PipelineError, Stage, StageError,
+        StressComponent, StressPlot,
+    };
 }

@@ -5,8 +5,10 @@
 
 use std::fmt;
 
+use cafemio_cards::{CardError, Deck};
 use cafemio_fem::{FemError, FemModel, StressField};
-use cafemio_mesh::NodalField;
+use cafemio_idlz::{Idealization, IdealizationResult, IdealizationSpec, IdlzError};
+use cafemio_mesh::{NodalField, TriMesh};
 use cafemio_ospl::{ContourOptions, Ospl, OsplError, OsplResult};
 
 /// Which recovered stress field to plot — one per contour plot in
@@ -60,42 +62,125 @@ impl fmt::Display for StressComponent {
     }
 }
 
-/// Error from the combined pipeline.
+/// The pipeline stage in which an error arose — the provenance half of
+/// [`PipelineError`]. Stages are ordered as the paper's workflow runs
+/// them: read cards, idealize, set up the model, solve, recover
+/// stresses, contour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Reading and parsing the input card deck.
+    DeckParse,
+    /// IDLZ idealization (grid generation, boundary shaping, reform).
+    Idealize,
+    /// Turning the mesh into a loaded, constrained model.
+    ModelSetup,
+    /// Assembly and solution of the structural system.
+    Solve,
+    /// Element stress computation and nodal averaging.
+    StressRecovery,
+    /// OSPL isogram generation.
+    Contour,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Stage::DeckParse => "deck parsing",
+            Stage::Idealize => "idealization",
+            Stage::ModelSetup => "model setup",
+            Stage::Solve => "solution",
+            Stage::StressRecovery => "stress recovery",
+            Stage::Contour => "contour plotting",
+        })
+    }
+}
+
+/// The stage-specific error wrapped by [`PipelineError`].
 #[derive(Debug, Clone, PartialEq)]
-pub enum PipelineError {
-    /// The analysis failed.
+pub enum StageError {
+    /// A card-level I/O error (unreadable field, oversize value).
+    Card(CardError),
+    /// An idealization error.
+    Idlz(IdlzError),
+    /// An analysis error.
     Fem(FemError),
-    /// The plotting failed.
+    /// A plotting error.
     Ospl(OsplError),
+}
+
+impl fmt::Display for StageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StageError::Card(e) => e.fmt(f),
+            StageError::Idlz(e) => e.fmt(f),
+            StageError::Fem(e) => e.fmt(f),
+            StageError::Ospl(e) => e.fmt(f),
+        }
+    }
+}
+
+/// Error from the combined pipeline, carrying the stage it arose in and
+/// the instrument spans that were open when it was captured.
+///
+/// The [`Display`](fmt::Display) output is deterministic — stage name
+/// plus the underlying error, no timings — so error text can be golden-
+/// tested. The span context (names only) is available separately through
+/// [`span_context`](PipelineError::span_context).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineError {
+    stage: Stage,
+    source: StageError,
+    spans: Vec<&'static str>,
+}
+
+impl PipelineError {
+    /// Wraps a stage error, capturing the currently open instrument
+    /// spans as context.
+    pub fn at(stage: Stage, source: StageError) -> PipelineError {
+        let spans = cafemio_instrument::active_spans()
+            .iter()
+            .map(|s| s.name)
+            .collect();
+        PipelineError {
+            stage,
+            source,
+            spans,
+        }
+    }
+
+    /// The stage in which the error arose.
+    pub fn stage(&self) -> Stage {
+        self.stage
+    }
+
+    /// The underlying stage-specific error.
+    pub fn source_error(&self) -> &StageError {
+        &self.source
+    }
+
+    /// Names of the instrument spans that were open when the error was
+    /// captured, outermost first (e.g. `["pipeline.solve_and_contour",
+    /// "fem.solve"]`). Available whether or not span collection is
+    /// enabled.
+    pub fn span_context(&self) -> &[&'static str] {
+        &self.spans
+    }
 }
 
 impl fmt::Display for PipelineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            PipelineError::Fem(e) => write!(f, "analysis failed: {e}"),
-            PipelineError::Ospl(e) => write!(f, "plotting failed: {e}"),
-        }
+        write!(f, "{} failed: {}", self.stage, self.source)
     }
 }
 
 impl std::error::Error for PipelineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            PipelineError::Fem(e) => Some(e),
-            PipelineError::Ospl(e) => Some(e),
+        match &self.source {
+            StageError::Card(e) => Some(e),
+            StageError::Idlz(e) => Some(e),
+            StageError::Fem(e) => Some(e),
+            StageError::Ospl(e) => Some(e),
         }
-    }
-}
-
-impl From<FemError> for PipelineError {
-    fn from(e: FemError) -> Self {
-        PipelineError::Fem(e)
-    }
-}
-
-impl From<OsplError> for PipelineError {
-    fn from(e: OsplError) -> Self {
-        PipelineError::Ospl(e)
     }
 }
 
@@ -114,8 +199,8 @@ pub struct StressPlot {
 ///
 /// # Errors
 ///
-/// [`PipelineError::Fem`] for assembly/solve/recovery failures,
-/// [`PipelineError::Ospl`] for contouring failures.
+/// A [`PipelineError`] attributed to [`Stage::Solve`],
+/// [`Stage::StressRecovery`], or [`Stage::Contour`].
 ///
 /// # Examples
 ///
@@ -126,11 +211,69 @@ pub fn solve_and_contour(
     options: &ContourOptions,
 ) -> Result<StressPlot, PipelineError> {
     let _span = cafemio_instrument::span("pipeline.solve_and_contour");
-    let solution = model.solve()?;
-    let stresses = StressField::compute(model, &solution)?;
+    let solution = model
+        .solve()
+        .map_err(|e| PipelineError::at(Stage::Solve, StageError::Fem(e)))?;
+    let stresses = StressField::compute(model, &solution)
+        .map_err(|e| PipelineError::at(Stage::StressRecovery, StageError::Fem(e)))?;
     let field = component.field(&stresses);
-    let contours = Ospl::run(model.mesh(), &field, options)?;
+    let contours = Ospl::run(model.mesh(), &field, options)
+        .map_err(|e| PipelineError::at(Stage::Contour, StageError::Ospl(e)))?;
     Ok(StressPlot { field, contours })
+}
+
+/// Parses an IDLZ card deck from raw text and idealizes every data set,
+/// returning each spec with its finished idealization.
+///
+/// # Errors
+///
+/// A [`PipelineError`] attributed to [`Stage::DeckParse`] (card layer or
+/// deck structure) or [`Stage::Idealize`] (shaping, limits, mesh).
+pub fn idealize_deck_text(
+    text: &str,
+) -> Result<Vec<(IdealizationSpec, IdealizationResult)>, PipelineError> {
+    let deck = Deck::from_text(text)
+        .map_err(|e| PipelineError::at(Stage::DeckParse, StageError::Card(e)))?;
+    let specs = cafemio_idlz::deck::parse_deck(&deck)
+        .map_err(|e| PipelineError::at(Stage::DeckParse, StageError::Idlz(e)))?;
+    specs
+        .into_iter()
+        .map(|spec| {
+            let result = Idealization::run(&spec)
+                .map_err(|e| PipelineError::at(Stage::Idealize, StageError::Idlz(e)))?;
+            Ok((spec, result))
+        })
+        .collect()
+}
+
+/// Runs the full paper workflow from deck text: parse, idealize, build a
+/// model with the caller's `setup` closure, solve, recover stresses, and
+/// contour the requested component — one [`StressPlot`] per data set.
+///
+/// The `setup` closure is where boundary conditions and loads are
+/// applied; an error it returns is attributed to [`Stage::ModelSetup`].
+///
+/// # Errors
+///
+/// A [`PipelineError`] attributed to whichever stage failed first.
+pub fn run_deck<F>(
+    text: &str,
+    mut setup: F,
+    component: StressComponent,
+    options: &ContourOptions,
+) -> Result<Vec<StressPlot>, PipelineError>
+where
+    F: FnMut(&TriMesh) -> Result<FemModel, FemError>,
+{
+    let idealized = idealize_deck_text(text)?;
+    idealized
+        .iter()
+        .map(|(_, result)| {
+            let model = setup(&result.mesh)
+                .map_err(|e| PipelineError::at(Stage::ModelSetup, StageError::Fem(e)))?;
+            solve_and_contour(&model, component, options)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -216,7 +359,102 @@ mod tests {
             &ContourOptions::new(),
         )
         .unwrap_err();
-        assert!(matches!(err, PipelineError::Fem(_)));
+        assert_eq!(err.stage(), Stage::Solve);
+        assert!(matches!(err.source_error(), StageError::Fem(_)));
+        // The error was captured inside the pipeline span.
+        assert!(err
+            .span_context()
+            .contains(&"pipeline.solve_and_contour"));
+    }
+
+    #[test]
+    fn deck_driver_attributes_parse_and_idealize_stages() {
+        // Structurally truncated deck: DeckParse.
+        let err = idealize_deck_text("    1\nTITLE ONLY\n").unwrap_err();
+        assert_eq!(err.stage(), Stage::DeckParse);
+        // A valid deck parses and idealizes.
+        let text = concat!(
+            "    1\n",
+            "SIMPLE PLATE\n",
+            "    1    1    1    1\n",
+            "    1    0    0    4    2         0    0\n",
+            "    1    2\n",
+            "    0    0    4    0  0.0000  0.0000  2.0000  0.0000  0.0000\n",
+            "    0    2    4    2  0.0000  0.5000  2.0000  0.5000  0.0000\n",
+            "(2F9.5, 51X, I3, 5X, I3)\n",
+            "(3I5, 62X, I3)\n",
+        );
+        let idealized = idealize_deck_text(text).unwrap();
+        assert_eq!(idealized.len(), 1);
+        assert!(idealized[0].1.mesh.node_count() > 0);
+    }
+
+    #[test]
+    fn run_deck_attributes_model_setup_and_solve() {
+        let text = concat!(
+            "    1\n",
+            "SIMPLE PLATE\n",
+            "    1    1    1    1\n",
+            "    1    0    0    4    2         0    0\n",
+            "    1    2\n",
+            "    0    0    4    0  0.0000  0.0000  2.0000  0.0000  0.0000\n",
+            "    0    2    4    2  0.0000  0.5000  2.0000  0.5000  0.0000\n",
+            "(2F9.5, 51X, I3, 5X, I3)\n",
+            "(3I5, 62X, I3)\n",
+        );
+        // A setup closure that reports a failure: ModelSetup.
+        let err = run_deck(
+            text,
+            |_mesh| Err(cafemio_fem::FemError::EmptyModel),
+            StressComponent::Effective,
+            &ContourOptions::new(),
+        )
+        .unwrap_err();
+        assert_eq!(err.stage(), Stage::ModelSetup);
+        // An unconstrained model: Solve.
+        let err = run_deck(
+            text,
+            |mesh| {
+                Ok(FemModel::new(
+                    mesh.clone(),
+                    AnalysisKind::PlaneStrain,
+                    Material::isotropic(1.0e6, 0.3),
+                ))
+            },
+            StressComponent::Effective,
+            &ContourOptions::new(),
+        )
+        .unwrap_err();
+        assert_eq!(err.stage(), Stage::Solve);
+        // A properly constrained model runs end to end.
+        let plots = run_deck(
+            text,
+            |mesh| {
+                let mut model = FemModel::new(
+                    mesh.clone(),
+                    AnalysisKind::PlaneStress { thickness: 1.0 },
+                    Material::isotropic(1.0e7, 0.3),
+                );
+                let mut corner = None;
+                for (id, node) in mesh.nodes() {
+                    if node.position.x.abs() < 1e-9 {
+                        model.fix_x(id);
+                        if node.position.y.abs() < 1e-9 {
+                            corner = Some(id);
+                        }
+                    }
+                    if (node.position.x - 2.0).abs() < 1e-9 {
+                        model.add_force(id, 100.0, 0.0);
+                    }
+                }
+                model.fix_y(corner.expect("corner node exists"));
+                Ok(model)
+            },
+            StressComponent::Effective,
+            &ContourOptions::with_interval(25.0),
+        )
+        .unwrap();
+        assert_eq!(plots.len(), 1);
     }
 
     #[test]

@@ -197,6 +197,11 @@ impl BandMatrix {
                 let l_ki = self.storage[k][i - k];
                 diag -= l_ki * l_ki;
             }
+            // NaN fails every comparison, so test finiteness explicitly
+            // rather than letting a poisoned pivot sail past `<= 0.0`.
+            if !diag.is_finite() {
+                return Err(FemError::NonFinite { equation: i });
+            }
             if diag <= 0.0 {
                 return Err(FemError::SingularMatrix { equation: i });
             }

@@ -14,6 +14,12 @@ pub enum FemError {
     },
     /// The model has no elements to assemble.
     EmptyModel,
+    /// The model has no displacement constraints at all, so the stiffness
+    /// matrix carries every rigid-body mode and is singular by
+    /// construction. Caught before factorization: rounding can smear the
+    /// exact zero pivots into tiny values that factor into a garbage
+    /// "solution".
+    Unconstrained,
     /// A material is physically inadmissible (e.g. Poisson ratio ≥ 0.5 in
     /// plane strain, non-positive modulus).
     BadMaterial {
@@ -25,9 +31,10 @@ pub enum FemError {
         /// The offending index.
         index: usize,
     },
-    /// An axisymmetric model contains a node at negative radius.
+    /// An axisymmetric model reaches to negative radius (a node left of
+    /// the axis, or an element whose centroid crosses it).
     NegativeRadius {
-        /// The offending node index.
+        /// The offending node or element index.
         index: usize,
         /// The radius found.
         radius: f64,
@@ -45,6 +52,42 @@ pub enum FemError {
         /// What was iterating.
         what: &'static str,
     },
+    /// A non-finite coefficient (NaN or infinity) entered the system —
+    /// usually degenerate geometry poisoning a stiffness term. Solvers
+    /// refuse to propagate it into a garbage "solution".
+    NonFinite {
+        /// Equation (degree-of-freedom) index where it was detected.
+        equation: usize,
+    },
+    /// An element's triangle has (numerically) zero area, so its
+    /// stiffness is undefined.
+    DegenerateElement {
+        /// Zero-based element index.
+        element: usize,
+    },
+    /// A pressure was applied to an edge whose two nodes coincide.
+    DegenerateEdge {
+        /// Zero-based index of the first node.
+        a: usize,
+        /// Zero-based index of the second node.
+        b: usize,
+    },
+}
+
+impl FemError {
+    /// Re-attributes an element-level failure (from
+    /// [`element_stiffness`](crate::element_stiffness), which does not
+    /// know its element's index) to the element being assembled.
+    pub(crate) fn for_element(self, element: usize) -> FemError {
+        match self {
+            FemError::SingularMatrix { .. } => FemError::DegenerateElement { element },
+            FemError::NegativeRadius { radius, .. } => FemError::NegativeRadius {
+                index: element,
+                radius,
+            },
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for FemError {
@@ -56,6 +99,11 @@ impl fmt::Display for FemError {
                  (model may be under-constrained)"
             ),
             FemError::EmptyModel => write!(f, "model has no elements"),
+            FemError::Unconstrained => write!(
+                f,
+                "model has no displacement constraints (stiffness matrix is \
+                 singular: all rigid-body modes are free)"
+            ),
             FemError::BadMaterial { reason } => write!(f, "inadmissible material: {reason}"),
             FemError::UnknownNode { index } => write!(f, "node {index} does not exist"),
             FemError::NegativeRadius { index, radius } => write!(
@@ -65,6 +113,17 @@ impl fmt::Display for FemError {
             FemError::BadTimeStep { reason } => write!(f, "bad time step: {reason}"),
             FemError::NoConvergence { iterations, what } => {
                 write!(f, "{what} did not converge in {iterations} iterations")
+            }
+            FemError::NonFinite { equation } => write!(
+                f,
+                "non-finite coefficient at equation {equation} (degenerate \
+                 geometry or invalid material data)"
+            ),
+            FemError::DegenerateElement { element } => {
+                write!(f, "element {element} has zero area")
+            }
+            FemError::DegenerateEdge { a, b } => {
+                write!(f, "pressure edge from node {a} to node {b} has zero length")
             }
         }
     }

@@ -159,15 +159,7 @@ impl DenseMatrix {
         let mut a = self.clone();
         let mut inv = DenseMatrix::identity(n);
         for col in 0..n {
-            // Partial pivot.
-            let pivot_row = (col..n)
-                .max_by(|&r1, &r2| {
-                    a[(r1, col)]
-                        .abs()
-                        .partial_cmp(&a[(r2, col)].abs())
-                        .expect("no NaN pivots")
-                })
-                .expect("non-empty range");
+            let pivot_row = partial_pivot(&a, col, n)?;
             if a[(pivot_row, col)].abs() < 1e-300 {
                 return Err(FemError::SingularMatrix { equation: col });
             }
@@ -215,14 +207,7 @@ impl DenseMatrix {
         let mut x: Vec<f64> = b.to_vec();
         // Forward elimination with partial pivoting.
         for col in 0..n {
-            let pivot_row = (col..n)
-                .max_by(|&r1, &r2| {
-                    a[(r1, col)]
-                        .abs()
-                        .partial_cmp(&a[(r2, col)].abs())
-                        .expect("no NaN pivots")
-                })
-                .expect("non-empty range");
+            let pivot_row = partial_pivot(&a, col, n)?;
             if a[(pivot_row, col)].abs() < 1e-300 {
                 return Err(FemError::SingularMatrix { equation: col });
             }
@@ -273,6 +258,23 @@ impl DenseMatrix {
             self.data.swap(r1 * self.cols + j, r2 * self.cols + j);
         }
     }
+}
+
+/// Selects the partial pivot for `col` over rows `col..n`.
+///
+/// Uses `total_cmp`, under which `NaN.abs()` sorts above every finite
+/// magnitude — so if the column holds any non-finite entry it is chosen
+/// as the pivot and reported as [`FemError::NonFinite`] instead of being
+/// silently folded into the elimination.
+fn partial_pivot(a: &DenseMatrix, col: usize, n: usize) -> Result<usize, FemError> {
+    let pivot_row = (col..n)
+        .max_by(|&r1, &r2| a[(r1, col)].abs().total_cmp(&a[(r2, col)].abs()))
+        // invariant: callers pass col < n, so the range is never empty.
+        .expect("non-empty pivot range");
+    if !a[(pivot_row, col)].is_finite() {
+        return Err(FemError::NonFinite { equation: col });
+    }
+    Ok(pivot_row)
 }
 
 impl Index<(usize, usize)> for DenseMatrix {
@@ -328,6 +330,20 @@ mod tests {
             Err(FemError::SingularMatrix { .. })
         ));
         assert!(m.inverse().is_err());
+    }
+
+    #[test]
+    fn non_finite_entries_reported_not_propagated() {
+        let m = DenseMatrix::from_rows(&[&[1.0, f64::NAN], &[2.0, 1.0]]);
+        assert!(matches!(
+            m.solve(&[1.0, 1.0]),
+            Err(FemError::NonFinite { equation: 1 })
+        ));
+        let inf = DenseMatrix::from_rows(&[&[f64::INFINITY, 0.0], &[0.0, 1.0]]);
+        assert!(matches!(
+            inf.inverse(),
+            Err(FemError::NonFinite { equation: 0 })
+        ));
     }
 
     #[test]

@@ -117,18 +117,24 @@ impl FemModel {
     /// uses the consistent surface-of-revolution allocation
     /// `2π·p·L·(2rᵢ + rⱼ)/6` per node.
     ///
+    /// # Errors
+    ///
+    /// [`FemError::DegenerateEdge`] when the edge has zero length — a
+    /// symptom of coincident nodes, which deck-driven geometry can
+    /// produce.
+    ///
     /// # Panics
     ///
-    /// Panics when a node does not exist or the edge has zero length.
-    pub fn add_edge_pressure(&mut self, a: NodeId, b: NodeId, p: f64) {
+    /// Panics when a node does not exist.
+    pub fn add_edge_pressure(&mut self, a: NodeId, b: NodeId, p: f64) -> Result<(), FemError> {
         let pa = self.mesh.node(a).position;
         let pb = self.mesh.node(b).position;
         let edge = pb - pa;
         let length = edge.norm();
-        let normal = edge
-            .perp()
-            .normalized()
-            .expect("pressure edge must have nonzero length");
+        let normal = edge.perp().normalized().ok_or(FemError::DegenerateEdge {
+            a: a.index(),
+            b: b.index(),
+        })?;
         match self.kind {
             AnalysisKind::PlaneStress { thickness } => {
                 let f = p * length * thickness / 2.0;
@@ -149,6 +155,7 @@ impl FemModel {
                 self.add_force(b, fb * normal.x, fb * normal.y);
             }
         }
+        Ok(())
     }
 
     /// Returns a copy of the model with every applied load (nodal forces,
@@ -203,9 +210,10 @@ impl FemModel {
     ///
     /// # Errors
     ///
-    /// [`FemError::EmptyModel`] without elements, material errors from the
-    /// constitutive matrices, [`FemError::SingularMatrix`] for
-    /// under-constrained models.
+    /// [`FemError::EmptyModel`] without elements,
+    /// [`FemError::Unconstrained`] when no displacement is fixed at all,
+    /// material errors from the constitutive matrices, and
+    /// [`FemError::SingularMatrix`] for under-constrained models.
     pub fn solve(&self) -> Result<Solution, FemError> {
         let _span = cafemio_instrument::span("fem.solve");
         cafemio_instrument::counter("fem.dofs", (self.mesh.node_count() * 2) as u64);
@@ -264,6 +272,9 @@ impl FemModel {
         if self.mesh.element_count() == 0 {
             return Err(FemError::EmptyModel);
         }
+        if self.constraints.is_empty() {
+            return Err(FemError::Unconstrained);
+        }
         let mut matrix = SkylineMatrix::new(&dof_profile(&self.mesh));
         let mut rhs = self.external_forces()?;
         self.assemble_into(|i, j, v| {
@@ -299,6 +310,9 @@ impl FemModel {
         if self.mesh.element_count() == 0 {
             return Err(FemError::EmptyModel);
         }
+        if self.constraints.is_empty() {
+            return Err(FemError::Unconstrained);
+        }
         let ndof = self.mesh.node_count() * 2;
         let mut matrix = BandMatrix::new(ndof, self.dof_bandwidth());
         let mut rhs = self.external_forces()?;
@@ -314,6 +328,9 @@ impl FemModel {
     fn assemble_dense(&self) -> Result<(DenseMatrix, Vec<f64>), FemError> {
         if self.mesh.element_count() == 0 {
             return Err(FemError::EmptyModel);
+        }
+        if self.constraints.is_empty() {
+            return Err(FemError::Unconstrained);
         }
         let ndof = self.mesh.node_count() * 2;
         let mut matrix = DenseMatrix::zeros(ndof, ndof);
@@ -373,7 +390,8 @@ impl FemModel {
             for (id, el) in self.mesh.elements() {
                 let material = self.element_material(id);
                 let d = self.d_matrix(&material)?;
-                let matrices = element_stiffness(&self.mesh.triangle(id), &d, self.kind)?;
+                let matrices = element_stiffness(&self.mesh.triangle(id), &d, self.kind)
+                    .map_err(|e| e.for_element(id.index()))?;
                 let local = thermal.element_forces(
                     [
                         el.nodes[0].index(),
@@ -424,8 +442,8 @@ impl FemModel {
         });
         drop(_span);
         let _span = cafemio_instrument::span("fem.scatter");
-        for ((_, dofs), matrices) in elements.iter().zip(computed) {
-            let matrices = matrices?;
+        for ((id, dofs), matrices) in elements.iter().zip(computed) {
+            let matrices = matrices.map_err(|e| e.for_element(id.index()))?;
             for p in 0..6 {
                 for q in 0..6 {
                     let v = matrices.stiffness[(p, q)];
@@ -614,6 +632,21 @@ mod tests {
     }
 
     #[test]
+    fn fully_unconstrained_model_rejected_before_factorization() {
+        // Rigid-body singularity lands on roundoff-sized pivots, so it
+        // must be caught structurally, not numerically.
+        let mesh = strip_mesh(2, 1, 1.0, 1.0);
+        let model = FemModel::new(
+            mesh,
+            AnalysisKind::PlaneStrain,
+            Material::isotropic(1.0e6, 0.3),
+        );
+        assert_eq!(model.solve().unwrap_err(), FemError::Unconstrained);
+        assert_eq!(model.solve_dense().unwrap_err(), FemError::Unconstrained);
+        assert_eq!(model.solve_skyline().unwrap_err(), FemError::Unconstrained);
+    }
+
+    #[test]
     fn empty_model_rejected() {
         let model = FemModel::new(
             TriMesh::new(),
@@ -678,7 +711,7 @@ mod tests {
         }
         // Internal pressure on the inner face (walk downward so the left
         // normal points in +r, into the material).
-        model.add_edge_pressure(top[0], bottom[0], p);
+        model.add_edge_pressure(top[0], bottom[0], p).unwrap();
         let solution = model.solve().unwrap();
         // Lamé radial displacement for plane strain:
         // u(r) = (p ri²)/(E(ro²-ri²)) (1+ν) [ (1-2ν) r + ro²/r ].
@@ -704,7 +737,7 @@ mod tests {
         );
         model.fix_both(NodeId(1));
         model.fix_both(NodeId(3));
-        model.add_edge_pressure(NodeId(2), NodeId(0), 100.0);
+        model.add_edge_pressure(NodeId(2), NodeId(0), 100.0).unwrap();
         let solution = model.solve().unwrap();
         assert!(solution.displacement(NodeId(0)).0 > 0.0);
     }

@@ -136,7 +136,8 @@ impl SkylineMatrix {
     /// # Errors
     ///
     /// [`FemError::SingularMatrix`] when a pivot vanishes or turns
-    /// negative (the structural matrices here are positive definite).
+    /// negative (the structural matrices here are positive definite), and
+    /// [`FemError::NonFinite`] when a NaN or infinity reaches a pivot.
     ///
     /// # Panics
     ///
@@ -174,6 +175,11 @@ impl SkylineMatrix {
                 let l = g / d_i;
                 diag -= g * l;
                 self.columns[j][i - fj] = l;
+            }
+            // NaN fails every comparison, so test finiteness explicitly
+            // rather than letting a poisoned pivot sail past `<= 0.0`.
+            if !diag.is_finite() {
+                return Err(FemError::NonFinite { equation: j });
             }
             if diag <= 0.0 {
                 return Err(FemError::SingularMatrix { equation: j });
@@ -222,6 +228,7 @@ pub fn dof_profile(mesh: &cafemio_mesh::TriMesh) -> Vec<usize> {
             .iter()
             .map(|n| 2 * n.index())
             .min()
+            // invariant: a triangle always has exactly three nodes.
             .expect("elements have nodes");
         for node in el.nodes {
             for dof in [2 * node.index(), 2 * node.index() + 1] {

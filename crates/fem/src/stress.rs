@@ -69,7 +69,8 @@ impl StressField {
                 AnalysisKind::Axisymmetric => material.d_axisymmetric()?,
             };
             let tri = mesh.triangle(id);
-            let matrices = element_stiffness(&tri, &d, model.kind())?;
+            let matrices =
+                element_stiffness(&tri, &d, model.kind()).map_err(|e| e.for_element(id.index()))?;
             let mut u = [0.0; 6];
             for (local, node) in el.nodes.iter().enumerate() {
                 let (ux, uy) = solution.displacement(*node);

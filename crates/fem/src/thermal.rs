@@ -253,10 +253,10 @@ impl ThermalSolution {
             .times
             .iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                (*a - t).abs().partial_cmp(&(*b - t).abs()).expect("no NaN")
-            })
+            .min_by(|(_, a), (_, b)| (*a - t).abs().total_cmp(&(*b - t).abs()))
             .map(|(i, _)| i)
+            // invariant: simulate() always records the initial snapshot,
+            // so the solution is never empty.
             .expect("non-empty solution");
         &self.snapshots[idx]
     }
@@ -267,6 +267,7 @@ impl ThermalSolution {
     ///
     /// Panics when the solution is empty.
     pub fn last(&self) -> &NodalField {
+        // invariant: simulate() always records the initial snapshot.
         self.snapshots.last().expect("non-empty solution")
     }
 }

@@ -109,6 +109,8 @@ impl Arc {
         let left = chord
             .perp()
             .normalized()
+            // invariant: the chord_len > EPSILON check above rules out a
+            // zero-length chord.
             .expect("non-degenerate chord has a direction");
         let center = start.midpoint(end) + left * h;
         let start_angle = (start - center).angle();

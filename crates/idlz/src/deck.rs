@@ -14,6 +14,7 @@ use crate::subdivision::Subdivision;
 use crate::{IdlzError, ShapeLine};
 
 fn fmt(spec: &str) -> Format {
+    // invariant: only called with compiled-in Appendix-B format literals.
     spec.parse().expect("internal format literal is valid")
 }
 
@@ -119,16 +120,26 @@ fn parse_data_set(cursor: &mut Cursor<'_>) -> Result<IdealizationSpec, IdlzError
             let values = FormatReader::new(&t6_format)
                 .read_record(card.text())
                 .map_err(IdlzError::Card)?;
-            let int = |i: usize| values[i].as_i64().expect("I field") as i32;
-            let real = |i: usize| values[i].as_f64().expect("F field");
+            let int = |i: usize| {
+                values[i].as_i64().map(|v| v as i32).ok_or_else(|| {
+                    IdlzError::BadDeck {
+                        reason: format!("shape line field {} is not an integer", i + 1),
+                    }
+                })
+            };
+            let real = |i: usize| {
+                values[i].as_f64().ok_or_else(|| IdlzError::BadDeck {
+                    reason: format!("shape line field {} is not numeric", i + 1),
+                })
+            };
             spec.add_shape_line(
                 sub_id,
                 ShapeLine {
-                    from: (int(0), int(1)),
-                    to: (int(2), int(3)),
-                    start: Point::new(real(4), real(5)),
-                    end: Point::new(real(6), real(7)),
-                    radius: real(8),
+                    from: (int(0)?, int(1)?),
+                    to: (int(2)?, int(3)?),
+                    start: Point::new(real(4)?, real(5)?),
+                    end: Point::new(real(6)?, real(7)?),
+                    radius: real(8)?,
                 },
             );
         }

@@ -190,6 +190,8 @@ fn interpolate_subdivision(
         // "two opposite sides in every subdivision will be straight
         // lines".
         for strip in &strips {
+            // invariant: the `ends_located` check above guarantees both
+            // strip ends are Some, and strips are never empty.
             let first = located[node_index[&strip[0]]].expect("ends located");
             let last =
                 located[node_index[strip.last().expect("non-empty strip")]].expect("ends located");
@@ -207,6 +209,8 @@ fn interpolate_subdivision(
         // Interpolate between the two parallel sides by fractional
         // position: strips of different lengths (trapezoids) map node j of
         // m onto the fraction j/(m-1) of each located side polyline.
+        // invariant: the `parallel_located` check above guarantees every
+        // node of both parallel sides is Some.
         let side_a: Vec<Point> = sub
             .side_nodes(par_a)
             .iter()

@@ -270,6 +270,8 @@ impl Subdivision {
     /// The node sequence of one side, in ascending strip order.
     pub fn side_nodes(&self, side: Side) -> Vec<GridPoint> {
         let strips = self.strips();
+        // invariant: construction validates the grid spans at least 2×2
+        // points, so there are always ≥ 2 strips of ≥ 2 nodes each.
         let firsts = || strips.iter().map(|s| s[0]).collect::<Vec<_>>();
         let lasts = || strips.iter().map(|s| *s.last().expect("non-empty strip")).collect();
         match self.taper {

@@ -12,10 +12,12 @@
 //! [`PerfReport`] that serializes both to JSON — the machine-readable
 //! artifact every perf PR benchmarks against.
 //!
-//! Instrumentation is **off by default and free when off**: a disabled
-//! [`span`] constructs no timer and takes no lock, and a disabled
-//! [`counter`] is a single relaxed atomic load. Turn collection on around
-//! the region you care about, then drain with [`take_report`]:
+//! Instrumentation is **off by default and near-free when off**: a
+//! disabled [`span`] records nothing and takes no lock (it only maintains
+//! the thread-local open-span name stack behind [`active_spans`], one
+//! clock read and one push), and a disabled [`counter`] is a single
+//! relaxed atomic load. Turn collection on around the region you care
+//! about, then drain with [`take_report`]:
 //!
 //! ```
 //! cafemio_instrument::set_enabled(true);
@@ -49,4 +51,6 @@ mod report;
 mod span;
 
 pub use report::{CounterRecord, PerfReport, ReportError, SpanRecord};
-pub use span::{counter, is_enabled, set_enabled, span, take_report, Span};
+pub use span::{
+    active_spans, counter, is_enabled, set_enabled, span, take_report, ActiveSpan, Span,
+};

@@ -29,10 +29,15 @@ struct Collector {
 thread_local! {
     /// Nesting depth of open spans on this thread.
     static DEPTH: Cell<u32> = const { Cell::new(0) };
+    /// Names and start times of the spans currently open on this thread,
+    /// outermost first. Maintained even while collection is disabled so
+    /// error paths can always attach "where was the pipeline" context.
+    static STACK: std::cell::RefCell<Vec<(&'static str, Instant)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
 }
 
 /// Turns collection on or off. Off is the default; a disabled [`span`]
-/// costs one relaxed atomic load.
+/// records nothing and only maintains the open-span name stack.
 pub fn set_enabled(on: bool) {
     ENABLED.store(on, Ordering::Relaxed);
 }
@@ -45,7 +50,14 @@ pub fn is_enabled() -> bool {
 /// Opens a timing span; the returned guard records the elapsed wall-clock
 /// time when dropped. Spans opened while another span is live on the same
 /// thread record a one-greater nesting depth.
+///
+/// The open-span *name stack* is maintained even while collection is
+/// disabled (a disabled span costs one clock read and one thread-local
+/// push), so [`active_spans`] can always report where a failing pipeline
+/// was and for how long it had been there.
 pub fn span(name: &'static str) -> Span {
+    let start = Instant::now();
+    STACK.with(|s| s.borrow_mut().push((name, start)));
     if !is_enabled() {
         return Span { armed: None, name };
     }
@@ -56,12 +68,49 @@ pub fn span(name: &'static str) -> Span {
     });
     Span {
         armed: Some(Armed {
-            start: Instant::now(),
+            start,
             seq: START_SEQ.fetch_add(1, Ordering::Relaxed),
             depth,
         }),
         name,
     }
+}
+
+/// A span that is currently open on this thread, captured by
+/// [`active_spans`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActiveSpan {
+    /// The span name passed to [`span`].
+    pub name: &'static str,
+    /// Wall-clock nanoseconds the span has been open so far.
+    pub elapsed_nanos: u64,
+}
+
+impl std::fmt::Display for ActiveSpan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({:.3} ms)",
+            self.name,
+            self.elapsed_nanos as f64 / 1e6
+        )
+    }
+}
+
+/// The spans currently open on this thread, outermost first, with their
+/// elapsed time so far. Works whether or not collection is enabled; error
+/// types use it to attach "which stage, how deep, for how long" context
+/// to failures.
+pub fn active_spans() -> Vec<ActiveSpan> {
+    STACK.with(|s| {
+        s.borrow()
+            .iter()
+            .map(|&(name, start)| ActiveSpan {
+                name,
+                elapsed_nanos: start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+            })
+            .collect()
+    })
 }
 
 /// Records a named counter value. Re-recording a name overwrites the
@@ -70,7 +119,7 @@ pub fn counter(name: &'static str, value: u64) {
     if !is_enabled() {
         return;
     }
-    let mut collector = COLLECTOR.lock().expect("instrument collector poisoned");
+    let mut collector = COLLECTOR.lock().unwrap_or_else(|e| e.into_inner());
     if let Some(existing) = collector.counters.iter_mut().find(|c| c.name == name) {
         existing.value = value;
     } else {
@@ -84,7 +133,7 @@ pub fn counter(name: &'static str, value: u64) {
 /// Drains everything recorded so far into a [`PerfReport`]. Spans are
 /// listed in start order; counters in first-recorded order.
 pub fn take_report() -> PerfReport {
-    let mut collector = COLLECTOR.lock().expect("instrument collector poisoned");
+    let mut collector = COLLECTOR.lock().unwrap_or_else(|e| e.into_inner());
     let mut spans = std::mem::take(&mut collector.spans);
     let counters = std::mem::take(&mut collector.counters);
     spans.sort_by_key(|&(seq, _)| seq);
@@ -112,6 +161,9 @@ struct Armed {
 
 impl Drop for Span {
     fn drop(&mut self) {
+        STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
         let Some(armed) = self.armed.take() else {
             return;
         };
@@ -122,7 +174,7 @@ impl Drop for Span {
             depth: armed.depth,
             nanos,
         };
-        let mut collector = COLLECTOR.lock().expect("instrument collector poisoned");
+        let mut collector = COLLECTOR.lock().unwrap_or_else(|e| e.into_inner());
         collector.spans.push((armed.seq, record));
     }
 }
@@ -156,6 +208,26 @@ mod tests {
         let report = take_report();
         assert!(report.spans.is_empty());
         assert!(report.counters.is_empty());
+    }
+
+    #[test]
+    fn active_spans_track_open_scopes_even_when_disabled() {
+        let _guard = TEST_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(false);
+        assert!(active_spans().is_empty());
+        let _outer = span("ctx.outer");
+        {
+            let _inner = span("ctx.inner");
+            let open = active_spans();
+            let names: Vec<&str> = open.iter().map(|s| s.name).collect();
+            assert_eq!(names, ["ctx.outer", "ctx.inner"]);
+        }
+        let open = active_spans();
+        assert_eq!(open.len(), 1);
+        assert_eq!(open[0].name, "ctx.outer");
+        assert!(open[0].to_string().starts_with("ctx.outer ("));
+        drop(_outer);
+        assert!(active_spans().is_empty());
     }
 
     #[test]

@@ -131,6 +131,7 @@ fn bfs_levels(start: usize, adjacency: &[Vec<NodeId>]) -> (Vec<Option<usize>>, u
     let mut queue = VecDeque::from([start]);
     let mut depth = 0;
     while let Some(v) = queue.pop_front() {
+        // invariant: every node is assigned a level before being queued.
         let lvl = levels[v].expect("queued nodes have levels");
         depth = depth.max(lvl);
         for u in &adjacency[v] {

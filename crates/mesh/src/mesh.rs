@@ -457,6 +457,8 @@ impl TriMesh {
             let ca = midpoint(&mut fine, c, a);
             for tri in [[a, ab, ca], [ab, b, bc], [ca, bc, c], [ab, bc, ca]] {
                 fine.add_element(tri)
+                    // invariant: the corner and midpoint ids were all just
+                    // added to `fine`.
                     .expect("refinement references existing nodes");
             }
         }

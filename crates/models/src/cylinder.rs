@@ -37,6 +37,7 @@ fn base_spec(title: &str, stiffener_rows: &[i32], refine: i32) -> IdealizationSp
     let rows = ROWS_PER_BAY * refine;
     // Barrel: columns k thick..2·thick (wall thickness), rows 0..rows.
     spec.add_subdivision(
+        // invariant: compiled-in grid constants satisfy the subdivision rules.
         Subdivision::rectangular(1, (thick, 0), (2 * thick, rows)).expect("valid barrel"),
     );
     for (k, radius) in [(thick, INNER_RADIUS), (2 * thick, OUTER_RADIUS)] {
@@ -69,6 +70,7 @@ fn base_spec(title: &str, stiffener_rows: &[i32], refine: i32) -> IdealizationSp
         let id = 3 + i;
         let row = bay * refine;
         spec.add_subdivision(
+            // invariant: compiled-in grid constants satisfy the subdivision rules.
             Subdivision::rectangular(id, (0, row), (thick, row + refine))
                 .expect("valid stiffener"),
         );
@@ -138,13 +140,15 @@ pub fn pressure_model(mesh: &TriMesh) -> FemModel {
     // the radius test is generous.
     let closure_center = Point::new(0.0, BARREL_LENGTH);
     let chord_sag = OUTER_RADIUS * 0.02 + SELECT_TOL;
+    // invariant: the catalog geometry has no zero-length boundary edges.
     let loaded = apply_pressure_where(&mut model, PRESSURE, move |p| {
         if p.y <= BARREL_LENGTH + SELECT_TOL {
             (p.x - OUTER_RADIUS).abs() < SELECT_TOL
         } else {
             p.distance_to(closure_center) > OUTER_RADIUS - chord_sag - SELECT_TOL
         }
-    });
+    })
+    .expect("catalog geometry has no degenerate edges");
     debug_assert!(loaded > 0);
     model
 }

@@ -61,6 +61,7 @@ pub fn dsrv_spec() -> IdealizationSpec {
     let skirt_top = k.y;
 
     // Skirt: columns 2..4, rows 0..4 (subdivision 1, shaped explicitly).
+    // invariant: compiled-in grid constants satisfy the subdivision rules.
     spec.add_subdivision(Subdivision::rectangular(1, (2, 0), (4, 4)).expect("valid skirt"));
     for (col, radius) in [(2, skirt_inner), (4, skirt_outer)] {
         spec.add_shape_line(
@@ -99,6 +100,7 @@ pub fn dsrv_spec() -> IdealizationSpec {
     );
     // Bolting flange: outward ring sharing the skirt's outer column over
     // its lowest row (subdivision 4).
+    // invariant: compiled-in grid constants satisfy the subdivision rules.
     spec.add_subdivision(Subdivision::rectangular(4, (4, 0), (8, 1)).expect("valid flange"));
     let skirt_row = skirt_top / 4.0;
     spec.add_shape_line(
@@ -127,6 +129,7 @@ pub fn dsrv_pressure_model(mesh: &TriMesh) -> FemModel {
     let c = dsrv_center();
     let crown_outer = DSRV_CROWN_INNER + DSRV_THICKNESS;
     let knuckle_outer = DSRV_KNUCKLE + DSRV_THICKNESS;
+    // invariant: the catalog geometry has no zero-length boundary edges.
     apply_pressure_where(&mut model, DSRV_PRESSURE, move |p| {
         if p.y >= k.y - SELECT_TOL {
             // Crown outer sphere, or the knuckle's outer torus surface
@@ -137,7 +140,8 @@ pub fn dsrv_pressure_model(mesh: &TriMesh) -> FemModel {
         } else {
             (p.x - skirt_outer).abs() < SELECT_TOL
         }
-    });
+    })
+    .expect("catalog geometry has no degenerate edges");
     model
 }
 
@@ -191,6 +195,7 @@ pub fn dssv_hatch_spec() -> IdealizationSpec {
         DSSV_EDGE_ANGLE,
         0.0,
     );
+    // invariant: compiled-in grid constants satisfy the subdivision rules.
     spec.add_subdivision(Subdivision::rectangular(2, (0, 0), (2, 2)).expect("valid skirt"));
     let (inner, outer) = dssv_skirt_bottom();
     spec.add_shape_line(2, ShapeLine::straight((0, 0), (2, 0), inner, outer));
@@ -213,9 +218,11 @@ pub fn dssv_pressure_model(mesh: &TriMesh) -> FemModel {
     // Pressure on everything at or outside the outer surface of
     // revolution (the skirt flares outside the cap's sphere).
     let r_outer = DSSV_CAP_INNER + DSSV_CAP_THICKNESS;
+    // invariant: the catalog geometry has no zero-length boundary edges.
     apply_pressure_where(&mut model, DSSV_PRESSURE, move |p| {
         p.distance_to(Point::ORIGIN) > r_outer - 0.1
-    });
+    })
+    .expect("catalog geometry has no degenerate edges");
     model
 }
 
@@ -246,9 +253,11 @@ pub fn dssv_contact_model(
         model.fix_x(node);
     }
     let r_outer = DSSV_CAP_INNER + DSSV_CAP_THICKNESS;
+    // invariant: the catalog geometry has no zero-length boundary edges.
     apply_pressure_where(&mut model, DSSV_PRESSURE, move |p| {
         p.distance_to(Point::ORIGIN) > r_outer - 0.1
-    });
+    })
+    .expect("catalog geometry has no degenerate edges");
     let supports = seat_nodes
         .into_iter()
         .map(cafemio_fem::ContactSupport::touching)
@@ -333,9 +342,11 @@ pub fn hemi_pressure_model(mesh: &TriMesh) -> FemModel {
     let seat = Segment::new(lower_inner, lower_outer);
     fix_where(&mut model, move |p| seat.distance_to_point(p) < 1e-6);
     let r_outer = HEMI_INNER + HEMI_THICKNESS;
+    // invariant: the catalog geometry has no zero-length boundary edges.
     apply_pressure_where(&mut model, HEMI_PRESSURE, move |p| {
         p.distance_to(Point::ORIGIN) > r_outer - 0.1
-    });
+    })
+    .expect("catalog geometry has no degenerate edges");
     model
 }
 

@@ -34,6 +34,7 @@ pub const PRESSURE: f64 = 1500.0;
 /// protruding inward at mid-height, node rows crowded toward the joint.
 pub fn spec() -> IdealizationSpec {
     let mut spec = IdealizationSpec::new("INTERNALLY REINFORCED GLASS JOINT");
+    // invariant: compiled-in grid constants satisfy the subdivision rules.
     spec.add_subdivision(Subdivision::rectangular(1, (2, 0), (4, 16)).expect("valid wall"));
     // Crowding: 16 grid rows over 32 units of height, but rows 6..10 are
     // squeezed into the 4 units around the joint (Hint 5: several line
@@ -71,6 +72,7 @@ pub fn spec() -> IdealizationSpec {
         );
     }
     // Reinforcement ring: shares the wall's inner column rows 6..10.
+    // invariant: compiled-in grid constants satisfy the subdivision rules.
     spec.add_subdivision(Subdivision::rectangular(2, (0, 6), (2, 10)).expect("valid ring"));
     spec.add_shape_line(
         2,
@@ -101,9 +103,11 @@ pub fn pressure_model(mesh: &TriMesh) -> FemModel {
     }
     fix_y_where(&mut model, |p| p.y.abs() < SELECT_TOL);
     fix_y_where(&mut model, |p| (p.y - 2.0 * HALF_HEIGHT).abs() < SELECT_TOL);
+    // invariant: the catalog geometry has no zero-length boundary edges.
     apply_pressure_where(&mut model, PRESSURE, |p| {
         (p.x - WALL_OUTER_RADIUS).abs() < SELECT_TOL
-    });
+    })
+    .expect("catalog geometry has no degenerate edges");
     model
 }
 

@@ -20,6 +20,7 @@ pub fn spec(nx: i32, ny: i32, width: f64, height: f64) -> IdealizationSpec {
     let mut spec = IdealizationSpec::new("RECTANGULAR PLATE");
     spec.set_limits(Limits::unbounded());
     spec.add_subdivision(
+        // invariant: compiled-in grid constants satisfy the subdivision rules.
         Subdivision::rectangular(1, (0, 0), (nx, ny)).expect("validated dimensions"),
     );
     spec.add_shape_line(
@@ -69,7 +70,9 @@ pub fn tension_model(mesh: &TriMesh) -> FemModel {
         (p.x - x0).abs() < SELECT_TOL && (p.y - bbox.min().y).abs() < SELECT_TOL
     });
     // Negative pressure = suction = pulling the right edge outward.
-    apply_pressure_where(&mut model, -1000.0, |p| (p.x - x1).abs() < SELECT_TOL);
+    // invariant: the catalog geometry has no zero-length boundary edges.
+    apply_pressure_where(&mut model, -1000.0, |p| (p.x - x1).abs() < SELECT_TOL)
+        .expect("catalog geometry has no degenerate edges");
     model
 }
 

@@ -34,6 +34,7 @@ pub fn spec() -> IdealizationSpec {
     let mut spec = IdealizationSpec::new("QUARTER PLATE WITH CIRCULAR HOLE");
     spec.set_limits(Limits::unbounded());
     spec.add_subdivision(
+        // invariant: compiled-in grid constants satisfy the subdivision rules.
         Subdivision::rectangular(1, (0, 0), (RADIAL, TANGENTIAL)).expect("valid grid"),
     );
     // Left side (k = 0): the hole, a quarter arc from (a, 0) to (0, a).
@@ -82,7 +83,9 @@ pub fn tension_model(mesh: &TriMesh) -> FemModel {
     fix_y_where(&mut model, |p| p.y.abs() < SELECT_TOL);
     fix_x_where(&mut model, |p| p.x.abs() < SELECT_TOL);
     // Suction (negative pressure) pulls the far face outward in +x.
-    apply_pressure_where(&mut model, -TENSION, |p| (p.x - WIDTH).abs() < SELECT_TOL);
+    // invariant: the catalog geometry has no zero-length boundary edges.
+    apply_pressure_where(&mut model, -TENSION, |p| (p.x - WIDTH).abs() < SELECT_TOL)
+        .expect("catalog geometry has no degenerate edges");
     model
 }
 

@@ -34,6 +34,7 @@ pub fn spec() -> IdealizationSpec {
         let l0 = quarter * ARC_STEPS;
         let l1 = l0 + ARC_STEPS;
         spec.add_subdivision(
+            // invariant: compiled-in grid constants satisfy the subdivision rules.
             Subdivision::rectangular(id, (0, l0), (THICKNESS_STEPS, l1))
                 .expect("quarter dimensions are valid"),
         );
@@ -91,9 +92,11 @@ pub fn pressure_model(mesh: &cafemio_mesh::TriMesh, p: f64) -> cafemio_fem::FemM
         q.y.abs() < tol && (q.x + INNER_RADIUS).abs() < tol
     });
     let mid = 0.5 * (INNER_RADIUS + OUTER_RADIUS);
+    // invariant: the catalog geometry has no zero-length boundary edges.
     crate::support::apply_pressure_where(&mut model, p, move |q| {
         q.distance_to(cafemio_geom::Point::ORIGIN) < mid
-    });
+    })
+    .expect("catalog geometry has no degenerate edges");
     model
 }
 

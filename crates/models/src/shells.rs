@@ -52,6 +52,7 @@ pub fn add_shell_sector(
     let (k0, l0) = lower_left;
     let (k1, l1) = upper_right;
     spec.add_subdivision(
+        // invariant: compiled-in grid constants satisfy the subdivision rules.
         Subdivision::rectangular(id, lower_left, upper_right).expect("valid shell grid"),
     );
     // Inner arc along the left side, outer along the right; both run CCW

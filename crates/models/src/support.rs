@@ -57,11 +57,16 @@ pub fn directed_boundary_edges(mesh: &TriMesh) -> Vec<(NodeId, NodeId)> {
 /// Applies pressure `p` (positive = compressing the structure) to every
 /// boundary edge whose midpoint satisfies the predicate. Returns the
 /// number of loaded edges so callers can assert the load actually landed.
+///
+/// # Errors
+///
+/// [`cafemio_fem::FemError::DegenerateEdge`] when a selected boundary
+/// edge has zero length (coincident nodes).
 pub fn apply_pressure_where<F: Fn(Point) -> bool>(
     model: &mut FemModel,
     p: f64,
     pred: F,
-) -> usize {
+) -> Result<usize, cafemio_fem::FemError> {
     let edges = directed_boundary_edges(model.mesh());
     let mut loaded = 0;
     for (a, b) in edges {
@@ -71,11 +76,11 @@ pub fn apply_pressure_where<F: Fn(Point) -> bool>(
             .position
             .midpoint(model.mesh().node(b).position);
         if pred(mid) {
-            model.add_edge_pressure(a, b, p);
+            model.add_edge_pressure(a, b, p)?;
             loaded += 1;
         }
     }
-    loaded
+    Ok(loaded)
 }
 
 /// Fixes the x/r displacement of every node satisfying the predicate;
@@ -156,7 +161,8 @@ mod tests {
         );
         fix_where(&mut model, |p| p.x < SELECT_TOL);
         // Pressure on the right face (x = 1).
-        let loaded = apply_pressure_where(&mut model, 100.0, |p| (p.x - 1.0).abs() < SELECT_TOL);
+        let loaded = apply_pressure_where(&mut model, 100.0, |p| (p.x - 1.0).abs() < SELECT_TOL)
+            .unwrap();
         assert_eq!(loaded, 1);
         let solution = model.solve().unwrap();
         // The right face moves inward (-x).

@@ -39,7 +39,9 @@ pub fn spec() -> IdealizationSpec {
     // Physical: x from the symmetry plane, y upward, flange top at y = 0.
     let web_top = -FLANGE_THICKNESS;
     let web_bottom = web_top - WEB_DEPTH;
+    // invariant: compiled-in grid constants satisfy the subdivision rules.
     spec.add_subdivision(Subdivision::rectangular(1, (0, 0), (2, 8)).expect("valid"));
+    // invariant: compiled-in grid constants satisfy the subdivision rules.
     spec.add_subdivision(Subdivision::rectangular(2, (0, 8), (12, 11)).expect("valid"));
     // Web: bottom and top rows located; note the top row spans only the
     // web's two columns — the flange interpolation covers the rest.

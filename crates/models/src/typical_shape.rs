@@ -24,6 +24,7 @@ pub const CELLS_Y: i32 = 3;
 pub fn spec() -> IdealizationSpec {
     let mut spec = IdealizationSpec::new("TYPICAL SHAPE - TRAPEZOIDAL SUBDIVISION REFORMED");
     spec.add_subdivision(
+        // invariant: compiled-in grid constants satisfy the subdivision rules.
         Subdivision::rectangular(1, (0, 0), (CELLS_X, CELLS_Y)).expect("valid rectangle"),
     );
     spec.add_shape_line(

@@ -40,6 +40,7 @@ pub fn seat_radius(z: f64) -> f64 {
 /// `l0..l0+4`.
 fn add_cone(spec: &mut IdealizationSpec, id: usize, l0: i32) {
     spec.add_subdivision(
+        // invariant: compiled-in grid constants satisfy the subdivision rules.
         Subdivision::row_trapezoid(id, (0, l0), (12, l0 + 4), 1).expect("valid cone"),
     );
     // Bottom row spans grid k 4..8 (5 nodes): the inner face.
@@ -80,6 +81,7 @@ pub fn juncture_spec() -> IdealizationSpec {
     // side nodes (8,0), (9,1) … (12,4) coincide with the cone's right
     // side, so the two subdivisions knit.
     spec.add_subdivision(
+        // invariant: compiled-in grid constants satisfy the subdivision rules.
         Subdivision::row_trapezoid(2, (8, 0), (16, 4), -1).expect("valid wedge"),
     );
     // Bottom of the wedge: from the seat corner out to the ring edge.
@@ -112,6 +114,7 @@ pub fn transition_spec() -> IdealizationSpec {
     let mut spec = IdealizationSpec::new("DSSV VIEWPORT AND TRANSITION RING");
     add_cone(&mut spec, 1, 2);
     spec.add_subdivision(
+        // invariant: compiled-in grid constants satisfy the subdivision rules.
         Subdivision::row_trapezoid(2, (8, 2), (16, 6), -1).expect("valid wedge"),
     );
     spec.add_shape_line(
@@ -133,6 +136,7 @@ pub fn transition_spec() -> IdealizationSpec {
         ),
     );
     // Transition ring below the wedge: rows 0..2, sharing row 2.
+    // invariant: compiled-in grid constants satisfy the subdivision rules.
     spec.add_subdivision(Subdivision::rectangular(3, (8, 0), (16, 2)).expect("valid ring"));
     spec.add_shape_line(
         3,
@@ -170,10 +174,12 @@ pub fn pressure_model(mesh: &TriMesh) -> FemModel {
     });
     // Pressure down onto every top face (z = THICKNESS for the window,
     // z = 0 on the exposed wedge top).
+    // invariant: the catalog geometry has no zero-length boundary edges.
     apply_pressure_where(&mut model, PRESSURE, |p| {
         (p.y - THICKNESS).abs() < SELECT_TOL
             || (p.y.abs() < SELECT_TOL && p.x > OUTER_FACE_RADIUS)
-    });
+    })
+    .expect("catalog geometry has no degenerate edges");
     model
 }
 

@@ -13,6 +13,7 @@ use crate::ospl::ContourOptions;
 use crate::OsplError;
 
 fn fmt(spec: &str) -> Format {
+    // invariant: only called with compiled-in Appendix-A format literals.
     spec.parse().expect("internal format literal is valid")
 }
 

@@ -69,6 +69,7 @@ impl Isogram {
             let mut chain = vec![self.segments[start].a, self.segments[start].b];
             // Grow at the tail, then at the head.
             loop {
+                // invariant: the chain is seeded with two points above.
                 let tail = *chain.last().expect("non-empty chain");
                 let next = (0..n).find(|&j| {
                     !used[j]

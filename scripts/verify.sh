@@ -1,19 +1,69 @@
 #!/usr/bin/env bash
-# Full verification gate: build, tests, docs (warnings denied), clippy
-# (warnings denied). Run from the repository root.
+# Verification gate, shared by local runs and CI.
+#
+#   scripts/verify.sh              # every stage
+#   scripts/verify.sh build test   # a selection
+#
+# Stages:
+#   build   release build of the whole workspace
+#   test    workspace test suite (includes the fault-injection suite)
+#   doc     rustdoc with warnings denied
+#   clippy  clippy on all targets with warnings denied
+#   fuzz    fixed-seed fault-injection smoke (panic-free pipeline gate)
+#   bench   figures binary + BENCH_pipeline.json structural validation
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== build (release)"
-cargo build --release --workspace
+run_build() {
+  echo "== build (release)"
+  cargo build --release --workspace
+}
 
-echo "== tests"
-cargo test -q --workspace
+run_test() {
+  echo "== tests"
+  cargo test -q --workspace
+}
 
-echo "== rustdoc (warnings are errors)"
-RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+run_doc() {
+  echo "== rustdoc (warnings are errors)"
+  RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+}
 
-echo "== clippy (warnings are errors)"
-cargo clippy --workspace --all-targets -- -D warnings
+run_clippy() {
+  echo "== clippy (warnings are errors)"
+  cargo clippy --workspace --all-targets -- -D warnings
+}
 
-echo "verify: all gates passed"
+run_fuzz() {
+  echo "== fuzz smoke (fixed-seed fault injection)"
+  cargo run --release -p cafemio-bench --bin fuzz_smoke
+}
+
+run_bench() {
+  echo "== bench smoke (stage timings artifact)"
+  # Regenerate only the timing profile (the filter matches no figure id).
+  cargo run --release -p cafemio-bench --bin figures -- NONE_SELECTED
+  cargo run --release -p cafemio-bench --bin bench_smoke
+}
+
+stages=("$@")
+if [ ${#stages[@]} -eq 0 ]; then
+  stages=(build test doc clippy fuzz bench)
+fi
+
+for stage in "${stages[@]}"; do
+  case "$stage" in
+    build) run_build ;;
+    test) run_test ;;
+    doc) run_doc ;;
+    clippy) run_clippy ;;
+    fuzz) run_fuzz ;;
+    bench) run_bench ;;
+    *)
+      echo "verify: unknown stage '$stage'" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo "verify: all requested gates passed (${stages[*]})"

@@ -107,6 +107,100 @@ fn ospl_errors_describe_the_failure() {
     );
 }
 
+/// A minimal valid single-data-set deck (the Appendix-B sample plate).
+const PLATE_DECK: &str = concat!(
+    "    1\n",
+    "SIMPLE PLATE\n",
+    "    0    0    0    1\n",
+    "    1    0    0    4    2         0    0\n",
+    "    1    2\n",
+    "    0    0    4    0  0.0000  0.0000  2.0000  0.0000  0.0000\n",
+    "    0    2    4    2  0.0000  0.5000  2.0000  0.5000  0.0000\n",
+    "(2F9.5, 51X, I3, 5X, I3)\n",
+    "(3I5, 62X, I3)\n",
+);
+
+// Golden pipeline errors: the exact rendered text is the contract — it
+// is what a batch run prints for a rejected deck, so it must stay
+// deterministic (stage name + underlying error, no timings).
+
+#[test]
+fn golden_bad_subdivision_card() {
+    // Type-4 card whose upper-right corner equals its lower-left.
+    let bad = PLATE_DECK.replace(
+        "    1    0    0    4    2         0    0",
+        "    1    0    0    0    0         0    0",
+    );
+    let err = cafemio::pipeline::idealize_deck_text(&bad).unwrap_err();
+    assert_eq!(err.stage(), cafemio::pipeline::Stage::DeckParse);
+    assert_eq!(
+        err.to_string(),
+        "deck parsing failed: subdivision 1: upper-right corner (0, 0) must \
+         exceed lower-left (0, 0) in both coordinates"
+    );
+}
+
+#[test]
+fn golden_arc_past_quarter_turn() {
+    // Top side becomes an arc whose chord equals its diameter: a
+    // half-turn, far past the program's 90-degree restriction.
+    let bad = PLATE_DECK.replace(
+        "    0    2    4    2  0.0000  0.5000  2.0000  0.5000  0.0000",
+        "    0    2    4    2  0.0000  0.5000  2.0000  0.5000  1.0000",
+    );
+    let err = cafemio::pipeline::idealize_deck_text(&bad).unwrap_err();
+    assert_eq!(err.stage(), cafemio::pipeline::Stage::Idealize);
+    assert_eq!(
+        err.to_string(),
+        "idealization failed: arc in subdivision 1: arc subtends more than 90 degrees"
+    );
+}
+
+#[test]
+fn golden_singular_stiffness_matrix() {
+    use cafemio::pipeline::{PipelineError, Stage, StageError};
+    // Factorization failure, as `solve_and_contour` wraps it.
+    let err = PipelineError::at(
+        Stage::Solve,
+        StageError::Fem(FemError::SingularMatrix { equation: 42 }),
+    );
+    assert_eq!(
+        err.to_string(),
+        "solution failed: stiffness matrix not positive definite at equation 42 \
+         (model may be under-constrained)"
+    );
+}
+
+#[test]
+fn golden_unconstrained_model_end_to_end() {
+    // The deterministic singular case: no displacement constraint at
+    // all is rejected structurally, before factorization can smear the
+    // zero pivots into roundoff.
+    let err = cafemio::pipeline::run_deck(
+        PLATE_DECK,
+        |mesh| {
+            Ok(cafemio::fem::FemModel::new(
+                mesh.clone(),
+                cafemio::fem::AnalysisKind::PlaneStress { thickness: 1.0 },
+                cafemio::fem::Material::isotropic(30.0e6, 0.3),
+            ))
+        },
+        cafemio::pipeline::StressComponent::Effective,
+        &cafemio::ospl::ContourOptions::new(),
+    )
+    .unwrap_err();
+    assert_eq!(err.stage(), cafemio::pipeline::Stage::Solve);
+    assert_eq!(
+        err.to_string(),
+        "solution failed: model has no displacement constraints (stiffness \
+         matrix is singular: all rigid-body modes are free)"
+    );
+    // Stage provenance includes the live span stack at capture time.
+    assert!(err
+        .span_context()
+        .contains(&"pipeline.solve_and_contour"));
+}
+
 #[test]
 fn geometry_errors_are_terse_and_lowercase() {
     let err = Arc::from_endpoints_radius(Point::ORIGIN, Point::new(10.0, 0.0), 1.0).unwrap_err();

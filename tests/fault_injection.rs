@@ -1,0 +1,93 @@
+//! Fault injection: the panic-free contract of the deck pipeline.
+//!
+//! Hundreds of systematically corrupted IDLZ decks — truncated cards,
+//! garbage fields, zero-area subdivisions, out-of-range grid points,
+//! over-quarter arcs, and singular boundary conditions — are driven
+//! through `cafemio::pipeline::idealize_deck_text` / `run_deck` under
+//! `catch_unwind`. Every case must fail with a structured
+//! `PipelineError` attributed to the fault's stage; none may panic.
+//!
+//! The mutation engine lives in `cafemio_bench::mutate` (shared with the
+//! CI `fuzz_smoke` binary) and is seeded explicitly, so any failure here
+//! reproduces from the seed alone.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use cafemio::pipeline::{idealize_deck_text, Stage};
+use cafemio_bench::mutate::{base_decks, mutate, run_sweep, Fault, SplitMix64};
+
+/// The acceptance floor: at least this many mutated decks per sweep.
+const MIN_CASES: usize = 200;
+
+#[test]
+fn mutated_decks_never_panic_and_always_attribute_a_stage() {
+    let per_round = base_decks().len() * Fault::ALL.len();
+    assert!(per_round > 0, "no catalog deck survives a round trip");
+    let rounds = MIN_CASES.div_ceil(per_round);
+    let report = run_sweep(0x0FF1_C1A1_DECC_5EED, rounds);
+    assert!(
+        report.cases >= MIN_CASES,
+        "sweep ran only {} cases (need {MIN_CASES})",
+        report.cases
+    );
+    assert!(
+        report.failures.is_empty(),
+        "{} of {} cases violated the panic-free contract:\n{}",
+        report.failures.len(),
+        report.cases,
+        report.failures.join("\n")
+    );
+}
+
+#[test]
+fn every_catalog_deck_is_mutable_by_every_deck_fault() {
+    // The mutator must actually change the text for every text fault —
+    // an identity "mutation" would test nothing.
+    let mut rng = SplitMix64::new(9);
+    for (name, text) in base_decks() {
+        for fault in Fault::ALL {
+            let mutated = mutate(&text, fault, &mut rng);
+            if fault == Fault::SingularBc {
+                assert_eq!(mutated, text, "{name}: singular-bc must not edit the deck");
+            } else {
+                assert_ne!(mutated, text, "{name}/{} left the deck intact", fault.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn truncated_decks_report_what_card_was_missing() {
+    let (_, text) = &base_decks()[0];
+    let mut rng = SplitMix64::new(3);
+    let mutated = mutate(text, Fault::TruncateDeck, &mut rng);
+    let err = idealize_deck_text(&mutated).unwrap_err();
+    assert_eq!(err.stage(), Stage::DeckParse);
+    assert!(
+        err.to_string().contains("deck ends where a"),
+        "unexpected message: {err}"
+    );
+}
+
+#[test]
+fn deep_mutation_storm_stays_panic_free() {
+    // Beyond the structured faults: hammer one deck with many seeds and
+    // every fault kind, requiring only "no panic + stage attributed".
+    let decks = base_decks();
+    let (_, text) = &decks[decks.len() - 1];
+    for seed in 0..40u64 {
+        let mut rng = SplitMix64::new(seed);
+        for fault in Fault::ALL {
+            if fault == Fault::SingularBc {
+                continue;
+            }
+            let mutated = mutate(text, fault, &mut rng);
+            let outcome = catch_unwind(AssertUnwindSafe(|| idealize_deck_text(&mutated)));
+            let result = outcome.unwrap_or_else(|_| {
+                panic!("seed {seed}/{} panicked", fault.name());
+            });
+            let err = result.expect_err("mutated deck must not idealize");
+            assert_eq!(err.stage(), fault.expected_stage(), "seed {seed}: {err}");
+        }
+    }
+}

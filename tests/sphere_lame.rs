@@ -44,7 +44,8 @@ fn thick_sphere_matches_lame() {
     // the polygonal meridian).
     let loaded = apply_pressure_where(&mut model, P, |p| {
         p.distance_to(Point::ORIGIN) > RO - 0.05
-    });
+    })
+    .unwrap();
     assert!(loaded >= 16, "outer surface loaded ({loaded} edges)");
     let solution = model.solve().unwrap();
     let stresses = StressField::compute(&model, &solution).unwrap();
@@ -82,7 +83,7 @@ fn displacement_is_purely_radial_in_the_sphere() {
     );
     fix_axis(&mut model);
     fix_y_where(&mut model, |p| p.y.abs() < SELECT_TOL);
-    apply_pressure_where(&mut model, P, |p| p.distance_to(Point::ORIGIN) > RO - 0.05);
+    apply_pressure_where(&mut model, P, |p| p.distance_to(Point::ORIGIN) > RO - 0.05).unwrap();
     let solution = model.solve().unwrap();
     let mut worst_angle: f64 = 0.0;
     for (id, node) in model.mesh().nodes() {
