@@ -22,14 +22,19 @@ fn figure_pipelines() {
     let group = Group::new("figure_pipeline").sample_size(15);
     for (name, spec, model_fn) in cases {
         group.bench(name, || {
-            let idealized = Idealization::run(black_box(&spec)).unwrap();
-            let model = model_fn(&idealized.mesh);
-            cafemio::pipeline::solve_and_contour(
-                &model,
-                StressComponent::Effective,
-                &ContourOptions::new(),
-            )
-            .unwrap()
+            PipelineBuilder::new()
+                .component(StressComponent::Effective)
+                .specs(vec![black_box(spec.clone())])
+                .idealize()
+                .unwrap()
+                .setup(|mesh| Ok(model_fn(mesh)))
+                .unwrap()
+                .solve()
+                .unwrap()
+                .recover()
+                .unwrap()
+                .contour()
+                .unwrap()
         });
     }
 }

@@ -1,0 +1,65 @@
+//! Batch throughput benchmark: drives the standard job corpus through
+//! [`cafemio::batch::run_batch`] and writes the merged per-stage timing
+//! artifact `BENCH_batch.json`.
+//!
+//! ```sh
+//! cargo run --release -p cafemio-bench --bin batch_bench             # all cores
+//! cargo run --release -p cafemio-bench --bin batch_bench -- 4 3     # 4 workers, 3 repeats
+//! ```
+//!
+//! The first argument picks the worker count (default: all cores), the
+//! second how many times the corpus is repeated to lengthen the run
+//! (default: 2). The JSON carries the aggregated `batch.*` stage spans
+//! plus the `batch.jobs_per_sec_milli` throughput counter that the
+//! `batch_smoke` validator and CI check.
+
+use std::error::Error;
+
+use cafemio::batch::{run_batch, BatchOptions};
+use cafemio_bench::jobs::corpus;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut args = std::env::args().skip(1);
+    let workers: usize = match args.next() {
+        Some(text) => text.parse()?,
+        None => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    };
+    let repeats: usize = match args.next() {
+        Some(text) => text.parse()?,
+        None => 2,
+    };
+
+    let base = corpus();
+    let jobs: Vec<_> = (0..repeats).flat_map(|_| base.iter().cloned()).collect();
+    println!(
+        "batch-bench: {} jobs ({} decks x {repeats}), {workers} workers",
+        jobs.len(),
+        base.len()
+    );
+
+    let report = run_batch(&jobs, &BatchOptions::new().workers(workers));
+    if report.failed() > 0 {
+        for (job, outcome) in jobs.iter().zip(&report.outcomes) {
+            if let Some(err) = outcome.error() {
+                eprintln!("batch-bench: {} failed: {err}", job.name());
+            }
+        }
+        return Err(format!("{} corpus jobs failed", report.failed()).into());
+    }
+
+    std::fs::write("BENCH_batch.json", report.perf.to_json())?;
+    println!(
+        "batch-bench: {} jobs in {:.3} s ({:.1} jobs/s) -> BENCH_batch.json",
+        report.completed(),
+        report.elapsed.as_secs_f64(),
+        report.jobs_per_sec()
+    );
+    for span in &report.perf.spans {
+        let indent = "  ".repeat(span.depth as usize + 1);
+        println!("{indent}{:<24} {:>10.3} ms", span.name, span.nanos as f64 / 1e6);
+    }
+    for counter in &report.perf.counters {
+        println!("  {:<26} {:>8}", counter.name, counter.value);
+    }
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! CI batch smoke: validates the batch-timing artifact `batch_bench`
+//! writes.
+//!
+//! Parses `BENCH_batch.json` (path overridable as the first argument)
+//! and checks the structural contract CI relies on: the `batch.total`
+//! span and every per-stage `batch.*` span are present with positive
+//! aggregated wall-clock time, the job counters balance
+//! (`jobs = completed + failed + skipped`, with nothing failed or
+//! skipped in the corpus run), and the throughput counter is positive.
+//! Exits nonzero with a list of violations otherwise.
+
+use std::process::ExitCode;
+
+use cafemio::batch::STAGE_SPANS;
+use cafemio::instrument::PerfReport;
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_batch.json".into());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("batch-smoke: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match PerfReport::from_json(&text) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("batch-smoke: {path} does not parse as a perf report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut violations = Vec::new();
+    for name in std::iter::once("batch.total").chain(STAGE_SPANS) {
+        match report.spans.iter().find(|s| s.name == name) {
+            None => violations.push(format!("span {name:?} missing")),
+            Some(s) if s.nanos == 0 => violations.push(format!("span {name:?} recorded 0 ns")),
+            Some(_) => {}
+        }
+    }
+
+    let counter = |name: &str| report.counter(name);
+    match (
+        counter("batch.jobs"),
+        counter("batch.completed"),
+        counter("batch.failed"),
+        counter("batch.skipped"),
+    ) {
+        (Some(jobs), Some(completed), Some(failed), Some(skipped)) => {
+            if jobs == 0 {
+                violations.push("counter \"batch.jobs\" is zero".into());
+            }
+            if completed + failed + skipped != jobs {
+                violations.push(format!(
+                    "job counters do not balance: {completed} + {failed} + {skipped} != {jobs}"
+                ));
+            }
+            if failed != 0 || skipped != 0 {
+                violations.push(format!(
+                    "corpus run must complete every job (failed {failed}, skipped {skipped})"
+                ));
+            }
+        }
+        _ => violations.push("a batch.jobs/completed/failed/skipped counter is missing".into()),
+    }
+    match counter("batch.workers") {
+        None => violations.push("counter \"batch.workers\" missing".into()),
+        Some(0) => violations.push("counter \"batch.workers\" is zero".into()),
+        Some(_) => {}
+    }
+    match counter("batch.jobs_per_sec_milli") {
+        None => violations.push("counter \"batch.jobs_per_sec_milli\" missing".into()),
+        Some(0) => violations.push("throughput counter is zero".into()),
+        Some(_) => {}
+    }
+
+    if violations.is_empty() {
+        println!(
+            "batch-smoke: {path} ok ({} spans, {} counters)",
+            report.spans.len(),
+            report.counters.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("batch-smoke: {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

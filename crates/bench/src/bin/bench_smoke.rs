@@ -11,9 +11,9 @@ use std::process::ExitCode;
 
 use cafemio::instrument::PerfReport;
 
-/// Every stage span one instrumented idealize → solve → contour pass
+/// Every stage span one instrumented idealize → solve → contour session
 /// must record.
-const EXPECTED_SPANS: [&str; 18] = [
+const EXPECTED_SPANS: [&str; 22] = [
     "pipeline.total",
     "idlz.run",
     "idlz.grid",
@@ -21,7 +21,11 @@ const EXPECTED_SPANS: [&str; 18] = [
     "idlz.reform",
     "idlz.renumber",
     "idlz.plot",
-    "pipeline.solve_and_contour",
+    "pipeline.idealize",
+    "pipeline.model_setup",
+    "pipeline.solve",
+    "pipeline.stress_recovery",
+    "pipeline.contour",
     "fem.solve",
     "fem.assemble",
     "fem.element_stiffness",

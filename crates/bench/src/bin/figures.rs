@@ -13,23 +13,27 @@
 use std::error::Error;
 use std::fs;
 
-use cafemio::idlz::Idealization;
 use cafemio::models::joint;
-use cafemio::ospl::ContourOptions;
-use cafemio::pipeline::{solve_and_contour, StressComponent};
+use cafemio::pipeline::{PipelineBuilder, StressComponent};
 use cafemio::plotter::render_svg;
 use cafemio_bench::experiments::run_all;
 
-/// One instrumented end-to-end run (the Figure-17 glass joint), reported
-/// as a [`cafemio::instrument::PerfReport`].
+/// One instrumented end-to-end run (the Figure-17 glass joint) through
+/// the staged-session pipeline, reported as a
+/// [`cafemio::instrument::PerfReport`].
 fn profile_pipeline() -> Result<cafemio::instrument::PerfReport, Box<dyn Error>> {
     use cafemio::instrument::{set_enabled, span, take_report};
     set_enabled(true);
     {
         let _total = span("pipeline.total");
-        let idealized = Idealization::run(&joint::spec())?;
-        let model = joint::pressure_model(&idealized.mesh);
-        solve_and_contour(&model, StressComponent::Effective, &ContourOptions::new())?;
+        PipelineBuilder::new()
+            .component(StressComponent::Effective)
+            .specs(vec![joint::spec()])
+            .idealize()?
+            .setup(|mesh| Ok(joint::pressure_model(mesh)))?
+            .solve()?
+            .recover()?
+            .contour()?;
     }
     set_enabled(false);
     Ok(take_report())

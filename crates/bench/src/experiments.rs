@@ -59,7 +59,15 @@ fn stress_plot(
     model: &FemModel,
     component: StressComponent,
 ) -> Fallible<()> {
-    let plot = cafemio::pipeline::solve_and_contour(model, component, &ContourOptions::new())?;
+    let plot = PipelineBuilder::new()
+        .component(component)
+        .model(model.clone())
+        .solve()?
+        .recover()?
+        .contour()?
+        .into_iter()
+        .next()
+        .expect("one plot per model");
     let (lo, hi) = plot.field.min_max().expect("non-empty field");
     report.row(format!(
         "{component}: {lo:.0} .. {hi:.0} psi, contour interval {}, {} isograms",

@@ -7,6 +7,7 @@
 //! `cargo bench` harnesses (which time the pipelines via [`timing`]).
 
 pub mod experiments;
+pub mod jobs;
 pub mod mutate;
 pub mod timing;
 

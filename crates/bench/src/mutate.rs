@@ -5,10 +5,10 @@
 //! out-of-range grid point, an over-quarter arc — and predicts which
 //! pipeline [`Stage`] must report the resulting error. The fault-injection
 //! suite and the CI fuzz-smoke binary drive hundreds of these mutations
-//! through [`cafemio::pipeline::idealize_deck_text`] and
-//! [`cafemio::pipeline::run_deck`] and assert that every failure is a
-//! structured, stage-attributed [`cafemio::pipeline::PipelineError`] —
-//! never a panic.
+//! through the staged-session pipeline
+//! ([`cafemio::pipeline::PipelineBuilder`]) and assert that every failure
+//! is a structured, stage-attributed
+//! [`cafemio::pipeline::PipelineError`] — never a panic.
 //!
 //! Everything here is dependency-free and deterministic: randomness comes
 //! from a [`SplitMix64`] generator seeded explicitly, so a failing case
@@ -19,8 +19,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use cafemio::fem::{AnalysisKind, FemError, FemModel, Material};
 use cafemio::idlz::deck::write_deck;
 use cafemio::mesh::TriMesh;
-use cafemio::ospl::ContourOptions;
-use cafemio::pipeline::{idealize_deck_text, run_deck, Stage, StressComponent};
+use cafemio::pipeline::{Idealized, PipelineBuilder, PipelineError, Stage};
 
 /// SplitMix64 — a tiny, high-quality deterministic generator
 /// (Steele, Lea & Flood 2014). No dependencies, stable across platforms.
@@ -283,7 +282,7 @@ pub fn base_decks() -> Vec<(&'static str, String)> {
         .filter_map(|entry| {
             let deck = write_deck(&[(entry.spec)()]).ok()?;
             let text = deck.to_text();
-            idealize_deck_text(&text).ok()?;
+            idealize(&text).ok()?;
             Some((entry.name, text))
         })
         .collect()
@@ -328,19 +327,28 @@ pub fn run_sweep(seed: u64, rounds: usize) -> SweepReport {
     report
 }
 
+/// Drives deck text through parse + idealize with a staged session.
+fn idealize(text: &str) -> Result<Idealized, PipelineError> {
+    PipelineBuilder::new().parse(text)?.idealize()
+}
+
+/// Drives deck text end to end (through contouring) with a staged
+/// session, using the given model setup.
+fn drive_full(
+    text: &str,
+    setup: impl FnMut(&TriMesh) -> Result<FemModel, FemError>,
+) -> Result<(), PipelineError> {
+    idealize(text)?.setup(setup)?.solve()?.recover()?.contour()?;
+    Ok(())
+}
+
 /// Runs one mutated deck and checks the structured-error contract: the
 /// pipeline must fail, and the error must carry the fault's stage.
 fn exercise(text: &str, fault: Fault) -> Result<(), String> {
     let err = match fault {
         // The deck is intact; the fault is an unconstrained model.
-        Fault::SingularBc => run_deck(
-            text,
-            unconstrained_model,
-            StressComponent::Effective,
-            &ContourOptions::new(),
-        )
-        .err(),
-        _ => idealize_deck_text(text).err(),
+        Fault::SingularBc => drive_full(text, unconstrained_model).err(),
+        _ => idealize(text).err(),
     };
     let Some(err) = err else {
         return Err("mutated deck unexpectedly succeeded".into());
@@ -356,8 +364,9 @@ fn exercise(text: &str, fault: Fault) -> Result<(), String> {
 }
 
 /// A model with loads but no displacement constraints — its stiffness
-/// matrix keeps the rigid-body modes and cannot be factorized.
-fn unconstrained_model(mesh: &TriMesh) -> Result<FemModel, FemError> {
+/// matrix keeps the rigid-body modes and cannot be factorized. Public so
+/// the batch corpus can inject the same solve-stage fault.
+pub fn unconstrained_model(mesh: &TriMesh) -> Result<FemModel, FemError> {
     let mut model = FemModel::new(
         mesh.clone(),
         AnalysisKind::PlaneStress { thickness: 1.0 },
@@ -421,7 +430,7 @@ mod tests {
                 Fault::WildArc,
             ] {
                 let mutated = mutate(text, fault, &mut rng);
-                let err = idealize_deck_text(&mutated)
+                let err = idealize(&mutated)
                     .expect_err(&format!("{name}/{} still idealizes", fault.name()));
                 assert_eq!(
                     err.stage(),

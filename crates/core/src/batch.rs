@@ -1,0 +1,725 @@
+//! The concurrent batch engine: many decks through the full staged
+//! pipeline at once.
+//!
+//! The paper's whole point was analyst throughput — IDLZ and OSPL
+//! existed so one engineer could push many cross-section decks through
+//! idealization and contouring without hand-preparing data. This module
+//! is that workflow at machine scale: a dependency-free
+//! [`std::thread`] worker pool that runs every [`BatchJob`] through
+//! *parse → idealize → model-setup → solve → stress-recovery → contour*
+//! and returns:
+//!
+//! * **deterministic results** — [`BatchReport::outcomes`] is indexed by
+//!   submission order regardless of completion order, and each job's
+//!   output is bit-identical whether the pool has 1 worker or N (every
+//!   job is independent and every stage is deterministic);
+//! * **bounded memory** — jobs flow through a bounded queue
+//!   ([`BatchOptions::max_in_flight`]) so a million-deck submission
+//!   never materializes a million decoded artifacts at once;
+//! * **structured failure** — each failed job carries its
+//!   [`PipelineError`] with [`Stage`](crate::pipeline::Stage)
+//!   attribution, under a [fail-fast or collect-all](ErrorPolicy)
+//!   policy;
+//! * **merged observability** — a per-stage
+//!   [`PerfReport`] aggregated across workers
+//!   ([`PerfReport::merge`]), with a jobs/sec throughput counter.
+//!
+//! ```
+//! use cafemio::batch::{run_batch, BatchJob, BatchOptions};
+//! use cafemio::prelude::*;
+//! # fn setup(mesh: &TriMesh) -> Result<FemModel, FemError> {
+//! #     let mut model = FemModel::new(
+//! #         mesh.clone(),
+//! #         AnalysisKind::PlaneStress { thickness: 1.0 },
+//! #         Material::isotropic(1.0e7, 0.3),
+//! #     );
+//! #     let mut corner = None;
+//! #     for (id, node) in mesh.nodes() {
+//! #         if node.position.x.abs() < 1e-9 {
+//! #             model.fix_x(id);
+//! #             if node.position.y.abs() < 1e-9 { corner = Some(id); }
+//! #         } else {
+//! #             model.add_force(id, 10.0, 0.0);
+//! #         }
+//! #     }
+//! #     model.fix_y(corner.expect("corner"));
+//! #     Ok(model)
+//! # }
+//! # const DECK: &str = concat!(
+//! #     "    1\n", "SIMPLE PLATE\n", "    1    1    1    1\n",
+//! #     "    1    0    0    4    2         0    0\n", "    1    2\n",
+//! #     "    0    0    4    0  0.0000  0.0000  2.0000  0.0000  0.0000\n",
+//! #     "    0    2    4    2  0.0000  0.5000  2.0000  0.5000  0.0000\n",
+//! #     "(2F9.5, 51X, I3, 5X, I3)\n", "(3I5, 62X, I3)\n",
+//! # );
+//! let jobs: Vec<BatchJob> = (0..4)
+//!     .map(|i| BatchJob::new(format!("plate-{i}"), DECK, setup))
+//!     .collect();
+//! let report = run_batch(&jobs, &BatchOptions::new().workers(2));
+//! assert_eq!(report.outcomes.len(), 4);
+//! assert_eq!(report.completed(), 4);
+//! assert_eq!(report.perf.counter("batch.jobs"), Some(4));
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use cafemio_fem::{FemError, FemModel};
+use cafemio_instrument::{PerfReport, SpanRecord};
+use cafemio_mesh::TriMesh;
+use cafemio_ospl::ContourOptions;
+
+use crate::pipeline::{PipelineBuilder, PipelineError, StressComponent, StressPlot};
+
+/// The model-setup callback a job carries: boundary conditions and loads
+/// for one idealized mesh. Shared (`Arc`) so a corpus of jobs can reuse
+/// one closure.
+pub type SetupFn = Arc<dyn Fn(&TriMesh) -> Result<FemModel, FemError> + Send + Sync>;
+
+/// One unit of batch work: a named deck plus everything needed to carry
+/// it through the full pipeline.
+#[derive(Clone)]
+pub struct BatchJob {
+    name: String,
+    deck: String,
+    setup: SetupFn,
+    component: StressComponent,
+    options: ContourOptions,
+}
+
+impl std::fmt::Debug for BatchJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchJob")
+            .field("name", &self.name)
+            .field("component", &self.component)
+            .finish_non_exhaustive()
+    }
+}
+
+impl BatchJob {
+    /// A job with the documented defaults: effective stress, automatic
+    /// contour interval.
+    pub fn new(
+        name: impl Into<String>,
+        deck: impl Into<String>,
+        setup: impl Fn(&TriMesh) -> Result<FemModel, FemError> + Send + Sync + 'static,
+    ) -> BatchJob {
+        BatchJob {
+            name: name.into(),
+            deck: deck.into(),
+            setup: Arc::new(setup),
+            component: StressComponent::Effective,
+            options: ContourOptions::new(),
+        }
+    }
+
+    /// Same, but sharing an already-wrapped setup callback.
+    pub fn with_setup_fn(
+        name: impl Into<String>,
+        deck: impl Into<String>,
+        setup: SetupFn,
+    ) -> BatchJob {
+        BatchJob {
+            name: name.into(),
+            deck: deck.into(),
+            setup,
+            component: StressComponent::Effective,
+            options: ContourOptions::new(),
+        }
+    }
+
+    /// Sets the stress component this job contours (default:
+    /// [`StressComponent::Effective`]).
+    pub fn component(mut self, component: StressComponent) -> BatchJob {
+        self.component = component;
+        self
+    }
+
+    /// Sets this job's contour options (default: automatic interval).
+    pub fn contour_options(mut self, options: ContourOptions) -> BatchJob {
+        self.options = options;
+        self
+    }
+
+    /// The job's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The deck text the job will parse.
+    pub fn deck(&self) -> &str {
+        &self.deck
+    }
+}
+
+/// What to do with jobs that have not started when another job fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ErrorPolicy {
+    /// Run every job to completion and report every failure — the
+    /// overnight-batch behavior (default).
+    #[default]
+    CollectAll,
+    /// Stop scheduling new jobs after the first failure; jobs that never
+    /// started report [`JobOutcome::Skipped`]. Jobs already in flight
+    /// run to completion.
+    FailFast,
+}
+
+/// Engine knobs, builder-style with documented defaults so adding fields
+/// is non-breaking.
+#[derive(Debug, Clone)]
+pub struct BatchOptions {
+    workers: usize,
+    max_in_flight: usize,
+    policy: ErrorPolicy,
+}
+
+impl Default for BatchOptions {
+    fn default() -> BatchOptions {
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        BatchOptions {
+            workers,
+            max_in_flight: 2 * workers,
+            policy: ErrorPolicy::CollectAll,
+        }
+    }
+}
+
+impl BatchOptions {
+    /// Defaults: one worker per available core, `max_in_flight` twice
+    /// the worker count, [`ErrorPolicy::CollectAll`].
+    pub fn new() -> BatchOptions {
+        BatchOptions::default()
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1). One worker
+    /// gives the serial reference ordering the determinism tests compare
+    /// against.
+    pub fn workers(mut self, workers: usize) -> BatchOptions {
+        self.workers = workers.max(1);
+        self.max_in_flight = self.max_in_flight.max(self.workers);
+        self
+    }
+
+    /// Bounds the job queue: the submitter blocks once this many jobs
+    /// are queued but unclaimed, giving backpressure instead of unbounded
+    /// buffering. Clamped to at least the worker count.
+    pub fn max_in_flight(mut self, max_in_flight: usize) -> BatchOptions {
+        self.max_in_flight = max_in_flight.max(1).max(self.workers);
+        self
+    }
+
+    /// Sets the error policy (default: [`ErrorPolicy::CollectAll`]).
+    pub fn error_policy(mut self, policy: ErrorPolicy) -> BatchOptions {
+        self.policy = policy;
+        self
+    }
+
+    /// The configured worker count.
+    pub fn worker_count(&self) -> usize {
+        self.workers
+    }
+
+    /// The configured queue bound.
+    pub fn in_flight_bound(&self) -> usize {
+        self.max_in_flight
+    }
+
+    /// The configured error policy.
+    pub fn policy(&self) -> ErrorPolicy {
+        self.policy
+    }
+}
+
+/// The result of one job, in submission order inside
+/// [`BatchReport::outcomes`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    /// The job ran end to end: one [`StressPlot`] per data set.
+    Completed(Vec<StressPlot>),
+    /// The job failed; the error carries its stage attribution.
+    Failed(PipelineError),
+    /// Under [`ErrorPolicy::FailFast`], the job never started because an
+    /// earlier job failed.
+    Skipped,
+}
+
+impl JobOutcome {
+    /// The job's plots, if it completed.
+    pub fn plots(&self) -> Option<&[StressPlot]> {
+        match self {
+            JobOutcome::Completed(plots) => Some(plots),
+            _ => None,
+        }
+    }
+
+    /// The job's error, if it failed.
+    pub fn error(&self) -> Option<&PipelineError> {
+        match self {
+            JobOutcome::Failed(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+/// Everything a batch run produced.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// One outcome per submitted job, **in submission order** regardless
+    /// of which worker finished when.
+    pub outcomes: Vec<JobOutcome>,
+    /// Per-stage wall-clock totals aggregated across every worker
+    /// (span names `batch.parse` … `batch.contour` under `batch.total`),
+    /// plus job/throughput counters.
+    pub perf: PerfReport,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+}
+
+impl BatchReport {
+    /// Number of jobs that completed.
+    pub fn completed(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, JobOutcome::Completed(_)))
+            .count()
+    }
+
+    /// Number of jobs that failed.
+    pub fn failed(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, JobOutcome::Failed(_)))
+            .count()
+    }
+
+    /// Number of jobs skipped by fail-fast.
+    pub fn skipped(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, JobOutcome::Skipped))
+            .count()
+    }
+
+    /// Jobs (completed or failed) per wall-clock second.
+    pub fn jobs_per_sec(&self) -> f64 {
+        let done = (self.completed() + self.failed()) as f64;
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            done / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The per-stage span names a batch report aggregates, in pipeline
+/// order. Seeding the merged report with these keeps the JSON layout
+/// stable no matter which worker finished first.
+pub const STAGE_SPANS: [&str; 6] = [
+    "batch.parse",
+    "batch.idealize",
+    "batch.model_setup",
+    "batch.solve",
+    "batch.stress_recovery",
+    "batch.contour",
+];
+
+/// A worker's private per-stage accumulator; merged across workers at
+/// the end of the run.
+struct StageClock {
+    report: PerfReport,
+}
+
+impl StageClock {
+    fn new() -> StageClock {
+        StageClock {
+            report: PerfReport::default(),
+        }
+    }
+
+    fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        match self
+            .report
+            .spans
+            .iter_mut()
+            .find(|s| s.name == name && s.depth == 1)
+        {
+            Some(span) => span.nanos = span.nanos.saturating_add(nanos),
+            None => self.report.spans.push(SpanRecord {
+                name: name.to_owned(),
+                depth: 1,
+                nanos,
+            }),
+        }
+        out
+    }
+}
+
+/// The bounded job queue: indexes into the submitted job slice, plus the
+/// close/abort flags, under one mutex with two condvars (producer waits
+/// for space, workers wait for work).
+struct JobQueue {
+    state: Mutex<QueueState>,
+    space: Condvar,
+    ready: Condvar,
+    capacity: usize,
+}
+
+struct QueueState {
+    queue: VecDeque<usize>,
+    closed: bool,
+    aborted: bool,
+}
+
+impl JobQueue {
+    fn new(capacity: usize) -> JobQueue {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                closed: false,
+                aborted: false,
+            }),
+            space: Condvar::new(),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Blocks until there is queue space (backpressure), then enqueues.
+    /// Returns `false` without enqueuing once the queue is aborted.
+    fn push(&self, index: usize) -> bool {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while state.queue.len() >= self.capacity && !state.aborted {
+            state = self
+                .space
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        if state.aborted {
+            return false;
+        }
+        state.queue.push_back(index);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Blocks until a job is available; `None` once the queue is closed
+    /// (or aborted) and drained.
+    fn pop(&self) -> Option<usize> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(index) = state.queue.pop_front() {
+                self.space.notify_one();
+                return Some(index);
+            }
+            if state.closed || state.aborted {
+                return None;
+            }
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// No more jobs will be pushed; drains normally.
+    fn close(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Fail-fast trip: unblocks the producer and stops handing out the
+    /// jobs still queued (they are reported as skipped).
+    fn abort(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.aborted = true;
+        self.ready.notify_all();
+        self.space.notify_all();
+    }
+}
+
+/// Runs one job through the staged pipeline, attributing wall-clock time
+/// to each stage on the worker's private clock.
+fn execute(job: &BatchJob, clock: &mut StageClock) -> Result<Vec<StressPlot>, PipelineError> {
+    let builder = PipelineBuilder::new()
+        .component(job.component)
+        .contour_options(job.options.clone());
+    let parsed = clock.time("batch.parse", || builder.parse(&job.deck))?;
+    let idealized = clock.time("batch.idealize", || parsed.idealize())?;
+    let setup = &job.setup;
+    let ready = clock.time("batch.model_setup", || idealized.setup(|mesh| setup(mesh)))?;
+    let solved = clock.time("batch.solve", || ready.solve())?;
+    let recovered = clock.time("batch.stress_recovery", || solved.recover())?;
+    clock.time("batch.contour", || recovered.contour())
+}
+
+/// Runs every job through the full pipeline on a worker pool and returns
+/// the outcomes in submission order, with a merged per-stage
+/// [`PerfReport`].
+///
+/// Multi-worker runs are bit-identical to single-worker runs: jobs are
+/// independent, every stage is deterministic, and outcome slots are
+/// indexed by submission order. Under [`ErrorPolicy::FailFast`] the set
+/// of *skipped* jobs depends on timing (jobs already claimed when the
+/// first failure lands still finish), but every non-skipped outcome is
+/// still deterministic.
+pub fn run_batch(jobs: &[BatchJob], options: &BatchOptions) -> BatchReport {
+    let start = Instant::now();
+    let workers = options.workers.max(1).min(jobs.len().max(1));
+    let queue = JobQueue::new(options.max_in_flight);
+    let abort = AtomicBool::new(false);
+    let fail_fast = options.policy == ErrorPolicy::FailFast;
+    let slots: Vec<Mutex<Option<JobOutcome>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
+    let worker_reports: Mutex<Vec<PerfReport>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut clock = StageClock::new();
+                while let Some(index) = queue.pop() {
+                    if fail_fast && abort.load(Ordering::Relaxed) {
+                        // Claimed after the trip: never started.
+                        *slots[index].lock().unwrap_or_else(|e| e.into_inner()) =
+                            Some(JobOutcome::Skipped);
+                        continue;
+                    }
+                    let outcome = match execute(&jobs[index], &mut clock) {
+                        Ok(plots) => JobOutcome::Completed(plots),
+                        Err(err) => {
+                            if fail_fast {
+                                abort.store(true, Ordering::Relaxed);
+                                queue.abort();
+                            }
+                            JobOutcome::Failed(err)
+                        }
+                    };
+                    *slots[index].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
+                }
+                worker_reports
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(clock.report);
+            });
+        }
+        // This thread is the submitter: the bounded push gives
+        // backpressure against the pool.
+        for index in 0..jobs.len() {
+            if fail_fast && abort.load(Ordering::Relaxed) {
+                break;
+            }
+            if !queue.push(index) {
+                break;
+            }
+        }
+        queue.close();
+    });
+
+    let outcomes: Vec<JobOutcome> = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .unwrap_or(JobOutcome::Skipped)
+        })
+        .collect();
+
+    let elapsed = start.elapsed();
+    // Seed the merged report with the canonical stage layout so the JSON
+    // is stable regardless of which worker report lands first.
+    let mut perf = PerfReport::default();
+    perf.spans.push(SpanRecord {
+        name: "batch.total".to_owned(),
+        depth: 0,
+        nanos: elapsed.as_nanos().min(u64::MAX as u128) as u64,
+    });
+    for name in STAGE_SPANS {
+        perf.spans.push(SpanRecord {
+            name: name.to_owned(),
+            depth: 1,
+            nanos: 0,
+        });
+    }
+    for report in worker_reports.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        perf.merge(&report);
+    }
+
+    let mut report = BatchReport {
+        outcomes,
+        perf,
+        elapsed,
+    };
+    let jobs_per_sec_milli = (report.jobs_per_sec() * 1000.0).round();
+    let jobs_per_sec_milli = if jobs_per_sec_milli.is_finite() && jobs_per_sec_milli >= 0.0 {
+        jobs_per_sec_milli as u64
+    } else {
+        0
+    };
+    let counters = [
+        ("batch.jobs", jobs.len() as u64),
+        ("batch.completed", report.completed() as u64),
+        ("batch.failed", report.failed() as u64),
+        ("batch.skipped", report.skipped() as u64),
+        ("batch.workers", workers as u64),
+        // Millijobs per second: an integer counter with enough
+        // resolution for slow corpora (1 job / 20 min ≈ 0.8 mJ/s).
+        ("batch.jobs_per_sec_milli", jobs_per_sec_milli),
+    ];
+    for (name, value) in counters {
+        report.perf.counters.push(cafemio_instrument::CounterRecord {
+            name: name.to_owned(),
+            value,
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cafemio_fem::{AnalysisKind, Material};
+
+    const PLATE_DECK: &str = concat!(
+        "    1\n",
+        "SIMPLE PLATE\n",
+        "    1    1    1    1\n",
+        "    1    0    0    4    2         0    0\n",
+        "    1    2\n",
+        "    0    0    4    0  0.0000  0.0000  2.0000  0.0000  0.0000\n",
+        "    0    2    4    2  0.0000  0.5000  2.0000  0.5000  0.0000\n",
+        "(2F9.5, 51X, I3, 5X, I3)\n",
+        "(3I5, 62X, I3)\n",
+    );
+
+    fn cantilever(mesh: &TriMesh) -> Result<FemModel, FemError> {
+        let mut model = FemModel::new(
+            mesh.clone(),
+            AnalysisKind::PlaneStress { thickness: 1.0 },
+            Material::isotropic(1.0e7, 0.3),
+        );
+        let mut corner = None;
+        for (id, node) in mesh.nodes() {
+            if node.position.x.abs() < 1e-9 {
+                model.fix_x(id);
+                if node.position.y.abs() < 1e-9 {
+                    corner = Some(id);
+                }
+            } else {
+                model.add_force(id, 10.0, 0.0);
+            }
+        }
+        model.fix_y(corner.expect("corner node"));
+        Ok(model)
+    }
+
+    fn unconstrained(mesh: &TriMesh) -> Result<FemModel, FemError> {
+        Ok(FemModel::new(
+            mesh.clone(),
+            AnalysisKind::PlaneStress { thickness: 1.0 },
+            Material::isotropic(1.0e7, 0.3),
+        ))
+    }
+
+    fn plate_jobs(n: usize) -> Vec<BatchJob> {
+        (0..n)
+            .map(|i| BatchJob::new(format!("plate-{i}"), PLATE_DECK, cantilever))
+            .collect()
+    }
+
+    #[test]
+    fn outcomes_in_submission_order_with_per_stage_perf() {
+        let jobs = plate_jobs(6);
+        let report = run_batch(&jobs, &BatchOptions::new().workers(3).max_in_flight(2));
+        assert_eq!(report.outcomes.len(), 6);
+        assert_eq!(report.completed(), 6);
+        for outcome in &report.outcomes {
+            let plots = outcome.plots().expect("job completed");
+            assert_eq!(plots.len(), 1);
+            assert!(plots[0].contours.drawn_contours() > 0);
+        }
+        for name in STAGE_SPANS {
+            assert!(report.perf.span_nanos(name) > 0, "{name} never timed");
+        }
+        assert_eq!(report.perf.counter("batch.jobs"), Some(6));
+        assert_eq!(report.perf.counter("batch.completed"), Some(6));
+        assert_eq!(report.perf.counter("batch.workers"), Some(3));
+        assert!(report.jobs_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn multi_worker_is_bit_identical_to_single_worker() {
+        let mut jobs = plate_jobs(5);
+        // One deliberately failing job keeps error paths in the
+        // comparison too.
+        jobs.insert(2, BatchJob::new("singular", PLATE_DECK, unconstrained));
+        let serial = run_batch(&jobs, &BatchOptions::new().workers(1));
+        let parallel = run_batch(&jobs, &BatchOptions::new().workers(4));
+        assert_eq!(serial.outcomes, parallel.outcomes);
+    }
+
+    #[test]
+    fn collect_all_reports_every_failure() {
+        let mut jobs = plate_jobs(3);
+        jobs.insert(1, BatchJob::new("bad-deck", "    1\nTRUNCATED\n", cantilever));
+        jobs.push(BatchJob::new("singular", PLATE_DECK, unconstrained));
+        let report = run_batch(
+            &jobs,
+            &BatchOptions::new().workers(2).error_policy(ErrorPolicy::CollectAll),
+        );
+        assert_eq!(report.completed(), 3);
+        assert_eq!(report.failed(), 2);
+        assert_eq!(report.skipped(), 0);
+        use crate::pipeline::Stage;
+        assert_eq!(report.outcomes[1].error().unwrap().stage(), Stage::DeckParse);
+        assert_eq!(report.outcomes[4].error().unwrap().stage(), Stage::Solve);
+    }
+
+    #[test]
+    fn fail_fast_skips_unstarted_jobs() {
+        let mut jobs = vec![BatchJob::new("bad-deck", "    1\nTRUNCATED\n", cantilever)];
+        jobs.extend(plate_jobs(40));
+        // One worker and a tight queue: the failure lands before most
+        // jobs are claimed.
+        let report = run_batch(
+            &jobs,
+            &BatchOptions::new()
+                .workers(1)
+                .max_in_flight(1)
+                .error_policy(ErrorPolicy::FailFast),
+        );
+        assert_eq!(report.failed(), 1);
+        assert!(report.skipped() > 0, "fail-fast never skipped anything");
+        assert!(matches!(report.outcomes[0], JobOutcome::Failed(_)));
+        assert_eq!(
+            report.perf.counter("batch.skipped"),
+            Some(report.skipped() as u64)
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let report = run_batch(&[], &BatchOptions::new());
+        assert!(report.outcomes.is_empty());
+        assert_eq!(report.completed(), 0);
+        assert_eq!(report.perf.counter("batch.jobs"), Some(0));
+    }
+
+    #[test]
+    fn options_clamp_and_expose_their_knobs() {
+        let options = BatchOptions::new().workers(0).max_in_flight(0);
+        assert_eq!(options.worker_count(), 1);
+        assert!(options.in_flight_bound() >= 1);
+        let options = BatchOptions::new().max_in_flight(2).workers(8);
+        assert!(options.in_flight_bound() >= 8);
+        assert_eq!(options.policy(), ErrorPolicy::CollectAll);
+    }
+}

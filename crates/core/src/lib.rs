@@ -46,13 +46,14 @@
 //!     }
 //! }
 //!
-//! // 3. Contour-plot the effective stress.
-//! let plot = cafemio::pipeline::solve_and_contour(
-//!     &model,
-//!     StressComponent::Effective,
-//!     &ContourOptions::new(),
-//! )?;
-//! assert!(plot.contours.drawn_contours() > 0);
+//! // 3. Contour-plot the effective stress with a staged session.
+//! let plots = PipelineBuilder::new()
+//!     .component(StressComponent::Effective)
+//!     .model(model)
+//!     .solve()?
+//!     .recover()?
+//!     .contour()?;
+//! assert!(plots[0].contours.drawn_contours() > 0);
 //! # Ok(())
 //! # }
 //! ```
@@ -69,13 +70,14 @@ pub use cafemio_models as models;
 pub use cafemio_ospl as ospl;
 pub use cafemio_plotter as plotter;
 
+pub mod batch;
 pub mod pipeline;
 
 /// The names most programs want in scope.
 pub mod prelude {
     pub use cafemio_fem::{
-        solve_contact_increments, solve_with_contact, AnalysisKind, ContactSupport, FemModel,
-        Material, StressField, ThermalMaterial, ThermalModel,
+        solve_contact_increments, solve_with_contact, AnalysisKind, ContactSupport, FemError,
+        FemModel, Material, StressField, ThermalMaterial, ThermalModel,
     };
     pub use cafemio_geom::{BoundingBox, Point};
     pub use cafemio_idlz::{
@@ -86,8 +88,12 @@ pub mod prelude {
     pub use cafemio_ospl::{ContourOptions, Ospl, OsplResult};
     pub use cafemio_plotter::{render_svg, AsciiCanvas, Frame};
 
+    pub use crate::batch::{
+        run_batch, BatchJob, BatchOptions, BatchReport, ErrorPolicy, JobOutcome,
+    };
     pub use crate::pipeline::{
-        idealize_deck_text, run_deck, solve_and_contour, PipelineError, Stage, StageError,
-        StressComponent, StressPlot,
+        Idealized, IdealizedSet, ModelReady, ParsedDeck, PipelineBuilder, PipelineError,
+        Recovered, RecoveredCase, Solved, SolvedCase, Stage, StageError, StressComponent,
+        StressPlot,
     };
 }

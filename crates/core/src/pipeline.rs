@@ -1,12 +1,40 @@
-//! End-to-end helpers: *idealize → analyze → contour-plot*, the workflow
-//! of the paper's "Results and Discussion" ("program IDLZ has been used to
-//! idealize the structure and then program OSPL used to plot results from
-//! the finite element analysis").
+//! The staged-session pipeline: *parse → idealize → model-setup → solve →
+//! stress-recovery → contour*, the workflow of the paper's "Results and
+//! Discussion" ("program IDLZ has been used to idealize the structure and
+//! then program OSPL used to plot results from the finite element
+//! analysis").
+//!
+//! ## Staged sessions
+//!
+//! Each stage of the workflow is a named, inspectable artifact:
+//!
+//! ```text
+//! PipelineBuilder ── parse ──▶ ParsedDeck ── idealize ──▶ Idealized
+//!       │                                                     │ setup(&self)
+//!       │ model()                                             ▼
+//!       └───────────────────────────────────────────────▶ ModelReady
+//!                                                             │ solve
+//!                                                             ▼
+//!            StressPlot ◀── contour(&self) ── Recovered ◀── Solved
+//! ```
+//!
+//! Stage transitions that fan out take `&self` so the upstream artifact
+//! can be reused: [`Idealized::setup`] builds several load cases from one
+//! idealization, and [`Recovered::contour`] plots several stress
+//! components from one solve. Every transition returns a
+//! [`PipelineError`] carrying the [`Stage`] it arose in, so batch drivers
+//! can attribute failures without parsing messages. The staged artifacts
+//! are exactly the units of work the [`batch`](crate::batch) engine
+//! schedules.
+//!
+//! The original free functions ([`run_deck`], [`idealize_deck_text`],
+//! [`solve_and_contour`]) survive as thin deprecated wrappers with
+//! golden-identical results.
 
 use std::fmt;
 
 use cafemio_cards::{CardError, Deck};
-use cafemio_fem::{FemError, FemModel, StressField};
+use cafemio_fem::{FemError, FemModel, Solution, StressField};
 use cafemio_idlz::{Idealization, IdealizationResult, IdealizationSpec, IdlzError};
 use cafemio_mesh::{NodalField, TriMesh};
 use cafemio_ospl::{ContourOptions, Ospl, OsplError, OsplResult};
@@ -119,7 +147,7 @@ impl fmt::Display for StageError {
     }
 }
 
-/// Error from the combined pipeline, carrying the stage it arose in and
+/// Error from the staged pipeline, carrying the stage it arose in and
 /// the instrument spans that were open when it was captured.
 ///
 /// The [`Display`](fmt::Display) output is deterministic — stage name
@@ -159,7 +187,7 @@ impl PipelineError {
     }
 
     /// Names of the instrument spans that were open when the error was
-    /// captured, outermost first (e.g. `["pipeline.solve_and_contour",
+    /// captured, outermost first (e.g. `["pipeline.solve",
     /// "fem.solve"]`). Available whether or not span collection is
     /// enabled.
     pub fn span_context(&self) -> &[&'static str] {
@@ -184,14 +212,403 @@ impl std::error::Error for PipelineError {
     }
 }
 
-/// The product of [`solve_and_contour`]: the plotted field plus the
-/// contour result (frame, isograms, interval).
-#[derive(Debug, Clone)]
+/// The final pipeline artifact: the plotted field plus the contour
+/// result (frame, isograms, interval).
+#[derive(Debug, Clone, PartialEq)]
 pub struct StressPlot {
     /// The nodal field that was contoured.
     pub field: NodalField,
     /// The OSPL output.
     pub contours: OsplResult,
+}
+
+/// The session-wide defaults a [`PipelineBuilder`] carries into every
+/// downstream stage: which stress component to contour and with what
+/// contour options.
+#[derive(Debug, Clone)]
+struct SessionConfig {
+    component: StressComponent,
+    options: ContourOptions,
+}
+
+impl Default for SessionConfig {
+    fn default() -> SessionConfig {
+        SessionConfig {
+            component: StressComponent::Effective,
+            options: ContourOptions::new(),
+        }
+    }
+}
+
+/// Entry point of a staged session. Configures the session defaults
+/// (stress component, contour options) and opens the first stage —
+/// either from deck text ([`parse`](PipelineBuilder::parse)), from
+/// already-built specs ([`specs`](PipelineBuilder::specs)), or directly
+/// from finished models ([`model`](PipelineBuilder::model) /
+/// [`models`](PipelineBuilder::models)).
+///
+/// # Examples
+///
+/// ```
+/// use cafemio::prelude::*;
+/// # use cafemio::models::joint;
+/// # fn main() -> Result<(), PipelineError> {
+/// let solved = PipelineBuilder::new()
+///     .component(StressComponent::Effective)
+///     .specs(vec![joint::spec()])
+///     .idealize()?
+///     .setup(|mesh| Ok(joint::pressure_model(mesh)))?
+///     .solve()?;
+/// let plots = solved.recover()?.contour()?;
+/// assert_eq!(plots.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PipelineBuilder {
+    config: SessionConfig,
+}
+
+impl PipelineBuilder {
+    /// A builder with the documented defaults: effective stress,
+    /// automatic contour interval ([`ContourOptions::new`]).
+    pub fn new() -> PipelineBuilder {
+        PipelineBuilder::default()
+    }
+
+    /// Sets the stress component downstream stages contour by default.
+    pub fn component(mut self, component: StressComponent) -> PipelineBuilder {
+        self.config.component = component;
+        self
+    }
+
+    /// Sets the contour options downstream stages plot with by default.
+    pub fn contour_options(mut self, options: ContourOptions) -> PipelineBuilder {
+        self.config.options = options;
+        self
+    }
+
+    /// Parses an IDLZ card deck from raw text into a [`ParsedDeck`].
+    ///
+    /// # Errors
+    ///
+    /// A [`PipelineError`] attributed to [`Stage::DeckParse`] (card layer
+    /// or deck structure).
+    pub fn parse(&self, text: &str) -> Result<ParsedDeck, PipelineError> {
+        let _span = cafemio_instrument::span("pipeline.parse");
+        let deck = Deck::from_text(text)
+            .map_err(|e| PipelineError::at(Stage::DeckParse, StageError::Card(e)))?;
+        let specs = cafemio_idlz::deck::parse_deck(&deck)
+            .map_err(|e| PipelineError::at(Stage::DeckParse, StageError::Idlz(e)))?;
+        Ok(ParsedDeck {
+            specs,
+            config: self.config.clone(),
+        })
+    }
+
+    /// Opens a [`ParsedDeck`] stage directly from already-built
+    /// idealization specs, skipping the card layer.
+    pub fn specs(&self, specs: Vec<IdealizationSpec>) -> ParsedDeck {
+        ParsedDeck {
+            specs,
+            config: self.config.clone(),
+        }
+    }
+
+    /// Opens a [`ModelReady`] stage directly from one finished model,
+    /// skipping idealization — the entry point when the mesh came from
+    /// somewhere other than IDLZ.
+    pub fn model(&self, model: FemModel) -> ModelReady {
+        self.models(vec![model])
+    }
+
+    /// Opens a [`ModelReady`] stage directly from finished models.
+    pub fn models(&self, models: Vec<FemModel>) -> ModelReady {
+        ModelReady {
+            models,
+            config: self.config.clone(),
+        }
+    }
+}
+
+/// Stage 1: a parsed deck — one [`IdealizationSpec`] per data set, not
+/// yet idealized.
+#[derive(Debug, Clone)]
+pub struct ParsedDeck {
+    specs: Vec<IdealizationSpec>,
+    config: SessionConfig,
+}
+
+impl ParsedDeck {
+    /// The parsed data-set specs, in deck order.
+    pub fn specs(&self) -> &[IdealizationSpec] {
+        &self.specs
+    }
+
+    /// Number of data sets in the deck.
+    pub fn data_set_count(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Runs IDLZ on every data set.
+    ///
+    /// # Errors
+    ///
+    /// A [`PipelineError`] attributed to [`Stage::Idealize`] (shaping,
+    /// limits, mesh) for the first failing data set.
+    pub fn idealize(self) -> Result<Idealized, PipelineError> {
+        let _span = cafemio_instrument::span("pipeline.idealize");
+        let sets = self
+            .specs
+            .into_iter()
+            .map(|spec| {
+                let result = Idealization::run(&spec)
+                    .map_err(|e| PipelineError::at(Stage::Idealize, StageError::Idlz(e)))?;
+                Ok(IdealizedSet { spec, result })
+            })
+            .collect::<Result<Vec<_>, PipelineError>>()?;
+        Ok(Idealized {
+            sets,
+            config: self.config,
+        })
+    }
+}
+
+/// One idealized data set: the spec that produced it and the finished
+/// idealization (mesh, statistics, plots).
+#[derive(Debug, Clone)]
+pub struct IdealizedSet {
+    /// The data-set spec as parsed from the deck.
+    pub spec: IdealizationSpec,
+    /// The finished idealization.
+    pub result: IdealizationResult,
+}
+
+/// Stage 2: every data set idealized. Reusable — [`setup`](Idealized::setup)
+/// takes `&self`, so one idealization can feed several load cases.
+#[derive(Debug, Clone)]
+pub struct Idealized {
+    sets: Vec<IdealizedSet>,
+    config: SessionConfig,
+}
+
+impl Idealized {
+    /// The idealized data sets, in deck order.
+    pub fn sets(&self) -> &[IdealizedSet] {
+        &self.sets
+    }
+
+    /// The idealized meshes, in deck order.
+    pub fn meshes(&self) -> impl Iterator<Item = &TriMesh> {
+        self.sets.iter().map(|s| &s.result.mesh)
+    }
+
+    /// Consumes the stage into its per-data-set artifacts.
+    pub fn into_sets(self) -> Vec<IdealizedSet> {
+        self.sets
+    }
+
+    /// Builds a loaded, constrained model from every mesh with the
+    /// caller's `setup` closure — boundary conditions and loads are
+    /// applied here. Takes `&self` so several load cases can be built
+    /// from one idealization.
+    ///
+    /// # Errors
+    ///
+    /// A [`PipelineError`] attributed to [`Stage::ModelSetup`] for the
+    /// first data set whose closure reports a failure.
+    pub fn setup<F>(&self, mut setup: F) -> Result<ModelReady, PipelineError>
+    where
+        F: FnMut(&TriMesh) -> Result<FemModel, FemError>,
+    {
+        let _span = cafemio_instrument::span("pipeline.model_setup");
+        let models = self
+            .sets
+            .iter()
+            .map(|set| {
+                setup(&set.result.mesh)
+                    .map_err(|e| PipelineError::at(Stage::ModelSetup, StageError::Fem(e)))
+            })
+            .collect::<Result<Vec<_>, PipelineError>>()?;
+        Ok(ModelReady {
+            models,
+            config: self.config.clone(),
+        })
+    }
+}
+
+/// Stage 3: loaded, constrained models, ready to solve.
+#[derive(Debug, Clone)]
+pub struct ModelReady {
+    models: Vec<FemModel>,
+    config: SessionConfig,
+}
+
+impl ModelReady {
+    /// The models awaiting solution, in deck order.
+    pub fn models(&self) -> &[FemModel]  {
+        &self.models
+    }
+
+    /// Assembles and solves every model.
+    ///
+    /// # Errors
+    ///
+    /// A [`PipelineError`] attributed to [`Stage::Solve`] for the first
+    /// model that fails to factorize.
+    pub fn solve(self) -> Result<Solved, PipelineError> {
+        let _span = cafemio_instrument::span("pipeline.solve");
+        let cases = self
+            .models
+            .into_iter()
+            .map(|model| {
+                let solution = model
+                    .solve()
+                    .map_err(|e| PipelineError::at(Stage::Solve, StageError::Fem(e)))?;
+                Ok(SolvedCase { model, solution })
+            })
+            .collect::<Result<Vec<_>, PipelineError>>()?;
+        Ok(Solved {
+            cases,
+            config: self.config,
+        })
+    }
+}
+
+/// One solved model: the model and its displacement solution.
+#[derive(Debug, Clone)]
+pub struct SolvedCase {
+    model: FemModel,
+    solution: Solution,
+}
+
+impl SolvedCase {
+    /// The solved model.
+    pub fn model(&self) -> &FemModel {
+        &self.model
+    }
+
+    /// The displacement solution.
+    pub fn solution(&self) -> &Solution {
+        &self.solution
+    }
+}
+
+/// Stage 4: displacement solutions for every model. Inspect the raw
+/// solutions here, then [`recover`](Solved::recover) element stresses.
+#[derive(Debug, Clone)]
+pub struct Solved {
+    cases: Vec<SolvedCase>,
+    config: SessionConfig,
+}
+
+impl Solved {
+    /// The solved cases, in deck order.
+    pub fn cases(&self) -> &[SolvedCase] {
+        &self.cases
+    }
+
+    /// Computes element stresses and nodal averages for every case.
+    ///
+    /// # Errors
+    ///
+    /// A [`PipelineError`] attributed to [`Stage::StressRecovery`].
+    pub fn recover(self) -> Result<Recovered, PipelineError> {
+        let _span = cafemio_instrument::span("pipeline.stress_recovery");
+        let cases = self
+            .cases
+            .into_iter()
+            .map(|case| {
+                let stresses = StressField::compute(&case.model, &case.solution).map_err(|e| {
+                    PipelineError::at(Stage::StressRecovery, StageError::Fem(e))
+                })?;
+                Ok(RecoveredCase {
+                    model: case.model,
+                    solution: case.solution,
+                    stresses,
+                })
+            })
+            .collect::<Result<Vec<_>, PipelineError>>()?;
+        Ok(Recovered {
+            cases,
+            config: self.config,
+        })
+    }
+}
+
+/// One case with recovered stresses: model, solution, and nodal stress
+/// field.
+#[derive(Debug, Clone)]
+pub struct RecoveredCase {
+    model: FemModel,
+    solution: Solution,
+    stresses: StressField,
+}
+
+impl RecoveredCase {
+    /// The solved model.
+    pub fn model(&self) -> &FemModel {
+        &self.model
+    }
+
+    /// The displacement solution.
+    pub fn solution(&self) -> &Solution {
+        &self.solution
+    }
+
+    /// The recovered stress state.
+    pub fn stresses(&self) -> &StressField {
+        &self.stresses
+    }
+}
+
+/// Stage 5: recovered stresses for every case. Reusable —
+/// [`contour`](Recovered::contour) takes `&self`, so one recovery can be
+/// plotted for every [`StressComponent`] without re-solving.
+#[derive(Debug, Clone)]
+pub struct Recovered {
+    cases: Vec<RecoveredCase>,
+    config: SessionConfig,
+}
+
+impl Recovered {
+    /// The recovered cases, in deck order.
+    pub fn cases(&self) -> &[RecoveredCase] {
+        &self.cases
+    }
+
+    /// Contours the session's default component with the session's
+    /// default options — one [`StressPlot`] per case.
+    ///
+    /// # Errors
+    ///
+    /// A [`PipelineError`] attributed to [`Stage::Contour`].
+    pub fn contour(&self) -> Result<Vec<StressPlot>, PipelineError> {
+        self.contour_with(self.config.component, &self.config.options)
+    }
+
+    /// Contours an explicit component with explicit options, overriding
+    /// the session defaults.
+    ///
+    /// # Errors
+    ///
+    /// A [`PipelineError`] attributed to [`Stage::Contour`].
+    pub fn contour_with(
+        &self,
+        component: StressComponent,
+        options: &ContourOptions,
+    ) -> Result<Vec<StressPlot>, PipelineError> {
+        let _span = cafemio_instrument::span("pipeline.contour");
+        self.cases
+            .iter()
+            .map(|case| {
+                let field = component.field(&case.stresses);
+                let contours = Ospl::run(case.model.mesh(), &field, options)
+                    .map_err(|e| PipelineError::at(Stage::Contour, StageError::Ospl(e)))?;
+                Ok(StressPlot { field, contours })
+            })
+            .collect()
+    }
 }
 
 /// Solves a structural model, recovers the requested stress component at
@@ -201,25 +618,23 @@ pub struct StressPlot {
 ///
 /// A [`PipelineError`] attributed to [`Stage::Solve`],
 /// [`Stage::StressRecovery`], or [`Stage::Contour`].
-///
-/// # Examples
-///
-/// See the [crate-level quick start](crate).
+#[deprecated(
+    since = "0.2.0",
+    note = "use the staged session API: `PipelineBuilder::new().model(..).solve()?.recover()?.contour_with(..)`"
+)]
 pub fn solve_and_contour(
     model: &FemModel,
     component: StressComponent,
     options: &ContourOptions,
 ) -> Result<StressPlot, PipelineError> {
     let _span = cafemio_instrument::span("pipeline.solve_and_contour");
-    let solution = model
-        .solve()
-        .map_err(|e| PipelineError::at(Stage::Solve, StageError::Fem(e)))?;
-    let stresses = StressField::compute(model, &solution)
-        .map_err(|e| PipelineError::at(Stage::StressRecovery, StageError::Fem(e)))?;
-    let field = component.field(&stresses);
-    let contours = Ospl::run(model.mesh(), &field, options)
-        .map_err(|e| PipelineError::at(Stage::Contour, StageError::Ospl(e)))?;
-    Ok(StressPlot { field, contours })
+    let plots = PipelineBuilder::new()
+        .model(model.clone())
+        .solve()?
+        .recover()?
+        .contour_with(component, options)?;
+    // invariant: one model in, one plot out.
+    Ok(plots.into_iter().next().expect("one plot per model"))
 }
 
 /// Parses an IDLZ card deck from raw text and idealizes every data set,
@@ -229,21 +644,19 @@ pub fn solve_and_contour(
 ///
 /// A [`PipelineError`] attributed to [`Stage::DeckParse`] (card layer or
 /// deck structure) or [`Stage::Idealize`] (shaping, limits, mesh).
+#[deprecated(
+    since = "0.2.0",
+    note = "use the staged session API: `PipelineBuilder::new().parse(text)?.idealize()?`"
+)]
 pub fn idealize_deck_text(
     text: &str,
 ) -> Result<Vec<(IdealizationSpec, IdealizationResult)>, PipelineError> {
-    let deck = Deck::from_text(text)
-        .map_err(|e| PipelineError::at(Stage::DeckParse, StageError::Card(e)))?;
-    let specs = cafemio_idlz::deck::parse_deck(&deck)
-        .map_err(|e| PipelineError::at(Stage::DeckParse, StageError::Idlz(e)))?;
-    specs
+    let idealized = PipelineBuilder::new().parse(text)?.idealize()?;
+    Ok(idealized
+        .into_sets()
         .into_iter()
-        .map(|spec| {
-            let result = Idealization::run(&spec)
-                .map_err(|e| PipelineError::at(Stage::Idealize, StageError::Idlz(e)))?;
-            Ok((spec, result))
-        })
-        .collect()
+        .map(|set| (set.spec, set.result))
+        .collect())
 }
 
 /// Runs the full paper workflow from deck text: parse, idealize, build a
@@ -256,6 +669,11 @@ pub fn idealize_deck_text(
 /// # Errors
 ///
 /// A [`PipelineError`] attributed to whichever stage failed first.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the staged session API: `PipelineBuilder::new().parse(text)?.idealize()?.setup(..)?.solve()?.recover()?.contour()?`"
+)]
+#[allow(deprecated)]
 pub fn run_deck<F>(
     text: &str,
     mut setup: F,
@@ -265,11 +683,14 @@ pub fn run_deck<F>(
 where
     F: FnMut(&TriMesh) -> Result<FemModel, FemError>,
 {
-    let idealized = idealize_deck_text(text)?;
+    let idealized = PipelineBuilder::new().parse(text)?.idealize()?;
+    // Data sets are processed one at a time, like the original driver:
+    // set N is solved and plotted before set N+1's model is built.
     idealized
+        .sets()
         .iter()
-        .map(|(_, result)| {
-            let model = setup(&result.mesh)
+        .map(|set| {
+            let model = setup(&set.result.mesh)
                 .map_err(|e| PipelineError::at(Stage::ModelSetup, StageError::Fem(e)))?;
             solve_and_contour(&model, component, options)
         })
@@ -315,29 +736,66 @@ mod tests {
         model
     }
 
-    #[test]
-    fn pipeline_produces_contours() {
-        let model = loaded_plate();
-        let plot =
-            solve_and_contour(&model, StressComponent::Effective, &ContourOptions::new())
-                .unwrap();
-        assert!(plot.contours.drawn_contours() > 0);
-        assert_eq!(plot.field.name(), "EFFECTIVE STRESS");
-        assert!(plot.contours.frame.vector_count() > 0);
+    const PLATE_DECK: &str = concat!(
+        "    1\n",
+        "SIMPLE PLATE\n",
+        "    1    1    1    1\n",
+        "    1    0    0    4    2         0    0\n",
+        "    1    2\n",
+        "    0    0    4    0  0.0000  0.0000  2.0000  0.0000  0.0000\n",
+        "    0    2    4    2  0.0000  0.5000  2.0000  0.5000  0.0000\n",
+        "(2F9.5, 51X, I3, 5X, I3)\n",
+        "(3I5, 62X, I3)\n",
+    );
+
+    fn cantilever_setup(mesh: &TriMesh) -> Result<FemModel, FemError> {
+        let mut model = FemModel::new(
+            mesh.clone(),
+            AnalysisKind::PlaneStress { thickness: 1.0 },
+            Material::isotropic(1.0e7, 0.3),
+        );
+        let mut corner = None;
+        for (id, node) in mesh.nodes() {
+            if node.position.x.abs() < 1e-9 {
+                model.fix_x(id);
+                if node.position.y.abs() < 1e-9 {
+                    corner = Some(id);
+                }
+            }
+            if (node.position.x - 2.0).abs() < 1e-9 {
+                model.add_force(id, 100.0, 0.0);
+            }
+        }
+        model.fix_y(corner.expect("corner node exists"));
+        Ok(model)
     }
 
     #[test]
-    fn all_components_plot() {
-        let model = loaded_plate();
+    fn session_produces_contours() {
+        let solved = PipelineBuilder::new().model(loaded_plate()).solve().unwrap();
+        let plots = solved.recover().unwrap().contour().unwrap();
+        assert_eq!(plots.len(), 1);
+        assert!(plots[0].contours.drawn_contours() > 0);
+        assert_eq!(plots[0].field.name(), "EFFECTIVE STRESS");
+        assert!(plots[0].contours.frame.vector_count() > 0);
+    }
+
+    #[test]
+    fn one_recovery_plots_all_components() {
+        let recovered = PipelineBuilder::new()
+            .contour_options(ContourOptions::new().interval(25.0))
+            .model(loaded_plate())
+            .solve()
+            .unwrap()
+            .recover()
+            .unwrap();
         for component in StressComponent::ALL {
             // Some components may be constant-zero (no contours with an
             // explicit interval); they must not error.
-            let result = solve_and_contour(
-                &model,
-                component,
-                &ContourOptions::with_interval(25.0),
-            );
+            let result =
+                recovered.contour_with(component, &ContourOptions::new().interval(25.0));
             assert!(result.is_ok(), "{component}");
+            assert_eq!(result.unwrap()[0].field.name(), component.to_string());
         }
     }
 
@@ -353,108 +811,99 @@ mod tests {
             AnalysisKind::PlaneStrain,
             Material::isotropic(1.0e6, 0.3),
         );
-        let err = solve_and_contour(
-            &model,
-            StressComponent::Effective,
-            &ContourOptions::new(),
-        )
-        .unwrap_err();
+        let err = PipelineBuilder::new().model(model).solve().unwrap_err();
         assert_eq!(err.stage(), Stage::Solve);
         assert!(matches!(err.source_error(), StageError::Fem(_)));
-        // The error was captured inside the pipeline span.
-        assert!(err
-            .span_context()
-            .contains(&"pipeline.solve_and_contour"));
+        // The error was captured inside the session's solve span.
+        assert!(err.span_context().contains(&"pipeline.solve"));
     }
 
     #[test]
-    fn deck_driver_attributes_parse_and_idealize_stages() {
+    fn session_attributes_parse_and_idealize_stages() {
         // Structurally truncated deck: DeckParse.
-        let err = idealize_deck_text("    1\nTITLE ONLY\n").unwrap_err();
+        let err = PipelineBuilder::new()
+            .parse("    1\nTITLE ONLY\n")
+            .unwrap_err();
         assert_eq!(err.stage(), Stage::DeckParse);
-        // A valid deck parses and idealizes.
-        let text = concat!(
-            "    1\n",
-            "SIMPLE PLATE\n",
-            "    1    1    1    1\n",
-            "    1    0    0    4    2         0    0\n",
-            "    1    2\n",
-            "    0    0    4    0  0.0000  0.0000  2.0000  0.0000  0.0000\n",
-            "    0    2    4    2  0.0000  0.5000  2.0000  0.5000  0.0000\n",
-            "(2F9.5, 51X, I3, 5X, I3)\n",
-            "(3I5, 62X, I3)\n",
-        );
-        let idealized = idealize_deck_text(text).unwrap();
-        assert_eq!(idealized.len(), 1);
-        assert!(idealized[0].1.mesh.node_count() > 0);
+        // A valid deck parses and idealizes; intermediates are
+        // inspectable.
+        let parsed = PipelineBuilder::new().parse(PLATE_DECK).unwrap();
+        assert_eq!(parsed.data_set_count(), 1);
+        assert_eq!(parsed.specs().len(), 1);
+        let idealized = parsed.idealize().unwrap();
+        assert_eq!(idealized.sets().len(), 1);
+        assert!(idealized.meshes().next().unwrap().node_count() > 0);
     }
 
     #[test]
-    fn run_deck_attributes_model_setup_and_solve() {
-        let text = concat!(
-            "    1\n",
-            "SIMPLE PLATE\n",
-            "    1    1    1    1\n",
-            "    1    0    0    4    2         0    0\n",
-            "    1    2\n",
-            "    0    0    4    0  0.0000  0.0000  2.0000  0.0000  0.0000\n",
-            "    0    2    4    2  0.0000  0.5000  2.0000  0.5000  0.0000\n",
-            "(2F9.5, 51X, I3, 5X, I3)\n",
-            "(3I5, 62X, I3)\n",
-        );
+    fn session_attributes_model_setup_and_solve() {
+        let idealized = PipelineBuilder::new()
+            .parse(PLATE_DECK)
+            .unwrap()
+            .idealize()
+            .unwrap();
         // A setup closure that reports a failure: ModelSetup.
-        let err = run_deck(
-            text,
-            |_mesh| Err(cafemio_fem::FemError::EmptyModel),
-            StressComponent::Effective,
-            &ContourOptions::new(),
-        )
-        .unwrap_err();
+        let err = idealized
+            .setup(|_mesh| Err(cafemio_fem::FemError::EmptyModel))
+            .unwrap_err();
         assert_eq!(err.stage(), Stage::ModelSetup);
-        // An unconstrained model: Solve.
-        let err = run_deck(
-            text,
-            |mesh| {
+        // An unconstrained model: Solve. The idealization is reused —
+        // `setup` does not consume it.
+        let err = idealized
+            .setup(|mesh| {
                 Ok(FemModel::new(
                     mesh.clone(),
                     AnalysisKind::PlaneStrain,
                     Material::isotropic(1.0e6, 0.3),
                 ))
-            },
-            StressComponent::Effective,
-            &ContourOptions::new(),
-        )
-        .unwrap_err();
+            })
+            .unwrap()
+            .solve()
+            .unwrap_err();
         assert_eq!(err.stage(), Stage::Solve);
-        // A properly constrained model runs end to end.
-        let plots = run_deck(
-            text,
-            |mesh| {
-                let mut model = FemModel::new(
-                    mesh.clone(),
-                    AnalysisKind::PlaneStress { thickness: 1.0 },
-                    Material::isotropic(1.0e7, 0.3),
-                );
-                let mut corner = None;
-                for (id, node) in mesh.nodes() {
-                    if node.position.x.abs() < 1e-9 {
-                        model.fix_x(id);
-                        if node.position.y.abs() < 1e-9 {
-                            corner = Some(id);
-                        }
-                    }
-                    if (node.position.x - 2.0).abs() < 1e-9 {
-                        model.add_force(id, 100.0, 0.0);
-                    }
-                }
-                model.fix_y(corner.expect("corner node exists"));
-                Ok(model)
-            },
-            StressComponent::Effective,
-            &ContourOptions::with_interval(25.0),
-        )
-        .unwrap();
+        // A properly constrained model runs end to end, still from the
+        // same idealization.
+        let plots = idealized
+            .setup(cantilever_setup)
+            .unwrap()
+            .solve()
+            .unwrap()
+            .recover()
+            .unwrap()
+            .contour_with(StressComponent::Effective, &ContourOptions::new().interval(25.0))
+            .unwrap();
         assert_eq!(plots.len(), 1);
+    }
+
+    #[test]
+    fn one_idealization_serves_several_load_cases() {
+        let idealized = PipelineBuilder::new()
+            .parse(PLATE_DECK)
+            .unwrap()
+            .idealize()
+            .unwrap();
+        let light = idealized.setup(cantilever_setup).unwrap().solve().unwrap();
+        let heavy = idealized
+            .setup(|mesh| Ok(cantilever_setup(mesh)?.with_load_factor(2.0)))
+            .unwrap()
+            .solve()
+            .unwrap();
+        let max_light = light.cases()[0].solution().max_displacement();
+        let max_heavy = heavy.cases()[0].solution().max_displacement();
+        assert!(max_heavy > 1.5 * max_light);
+    }
+
+    #[test]
+    fn solved_cases_expose_model_and_solution() {
+        let solved = PipelineBuilder::new().model(loaded_plate()).solve().unwrap();
+        assert_eq!(solved.cases().len(), 1);
+        let case = &solved.cases()[0];
+        assert!(case.solution().max_displacement() > 0.0);
+        assert!(case.model().mesh().node_count() > 0);
+        let recovered = solved.recover().unwrap();
+        let case = &recovered.cases()[0];
+        assert!(!case.stresses().effective().is_empty());
+        assert_eq!(case.solution().dofs().len(), case.model().mesh().node_count() * 2);
     }
 
     #[test]

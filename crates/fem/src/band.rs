@@ -163,14 +163,9 @@ impl BandMatrix {
     /// # Errors
     ///
     /// [`FemError::SingularMatrix`] when the matrix is not positive
-    /// definite.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `b` has the wrong length.
+    /// definite, [`FemError::RhsLength`] when `b` has the wrong length.
     pub fn solve(self, b: &[f64]) -> Result<Vec<f64>, FemError> {
-        assert_eq!(b.len(), self.n, "right-hand side length mismatch");
-        Ok(self.cholesky()?.solve(b))
+        self.cholesky()?.solve(b)
     }
 
     /// Factorizes once, returning a reusable factor — the transient
@@ -262,8 +257,8 @@ impl BandMatrix {
 /// k.add(1, 1, 4.0);
 /// k.add(0, 1, 1.0);
 /// let factor = k.cholesky()?;
-/// let x1 = factor.solve(&[5.0, 5.0]);
-/// let x2 = factor.solve(&[4.0, 1.0]);
+/// let x1 = factor.solve(&[5.0, 5.0])?;
+/// let x2 = factor.solve(&[4.0, 1.0])?;
 /// assert!((x1[0] - 1.0).abs() < 1e-12);
 /// assert!((x2[0] - 1.0).abs() < 1e-12);
 /// # Ok(())
@@ -277,12 +272,19 @@ pub struct CholeskyFactor {
 impl CholeskyFactor {
     /// Solves `A·x = b` with the stored factor.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `b` has the wrong length.
-    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
-        assert_eq!(b.len(), self.inner.n, "right-hand side length mismatch");
-        self.inner.solve_factored(b)
+    /// [`FemError::RhsLength`] when `b` has the wrong length — the same
+    /// signature as every sibling factorization, so callers thread one
+    /// error path through repeated solves.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, FemError> {
+        if b.len() != self.inner.n {
+            return Err(FemError::RhsLength {
+                expected: self.inner.n,
+                actual: b.len(),
+            });
+        }
+        Ok(self.inner.solve_factored(b))
     }
 
     /// Matrix order.
@@ -362,6 +364,25 @@ mod tests {
     #[should_panic(expected = "outside semi-bandwidth")]
     fn write_outside_band_panics() {
         laplacian(5).add(0, 3, 1.0);
+    }
+
+    #[test]
+    fn wrong_rhs_length_is_an_error_not_a_panic() {
+        assert_eq!(
+            laplacian(5).solve(&[1.0; 4]),
+            Err(FemError::RhsLength {
+                expected: 5,
+                actual: 4
+            })
+        );
+        let factor = laplacian(5).cholesky().unwrap();
+        assert_eq!(
+            factor.solve(&[1.0; 6]),
+            Err(FemError::RhsLength {
+                expected: 5,
+                actual: 6
+            })
+        );
     }
 
     #[test]

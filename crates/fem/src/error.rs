@@ -72,6 +72,16 @@ pub enum FemError {
         /// Zero-based index of the second node.
         b: usize,
     },
+    /// A right-hand side vector does not match the system's order. Every
+    /// solver (band, skyline, dense) reports this identically instead of
+    /// panicking, so batch drivers can attribute it like any other
+    /// stage error.
+    RhsLength {
+        /// The system order the solver expected.
+        expected: usize,
+        /// The length actually supplied.
+        actual: usize,
+    },
 }
 
 impl FemError {
@@ -125,6 +135,10 @@ impl fmt::Display for FemError {
             FemError::DegenerateEdge { a, b } => {
                 write!(f, "pressure edge from node {a} to node {b} has zero length")
             }
+            FemError::RhsLength { expected, actual } => write!(
+                f,
+                "right-hand side has {actual} entries but the system order is {expected}"
+            ),
         }
     }
 }

@@ -194,14 +194,20 @@ impl DenseMatrix {
     ///
     /// # Errors
     ///
-    /// [`FemError::SingularMatrix`] for singular systems.
+    /// [`FemError::SingularMatrix`] for singular systems,
+    /// [`FemError::RhsLength`] when `b` has the wrong length.
     ///
     /// # Panics
     ///
-    /// Panics when the matrix is not square or `b` has the wrong length.
+    /// Panics when the matrix is not square.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, FemError> {
         assert_eq!(self.rows, self.cols, "solve needs a square matrix");
-        assert_eq!(b.len(), self.rows, "right-hand side length mismatch");
+        if b.len() != self.rows {
+            return Err(FemError::RhsLength {
+                expected: self.rows,
+                actual: b.len(),
+            });
+        }
         let n = self.rows;
         let mut a = self.clone();
         let mut x: Vec<f64> = b.to_vec();

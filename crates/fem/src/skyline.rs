@@ -136,14 +136,16 @@ impl SkylineMatrix {
     /// # Errors
     ///
     /// [`FemError::SingularMatrix`] when a pivot vanishes or turns
-    /// negative (the structural matrices here are positive definite), and
-    /// [`FemError::NonFinite`] when a NaN or infinity reaches a pivot.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `b` has the wrong length.
+    /// negative (the structural matrices here are positive definite),
+    /// [`FemError::NonFinite`] when a NaN or infinity reaches a pivot,
+    /// and [`FemError::RhsLength`] when `b` has the wrong length.
     pub fn solve(mut self, b: &[f64]) -> Result<Vec<f64>, FemError> {
-        assert_eq!(b.len(), self.n, "right-hand side length mismatch");
+        if b.len() != self.n {
+            return Err(FemError::RhsLength {
+                expected: self.n,
+                actual: b.len(),
+            });
+        }
         self.factorize()?;
         Ok(self.solve_factored(b))
     }

@@ -211,7 +211,7 @@ impl ThermalModel {
             for (&node, &value) in &self.fixed_temperatures {
                 rhs[node] = value;
             }
-            temperature = factor.solve(&rhs);
+            temperature = factor.solve(&rhs)?;
             times.push(t_next);
             snapshots.push(NodalField::new("TEMPERATURE", temperature.clone()));
         }

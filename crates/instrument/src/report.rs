@@ -67,6 +67,50 @@ impl PerfReport {
             .sum()
     }
 
+    /// Merges another report into this one, **aggregating** rather than
+    /// appending: a span in `other` whose `(name, depth)` pair already
+    /// exists here adds its nanoseconds to the existing record, and a
+    /// counter with an existing name adds its value. Unmatched records
+    /// are appended in `other`'s order.
+    ///
+    /// This is the cross-thread reduction the batch engine uses: each
+    /// worker accumulates a private per-stage report, and the engine
+    /// folds them into one aggregate. Note the counter semantics differ
+    /// from [`counter`](crate::counter) (which is last-write-wins):
+    /// merging *sums*, because two workers' job counts are additive.
+    pub fn merge(&mut self, other: &PerfReport) {
+        for span in &other.spans {
+            match self
+                .spans
+                .iter_mut()
+                .find(|s| s.name == span.name && s.depth == span.depth)
+            {
+                Some(existing) => existing.nanos = existing.nanos.saturating_add(span.nanos),
+                None => self.spans.push(span.clone()),
+            }
+        }
+        for counter in &other.counters {
+            match self.counters.iter_mut().find(|c| c.name == counter.name) {
+                Some(existing) => {
+                    existing.value = existing.value.saturating_add(counter.value);
+                }
+                None => self.counters.push(counter.clone()),
+            }
+        }
+    }
+
+    /// Folds many per-thread reports into one aggregate with
+    /// [`merge`](Self::merge). The fold order is the iteration order, so
+    /// callers that need a stable span layout should seed the first
+    /// report with the expected names.
+    pub fn merge_all(reports: impl IntoIterator<Item = PerfReport>) -> PerfReport {
+        let mut merged = PerfReport::default();
+        for report in reports {
+            merged.merge(&report);
+        }
+        merged
+    }
+
     /// Serializes to a pretty-printed JSON object with `spans` and
     /// `counters` arrays. No external serializer: the format is small and
     /// stable, and the repository builds offline.
@@ -211,6 +255,79 @@ mod tests {
         assert_eq!(report.span_nanos("idlz.run"), 123_456_790);
         assert_eq!(report.counter("idlz.nodes"), Some(u64::MAX));
         assert_eq!(report.counter("missing"), None);
+    }
+
+    #[test]
+    fn merge_aggregates_matching_records_and_appends_new() {
+        let mut left = PerfReport {
+            spans: vec![
+                SpanRecord {
+                    name: "batch.solve".to_owned(),
+                    depth: 1,
+                    nanos: 100,
+                },
+                SpanRecord {
+                    name: "batch.parse".to_owned(),
+                    depth: 1,
+                    nanos: 10,
+                },
+            ],
+            counters: vec![CounterRecord {
+                name: "batch.jobs".to_owned(),
+                value: 3,
+            }],
+        };
+        let right = PerfReport {
+            spans: vec![
+                SpanRecord {
+                    name: "batch.solve".to_owned(),
+                    depth: 1,
+                    nanos: 50,
+                },
+                // Same name at a different depth is a distinct record.
+                SpanRecord {
+                    name: "batch.solve".to_owned(),
+                    depth: 0,
+                    nanos: 7,
+                },
+            ],
+            counters: vec![
+                CounterRecord {
+                    name: "batch.jobs".to_owned(),
+                    value: 2,
+                },
+                CounterRecord {
+                    name: "batch.failed".to_owned(),
+                    value: 1,
+                },
+            ],
+        };
+        left.merge(&right);
+        assert_eq!(left.spans.len(), 3);
+        assert_eq!(left.span_nanos("batch.solve"), 157);
+        assert_eq!(left.span_nanos("batch.parse"), 10);
+        assert_eq!(left.counter("batch.jobs"), Some(5));
+        assert_eq!(left.counter("batch.failed"), Some(1));
+    }
+
+    #[test]
+    fn merge_all_folds_in_order_and_saturates() {
+        let worker = |nanos, jobs| PerfReport {
+            spans: vec![SpanRecord {
+                name: "batch.contour".to_owned(),
+                depth: 1,
+                nanos,
+            }],
+            counters: vec![CounterRecord {
+                name: "batch.jobs".to_owned(),
+                value: jobs,
+            }],
+        };
+        let merged =
+            PerfReport::merge_all([worker(u64::MAX - 1, 1), worker(10, u64::MAX)]);
+        assert_eq!(merged.spans.len(), 1);
+        assert_eq!(merged.span_nanos("batch.contour"), u64::MAX);
+        assert_eq!(merged.counter("batch.jobs"), Some(u64::MAX));
     }
 
     #[test]

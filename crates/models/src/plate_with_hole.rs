@@ -168,17 +168,20 @@ mod tests {
 
     #[test]
     fn contours_concentrate_at_the_hole() {
-        use cafemio_ospl::{ContourOptions, Ospl};
+        use cafemio::prelude::{PipelineBuilder, StressComponent};
         let result = Idealization::run(&spec()).unwrap();
         let model = tension_model(&result.mesh);
-        let solution = model.solve().unwrap();
-        let stresses = StressField::compute(&model, &solution).unwrap();
-        let plot = Ospl::run(
-            model.mesh(),
-            &stresses.effective(),
-            &ContourOptions::new(),
-        )
-        .unwrap();
+        let plot = PipelineBuilder::new()
+            .component(StressComponent::Effective)
+            .model(model)
+            .solve()
+            .unwrap()
+            .recover()
+            .unwrap()
+            .contour()
+            .unwrap()
+            .remove(0)
+            .contours;
         assert!(plot.drawn_contours() > 5);
         // The highest-level isogram hugs the hole: every segment end
         // within twice the hole radius of the origin.

@@ -41,10 +41,43 @@ impl ContourOptions {
             ..ContourOptions::default()
         }
     }
+
+    /// Sets a fixed contour interval (`DELTA`; default: automatic
+    /// determination per Appendix D).
+    pub fn interval(mut self, interval: f64) -> ContourOptions {
+        self.interval = Some(interval);
+        self
+    }
+
+    /// Sets the value of the lowest contour (default: the first interval
+    /// multiple at or above the field minimum).
+    pub fn lowest(mut self, lowest: f64) -> ContourOptions {
+        self.lowest = Some(lowest);
+        self
+    }
+
+    /// Sets a zoom window (`XMX, XMN, YMX, YMN`; default: plot
+    /// everything).
+    pub fn window(mut self, window: BoundingBox) -> ContourOptions {
+        self.window = Some(window);
+        self
+    }
+
+    /// Sets the capacity limits (default: the paper's Table 1).
+    pub fn limits(mut self, limits: OsplLimits) -> ContourOptions {
+        self.limits = limits;
+        self
+    }
+
+    /// Sets an extra title line (default: only the field name is shown).
+    pub fn title(mut self, title: impl Into<String>) -> ContourOptions {
+        self.title = Some(title.into());
+        self
+    }
 }
 
 /// The product of an OSPL run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OsplResult {
     /// The extracted contours, one per level, in ascending level order.
     pub isograms: Vec<Isogram>,

@@ -47,11 +47,13 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // Pressure analysis + effective stress contours.
     let model = hatch::dsrv_pressure_model(&result.mesh);
-    let plot = cafemio::pipeline::solve_and_contour(
-        &model,
-        StressComponent::Effective,
-        &ContourOptions::new(),
-    )?;
+    let plot = PipelineBuilder::new()
+        .component(StressComponent::Effective)
+        .model(model)
+        .solve()?
+        .recover()?
+        .contour()?
+        .remove(0);
     let (lo, hi) = plot.field.min_max().expect("non-empty field");
     println!(
         "effective stress under {} psi: {lo:.0} .. {hi:.0} psi, interval {}",

@@ -62,11 +62,13 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
 
     // ---- 3. Output plotting (program OSPL) ----------------------------
-    let plot = cafemio::pipeline::solve_and_contour(
-        &model,
-        StressComponent::Effective,
-        &ContourOptions::new(),
-    )?;
+    let plot = PipelineBuilder::new()
+        .component(StressComponent::Effective)
+        .model(model)
+        .solve()?
+        .recover()?
+        .contour()?
+        .remove(0);
     println!(
         "OSPL: interval {} (automatic), {} contours, {} segments",
         plot.contours.interval,

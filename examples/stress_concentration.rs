@@ -36,11 +36,13 @@ fn main() -> Result<(), Box<dyn Error>> {
         "Kt at the hole crown = {:.2}  (Kirsch infinite-plate value: 3.00)",
         stresses.node(crown).radial / hole::TENSION
     );
-    let plot = cafemio::pipeline::solve_and_contour(
-        &model,
-        StressComponent::Effective,
-        &ContourOptions::new(),
-    )?;
+    let plot = PipelineBuilder::new()
+        .component(StressComponent::Effective)
+        .model(model)
+        .solve()?
+        .recover()?
+        .contour()?
+        .remove(0);
     fs::create_dir_all("target")?;
     fs::write(
         "target/stress_concentration.svg",

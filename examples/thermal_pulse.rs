@@ -44,11 +44,13 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // The engineering consumer of Figure 14's field: thermal stress.
     let model = tbeam::thermal_stress_model(&idealized.mesh, history.at_time(2.0));
-    let plot = cafemio::pipeline::solve_and_contour(
-        &model,
-        StressComponent::Effective,
-        &ContourOptions::new(),
-    )?;
+    let plot = PipelineBuilder::new()
+        .component(StressComponent::Effective)
+        .model(model)
+        .solve()?
+        .recover()?
+        .contour()?
+        .remove(0);
     let (lo, hi) = plot.field.min_max().expect("non-empty field");
     println!(
         "\nthermal stress at t = 2 s: effective {lo:.0} .. {hi:.0} psi \

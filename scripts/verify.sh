@@ -11,6 +11,7 @@
 #   clippy  clippy on all targets with warnings denied
 #   fuzz    fixed-seed fault-injection smoke (panic-free pipeline gate)
 #   bench   figures binary + BENCH_pipeline.json structural validation
+#   batch   batch engine over the models corpus + BENCH_batch.json validation
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -46,9 +47,15 @@ run_bench() {
   cargo run --release -p cafemio-bench --bin bench_smoke
 }
 
+run_batch() {
+  echo "== batch smoke (concurrent batch engine + throughput artifact)"
+  cargo run --release -p cafemio-bench --bin batch_bench
+  cargo run --release -p cafemio-bench --bin batch_smoke
+}
+
 stages=("$@")
 if [ ${#stages[@]} -eq 0 ]; then
-  stages=(build test doc clippy fuzz bench)
+  stages=(build test doc clippy fuzz bench batch)
 fi
 
 for stage in "${stages[@]}"; do
@@ -59,6 +66,7 @@ for stage in "${stages[@]}"; do
     clippy) run_clippy ;;
     fuzz) run_fuzz ;;
     bench) run_bench ;;
+    batch) run_batch ;;
     *)
       echo "verify: unknown stage '$stage'" >&2
       exit 2

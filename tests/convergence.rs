@@ -42,12 +42,16 @@ fn kirsch_factor_improves_under_refinement() {
 fn refined_idealization_still_plots() {
     let mesh = Idealization::run(&hole::spec()).unwrap().mesh.refined();
     let model = hole::tension_model(&mesh);
-    let plot = cafemio::pipeline::solve_and_contour(
-        &model,
-        StressComponent::Effective,
-        &ContourOptions::new(),
-    )
-    .unwrap();
+    let plot = PipelineBuilder::new()
+        .component(StressComponent::Effective)
+        .model(model)
+        .solve()
+        .unwrap()
+        .recover()
+        .unwrap()
+        .contour()
+        .unwrap()
+        .remove(0);
     assert!(plot.contours.drawn_contours() > 10);
 }
 

@@ -15,12 +15,16 @@ fn temperature_field_to_thermal_stress_to_contour() {
     let history = tbeam::run_pulse(&idealized.mesh, 2.0, 100).unwrap();
     let temperatures = history.at_time(2.0);
     let model = tbeam::thermal_stress_model(&idealized.mesh, temperatures);
-    let plot = cafemio::pipeline::solve_and_contour(
-        &model,
-        StressComponent::Effective,
-        &ContourOptions::new(),
-    )
-    .unwrap();
+    let plot = PipelineBuilder::new()
+        .component(StressComponent::Effective)
+        .model(model)
+        .solve()
+        .unwrap()
+        .recover()
+        .unwrap()
+        .contour()
+        .unwrap()
+        .remove(0);
     assert!(plot.contours.drawn_contours() > 3);
     // The stress scale is hundreds to thousands of psi for a ~250 °F
     // gradient in steel (E·α·ΔT ~ 30e6 × 6.5e-6 × 250 ≈ 49 000 psi upper

@@ -1,0 +1,93 @@
+//! Golden compatibility for the deprecated free functions.
+//!
+//! `run_deck`, `idealize_deck_text`, and `solve_and_contour` survive as
+//! thin wrappers over the staged-session API; these tests pin the
+//! contract that they still compile and produce **identical** output to
+//! the sessions they delegate to. This file is the one place in the
+//! repository allowed to call them — everywhere else `deprecated` is
+//! denied.
+#![allow(deprecated)]
+
+use cafemio::pipeline::{idealize_deck_text, run_deck, solve_and_contour};
+use cafemio::prelude::*;
+use cafemio_bench::jobs::standard_setup;
+use cafemio_bench::mutate::base_decks;
+
+#[test]
+fn solve_and_contour_matches_the_session_bit_for_bit() {
+    let (_, text) = &base_decks()[0];
+    let idealized = PipelineBuilder::new().parse(text).unwrap().idealize().unwrap();
+    let model = standard_setup(&idealized.sets()[0].result.mesh).unwrap();
+    let options = ContourOptions::new();
+    for component in [
+        StressComponent::Effective,
+        StressComponent::Radial,
+        StressComponent::Shear,
+    ] {
+        let old = solve_and_contour(&model, component, &options).unwrap();
+        let new = PipelineBuilder::new()
+            .model(model.clone())
+            .solve()
+            .unwrap()
+            .recover()
+            .unwrap()
+            .contour_with(component, &options)
+            .unwrap()
+            .remove(0);
+        assert_eq!(old, new, "{component}: wrapper diverged from session");
+        // Belt and braces: the Debug rendering round-trips every f64, so
+        // equal strings mean bit-identical floats.
+        assert_eq!(format!("{old:?}"), format!("{new:?}"));
+    }
+}
+
+#[test]
+fn idealize_deck_text_matches_the_session() {
+    for (name, text) in base_decks() {
+        let old = idealize_deck_text(&text).unwrap();
+        let new: Vec<_> = PipelineBuilder::new()
+            .parse(&text)
+            .unwrap()
+            .idealize()
+            .unwrap()
+            .into_sets()
+            .into_iter()
+            .map(|set| (set.spec, set.result))
+            .collect();
+        assert_eq!(old.len(), new.len(), "{name}");
+        assert_eq!(format!("{old:?}"), format!("{new:?}"), "{name}");
+    }
+}
+
+#[test]
+fn run_deck_matches_the_full_session_chain() {
+    let (_, text) = &base_decks()[0];
+    let options = ContourOptions::new();
+    let old = run_deck(text, standard_setup, StressComponent::Effective, &options).unwrap();
+    let new = PipelineBuilder::new()
+        .component(StressComponent::Effective)
+        .contour_options(options)
+        .parse(text)
+        .unwrap()
+        .idealize()
+        .unwrap()
+        .setup(standard_setup)
+        .unwrap()
+        .solve()
+        .unwrap()
+        .recover()
+        .unwrap()
+        .contour()
+        .unwrap();
+    assert_eq!(old, new, "wrapper diverged from session");
+    assert_eq!(format!("{old:?}"), format!("{new:?}"));
+}
+
+#[test]
+fn wrapper_errors_keep_their_stage_attribution() {
+    // A deck mid-truncation still reports DeckParse through the wrapper.
+    let (_, text) = &base_decks()[0];
+    let truncated: String = text.lines().take(3).collect::<Vec<_>>().join("\n");
+    let err = idealize_deck_text(&truncated).unwrap_err();
+    assert_eq!(err.stage(), Stage::DeckParse);
+}

@@ -117,12 +117,16 @@ fn moderate_problem_data_volume_matches_paper_scale() {
 fn stiffened_cylinder_full_chain_matches_figure_15_shape() {
     let result = Idealization::run(&cylinder::stiffened_spec()).unwrap();
     let model = cylinder::pressure_model(&result.mesh);
-    let plot = cafemio::pipeline::solve_and_contour(
-        &model,
-        StressComponent::Circumferential,
-        &ContourOptions::new(),
-    )
-    .unwrap();
+    let plot = PipelineBuilder::new()
+        .component(StressComponent::Circumferential)
+        .model(model)
+        .solve()
+        .unwrap()
+        .recover()
+        .unwrap()
+        .contour()
+        .unwrap()
+        .remove(0);
     // Figure 15c: hoop stress everywhere compressive in the GRP barrel.
     let (lo, hi) = plot.field.min_max().unwrap();
     assert!(hi < 0.0, "hoop range {lo} .. {hi}");

@@ -131,7 +131,10 @@ fn golden_bad_subdivision_card() {
         "    1    0    0    4    2         0    0",
         "    1    0    0    0    0         0    0",
     );
-    let err = cafemio::pipeline::idealize_deck_text(&bad).unwrap_err();
+    let err = cafemio::pipeline::PipelineBuilder::new()
+        .parse(&bad)
+        .and_then(|parsed| parsed.idealize())
+        .unwrap_err();
     assert_eq!(err.stage(), cafemio::pipeline::Stage::DeckParse);
     assert_eq!(
         err.to_string(),
@@ -148,7 +151,10 @@ fn golden_arc_past_quarter_turn() {
         "    0    2    4    2  0.0000  0.5000  2.0000  0.5000  0.0000",
         "    0    2    4    2  0.0000  0.5000  2.0000  0.5000  1.0000",
     );
-    let err = cafemio::pipeline::idealize_deck_text(&bad).unwrap_err();
+    let err = cafemio::pipeline::PipelineBuilder::new()
+        .parse(&bad)
+        .and_then(|parsed| parsed.idealize())
+        .unwrap_err();
     assert_eq!(err.stage(), cafemio::pipeline::Stage::Idealize);
     assert_eq!(
         err.to_string(),
@@ -176,19 +182,21 @@ fn golden_unconstrained_model_end_to_end() {
     // The deterministic singular case: no displacement constraint at
     // all is rejected structurally, before factorization can smear the
     // zero pivots into roundoff.
-    let err = cafemio::pipeline::run_deck(
-        PLATE_DECK,
-        |mesh| {
-            Ok(cafemio::fem::FemModel::new(
-                mesh.clone(),
-                cafemio::fem::AnalysisKind::PlaneStress { thickness: 1.0 },
-                cafemio::fem::Material::isotropic(30.0e6, 0.3),
-            ))
-        },
-        cafemio::pipeline::StressComponent::Effective,
-        &cafemio::ospl::ContourOptions::new(),
-    )
-    .unwrap_err();
+    let err = cafemio::pipeline::PipelineBuilder::new()
+        .component(cafemio::pipeline::StressComponent::Effective)
+        .parse(PLATE_DECK)
+        .and_then(|parsed| parsed.idealize())
+        .and_then(|idealized| {
+            idealized.setup(|mesh| {
+                Ok(cafemio::fem::FemModel::new(
+                    mesh.clone(),
+                    cafemio::fem::AnalysisKind::PlaneStress { thickness: 1.0 },
+                    cafemio::fem::Material::isotropic(30.0e6, 0.3),
+                ))
+            })
+        })
+        .and_then(|ready| ready.solve())
+        .unwrap_err();
     assert_eq!(err.stage(), cafemio::pipeline::Stage::Solve);
     assert_eq!(
         err.to_string(),
@@ -196,9 +204,7 @@ fn golden_unconstrained_model_end_to_end() {
          matrix is singular: all rigid-body modes are free)"
     );
     // Stage provenance includes the live span stack at capture time.
-    assert!(err
-        .span_context()
-        .contains(&"pipeline.solve_and_contour"));
+    assert!(err.span_context().contains(&"pipeline.solve"));
 }
 
 #[test]

@@ -3,7 +3,7 @@
 //! Hundreds of systematically corrupted IDLZ decks — truncated cards,
 //! garbage fields, zero-area subdivisions, out-of-range grid points,
 //! over-quarter arcs, and singular boundary conditions — are driven
-//! through `cafemio::pipeline::idealize_deck_text` / `run_deck` under
+//! through the staged-session pipeline (`PipelineBuilder`) under
 //! `catch_unwind`. Every case must fail with a structured
 //! `PipelineError` attributed to the fault's stage; none may panic.
 //!
@@ -13,8 +13,13 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use cafemio::pipeline::{idealize_deck_text, Stage};
+use cafemio::pipeline::{Idealized, PipelineBuilder, PipelineError, Stage};
 use cafemio_bench::mutate::{base_decks, mutate, run_sweep, Fault, SplitMix64};
+
+/// Parse + idealize through a staged session.
+fn idealize(text: &str) -> Result<Idealized, PipelineError> {
+    PipelineBuilder::new().parse(text)?.idealize()
+}
 
 /// The acceptance floor: at least this many mutated decks per sweep.
 const MIN_CASES: usize = 200;
@@ -61,7 +66,7 @@ fn truncated_decks_report_what_card_was_missing() {
     let (_, text) = &base_decks()[0];
     let mut rng = SplitMix64::new(3);
     let mutated = mutate(text, Fault::TruncateDeck, &mut rng);
-    let err = idealize_deck_text(&mutated).unwrap_err();
+    let err = idealize(&mutated).unwrap_err();
     assert_eq!(err.stage(), Stage::DeckParse);
     assert!(
         err.to_string().contains("deck ends where a"),
@@ -82,7 +87,7 @@ fn deep_mutation_storm_stays_panic_free() {
                 continue;
             }
             let mutated = mutate(text, fault, &mut rng);
-            let outcome = catch_unwind(AssertUnwindSafe(|| idealize_deck_text(&mutated)));
+            let outcome = catch_unwind(AssertUnwindSafe(|| idealize(&mutated)));
             let result = outcome.unwrap_or_else(|_| {
                 panic!("seed {seed}/{} panicked", fault.name());
             });
