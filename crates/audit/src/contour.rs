@@ -1,0 +1,144 @@
+//! Contour-stage invariants: level range and segment placement.
+
+use std::cmp::Ordering;
+
+use cafemio_geom::Segment;
+use cafemio_mesh::{NodalField, TriMesh};
+use cafemio_ospl::OsplResult;
+
+use crate::{AuditError, AuditOptions};
+
+/// Checks that the extracted contours are geometrically honest: every
+/// non-empty isogram's level lies inside the field's value range (a
+/// crossing needs values on both sides of the level), and both endpoints
+/// of every straight piece lie on some element edge of the mesh the
+/// field was sampled on — the marching extraction only ever interpolates
+/// along edges, so a point off every edge is a fabricated crossing.
+///
+/// Returns the number of individual checks that ran.
+///
+/// # Errors
+///
+/// [`AuditError::LevelOutOfRange`] or [`AuditError::SegmentOffEdge`].
+pub fn check_contours(
+    mesh: &TriMesh,
+    field: &NodalField,
+    result: &OsplResult,
+    options: &AuditOptions,
+) -> Result<u64, AuditError> {
+    let Some((min, max)) = field.min_max() else {
+        return Ok(0);
+    };
+    let level_slack = (max - min).abs() * 1e-12;
+
+    let bbox = mesh.bounding_box();
+    let diagonal = f64::hypot(bbox.width(), bbox.height());
+    let tolerance = if diagonal > 0.0 {
+        options.geometry_tolerance() * diagonal
+    } else {
+        options.geometry_tolerance()
+    };
+    let edges: Vec<Segment> = mesh
+        .edges()
+        .keys()
+        .map(|edge| Segment::new(mesh.node(edge.0).position, mesh.node(edge.1).position))
+        .collect();
+
+    let mut checks = 0u64;
+    for isogram in &result.isograms {
+        if isogram.segments.is_empty() {
+            continue;
+        }
+        if isogram.level < min - level_slack || isogram.level > max + level_slack {
+            return Err(AuditError::LevelOutOfRange {
+                level: isogram.level,
+                min,
+                max,
+            });
+        }
+        checks += 1;
+
+        for segment in &isogram.segments {
+            for point in [segment.a, segment.b] {
+                let nearest = edges
+                    .iter()
+                    .map(|edge| edge.distance_to_point(point))
+                    .fold(f64::INFINITY, f64::min);
+                // partial_cmp so a NaN distance fails the check too.
+                let on_edge = matches!(
+                    nearest.partial_cmp(&tolerance),
+                    Some(Ordering::Less | Ordering::Equal)
+                );
+                if !on_edge {
+                    return Err(AuditError::SegmentOffEdge {
+                        level: isogram.level,
+                        point: (point.x, point.y),
+                        distance: nearest,
+                        tolerance,
+                    });
+                }
+                checks += 1;
+            }
+        }
+    }
+    Ok(checks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cafemio_geom::Point;
+    use cafemio_mesh::BoundaryKind;
+    use cafemio_ospl::{ContourOptions, Ospl};
+
+    fn square_with_gradient() -> (TriMesh, NodalField) {
+        let mut mesh = TriMesh::new();
+        let a = mesh.add_node(Point::new(0.0, 0.0), BoundaryKind::Boundary);
+        let b = mesh.add_node(Point::new(1.0, 0.0), BoundaryKind::Boundary);
+        let c = mesh.add_node(Point::new(1.0, 1.0), BoundaryKind::Boundary);
+        let d = mesh.add_node(Point::new(0.0, 1.0), BoundaryKind::Boundary);
+        mesh.add_element([a, b, c]).unwrap();
+        mesh.add_element([a, c, d]).unwrap();
+        let field = NodalField::new("sigma", vec![0.0, 10.0, 20.0, 10.0]);
+        (mesh, field)
+    }
+
+    #[test]
+    fn a_real_contour_run_passes() {
+        let (mesh, field) = square_with_gradient();
+        let result = Ospl::run(&mesh, &field, &ContourOptions::new()).unwrap();
+        let checks = check_contours(&mesh, &field, &result, &AuditOptions::new()).unwrap();
+        assert!(checks > 0);
+    }
+
+    #[test]
+    fn a_forged_level_is_out_of_range() {
+        let (mesh, field) = square_with_gradient();
+        let mut result = Ospl::run(&mesh, &field, &ContourOptions::new()).unwrap();
+        let isogram = result
+            .isograms
+            .iter_mut()
+            .find(|i| !i.segments.is_empty())
+            .unwrap();
+        isogram.level = 1.0e6;
+        let err = check_contours(&mesh, &field, &result, &AuditOptions::new()).unwrap_err();
+        assert!(matches!(err, AuditError::LevelOutOfRange { .. }), "{err}");
+    }
+
+    #[test]
+    fn a_shifted_endpoint_is_off_every_edge() {
+        let (mesh, field) = square_with_gradient();
+        let mut result = Ospl::run(&mesh, &field, &ContourOptions::new()).unwrap();
+        let isogram = result
+            .isograms
+            .iter_mut()
+            .find(|i| !i.segments.is_empty())
+            .unwrap();
+        // An asymmetric shift so the point cannot slide along the
+        // square's diagonal edge onto another edge line.
+        isogram.segments[0].a.x += 0.0371;
+        isogram.segments[0].a.y -= 0.0279;
+        let err = check_contours(&mesh, &field, &result, &AuditOptions::new()).unwrap_err();
+        assert!(matches!(err, AuditError::SegmentOffEdge { .. }), "{err}");
+    }
+}

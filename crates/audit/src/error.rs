@@ -1,0 +1,309 @@
+//! The typed audit verdicts.
+
+use std::fmt;
+
+use cafemio_fem::FemError;
+
+/// The pipeline stage whose promise an [`AuditError`] found broken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditStage {
+    /// Mesh topology, geometry, shaping, quality, or renumbering.
+    Idealize,
+    /// Residual, equilibrium, or cross-backend agreement.
+    Solve,
+    /// Isogram levels and segment placement.
+    Contour,
+}
+
+impl fmt::Display for AuditStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AuditStage::Idealize => "idealize",
+            AuditStage::Solve => "solve",
+            AuditStage::Contour => "contour",
+        })
+    }
+}
+
+/// One broken stage invariant, with the measurements that broke it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AuditError {
+    /// The final mesh fails its own structural validation.
+    MeshInvalid {
+        /// The underlying mesh error, rendered.
+        reason: String,
+    },
+    /// An element has non-positive signed area. The idealizer's fold
+    /// normalization guarantees every element is counter-clockwise.
+    InvertedElement {
+        /// Element index.
+        element: usize,
+        /// The offending signed area.
+        signed_area: f64,
+    },
+    /// A node a shape line explicitly locates is not where the line's
+    /// straight/arc subdivision puts it.
+    NodeOffShapeLine {
+        /// Subdivision the shape line belongs to.
+        subdivision: usize,
+        /// Where the line says the node must be.
+        expected: (f64, f64),
+        /// Distance from the expected point to the nearest mesh node.
+        distance: f64,
+        /// The absolute tolerance that was exceeded.
+        tolerance: f64,
+    },
+    /// The reform report disagrees with a re-measurement of the mesh.
+    QualityMismatch {
+        /// Which quality number disagrees.
+        what: &'static str,
+        /// The value the reform report carries.
+        reported: f64,
+        /// The value measured from the final mesh.
+        measured: f64,
+    },
+    /// Renumbering widened the bandwidth it was asked to narrow.
+    BandwidthRegressed {
+        /// Semi-bandwidth before renumbering.
+        before: usize,
+        /// Semi-bandwidth after.
+        after: usize,
+    },
+    /// The stats' final bandwidth is not the final mesh's bandwidth.
+    BandwidthMisreported {
+        /// The value the stats carry.
+        reported: usize,
+        /// The value measured from the final mesh.
+        measured: usize,
+    },
+    /// A node renumbering permutation is not a bijection.
+    PermutationNotBijective {
+        /// Length of the permutation.
+        len: usize,
+        /// Number of nodes it must cover.
+        nodes: usize,
+        /// What exactly is wrong.
+        detail: String,
+    },
+    /// `‖K·u − f‖ / ‖f‖` over the free dofs exceeds the tolerance.
+    ResidualTooLarge {
+        /// The relative residual measured.
+        residual: f64,
+        /// The bound it exceeded.
+        tolerance: f64,
+    },
+    /// Reactions at the supports do not balance the applied loads.
+    Unbalanced {
+        /// Which global direction is out of balance.
+        direction: &'static str,
+        /// The relative imbalance measured.
+        imbalance: f64,
+        /// The bound it exceeded.
+        tolerance: f64,
+    },
+    /// Two solver backends disagree about the displacements.
+    SolverDivergence {
+        /// The backend that disagrees with the session's solution.
+        backend: &'static str,
+        /// `max|Δu| / max|u|` between the two solutions.
+        divergence: f64,
+        /// The bound it exceeded.
+        tolerance: f64,
+    },
+    /// A non-empty isogram's level lies outside the field's range.
+    LevelOutOfRange {
+        /// The offending level.
+        level: f64,
+        /// Field minimum.
+        min: f64,
+        /// Field maximum.
+        max: f64,
+    },
+    /// An isogram segment endpoint lies on no element edge.
+    SegmentOffEdge {
+        /// The isogram's level.
+        level: f64,
+        /// The offending endpoint.
+        point: (f64, f64),
+        /// Distance to the nearest element edge.
+        distance: f64,
+        /// The absolute tolerance that was exceeded.
+        tolerance: f64,
+    },
+    /// The solver could not even produce the quantities to audit.
+    Fem(FemError),
+}
+
+impl AuditError {
+    /// The stage whose invariant this error reports broken.
+    pub fn stage(&self) -> AuditStage {
+        match self {
+            AuditError::MeshInvalid { .. }
+            | AuditError::InvertedElement { .. }
+            | AuditError::NodeOffShapeLine { .. }
+            | AuditError::QualityMismatch { .. }
+            | AuditError::BandwidthRegressed { .. }
+            | AuditError::BandwidthMisreported { .. }
+            | AuditError::PermutationNotBijective { .. } => AuditStage::Idealize,
+            AuditError::ResidualTooLarge { .. }
+            | AuditError::Unbalanced { .. }
+            | AuditError::SolverDivergence { .. }
+            | AuditError::Fem(_) => AuditStage::Solve,
+            AuditError::LevelOutOfRange { .. } | AuditError::SegmentOffEdge { .. } => {
+                AuditStage::Contour
+            }
+        }
+    }
+}
+
+impl fmt::Display for AuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "audit({}): ", self.stage())?;
+        match self {
+            AuditError::MeshInvalid { reason } => {
+                write!(f, "final mesh fails validation: {reason}")
+            }
+            AuditError::InvertedElement {
+                element,
+                signed_area,
+            } => write!(
+                f,
+                "element {element} is inverted or degenerate \
+                 (signed area {signed_area:e})"
+            ),
+            AuditError::NodeOffShapeLine {
+                subdivision,
+                expected,
+                distance,
+                tolerance,
+            } => write!(
+                f,
+                "subdivision {subdivision}: no mesh node within {tolerance:e} of the \
+                 shape-line point ({}, {}) (nearest is {distance:e} away)",
+                expected.0, expected.1
+            ),
+            AuditError::QualityMismatch {
+                what,
+                reported,
+                measured,
+            } => write!(
+                f,
+                "reform report says {what} = {reported}, the mesh measures {measured}"
+            ),
+            AuditError::BandwidthRegressed { before, after } => write!(
+                f,
+                "renumbering widened the semi-bandwidth from {before} to {after}"
+            ),
+            AuditError::BandwidthMisreported { reported, measured } => write!(
+                f,
+                "stats report semi-bandwidth {reported}, the mesh measures {measured}"
+            ),
+            AuditError::PermutationNotBijective { len, nodes, detail } => write!(
+                f,
+                "permutation of length {len} over {nodes} nodes is not a bijection: {detail}"
+            ),
+            AuditError::ResidualTooLarge {
+                residual,
+                tolerance,
+            } => write!(
+                f,
+                "relative residual ‖K·u − f‖/‖f‖ = {residual:e} exceeds {tolerance:e}"
+            ),
+            AuditError::Unbalanced {
+                direction,
+                imbalance,
+                tolerance,
+            } => write!(
+                f,
+                "{direction} reactions do not balance the applied loads: \
+                 relative imbalance {imbalance:e} exceeds {tolerance:e}"
+            ),
+            AuditError::SolverDivergence {
+                backend,
+                divergence,
+                tolerance,
+            } => write!(
+                f,
+                "{backend} backend diverges from the session solution by \
+                 {divergence:e} (tolerance {tolerance:e})"
+            ),
+            AuditError::LevelOutOfRange { level, min, max } => write!(
+                f,
+                "isogram level {level} lies outside the field range [{min}, {max}]"
+            ),
+            AuditError::SegmentOffEdge {
+                level,
+                point,
+                distance,
+                tolerance,
+            } => write!(
+                f,
+                "level-{level} segment endpoint ({}, {}) lies {distance:e} from the \
+                 nearest element edge (tolerance {tolerance:e})",
+                point.0, point.1
+            ),
+            AuditError::Fem(source) => {
+                write!(f, "solution quantities unavailable: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AuditError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AuditError::Fem(source) => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<FemError> for AuditError {
+    fn from(source: FemError) -> AuditError {
+        AuditError::Fem(source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_names_its_stage() {
+        assert_eq!(
+            AuditError::MeshInvalid {
+                reason: "x".into()
+            }
+            .stage(),
+            AuditStage::Idealize
+        );
+        assert_eq!(
+            AuditError::ResidualTooLarge {
+                residual: 1.0,
+                tolerance: 0.0
+            }
+            .stage(),
+            AuditStage::Solve
+        );
+        assert_eq!(
+            AuditError::LevelOutOfRange {
+                level: 2.0,
+                min: 0.0,
+                max: 1.0
+            }
+            .stage(),
+            AuditStage::Contour
+        );
+    }
+
+    #[test]
+    fn display_leads_with_the_stage() {
+        let e = AuditError::BandwidthRegressed {
+            before: 4,
+            after: 9,
+        };
+        let text = e.to_string();
+        assert!(text.starts_with("audit(idealize): "), "{text}");
+        assert!(text.contains("4") && text.contains("9"), "{text}");
+    }
+}

@@ -1,0 +1,320 @@
+//! Idealization-stage invariants: topology, orientation, shaping,
+//! quality bookkeeping, and renumbering.
+
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+use cafemio_geom::{Arc, Point, Segment};
+use cafemio_idlz::{
+    GridPoint, IdealizationResult, IdealizationSpec, ShapeLine, Side, Subdivision,
+};
+use cafemio_mesh::cuthill_mckee;
+
+use crate::{AuditError, AuditOptions};
+
+/// Checks every invariant the idealizer promises of a successful run.
+///
+/// In order: the mesh validates structurally; every element is strictly
+/// counter-clockwise (the fold normalization guarantees it); every node a
+/// shape line locates explicitly sits where the line's straight or arc
+/// subdivision puts it; the reform report's final quality numbers match a
+/// re-measurement of the mesh; the stats' bandwidths are consistent with
+/// the mesh and never regressed; and a fresh Cuthill–McKee pass over the
+/// final mesh yields a bijective permutation.
+///
+/// Returns the number of individual checks that ran.
+///
+/// # Errors
+///
+/// The first broken invariant, as a typed [`AuditError`] whose
+/// [`stage`](AuditError::stage) is [`Idealize`](crate::AuditStage::Idealize).
+pub fn check_idealization(
+    spec: &IdealizationSpec,
+    result: &IdealizationResult,
+    options: &AuditOptions,
+) -> Result<u64, AuditError> {
+    let mesh = &result.mesh;
+    let mut checks = 0u64;
+
+    if let Err(source) = mesh.validate() {
+        return Err(AuditError::MeshInvalid {
+            reason: source.to_string(),
+        });
+    }
+    checks += 1;
+
+    for (id, _) in mesh.elements() {
+        let signed_area = mesh.triangle(id).signed_area();
+        // partial_cmp so a NaN area fails the check too.
+        if signed_area.partial_cmp(&0.0) != Some(Ordering::Greater) {
+            return Err(AuditError::InvertedElement {
+                element: id.index(),
+                signed_area,
+            });
+        }
+        checks += 1;
+    }
+
+    checks += check_shape_lines(spec, result, options)?;
+
+    let quality = mesh.quality();
+    if (quality.min_angle - result.reform.min_angle_after).abs() > 1e-12 {
+        return Err(AuditError::QualityMismatch {
+            what: "min_angle",
+            reported: result.reform.min_angle_after,
+            measured: quality.min_angle,
+        });
+    }
+    if quality.needle_count != result.reform.needles_after {
+        return Err(AuditError::QualityMismatch {
+            what: "needle_count",
+            reported: result.reform.needles_after as f64,
+            measured: quality.needle_count as f64,
+        });
+    }
+    checks += 2;
+
+    let measured = mesh.bandwidth();
+    if measured != result.stats.bandwidth_after {
+        return Err(AuditError::BandwidthMisreported {
+            reported: result.stats.bandwidth_after,
+            measured,
+        });
+    }
+    if result.stats.bandwidth_after > result.stats.bandwidth_before {
+        return Err(AuditError::BandwidthRegressed {
+            before: result.stats.bandwidth_before,
+            after: result.stats.bandwidth_after,
+        });
+    }
+    checks += 2;
+
+    let permutation = cuthill_mckee(mesh);
+    check_permutation(&permutation, mesh.node_count())?;
+    checks += 1;
+
+    Ok(checks)
+}
+
+/// Checks that `permutation` is a bijection over `nodes` node indices —
+/// the property renumbering silently relies on: a repeated or
+/// out-of-range entry merges two nodes and drops a third.
+///
+/// # Errors
+///
+/// [`AuditError::PermutationNotBijective`] with the offending entry.
+pub fn check_permutation(permutation: &[usize], nodes: usize) -> Result<(), AuditError> {
+    if permutation.len() != nodes {
+        return Err(AuditError::PermutationNotBijective {
+            len: permutation.len(),
+            nodes,
+            detail: "length differs from the node count".to_owned(),
+        });
+    }
+    let mut seen = vec![false; nodes];
+    for (index, &target) in permutation.iter().enumerate() {
+        if target >= nodes {
+            return Err(AuditError::PermutationNotBijective {
+                len: permutation.len(),
+                nodes,
+                detail: format!("entry {index} maps to out-of-range {target}"),
+            });
+        }
+        if seen[target] {
+            return Err(AuditError::PermutationNotBijective {
+                len: permutation.len(),
+                nodes,
+                detail: format!("entry {index} maps to {target}, already taken"),
+            });
+        }
+        seen[target] = true;
+    }
+    Ok(())
+}
+
+/// Re-derives the explicitly-located shape-line positions exactly as the
+/// shaping pass does — same side runs, same segment and arc subdivision,
+/// same later-line-wins overwrite order — and requires a mesh node at
+/// each of them. Matching by position rather than node id makes the check
+/// independent of renumbering.
+fn check_shape_lines(
+    spec: &IdealizationSpec,
+    result: &IdealizationResult,
+    options: &AuditOptions,
+) -> Result<u64, AuditError> {
+    let mut expected: BTreeMap<GridPoint, (usize, Point)> = BTreeMap::new();
+    for sub in spec.subdivisions() {
+        let Some(lines) = spec.shape_lines().get(&sub.id()) else {
+            continue;
+        };
+        for line in lines {
+            for (grid, position) in line_positions(sub, line)? {
+                expected.insert(grid, (sub.id(), position));
+            }
+        }
+    }
+
+    let bbox = result.mesh.bounding_box();
+    let diagonal = f64::hypot(bbox.width(), bbox.height());
+    let tolerance = if diagonal > 0.0 {
+        options.geometry_tolerance() * diagonal
+    } else {
+        options.geometry_tolerance()
+    };
+
+    let mut checks = 0u64;
+    for (subdivision, position) in expected.values() {
+        let nearest = result
+            .mesh
+            .nodes()
+            .map(|(_, node)| {
+                f64::hypot(node.position.x - position.x, node.position.y - position.y)
+            })
+            .fold(f64::INFINITY, f64::min);
+        // partial_cmp so a NaN distance fails the check too.
+        let located = matches!(
+            nearest.partial_cmp(&tolerance),
+            Some(Ordering::Less | Ordering::Equal)
+        );
+        if !located {
+            return Err(AuditError::NodeOffShapeLine {
+                subdivision: *subdivision,
+                expected: (position.x, position.y),
+                distance: nearest,
+                tolerance,
+            });
+        }
+        checks += 1;
+    }
+    Ok(checks)
+}
+
+/// The grid points one shape line covers and the positions it assigns
+/// them — a faithful replica of the shaping pass's `apply_line`.
+fn line_positions(
+    sub: &Subdivision,
+    line: &ShapeLine,
+) -> Result<Vec<(GridPoint, Point)>, AuditError> {
+    let run = side_run(sub, line.from, line.to).ok_or_else(|| AuditError::MeshInvalid {
+        reason: format!(
+            "shape line ({:?} → {:?}) lies on no side of subdivision {}",
+            line.from,
+            line.to,
+            sub.id()
+        ),
+    })?;
+    let positions: Vec<Point> = if run.len() == 1 {
+        vec![line.start]
+    } else if line.is_arc() {
+        let arc = Arc::from_endpoints_radius(line.start, line.end, line.radius).map_err(
+            |source| AuditError::MeshInvalid {
+                reason: format!("subdivision {}: unbuildable shape arc: {source}", sub.id()),
+            },
+        )?;
+        arc.subdivide(run.len() - 1)
+    } else {
+        Segment::new(line.start, line.end).subdivide(run.len() - 1)
+    };
+    Ok(run.into_iter().zip(positions).collect())
+}
+
+/// The consecutive side nodes from `from` to `to`, inclusive, in that
+/// order — the shaping pass's run lookup.
+fn side_run(sub: &Subdivision, from: GridPoint, to: GridPoint) -> Option<Vec<GridPoint>> {
+    for side in Side::ALL {
+        let nodes = sub.side_nodes(side);
+        let i = nodes.iter().position(|&p| p == from);
+        let j = nodes.iter().position(|&p| p == to);
+        if let (Some(i), Some(j)) = (i, j) {
+            return Some(if i <= j {
+                nodes[i..=j].to_vec()
+            } else {
+                let mut run = nodes[j..=i].to_vec();
+                run.reverse();
+                run
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cafemio_idlz::Idealization;
+
+    fn plate() -> (IdealizationSpec, IdealizationResult) {
+        let mut spec = IdealizationSpec::new("AUDIT PLATE");
+        spec.add_subdivision(Subdivision::rectangular(1, (0, 0), (4, 2)).unwrap());
+        spec.add_shape_line(
+            1,
+            ShapeLine::straight((0, 0), (4, 0), Point::new(0.0, 0.0), Point::new(2.0, 0.0)),
+        );
+        spec.add_shape_line(
+            1,
+            ShapeLine::straight((0, 2), (4, 2), Point::new(0.0, 0.5), Point::new(2.0, 0.5)),
+        );
+        let result = Idealization::run(&spec).unwrap();
+        (spec, result)
+    }
+
+    #[test]
+    fn a_clean_run_passes_with_a_positive_check_count() {
+        let (spec, result) = plate();
+        let checks = check_idealization(&spec, &result, &AuditOptions::new()).unwrap();
+        assert!(checks > result.mesh.element_count() as u64);
+    }
+
+    #[test]
+    fn a_tampered_needle_count_is_a_quality_mismatch() {
+        let (spec, mut result) = plate();
+        result.reform.needles_after += 1;
+        let err = check_idealization(&spec, &result, &AuditOptions::new()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                AuditError::QualityMismatch {
+                    what: "needle_count",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn a_tampered_bandwidth_is_misreported() {
+        let (spec, mut result) = plate();
+        result.stats.bandwidth_after += 3;
+        let err = check_idealization(&spec, &result, &AuditOptions::new()).unwrap_err();
+        assert!(matches!(err, AuditError::BandwidthMisreported { .. }), "{err}");
+    }
+
+    #[test]
+    fn a_moved_boundary_node_is_off_its_shape_line() {
+        let (spec, mut result) = plate();
+        // Shift the node nearest the shaped corner (0, 0) by a visible
+        // amount; the nearest-node search must now come up short.
+        let victim = result
+            .mesh
+            .nodes()
+            .min_by(|(_, a), (_, b)| {
+                let da = f64::hypot(a.position.x, a.position.y);
+                let db = f64::hypot(b.position.x, b.position.y);
+                da.partial_cmp(&db).unwrap()
+            })
+            .map(|(id, _)| id)
+            .unwrap();
+        result.mesh.node_mut(victim).position.x -= 1.0e-3;
+        let err = check_idealization(&spec, &result, &AuditOptions::new()).unwrap_err();
+        assert!(matches!(err, AuditError::NodeOffShapeLine { .. }), "{err}");
+    }
+
+    #[test]
+    fn permutation_checks_catch_every_failure_mode() {
+        assert!(check_permutation(&[1, 0, 2], 3).is_ok());
+        assert!(check_permutation(&[0, 1], 3).is_err());
+        assert!(check_permutation(&[0, 0, 1], 3).is_err());
+        assert!(check_permutation(&[0, 1, 3], 3).is_err());
+    }
+}

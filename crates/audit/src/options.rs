@@ -1,0 +1,117 @@
+//! Audit tolerances and switches.
+
+/// Tolerances and switches for the audit checks.
+///
+/// The defaults are deliberately tight: each one sits two or more orders
+/// of magnitude above the round-off observed on the models catalog, so a
+/// genuine bug trips the check while honest floating-point noise never
+/// does. Loosening a tolerance to make a violation go away is the one
+/// thing audit mode exists to forbid — root-cause the discrepancy
+/// instead.
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_audit::AuditOptions;
+///
+/// let opts = AuditOptions::strict();
+/// assert!(opts.differential());
+/// assert_eq!(opts.residual_tolerance(), 1e-8);
+/// let loose = AuditOptions::new().with_residual_tolerance(1e-6);
+/// assert_eq!(loose.residual_tolerance(), 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditOptions {
+    residual_tolerance: f64,
+    equilibrium_tolerance: f64,
+    divergence_tolerance: f64,
+    geometry_tolerance: f64,
+    differential: bool,
+}
+
+impl AuditOptions {
+    /// The standard audit: every per-stage invariant check, no
+    /// cross-solver differential validation (which costs two extra
+    /// factorizations per load case).
+    pub fn new() -> AuditOptions {
+        AuditOptions {
+            residual_tolerance: 1e-8,
+            equilibrium_tolerance: 1e-6,
+            divergence_tolerance: 1e-9,
+            geometry_tolerance: 1e-9,
+            differential: false,
+        }
+    }
+
+    /// The full audit: everything [`new`](Self::new) checks plus the
+    /// band-vs-skyline-vs-dense differential solve.
+    pub fn strict() -> AuditOptions {
+        AuditOptions {
+            differential: true,
+            ..AuditOptions::new()
+        }
+    }
+
+    /// Sets the relative residual bound for `‖K·u − f‖ / ‖f‖`.
+    pub fn with_residual_tolerance(mut self, tolerance: f64) -> AuditOptions {
+        self.residual_tolerance = tolerance;
+        self
+    }
+
+    /// Sets the relative bound on the reaction/load imbalance.
+    pub fn with_equilibrium_tolerance(mut self, tolerance: f64) -> AuditOptions {
+        self.equilibrium_tolerance = tolerance;
+        self
+    }
+
+    /// Sets the relative bound on cross-backend displacement divergence.
+    pub fn with_divergence_tolerance(mut self, tolerance: f64) -> AuditOptions {
+        self.divergence_tolerance = tolerance;
+        self
+    }
+
+    /// Sets the geometric tolerance, as a fraction of the mesh bounding
+    /// box diagonal, for point-on-line checks.
+    pub fn with_geometry_tolerance(mut self, tolerance: f64) -> AuditOptions {
+        self.geometry_tolerance = tolerance;
+        self
+    }
+
+    /// Turns the cross-solver differential check on or off.
+    pub fn with_differential(mut self, on: bool) -> AuditOptions {
+        self.differential = on;
+        self
+    }
+
+    /// The relative residual bound.
+    pub fn residual_tolerance(&self) -> f64 {
+        self.residual_tolerance
+    }
+
+    /// The relative reaction/load imbalance bound.
+    pub fn equilibrium_tolerance(&self) -> f64 {
+        self.equilibrium_tolerance
+    }
+
+    /// The relative cross-backend divergence bound.
+    pub fn divergence_tolerance(&self) -> f64 {
+        self.divergence_tolerance
+    }
+
+    /// The point-on-line tolerance as a fraction of the bounding box
+    /// diagonal.
+    pub fn geometry_tolerance(&self) -> f64 {
+        self.geometry_tolerance
+    }
+
+    /// Whether the cross-solver differential check runs.
+    pub fn differential(&self) -> bool {
+        self.differential
+    }
+}
+
+impl Default for AuditOptions {
+    fn default() -> AuditOptions {
+        AuditOptions::new()
+    }
+}

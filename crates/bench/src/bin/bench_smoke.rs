@@ -13,8 +13,12 @@ use cafemio::instrument::PerfReport;
 
 /// Every stage span one instrumented idealize → solve → contour session
 /// must record.
-const EXPECTED_SPANS: [&str; 22] = [
+const EXPECTED_SPANS: [&str; 26] = [
     "pipeline.total",
+    "audit.idealize",
+    "audit.solve",
+    "audit.differential",
+    "audit.contour",
     "idlz.run",
     "idlz.grid",
     "idlz.shape",
@@ -39,7 +43,21 @@ const EXPECTED_SPANS: [&str; 22] = [
 ];
 
 /// Counters that must be present and positive.
-const EXPECTED_COUNTERS: [&str; 4] = ["idlz.nodes", "idlz.elements", "fem.dofs", "ospl.segments"];
+const EXPECTED_COUNTERS: [&str; 5] = [
+    "idlz.nodes",
+    "idlz.elements",
+    "fem.dofs",
+    "ospl.segments",
+    "audit.solver_divergence_checks",
+];
+
+/// Counters that must be present and zero — each nonzero value is a
+/// cross-backend disagreement the differential sweep failed to explain.
+const EXPECTED_ZERO_COUNTERS: [&str; 1] = ["audit.solver_divergence_failures"];
+
+/// The worst cross-backend divergence, in 1e-15 units, must clear the
+/// strict audit bound of 1e-9 (one million femto).
+const MAX_DIVERGENCE_FEMTO: u64 = 1_000_000;
 
 fn main() -> ExitCode {
     let path = std::env::args()
@@ -74,6 +92,27 @@ fn main() -> ExitCode {
             Some(c) if c.value == 0 => violations.push(format!("counter {name:?} is zero")),
             Some(_) => {}
         }
+    }
+    for name in EXPECTED_ZERO_COUNTERS {
+        match report.counters.iter().find(|c| c.name == name) {
+            None => violations.push(format!("counter {name:?} missing")),
+            Some(c) if c.value != 0 => {
+                violations.push(format!("counter {name:?} is {} (must be 0)", c.value));
+            }
+            Some(_) => {}
+        }
+    }
+    match report
+        .counters
+        .iter()
+        .find(|c| c.name == "audit.solver_divergence_max_femto")
+    {
+        None => violations.push("counter \"audit.solver_divergence_max_femto\" missing".into()),
+        Some(c) if c.value > MAX_DIVERGENCE_FEMTO => violations.push(format!(
+            "worst solver divergence {} femto exceeds the {MAX_DIVERGENCE_FEMTO} bound",
+            c.value
+        )),
+        Some(_) => {}
     }
 
     if violations.is_empty() {

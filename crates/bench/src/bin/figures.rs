@@ -13,27 +13,63 @@
 use std::error::Error;
 use std::fs;
 
+use cafemio::audit::{check_differential, AuditOptions};
 use cafemio::models::joint;
 use cafemio::pipeline::{PipelineBuilder, StressComponent};
 use cafemio::plotter::render_svg;
 use cafemio_bench::experiments::run_all;
+use cafemio_bench::jobs::standard_setup;
+use cafemio_bench::mutate::base_decks;
 
 /// One instrumented end-to-end run (the Figure-17 glass joint) through
-/// the staged-session pipeline, reported as a
-/// [`cafemio::instrument::PerfReport`].
+/// the staged-session pipeline with the strict audit on, plus a
+/// cross-solver differential sweep over the whole models catalog,
+/// reported as a [`cafemio::instrument::PerfReport`] with the
+/// `audit.solver_divergence_*` counters.
 fn profile_pipeline() -> Result<cafemio::instrument::PerfReport, Box<dyn Error>> {
-    use cafemio::instrument::{set_enabled, span, take_report};
+    use cafemio::instrument::{counter, set_enabled, span, take_report};
     set_enabled(true);
     {
         let _total = span("pipeline.total");
         PipelineBuilder::new()
             .component(StressComponent::Effective)
+            .audit(AuditOptions::strict())
             .specs(vec![joint::spec()])
             .idealize()?
             .setup(|mesh| Ok(joint::pressure_model(mesh)))?
             .solve()?
             .recover()?
             .contour()?;
+    }
+    {
+        // Band vs skyline vs dense over every catalog deck: the worst
+        // relative divergence must clear the strict 1e-9 bound, recorded
+        // in femto-units (1e-15) so an integer counter still resolves it.
+        let _sweep = span("audit.divergence_sweep");
+        let options = AuditOptions::strict();
+        let mut checks = 0u64;
+        let mut failures = 0u64;
+        let mut worst = 0.0f64;
+        for (_, text) in base_decks() {
+            let solved = PipelineBuilder::new()
+                .parse(&text)?
+                .idealize()?
+                .setup(standard_setup)?
+                .solve()?;
+            for case in solved.cases() {
+                match check_differential(case.model(), case.solution(), &options) {
+                    Ok(divergence) => worst = worst.max(divergence),
+                    Err(_) => failures += 1,
+                }
+                checks += 1;
+            }
+        }
+        counter("audit.solver_divergence_checks", checks);
+        counter("audit.solver_divergence_failures", failures);
+        counter(
+            "audit.solver_divergence_max_femto",
+            (worst * 1e15).round().min(u64::MAX as f64) as u64,
+        );
     }
     set_enabled(false);
     Ok(take_report())

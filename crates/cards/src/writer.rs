@@ -124,14 +124,17 @@ fn write_field(desc: &EditDescriptor, value: &Field) -> Result<String, CardError
                 expected: "real",
                 found: value.kind_name(),
             })?;
-            fit(format!("{v:>width$.decimals$}"), width)
+            fit(drop_optional_zero(format!("{v:>width$.decimals$}"), width), width)
         }
         EditDescriptor::Exp { width, decimals } => {
             let v = value.as_f64().ok_or(CardError::KindMismatch {
                 expected: "real",
                 found: value.kind_name(),
             })?;
-            fit(fortran_exponential(v, width, decimals), width)
+            fit(
+                drop_optional_zero(fortran_exponential(v, width, decimals), width),
+                width,
+            )
         }
         EditDescriptor::Alpha { width } => {
             let s = match value {
@@ -150,6 +153,24 @@ fn write_field(desc: &EditDescriptor, value: &Field) -> Result<String, CardError
         EditDescriptor::Skip { width } => Ok(" ".repeat(width)),
         EditDescriptor::Literal { ref text } => Ok(text.clone()),
     }
+}
+
+/// Drops the optional leading zero of a `±0.…` value that is exactly one
+/// column too wide for its field. FORTRAN's F and E punches write
+/// `-.1234` where `-0.1234` would overflow on the sign column — the sign
+/// must never be the character that is dropped — and the reader parses
+/// the zero-less form back to the identical value, so the write→read
+/// round-trip stays exact.
+fn drop_optional_zero(text: String, width: usize) -> String {
+    if text.len() == width + 1 {
+        if let Some(rest) = text.strip_prefix("-0.") {
+            return format!("-.{rest}");
+        }
+        if let Some(rest) = text.strip_prefix("0.") {
+            return format!(".{rest}");
+        }
+    }
+    text
 }
 
 /// Right-justifies, or reports overflow. The classic FORTRAN punch would
@@ -232,6 +253,49 @@ mod tests {
         let f = fmt("(F5.3)");
         let err = FormatWriter::new(&f)
             .write_record(&[Field::Real(-123.456)])
+            .unwrap_err();
+        assert!(matches!(err, CardError::FieldOverflow { width: 5, .. }));
+    }
+
+    #[test]
+    fn negative_exactly_filling_field_drops_leading_zero_not_the_sign() {
+        // F6.4: "-0.1234" is seven characters — one too many — but
+        // FORTRAN punches "-.1234", which fits and reads back exactly.
+        let f = fmt("(F6.4)");
+        let w = FormatWriter::new(&f);
+        let record = w.write_record(&[Field::Real(-0.1234)]).unwrap();
+        assert_eq!(record, "-.1234");
+        let back = crate::FormatReader::new(&f).read_record(&record).unwrap();
+        assert_eq!(back, vec![Field::Real(-0.1234)]);
+        // The positive twin gains a column the same way.
+        let f = fmt("(F6.5)");
+        let record = FormatWriter::new(&f)
+            .write_record(&[Field::Real(0.12345)])
+            .unwrap();
+        assert_eq!(record, ".12345");
+        let back = crate::FormatReader::new(&f).read_record(&record).unwrap();
+        assert_eq!(back, vec![Field::Real(0.12345)]);
+    }
+
+    #[test]
+    fn exponential_negative_exactly_filling_field_round_trips() {
+        // E13.7 is one column short of the full "-0.1234567E-02"; the
+        // zero-less form must be chosen over an overflow error.
+        let f = fmt("(E13.7)");
+        let w = FormatWriter::new(&f);
+        let record = w.write_record(&[Field::Real(-0.00123)]).unwrap();
+        assert_eq!(record, "-.1230000E-02");
+        let back = crate::FormatReader::new(&f).read_record(&record).unwrap();
+        assert_eq!(back, vec![Field::Real(-0.00123)]);
+    }
+
+    #[test]
+    fn two_columns_over_is_still_an_overflow() {
+        // Only the optional zero may be dropped; a value two columns too
+        // wide would have to lose its sign or a digit, which is an error.
+        let f = fmt("(F5.4)");
+        let err = FormatWriter::new(&f)
+            .write_record(&[Field::Real(-0.1234)])
             .unwrap_err();
         assert!(matches!(err, CardError::FieldOverflow { width: 5, .. }));
     }

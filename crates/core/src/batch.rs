@@ -66,12 +66,15 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use cafemio_audit::AuditOptions;
 use cafemio_fem::{FemError, FemModel};
-use cafemio_instrument::{PerfReport, SpanRecord};
+use cafemio_instrument::{CounterRecord, PerfReport, SpanRecord};
 use cafemio_mesh::TriMesh;
 use cafemio_ospl::ContourOptions;
 
-use crate::pipeline::{PipelineBuilder, PipelineError, StressComponent, StressPlot};
+use crate::pipeline::{
+    audit_failure, PipelineBuilder, PipelineError, StageError, StressComponent, StressPlot,
+};
 
 /// The model-setup callback a job carries: boundary conditions and loads
 /// for one idealized mesh. Shared (`Arc`) so a corpus of jobs can reuse
@@ -174,6 +177,7 @@ pub struct BatchOptions {
     workers: usize,
     max_in_flight: usize,
     policy: ErrorPolicy,
+    audit: Option<AuditOptions>,
 }
 
 impl Default for BatchOptions {
@@ -185,6 +189,7 @@ impl Default for BatchOptions {
             workers,
             max_in_flight: 2 * workers,
             policy: ErrorPolicy::CollectAll,
+            audit: None,
         }
     }
 }
@@ -232,6 +237,21 @@ impl BatchOptions {
     /// The configured error policy.
     pub fn policy(&self) -> ErrorPolicy {
         self.policy
+    }
+
+    /// Turns on audit mode for every job: each worker re-derives the
+    /// stage invariants after idealize, solve, and contour, the time
+    /// lands in `audit.*` spans of the merged [`PerfReport`], and the
+    /// check/violation totals land in the `audit.checks` /
+    /// `audit.violations` counters. Off by default.
+    pub fn audit(mut self, options: AuditOptions) -> BatchOptions {
+        self.audit = Some(options);
+        self
+    }
+
+    /// The configured audit options, if audit mode is on.
+    pub fn audit_options(&self) -> Option<&AuditOptions> {
+        self.audit.as_ref()
     }
 }
 
@@ -361,6 +381,18 @@ impl StageClock {
         }
         out
     }
+
+    /// Accumulates into a named counter; merged across workers by
+    /// [`PerfReport::merge`]'s by-name summation.
+    fn count(&mut self, name: &str, add: u64) {
+        match self.report.counters.iter_mut().find(|c| c.name == name) {
+            Some(counter) => counter.value = counter.value.saturating_add(add),
+            None => self.report.counters.push(CounterRecord {
+                name: name.to_owned(),
+                value: add,
+            }),
+        }
+    }
 }
 
 /// The bounded job queue: indexes into the submitted job slice, plus the
@@ -449,17 +481,72 @@ impl JobQueue {
 
 /// Runs one job through the staged pipeline, attributing wall-clock time
 /// to each stage on the worker's private clock.
-fn execute(job: &BatchJob, clock: &mut StageClock) -> Result<Vec<StressPlot>, PipelineError> {
+///
+/// With audit on, the checks run at this layer — not inside the pipeline
+/// session — so their cost lands in dedicated `audit.*` spans instead of
+/// inflating the stage timings the audit-off baseline is compared
+/// against.
+fn execute(
+    job: &BatchJob,
+    clock: &mut StageClock,
+    audit: Option<&AuditOptions>,
+) -> Result<Vec<StressPlot>, PipelineError> {
     let builder = PipelineBuilder::new()
         .component(job.component)
         .contour_options(job.options.clone());
     let parsed = clock.time("batch.parse", || builder.parse(&job.deck))?;
     let idealized = clock.time("batch.idealize", || parsed.idealize())?;
+    if let Some(audit) = audit {
+        let checks = clock.time("audit.idealize", || {
+            idealized.sets().iter().try_fold(0u64, |total, set| {
+                cafemio_audit::check_idealization(&set.spec, &set.result, audit)
+                    .map(|checks| total + checks)
+                    .map_err(audit_failure)
+            })
+        })?;
+        clock.count("audit.checks", checks);
+    }
     let setup = &job.setup;
     let ready = clock.time("batch.model_setup", || idealized.setup(|mesh| setup(mesh)))?;
     let solved = clock.time("batch.solve", || ready.solve())?;
+    if let Some(audit) = audit {
+        let checks = clock.time("audit.solve", || {
+            solved.cases().iter().try_fold(0u64, |total, case| {
+                let mut checks =
+                    cafemio_audit::check_solution(case.model(), case.solution(), audit)
+                        .map_err(audit_failure)?;
+                if audit.differential() {
+                    cafemio_audit::check_differential(case.model(), case.solution(), audit)
+                        .map_err(audit_failure)?;
+                    checks += 1;
+                }
+                Ok(total + checks)
+            })
+        })?;
+        clock.count("audit.checks", checks);
+    }
     let recovered = clock.time("batch.stress_recovery", || solved.recover())?;
-    clock.time("batch.contour", || recovered.contour())
+    let plots = clock.time("batch.contour", || recovered.contour())?;
+    if let Some(audit) = audit {
+        // contour() yields exactly one plot per recovered case, in order.
+        let checks = clock.time("audit.contour", || {
+            recovered.cases().iter().zip(&plots).try_fold(
+                0u64,
+                |total, (case, plot)| {
+                    cafemio_audit::check_contours(
+                        case.model().mesh(),
+                        &plot.field,
+                        &plot.contours,
+                        audit,
+                    )
+                    .map(|checks| total + checks)
+                    .map_err(audit_failure)
+                },
+            )
+        })?;
+        clock.count("audit.checks", checks);
+    }
+    Ok(plots)
 }
 
 /// Runs every job through the full pipeline on a worker pool and returns
@@ -493,9 +580,13 @@ pub fn run_batch(jobs: &[BatchJob], options: &BatchOptions) -> BatchReport {
                             Some(JobOutcome::Skipped);
                         continue;
                     }
-                    let outcome = match execute(&jobs[index], &mut clock) {
+                    let outcome = match execute(&jobs[index], &mut clock, options.audit.as_ref())
+                    {
                         Ok(plots) => JobOutcome::Completed(plots),
                         Err(err) => {
+                            if matches!(err.source_error(), StageError::Audit(_)) {
+                                clock.count("audit.violations", 1);
+                            }
                             if fail_fast {
                                 abort.store(true, Ordering::Relaxed);
                                 queue.abort();
@@ -548,6 +639,21 @@ pub fn run_batch(jobs: &[BatchJob], options: &BatchOptions) -> BatchReport {
             depth: 1,
             nanos: 0,
         });
+    }
+    if options.audit.is_some() {
+        for name in ["audit.idealize", "audit.solve", "audit.contour"] {
+            perf.spans.push(SpanRecord {
+                name: name.to_owned(),
+                depth: 1,
+                nanos: 0,
+            });
+        }
+        for name in ["audit.checks", "audit.violations"] {
+            perf.counters.push(CounterRecord {
+                name: name.to_owned(),
+                value: 0,
+            });
+        }
     }
     for report in worker_reports.into_inner().unwrap_or_else(|e| e.into_inner()) {
         perf.merge(&report);
@@ -711,6 +817,52 @@ mod tests {
         assert!(report.outcomes.is_empty());
         assert_eq!(report.completed(), 0);
         assert_eq!(report.perf.counter("batch.jobs"), Some(0));
+    }
+
+    #[test]
+    fn audit_mode_counts_checks_and_emits_spans() {
+        let jobs = plate_jobs(3);
+        let report = run_batch(
+            &jobs,
+            &BatchOptions::new()
+                .workers(2)
+                .audit(cafemio_audit::AuditOptions::strict()),
+        );
+        assert_eq!(report.completed(), 3);
+        assert!(report.perf.counter("audit.checks").unwrap() > 0);
+        assert_eq!(report.perf.counter("audit.violations"), Some(0));
+        for name in ["audit.idealize", "audit.solve", "audit.contour"] {
+            assert!(
+                report.perf.spans.iter().any(|s| s.name == name),
+                "missing span {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn audit_off_emits_no_audit_spans_or_counters() {
+        let report = run_batch(&plate_jobs(1), &BatchOptions::new().workers(1));
+        assert!(report.perf.spans.iter().all(|s| !s.name.starts_with("audit.")));
+        assert!(report
+            .perf
+            .counters
+            .iter()
+            .all(|c| !c.name.starts_with("audit.")));
+    }
+
+    #[test]
+    fn an_unconstrained_model_in_audit_mode_is_still_a_solve_failure() {
+        // The singular model fails in the solver proper, not in audit —
+        // the violation counter must stay untouched.
+        let jobs = vec![BatchJob::new("singular", PLATE_DECK, unconstrained)];
+        let report = run_batch(
+            &jobs,
+            &BatchOptions::new()
+                .workers(1)
+                .audit(cafemio_audit::AuditOptions::new()),
+        );
+        assert_eq!(report.failed(), 1);
+        assert_eq!(report.perf.counter("audit.violations"), Some(0));
     }
 
     #[test]

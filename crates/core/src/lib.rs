@@ -46,9 +46,12 @@
 //!     }
 //! }
 //!
-//! // 3. Contour-plot the effective stress with a staged session.
+//! // 3. Contour-plot the effective stress with a staged session. Audit
+//! //    mode re-checks every stage invariant (residual, equilibrium,
+//! //    cross-solver agreement, contour placement) as the session runs.
 //! let plots = PipelineBuilder::new()
 //!     .component(StressComponent::Effective)
+//!     .audit(AuditOptions::strict())
 //!     .model(model)
 //!     .solve()?
 //!     .recover()?
@@ -60,6 +63,7 @@
 
 #![warn(missing_docs)]
 
+pub use cafemio_audit as audit;
 pub use cafemio_cards as cards;
 pub use cafemio_fem as fem;
 pub use cafemio_geom as geom;
@@ -75,6 +79,7 @@ pub mod pipeline;
 
 /// The names most programs want in scope.
 pub mod prelude {
+    pub use cafemio_audit::{AuditError, AuditOptions, AuditStage};
     pub use cafemio_fem::{
         solve_contact_increments, solve_with_contact, AnalysisKind, ContactSupport, FemError,
         FemModel, Material, StressField, ThermalMaterial, ThermalModel,

@@ -33,6 +33,7 @@
 
 use std::fmt;
 
+use cafemio_audit::{AuditError, AuditOptions, AuditStage};
 use cafemio_cards::{CardError, Deck};
 use cafemio_fem::{FemError, FemModel, Solution, StressField};
 use cafemio_idlz::{Idealization, IdealizationResult, IdealizationSpec, IdlzError};
@@ -134,6 +135,8 @@ pub enum StageError {
     Fem(FemError),
     /// A plotting error.
     Ospl(OsplError),
+    /// A broken stage invariant found by audit mode.
+    Audit(AuditError),
 }
 
 impl fmt::Display for StageError {
@@ -143,6 +146,7 @@ impl fmt::Display for StageError {
             StageError::Idlz(e) => e.fmt(f),
             StageError::Fem(e) => e.fmt(f),
             StageError::Ospl(e) => e.fmt(f),
+            StageError::Audit(e) => e.fmt(f),
         }
     }
 }
@@ -208,8 +212,20 @@ impl std::error::Error for PipelineError {
             StageError::Idlz(e) => Some(e),
             StageError::Fem(e) => Some(e),
             StageError::Ospl(e) => Some(e),
+            StageError::Audit(e) => Some(e),
         }
     }
+}
+
+/// Wraps an audit verdict as a pipeline error attributed to the stage
+/// whose invariant broke.
+pub(crate) fn audit_failure(error: AuditError) -> PipelineError {
+    let stage = match error.stage() {
+        AuditStage::Idealize => Stage::Idealize,
+        AuditStage::Solve => Stage::Solve,
+        AuditStage::Contour => Stage::Contour,
+    };
+    PipelineError::at(stage, StageError::Audit(error))
 }
 
 /// The final pipeline artifact: the plotted field plus the contour
@@ -229,6 +245,7 @@ pub struct StressPlot {
 struct SessionConfig {
     component: StressComponent,
     options: ContourOptions,
+    audit: Option<AuditOptions>,
 }
 
 impl Default for SessionConfig {
@@ -236,6 +253,7 @@ impl Default for SessionConfig {
         SessionConfig {
             component: StressComponent::Effective,
             options: ContourOptions::new(),
+            audit: None,
         }
     }
 }
@@ -285,6 +303,15 @@ impl PipelineBuilder {
     /// Sets the contour options downstream stages plot with by default.
     pub fn contour_options(mut self, options: ContourOptions) -> PipelineBuilder {
         self.config.options = options;
+        self
+    }
+
+    /// Turns on audit mode: after every stage transition the session
+    /// re-derives that stage's invariants (see [`cafemio_audit`]) and
+    /// fails with a [`StageError::Audit`] attributed to the stage whose
+    /// promise broke. Off by default — the hot path pays nothing.
+    pub fn audit(mut self, options: AuditOptions) -> PipelineBuilder {
+        self.config.audit = Some(options);
         self
     }
 
@@ -367,6 +394,13 @@ impl ParsedDeck {
                 Ok(IdealizedSet { spec, result })
             })
             .collect::<Result<Vec<_>, PipelineError>>()?;
+        if let Some(audit) = &self.config.audit {
+            let _audit_span = cafemio_instrument::span("audit.idealize");
+            for set in &sets {
+                cafemio_audit::check_idealization(&set.spec, &set.result, audit)
+                    .map_err(audit_failure)?;
+            }
+        }
         Ok(Idealized {
             sets,
             config: self.config,
@@ -468,6 +502,18 @@ impl ModelReady {
                 Ok(SolvedCase { model, solution })
             })
             .collect::<Result<Vec<_>, PipelineError>>()?;
+        if let Some(audit) = &self.config.audit {
+            let _audit_span = cafemio_instrument::span("audit.solve");
+            for case in &cases {
+                cafemio_audit::check_solution(&case.model, &case.solution, audit)
+                    .map_err(audit_failure)?;
+                if audit.differential() {
+                    let _diff_span = cafemio_instrument::span("audit.differential");
+                    cafemio_audit::check_differential(&case.model, &case.solution, audit)
+                        .map_err(audit_failure)?;
+                }
+            }
+        }
         Ok(Solved {
             cases,
             config: self.config,
@@ -599,15 +645,19 @@ impl Recovered {
         options: &ContourOptions,
     ) -> Result<Vec<StressPlot>, PipelineError> {
         let _span = cafemio_instrument::span("pipeline.contour");
-        self.cases
-            .iter()
-            .map(|case| {
-                let field = component.field(&case.stresses);
-                let contours = Ospl::run(case.model.mesh(), &field, options)
-                    .map_err(|e| PipelineError::at(Stage::Contour, StageError::Ospl(e)))?;
-                Ok(StressPlot { field, contours })
-            })
-            .collect()
+        let mut plots = Vec::with_capacity(self.cases.len());
+        for case in &self.cases {
+            let field = component.field(&case.stresses);
+            let contours = Ospl::run(case.model.mesh(), &field, options)
+                .map_err(|e| PipelineError::at(Stage::Contour, StageError::Ospl(e)))?;
+            if let Some(audit) = &self.config.audit {
+                let _audit_span = cafemio_instrument::span("audit.contour");
+                cafemio_audit::check_contours(case.model.mesh(), &field, &contours, audit)
+                    .map_err(audit_failure)?;
+            }
+            plots.push(StressPlot { field, contours });
+        }
+        Ok(plots)
     }
 }
 

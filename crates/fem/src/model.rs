@@ -382,6 +382,27 @@ impl FemModel {
         Ok(ku.iter().zip(&f).map(|(a, b)| a - b).collect())
     }
 
+    /// The constrained degrees of freedom and their prescribed values,
+    /// in ascending dof order. Dof `2·n` is the x/r displacement of node
+    /// `n`, dof `2·n + 1` the y/z one — the numbering
+    /// [`reactions`](Self::reactions) and audit checks share.
+    pub fn constrained_dofs(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.constraints.iter().map(|(&dof, &value)| (dof, value))
+    }
+
+    /// The assembled external force vector before constraints are
+    /// applied: concentrated and pressure loads plus the equivalent
+    /// forces of any thermal load — the `f` of `r = K·u − f` in
+    /// [`reactions`](Self::reactions).
+    ///
+    /// # Errors
+    ///
+    /// Material errors from the constitutive matrices when a thermal
+    /// load's equivalent forces are integrated.
+    pub fn applied_forces(&self) -> Result<Vec<f64>, FemError> {
+        self.external_forces()
+    }
+
     /// The assembled right-hand side before constraints: concentrated /
     /// pressure loads plus the equivalent forces of any thermal load.
     fn external_forces(&self) -> Result<Vec<f64>, FemError> {

@@ -25,6 +25,8 @@ pub enum ArcError {
     ExceedsQuarterTurn,
     /// The radius is zero or negative.
     NonPositiveRadius,
+    /// An end point coordinate or the radius is NaN or infinite.
+    NonFiniteInput,
 }
 
 impl fmt::Display for ArcError {
@@ -38,6 +40,9 @@ impl fmt::Display for ArcError {
                 write!(f, "arc subtends more than 90 degrees")
             }
             ArcError::NonPositiveRadius => write!(f, "arc radius must be positive"),
+            ArcError::NonFiniteInput => {
+                write!(f, "arc end points and radius must be finite")
+            }
         }
     }
 }
@@ -81,6 +86,8 @@ impl Arc {
     ///
     /// # Errors
     ///
+    /// * [`ArcError::NonFiniteInput`] if any coordinate or the radius is
+    ///   NaN or infinite,
     /// * [`ArcError::NonPositiveRadius`] if `radius <= 0`,
     /// * [`ArcError::DegenerateChord`] if the end points coincide,
     /// * [`ArcError::RadiusTooSmall`] if no circle of that radius passes
@@ -88,6 +95,18 @@ impl Arc {
     /// * [`ArcError::ExceedsQuarterTurn`] if the subtended angle is more
     ///   than 90° (plus a small tolerance so exact quarter circles pass).
     pub fn from_endpoints_radius(start: Point, end: Point, radius: f64) -> Result<Arc, ArcError> {
+        // NaN slips through every comparison below (all compare false)
+        // and `.max(0.0)` swallows a NaN radicand, so without this guard
+        // a NaN input silently produced a NaN arc for the shaping stage
+        // to interpolate from.
+        if !(start.x.is_finite()
+            && start.y.is_finite()
+            && end.x.is_finite()
+            && end.y.is_finite()
+            && radius.is_finite())
+        {
+            return Err(ArcError::NonFiniteInput);
+        }
         if radius <= 0.0 {
             return Err(ArcError::NonPositiveRadius);
         }
@@ -264,6 +283,69 @@ mod tests {
             Arc::from_endpoints_radius(Point::new(2.0, 0.0), Point::new(0.0, 2.0), 2.0).unwrap();
         assert!((arc.sweep() - FRAC_PI_2).abs() < 1e-9);
         assert!((arc.length() - PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_finite_inputs_are_a_typed_error_not_a_nan_arc() {
+        let good = Point::new(1.0, 0.0);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(
+                Arc::from_endpoints_radius(Point::new(bad, 0.0), good, 1.0).unwrap_err(),
+                ArcError::NonFiniteInput
+            );
+            assert_eq!(
+                Arc::from_endpoints_radius(good, Point::new(0.0, bad), 1.0).unwrap_err(),
+                ArcError::NonFiniteInput
+            );
+            assert_eq!(
+                Arc::from_endpoints_radius(good, Point::new(0.0, 1.0), bad).unwrap_err(),
+                ArcError::NonFiniteInput
+            );
+        }
+    }
+
+    #[test]
+    fn exact_quarter_circles_pick_the_minor_arc_in_every_quadrant() {
+        // Endpoints one quarter turn apart, started in each quadrant:
+        // the constructed arc must deterministically be the 90° minor
+        // arc (never the 270° complement), with every sampled point at
+        // the radius from the center.
+        let r = 3.0;
+        for k in 0..4 {
+            let a0 = k as f64 * FRAC_PI_2;
+            let a1 = a0 + FRAC_PI_2;
+            let a = Point::new(r * a0.cos(), r * a0.sin());
+            let b = Point::new(r * a1.cos(), r * a1.sin());
+            let arc = Arc::from_endpoints_radius(a, b, r).unwrap();
+            assert!(
+                (arc.sweep() - FRAC_PI_2).abs() < 1e-9,
+                "quadrant {k}: sweep {}",
+                arc.sweep()
+            );
+            assert!(arc.center().approx_eq(Point::ORIGIN, 1e-9), "quadrant {k}");
+            for p in arc.subdivide(4) {
+                assert!((p.distance_to(arc.center()) - r).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn chord_just_past_the_diameter_is_radius_too_small() {
+        // The shortest-radius circle through two points has the chord as
+        // its diameter; anything past that (beyond the rounding guard)
+        // must be the typed error, not NaN coordinates.
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 0.0);
+        assert_eq!(
+            Arc::from_endpoints_radius(a, b, 1.0 - 1e-9).unwrap_err(),
+            ArcError::RadiusTooSmall
+        );
+        // Exactly half the chord (a semicircle-capable radius) is fine
+        // geometrically but exceeds the 90° shaping restriction.
+        assert_eq!(
+            Arc::from_endpoints_radius(a, b, 1.0).unwrap_err(),
+            ArcError::ExceedsQuarterTurn
+        );
     }
 
     #[test]

@@ -66,4 +66,4 @@ pub use plot::{plot_mesh, plot_subdivision_numbers, PlotOptions};
 pub use reform::{reform_elements, ReformReport};
 pub use shape::ShapeLine;
 pub use spec::{IdealizationSpec, Options};
-pub use subdivision::{GridPoint, Subdivision, Taper};
+pub use subdivision::{GridPoint, Side, Subdivision, Taper};

@@ -21,7 +21,8 @@
 const BASES: [f64; 3] = [1.0, 2.5, 5.0];
 
 /// The automatic contour interval for values spanning `[min, max]`, or
-/// `None` when the range is degenerate (`max <= min`, or not finite).
+/// `None` when the range is degenerate (`max <= min`, not finite, or so
+/// small that 5 % of it underflows the normal floats).
 ///
 /// # Examples
 ///
@@ -36,6 +37,13 @@ pub fn automatic_interval(min: f64, max: f64) -> Option<f64> {
         return None;
     }
     let target = 0.05 * (max - min);
+    // A subnormal (or underflowed-to-zero) range is degenerate for
+    // contouring purposes: `log10` of it is −∞ or wildly negative, and
+    // the `as i32` decade cast below would saturate and overflow the
+    // scan bounds. Treat it like `max <= min`.
+    if !target.is_normal() {
+        return None;
+    }
     // Candidates are base × 10^k; scan the decades around the target.
     let k0 = target.log10().floor() as i32;
     let mut best = f64::NAN;
@@ -145,6 +153,34 @@ mod tests {
                 .any(|b| (mantissa - b).abs() < 1e-9 || (mantissa - b * 10.0).abs() < 1e-6);
             assert!(ok, "range {x}: interval {i}, mantissa {mantissa}");
             x *= 3.7;
+        }
+    }
+
+    #[test]
+    fn subnormal_ranges_are_degenerate_not_a_panic() {
+        // 0.05 × the range underflows below the normal floats; the decade
+        // scan used to cast log10(-inf-ish) to i32 and overflow in debug
+        // builds. Such a field is flat for plotting purposes: None.
+        assert_eq!(automatic_interval(0.0, f64::MIN_POSITIVE), None);
+        let tiny = automatic_interval(1.0, 1.0 + f64::EPSILON);
+        assert!(tiny.is_some_and(|i| i.is_finite() && i > 0.0), "{tiny:?}");
+        assert_eq!(automatic_interval(-1e-308, 1e-308), None);
+        assert_eq!(automatic_interval(0.0, 4.0e-308), None);
+    }
+
+    #[test]
+    fn all_negative_range_yields_a_valid_ladder() {
+        // The audit's level-in-range check depends on this: an
+        // all-negative field must still get a finite interval whose
+        // levels actually fall inside [min, max].
+        let (min, max) = (-9583.0, -3721.0);
+        let i = automatic_interval(min, max).unwrap();
+        assert!(i.is_finite() && i > 0.0);
+        let levels = contour_levels(min, max, i);
+        assert!(!levels.is_empty());
+        for level in levels {
+            assert!(level.is_finite());
+            assert!((min..=max).contains(&level), "level {level}");
         }
     }
 

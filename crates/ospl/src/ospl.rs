@@ -146,13 +146,28 @@ impl Ospl {
         };
         let levels = match options.lowest {
             Some(lowest) => {
-                let mut levels = Vec::new();
-                let mut level = lowest;
-                while level <= max {
-                    levels.push(level);
-                    level += interval;
+                // `lowest + n·interval`, generated multiplicatively: the
+                // old `level += interval` accumulation drifted over long
+                // ladders and, once `lowest + interval` rounded back to
+                // `lowest`, never terminated at all. A non-finite lowest
+                // or a lowest above max gives an empty (but valid) set.
+                const MAX_LEVELS: usize = 10_000;
+                let steps = ((max - lowest) / interval).floor();
+                if steps.is_finite() && steps >= 0.0 {
+                    if steps >= MAX_LEVELS as f64 {
+                        return Err(OsplError::LimitExceeded {
+                            what: "contour levels",
+                            attempted: steps.min(usize::MAX as f64) as usize,
+                            limit: MAX_LEVELS,
+                        });
+                    }
+                    (0..=steps as u64)
+                        .map(|n| lowest + n as f64 * interval)
+                        .filter(|level| *level <= max)
+                        .collect()
+                } else {
+                    Vec::new()
                 }
-                levels
             }
             None => contour_levels(min, max, interval),
         };
@@ -267,6 +282,55 @@ mod tests {
         };
         let result = Ospl::run(&mesh, &field, &options).unwrap();
         assert_eq!(result.levels, vec![150.0, 450.0, 750.0]);
+    }
+
+    #[test]
+    fn lowest_levels_are_exact_multiples_without_drift() {
+        // A ladder long enough that `level += interval` accumulation
+        // visibly drifts; the multiplicative generator must not.
+        let (mesh, field) = gradient_plate(4);
+        let options = ContourOptions {
+            interval: Some(0.1),
+            lowest: Some(0.05),
+            ..ContourOptions::default()
+        };
+        let result = Ospl::run(&mesh, &field, &options).unwrap();
+        assert_eq!(result.levels.len(), 10_000);
+        let last = *result.levels.last().unwrap();
+        assert_eq!(last, 0.05 + 9_999.0 * 0.1);
+        assert!(last <= 1000.0);
+    }
+
+    #[test]
+    fn tiny_interval_against_huge_lowest_terminates_with_an_error() {
+        // interval ≪ ULP(lowest): the old accumulation loop never
+        // advanced and hung forever. Now the ladder size is bounded by a
+        // typed error.
+        let (mesh, field) = gradient_plate(4);
+        let options = ContourOptions {
+            interval: Some(1e-12),
+            lowest: Some(999.0),
+            ..ContourOptions::default()
+        };
+        let err = Ospl::run(&mesh, &field, &options).unwrap_err();
+        assert!(
+            matches!(err, OsplError::LimitExceeded { what: "contour levels", .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn non_finite_or_too_high_lowest_gives_empty_levels() {
+        let (mesh, field) = gradient_plate(4);
+        for lowest in [f64::NAN, f64::INFINITY, 2000.0] {
+            let options = ContourOptions {
+                interval: Some(100.0),
+                lowest: Some(lowest),
+                ..ContourOptions::default()
+            };
+            let result = Ospl::run(&mesh, &field, &options).unwrap();
+            assert!(result.levels.is_empty(), "lowest = {lowest}");
+        }
     }
 
     #[test]

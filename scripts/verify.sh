@@ -12,6 +12,7 @@
 #   fuzz    fixed-seed fault-injection smoke (panic-free pipeline gate)
 #   bench   figures binary + BENCH_pipeline.json structural validation
 #   batch   batch engine over the models corpus + BENCH_batch.json validation
+#   audit   strict-audit bug sweep over the faulted corpus + BENCH_audit.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -53,9 +54,14 @@ run_batch() {
   cargo run --release -p cafemio-bench --bin batch_smoke
 }
 
+run_audit() {
+  echo "== audit sweep (strict per-stage invariants over the faulted corpus)"
+  cargo run --release -p cafemio-bench --bin audit_sweep
+}
+
 stages=("$@")
 if [ ${#stages[@]} -eq 0 ]; then
-  stages=(build test doc clippy fuzz bench batch)
+  stages=(build test doc clippy fuzz bench batch audit)
 fi
 
 for stage in "${stages[@]}"; do
@@ -67,6 +73,7 @@ for stage in "${stages[@]}"; do
     fuzz) run_fuzz ;;
     bench) run_bench ;;
     batch) run_batch ;;
+    audit) run_audit ;;
     *)
       echo "verify: unknown stage '$stage'" >&2
       exit 2

@@ -1,0 +1,340 @@
+//! Audit-mode integration tests: one deliberate violation per audit
+//! check, each asserting the typed [`AuditError`] names the right stage;
+//! plus the clean-path wiring through the staged sessions and the batch
+//! engine, and the punched-card round-trip the audit corpus rides on.
+
+use cafemio::audit::{
+    check_contours, check_differential, check_equilibrium, check_idealization,
+    check_permutation, check_solution, AuditError, AuditOptions, AuditStage,
+};
+use cafemio::cards::{Field, Format, FormatReader, FormatWriter};
+use cafemio::fem::{AnalysisKind, FemModel, Material};
+use cafemio::geom::Point;
+use cafemio::idlz::{Idealization, IdealizationSpec, ShapeLine, Subdivision};
+use cafemio::mesh::{BoundaryKind, NodalField, TriMesh};
+use cafemio::ospl::{ContourOptions, Ospl};
+use cafemio::pipeline::{PipelineBuilder, Stage, StageError, StressComponent};
+use cafemio_bench::jobs::standard_setup;
+use cafemio_bench::mutate::base_decks;
+
+/// The 4 × 2 plate spec the pipeline doctests use, idealized.
+fn plate() -> (IdealizationSpec, cafemio::idlz::IdealizationResult) {
+    let mut spec = IdealizationSpec::new("AUDIT PLATE");
+    spec.add_subdivision(Subdivision::rectangular(1, (0, 0), (6, 3)).unwrap());
+    spec.add_shape_line(
+        1,
+        ShapeLine::straight((0, 0), (6, 0), Point::new(0.0, 0.0), Point::new(3.0, 0.0)),
+    );
+    spec.add_shape_line(
+        1,
+        ShapeLine::straight((0, 3), (6, 3), Point::new(0.0, 1.5), Point::new(3.0, 1.5)),
+    );
+    let result = Idealization::run(&spec).unwrap();
+    (spec, result)
+}
+
+fn pulled_square() -> FemModel {
+    let mut mesh = TriMesh::new();
+    let a = mesh.add_node(Point::new(0.0, 0.0), BoundaryKind::Boundary);
+    let b = mesh.add_node(Point::new(1.0, 0.0), BoundaryKind::Boundary);
+    let c = mesh.add_node(Point::new(1.0, 1.0), BoundaryKind::Boundary);
+    let d = mesh.add_node(Point::new(0.0, 1.0), BoundaryKind::Boundary);
+    mesh.add_element([a, b, c]).unwrap();
+    mesh.add_element([a, c, d]).unwrap();
+    let mut model = FemModel::new(
+        mesh,
+        AnalysisKind::PlaneStress { thickness: 1.0 },
+        Material::isotropic(30.0e6, 0.3),
+    );
+    model.fix_both(a);
+    model.fix_both(d);
+    model.add_force(b, 50.0, 0.0);
+    model.add_force(c, 50.0, 0.0);
+    model
+}
+
+// ---------------------------------------------------------------------
+// One deliberate violation per audit check.
+
+#[test]
+fn an_inverted_element_is_flagged_at_idealize() {
+    let (spec, mut result) = plate();
+    // Swap two nodes of one element: clockwise orientation, negative
+    // signed area.
+    let victim = result.mesh.elements().next().map(|(id, _)| id).unwrap();
+    result.mesh.element_mut(victim).nodes.swap(0, 1);
+    let err = check_idealization(&spec, &result, &AuditOptions::new()).unwrap_err();
+    assert_eq!(err.stage(), AuditStage::Idealize);
+    assert!(matches!(err, AuditError::InvertedElement { .. }), "{err}");
+}
+
+#[test]
+fn a_node_off_its_shape_line_is_flagged_at_idealize() {
+    let (spec, mut result) = plate();
+    let victim = result
+        .mesh
+        .nodes()
+        .min_by(|(_, a), (_, b)| {
+            f64::hypot(a.position.x, a.position.y)
+                .partial_cmp(&f64::hypot(b.position.x, b.position.y))
+                .unwrap()
+        })
+        .map(|(id, _)| id)
+        .unwrap();
+    result.mesh.node_mut(victim).position.y += 2.0e-3;
+    let err = check_idealization(&spec, &result, &AuditOptions::new()).unwrap_err();
+    assert_eq!(err.stage(), AuditStage::Idealize);
+    assert!(matches!(err, AuditError::NodeOffShapeLine { .. }), "{err}");
+}
+
+#[test]
+fn a_doctored_reform_report_is_flagged_at_idealize() {
+    let (spec, mut result) = plate();
+    result.reform.needles_after += 1;
+    let err = check_idealization(&spec, &result, &AuditOptions::new()).unwrap_err();
+    assert_eq!(err.stage(), AuditStage::Idealize);
+    assert!(
+        matches!(
+            err,
+            AuditError::QualityMismatch {
+                what: "needle_count",
+                ..
+            }
+        ),
+        "{err}"
+    );
+}
+
+#[test]
+fn a_misreported_bandwidth_is_flagged_at_idealize() {
+    let (spec, mut result) = plate();
+    result.stats.bandwidth_after = result.stats.bandwidth_after.wrapping_add(1);
+    let err = check_idealization(&spec, &result, &AuditOptions::new()).unwrap_err();
+    assert_eq!(err.stage(), AuditStage::Idealize);
+    assert!(matches!(err, AuditError::BandwidthMisreported { .. }), "{err}");
+}
+
+#[test]
+fn a_regressed_bandwidth_is_flagged_at_idealize() {
+    let (spec, mut result) = plate();
+    // Keep the stats self-consistent with the mesh but claim renumbering
+    // started from a narrower bandwidth than it ended with.
+    result.stats.bandwidth_before = result.stats.bandwidth_after.saturating_sub(1);
+    let err = check_idealization(&spec, &result, &AuditOptions::new()).unwrap_err();
+    assert_eq!(err.stage(), AuditStage::Idealize);
+    assert!(matches!(err, AuditError::BandwidthRegressed { .. }), "{err}");
+}
+
+#[test]
+fn a_non_bijective_permutation_is_flagged_at_idealize() {
+    for broken in [vec![0usize, 0, 1], vec![0, 1, 5], vec![0, 1]] {
+        let err = check_permutation(&broken, 3).unwrap_err();
+        assert_eq!(err.stage(), AuditStage::Idealize);
+        assert!(
+            matches!(err, AuditError::PermutationNotBijective { .. }),
+            "{err}"
+        );
+    }
+}
+
+#[test]
+fn a_wrong_solution_is_flagged_at_solve() {
+    let model = pulled_square();
+    // A solution to twice the load is not a solution to this model.
+    let forged = model.with_load_factor(2.0).solve().unwrap();
+    let err = check_solution(&model, &forged, &AuditOptions::new()).unwrap_err();
+    assert_eq!(err.stage(), AuditStage::Solve);
+    assert!(matches!(err, AuditError::ResidualTooLarge { .. }), "{err}");
+}
+
+#[test]
+fn forged_reactions_are_flagged_at_solve() {
+    // Global equilibrium is mathematically entailed by a zero residual,
+    // so the only way to violate it alone is through the raw-vector
+    // entry point the solution check calls internally.
+    let err = check_equilibrium(
+        AnalysisKind::PlaneStress { thickness: 1.0 },
+        &[0, 1],
+        &[-1.0, 0.0, 0.0, 0.0],
+        &[0.0, 0.0, 30.0, 0.0],
+        1e-6,
+    )
+    .unwrap_err();
+    assert_eq!(err.stage(), AuditStage::Solve);
+    match err {
+        AuditError::Unbalanced { direction, .. } => assert_eq!(direction, "x"),
+        other => panic!("wrong error: {other}"),
+    }
+}
+
+#[test]
+fn a_backend_disagreement_is_flagged_at_solve() {
+    let model = pulled_square();
+    let forged = model.with_load_factor(2.0).solve().unwrap();
+    let err = check_differential(&model, &forged, &AuditOptions::strict()).unwrap_err();
+    assert_eq!(err.stage(), AuditStage::Solve);
+    assert!(matches!(err, AuditError::SolverDivergence { .. }), "{err}");
+}
+
+#[test]
+fn a_forged_isogram_level_is_flagged_at_contour() {
+    let (_, result) = plate();
+    let field = NodalField::new(
+        "S",
+        result
+            .mesh
+            .nodes()
+            .map(|(_, n)| n.position.x + 3.0 * n.position.y)
+            .collect(),
+    );
+    let mut contours = Ospl::run(&result.mesh, &field, &ContourOptions::new()).unwrap();
+    let isogram = contours
+        .isograms
+        .iter_mut()
+        .find(|i| !i.segments.is_empty())
+        .unwrap();
+    isogram.level = 1.0e9;
+    let err = check_contours(&result.mesh, &field, &contours, &AuditOptions::new()).unwrap_err();
+    assert_eq!(err.stage(), AuditStage::Contour);
+    assert!(matches!(err, AuditError::LevelOutOfRange { .. }), "{err}");
+}
+
+#[test]
+fn a_displaced_segment_endpoint_is_flagged_at_contour() {
+    let (_, result) = plate();
+    let field = NodalField::new(
+        "S",
+        result
+            .mesh
+            .nodes()
+            .map(|(_, n)| n.position.x + 3.0 * n.position.y)
+            .collect(),
+    );
+    let mut contours = Ospl::run(&result.mesh, &field, &ContourOptions::new()).unwrap();
+    let isogram = contours
+        .isograms
+        .iter_mut()
+        .find(|i| !i.segments.is_empty())
+        .unwrap();
+    isogram.segments[0].a.x += 0.0437;
+    isogram.segments[0].a.y += 0.0291;
+    let err = check_contours(&result.mesh, &field, &contours, &AuditOptions::new()).unwrap_err();
+    assert_eq!(err.stage(), AuditStage::Contour);
+    assert!(matches!(err, AuditError::SegmentOffEdge { .. }), "{err}");
+}
+
+// ---------------------------------------------------------------------
+// Clean-path wiring.
+
+#[test]
+fn the_whole_catalog_passes_a_strict_staged_audit() {
+    for (name, text) in base_decks() {
+        let plots = PipelineBuilder::new()
+            .component(StressComponent::Effective)
+            .audit(AuditOptions::strict())
+            .parse(&text)
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+            .idealize()
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+            .setup(standard_setup)
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+            .solve()
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+            .recover()
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+            .contour()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(!plots.is_empty(), "{name}");
+    }
+}
+
+#[test]
+fn a_pipeline_audit_failure_is_attributed_to_the_broken_stage() {
+    // An impossible residual tolerance makes the audit itself fail on a
+    // perfectly good model: the error must surface as StageError::Audit
+    // attributed to the solve stage.
+    let err = PipelineBuilder::new()
+        .audit(AuditOptions::new().with_residual_tolerance(0.0))
+        .model(pulled_square())
+        .solve()
+        .unwrap_err();
+    assert_eq!(err.stage(), Stage::Solve);
+    assert!(
+        matches!(err.source_error(), StageError::Audit(a)
+            if a.stage() == AuditStage::Solve),
+        "{err}"
+    );
+}
+
+#[test]
+fn batch_audit_counters_are_reachable_from_the_prelude() {
+    // Everything the batch audit emits — options, counters, spans — must
+    // be usable with nothing but the prelude in scope.
+    use cafemio::prelude::*;
+
+    let (_, text) = base_decks().into_iter().next().unwrap();
+    let jobs: Vec<BatchJob> = (0..2)
+        .map(|i| BatchJob::new(format!("audit-{i}"), text.clone(), standard_setup))
+        .collect();
+    let report = run_batch(&jobs, &BatchOptions::new().audit(AuditOptions::strict()));
+    assert_eq!(report.completed(), jobs.len());
+    assert!(report.perf.counter("audit.checks").unwrap_or(0) > 0);
+    assert_eq!(report.perf.counter("audit.violations"), Some(0));
+    for span in ["audit.idealize", "audit.solve", "audit.contour"] {
+        assert!(
+            report.perf.spans.iter().any(|s| s.name == span),
+            "missing {span}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// The punched-card round-trip the audit corpus rides on (the FORMAT
+// writer's sign-column fix, exercised across every catalog deck).
+
+#[test]
+fn corpus_nodal_cards_round_trip_through_write_and_read() {
+    let tight = Format::parse("(2F8.5, 2I5)").unwrap();
+    for (name, text) in base_decks() {
+        let sets = PipelineBuilder::new()
+            .parse(&text)
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+            .idealize()
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+            .into_sets();
+        for set in sets {
+            let nodal = Format::parse(set.spec.nodal_format()).unwrap();
+            for format in [&nodal, &tight] {
+                let writer = FormatWriter::new(format);
+                let reader = FormatReader::new(format);
+                for (id, node) in set.result.mesh.nodes() {
+                    // Negated coordinates force the sign-column path the
+                    // writer used to get wrong (`-.12345` vs a dropped
+                    // sign); skip values the narrow field genuinely
+                    // cannot hold.
+                    for flip in [1.0, -1.0] {
+                        let fields = vec![
+                            Field::Real(flip * node.position.x),
+                            Field::Real(flip * node.position.y),
+                            Field::Int(node.boundary.to_flag()),
+                            Field::Int(id.index() as i64 + 1),
+                        ];
+                        let Ok(records) = writer.write_all(&fields) else {
+                            continue;
+                        };
+                        // After the first write quantizes the values, the
+                        // read → write cycle must be a fixed point in both
+                        // fields and punched text.
+                        let first = reader.read_all(records.iter().map(|r| r.as_str())).unwrap();
+                        let rewritten = writer.write_all(&first).unwrap();
+                        let second =
+                            reader.read_all(rewritten.iter().map(|r| r.as_str())).unwrap();
+                        assert_eq!(first, second, "{name}: {records:?} vs {rewritten:?}");
+                        let repunched = writer.write_all(&second).unwrap();
+                        assert_eq!(rewritten, repunched, "{name}: unstable punch");
+                    }
+                }
+            }
+        }
+    }
+}

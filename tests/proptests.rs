@@ -480,3 +480,45 @@ fn isogram_interpolation_exact() {
         }
     }
 }
+
+/// Audit property: for random jittered strip models under random loads,
+/// the solution of *every* backend — band (the default), dense, and
+/// skyline — passes the residual and equilibrium audit at 1e-8, and the
+/// backends agree with each other to the strict differential bound.
+#[test]
+fn every_backend_passes_the_residual_audit() {
+    use cafemio::audit::{check_differential, check_solution, AuditOptions};
+    use cafemio::fem::{AnalysisKind, FemModel, Material};
+
+    let mut rng = Rng::new(0x4a7);
+    let options = AuditOptions::strict();
+    for _ in 0..24 {
+        let cells = rng.usize_in(2, 9);
+        let n = rng.usize_in(0, 39);
+        let jitter = rng.vec_f64(-1.0, 1.0, n);
+        let mesh = strip_mesh(cells, &jitter);
+        let mut model = FemModel::new(
+            mesh.clone(),
+            AnalysisKind::PlaneStress {
+                thickness: rng.f64_in(0.1, 2.0),
+            },
+            Material::isotropic(rng.f64_in(1.0e6, 5.0e7), rng.f64_in(0.05, 0.45)),
+        );
+        for (id, node) in mesh.nodes() {
+            if node.position.x < 0.5 {
+                model.fix_both(id);
+            } else if node.position.x > cells as f64 - 0.5 {
+                model.add_force(id, rng.f64_in(-40.0, 40.0), rng.f64_in(-40.0, 40.0));
+            }
+        }
+        let band = model.solve().unwrap();
+        let dense = model.solve_dense().unwrap();
+        let skyline = model.solve_skyline().unwrap();
+        for (backend, solution) in [("band", &band), ("dense", &dense), ("skyline", &skyline)] {
+            let checks = check_solution(&model, solution, &options)
+                .unwrap_or_else(|e| panic!("{backend}: {e}"));
+            assert_eq!(checks, 3, "{backend}");
+        }
+        check_differential(&model, &band, &options).unwrap();
+    }
+}
