@@ -33,6 +33,7 @@
 //! assert!(check_permutation(&[0, 0, 1], 3).is_err());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod contour;

@@ -1,0 +1,146 @@
+//! Static deck analysis from the command line: lint IDLZ (and OSPL)
+//! card decks without generating a mesh or assembling a matrix.
+//!
+//! ```sh
+//! cargo run --release -p cafemio-bench --bin decklint -- deck.txt      # lint IDLZ deck files
+//! cargo run --release -p cafemio-bench --bin decklint -- --ospl c.txt  # lint OSPL deck files
+//! cargo run --release -p cafemio-bench --bin decklint -- --golden      # verify the lint catalog
+//! ```
+//!
+//! File mode prints one line per diagnostic (`severity[code] name at
+//! card N: message (help: ...)`) and exits nonzero when any deck has a
+//! deny-severity diagnostic.
+//!
+//! `--golden` is the repo's own lint gate: every [`LintCode`] must be
+//! triggered by its golden corpus deck at the right card with the right
+//! severity, every catalog model and every round-tripped catalog deck
+//! must lint clean at default severity, and the merged diagnostic
+//! counters are written to `BENCH_lint.json` for the CI artifact.
+
+use std::error::Error;
+use std::process::ExitCode;
+
+use cafemio::instrument::PerfReport;
+use cafemio::lint::{
+    golden_cases, lint_deck_text, lint_ospl_deck_text, lint_specs, run_case, verify_corpus,
+    LintCode, LintConfig, LintReport,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--golden") {
+        return match golden(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("decklint: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let ospl = args.iter().any(|a| a == "--ospl");
+    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if files.is_empty() {
+        eprintln!("usage: decklint [--ospl] <deck>...  |  decklint --golden");
+        return ExitCode::FAILURE;
+    }
+    let mut denied = 0usize;
+    for path in files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("decklint: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let report = if ospl {
+            lint_ospl_deck_text(&text, &LintConfig::new()).map_err(|e| e.to_string())
+        } else {
+            lint_deck_text(&text, &LintConfig::new()).map_err(|e| e.to_string())
+        };
+        let report = match report {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("decklint: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for diagnostic in report.diagnostics() {
+            println!("{path}: {diagnostic}");
+        }
+        if report.is_clean() {
+            println!("{path}: clean");
+        }
+        denied += report.denied_count();
+    }
+    if denied > 0 {
+        eprintln!("decklint: {denied} deny-severity diagnostic(s)");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The self-gate: golden corpus + catalog cleanliness, with the merged
+/// counters written to `BENCH_lint.json`.
+fn golden(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_lint.json", String::as_str);
+
+    // 1. Every lint code fires on its golden deck at the right card.
+    verify_corpus().map_err(|problems| problems.join("\n"))?;
+    let cases = golden_cases();
+    println!(
+        "decklint: golden corpus ok — {} decks, {} lint codes",
+        cases.len(),
+        LintCode::ALL.len()
+    );
+
+    // 2. Every catalog model lints clean at default severity. Specs are
+    // linted directly (write_deck does not preserve unbounded limits).
+    let mut dirty = Vec::new();
+    let mut catalog_models = 0usize;
+    for entry in cafemio::models::catalog() {
+        catalog_models += 1;
+        let report = lint_specs(&[(entry.spec)()], &LintConfig::new());
+        for diagnostic in report.diagnostics() {
+            dirty.push(format!("{}: {diagnostic}", entry.name));
+        }
+    }
+    // 3. Every round-tripped catalog deck lints clean through the full
+    // text → cards → spec path, with card provenance active.
+    let mut catalog_decks = 0usize;
+    for (name, text) in cafemio_bench::mutate::base_decks() {
+        catalog_decks += 1;
+        let report = lint_deck_text(&text, &LintConfig::new())?;
+        for diagnostic in report.diagnostics() {
+            dirty.push(format!("{name} (deck): {diagnostic}"));
+        }
+    }
+    if !dirty.is_empty() {
+        return Err(format!(
+            "catalog models must lint clean, found:\n{}",
+            dirty.join("\n")
+        )
+        .into());
+    }
+    println!(
+        "decklint: catalog clean — {catalog_models} models, {catalog_decks} round-tripped decks"
+    );
+
+    // The artifact: merged per-code counters from the whole golden
+    // corpus (each golden deck contributes exactly one diagnostic).
+    let mut perf = PerfReport::default();
+    for case in &cases {
+        let report: LintReport = run_case(case).map_err(|e| e.to_string())?;
+        perf.merge(&report.to_perf_report());
+    }
+    std::fs::write(out_path, perf.to_json())?;
+    println!(
+        "decklint: {} diagnostics across the corpus -> {out_path}",
+        perf.counter("lint.diagnostics").unwrap_or(0)
+    );
+    Ok(())
+}

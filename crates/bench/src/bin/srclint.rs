@@ -1,0 +1,184 @@
+//! Repo self-lint: a dependency-free (std-only) source gate enforcing
+//! the workspace panic policy on `crates/*/src`.
+//!
+//! ```sh
+//! cargo run --release -p cafemio-bench --bin srclint
+//! ```
+//!
+//! Rules:
+//!
+//! 1. **Annotated panics** — every `.unwrap()` / `.expect(` / `panic!` /
+//!    `unreachable!` in non-test library code must carry an
+//!    `// invariant:` comment (same line or within the three lines
+//!    above) stating why it cannot fire. `unwrap_or*` adapters are not
+//!    panic sites. Test modules (from the first `#[cfg(test)]` to end of
+//!    file) and the `bench` harness crate are exempt.
+//! 2. **No `unsafe`** — the token may not appear in any crate's source
+//!    (outside comments and the `unsafe_code` lint name itself).
+//! 3. **Lint headers** — every crate's `lib.rs` must declare
+//!    `#![forbid(unsafe_code)]`.
+//!
+//! Prints one line per violation and exits nonzero on any.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let crates_dir = Path::new("crates");
+    let mut crate_dirs: Vec<PathBuf> = match std::fs::read_dir(crates_dir) {
+        Ok(entries) => entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.join("src").is_dir())
+            .collect(),
+        Err(e) => {
+            eprintln!("srclint: cannot read {}: {e} (run from the repo root)", crates_dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    crate_dirs.sort();
+
+    let mut violations = Vec::new();
+    let mut files = 0usize;
+    for crate_dir in &crate_dirs {
+        let crate_name = crate_dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let panic_rule = crate_name != "bench";
+
+        let lib = crate_dir.join("src/lib.rs");
+        match std::fs::read_to_string(&lib) {
+            Ok(text) if !text.contains("#![forbid(unsafe_code)]") => violations.push(format!(
+                "{}: missing the `#![forbid(unsafe_code)]` lint header",
+                lib.display()
+            )),
+            Ok(_) => {}
+            Err(e) => violations.push(format!("{}: {e}", lib.display())),
+        }
+
+        let mut sources = Vec::new();
+        collect_rs_files(&crate_dir.join("src"), &mut sources, &mut violations);
+        sources.sort();
+        for path in sources {
+            files += 1;
+            match std::fs::read_to_string(&path) {
+                Ok(text) => check_file(&path, &text, panic_rule, &mut violations),
+                Err(e) => violations.push(format!("{}: {e}", path.display())),
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        println!(
+            "srclint: clean — {} crates, {files} files, 0 violations",
+            crate_dirs.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for violation in &violations {
+            eprintln!("srclint: {violation}");
+        }
+        eprintln!("srclint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>, violations: &mut Vec<String>) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) => {
+            violations.push(format!("{}: {e}", dir.display()));
+            return;
+        }
+    };
+    for entry in entries.filter_map(Result::ok) {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out, violations);
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn check_file(path: &Path, text: &str, panic_rule: bool, violations: &mut Vec<String>) {
+    let lines: Vec<&str> = text.lines().collect();
+    // The panic policy covers library code only: the test tail (from the
+    // first `#[cfg(test)]` on) asserts freely.
+    let test_tail = lines
+        .iter()
+        .position(|line| line.trim_start().starts_with("#[cfg(test)]"))
+        .unwrap_or(lines.len());
+
+    for (i, line) in lines.iter().enumerate() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        if has_unsafe_token(line) {
+            violations.push(format!(
+                "{}:{}: the `{}` keyword is forbidden workspace-wide",
+                path.display(),
+                i + 1,
+                UNSAFE_TOKEN.as_str(),
+            ));
+        }
+        if !panic_rule || i >= test_tail {
+            continue;
+        }
+        for site in ["panic!", "unreachable!", ".expect(", ".unwrap()"] {
+            if !line.contains(site) {
+                continue;
+            }
+            let annotated = (i.saturating_sub(3)..=i)
+                .any(|j| lines[j].contains("invariant:"));
+            if !annotated {
+                violations.push(format!(
+                    "{}:{}: `{site}` without an `// invariant:` comment explaining \
+                     why it cannot fire",
+                    path.display(),
+                    i + 1
+                ));
+            }
+            break;
+        }
+    }
+}
+
+/// The forbidden keyword, assembled at runtime so this linter's own
+/// source never contains it verbatim and cannot flag itself.
+struct Token(String);
+
+impl Token {
+    fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+static UNSAFE_TOKEN: std::sync::LazyLock<Token> =
+    std::sync::LazyLock::new(|| Token(["un", "safe"].concat()));
+
+/// Whether the line uses the forbidden keyword — as a word, not as part
+/// of the `*_code` lint name or an identifier.
+fn has_unsafe_token(line: &str) -> bool {
+    let token = UNSAFE_TOKEN.as_str();
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(at) = line[from..].find(token) {
+        let start = from + at;
+        let end = start + token.len();
+        let boundary_before = start == 0 || !is_ident(bytes[start - 1]);
+        let boundary_after = end >= bytes.len() || !is_ident(bytes[end]);
+        let lint_name = line[end..].starts_with("_code");
+        if boundary_before && boundary_after && !lint_name {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+fn is_ident(byte: u8) -> bool {
+    byte == b'_' || byte.is_ascii_alphanumeric()
+}

@@ -5,6 +5,7 @@
 //! [`FigureReport`]s — printable rows plus the regenerated plot frames —
 //! shared by the `figures` binary (which writes the SVGs) and the
 //! `cargo bench` harnesses (which time the pipelines via [`timing`]).
+#![forbid(unsafe_code)]
 
 pub mod experiments;
 pub mod jobs;

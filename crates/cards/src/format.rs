@@ -197,9 +197,9 @@ impl FromStr for Format {
             pos: 0,
         };
         parser.skip_ws();
-        parser.expect('(')?;
+        parser.require('(')?;
         let items = parser.parse_list()?;
-        parser.expect(')')?;
+        parser.require(')')?;
         parser.skip_ws();
         if parser.pos != parser.chars.len() {
             return Err(parser.error("trailing characters after closing parenthesis"));
@@ -246,7 +246,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, want: char) -> Result<(), CardError> {
+    fn require(&mut self, want: char) -> Result<(), CardError> {
         self.skip_ws();
         match self.bump() {
             Some(c) if c == want => Ok(()),
@@ -296,7 +296,7 @@ impl Parser<'_> {
             Some('(') => {
                 self.bump();
                 let items = self.parse_list()?;
-                self.expect(')')?;
+                self.require(')')?;
                 if items.is_empty() {
                     return Err(self.error("empty group"));
                 }

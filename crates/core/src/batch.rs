@@ -69,6 +69,7 @@ use std::time::{Duration, Instant};
 use cafemio_audit::AuditOptions;
 use cafemio_fem::{FemError, FemModel};
 use cafemio_instrument::{CounterRecord, PerfReport, SpanRecord};
+use cafemio_lint::{LintConfig, LintError};
 use cafemio_mesh::TriMesh;
 use cafemio_ospl::ContourOptions;
 
@@ -178,6 +179,7 @@ pub struct BatchOptions {
     max_in_flight: usize,
     policy: ErrorPolicy,
     audit: Option<AuditOptions>,
+    lint: Option<LintConfig>,
 }
 
 impl Default for BatchOptions {
@@ -190,6 +192,7 @@ impl Default for BatchOptions {
             max_in_flight: 2 * workers,
             policy: ErrorPolicy::CollectAll,
             audit: None,
+            lint: None,
         }
     }
 }
@@ -252,6 +255,22 @@ impl BatchOptions {
     /// The configured audit options, if audit mode is on.
     pub fn audit_options(&self) -> Option<&AuditOptions> {
         self.audit.as_ref()
+    }
+
+    /// Turns on the static lint pass for every job: each deck is
+    /// analyzed before it is parsed into the pipeline, the time lands in
+    /// the `lint.deck` span of the merged [`PerfReport`], the diagnostic
+    /// totals land in the `lint.diagnostics` / `lint.denied` counters,
+    /// and a deck with deny-severity diagnostics fails with a
+    /// [`StageError::Lint`] at deck-parse stage. Off by default.
+    pub fn lint(mut self, config: LintConfig) -> BatchOptions {
+        self.lint = Some(config);
+        self
+    }
+
+    /// The configured lint severities, if lint mode is on.
+    pub fn lint_options(&self) -> Option<&LintConfig> {
+        self.lint.as_ref()
     }
 }
 
@@ -490,7 +509,27 @@ fn execute(
     job: &BatchJob,
     clock: &mut StageClock,
     audit: Option<&AuditOptions>,
+    lint: Option<&LintConfig>,
 ) -> Result<Vec<StressPlot>, PipelineError> {
+    if let Some(lint) = lint {
+        // Lint runs at this layer — like audit — so its cost lands in a
+        // dedicated `lint.deck` span. A deck that does not even parse is
+        // not a lint failure: fall through and let the pipeline's own
+        // parse attribute the error.
+        let report = clock.time("lint.deck", || {
+            cafemio_lint::lint_deck_text(&job.deck, lint)
+        });
+        if let Ok(report) = report {
+            clock.count("lint.diagnostics", report.diagnostics().len() as u64);
+            if let Some(error) = LintError::from_report(&report) {
+                clock.count("lint.denied", error.diagnostics.len() as u64);
+                return Err(PipelineError::at(
+                    crate::pipeline::Stage::DeckParse,
+                    StageError::Lint(error),
+                ));
+            }
+        }
+    }
     let builder = PipelineBuilder::new()
         .component(job.component)
         .contour_options(job.options.clone());
@@ -580,8 +619,12 @@ pub fn run_batch(jobs: &[BatchJob], options: &BatchOptions) -> BatchReport {
                             Some(JobOutcome::Skipped);
                         continue;
                     }
-                    let outcome = match execute(&jobs[index], &mut clock, options.audit.as_ref())
-                    {
+                    let outcome = match execute(
+                        &jobs[index],
+                        &mut clock,
+                        options.audit.as_ref(),
+                        options.lint.as_ref(),
+                    ) {
                         Ok(plots) => JobOutcome::Completed(plots),
                         Err(err) => {
                             if matches!(err.source_error(), StageError::Audit(_)) {
@@ -649,6 +692,19 @@ pub fn run_batch(jobs: &[BatchJob], options: &BatchOptions) -> BatchReport {
             });
         }
         for name in ["audit.checks", "audit.violations"] {
+            perf.counters.push(CounterRecord {
+                name: name.to_owned(),
+                value: 0,
+            });
+        }
+    }
+    if options.lint.is_some() {
+        perf.spans.push(SpanRecord {
+            name: "lint.deck".to_owned(),
+            depth: 1,
+            nanos: 0,
+        });
+        for name in ["lint.diagnostics", "lint.denied"] {
             perf.counters.push(CounterRecord {
                 name: name.to_owned(),
                 value: 0,
@@ -848,6 +904,62 @@ mod tests {
             .counters
             .iter()
             .all(|c| !c.name.starts_with("audit.")));
+    }
+
+    #[test]
+    fn lint_mode_denies_bad_decks_and_counts_diagnostics() {
+        use crate::pipeline::Stage;
+        use cafemio_lint::{LintCode, LintConfig};
+        let overlapping = concat!(
+            "    1\n",
+            "OVERLAPPING BOXES\n",
+            "    1    1    1    2\n",
+            "    1    0    0    2    2         0    0\n",
+            "    2    0    0    2    2         0    0\n",
+            "    1    0\n",
+            "    2    0\n",
+            "(2F9.5, 51X, I3, 5X, I3)\n",
+            "(3I5, 62X, I3)\n",
+        );
+        let mut jobs = plate_jobs(2);
+        jobs.insert(1, BatchJob::new("overlapping", overlapping, cantilever));
+        let report = run_batch(&jobs, &BatchOptions::new().workers(2).lint(LintConfig::new()));
+        assert_eq!(report.completed(), 2);
+        assert_eq!(report.failed(), 1);
+        let err = report.outcomes[1].error().unwrap();
+        assert_eq!(err.stage(), Stage::DeckParse);
+        match err.source_error() {
+            StageError::Lint(lint) => {
+                assert_eq!(lint.diagnostics[0].code, LintCode::OverlappingSubdivisions);
+            }
+            other => panic!("expected a lint error, got {other:?}"),
+        }
+        assert!(report.perf.span_nanos("lint.deck") > 0);
+        assert_eq!(report.perf.counter("lint.diagnostics"), Some(1));
+        assert_eq!(report.perf.counter("lint.denied"), Some(1));
+    }
+
+    #[test]
+    fn lint_mode_passes_clean_decks_with_zeroed_counters() {
+        use cafemio_lint::LintConfig;
+        let report = run_batch(
+            &plate_jobs(2),
+            &BatchOptions::new().workers(1).lint(LintConfig::new()),
+        );
+        assert_eq!(report.completed(), 2);
+        assert_eq!(report.perf.counter("lint.diagnostics"), Some(0));
+        assert_eq!(report.perf.counter("lint.denied"), Some(0));
+    }
+
+    #[test]
+    fn lint_off_emits_no_lint_spans_or_counters() {
+        let report = run_batch(&plate_jobs(1), &BatchOptions::new().workers(1));
+        assert!(report.perf.spans.iter().all(|s| !s.name.starts_with("lint.")));
+        assert!(report
+            .perf
+            .counters
+            .iter()
+            .all(|c| !c.name.starts_with("lint.")));
     }
 
     #[test]

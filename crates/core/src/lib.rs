@@ -61,6 +61,7 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use cafemio_audit as audit;
@@ -69,6 +70,7 @@ pub use cafemio_fem as fem;
 pub use cafemio_geom as geom;
 pub use cafemio_idlz as idlz;
 pub use cafemio_instrument as instrument;
+pub use cafemio_lint as lint;
 pub use cafemio_mesh as mesh;
 pub use cafemio_models as models;
 pub use cafemio_ospl as ospl;
@@ -88,6 +90,9 @@ pub mod prelude {
     pub use cafemio_idlz::{
         Idealization, IdealizationResult, IdealizationSpec, Limits, ShapeLine, Subdivision,
         Taper,
+    };
+    pub use cafemio_lint::{
+        Diagnostic, LintCode, LintConfig, LintError, LintReport, Severity, SourceSpan,
     };
     pub use cafemio_mesh::{BoundaryKind, NodalField, NodeId, TriMesh};
     pub use cafemio_ospl::{ContourOptions, Ospl, OsplResult};

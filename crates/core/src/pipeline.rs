@@ -37,6 +37,7 @@ use cafemio_audit::{AuditError, AuditOptions, AuditStage};
 use cafemio_cards::{CardError, Deck};
 use cafemio_fem::{FemError, FemModel, Solution, StressField};
 use cafemio_idlz::{Idealization, IdealizationResult, IdealizationSpec, IdlzError};
+use cafemio_lint::{LintConfig, LintError, LintReport};
 use cafemio_mesh::{NodalField, TriMesh};
 use cafemio_ospl::{ContourOptions, Ospl, OsplError, OsplResult};
 
@@ -137,6 +138,8 @@ pub enum StageError {
     Ospl(OsplError),
     /// A broken stage invariant found by audit mode.
     Audit(AuditError),
+    /// Deny-severity diagnostics found by the static lint pass.
+    Lint(LintError),
 }
 
 impl fmt::Display for StageError {
@@ -147,6 +150,7 @@ impl fmt::Display for StageError {
             StageError::Fem(e) => e.fmt(f),
             StageError::Ospl(e) => e.fmt(f),
             StageError::Audit(e) => e.fmt(f),
+            StageError::Lint(e) => e.fmt(f),
         }
     }
 }
@@ -213,6 +217,7 @@ impl std::error::Error for PipelineError {
             StageError::Fem(e) => Some(e),
             StageError::Ospl(e) => Some(e),
             StageError::Audit(e) => Some(e),
+            StageError::Lint(e) => Some(e),
         }
     }
 }
@@ -246,6 +251,7 @@ struct SessionConfig {
     component: StressComponent,
     options: ContourOptions,
     audit: Option<AuditOptions>,
+    lint: Option<LintConfig>,
 }
 
 impl Default for SessionConfig {
@@ -254,6 +260,7 @@ impl Default for SessionConfig {
             component: StressComponent::Effective,
             options: ContourOptions::new(),
             audit: None,
+            lint: None,
         }
     }
 }
@@ -315,6 +322,17 @@ impl PipelineBuilder {
         self
     }
 
+    /// Turns on the static lint pass: [`parse`](PipelineBuilder::parse)
+    /// analyzes the deck before idealization (and
+    /// [`specs`](PipelineBuilder::specs) entry points are linted at
+    /// [`ParsedDeck::idealize`]), failing the [`Stage::DeckParse`]
+    /// transition with a [`StageError::Lint`] when any diagnostic reaches
+    /// deny severity under `config`. Off by default.
+    pub fn lint(mut self, config: LintConfig) -> PipelineBuilder {
+        self.config.lint = Some(config);
+        self
+    }
+
     /// Parses an IDLZ card deck from raw text into a [`ParsedDeck`].
     ///
     /// # Errors
@@ -325,19 +343,27 @@ impl PipelineBuilder {
         let _span = cafemio_instrument::span("pipeline.parse");
         let deck = Deck::from_text(text)
             .map_err(|e| PipelineError::at(Stage::DeckParse, StageError::Card(e)))?;
-        let specs = cafemio_idlz::deck::parse_deck(&deck)
+        let (specs, layouts) = cafemio_idlz::deck::parse_deck_with_layout(&deck)
             .map_err(|e| PipelineError::at(Stage::DeckParse, StageError::Idlz(e)))?;
+        let lint_report = match &self.config.lint {
+            Some(config) => Some(run_lint(|| cafemio_lint::lint_idlz(&specs, &layouts, config))?),
+            None => None,
+        };
         Ok(ParsedDeck {
             specs,
+            lint_report,
             config: self.config.clone(),
         })
     }
 
     /// Opens a [`ParsedDeck`] stage directly from already-built
-    /// idealization specs, skipping the card layer.
+    /// idealization specs, skipping the card layer. With lint on, the
+    /// specs are analyzed (without card provenance) at
+    /// [`ParsedDeck::idealize`].
     pub fn specs(&self, specs: Vec<IdealizationSpec>) -> ParsedDeck {
         ParsedDeck {
             specs,
+            lint_report: None,
             config: self.config.clone(),
         }
     }
@@ -358,11 +384,26 @@ impl PipelineBuilder {
     }
 }
 
+/// Runs a lint pass under the `lint.deck` span, publishes the
+/// `lint.diagnostics` / `lint.denied` counters, and converts denials
+/// into a [`Stage::DeckParse`] error.
+fn run_lint(produce: impl FnOnce() -> LintReport) -> Result<LintReport, PipelineError> {
+    let _span = cafemio_instrument::span("lint.deck");
+    let report = produce();
+    cafemio_instrument::counter("lint.diagnostics", report.diagnostics().len() as u64);
+    cafemio_instrument::counter("lint.denied", report.denied_count() as u64);
+    match LintError::from_report(&report) {
+        Some(error) => Err(PipelineError::at(Stage::DeckParse, StageError::Lint(error))),
+        None => Ok(report),
+    }
+}
+
 /// Stage 1: a parsed deck — one [`IdealizationSpec`] per data set, not
 /// yet idealized.
 #[derive(Debug, Clone)]
 pub struct ParsedDeck {
     specs: Vec<IdealizationSpec>,
+    lint_report: Option<LintReport>,
     config: SessionConfig,
 }
 
@@ -377,13 +418,26 @@ impl ParsedDeck {
         self.specs.len()
     }
 
+    /// The lint report, when the session linted this deck (lint mode on
+    /// and the stage was entered through [`PipelineBuilder::parse`]).
+    /// Warn-severity diagnostics survive here even though the session
+    /// continued.
+    pub fn lint_report(&self) -> Option<&LintReport> {
+        self.lint_report.as_ref()
+    }
+
     /// Runs IDLZ on every data set.
     ///
     /// # Errors
     ///
     /// A [`PipelineError`] attributed to [`Stage::Idealize`] (shaping,
-    /// limits, mesh) for the first failing data set.
-    pub fn idealize(self) -> Result<Idealized, PipelineError> {
+    /// limits, mesh) for the first failing data set, or to
+    /// [`Stage::DeckParse`] when lint mode denies specs that entered
+    /// through [`PipelineBuilder::specs`] (never linted until now).
+    pub fn idealize(mut self) -> Result<Idealized, PipelineError> {
+        if let (Some(lint), None) = (&self.config.lint, &self.lint_report) {
+            self.lint_report = Some(run_lint(|| cafemio_lint::lint_specs(&self.specs, lint))?);
+        }
         let _span = cafemio_instrument::span("pipeline.idealize");
         let sets = self
             .specs
@@ -954,6 +1008,71 @@ mod tests {
         let case = &recovered.cases()[0];
         assert!(!case.stresses().effective().is_empty());
         assert_eq!(case.solution().dofs().len(), case.model().mesh().node_count() * 2);
+    }
+
+    #[test]
+    fn lint_mode_denies_bad_decks_at_parse() {
+        use cafemio_lint::{LintCode, LintConfig};
+        // Two identical subdivisions: OverlappingSubdivisions at deny.
+        let overlapping = concat!(
+            "    1\n",
+            "OVERLAPPING BOXES\n",
+            "    1    1    1    2\n",
+            "    1    0    0    2    2         0    0\n",
+            "    2    0    0    2    2         0    0\n",
+            "    1    0\n",
+            "    2    0\n",
+            "(2F9.5, 51X, I3, 5X, I3)\n",
+            "(3I5, 62X, I3)\n",
+        );
+        let err = PipelineBuilder::new()
+            .lint(LintConfig::new())
+            .parse(overlapping)
+            .unwrap_err();
+        assert_eq!(err.stage(), Stage::DeckParse);
+        match err.source_error() {
+            StageError::Lint(lint) => {
+                assert_eq!(lint.diagnostics[0].code, LintCode::OverlappingSubdivisions);
+                assert_eq!(lint.diagnostics[0].span.card, Some(4));
+            }
+            other => panic!("expected a lint error, got {other:?}"),
+        }
+        // Allowing the code turns the same deck clean.
+        let parsed = PipelineBuilder::new()
+            .lint(LintConfig::new().allow(LintCode::OverlappingSubdivisions))
+            .parse(overlapping)
+            .unwrap();
+        assert!(parsed.lint_report().unwrap().is_clean());
+    }
+
+    #[test]
+    fn lint_mode_passes_clean_decks_and_stores_the_report() {
+        use cafemio_lint::LintConfig;
+        let parsed = PipelineBuilder::new()
+            .lint(LintConfig::new())
+            .parse(PLATE_DECK)
+            .unwrap();
+        let report = parsed.lint_report().expect("lint ran at parse");
+        assert!(report.is_clean(), "{:?}", report.diagnostics());
+        // Without lint mode there is no report.
+        let parsed = PipelineBuilder::new().parse(PLATE_DECK).unwrap();
+        assert!(parsed.lint_report().is_none());
+    }
+
+    #[test]
+    fn lint_mode_covers_the_specs_entry_point_at_idealize() {
+        use cafemio_idlz::Subdivision;
+        use cafemio_lint::LintConfig;
+        let mut spec = IdealizationSpec::new("SPECS PATH");
+        spec.add_subdivision(Subdivision::rectangular(1, (0, 0), (2, 2)).unwrap());
+        spec.add_subdivision(Subdivision::rectangular(2, (0, 0), (2, 2)).unwrap());
+        let err = PipelineBuilder::new()
+            .lint(LintConfig::new())
+            .specs(vec![spec])
+            .idealize()
+            .unwrap_err();
+        assert_eq!(err.stage(), Stage::DeckParse);
+        assert!(matches!(err.source_error(), StageError::Lint(_)));
     }
 
     #[test]

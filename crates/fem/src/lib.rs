@@ -50,6 +50,7 @@
 
 // Banded/skyline factorizations are index algebra; iterator rewrites of
 // their triangular loops obscure the textbook form.
+#![forbid(unsafe_code)]
 #![allow(clippy::needless_range_loop)]
 
 mod band;

@@ -29,6 +29,7 @@
 //! assert!((tri.area() - 0.5).abs() < 1e-12);
 //! assert!(tri.is_ccw());
 //! ```
+#![forbid(unsafe_code)]
 
 mod arc;
 mod bbox;

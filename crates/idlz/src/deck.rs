@@ -52,27 +52,90 @@ fn fmt(spec: &str) -> Format {
 /// # }
 /// ```
 pub fn parse_deck(deck: &Deck) -> Result<Vec<IdealizationSpec>, IdlzError> {
-    let mut cursor = Cursor { deck, at: 0 };
-    let nset = cursor.read_ints(&fmt("(I5)"), 1)?[0];
-    if nset < 0 {
-        return Err(IdlzError::BadDeck {
-            reason: format!("NSET = {nset} is negative"),
-        });
-    }
-    let mut specs = Vec::new();
-    for _ in 0..nset {
-        specs.push(parse_data_set(&mut cursor)?);
-    }
-    Ok(specs)
+    parse_deck_with_layout(deck).map(|(specs, _)| specs)
 }
 
-fn parse_data_set(cursor: &mut Cursor<'_>) -> Result<IdealizationSpec, IdlzError> {
+/// Zero-based deck-card indices of one parsed data set, parallel to the
+/// spec [`parse_deck_with_layout`] returns alongside it. This is how the
+/// lint pass (and any other consumer of parse provenance) points a
+/// diagnostic back at the offending card.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataSetLayout {
+    /// The Type-2 title card.
+    pub title_card: usize,
+    /// The Type-3 options card.
+    pub options_card: usize,
+    /// One Type-4 card per subdivision, in `subdivisions()` order.
+    pub subdivision_cards: Vec<usize>,
+    /// The Type-5/Type-6 groups in deck order.
+    pub shape_groups: Vec<ShapeGroupLayout>,
+    /// The first Type-7 card (nodal punch format).
+    pub nodal_format_card: usize,
+    /// The second Type-7 card (element punch format).
+    pub element_format_card: usize,
+}
+
+/// Card indices of one Type-5 header and its Type-6 shape-line cards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeGroupLayout {
+    /// The subdivision number the Type-5 card names.
+    pub subdivision: usize,
+    /// The Type-5 card.
+    pub header_card: usize,
+    /// One Type-6 card per shape line, in input order.
+    pub line_cards: Vec<usize>,
+}
+
+/// Like [`parse_deck`], but also returns the card layout of each data set
+/// so errors and diagnostics can be traced to their cards.
+///
+/// # Errors
+///
+/// As for [`parse_deck`]; per-card failures are wrapped in
+/// [`IdlzError::AtCard`] with the offending card's index.
+pub fn parse_deck_with_layout(
+    deck: &Deck,
+) -> Result<(Vec<IdealizationSpec>, Vec<DataSetLayout>), IdlzError> {
+    let mut cursor = Cursor { deck, at: 0 };
+    let (nset_card, nset_values) = cursor.read_ints("NSET (Type 1)", &fmt("(I5)"), 1)?;
+    let nset = nset_values[0];
+    if nset < 0 {
+        return Err(at_card(
+            nset_card,
+            IdlzError::BadDeck {
+                reason: format!("NSET = {nset} is negative"),
+            },
+        ));
+    }
+    let mut specs = Vec::new();
+    let mut layouts = Vec::new();
+    for _ in 0..nset {
+        let (spec, layout) = parse_data_set(&mut cursor)?;
+        specs.push(spec);
+        layouts.push(layout);
+    }
+    Ok((specs, layouts))
+}
+
+/// Wraps an error with its card index unless it already carries one.
+fn at_card(card: usize, err: IdlzError) -> IdlzError {
+    match err {
+        wrapped @ IdlzError::AtCard { .. } => wrapped,
+        source => IdlzError::AtCard {
+            card,
+            source: Box::new(source),
+        },
+    }
+}
+
+fn parse_data_set(cursor: &mut Cursor<'_>) -> Result<(IdealizationSpec, DataSetLayout), IdlzError> {
     // Type 2: title.
+    let title_card = cursor.at;
     let title = cursor.next_card("title (Type 2)")?.trimmed().to_owned();
     let mut spec = IdealizationSpec::new(&title);
 
     // Type 3: options + subdivision count.
-    let t3 = cursor.read_ints(&fmt("(4I5)"), 4)?;
+    let (options_card, t3) = cursor.read_ints("options (Type 3)", &fmt("(4I5)"), 4)?;
     spec.set_options(Options {
         plots: t3[0] != 0,
         renumber: t3[1] != 0,
@@ -80,56 +143,88 @@ fn parse_data_set(cursor: &mut Cursor<'_>) -> Result<IdealizationSpec, IdlzError
     });
     let nsbdvn = t3[3];
     if nsbdvn <= 0 {
-        return Err(IdlzError::BadDeck {
-            reason: format!("NSBDVN = {nsbdvn} must be positive"),
-        });
+        return Err(at_card(
+            options_card,
+            IdlzError::BadDeck {
+                reason: format!("NSBDVN = {nsbdvn} must be positive"),
+            },
+        ));
     }
 
     // Type 4: one per subdivision.
     let t4_format = fmt("(5I5, 5X, 2I5)");
+    let mut subdivision_cards = Vec::with_capacity(nsbdvn as usize);
     for _ in 0..nsbdvn {
-        let v = cursor.read_ints(&t4_format, 7)?;
-        let id = usize::try_from(v[0]).map_err(|_| IdlzError::BadDeck {
-            reason: format!("subdivision number {} is negative", v[0]),
+        let (t4_card, v) = cursor.read_ints("subdivision (Type 4)", &t4_format, 7)?;
+        let id = usize::try_from(v[0]).map_err(|_| {
+            at_card(
+                t4_card,
+                IdlzError::BadDeck {
+                    reason: format!("subdivision number {} is negative", v[0]),
+                },
+            )
         })?;
-        spec.add_subdivision(Subdivision::from_card_fields(
-            id,
-            (v[1] as i32, v[2] as i32),
-            (v[3] as i32, v[4] as i32),
-            v[5] as i32,
-            v[6] as i32,
-        )?);
+        spec.add_subdivision(
+            Subdivision::from_card_fields(
+                id,
+                (v[1] as i32, v[2] as i32),
+                (v[3] as i32, v[4] as i32),
+                v[5] as i32,
+                v[6] as i32,
+            )
+            .map_err(|e| at_card(t4_card, e))?,
+        );
+        subdivision_cards.push(t4_card);
     }
 
     // Type 5 + Type 6 groups: one group per subdivision.
     let t5_format = fmt("(2I5)");
     let t6_format = fmt("(4I5, 5F8.4)");
+    let mut shape_groups = Vec::with_capacity(nsbdvn as usize);
     for _ in 0..nsbdvn {
-        let t5 = cursor.read_ints(&t5_format, 2)?;
-        let sub_id = usize::try_from(t5[0]).map_err(|_| IdlzError::BadDeck {
-            reason: format!("subdivision number {} is negative", t5[0]),
+        let (t5_card, t5) = cursor.read_ints("shape-line header (Type 5)", &t5_format, 2)?;
+        let sub_id = usize::try_from(t5[0]).map_err(|_| {
+            at_card(
+                t5_card,
+                IdlzError::BadDeck {
+                    reason: format!("subdivision number {} is negative", t5[0]),
+                },
+            )
         })?;
         let nlines = t5[1];
         if nlines < 0 {
-            return Err(IdlzError::BadDeck {
-                reason: format!("NLINES = {nlines} is negative"),
-            });
+            return Err(at_card(
+                t5_card,
+                IdlzError::BadDeck {
+                    reason: format!("NLINES = {nlines} is negative"),
+                },
+            ));
         }
+        let mut line_cards = Vec::with_capacity(nlines as usize);
         for _ in 0..nlines {
+            let t6_card = cursor.at;
             let card = cursor.next_card("shape line (Type 6)")?;
             let values = FormatReader::new(&t6_format)
                 .read_record(card.text())
-                .map_err(IdlzError::Card)?;
+                .map_err(|e| at_card(t6_card, IdlzError::Card(e)))?;
             let int = |i: usize| {
                 values[i].as_i64().map(|v| v as i32).ok_or_else(|| {
-                    IdlzError::BadDeck {
-                        reason: format!("shape line field {} is not an integer", i + 1),
-                    }
+                    at_card(
+                        t6_card,
+                        IdlzError::BadDeck {
+                            reason: format!("shape line field {} is not an integer", i + 1),
+                        },
+                    )
                 })
             };
             let real = |i: usize| {
-                values[i].as_f64().ok_or_else(|| IdlzError::BadDeck {
-                    reason: format!("shape line field {} is not numeric", i + 1),
+                values[i].as_f64().ok_or_else(|| {
+                    at_card(
+                        t6_card,
+                        IdlzError::BadDeck {
+                            reason: format!("shape line field {} is not numeric", i + 1),
+                        },
+                    )
                 })
             };
             spec.add_shape_line(
@@ -142,20 +237,42 @@ fn parse_data_set(cursor: &mut Cursor<'_>) -> Result<IdealizationSpec, IdlzError
                     radius: real(8)?,
                 },
             );
+            line_cards.push(t6_card);
         }
+        shape_groups.push(ShapeGroupLayout {
+            subdivision: sub_id,
+            header_card: t5_card,
+            line_cards,
+        });
     }
 
     // Type 7: two format cards.
+    let nodal_format_card = cursor.at;
     let nodal = cursor.next_card("nodal format (Type 7)")?.trimmed().to_owned();
+    let element_format_card = cursor.at;
     let element = cursor
         .next_card("element format (Type 7)")?
         .trimmed()
         .to_owned();
     // Validate the formats parse now rather than at punch time.
-    nodal.parse::<Format>().map_err(IdlzError::Card)?;
-    element.parse::<Format>().map_err(IdlzError::Card)?;
+    nodal
+        .parse::<Format>()
+        .map_err(|e| at_card(nodal_format_card, IdlzError::Card(e)))?;
+    element
+        .parse::<Format>()
+        .map_err(|e| at_card(element_format_card, IdlzError::Card(e)))?;
     spec.set_punch_formats(&nodal, &element);
-    Ok(spec)
+    Ok((
+        spec,
+        DataSetLayout {
+            title_card,
+            options_card,
+            subdivision_cards,
+            shape_groups,
+            nodal_format_card,
+            element_format_card,
+        },
+    ))
 }
 
 /// Writes one or more specs back to an Appendix-B deck (capacity limits
@@ -307,16 +424,28 @@ impl Cursor<'_> {
         Ok(card)
     }
 
-    fn read_ints(&mut self, format: &Format, n: usize) -> Result<Vec<i64>, IdlzError> {
-        let card = self.next_card("data")?.clone();
+    /// Reads `n` integer fields, returning the card's deck index along
+    /// with the values. Truncation (no card left) is not card-attributed;
+    /// unreadable fields are wrapped in [`IdlzError::AtCard`].
+    fn read_ints(
+        &mut self,
+        what: &str,
+        format: &Format,
+        n: usize,
+    ) -> Result<(usize, Vec<i64>), IdlzError> {
+        let index = self.at;
+        let card = self.next_card(what)?.clone();
         let values = FormatReader::new(format)
             .read_record(card.text())
-            .map_err(IdlzError::Card)?;
-        Ok(values
-            .iter()
-            .take(n)
-            .map(|v| v.as_i64().unwrap_or(0))
-            .collect())
+            .map_err(|e| at_card(index, IdlzError::Card(e)))?;
+        Ok((
+            index,
+            values
+                .iter()
+                .take(n)
+                .map(|v| v.as_i64().unwrap_or(0))
+                .collect(),
+        ))
     }
 }
 
@@ -456,18 +585,63 @@ mod tests {
         let deck = Deck::from_text("    0\n").unwrap();
         assert!(parse_deck(&deck).unwrap().is_empty());
         let negative = Deck::from_text("   -1\n").unwrap();
+        let err = parse_deck(&negative).unwrap_err();
+        assert_eq!(err.card_index(), Some(0));
         assert!(matches!(
-            parse_deck(&negative).unwrap_err(),
-            IdlzError::BadDeck { .. }
+            err,
+            IdlzError::AtCard { ref source, .. } if matches!(**source, IdlzError::BadDeck { .. })
         ));
     }
 
     #[test]
     fn bad_nsbdvn_rejected() {
         let deck = Deck::from_text("    1\nTITLE\n    1    1    1    0\n").unwrap();
+        let err = parse_deck(&deck).unwrap_err();
+        // The NSBDVN failure points at the Type-3 card (third card).
+        assert_eq!(err.card_index(), Some(2));
         assert!(matches!(
-            parse_deck(&deck).unwrap_err(),
-            IdlzError::BadDeck { .. }
+            err,
+            IdlzError::AtCard { ref source, .. } if matches!(**source, IdlzError::BadDeck { .. })
         ));
+    }
+
+    #[test]
+    fn layout_records_every_card_index() {
+        let spec = sample_spec();
+        let deck = write_deck(std::slice::from_ref(&spec)).unwrap();
+        let (specs, layouts) = parse_deck_with_layout(&deck).unwrap();
+        assert_eq!(specs.len(), 1);
+        assert_eq!(layouts.len(), 1);
+        let layout = &layouts[0];
+        // Deck order: NSET, title, options, 2×T4, T5(1), 2×T6, T5(2), 2×T7.
+        assert_eq!(layout.title_card, 1);
+        assert_eq!(layout.options_card, 2);
+        assert_eq!(layout.subdivision_cards, vec![3, 4]);
+        assert_eq!(layout.shape_groups.len(), 2);
+        assert_eq!(layout.shape_groups[0].subdivision, 1);
+        assert_eq!(layout.shape_groups[0].header_card, 5);
+        assert_eq!(layout.shape_groups[0].line_cards, vec![6, 7]);
+        assert_eq!(layout.shape_groups[1].subdivision, 2);
+        assert_eq!(layout.shape_groups[1].line_cards, Vec::<usize>::new());
+        assert_eq!(layout.nodal_format_card, 9);
+        assert_eq!(layout.element_format_card, 10);
+        // Every recorded index lies inside the deck.
+        assert!(layout.element_format_card < deck.len());
+    }
+
+    #[test]
+    fn bad_subdivision_error_points_at_its_card() {
+        // Second Type-4 card has corners out of order.
+        let text = concat!(
+            "    1\n",
+            "PROVENANCE\n",
+            "    1    1    1    2\n",
+            "    1    0    0    4    2         0    0\n",
+            "    2    4    0    0    2         0    0\n",
+        );
+        let err = parse_deck(&Deck::from_text(text).unwrap()).unwrap_err();
+        assert_eq!(err.card_index(), Some(4));
+        let display = err.to_string();
+        assert!(display.starts_with("card 5: subdivision 2"), "{display}");
     }
 }

@@ -78,6 +78,24 @@ pub enum IdlzError {
         /// Human-readable reason.
         reason: String,
     },
+    /// An error attributed to a specific card of the input deck.
+    AtCard {
+        /// Zero-based index of the offending card in the deck
+        /// (displayed one-based, the way analysts count cards).
+        card: usize,
+        /// The underlying failure.
+        source: Box<IdlzError>,
+    },
+}
+
+impl IdlzError {
+    /// Zero-based deck index of the offending card, when known.
+    pub fn card_index(&self) -> Option<usize> {
+        match self {
+            IdlzError::AtCard { card, .. } => Some(*card),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for IdlzError {
@@ -120,6 +138,7 @@ impl fmt::Display for IdlzError {
             IdlzError::Mesh(e) => write!(f, "mesh error: {e}"),
             IdlzError::Card(e) => write!(f, "card error: {e}"),
             IdlzError::BadDeck { reason } => write!(f, "malformed deck: {reason}"),
+            IdlzError::AtCard { card, source } => write!(f, "card {}: {source}", card + 1),
         }
     }
 }
@@ -130,6 +149,7 @@ impl std::error::Error for IdlzError {
             IdlzError::Mesh(e) => Some(e),
             IdlzError::Card(e) => Some(e),
             IdlzError::Arc { source, .. } => Some(source),
+            IdlzError::AtCard { source, .. } => Some(source),
             _ => None,
         }
     }

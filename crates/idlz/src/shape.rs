@@ -190,8 +190,8 @@ fn interpolate_subdivision(
         // "two opposite sides in every subdivision will be straight
         // lines".
         for strip in &strips {
-            // invariant: the `ends_located` check above guarantees both
-            // strip ends are Some, and strips are never empty.
+            // Both strip ends are Some (the `ends_located` check above) —
+            // invariant: ends located, and strips are never empty.
             let first = located[node_index[&strip[0]]].expect("ends located");
             let last =
                 located[node_index[strip.last().expect("non-empty strip")]].expect("ends located");
@@ -211,16 +211,9 @@ fn interpolate_subdivision(
         // m onto the fraction j/(m-1) of each located side polyline.
         // invariant: the `parallel_located` check above guarantees every
         // node of both parallel sides is Some.
-        let side_a: Vec<Point> = sub
-            .side_nodes(par_a)
-            .iter()
-            .map(|p| located[node_index[p]].expect("parallel located"))
-            .collect();
-        let side_b: Vec<Point> = sub
-            .side_nodes(par_b)
-            .iter()
-            .map(|p| located[node_index[p]].expect("parallel located"))
-            .collect();
+        let locate = |p: &GridPoint| located[node_index[p]].expect("parallel located");
+        let side_a: Vec<Point> = sub.side_nodes(par_a).iter().map(locate).collect();
+        let side_b: Vec<Point> = sub.side_nodes(par_b).iter().map(locate).collect();
         let nstrips = strips.len();
         for (r, strip) in strips.iter().enumerate() {
             let s = r as f64 / (nstrips - 1) as f64;

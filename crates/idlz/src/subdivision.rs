@@ -270,20 +270,21 @@ impl Subdivision {
     /// The node sequence of one side, in ascending strip order.
     pub fn side_nodes(&self, side: Side) -> Vec<GridPoint> {
         let strips = self.strips();
-        // invariant: construction validates the grid spans at least 2×2
-        // points, so there are always ≥ 2 strips of ≥ 2 nodes each.
+        // Construction validates the grid spans at least 2×2 points —
+        // invariant: there are always ≥ 2 strips of ≥ 2 nodes each.
         let firsts = || strips.iter().map(|s| s[0]).collect::<Vec<_>>();
         let lasts = || strips.iter().map(|s| *s.last().expect("non-empty strip")).collect();
+        let last_strip = || strips.last().expect("at least two strips").clone();
         match self.taper {
             Taper::None | Taper::Row(_) => match side {
                 Side::Bottom => strips[0].clone(),
-                Side::Top => strips.last().expect("at least two strips").clone(),
+                Side::Top => last_strip(),
                 Side::Left => firsts(),
                 Side::Right => lasts(),
             },
             Taper::Column(_) => match side {
                 Side::Left => strips[0].clone(),
-                Side::Right => strips.last().expect("at least two strips").clone(),
+                Side::Right => last_strip(),
                 Side::Bottom => firsts(),
                 Side::Top => lasts(),
             },

@@ -102,7 +102,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, byte: u8) -> Result<(), String> {
+    fn require(&mut self, byte: u8) -> Result<(), String> {
         if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
@@ -137,7 +137,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<JsonValue, String> {
-        self.expect(b'{')?;
+        self.require(b'{')?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -148,7 +148,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.require(b':')?;
             self.skip_ws();
             map.insert(key, self.value()?);
             self.skip_ws();
@@ -164,7 +164,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<JsonValue, String> {
-        self.expect(b'[')?;
+        self.require(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -191,6 +191,8 @@ impl Parser<'_> {
         while matches!(self.peek(), Some(b'0'..=b'9')) {
             self.pos += 1;
         }
+        // invariant: the loop above only advanced over ASCII digit bytes,
+        // and ASCII is always valid UTF-8.
         let digits = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
         digits
             .parse::<u64>()
@@ -199,7 +201,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.require(b'"')?;
         let mut out = String::new();
         loop {
             let start = self.pos;
@@ -251,6 +253,8 @@ impl Parser<'_> {
                     }
                 }
                 None => return Err("unterminated string".to_owned()),
+                // invariant: the copy loop above stops only on `"`, `\`,
+                // or end of input, and those are matched by the arms above.
                 _ => unreachable!("loop exits only on quote, backslash, or end"),
             }
         }

@@ -43,6 +43,7 @@
 //! output is *bit-identical* to the serial path because results are
 //! concatenated in input order and every reduction stays serial.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod json;

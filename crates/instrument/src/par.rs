@@ -101,6 +101,8 @@ where
             .map(|chunk| scope.spawn(|| chunk.iter().map(&f).collect::<Vec<U>>()))
             .collect();
         for handle in handles {
+            // invariant: join fails only when the worker panicked, in
+            // which case re-panicking here propagates it as intended.
             out.extend(handle.join().expect("parallel_map worker panicked"));
         }
     });

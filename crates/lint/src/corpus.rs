@@ -1,0 +1,314 @@
+//! Golden lint corpus: one minimal deck per lint code, each designed to
+//! trigger exactly that diagnostic at a known card. The corpus is the
+//! executable specification of the lint catalog — `decklint --golden`
+//! and the integration tests both run [`verify_corpus`].
+
+use crate::diagnostic::{LintCode, LintConfig, LintReport};
+use crate::idlz_lints::lint_deck_text;
+use crate::ospl_lints::lint_ospl_deck_text;
+
+/// Which front end parses the golden deck.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeckKind {
+    /// Appendix-B idealization deck.
+    Idlz,
+    /// Appendix-C contour-plot deck.
+    Ospl,
+}
+
+/// One golden deck and the single diagnostic it must produce.
+#[derive(Debug, Clone, Copy)]
+pub struct GoldenCase {
+    /// The lint code the deck triggers.
+    pub code: LintCode,
+    /// The parser front end for the deck text.
+    pub kind: DeckKind,
+    /// The deck text.
+    pub deck: &'static str,
+    /// Zero-based index of the card the diagnostic must point at.
+    pub card: usize,
+}
+
+/// The golden corpus, one case per lint code in catalog order.
+pub fn golden_cases() -> Vec<GoldenCase> {
+    vec![
+        GoldenCase {
+            code: LintCode::OverlappingSubdivisions,
+            kind: DeckKind::Idlz,
+            card: 4,
+            deck: concat!(
+                "    1\n",
+                "OVERLAPPING BOXES\n",
+                "    1    1    1    2\n",
+                "    1    0    0    2    2         0    0\n",
+                "    2    0    0    2    2         0    0\n",
+                "    1    0\n",
+                "    2    0\n",
+                "(2F9.5, 51X, I3, 5X, I3)\n",
+                "(3I5, 62X, I3)\n",
+            ),
+        },
+        GoldenCase {
+            code: LintCode::DisconnectedAssemblage,
+            kind: DeckKind::Idlz,
+            card: 4,
+            deck: concat!(
+                "    1\n",
+                "ISLAND SUBDIVISION\n",
+                "    1    1    1    2\n",
+                "    1    0    0    2    2         0    0\n",
+                "    2   10    0   12    2         0    0\n",
+                "    1    0\n",
+                "    2    0\n",
+                "(2F9.5, 51X, I3, 5X, I3)\n",
+                "(3I5, 62X, I3)\n",
+            ),
+        },
+        GoldenCase {
+            code: LintCode::DuplicateSubdivisionId,
+            kind: DeckKind::Idlz,
+            card: 4,
+            deck: concat!(
+                "    1\n",
+                "TWIN NUMBERS\n",
+                "    1    1    1    2\n",
+                "    1    0    0    2    2         0    0\n",
+                "    1    2    0    4    2         0    0\n",
+                "    1    0\n",
+                "    1    0\n",
+                "(2F9.5, 51X, I3, 5X, I3)\n",
+                "(3I5, 62X, I3)\n",
+            ),
+        },
+        GoldenCase {
+            code: LintCode::GridLimitProximity,
+            kind: DeckKind::Idlz,
+            card: 3,
+            deck: concat!(
+                "    1\n",
+                "NEAR THE GRID LIMIT\n",
+                "    1    1    1    1\n",
+                "    1    0    0   38    2         0    0\n",
+                "    1    0\n",
+                "(2F9.5, 51X, I3, 5X, I3)\n",
+                "(3I5, 62X, I3)\n",
+            ),
+        },
+        GoldenCase {
+            code: LintCode::ShapeSegmentSpanMismatch,
+            kind: DeckKind::Idlz,
+            card: 5,
+            deck: concat!(
+                "    1\n",
+                "DIAGONAL SHAPE LINE\n",
+                "    1    1    1    1\n",
+                "    1    0    0    4    2         0    0\n",
+                "    1    1\n",
+                "    0    0    4    2  0.0000  0.0000  2.0000  1.0000  0.0000\n",
+                "(2F9.5, 51X, I3, 5X, I3)\n",
+                "(3I5, 62X, I3)\n",
+            ),
+        },
+        GoldenCase {
+            code: LintCode::ArcSweepExceeds90,
+            kind: DeckKind::Idlz,
+            card: 5,
+            deck: concat!(
+                "    1\n",
+                "HALF TURN ARC\n",
+                "    1    1    1    1\n",
+                "    1    0    0    4    2         0    0\n",
+                "    1    1\n",
+                "    0    0    4    0  0.0000  0.0000  2.0000  0.0000  1.0000\n",
+                "(2F9.5, 51X, I3, 5X, I3)\n",
+                "(3I5, 62X, I3)\n",
+            ),
+        },
+        GoldenCase {
+            code: LintCode::DeadShapeLine,
+            kind: DeckKind::Idlz,
+            card: 5,
+            deck: concat!(
+                "    1\n",
+                "DEAD SHAPE LINE\n",
+                "    1    1    1    1\n",
+                "    1    0    0    4    2         0    0\n",
+                "    1    2\n",
+                "    0    0    4    0  0.0000  0.0000  2.0000  0.0000  0.0000\n",
+                "    0    0    4    0  0.0000  0.1000  2.0000  0.1000  0.0000\n",
+                "(2F9.5, 51X, I3, 5X, I3)\n",
+                "(3I5, 62X, I3)\n",
+            ),
+        },
+        GoldenCase {
+            code: LintCode::ShapeLineUnknownSubdivision,
+            kind: DeckKind::Idlz,
+            card: 4,
+            deck: concat!(
+                "    1\n",
+                "PHANTOM SUBDIVISION\n",
+                "    1    1    1    1\n",
+                "    1    0    0    4    2         0    0\n",
+                "    2    0\n",
+                "(2F9.5, 51X, I3, 5X, I3)\n",
+                "(3I5, 62X, I3)\n",
+            ),
+        },
+        GoldenCase {
+            code: LintCode::BandwidthHostileNumbering,
+            kind: DeckKind::Idlz,
+            card: 2,
+            deck: concat!(
+                "    1\n",
+                "WIDE FLAT NO RENUMBER\n",
+                "    1    0    1    1\n",
+                "    1    0    0   30    1         0    0\n",
+                "    1    0\n",
+                "(2F9.5, 51X, I3, 5X, I3)\n",
+                "(3I5, 62X, I3)\n",
+            ),
+        },
+        GoldenCase {
+            code: LintCode::FormatFieldTooNarrowForCoordinateRange,
+            kind: DeckKind::Idlz,
+            card: 6,
+            deck: concat!(
+                "    1\n",
+                "COORDINATES OVERFLOW F6.3\n",
+                "    1    1    1    1\n",
+                "    1    0    0    4    2         0    0\n",
+                "    1    1\n",
+                "    0    0    4    0  0.0000  0.0000  1234.5  0.0000  0.0000\n",
+                "(2F6.3, 51X, I3, 5X, I3)\n",
+                "(3I5, 62X, I3)\n",
+            ),
+        },
+        GoldenCase {
+            code: LintCode::FormatFieldTooNarrowForCount,
+            kind: DeckKind::Idlz,
+            card: 5,
+            deck: concat!(
+                "    1\n",
+                "NODE NUMBER OVERFLOWS I2\n",
+                "    1    1    1    1\n",
+                "    1    0    0    9    9         0    0\n",
+                "    1    0\n",
+                "(2F9.5, 52X, I3, 5X, I2)\n",
+                "(3I5, 62X, I3)\n",
+            ),
+        },
+        GoldenCase {
+            code: LintCode::ContourWindowOutsideExtents,
+            kind: DeckKind::Ospl,
+            card: 0,
+            deck: concat!(
+                "    3    1     104.0     100.0     103.0     100.0       0.0\n",
+                "WINDOW OFF THE MESH\n",
+                "LINT CORPUS\n",
+                "  0.00000  0.00000                           5.0002\n",
+                "  4.00000  0.00000                          15.0002\n",
+                "  2.00000  3.00000                          35.0002\n",
+                "    1    2    3\n",
+            ),
+        },
+        GoldenCase {
+            code: LintCode::IntervalExceedsFieldRange,
+            kind: DeckKind::Ospl,
+            card: 0,
+            deck: concat!(
+                "    3    1       0.0       0.0       0.0       0.0    1000.0\n",
+                "HUGE DELTA\n",
+                "LINT CORPUS\n",
+                "  0.00000  0.00000                           5.0002\n",
+                "  4.00000  0.00000                          15.0002\n",
+                "  2.00000  3.00000                          35.0002\n",
+                "    1    2    3\n",
+            ),
+        },
+    ]
+}
+
+/// Lints one golden deck at default severity.
+///
+/// # Errors
+///
+/// A human-readable message when the deck does not even parse.
+pub fn run_case(case: &GoldenCase) -> Result<LintReport, String> {
+    let config = LintConfig::new();
+    match case.kind {
+        DeckKind::Idlz => lint_deck_text(case.deck, &config)
+            .map_err(|e| format!("{} corpus deck failed to parse: {e}", case.code.code())),
+        DeckKind::Ospl => lint_ospl_deck_text(case.deck, &config)
+            .map_err(|e| format!("{} corpus deck failed to parse: {e}", case.code.code())),
+    }
+}
+
+/// Runs the whole corpus, checking that every case produces exactly its
+/// expected diagnostic — right code, right default severity, right card.
+///
+/// # Errors
+///
+/// One message per failing case, all collected.
+pub fn verify_corpus() -> Result<(), Vec<String>> {
+    let mut problems = Vec::new();
+    let cases = golden_cases();
+    for missing in LintCode::ALL
+        .iter()
+        .filter(|code| !cases.iter().any(|c| c.code == **code))
+    {
+        problems.push(format!("no corpus deck covers {missing}"));
+    }
+    for case in &cases {
+        let code = case.code.code();
+        let report = match run_case(case) {
+            Ok(report) => report,
+            Err(e) => {
+                problems.push(e);
+                continue;
+            }
+        };
+        let diagnostics = report.diagnostics();
+        if diagnostics.len() != 1 {
+            problems.push(format!(
+                "{code}: expected exactly one diagnostic, got {}: {:?}",
+                diagnostics.len(),
+                diagnostics.iter().map(ToString::to_string).collect::<Vec<_>>(),
+            ));
+            continue;
+        }
+        let d = &diagnostics[0];
+        if d.code != case.code {
+            problems.push(format!("{code}: deck triggered {} instead", d.code));
+        }
+        if d.severity != case.code.default_severity() {
+            problems.push(format!(
+                "{code}: severity {} does not match the default {}",
+                d.severity,
+                case.code.default_severity()
+            ));
+        }
+        if d.span.card != Some(case.card) {
+            problems.push(format!(
+                "{code}: diagnostic points at {:?}, expected card {}",
+                d.span.card, case.card
+            ));
+        }
+    }
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_code_has_a_golden_deck_that_triggers_it() {
+        if let Err(problems) = verify_corpus() {
+            panic!("corpus failures:\n{}", problems.join("\n"));
+        }
+    }
+}

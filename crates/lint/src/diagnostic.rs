@@ -1,0 +1,499 @@
+//! The diagnostic model: stable lint codes, severities, source spans,
+//! and the report type every lint pass returns.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cafemio_instrument::{CounterRecord, PerfReport};
+
+/// How seriously a diagnostic is taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suppressed entirely: the diagnostic is dropped from the report.
+    Allow,
+    /// Reported but does not fail the run.
+    Warn,
+    /// Reported and fails the run (a lint "denial").
+    Deny,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Allow => "allow",
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        })
+    }
+}
+
+/// The stable lint-code registry. The `Dxxx`/`Sxxx`/`Nxxx`/`Fxxx`/`Oxxx`
+/// text codes are the public contract: tooling may key on them, so a code
+/// is never renumbered, only retired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintCode {
+    /// `D001`: two subdivisions produce the same element.
+    OverlappingSubdivisions,
+    /// `D002`: the assemblage splits into disconnected pieces.
+    DisconnectedAssemblage,
+    /// `D003`: two Type-4 cards carry the same subdivision number.
+    DuplicateSubdivisionId,
+    /// `D004`: the deck uses more than 90 % of a Table-2 capacity limit.
+    GridLimitProximity,
+    /// `S001`: a shape line's end points do not lie on a common side.
+    ShapeSegmentSpanMismatch,
+    /// `S002`: a circular-arc shape line subtends more than 90 degrees
+    /// (or has an impossible chord/radius combination).
+    ArcSweepExceeds90,
+    /// `S003`: a shape line is fully overwritten by later lines.
+    DeadShapeLine,
+    /// `S004`: a Type-5 card names a subdivision that does not exist.
+    ShapeLineUnknownSubdivision,
+    /// `N001`: renumbering is off and the natural grid numbering has a
+    /// much wider bandwidth than the transposed ordering would.
+    BandwidthHostileNumbering,
+    /// `F001`: a punch-format field is too narrow for the coordinate
+    /// range the shape lines imply (the static twin of `FieldOverflow`).
+    FormatFieldTooNarrowForCoordinateRange,
+    /// `F002`: a punch-format integer field is too narrow for the node
+    /// or element numbers the deck will generate.
+    FormatFieldTooNarrowForCount,
+    /// `O001`: the OSPL plot window excludes every node of the mesh.
+    ContourWindowOutsideExtents,
+    /// `O002`: the contour interval exceeds the whole field range.
+    IntervalExceedsFieldRange,
+}
+
+impl LintCode {
+    /// Every registered code, in registry order.
+    pub const ALL: [LintCode; 13] = [
+        LintCode::OverlappingSubdivisions,
+        LintCode::DisconnectedAssemblage,
+        LintCode::DuplicateSubdivisionId,
+        LintCode::GridLimitProximity,
+        LintCode::ShapeSegmentSpanMismatch,
+        LintCode::ArcSweepExceeds90,
+        LintCode::DeadShapeLine,
+        LintCode::ShapeLineUnknownSubdivision,
+        LintCode::BandwidthHostileNumbering,
+        LintCode::FormatFieldTooNarrowForCoordinateRange,
+        LintCode::FormatFieldTooNarrowForCount,
+        LintCode::ContourWindowOutsideExtents,
+        LintCode::IntervalExceedsFieldRange,
+    ];
+
+    /// The stable text code (e.g. `"D001"`).
+    pub fn code(self) -> &'static str {
+        match self {
+            LintCode::OverlappingSubdivisions => "D001",
+            LintCode::DisconnectedAssemblage => "D002",
+            LintCode::DuplicateSubdivisionId => "D003",
+            LintCode::GridLimitProximity => "D004",
+            LintCode::ShapeSegmentSpanMismatch => "S001",
+            LintCode::ArcSweepExceeds90 => "S002",
+            LintCode::DeadShapeLine => "S003",
+            LintCode::ShapeLineUnknownSubdivision => "S004",
+            LintCode::BandwidthHostileNumbering => "N001",
+            LintCode::FormatFieldTooNarrowForCoordinateRange => "F001",
+            LintCode::FormatFieldTooNarrowForCount => "F002",
+            LintCode::ContourWindowOutsideExtents => "O001",
+            LintCode::IntervalExceedsFieldRange => "O002",
+        }
+    }
+
+    /// The kebab-case name (e.g. `"overlapping-subdivisions"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            LintCode::OverlappingSubdivisions => "overlapping-subdivisions",
+            LintCode::DisconnectedAssemblage => "disconnected-assemblage",
+            LintCode::DuplicateSubdivisionId => "duplicate-subdivision-id",
+            LintCode::GridLimitProximity => "grid-limit-proximity",
+            LintCode::ShapeSegmentSpanMismatch => "shape-segment-span-mismatch",
+            LintCode::ArcSweepExceeds90 => "arc-sweep-exceeds-90",
+            LintCode::DeadShapeLine => "dead-shape-line",
+            LintCode::ShapeLineUnknownSubdivision => "shape-line-unknown-subdivision",
+            LintCode::BandwidthHostileNumbering => "bandwidth-hostile-numbering",
+            LintCode::FormatFieldTooNarrowForCoordinateRange => {
+                "format-field-too-narrow-for-coordinate-range"
+            }
+            LintCode::FormatFieldTooNarrowForCount => "format-field-too-narrow-for-count",
+            LintCode::ContourWindowOutsideExtents => "contour-window-outside-extents",
+            LintCode::IntervalExceedsFieldRange => "interval-exceeds-field-range",
+        }
+    }
+
+    /// The severity in force when [`LintConfig`] carries no override.
+    ///
+    /// A code denies by default exactly when the runtime pipeline would
+    /// reject the same deck with a hard error later; advisory conditions
+    /// (capacity proximity, dead lines, hostile numbering, coarse
+    /// intervals) warn.
+    pub fn default_severity(self) -> Severity {
+        match self {
+            LintCode::OverlappingSubdivisions
+            | LintCode::DisconnectedAssemblage
+            | LintCode::DuplicateSubdivisionId
+            | LintCode::ShapeSegmentSpanMismatch
+            | LintCode::ArcSweepExceeds90
+            | LintCode::ShapeLineUnknownSubdivision
+            | LintCode::FormatFieldTooNarrowForCoordinateRange
+            | LintCode::FormatFieldTooNarrowForCount
+            | LintCode::ContourWindowOutsideExtents => Severity::Deny,
+            LintCode::GridLimitProximity
+            | LintCode::DeadShapeLine
+            | LintCode::BandwidthHostileNumbering
+            | LintCode::IntervalExceedsFieldRange => Severity::Warn,
+        }
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.code(), self.name())
+    }
+}
+
+/// Where in the deck a diagnostic points: a card index and, when it can
+/// be pinned down, the one-based data-field ordinal on that card.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SourceSpan {
+    /// Zero-based card index in the deck (displayed one-based).
+    pub card: Option<usize>,
+    /// One-based data-field ordinal on the card.
+    pub field: Option<usize>,
+}
+
+impl SourceSpan {
+    /// A span with no provenance (spec-level lints without a deck).
+    pub fn none() -> SourceSpan {
+        SourceSpan::default()
+    }
+
+    /// A span naming a card.
+    pub fn card(card: usize) -> SourceSpan {
+        SourceSpan {
+            card: Some(card),
+            field: None,
+        }
+    }
+
+    /// A span naming a card and a data field on it.
+    pub fn card_field(card: usize, field: usize) -> SourceSpan {
+        SourceSpan {
+            card: Some(card),
+            field: Some(field),
+        }
+    }
+}
+
+impl fmt::Display for SourceSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.card, self.field) {
+            (Some(card), Some(field)) => write!(f, "card {}, field {field}", card + 1),
+            (Some(card), None) => write!(f, "card {}", card + 1),
+            _ => f.write_str("deck"),
+        }
+    }
+}
+
+/// One finding of the lint pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// The registry code.
+    pub code: LintCode,
+    /// The effective severity (after [`LintConfig`] overrides).
+    pub severity: Severity,
+    /// Where the finding points.
+    pub span: SourceSpan,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it, when a concrete fix is known.
+    pub suggestion: Option<String>,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {} at {}: {}",
+            self.severity,
+            self.code.code(),
+            self.code.name(),
+            self.span,
+            self.message
+        )?;
+        if let Some(fix) = &self.suggestion {
+            write!(f, " (help: {fix})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-code severity configuration.
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_lint::{LintCode, LintConfig, Severity};
+/// let config = LintConfig::new().with(LintCode::DeadShapeLine, Severity::Deny);
+/// assert_eq!(config.severity(LintCode::DeadShapeLine), Severity::Deny);
+/// assert_eq!(
+///     config.severity(LintCode::OverlappingSubdivisions),
+///     LintCode::OverlappingSubdivisions.default_severity()
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LintConfig {
+    overrides: BTreeMap<LintCode, Severity>,
+}
+
+impl LintConfig {
+    /// Default severities for every code.
+    pub fn new() -> LintConfig {
+        LintConfig::default()
+    }
+
+    /// Overrides one code's severity (builder style).
+    pub fn with(mut self, code: LintCode, severity: Severity) -> LintConfig {
+        self.overrides.insert(code, severity);
+        self
+    }
+
+    /// Suppresses one code entirely.
+    pub fn allow(self, code: LintCode) -> LintConfig {
+        self.with(code, Severity::Allow)
+    }
+
+    /// Escalates every warning to a denial (the `-D warnings` of decks).
+    pub fn deny_warnings(mut self) -> LintConfig {
+        for code in LintCode::ALL {
+            if self.severity(code) == Severity::Warn {
+                self.overrides.insert(code, Severity::Deny);
+            }
+        }
+        self
+    }
+
+    /// The effective severity of a code.
+    pub fn severity(&self, code: LintCode) -> Severity {
+        self.overrides
+            .get(&code)
+            .copied()
+            .unwrap_or_else(|| code.default_severity())
+    }
+}
+
+/// The outcome of a lint pass: every non-suppressed diagnostic, in deck
+/// order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LintReport {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// An empty (clean) report.
+    pub fn new() -> LintReport {
+        LintReport::default()
+    }
+
+    /// Records a diagnostic unless its severity is [`Severity::Allow`].
+    pub fn push(&mut self, diagnostic: Diagnostic) {
+        if diagnostic.severity != Severity::Allow {
+            self.diagnostics.push(diagnostic);
+        }
+    }
+
+    /// All recorded diagnostics.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// The denials only.
+    pub fn denied(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Deny)
+    }
+
+    /// Number of denials.
+    pub fn denied_count(&self) -> usize {
+        self.denied().count()
+    }
+
+    /// Number of warnings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warn)
+            .count()
+    }
+
+    /// True when nothing was reported at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Merges another report's diagnostics into this one.
+    pub fn merge(&mut self, other: LintReport) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// The report as instrumentation counters (`lint.diagnostics`,
+    /// `lint.denied`, `lint.warnings`, plus one `lint.<CODE>` counter per
+    /// code that fired) — the JSON-emission layer shared with the rest of
+    /// the workspace.
+    pub fn to_perf_report(&self) -> PerfReport {
+        let mut per_code: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for d in &self.diagnostics {
+            *per_code.entry(d.code.code()).or_insert(0) += 1;
+        }
+        let mut counters = vec![
+            CounterRecord {
+                name: "lint.diagnostics".to_owned(),
+                value: self.diagnostics.len() as u64,
+            },
+            CounterRecord {
+                name: "lint.denied".to_owned(),
+                value: self.denied_count() as u64,
+            },
+            CounterRecord {
+                name: "lint.warnings".to_owned(),
+                value: self.warning_count() as u64,
+            },
+        ];
+        for (code, count) in per_code {
+            counters.push(CounterRecord {
+                name: format!("lint.{code}"),
+                value: count,
+            });
+        }
+        PerfReport {
+            spans: Vec::new(),
+            counters,
+        }
+    }
+
+    /// The counter view of the report, serialized as JSON.
+    pub fn to_json(&self) -> String {
+        self.to_perf_report().to_json()
+    }
+}
+
+/// The error a denying lint run raises: the denials themselves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintError {
+    /// Every denial of the run, in deck order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintError {
+    /// Builds the error from a report's denials; `None` when the report
+    /// denies nothing.
+    pub fn from_report(report: &LintReport) -> Option<LintError> {
+        let diagnostics: Vec<Diagnostic> = report.denied().cloned().collect();
+        if diagnostics.is_empty() {
+            None
+        } else {
+            Some(LintError { diagnostics })
+        }
+    }
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} lint denial(s)", self.diagnostics.len())?;
+        if let Some(first) = self.diagnostics.first() {
+            write!(f, ", first: {first}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for LintError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_stable() {
+        let mut codes: Vec<&str> = LintCode::ALL.iter().map(|c| c.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), LintCode::ALL.len(), "duplicate code text");
+        assert_eq!(LintCode::OverlappingSubdivisions.code(), "D001");
+        assert_eq!(LintCode::ContourWindowOutsideExtents.code(), "O001");
+    }
+
+    #[test]
+    fn config_overrides_and_deny_warnings() {
+        let config = LintConfig::new().allow(LintCode::GridLimitProximity);
+        assert_eq!(config.severity(LintCode::GridLimitProximity), Severity::Allow);
+        let strict = LintConfig::new().deny_warnings();
+        assert_eq!(strict.severity(LintCode::DeadShapeLine), Severity::Deny);
+        assert_eq!(
+            strict.severity(LintCode::OverlappingSubdivisions),
+            Severity::Deny
+        );
+    }
+
+    #[test]
+    fn allowed_diagnostics_are_dropped() {
+        let mut report = LintReport::new();
+        report.push(Diagnostic {
+            code: LintCode::DeadShapeLine,
+            severity: Severity::Allow,
+            span: SourceSpan::none(),
+            message: "suppressed".into(),
+            suggestion: None,
+        });
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn report_counters_round_trip() {
+        let mut report = LintReport::new();
+        report.push(Diagnostic {
+            code: LintCode::OverlappingSubdivisions,
+            severity: Severity::Deny,
+            span: SourceSpan::card(4),
+            message: "overlap".into(),
+            suggestion: None,
+        });
+        report.push(Diagnostic {
+            code: LintCode::DeadShapeLine,
+            severity: Severity::Warn,
+            span: SourceSpan::card_field(6, 2),
+            message: "dead".into(),
+            suggestion: Some("remove it".into()),
+        });
+        let perf = report.to_perf_report();
+        assert_eq!(perf.counter("lint.diagnostics"), Some(2));
+        assert_eq!(perf.counter("lint.denied"), Some(1));
+        assert_eq!(perf.counter("lint.warnings"), Some(1));
+        assert_eq!(perf.counter("lint.D001"), Some(1));
+        assert_eq!(perf.counter("lint.S003"), Some(1));
+        let round = PerfReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(round.counter("lint.D001"), Some(1));
+    }
+
+    #[test]
+    fn display_formats() {
+        let d = Diagnostic {
+            code: LintCode::ArcSweepExceeds90,
+            severity: Severity::Deny,
+            span: SourceSpan::card_field(5, 9),
+            message: "arc subtends 180 degrees".into(),
+            suggestion: Some("split the arc".into()),
+        };
+        assert_eq!(
+            d.to_string(),
+            "deny[S002] arc-sweep-exceeds-90 at card 6, field 9: arc subtends 180 \
+             degrees (help: split the arc)"
+        );
+        let err = LintError {
+            diagnostics: vec![d],
+        };
+        assert!(err.to_string().starts_with("1 lint denial(s), first: deny[S002]"));
+    }
+}

@@ -1,0 +1,784 @@
+//! Static analysis of IDLZ data sets: deck-structure (`Dxxx`), shaping
+//! (`Sxxx`), numbering (`Nxxx`), and punch-format (`Fxxx`) lints.
+//!
+//! Everything here re-derives its verdicts from the parsed spec alone —
+//! no mesh is generated and no matrix assembled. Where a check mirrors a
+//! runtime rejection (`IdlzError::OverlappingSubdivisions`, `BadShapeLine`,
+//! `ArcError::ExceedsQuarterTurn`, `CardError::FieldOverflow`) it
+//! replicates the runtime's exact criterion so a deck that lints clean at
+//! default severity cannot hit that rejection later.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cafemio_cards::{Deck, EditDescriptor, Format};
+use cafemio_idlz::deck::{parse_deck_with_layout, DataSetLayout};
+use cafemio_idlz::{GridPoint, IdealizationSpec, IdlzError, ShapeLine, Side, Subdivision};
+
+use crate::diagnostic::{Diagnostic, LintCode, LintConfig, LintReport, SourceSpan};
+
+/// Lints IDLZ deck text: parses (with card provenance) and analyzes.
+///
+/// # Errors
+///
+/// [`IdlzError`] when the deck cannot even be parsed — lint needs the
+/// structured spec; parse failures already carry card provenance.
+pub fn lint_deck_text(text: &str, config: &LintConfig) -> Result<LintReport, IdlzError> {
+    let deck = Deck::from_text(text).map_err(IdlzError::Card)?;
+    lint_idlz_deck(&deck, config)
+}
+
+/// Lints a parsed card deck with full card provenance on every
+/// diagnostic.
+///
+/// # Errors
+///
+/// [`IdlzError`] when parsing fails.
+pub fn lint_idlz_deck(deck: &Deck, config: &LintConfig) -> Result<LintReport, IdlzError> {
+    let (specs, layouts) = parse_deck_with_layout(deck)?;
+    Ok(lint_idlz(&specs, &layouts, config))
+}
+
+/// Lints specs with their card layouts (parallel slices; a missing layout
+/// degrades that set's spans to "no provenance").
+pub fn lint_idlz(
+    specs: &[IdealizationSpec],
+    layouts: &[DataSetLayout],
+    config: &LintConfig,
+) -> LintReport {
+    let mut report = LintReport::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let set = SetContext {
+            spec,
+            layout: layouts.get(i),
+            config,
+        };
+        set.lint_into(&mut report);
+    }
+    report
+}
+
+/// Lints bare specs (no deck, no card provenance) — the entry point for
+/// programmatically built models.
+pub fn lint_specs(specs: &[IdealizationSpec], config: &LintConfig) -> LintReport {
+    lint_idlz(specs, &[], config)
+}
+
+/// One data set under analysis.
+struct SetContext<'a> {
+    spec: &'a IdealizationSpec,
+    layout: Option<&'a DataSetLayout>,
+    config: &'a LintConfig,
+}
+
+impl SetContext<'_> {
+    fn lint_into(&self, report: &mut LintReport) {
+        self.check_duplicate_ids(report);
+        self.check_overlap(report);
+        self.check_connectivity(report);
+        self.check_limit_proximity(report);
+        self.check_shape_lines(report);
+        self.check_numbering(report);
+        self.check_formats(report);
+    }
+
+    fn emit(
+        &self,
+        report: &mut LintReport,
+        code: LintCode,
+        span: SourceSpan,
+        message: String,
+        suggestion: Option<String>,
+    ) {
+        report.push(Diagnostic {
+            code,
+            severity: self.config.severity(code),
+            span,
+            message,
+            suggestion,
+        });
+    }
+
+    /// Span of the `i`-th Type-4 card.
+    fn t4_span(&self, i: usize) -> SourceSpan {
+        match self.layout.and_then(|l| l.subdivision_cards.get(i)) {
+            Some(&card) => SourceSpan::card(card),
+            None => SourceSpan::none(),
+        }
+    }
+
+    /// Span of the Type-3 options card (optionally one of its fields).
+    fn options_span(&self, field: Option<usize>) -> SourceSpan {
+        match self.layout {
+            Some(l) => SourceSpan {
+                card: Some(l.options_card),
+                field,
+            },
+            None => SourceSpan::none(),
+        }
+    }
+
+    /// Card indices of subdivision `sub_id`'s shape lines, in the order
+    /// [`IdealizationSpec::shape_lines`] lists them (groups concatenate).
+    fn line_cards(&self, sub_id: usize) -> Vec<usize> {
+        let Some(layout) = self.layout else {
+            return Vec::new();
+        };
+        layout
+            .shape_groups
+            .iter()
+            .filter(|g| g.subdivision == sub_id)
+            .flat_map(|g| g.line_cards.iter().copied())
+            .collect()
+    }
+
+    fn line_span(&self, sub_id: usize, ordinal: usize, field: Option<usize>) -> SourceSpan {
+        match self.line_cards(sub_id).get(ordinal) {
+            Some(&card) => SourceSpan { card: Some(card), field },
+            None => SourceSpan::none(),
+        }
+    }
+
+    /// D003: every subdivision number must be unique — the runtime
+    /// silently merges the shape-line groups of twins, which is never
+    /// what the analyst meant.
+    fn check_duplicate_ids(&self, report: &mut LintReport) {
+        let mut seen: BTreeMap<usize, usize> = BTreeMap::new();
+        for (i, sub) in self.spec.subdivisions().iter().enumerate() {
+            if let Some(&first) = seen.get(&sub.id()) {
+                self.emit(
+                    report,
+                    LintCode::DuplicateSubdivisionId,
+                    self.t4_span(i),
+                    format!(
+                        "subdivision number {} is already used by Type-4 card {}",
+                        sub.id(),
+                        first + 1
+                    ),
+                    Some("give every Type-4 card a distinct subdivision number".into()),
+                );
+            } else {
+                seen.insert(sub.id(), i);
+            }
+        }
+    }
+
+    /// D001: the same grid-point triangle generated twice means the
+    /// subdivisions overlap — the exact criterion the idealizer rejects
+    /// with `OverlappingSubdivisions` after doing all the mesh work.
+    fn check_overlap(&self, report: &mut LintReport) {
+        let mut owner: BTreeMap<[GridPoint; 3], usize> = BTreeMap::new();
+        let mut reported: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for (i, sub) in self.spec.subdivisions().iter().enumerate() {
+            for tri in sub.grid_elements() {
+                let mut key = tri;
+                key.sort_unstable();
+                match owner.get(&key) {
+                    Some(&j) if j != i => {
+                        if reported.insert((j, i)) {
+                            let other = self.spec.subdivisions()[j].id();
+                            self.emit(
+                                report,
+                                LintCode::OverlappingSubdivisions,
+                                self.t4_span(i),
+                                format!(
+                                    "subdivision {} occupies grid cells already covered by \
+                                     subdivision {other}",
+                                    sub.id()
+                                ),
+                                Some(
+                                    "shift the subdivision so it abuts its neighbor instead of \
+                                     covering it"
+                                        .into(),
+                                ),
+                            );
+                        }
+                    }
+                    Some(_) => {}
+                    None => {
+                        owner.insert(key, i);
+                    }
+                }
+            }
+        }
+    }
+
+    /// D002: every subdivision must share at least one grid point with
+    /// the rest of the assemblage, or the stiffness matrix decouples.
+    fn check_connectivity(&self, report: &mut LintReport) {
+        let subs = self.spec.subdivisions();
+        if subs.len() < 2 {
+            return;
+        }
+        // Union-find over subdivisions, joined through shared grid points.
+        let mut parent: Vec<usize> = (0..subs.len()).collect();
+        fn root(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        let mut first_owner: BTreeMap<GridPoint, usize> = BTreeMap::new();
+        for (i, sub) in subs.iter().enumerate() {
+            for p in sub.grid_points() {
+                match first_owner.get(&p) {
+                    Some(&j) => {
+                        let (a, b) = (root(&mut parent, i), root(&mut parent, j));
+                        parent[a] = b;
+                    }
+                    None => {
+                        first_owner.insert(p, i);
+                    }
+                }
+            }
+        }
+        let base = root(&mut parent, 0);
+        let mut flagged: BTreeSet<usize> = BTreeSet::new();
+        for (i, sub) in subs.iter().enumerate().skip(1) {
+            let r = root(&mut parent, i);
+            if r != base && flagged.insert(r) {
+                self.emit(
+                    report,
+                    LintCode::DisconnectedAssemblage,
+                    self.t4_span(i),
+                    format!(
+                        "subdivision {} shares no grid points with the rest of the assemblage",
+                        sub.id()
+                    ),
+                    Some(
+                        "connect it to a neighbor through a shared side (same integer \
+                         coordinates on both Type-4 cards)"
+                            .into(),
+                    ),
+                );
+            }
+        }
+    }
+
+    /// D004: warn at 90 % of any Table-2 capacity limit — the deck still
+    /// runs today, but the next refinement pass will not.
+    fn check_limit_proximity(&self, report: &mut LintReport) {
+        let limits = self.spec.limits();
+        let near = |n: u128, max: u128| 10 * n > 9 * max && max > 0;
+        for (i, sub) in self.spec.subdivisions().iter().enumerate() {
+            let (k2, l2) = sub.upper_right();
+            if k2 > 0 && near(k2 as u128, limits.max_grid_x as u128) {
+                self.emit(
+                    report,
+                    LintCode::GridLimitProximity,
+                    self.t4_span(i),
+                    format!(
+                        "horizontal grid coordinate {k2} uses more than 90% of the limit {}",
+                        limits.max_grid_x
+                    ),
+                    Some("coarsen the grid or raise the limits".into()),
+                );
+            }
+            if l2 > 0 && near(l2 as u128, limits.max_grid_y as u128) {
+                self.emit(
+                    report,
+                    LintCode::GridLimitProximity,
+                    self.t4_span(i),
+                    format!(
+                        "vertical grid coordinate {l2} uses more than 90% of the limit {}",
+                        limits.max_grid_y
+                    ),
+                    Some("coarsen the grid or raise the limits".into()),
+                );
+            }
+        }
+        let (nodes, elements) = self.projected_counts();
+        if near(nodes as u128, limits.max_nodes as u128) {
+            self.emit(
+                report,
+                LintCode::GridLimitProximity,
+                self.options_span(Some(4)),
+                format!(
+                    "the deck will generate {nodes} nodes, more than 90% of the limit {}",
+                    limits.max_nodes
+                ),
+                Some("coarsen the grid or raise the limits".into()),
+            );
+        }
+        if near(elements as u128, limits.max_elements as u128) {
+            self.emit(
+                report,
+                LintCode::GridLimitProximity,
+                self.options_span(Some(4)),
+                format!(
+                    "the deck will generate {elements} elements, more than 90% of the limit {}",
+                    limits.max_elements
+                ),
+                Some("coarsen the grid or raise the limits".into()),
+            );
+        }
+    }
+
+    /// Node/element totals the idealizer will produce: distinct grid
+    /// points (shared side nodes merge) and summed element counts.
+    fn projected_counts(&self) -> (usize, usize) {
+        let mut points: BTreeSet<GridPoint> = BTreeSet::new();
+        let mut elements = 0usize;
+        for sub in self.spec.subdivisions() {
+            points.extend(sub.grid_points());
+            elements += sub.element_count();
+        }
+        (points.len(), elements)
+    }
+
+    /// S001/S002/S003/S004: the shape-line lints.
+    fn check_shape_lines(&self, report: &mut LintReport) {
+        // S004 first, from the Type-5 groups when a layout is available
+        // (a header with zero lines leaves no trace in the spec).
+        let known: BTreeSet<usize> = self.spec.subdivisions().iter().map(|s| s.id()).collect();
+        if let Some(layout) = self.layout {
+            for group in &layout.shape_groups {
+                if !known.contains(&group.subdivision) {
+                    self.emit(
+                        report,
+                        LintCode::ShapeLineUnknownSubdivision,
+                        SourceSpan::card_field(group.header_card, 1),
+                        format!(
+                            "shape-line group names subdivision {}, but no Type-4 card \
+                             defines it",
+                            group.subdivision
+                        ),
+                        Some("match the Type-5 card's subdivision number to a Type-4 card".into()),
+                    );
+                }
+            }
+        } else {
+            for &sub_id in self.spec.shape_lines().keys() {
+                if !known.contains(&sub_id) {
+                    self.emit(
+                        report,
+                        LintCode::ShapeLineUnknownSubdivision,
+                        SourceSpan::none(),
+                        format!(
+                            "shape lines reference subdivision {sub_id}, but no subdivision \
+                             has that number"
+                        ),
+                        Some("match the shape-line group to a defined subdivision".into()),
+                    );
+                }
+            }
+        }
+
+        for (sub_id, lines) in self.spec.shape_lines() {
+            let Some(sub) = self
+                .spec
+                .subdivisions()
+                .iter()
+                .find(|s| s.id() == *sub_id)
+            else {
+                continue; // S004 already fired.
+            };
+            let runs: Vec<Option<Vec<GridPoint>>> = lines
+                .iter()
+                .map(|line| side_run(sub, line.from, line.to))
+                .collect();
+            for (ordinal, (line, run)) in lines.iter().zip(&runs).enumerate() {
+                match run {
+                    None => self.emit(
+                        report,
+                        LintCode::ShapeSegmentSpanMismatch,
+                        self.line_span(*sub_id, ordinal, Some(1)),
+                        format!(
+                            "end points {:?} and {:?} do not lie on a common side of \
+                             subdivision {sub_id}",
+                            line.from, line.to
+                        ),
+                        Some(
+                            "run each shape line along exactly one side; split runs that \
+                             turn a corner into one line per side"
+                                .into(),
+                        ),
+                    ),
+                    Some(run) if run.len() > 1 => {
+                        self.check_arc(report, *sub_id, ordinal, line);
+                    }
+                    Some(_) => {}
+                }
+            }
+            // S003: a line is dead when every node it locates is
+            // relocated by a later line of the same subdivision.
+            for i in 0..lines.len() {
+                let Some(run_i) = &runs[i] else { continue };
+                let mut shadow: BTreeSet<GridPoint> = BTreeSet::new();
+                for run_j in runs.iter().skip(i + 1).flatten() {
+                    shadow.extend(run_j.iter().copied());
+                }
+                if !run_i.is_empty() && run_i.iter().all(|p| shadow.contains(p)) {
+                    self.emit(
+                        report,
+                        LintCode::DeadShapeLine,
+                        self.line_span(*sub_id, i, None),
+                        format!(
+                            "every node this line locates is overwritten by a later shape \
+                             line of subdivision {sub_id}"
+                        ),
+                        Some("remove the line, or reorder it after the lines that shadow it".into()),
+                    );
+                }
+            }
+        }
+    }
+
+    /// S002: static replication of the geometric arc checks — a chord
+    /// longer than the diameter is impossible, and a chord longer than
+    /// r·√2 means the sweep exceeds the program's 90-degree restriction.
+    fn check_arc(&self, report: &mut LintReport, sub_id: usize, ordinal: usize, line: &ShapeLine) {
+        if !line.is_arc() {
+            return;
+        }
+        let span = self.line_span(sub_id, ordinal, Some(9));
+        let r = line.radius;
+        let finite =
+            r.is_finite() && line.start.x.is_finite() && line.start.y.is_finite()
+                && line.end.x.is_finite() && line.end.y.is_finite();
+        if !finite {
+            self.emit(
+                report,
+                LintCode::ArcSweepExceeds90,
+                span,
+                "arc geometry is not finite".into(),
+                Some("replace the NaN/infinite field with a real coordinate or radius".into()),
+            );
+            return;
+        }
+        if r < 0.0 {
+            self.emit(
+                report,
+                LintCode::ArcSweepExceeds90,
+                span,
+                format!("radius {r} is negative; arcs require a positive radius"),
+                Some("negate the radius and swap the end points to flip the arc".into()),
+            );
+            return;
+        }
+        let chord = line.start.distance_to(line.end);
+        if chord > 2.0 * r {
+            self.emit(
+                report,
+                LintCode::ArcSweepExceeds90,
+                span,
+                format!(
+                    "chord {chord:.4} exceeds the diameter {:.4}: no circle of radius \
+                     {r:.4} connects the end points",
+                    2.0 * r
+                ),
+                Some(format!("use a radius of at least {:.4}", chord / 2.0)),
+            );
+        } else if chord > r * std::f64::consts::SQRT_2 * (1.0 + 1e-9) {
+            let sweep = 2.0 * (chord / (2.0 * r)).min(1.0).asin().to_degrees();
+            self.emit(
+                report,
+                LintCode::ArcSweepExceeds90,
+                span,
+                format!("arc subtends {sweep:.1} degrees, more than the 90 allowed"),
+                Some("split the arc into quarter-turn (or smaller) pieces".into()),
+            );
+        }
+    }
+
+    /// N001: with renumbering off, compare the natural row-major grid
+    /// numbering against the transposed (column-major) one. A row-major
+    /// bandwidth more than twice the column-major bandwidth means the
+    /// deck is oriented against its own numbering.
+    fn check_numbering(&self, report: &mut LintReport) {
+        if self.spec.options().renumber {
+            return;
+        }
+        let subs = self.spec.subdivisions();
+        if subs.is_empty() {
+            return;
+        }
+        let mut points: BTreeSet<GridPoint> = BTreeSet::new();
+        for sub in subs {
+            points.extend(sub.grid_points());
+        }
+        let bandwidth = |key: fn(&GridPoint) -> (i32, i32)| -> usize {
+            let mut ordered: Vec<GridPoint> = points.iter().copied().collect();
+            ordered.sort_by_key(key);
+            let index: BTreeMap<GridPoint, usize> =
+                ordered.into_iter().enumerate().map(|(i, p)| (p, i)).collect();
+            let mut band = 0usize;
+            for sub in subs {
+                for tri in sub.grid_elements() {
+                    for (a, b) in [(0, 1), (1, 2), (0, 2)] {
+                        let d = index[&tri[a]].abs_diff(index[&tri[b]]);
+                        band = band.max(d);
+                    }
+                }
+            }
+            band
+        };
+        let row_major = bandwidth(|&(k, l)| (l, k));
+        let col_major = bandwidth(|&(k, l)| (k, l));
+        if row_major > 2 * col_major && row_major > 8 {
+            self.emit(
+                report,
+                LintCode::BandwidthHostileNumbering,
+                self.options_span(Some(2)),
+                format!(
+                    "renumbering is off and the natural numbering has bandwidth \
+                     {row_major}, though the transposed ordering achieves {col_major}"
+                ),
+                Some(
+                    "turn the renumber option back on (Type-3 card, field 2), or rotate \
+                     the model so its long direction runs vertically"
+                        .into(),
+                ),
+            );
+        }
+    }
+
+    /// F001/F002: punch the deck on paper before punching it on cards —
+    /// compare the Type-7 field widths against the coordinate magnitudes
+    /// and node/element counts the deck implies.
+    fn check_formats(&self, report: &mut LintReport) {
+        let (nodes, elements) = self.projected_counts();
+        let nodal_span = |field: Option<usize>| match self.layout {
+            Some(l) => SourceSpan {
+                card: Some(l.nodal_format_card),
+                field,
+            },
+            None => SourceSpan::none(),
+        };
+        let element_span = |field: Option<usize>| match self.layout {
+            Some(l) => SourceSpan {
+                card: Some(l.element_format_card),
+                field,
+            },
+            None => SourceSpan::none(),
+        };
+
+        if let Ok(format) = self.spec.nodal_format().parse::<Format>() {
+            let data: Vec<EditDescriptor> = format
+                .expanded()
+                .into_iter()
+                .filter(EditDescriptor::is_data)
+                .collect();
+            // Appendix-B nodal cards punch [x, y, boundary flag, node
+            // number]: the first two data fields carry coordinates.
+            let (xs, ys) = self.coordinate_extremes();
+            for (ordinal, extremes) in [(1usize, xs), (2, ys)] {
+                let Some(EditDescriptor::Fixed { width, decimals }) = data.get(ordinal - 1) else {
+                    continue;
+                };
+                for value in extremes {
+                    let required = fixed_width_required(value, *decimals);
+                    if required > *width {
+                        let axis = if ordinal == 1 { "x" } else { "y" };
+                        self.emit(
+                            report,
+                            LintCode::FormatFieldTooNarrowForCoordinateRange,
+                            nodal_span(Some(ordinal)),
+                            format!(
+                                "{axis} coordinates reach {value}: F{width}.{decimals} \
+                                 overflows (needs at least {required} columns)"
+                            ),
+                            Some(format!("widen the field to F{required}.{decimals}")),
+                        );
+                        break;
+                    }
+                }
+            }
+            // The last data field is the one-based node number.
+            if let Some(EditDescriptor::Int { width }) = data.last() {
+                let digits = decimal_digits(nodes);
+                if digits > *width && nodes > 0 {
+                    self.emit(
+                        report,
+                        LintCode::FormatFieldTooNarrowForCount,
+                        nodal_span(Some(data.len())),
+                        format!(
+                            "the deck will number {nodes} nodes but the node-number field \
+                             I{width} holds at most {} ",
+                            max_for_digits(*width)
+                        ),
+                        Some(format!("widen the node-number field to I{digits}")),
+                    );
+                }
+            }
+        }
+
+        if let Ok(format) = self.spec.element_format().parse::<Format>() {
+            let data: Vec<EditDescriptor> = format
+                .expanded()
+                .into_iter()
+                .filter(EditDescriptor::is_data)
+                .collect();
+            // Element cards punch [n1, n2, n3, element number].
+            let node_digits = decimal_digits(nodes);
+            for (ordinal, descriptor) in data.iter().enumerate().take(3) {
+                if let EditDescriptor::Int { width } = descriptor {
+                    if node_digits > *width && nodes > 0 {
+                        self.emit(
+                            report,
+                            LintCode::FormatFieldTooNarrowForCount,
+                            element_span(Some(ordinal + 1)),
+                            format!(
+                                "element cards reference up to node {nodes} but field \
+                                 {} is I{width}",
+                                ordinal + 1
+                            ),
+                            Some(format!("widen the field to I{node_digits}")),
+                        );
+                        break;
+                    }
+                }
+            }
+            if data.len() >= 4 {
+                if let Some(EditDescriptor::Int { width }) = data.last() {
+                    let digits = decimal_digits(elements);
+                    if digits > *width && elements > 0 {
+                        self.emit(
+                            report,
+                            LintCode::FormatFieldTooNarrowForCount,
+                            element_span(Some(data.len())),
+                            format!(
+                                "the deck will number {elements} elements but the \
+                                 element-number field is I{width}"
+                            ),
+                            Some(format!("widen the element-number field to I{digits}")),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The most demanding finite x and y values the shape lines pin down
+    /// (arc bulges are ignored: this under-approximates, so a firing
+    /// F001 is always a real overflow).
+    fn coordinate_extremes(&self) -> (Vec<f64>, Vec<f64>) {
+        let mut xs: Vec<f64> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+        for lines in self.spec.shape_lines().values() {
+            for line in lines {
+                for p in [line.start, line.end] {
+                    if p.x.is_finite() {
+                        xs.push(p.x);
+                    }
+                    if p.y.is_finite() {
+                        ys.push(p.y);
+                    }
+                }
+            }
+        }
+        let extremes = |v: &[f64]| -> Vec<f64> {
+            let mut out = Vec::new();
+            if let Some(&min) = v.iter().min_by(|a, b| a.total_cmp(b)) {
+                out.push(min);
+            }
+            if let Some(&max) = v.iter().max_by(|a, b| a.total_cmp(b)) {
+                out.push(max);
+            }
+            out.dedup();
+            out
+        };
+        (extremes(&xs), extremes(&ys))
+    }
+}
+
+/// The consecutive side nodes a shape line covers, or `None` when its end
+/// points share no side — the static version of the shaping pass's own
+/// run search (reversed runs are fine; direction does not matter here).
+fn side_run(sub: &Subdivision, from: GridPoint, to: GridPoint) -> Option<Vec<GridPoint>> {
+    for side in Side::ALL {
+        let nodes = sub.side_nodes(side);
+        let i = nodes.iter().position(|&p| p == from);
+        let j = nodes.iter().position(|&p| p == to);
+        if let (Some(i), Some(j)) = (i, j) {
+            let (lo, hi) = if i <= j { (i, j) } else { (j, i) };
+            return Some(nodes[lo..=hi].to_vec());
+        }
+    }
+    None
+}
+
+/// Minimum column width an `Fw.d` field needs for `value`: integer
+/// digits + point + decimals + sign, with the leading zero of `0.x`
+/// droppable (the writer's own fallback).
+fn fixed_width_required(value: f64, decimals: usize) -> usize {
+    let magnitude = value.abs();
+    let int_digits = if magnitude < 1.0 {
+        0
+    } else {
+        decimal_digits(magnitude.trunc() as usize)
+    };
+    int_digits + 1 + decimals + usize::from(value < 0.0)
+}
+
+/// Number of decimal digits of `n` (`0` needs one digit).
+fn decimal_digits(n: usize) -> usize {
+    let mut digits = 1;
+    let mut rest = n / 10;
+    while rest > 0 {
+        digits += 1;
+        rest /= 10;
+    }
+    digits
+}
+
+/// Largest value an `Iw` field can hold.
+fn max_for_digits(width: usize) -> u64 {
+    10u64.saturating_pow(width.min(19) as u32).saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cafemio_geom::Point;
+
+    #[test]
+    fn digits_and_widths() {
+        assert_eq!(decimal_digits(0), 1);
+        assert_eq!(decimal_digits(9), 1);
+        assert_eq!(decimal_digits(10), 2);
+        assert_eq!(decimal_digits(850), 3);
+        assert_eq!(fixed_width_required(0.5, 4), 5); // ".5000"
+        assert_eq!(fixed_width_required(-0.5, 4), 6);
+        assert_eq!(fixed_width_required(1234.5, 3), 8); // "1234.500"
+        assert_eq!(fixed_width_required(-99.0, 5), 9);
+    }
+
+    #[test]
+    fn side_run_matches_shaping_semantics() {
+        let sub = Subdivision::rectangular(1, (0, 0), (4, 2)).unwrap();
+        assert_eq!(side_run(&sub, (0, 0), (4, 0)).unwrap().len(), 5);
+        assert_eq!(side_run(&sub, (4, 0), (0, 0)).unwrap().len(), 5);
+        assert!(side_run(&sub, (0, 0), (4, 2)).is_none());
+        // A single shared end point is a valid one-node run.
+        assert_eq!(side_run(&sub, (4, 0), (4, 0)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn spec_level_lint_flags_overlap_without_layout() {
+        let mut spec = IdealizationSpec::new("OVERLAP");
+        spec.add_subdivision(Subdivision::rectangular(1, (0, 0), (2, 2)).unwrap());
+        spec.add_subdivision(Subdivision::rectangular(2, (0, 0), (2, 2)).unwrap());
+        let report = lint_specs(std::slice::from_ref(&spec), &LintConfig::new());
+        assert!(report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == LintCode::OverlappingSubdivisions));
+    }
+
+    #[test]
+    fn clean_spec_is_clean() {
+        let mut spec = IdealizationSpec::new("CLEAN");
+        spec.add_subdivision(Subdivision::rectangular(1, (0, 0), (4, 2)).unwrap());
+        spec.add_shape_line(
+            1,
+            ShapeLine::straight((0, 0), (4, 0), Point::new(0.0, 0.0), Point::new(2.0, 0.0)),
+        );
+        spec.add_shape_line(
+            1,
+            ShapeLine::straight((0, 2), (4, 2), Point::new(0.0, 0.5), Point::new(2.0, 0.5)),
+        );
+        let report = lint_specs(std::slice::from_ref(&spec), &LintConfig::new());
+        assert!(report.is_clean(), "{:?}", report.diagnostics());
+    }
+}

@@ -1,0 +1,59 @@
+//! Static analysis of IDLZ/OSPL card decks: `cafemio-lint`.
+//!
+//! The lint pass inspects a *parsed* deck — no mesh is generated and no
+//! matrix is assembled — and reports structured [`Diagnostic`]s, each
+//! carrying a stable [`LintCode`], a [`Severity`] (configurable per code
+//! through [`LintConfig`]), a [`SourceSpan`] pointing back at the
+//! offending card, a message, and a fix suggestion. Checks that mirror a
+//! runtime rejection replicate the runtime's exact criterion, so a deck
+//! that lints clean at default severity cannot hit that rejection later;
+//! `Warn`-level codes flag decks that run today but are fragile
+//! (capacity proximity, bandwidth-hostile numbering, dead shape lines).
+//!
+//! Entry points by input form:
+//!
+//! - deck text: [`lint_deck_text`] (IDLZ), [`lint_ospl_deck_text`] (OSPL)
+//! - parsed cards: [`lint_idlz_deck`], [`lint_ospl_deck`]
+//! - structured input: [`lint_specs`] / [`lint_idlz`] (card provenance
+//!   optional), [`lint_ospl_input`]
+//!
+//! The golden corpus in [`corpus`] holds one minimal deck per lint code
+//! and is the catalog's executable specification.
+//!
+//! ```
+//! use cafemio_lint::{lint_deck_text, LintCode, LintConfig};
+//! # fn main() -> Result<(), cafemio_idlz::IdlzError> {
+//! let deck = concat!(
+//!     "    1\n",
+//!     "OVERLAPPING BOXES\n",
+//!     "    1    1    1    2\n",
+//!     "    1    0    0    2    2         0    0\n",
+//!     "    2    0    0    2    2         0    0\n",
+//!     "    1    0\n",
+//!     "    2    0\n",
+//!     "(2F9.5, 51X, I3, 5X, I3)\n",
+//!     "(3I5, 62X, I3)\n",
+//! );
+//! let report = lint_deck_text(deck, &LintConfig::new())?;
+//! assert_eq!(report.denied_count(), 1);
+//! let d = &report.diagnostics()[0];
+//! assert_eq!(d.code, LintCode::OverlappingSubdivisions);
+//! assert_eq!(d.span.card, Some(4)); // the second Type-4 card
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+mod diagnostic;
+mod idlz_lints;
+mod ospl_lints;
+
+pub use corpus::{golden_cases, run_case, verify_corpus, DeckKind, GoldenCase};
+pub use diagnostic::{
+    Diagnostic, LintCode, LintConfig, LintError, LintReport, Severity, SourceSpan,
+};
+pub use idlz_lints::{lint_deck_text, lint_idlz, lint_idlz_deck, lint_specs};
+pub use ospl_lints::{lint_ospl_deck, lint_ospl_deck_text, lint_ospl_input};

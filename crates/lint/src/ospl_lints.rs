@@ -1,0 +1,90 @@
+//! Static analysis of OSPL contour-plot decks (`Oxxx` lints): checks the
+//! Type-1 control card against the mesh and field the deck carries,
+//! without running the contour tracer.
+
+use cafemio_cards::Deck;
+use cafemio_ospl::deck::{parse_ospl_deck, OsplInput};
+use cafemio_ospl::OsplError;
+
+use crate::diagnostic::{Diagnostic, LintCode, LintConfig, LintReport, SourceSpan};
+
+/// Lints OSPL deck text.
+///
+/// # Errors
+///
+/// [`OsplError`] when the deck cannot be parsed (lint needs the
+/// structured input).
+pub fn lint_ospl_deck_text(text: &str, config: &LintConfig) -> Result<LintReport, OsplError> {
+    let deck = Deck::from_text(text).map_err(OsplError::Card)?;
+    lint_ospl_deck(&deck, config)
+}
+
+/// Lints a parsed OSPL card deck.
+///
+/// # Errors
+///
+/// [`OsplError`] when parsing fails.
+pub fn lint_ospl_deck(deck: &Deck, config: &LintConfig) -> Result<LintReport, OsplError> {
+    let input = parse_ospl_deck(deck)?;
+    Ok(lint_ospl_input(&input, config))
+}
+
+/// Lints a parsed OSPL input. Both `Oxxx` diagnostics point at the
+/// Type-1 control card, which is always the first card of the deck.
+pub fn lint_ospl_input(input: &OsplInput, config: &LintConfig) -> LintReport {
+    let mut report = LintReport::new();
+    let control_card = SourceSpan::card(0);
+
+    // O001: a zoom window that misses the mesh entirely plots nothing.
+    let extents = input.mesh.bounding_box();
+    if let (Some(window), false) = (&input.options.window, extents.is_empty()) {
+        if !window.intersects(&extents) {
+            report.push(Diagnostic {
+                code: LintCode::ContourWindowOutsideExtents,
+                severity: config.severity(LintCode::ContourWindowOutsideExtents),
+                span: control_card,
+                message: format!(
+                    "window x [{:.4}, {:.4}] y [{:.4}, {:.4}] does not intersect the mesh \
+                     extents x [{:.4}, {:.4}] y [{:.4}, {:.4}]; the plot would be empty",
+                    window.min().x,
+                    window.max().x,
+                    window.min().y,
+                    window.max().y,
+                    extents.min().x,
+                    extents.max().x,
+                    extents.min().y,
+                    extents.max().y,
+                ),
+                suggestion: Some(
+                    "fix XMX/XMN/YMX/YMN on the Type-1 card, or zero them to plot \
+                     everything"
+                        .into(),
+                ),
+            });
+        }
+    }
+
+    // O002: an interval wider than the whole field range draws at most
+    // one contour — almost certainly a units mistake on DELTA.
+    if let (Some(delta), Some((min, max))) = (input.options.interval, input.field.min_max()) {
+        let range = max - min;
+        if range > 0.0 && delta > range {
+            report.push(Diagnostic {
+                code: LintCode::IntervalExceedsFieldRange,
+                severity: config.severity(LintCode::IntervalExceedsFieldRange),
+                span: control_card,
+                message: format!(
+                    "contour interval {delta} exceeds the whole field range {range} \
+                     ({min} to {max}); at most one contour can appear"
+                ),
+                suggestion: Some(
+                    "shrink DELTA on the Type-1 card, or set it to zero for the automatic \
+                     interval"
+                        .into(),
+                ),
+            });
+        }
+    }
+
+    report
+}

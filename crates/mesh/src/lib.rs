@@ -35,6 +35,7 @@
 //! # Ok(())
 //! # }
 //! ```
+#![forbid(unsafe_code)]
 
 mod bandwidth;
 mod element;

@@ -140,15 +140,15 @@ pub fn pressure_model(mesh: &TriMesh) -> FemModel {
     // the radius test is generous.
     let closure_center = Point::new(0.0, BARREL_LENGTH);
     let chord_sag = OUTER_RADIUS * 0.02 + SELECT_TOL;
-    // invariant: the catalog geometry has no zero-length boundary edges.
     let loaded = apply_pressure_where(&mut model, PRESSURE, move |p| {
         if p.y <= BARREL_LENGTH + SELECT_TOL {
             (p.x - OUTER_RADIUS).abs() < SELECT_TOL
         } else {
             p.distance_to(closure_center) > OUTER_RADIUS - chord_sag - SELECT_TOL
         }
-    })
-    .expect("catalog geometry has no degenerate edges");
+    });
+    // invariant: the catalog geometry has no zero-length boundary edges.
+    let loaded = loaded.expect("catalog geometry has no degenerate edges");
     debug_assert!(loaded > 0);
     model
 }

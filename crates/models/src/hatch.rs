@@ -129,8 +129,7 @@ pub fn dsrv_pressure_model(mesh: &TriMesh) -> FemModel {
     let c = dsrv_center();
     let crown_outer = DSRV_CROWN_INNER + DSRV_THICKNESS;
     let knuckle_outer = DSRV_KNUCKLE + DSRV_THICKNESS;
-    // invariant: the catalog geometry has no zero-length boundary edges.
-    apply_pressure_where(&mut model, DSRV_PRESSURE, move |p| {
+    let loaded = apply_pressure_where(&mut model, DSRV_PRESSURE, move |p| {
         if p.y >= k.y - SELECT_TOL {
             // Crown outer sphere, or the knuckle's outer torus surface
             // (restricted to the torus' angular band so crown-interior
@@ -140,8 +139,9 @@ pub fn dsrv_pressure_model(mesh: &TriMesh) -> FemModel {
         } else {
             (p.x - skirt_outer).abs() < SELECT_TOL
         }
-    })
-    .expect("catalog geometry has no degenerate edges");
+    });
+    // invariant: the catalog geometry has no zero-length boundary edges.
+    loaded.expect("catalog geometry has no degenerate edges");
     model
 }
 
@@ -218,11 +218,11 @@ pub fn dssv_pressure_model(mesh: &TriMesh) -> FemModel {
     // Pressure on everything at or outside the outer surface of
     // revolution (the skirt flares outside the cap's sphere).
     let r_outer = DSSV_CAP_INNER + DSSV_CAP_THICKNESS;
-    // invariant: the catalog geometry has no zero-length boundary edges.
-    apply_pressure_where(&mut model, DSSV_PRESSURE, move |p| {
+    let loaded = apply_pressure_where(&mut model, DSSV_PRESSURE, move |p| {
         p.distance_to(Point::ORIGIN) > r_outer - 0.1
-    })
-    .expect("catalog geometry has no degenerate edges");
+    });
+    // invariant: the catalog geometry has no zero-length boundary edges.
+    loaded.expect("catalog geometry has no degenerate edges");
     model
 }
 
@@ -253,11 +253,11 @@ pub fn dssv_contact_model(
         model.fix_x(node);
     }
     let r_outer = DSSV_CAP_INNER + DSSV_CAP_THICKNESS;
-    // invariant: the catalog geometry has no zero-length boundary edges.
-    apply_pressure_where(&mut model, DSSV_PRESSURE, move |p| {
+    let loaded = apply_pressure_where(&mut model, DSSV_PRESSURE, move |p| {
         p.distance_to(Point::ORIGIN) > r_outer - 0.1
-    })
-    .expect("catalog geometry has no degenerate edges");
+    });
+    // invariant: the catalog geometry has no zero-length boundary edges.
+    loaded.expect("catalog geometry has no degenerate edges");
     let supports = seat_nodes
         .into_iter()
         .map(cafemio_fem::ContactSupport::touching)
@@ -342,11 +342,11 @@ pub fn hemi_pressure_model(mesh: &TriMesh) -> FemModel {
     let seat = Segment::new(lower_inner, lower_outer);
     fix_where(&mut model, move |p| seat.distance_to_point(p) < 1e-6);
     let r_outer = HEMI_INNER + HEMI_THICKNESS;
-    // invariant: the catalog geometry has no zero-length boundary edges.
-    apply_pressure_where(&mut model, HEMI_PRESSURE, move |p| {
+    let loaded = apply_pressure_where(&mut model, HEMI_PRESSURE, move |p| {
         p.distance_to(Point::ORIGIN) > r_outer - 0.1
-    })
-    .expect("catalog geometry has no degenerate edges");
+    });
+    // invariant: the catalog geometry has no zero-length boundary edges.
+    loaded.expect("catalog geometry has no degenerate edges");
     model
 }
 

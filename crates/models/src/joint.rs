@@ -103,11 +103,11 @@ pub fn pressure_model(mesh: &TriMesh) -> FemModel {
     }
     fix_y_where(&mut model, |p| p.y.abs() < SELECT_TOL);
     fix_y_where(&mut model, |p| (p.y - 2.0 * HALF_HEIGHT).abs() < SELECT_TOL);
-    // invariant: the catalog geometry has no zero-length boundary edges.
-    apply_pressure_where(&mut model, PRESSURE, |p| {
+    let loaded = apply_pressure_where(&mut model, PRESSURE, |p| {
         (p.x - WALL_OUTER_RADIUS).abs() < SELECT_TOL
-    })
-    .expect("catalog geometry has no degenerate edges");
+    });
+    // invariant: the catalog geometry has no zero-length boundary edges.
+    loaded.expect("catalog geometry has no degenerate edges");
     model
 }
 

@@ -35,6 +35,7 @@
 //! # Ok(())
 //! # }
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod catalog;
 pub mod cylinder;

@@ -92,11 +92,11 @@ pub fn pressure_model(mesh: &cafemio_mesh::TriMesh, p: f64) -> cafemio_fem::FemM
         q.y.abs() < tol && (q.x + INNER_RADIUS).abs() < tol
     });
     let mid = 0.5 * (INNER_RADIUS + OUTER_RADIUS);
-    // invariant: the catalog geometry has no zero-length boundary edges.
-    crate::support::apply_pressure_where(&mut model, p, move |q| {
+    let loaded = crate::support::apply_pressure_where(&mut model, p, move |q| {
         q.distance_to(cafemio_geom::Point::ORIGIN) < mid
-    })
-    .expect("catalog geometry has no degenerate edges");
+    });
+    // invariant: the catalog geometry has no zero-length boundary edges.
+    loaded.expect("catalog geometry has no degenerate edges");
     model
 }
 

@@ -174,12 +174,12 @@ pub fn pressure_model(mesh: &TriMesh) -> FemModel {
     });
     // Pressure down onto every top face (z = THICKNESS for the window,
     // z = 0 on the exposed wedge top).
-    // invariant: the catalog geometry has no zero-length boundary edges.
-    apply_pressure_where(&mut model, PRESSURE, |p| {
+    let loaded = apply_pressure_where(&mut model, PRESSURE, |p| {
         (p.y - THICKNESS).abs() < SELECT_TOL
             || (p.y.abs() < SELECT_TOL && p.x > OUTER_FACE_RADIUS)
-    })
-    .expect("catalog geometry has no degenerate edges");
+    });
+    // invariant: the catalog geometry has no zero-length boundary edges.
+    loaded.expect("catalog geometry has no degenerate edges");
     model
 }
 

@@ -36,6 +36,7 @@
 //! let _svg = cafemio_plotter::render_svg(&frame);
 //! let _ = RasterPoint::new(0, 0);
 //! ```
+#![forbid(unsafe_code)]
 
 mod ascii;
 mod device;

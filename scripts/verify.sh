@@ -13,6 +13,7 @@
 #   bench   figures binary + BENCH_pipeline.json structural validation
 #   batch   batch engine over the models corpus + BENCH_batch.json validation
 #   audit   strict-audit bug sweep over the faulted corpus + BENCH_audit.json
+#   lint    srclint source gate + decklint golden-corpus gate + BENCH_lint.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -59,9 +60,15 @@ run_audit() {
   cargo run --release -p cafemio-bench --bin audit_sweep
 }
 
+run_lint() {
+  echo "== static analysis (repo source gate + deck lint golden corpus)"
+  cargo run --release -p cafemio-bench --bin srclint
+  cargo run --release -p cafemio-bench --bin decklint -- --golden
+}
+
 stages=("$@")
 if [ ${#stages[@]} -eq 0 ]; then
-  stages=(build test doc clippy fuzz bench batch audit)
+  stages=(build test doc clippy fuzz bench batch audit lint)
 fi
 
 for stage in "${stages[@]}"; do
@@ -74,6 +81,7 @@ for stage in "${stages[@]}"; do
     bench) run_bench ;;
     batch) run_batch ;;
     audit) run_audit ;;
+    lint) run_lint ;;
     *)
       echo "verify: unknown stage '$stage'" >&2
       exit 2

@@ -50,11 +50,17 @@ fn idlz_errors_carry_subdivision_context() {
     let fold = Idealization::run(&spec).unwrap_err();
     assert!(fold.to_string().contains("folds the surface"));
 
-    // Card errors chain as sources through IdlzError.
+    // Card errors chain as sources through IdlzError and point at the
+    // offending card.
     let deck = Deck::from_text("  XYZ\n").unwrap();
     let err = cafemio::idlz::deck::parse_deck(&deck).unwrap_err();
-    assert!(matches!(err, IdlzError::Card(_)));
+    assert_eq!(err.card_index(), Some(0));
+    assert!(matches!(
+        err,
+        IdlzError::AtCard { ref source, .. } if matches!(**source, IdlzError::Card(_))
+    ));
     assert!(err.source().is_some(), "source chain intact");
+    assert!(err.source().unwrap().source().is_some(), "CardError reachable");
 }
 
 #[test]
@@ -138,7 +144,7 @@ fn golden_bad_subdivision_card() {
     assert_eq!(err.stage(), cafemio::pipeline::Stage::DeckParse);
     assert_eq!(
         err.to_string(),
-        "deck parsing failed: subdivision 1: upper-right corner (0, 0) must \
+        "deck parsing failed: card 4: subdivision 1: upper-right corner (0, 0) must \
          exceed lower-left (0, 0) in both coordinates"
     );
 }

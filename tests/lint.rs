@@ -1,0 +1,197 @@
+//! The static-analysis contracts, end to end:
+//!
+//! 1. **Golden corpus** — every lint code in the registry is triggered by
+//!    its minimal golden deck at the expected card with its default
+//!    severity, and nothing else fires on that deck.
+//! 2. **Catalog cleanliness** — every catalog model (as a spec and as a
+//!    round-tripped deck) lints clean at default severity.
+//! 3. **Pipeline wiring** — `PipelineBuilder::lint` denies bad decks at
+//!    `Stage::DeckParse` with the typed diagnostics attached, keeps
+//!    warn-level reports available on the parsed deck, and respects
+//!    severity overrides.
+//! 4. **Batch wiring** — `BatchOptions::lint` fails bad jobs with the
+//!    same stage attribution and seeds the `lint.*` observability names.
+
+use cafemio::batch::{run_batch, BatchJob, BatchOptions, ErrorPolicy, JobOutcome};
+use cafemio::lint::{
+    golden_cases, lint_deck_text, lint_specs, run_case, verify_corpus, DeckKind, LintCode,
+    LintConfig, Severity,
+};
+use cafemio::pipeline::{PipelineBuilder, Stage, StageError};
+use cafemio_bench::jobs::{corpus, standard_setup};
+use cafemio_bench::mutate::base_decks;
+
+/// The golden deck for one code, straight from the corpus registry.
+fn golden_deck(code: LintCode) -> &'static str {
+    golden_cases()
+        .into_iter()
+        .find(|case| case.code == code)
+        .map(|case| case.deck)
+        .unwrap_or_else(|| panic!("no golden deck for {code}"))
+}
+
+// ---------------------------------------------------------------------
+// Golden corpus
+
+#[test]
+fn every_lint_code_fires_on_its_golden_deck_at_the_expected_card() {
+    if let Err(problems) = verify_corpus() {
+        panic!("golden corpus violations:\n{}", problems.join("\n"));
+    }
+}
+
+#[test]
+fn the_corpus_covers_the_whole_registry_with_card_spans() {
+    let cases = golden_cases();
+    let covered: std::collections::BTreeSet<LintCode> =
+        cases.iter().map(|case| case.code).collect();
+    assert_eq!(covered.len(), LintCode::ALL.len(), "registry gaps");
+    assert!(covered.len() >= 10, "acceptance floor: ten distinct codes");
+    for case in &cases {
+        let report = run_case(case).unwrap();
+        let diagnostic = &report.diagnostics()[0];
+        assert_eq!(diagnostic.code, case.code);
+        assert_eq!(diagnostic.severity, case.code.default_severity());
+        assert_eq!(diagnostic.span.card, Some(case.card), "{}", case.code);
+        assert!(!diagnostic.message.is_empty(), "{}", case.code);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Catalog cleanliness
+
+#[test]
+fn every_catalog_model_lints_clean() {
+    for entry in cafemio::models::catalog() {
+        let report = lint_specs(&[(entry.spec)()], &LintConfig::new());
+        assert!(
+            report.is_clean(),
+            "{}: {:?}",
+            entry.name,
+            report.diagnostics()
+        );
+    }
+}
+
+#[test]
+fn every_round_tripped_catalog_deck_lints_clean() {
+    for (name, text) in base_decks() {
+        let report = lint_deck_text(&text, &LintConfig::new()).unwrap();
+        assert!(report.is_clean(), "{name}: {:?}", report.diagnostics());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pipeline wiring
+
+#[test]
+fn the_pipeline_denies_a_bad_deck_at_parse_with_typed_diagnostics() {
+    let deck = golden_deck(LintCode::OverlappingSubdivisions);
+    let err = PipelineBuilder::new()
+        .lint(LintConfig::new())
+        .parse(deck)
+        .unwrap_err();
+    assert_eq!(err.stage(), Stage::DeckParse);
+    match err.source_error() {
+        StageError::Lint(lint) => {
+            assert_eq!(lint.diagnostics.len(), 1);
+            assert_eq!(lint.diagnostics[0].code, LintCode::OverlappingSubdivisions);
+            assert_eq!(lint.diagnostics[0].severity, Severity::Deny);
+            assert!(lint.diagnostics[0].span.card.is_some());
+        }
+        other => panic!("expected a lint error, got {other:?}"),
+    }
+}
+
+#[test]
+fn warn_level_findings_survive_on_the_parsed_deck_without_failing() {
+    let deck = golden_deck(LintCode::BandwidthHostileNumbering);
+    let parsed = PipelineBuilder::new()
+        .lint(LintConfig::new())
+        .parse(deck)
+        .unwrap();
+    let report = parsed.lint_report().expect("lint mode stores the report");
+    assert_eq!(report.denied_count(), 0);
+    assert_eq!(report.warning_count(), 1);
+    assert_eq!(
+        report.diagnostics()[0].code,
+        LintCode::BandwidthHostileNumbering
+    );
+}
+
+#[test]
+fn severity_overrides_rewrite_the_verdict_in_both_directions() {
+    // A default-deny code, allowed: the deck parses.
+    let denied = golden_deck(LintCode::OverlappingSubdivisions);
+    let parsed = PipelineBuilder::new()
+        .lint(LintConfig::new().allow(LintCode::OverlappingSubdivisions))
+        .parse(denied)
+        .unwrap();
+    assert!(parsed.lint_report().unwrap().is_clean());
+
+    // A default-warn code, escalated two ways: per-code and wholesale.
+    let warned = golden_deck(LintCode::DeadShapeLine);
+    for config in [
+        LintConfig::new().with(LintCode::DeadShapeLine, Severity::Deny),
+        LintConfig::new().deny_warnings(),
+    ] {
+        let err = PipelineBuilder::new().lint(config).parse(warned).unwrap_err();
+        assert_eq!(err.stage(), Stage::DeckParse);
+        assert!(matches!(err.source_error(), StageError::Lint(_)), "{err}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Batch wiring
+
+#[test]
+fn the_batch_engine_fails_linted_jobs_with_stage_attribution() {
+    let jobs = vec![
+        BatchJob::new("clean", base_decks()[0].1.clone(), standard_setup),
+        BatchJob::new(
+            "overlap",
+            golden_deck(LintCode::OverlappingSubdivisions).to_owned(),
+            standard_setup,
+        ),
+    ];
+    let report = run_batch(
+        &jobs,
+        &BatchOptions::new()
+            .lint(LintConfig::new())
+            .error_policy(ErrorPolicy::CollectAll),
+    );
+    assert!(matches!(report.outcomes[0], JobOutcome::Completed(_)));
+    match &report.outcomes[1] {
+        JobOutcome::Failed(err) => {
+            assert_eq!(err.stage(), Stage::DeckParse);
+            assert!(matches!(err.source_error(), StageError::Lint(_)), "{err}");
+        }
+        other => panic!("expected a lint failure, got {other:?}"),
+    }
+    assert_eq!(report.perf.counter("lint.denied"), Some(1));
+    assert!(report.perf.counter("lint.diagnostics").unwrap_or(0) >= 1);
+    assert!(report.perf.span_nanos("lint.deck") > 0);
+}
+
+#[test]
+fn the_models_corpus_passes_the_batch_lint_gate() {
+    let jobs = corpus();
+    let report = run_batch(&jobs, &BatchOptions::new().lint(LintConfig::new()));
+    assert_eq!(report.completed(), jobs.len());
+    assert_eq!(report.perf.counter("lint.diagnostics"), Some(0));
+    assert_eq!(report.perf.counter("lint.denied"), Some(0));
+}
+
+// ---------------------------------------------------------------------
+// OSPL decks ride the same engine
+
+#[test]
+fn ospl_golden_decks_use_the_ospl_entry_point() {
+    for case in golden_cases() {
+        if case.kind != DeckKind::Ospl {
+            continue;
+        }
+        let report = run_case(&case).unwrap();
+        assert_eq!(report.diagnostics()[0].code, case.code, "{}", case.code);
+    }
+}
