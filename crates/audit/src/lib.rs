@@ -46,4 +46,6 @@ pub use contour::check_contours;
 pub use error::{AuditError, AuditStage};
 pub use idealize::{check_idealization, check_permutation};
 pub use options::AuditOptions;
-pub use solve::{check_differential, check_equilibrium, check_solution};
+pub use solve::{
+    check_differential, check_equilibrium, check_solution, check_sparse_differential,
+};

@@ -25,8 +25,10 @@ pub struct AuditOptions {
     residual_tolerance: f64,
     equilibrium_tolerance: f64,
     divergence_tolerance: f64,
+    iterative_divergence_tolerance: f64,
     geometry_tolerance: f64,
     differential: bool,
+    sparse_differential: bool,
 }
 
 impl AuditOptions {
@@ -38,8 +40,10 @@ impl AuditOptions {
             residual_tolerance: 1e-8,
             equilibrium_tolerance: 1e-6,
             divergence_tolerance: 1e-9,
+            iterative_divergence_tolerance: 1e-8,
             geometry_tolerance: 1e-9,
             differential: false,
+            sparse_differential: false,
         }
     }
 
@@ -77,9 +81,27 @@ impl AuditOptions {
         self
     }
 
+    /// Sets the relative bound for divergence between the session's
+    /// solution and the iterative sparse-CG backend. Looser than the
+    /// direct-solver bound by design: CG only matches a factorization to
+    /// its own convergence tolerance, so 1e-9 would flag honest
+    /// truncation, not bugs.
+    pub fn with_iterative_divergence_tolerance(mut self, tolerance: f64) -> AuditOptions {
+        self.iterative_divergence_tolerance = tolerance;
+        self
+    }
+
     /// Turns the cross-solver differential check on or off.
     pub fn with_differential(mut self, on: bool) -> AuditOptions {
         self.differential = on;
+        self
+    }
+
+    /// Turns the sparse-CG differential check on or off — a fourth
+    /// re-solve compared under the (looser)
+    /// [`iterative_divergence_tolerance`](Self::iterative_divergence_tolerance).
+    pub fn with_sparse_differential(mut self, on: bool) -> AuditOptions {
+        self.sparse_differential = on;
         self
     }
 
@@ -98,6 +120,12 @@ impl AuditOptions {
         self.divergence_tolerance
     }
 
+    /// The relative divergence bound against the iterative sparse-CG
+    /// backend.
+    pub fn iterative_divergence_tolerance(&self) -> f64 {
+        self.iterative_divergence_tolerance
+    }
+
     /// The point-on-line tolerance as a fraction of the bounding box
     /// diagonal.
     pub fn geometry_tolerance(&self) -> f64 {
@@ -107,6 +135,11 @@ impl AuditOptions {
     /// Whether the cross-solver differential check runs.
     pub fn differential(&self) -> bool {
         self.differential
+    }
+
+    /// Whether the sparse-CG differential check runs.
+    pub fn sparse_differential(&self) -> bool {
+        self.sparse_differential
     }
 }
 

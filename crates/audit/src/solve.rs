@@ -132,25 +132,13 @@ pub fn check_differential(
     solution: &Solution,
     options: &AuditOptions,
 ) -> Result<f64, AuditError> {
-    let reference = solution.dofs();
-    let magnitude = reference.iter().fold(0.0f64, |m, u| m.max(u.abs()));
-    let denominator = if magnitude > 0.0 { magnitude } else { 1.0 };
-
     let mut worst = 0.0f64;
     let alternatives = [
         ("dense", model.solve_dense()?),
         ("skyline", model.solve_skyline()?),
     ];
     for (backend, alternative) in &alternatives {
-        let divergence = if alternative.dofs().len() == reference.len() {
-            reference
-                .iter()
-                .zip(alternative.dofs())
-                .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()))
-                / denominator
-        } else {
-            f64::INFINITY
-        };
+        let divergence = relative_divergence(solution.dofs(), alternative.dofs());
         if divergence > options.divergence_tolerance() {
             return Err(AuditError::SolverDivergence {
                 backend,
@@ -161,6 +149,52 @@ pub fn check_differential(
         worst = worst.max(divergence);
     }
     Ok(worst)
+}
+
+/// Re-solves the model with the iterative sparse-CG backend and compares
+/// against the session's solution, `max|Δu| / max|u|`, under the looser
+/// [`iterative_divergence_tolerance`](AuditOptions::iterative_divergence_tolerance)
+/// — CG only matches a direct factorization to its own convergence
+/// tolerance, so this check is separate from [`check_differential`] and
+/// never tightens the direct-backend bound.
+///
+/// Returns the divergence observed (for the benchmark counters).
+///
+/// # Errors
+///
+/// [`AuditError::SolverDivergence`] naming the `sparse-cg` backend, or
+/// [`AuditError::Fem`] when the backend fails outright (including the
+/// typed non-convergence error).
+pub fn check_sparse_differential(
+    model: &FemModel,
+    solution: &Solution,
+    options: &AuditOptions,
+) -> Result<f64, AuditError> {
+    let alternative = model.solve_sparse()?;
+    let divergence = relative_divergence(solution.dofs(), alternative.dofs());
+    if divergence > options.iterative_divergence_tolerance() {
+        return Err(AuditError::SolverDivergence {
+            backend: "sparse-cg",
+            divergence,
+            tolerance: options.iterative_divergence_tolerance(),
+        });
+    }
+    Ok(divergence)
+}
+
+/// `max|Δu| / max|u|` between a reference and an alternative dof vector
+/// (infinite on length mismatch).
+fn relative_divergence(reference: &[f64], alternative: &[f64]) -> f64 {
+    if alternative.len() != reference.len() {
+        return f64::INFINITY;
+    }
+    let magnitude = reference.iter().fold(0.0f64, |m, u| m.max(u.abs()));
+    let denominator = if magnitude > 0.0 { magnitude } else { 1.0 };
+    reference
+        .iter()
+        .zip(alternative)
+        .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()))
+        / denominator
 }
 
 #[cfg(test)]
@@ -259,6 +293,27 @@ mod tests {
         )
         .unwrap();
         assert_eq!(checks, 1);
+    }
+
+    #[test]
+    fn sparse_differential_passes_a_real_solution() {
+        let model = pulled_square();
+        let solution = model.solve().unwrap();
+        let options = AuditOptions::strict().with_sparse_differential(true);
+        let divergence = check_sparse_differential(&model, &solution, &options).unwrap();
+        assert!(divergence <= options.iterative_divergence_tolerance());
+    }
+
+    #[test]
+    fn sparse_differential_flags_a_doubled_solution() {
+        let model = pulled_square();
+        let solution = model.with_load_factor(2.0).solve().unwrap();
+        let err =
+            check_sparse_differential(&model, &solution, &AuditOptions::strict()).unwrap_err();
+        match err {
+            AuditError::SolverDivergence { backend, .. } => assert_eq!(backend, "sparse-cg"),
+            other => panic!("wrong error: {other}"),
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@
 use std::error::Error;
 use std::fs;
 
-use cafemio::audit::{check_differential, AuditOptions};
+use cafemio::audit::{check_differential, check_sparse_differential, AuditOptions};
 use cafemio::models::joint;
 use cafemio::pipeline::{PipelineBuilder, StressComponent};
 use cafemio::plotter::render_svg;
@@ -42,14 +42,22 @@ fn profile_pipeline() -> Result<cafemio::instrument::PerfReport, Box<dyn Error>>
             .contour()?;
     }
     {
-        // Band vs skyline vs dense over every catalog deck: the worst
-        // relative divergence must clear the strict 1e-9 bound, recorded
+        // Band vs skyline vs dense vs sparse-CG over every catalog deck:
+        // the worst relative divergence must clear the strict 1e-9 bound
+        // for the direct backends (1e-8 for the iterative one), recorded
         // in femto-units (1e-15) so an integer counter still resolves it.
         let _sweep = span("audit.divergence_sweep");
-        let options = AuditOptions::strict();
+        let options = AuditOptions::strict().with_sparse_differential(true);
         let mut checks = 0u64;
         let mut failures = 0u64;
         let mut worst = 0.0f64;
+        // The iterative sparse-CG backend joins the sweep under its own
+        // counters: CG only matches a factorization to its convergence
+        // tolerance (1e-8 bound, not 1e-9), so folding it into the direct
+        // counters would poison the tighter bound bench_smoke enforces.
+        let mut sparse_checks = 0u64;
+        let mut sparse_failures = 0u64;
+        let mut sparse_worst = 0.0f64;
         for (_, text) in base_decks() {
             let solved = PipelineBuilder::new()
                 .parse(&text)?
@@ -62,6 +70,11 @@ fn profile_pipeline() -> Result<cafemio::instrument::PerfReport, Box<dyn Error>>
                     Err(_) => failures += 1,
                 }
                 checks += 1;
+                match check_sparse_differential(case.model(), case.solution(), &options) {
+                    Ok(divergence) => sparse_worst = sparse_worst.max(divergence),
+                    Err(_) => sparse_failures += 1,
+                }
+                sparse_checks += 1;
             }
         }
         counter("audit.solver_divergence_checks", checks);
@@ -69,6 +82,12 @@ fn profile_pipeline() -> Result<cafemio::instrument::PerfReport, Box<dyn Error>>
         counter(
             "audit.solver_divergence_max_femto",
             (worst * 1e15).round().min(u64::MAX as f64) as u64,
+        );
+        counter("audit.sparse_divergence_checks", sparse_checks);
+        counter("audit.sparse_divergence_failures", sparse_failures);
+        counter(
+            "audit.sparse_divergence_max_femto",
+            (sparse_worst * 1e15).round().min(u64::MAX as f64) as u64,
         );
     }
     set_enabled(false);

@@ -67,7 +67,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use cafemio_audit::AuditOptions;
-use cafemio_fem::{FemError, FemModel};
+use cafemio_fem::{FemError, FemModel, SolverBackend};
+use cafemio_idlz::Capability;
 use cafemio_instrument::{CounterRecord, PerfReport, SpanRecord};
 use cafemio_lint::{LintConfig, LintError};
 use cafemio_mesh::TriMesh;
@@ -180,6 +181,8 @@ pub struct BatchOptions {
     policy: ErrorPolicy,
     audit: Option<AuditOptions>,
     lint: Option<LintConfig>,
+    capability: Capability,
+    solver: SolverBackend,
 }
 
 impl Default for BatchOptions {
@@ -193,6 +196,8 @@ impl Default for BatchOptions {
             policy: ErrorPolicy::CollectAll,
             audit: None,
             lint: None,
+            capability: Capability::Historical,
+            solver: SolverBackend::Band,
         }
     }
 }
@@ -271,6 +276,33 @@ impl BatchOptions {
     /// The configured lint severities, if lint mode is on.
     pub fn lint_options(&self) -> Option<&LintConfig> {
         self.lint.as_ref()
+    }
+
+    /// Sets the capability mode every job's session runs under (default:
+    /// [`Capability::Historical`], the paper's Table 2 card limits).
+    /// [`Capability::LargeMesh`] lifts the limits for decks beyond the
+    /// 1970 hardware ceiling.
+    pub fn capability(mut self, capability: Capability) -> BatchOptions {
+        self.capability = capability;
+        self
+    }
+
+    /// The configured capability mode.
+    pub fn capability_mode(&self) -> Capability {
+        self.capability
+    }
+
+    /// Sets the solver backend every job solves with (default:
+    /// [`SolverBackend::Band`], the paper-faithful path). See
+    /// `docs/SOLVERS.md` for the selection guide.
+    pub fn solver(mut self, solver: SolverBackend) -> BatchOptions {
+        self.solver = solver;
+        self
+    }
+
+    /// The configured solver backend.
+    pub fn solver_backend(&self) -> SolverBackend {
+        self.solver
     }
 }
 
@@ -508,9 +540,10 @@ impl JobQueue {
 fn execute(
     job: &BatchJob,
     clock: &mut StageClock,
-    audit: Option<&AuditOptions>,
-    lint: Option<&LintConfig>,
+    options: &BatchOptions,
 ) -> Result<Vec<StressPlot>, PipelineError> {
+    let audit = options.audit.as_ref();
+    let lint = options.lint.as_ref();
     if let Some(lint) = lint {
         // Lint runs at this layer — like audit — so its cost lands in a
         // dedicated `lint.deck` span. A deck that does not even parse is
@@ -532,7 +565,9 @@ fn execute(
     }
     let builder = PipelineBuilder::new()
         .component(job.component)
-        .contour_options(job.options.clone());
+        .contour_options(job.options.clone())
+        .capability(options.capability)
+        .solver(options.solver);
     let parsed = clock.time("batch.parse", || builder.parse(&job.deck))?;
     let idealized = clock.time("batch.idealize", || parsed.idealize())?;
     if let Some(audit) = audit {
@@ -555,8 +590,26 @@ fn execute(
                     cafemio_audit::check_solution(case.model(), case.solution(), audit)
                         .map_err(audit_failure)?;
                 if audit.differential() {
-                    cafemio_audit::check_differential(case.model(), case.solution(), audit)
+                    // An iterative session solution only matches the
+                    // direct re-solves to its own convergence tolerance.
+                    let effective = if options.solver == SolverBackend::SparseCg {
+                        audit
+                            .clone()
+                            .with_divergence_tolerance(audit.iterative_divergence_tolerance())
+                    } else {
+                        audit.clone()
+                    };
+                    cafemio_audit::check_differential(case.model(), case.solution(), &effective)
                         .map_err(audit_failure)?;
+                    checks += 1;
+                }
+                if audit.sparse_differential() && options.solver != SolverBackend::SparseCg {
+                    cafemio_audit::check_sparse_differential(
+                        case.model(),
+                        case.solution(),
+                        audit,
+                    )
+                    .map_err(audit_failure)?;
                     checks += 1;
                 }
                 Ok(total + checks)
@@ -619,12 +672,7 @@ pub fn run_batch(jobs: &[BatchJob], options: &BatchOptions) -> BatchReport {
                             Some(JobOutcome::Skipped);
                         continue;
                     }
-                    let outcome = match execute(
-                        &jobs[index],
-                        &mut clock,
-                        options.audit.as_ref(),
-                        options.lint.as_ref(),
-                    ) {
+                    let outcome = match execute(&jobs[index], &mut clock, options) {
                         Ok(plots) => JobOutcome::Completed(plots),
                         Err(err) => {
                             if matches!(err.source_error(), StageError::Audit(_)) {

@@ -83,13 +83,13 @@ pub mod pipeline;
 pub mod prelude {
     pub use cafemio_audit::{AuditError, AuditOptions, AuditStage};
     pub use cafemio_fem::{
-        solve_contact_increments, solve_with_contact, AnalysisKind, ContactSupport, FemError,
-        FemModel, Material, StressField, ThermalMaterial, ThermalModel,
+        solve_contact_increments, solve_with_contact, AnalysisKind, CgOptions, ContactSupport,
+        FemError, FemModel, Material, SolverBackend, StressField, ThermalMaterial, ThermalModel,
     };
     pub use cafemio_geom::{BoundingBox, Point};
     pub use cafemio_idlz::{
-        Idealization, IdealizationResult, IdealizationSpec, Limits, ShapeLine, Subdivision,
-        Taper,
+        Capability, Idealization, IdealizationResult, IdealizationSpec, Limits, ShapeLine,
+        Subdivision, Taper,
     };
     pub use cafemio_lint::{
         Diagnostic, LintCode, LintConfig, LintError, LintReport, Severity, SourceSpan,

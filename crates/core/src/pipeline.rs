@@ -35,8 +35,8 @@ use std::fmt;
 
 use cafemio_audit::{AuditError, AuditOptions, AuditStage};
 use cafemio_cards::{CardError, Deck};
-use cafemio_fem::{FemError, FemModel, Solution, StressField};
-use cafemio_idlz::{Idealization, IdealizationResult, IdealizationSpec, IdlzError};
+use cafemio_fem::{FemError, FemModel, Solution, SolverBackend, StressField};
+use cafemio_idlz::{Capability, Idealization, IdealizationResult, IdealizationSpec, IdlzError};
 use cafemio_lint::{LintConfig, LintError, LintReport};
 use cafemio_mesh::{NodalField, TriMesh};
 use cafemio_ospl::{ContourOptions, Ospl, OsplError, OsplResult};
@@ -252,6 +252,8 @@ struct SessionConfig {
     options: ContourOptions,
     audit: Option<AuditOptions>,
     lint: Option<LintConfig>,
+    capability: Capability,
+    solver: SolverBackend,
 }
 
 impl Default for SessionConfig {
@@ -261,6 +263,21 @@ impl Default for SessionConfig {
             options: ContourOptions::new(),
             audit: None,
             lint: None,
+            capability: Capability::Historical,
+            solver: SolverBackend::Band,
+        }
+    }
+}
+
+impl SessionConfig {
+    /// Installs the session capability's limits on a spec. The
+    /// historical default leaves specs untouched (they already default
+    /// to Table 2, and callers may have set custom limits on purpose);
+    /// `LargeMesh` lifts the limits on every spec so idealization and
+    /// the D004 proximity lint both see the active regime.
+    fn apply_capability(&self, spec: &mut IdealizationSpec) {
+        if self.capability != Capability::Historical {
+            spec.set_limits(self.capability.limits());
         }
     }
 }
@@ -333,6 +350,26 @@ impl PipelineBuilder {
         self
     }
 
+    /// Sets the session's capacity regime. The default,
+    /// [`Capability::Historical`], enforces the Table-2 card limits;
+    /// [`Capability::LargeMesh`] lifts them on every spec entering the
+    /// session — pair it with [`solver`](PipelineBuilder::solver) and
+    /// [`SolverBackend::SparseCg`] for meshes past the 1970 scale (see
+    /// `docs/SOLVERS.md`).
+    pub fn capability(mut self, capability: Capability) -> PipelineBuilder {
+        self.config.capability = capability;
+        self
+    }
+
+    /// Selects the linear solver backend [`ModelReady::solve`] routes
+    /// through. The default, [`SolverBackend::Band`], is
+    /// behavior-identical to the historical API; use
+    /// [`SolverBackend::SparseCg`] for large meshes.
+    pub fn solver(mut self, solver: SolverBackend) -> PipelineBuilder {
+        self.config.solver = solver;
+        self
+    }
+
     /// Parses an IDLZ card deck from raw text into a [`ParsedDeck`].
     ///
     /// # Errors
@@ -343,8 +380,11 @@ impl PipelineBuilder {
         let _span = cafemio_instrument::span("pipeline.parse");
         let deck = Deck::from_text(text)
             .map_err(|e| PipelineError::at(Stage::DeckParse, StageError::Card(e)))?;
-        let (specs, layouts) = cafemio_idlz::deck::parse_deck_with_layout(&deck)
+        let (mut specs, layouts) = cafemio_idlz::deck::parse_deck_with_layout(&deck)
             .map_err(|e| PipelineError::at(Stage::DeckParse, StageError::Idlz(e)))?;
+        for spec in &mut specs {
+            self.config.apply_capability(spec);
+        }
         let lint_report = match &self.config.lint {
             Some(config) => Some(run_lint(|| cafemio_lint::lint_idlz(&specs, &layouts, config))?),
             None => None,
@@ -360,7 +400,10 @@ impl PipelineBuilder {
     /// idealization specs, skipping the card layer. With lint on, the
     /// specs are analyzed (without card provenance) at
     /// [`ParsedDeck::idealize`].
-    pub fn specs(&self, specs: Vec<IdealizationSpec>) -> ParsedDeck {
+    pub fn specs(&self, mut specs: Vec<IdealizationSpec>) -> ParsedDeck {
+        for spec in &mut specs {
+            self.config.apply_capability(spec);
+        }
         ParsedDeck {
             specs,
             lint_report: None,
@@ -538,20 +581,24 @@ impl ModelReady {
         &self.models
     }
 
-    /// Assembles and solves every model.
+    /// Assembles and solves every model with the session's
+    /// [`SolverBackend`] (band by default — see
+    /// [`PipelineBuilder::solver`]).
     ///
     /// # Errors
     ///
     /// A [`PipelineError`] attributed to [`Stage::Solve`] for the first
-    /// model that fails to factorize.
+    /// model that fails to factorize (or, for the sparse backend, fails
+    /// to converge).
     pub fn solve(self) -> Result<Solved, PipelineError> {
         let _span = cafemio_instrument::span("pipeline.solve");
+        let backend = self.config.solver;
         let cases = self
             .models
             .into_iter()
             .map(|model| {
                 let solution = model
-                    .solve()
+                    .solve_with(backend)
                     .map_err(|e| PipelineError::at(Stage::Solve, StageError::Fem(e)))?;
                 Ok(SolvedCase { model, solution })
             })
@@ -563,7 +610,22 @@ impl ModelReady {
                     .map_err(audit_failure)?;
                 if audit.differential() {
                     let _diff_span = cafemio_instrument::span("audit.differential");
-                    cafemio_audit::check_differential(&case.model, &case.solution, audit)
+                    // An iterative reference only matches the direct
+                    // re-solves to its own convergence tolerance, so the
+                    // comparison bound widens to the iterative one.
+                    let effective = if backend == SolverBackend::SparseCg {
+                        audit
+                            .clone()
+                            .with_divergence_tolerance(audit.iterative_divergence_tolerance())
+                    } else {
+                        audit.clone()
+                    };
+                    cafemio_audit::check_differential(&case.model, &case.solution, &effective)
+                        .map_err(audit_failure)?;
+                }
+                if audit.sparse_differential() && backend != SolverBackend::SparseCg {
+                    let _diff_span = cafemio_instrument::span("audit.differential");
+                    cafemio_audit::check_sparse_differential(&case.model, &case.solution, audit)
                         .map_err(audit_failure)?;
                 }
             }

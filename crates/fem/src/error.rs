@@ -52,6 +52,19 @@ pub enum FemError {
         /// What was iterating.
         what: &'static str,
     },
+    /// The conjugate-gradient solver exhausted its iteration budget
+    /// before reaching its residual tolerance — typically a very
+    /// ill-conditioned system (extreme material contrast, degenerate
+    /// geometry). Carries the residual actually achieved so callers can
+    /// distinguish "nearly there" from divergence.
+    CgNoConvergence {
+        /// Iterations performed (the whole budget).
+        iterations: usize,
+        /// Relative residual `‖b − A·x‖ / ‖b‖` at exit.
+        residual: f64,
+        /// The tolerance that was not met.
+        tolerance: f64,
+    },
     /// A non-finite coefficient (NaN or infinity) entered the system —
     /// usually degenerate geometry poisoning a stiffness term. Solvers
     /// refuse to propagate it into a garbage "solution".
@@ -124,6 +137,15 @@ impl fmt::Display for FemError {
             FemError::NoConvergence { iterations, what } => {
                 write!(f, "{what} did not converge in {iterations} iterations")
             }
+            FemError::CgNoConvergence {
+                iterations,
+                residual,
+                tolerance,
+            } => write!(
+                f,
+                "conjugate gradient did not converge in {iterations} iterations \
+                 (relative residual {residual:.3e}, tolerance {tolerance:.0e})"
+            ),
             FemError::NonFinite { equation } => write!(
                 f,
                 "non-finite coefficient at equation {equation} (degenerate \

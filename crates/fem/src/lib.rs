@@ -18,6 +18,9 @@
 //! * a **symmetric banded Cholesky solver** ([`BandMatrix`]) whose cost
 //!   scales with the square of the bandwidth — the quantity IDLZ's
 //!   renumbering pass minimizes — plus a dense reference solver,
+//! * a **sparse CSR / conjugate-gradient backend** ([`CsrMatrix`],
+//!   [`solve_cg`]) for meshes past the 1970 Table-2 scale, selected via
+//!   [`SolverBackend::SparseCg`],
 //! * nodal stress recovery ([`StressField`]): radial, axial/meridional,
 //!   circumferential, shear, and von Mises effective stress (the fields
 //!   OSPL contours in Figures 13 and 15–18),
@@ -61,6 +64,7 @@ mod linalg;
 mod material;
 mod model;
 mod skyline;
+mod sparse;
 mod stress;
 mod thermal;
 mod thermal_stress;
@@ -74,8 +78,9 @@ pub use element::{element_stiffness, ElementMatrices};
 pub use error::FemError;
 pub use linalg::DenseMatrix;
 pub use material::{Material, ThermalMaterial};
-pub use model::{AnalysisKind, FemModel, Solution};
+pub use model::{AnalysisKind, FemModel, Solution, SolverBackend};
 pub use skyline::{dof_profile, SkylineMatrix};
+pub use sparse::{solve_cg, CgOptions, CgStats, CsrMatrix};
 pub use stress::{ElementStress, StressField};
 pub use thermal::{ThermalModel, ThermalSolution};
 pub use thermal_stress::ThermalLoad;

@@ -6,8 +6,50 @@ use cafemio_mesh::{ElementId, NodeId, TriMesh};
 
 use crate::element::element_stiffness;
 use crate::skyline::{dof_profile, SkylineMatrix};
+use crate::sparse::{solve_cg, CgOptions, CsrMatrix};
 use crate::thermal_stress::ThermalLoad;
 use crate::{BandMatrix, DenseMatrix, FemError, Material};
+
+/// Which linear solver a [`FemModel`] solve routes through.
+///
+/// The three direct backends are the 1970 technology class (storage and
+/// flops grow with the bandwidth); [`SparseCg`](SolverBackend::SparseCg)
+/// is the large-mesh path — CSR storage proportional to the nonzeros,
+/// solved by Jacobi-preconditioned conjugate gradients. See
+/// `docs/SOLVERS.md` for the selection guide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SolverBackend {
+    /// Banded Cholesky — the paper-era default.
+    #[default]
+    Band,
+    /// Skyline (profile) LDLᵀ.
+    Skyline,
+    /// Dense reference factorization.
+    Dense,
+    /// CSR assembly + Jacobi-preconditioned conjugate gradients.
+    SparseCg,
+}
+
+impl SolverBackend {
+    /// Every backend, in documentation order.
+    pub const ALL: [SolverBackend; 4] = [
+        SolverBackend::Band,
+        SolverBackend::Skyline,
+        SolverBackend::Dense,
+        SolverBackend::SparseCg,
+    ];
+}
+
+impl std::fmt::Display for SolverBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SolverBackend::Band => "band",
+            SolverBackend::Skyline => "skyline",
+            SolverBackend::Dense => "dense",
+            SolverBackend::SparseCg => "sparse-cg",
+        })
+    }
+}
 
 /// The analysis idealization, matching the paper's Reference 1 program
 /// ("IDLZ and OSPL work equally as well with any plane stress or plane
@@ -264,6 +306,122 @@ impl FemModel {
             kind: self.kind,
             displacements,
         })
+    }
+
+    /// Assembles and solves with the requested backend. `Band` takes
+    /// exactly the same path as [`solve`](Self::solve), so the default
+    /// backend is behavior-identical to the historical API.
+    ///
+    /// # Errors
+    ///
+    /// As for the matching `solve_*` method.
+    pub fn solve_with(&self, backend: SolverBackend) -> Result<Solution, FemError> {
+        match backend {
+            SolverBackend::Band => self.solve(),
+            SolverBackend::Skyline => self.solve_skyline(),
+            SolverBackend::Dense => self.solve_dense(),
+            SolverBackend::SparseCg => self.solve_sparse(),
+        }
+    }
+
+    /// Assembles and solves with the sparse CSR / conjugate-gradient
+    /// backend under the default [`CgOptions`] — the large-mesh path,
+    /// whose storage follows the nonzero count instead of the bandwidth.
+    ///
+    /// # Errors
+    ///
+    /// As for [`solve`](Self::solve), plus
+    /// [`FemError::CgNoConvergence`] when the iteration budget runs out.
+    pub fn solve_sparse(&self) -> Result<Solution, FemError> {
+        self.solve_sparse_with(&CgOptions::new())
+    }
+
+    /// [`solve_sparse`](Self::solve_sparse) with explicit iteration
+    /// options. Publishes the `fem.cg.iterations` /
+    /// `fem.cg.residual_femto` / `fem.cg.nonzeros` counters.
+    ///
+    /// # Errors
+    ///
+    /// As for [`solve_sparse`](Self::solve_sparse).
+    pub fn solve_sparse_with(&self, options: &CgOptions) -> Result<Solution, FemError> {
+        let _span = cafemio_instrument::span("fem.solve_sparse");
+        cafemio_instrument::counter("fem.dofs", (self.mesh.node_count() * 2) as u64);
+        let (matrix, rhs) = {
+            let _s = cafemio_instrument::span("fem.assemble");
+            self.assemble_sparse()?
+        };
+        cafemio_instrument::counter("fem.cg.nonzeros", matrix.nonzeros() as u64);
+        let _s = cafemio_instrument::span("fem.cg.iterate");
+        let (displacements, stats) = solve_cg(&matrix, &rhs, options)?;
+        cafemio_instrument::counter("fem.cg.iterations", stats.iterations as u64);
+        cafemio_instrument::counter("fem.cg.residual_femto", (stats.residual * 1e15) as u64);
+        Ok(Solution {
+            kind: self.kind,
+            displacements,
+        })
+    }
+
+    /// Assembles the sparse CSR system (stiffness + constrained
+    /// right-hand side). The sparsity pattern is the mesh node adjacency
+    /// expanded to 2×2 dof blocks — a pure function of the numbering —
+    /// and the scatter-add runs serially in element order, so assembly
+    /// is bit-for-bit deterministic like the other storage schemes.
+    ///
+    /// # Errors
+    ///
+    /// As for [`assemble_banded`](Self::assemble_banded).
+    pub fn assemble_sparse(&self) -> Result<(CsrMatrix, Vec<f64>), FemError> {
+        if self.mesh.element_count() == 0 {
+            return Err(FemError::EmptyModel);
+        }
+        if self.constraints.is_empty() {
+            return Err(FemError::Unconstrained);
+        }
+        let mut matrix = CsrMatrix::with_pattern(&self.sparse_pattern());
+        let mut rhs = self.external_forces()?;
+        self.assemble_into(|i, j, v| matrix.add(i, j, v))?;
+        for (&dof, &value) in &self.constraints {
+            let column = matrix.constrain(dof);
+            for (other, coupling) in column {
+                if !self.constraints.contains_key(&other) {
+                    rhs[other] -= coupling * value;
+                }
+            }
+        }
+        for (&dof, &value) in &self.constraints {
+            rhs[dof] = value;
+        }
+        Ok((matrix, rhs))
+    }
+
+    /// The dof-level sparsity pattern: for each node, itself plus its
+    /// mesh neighbors, each contributing a 2×2 dof block. Column lists
+    /// come out sorted because the adjacency lists are sorted and the
+    /// node's own block is spliced into place.
+    fn sparse_pattern(&self) -> Vec<Vec<usize>> {
+        let adjacency = self.mesh.node_adjacency();
+        let mut pattern = Vec::with_capacity(self.mesh.node_count() * 2);
+        for (node, neighbors) in adjacency.iter().enumerate() {
+            let mut row = Vec::with_capacity(2 * (neighbors.len() + 1));
+            let mut self_placed = false;
+            for n in neighbors {
+                let j = n.index();
+                if !self_placed && j > node {
+                    row.push(2 * node);
+                    row.push(2 * node + 1);
+                    self_placed = true;
+                }
+                row.push(2 * j);
+                row.push(2 * j + 1);
+            }
+            if !self_placed {
+                row.push(2 * node);
+                row.push(2 * node + 1);
+            }
+            pattern.push(row.clone());
+            pattern.push(row);
+        }
+        pattern
     }
 
     /// Assembles the skyline system (stiffness + constrained right-hand
@@ -634,6 +792,62 @@ mod tests {
         for (b, s) in banded.dofs().iter().zip(skyline.dofs()) {
             assert!((b - s).abs() < 1e-10, "{b} vs {s}");
         }
+    }
+
+    #[test]
+    fn sparse_cg_agrees_with_banded() {
+        let mesh = strip_mesh(5, 4, 2.5, 2.0);
+        let mut model = FemModel::new(
+            mesh,
+            AnalysisKind::PlaneStress { thickness: 0.4 },
+            Material::isotropic(3.0e6, 0.3),
+        );
+        model.fix_both(NodeId(0));
+        model.fix_y(NodeId(5));
+        model.add_force(NodeId(29), 25.0, -40.0);
+        model.prescribe_x(NodeId(12), 0.001);
+        let banded = model.solve().unwrap();
+        let sparse = model.solve_sparse().unwrap();
+        let scale = banded.max_displacement();
+        for (b, s) in banded.dofs().iter().zip(sparse.dofs()) {
+            assert!((b - s).abs() < 1e-10 * scale, "{b} vs {s}");
+        }
+    }
+
+    #[test]
+    fn solve_with_dispatches_every_backend() {
+        let mesh = strip_mesh(3, 2, 1.5, 1.0);
+        let mut model = FemModel::new(
+            mesh,
+            AnalysisKind::PlaneStrain,
+            Material::isotropic(2.0e6, 0.25),
+        );
+        model.fix_both(NodeId(0));
+        model.fix_y(NodeId(3));
+        model.add_force(NodeId(11), 8.0, 3.0);
+        let reference = model.solve_with(SolverBackend::Band).unwrap();
+        for backend in SolverBackend::ALL {
+            let solution = model.solve_with(backend).unwrap();
+            for (a, b) in reference.dofs().iter().zip(solution.dofs()) {
+                assert!((a - b).abs() < 1e-9, "{backend}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_rejects_empty_and_unconstrained_models() {
+        let model = FemModel::new(
+            TriMesh::new(),
+            AnalysisKind::PlaneStrain,
+            Material::isotropic(1.0e6, 0.3),
+        );
+        assert_eq!(model.solve_sparse().unwrap_err(), FemError::EmptyModel);
+        let model = FemModel::new(
+            strip_mesh(2, 1, 1.0, 1.0),
+            AnalysisKind::PlaneStrain,
+            Material::isotropic(1.0e6, 0.3),
+        );
+        assert_eq!(model.solve_sparse().unwrap_err(), FemError::Unconstrained);
     }
 
     #[test]

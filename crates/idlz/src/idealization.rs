@@ -116,10 +116,21 @@ impl Idealization {
 
         // ---- Assign nodal numbers: left to right, bottom to top. ----
         let grid_span = cafemio_instrument::span("idlz.grid");
-        let mut points: Vec<GridPoint> = spec
-            .subdivisions()
+        // Per-subdivision point and element generation is independent,
+        // so it fans out one task per subdivision; the merge below runs
+        // serially in subdivision order, keeping results bit-identical
+        // to the old single-threaded loop at any thread count.
+        let per_sub: Vec<(Vec<GridPoint>, Vec<[GridPoint; 3]>)> =
+            cafemio_instrument::par::parallel_map_grained(spec.subdivisions(), 1, |s| {
+                (s.grid_points(), s.grid_elements())
+            });
+        cafemio_instrument::counter(
+            "idealize.parallel.subdivisions",
+            spec.subdivisions().len() as u64,
+        );
+        let mut points: Vec<GridPoint> = per_sub
             .iter()
-            .flat_map(|s| s.grid_points())
+            .flat_map(|(pts, _)| pts.iter().copied())
             .collect();
         points.sort_by_key(|&(k, l)| (l, k));
         points.dedup();
@@ -136,13 +147,12 @@ impl Idealization {
         let mut element_owner: Vec<usize> = Vec::new();
         let mut seen: BTreeMap<[usize; 3], usize> = BTreeMap::new();
         let mut subdivision_node_sets: Vec<(usize, Vec<usize>)> = Vec::new();
-        for sub in spec.subdivisions() {
-            let mut sub_nodes: Vec<usize> =
-                sub.grid_points().iter().map(|p| node_index[p]).collect();
+        for (sub, (sub_points, sub_tris)) in spec.subdivisions().iter().zip(&per_sub) {
+            let mut sub_nodes: Vec<usize> = sub_points.iter().map(|p| node_index[p]).collect();
             sub_nodes.sort_unstable();
             sub_nodes.dedup();
             subdivision_node_sets.push((sub.id(), sub_nodes));
-            for tri in sub.grid_elements() {
+            for tri in sub_tris {
                 let ids = [
                     node_index[&tri[0]],
                     node_index[&tri[1]],

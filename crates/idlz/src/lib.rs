@@ -61,7 +61,7 @@ mod subdivision;
 
 pub use error::IdlzError;
 pub use idealization::{Idealization, IdealizationResult, IdlzStats};
-pub use limits::Limits;
+pub use limits::{Capability, Limits};
 pub use listing::listing;
 pub use plot::{plot_mesh, plot_subdivision_numbers, PlotOptions};
 pub use reform::{reform_elements, ReformReport};

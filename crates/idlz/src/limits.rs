@@ -123,6 +123,50 @@ impl Default for Limits {
     }
 }
 
+/// The capacity regime a pipeline session runs under.
+///
+/// [`Historical`](Capability::Historical) (the default) enforces the
+/// Table-2 card limits so decks that worked in 1970 work now and vice
+/// versa; [`LargeMesh`](Capability::LargeMesh) lifts them for
+/// modern-scale meshes solved by the sparse conjugate-gradient backend.
+/// The lint layer's D004 limit-proximity check reads the *active*
+/// limits, so `LargeMesh` runs never warn about Table-2 proximity.
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_idlz::{Capability, Limits};
+/// assert_eq!(Capability::default().limits(), Limits::historical());
+/// assert_eq!(Capability::LargeMesh.limits(), Limits::unbounded());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Capability {
+    /// The Table-2 limits of the 1970 program (the default).
+    #[default]
+    Historical,
+    /// No card limits: modern-scale meshes (100k+ elements).
+    LargeMesh,
+}
+
+impl Capability {
+    /// The limits this capability enforces.
+    pub fn limits(self) -> Limits {
+        match self {
+            Capability::Historical => Limits::historical(),
+            Capability::LargeMesh => Limits::unbounded(),
+        }
+    }
+}
+
+impl std::fmt::Display for Capability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Capability::Historical => "historical",
+            Capability::LargeMesh => "large-mesh",
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -38,7 +38,8 @@ pub enum LintCode {
     DisconnectedAssemblage,
     /// `D003`: two Type-4 cards carry the same subdivision number.
     DuplicateSubdivisionId,
-    /// `D004`: the deck uses more than 90 % of a Table-2 capacity limit.
+    /// `D004`: the deck uses more than 90 % of an active capacity limit
+    /// (Table 2 by default; a `LargeMesh` session lifts them).
     GridLimitProximity,
     /// `S001`: a shape line's end points do not lie on a common side.
     ShapeSegmentSpanMismatch,

@@ -255,10 +255,18 @@ impl SetContext<'_> {
         }
     }
 
-    /// D004: warn at 90 % of any Table-2 capacity limit — the deck still
-    /// runs today, but the next refinement pass will not.
+    /// D004: warn at 90 % of any *active* capacity limit — the deck
+    /// still runs today, but the next refinement pass will not.
+    ///
+    /// The limits come from the spec, not hard-coded Table-2 constants:
+    /// the pipeline installs the session capability's limits on every
+    /// spec before linting, so a `LargeMesh` session (unbounded limits)
+    /// never emits false proximity warnings while the historical default
+    /// keeps warning against Table 2.
     fn check_limit_proximity(&self, report: &mut LintReport) {
         let limits = self.spec.limits();
+        // `near` is false for effectively-unbounded limits (usize::MAX /
+        // i32::MAX): no deck reaches 90 % of them.
         let near = |n: u128, max: u128| 10 * n > 9 * max && max > 0;
         for (i, sub) in self.spec.subdivisions().iter().enumerate() {
             let (k2, l2) = sub.upper_right();

@@ -14,6 +14,7 @@
 #   batch   batch engine over the models corpus + BENCH_batch.json validation
 #   audit   strict-audit bug sweep over the faulted corpus + BENCH_audit.json
 #   lint    srclint source gate + decklint golden-corpus gate + BENCH_lint.json
+#   large_mesh  100k-element sparse-CG smoke + BENCH_sparse.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -66,9 +67,14 @@ run_lint() {
   cargo run --release -p cafemio-bench --bin decklint -- --golden
 }
 
+run_large_mesh() {
+  echo "== large-mesh smoke (100k-element sparse-CG solve + residual audit)"
+  cargo run --release -p cafemio-bench --bin large_mesh_smoke
+}
+
 stages=("$@")
 if [ ${#stages[@]} -eq 0 ]; then
-  stages=(build test doc clippy fuzz bench batch audit lint)
+  stages=(build test doc clippy fuzz bench batch audit lint large_mesh)
 fi
 
 for stage in "${stages[@]}"; do
@@ -82,6 +88,7 @@ for stage in "${stages[@]}"; do
     batch) run_batch ;;
     audit) run_audit ;;
     lint) run_lint ;;
+    large_mesh) run_large_mesh ;;
     *)
       echo "verify: unknown stage '$stage'" >&2
       exit 2

@@ -487,7 +487,9 @@ fn isogram_interpolation_exact() {
 /// backends agree with each other to the strict differential bound.
 #[test]
 fn every_backend_passes_the_residual_audit() {
-    use cafemio::audit::{check_differential, check_solution, AuditOptions};
+    use cafemio::audit::{
+        check_differential, check_solution, check_sparse_differential, AuditOptions,
+    };
     use cafemio::fem::{AnalysisKind, FemModel, Material};
 
     let mut rng = Rng::new(0x4a7);
@@ -514,11 +516,18 @@ fn every_backend_passes_the_residual_audit() {
         let band = model.solve().unwrap();
         let dense = model.solve_dense().unwrap();
         let skyline = model.solve_skyline().unwrap();
-        for (backend, solution) in [("band", &band), ("dense", &dense), ("skyline", &skyline)] {
+        let sparse = model.solve_sparse().unwrap();
+        for (backend, solution) in [
+            ("band", &band),
+            ("dense", &dense),
+            ("skyline", &skyline),
+            ("sparse-cg", &sparse),
+        ] {
             let checks = check_solution(&model, solution, &options)
                 .unwrap_or_else(|e| panic!("{backend}: {e}"));
             assert_eq!(checks, 3, "{backend}");
         }
         check_differential(&model, &band, &options).unwrap();
+        check_sparse_differential(&model, &band, &options).unwrap();
     }
 }

@@ -1,0 +1,198 @@
+//! Large-mesh mode and sparse-CG backend integration tests: the
+//! iterative solver against the direct ones across the whole catalog,
+//! the typed non-convergence error, and the capability wiring that
+//! lifts the Table-2 card limits (and keeps the D004 proximity lint
+//! honest about which limits are active).
+
+use cafemio::fem::{CgOptions, FemError, Material, SolverBackend};
+use cafemio::geom::Point;
+use cafemio::idlz::{Capability, Idealization, IdealizationSpec, ShapeLine, Subdivision};
+use cafemio::lint::{LintCode, LintConfig, Severity};
+use cafemio::models::catalog;
+use cafemio::pipeline::{PipelineBuilder, Stage, StageError};
+use cafemio_bench::jobs::standard_setup;
+
+/// The iterative backend must agree with the skyline factorization to
+/// the audit's iterative bound (1e-8) on every structure of the paper —
+/// the property the sparse differential audit enforces one model at a
+/// time, checked here across the full catalog.
+#[test]
+fn sparse_cg_matches_skyline_on_every_catalog_model() {
+    for entry in catalog() {
+        let result = Idealization::run(&(entry.spec)()).unwrap();
+        let model = standard_setup(&result.mesh).unwrap();
+        let skyline = model.solve_skyline().unwrap();
+        let sparse = model
+            .solve_sparse()
+            .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        let magnitude = skyline
+            .dofs()
+            .iter()
+            .fold(0.0f64, |m, u| m.max(u.abs()))
+            .max(f64::MIN_POSITIVE);
+        let divergence = skyline
+            .dofs()
+            .iter()
+            .zip(sparse.dofs())
+            .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()))
+            / magnitude;
+        assert!(
+            divergence <= 1e-8,
+            "{}: sparse-cg diverges from skyline by {divergence:e}",
+            entry.name
+        );
+    }
+}
+
+/// An ill-conditioned model (12 orders of magnitude of stiffness
+/// contrast) under a starved iteration budget must fail with the typed
+/// [`FemError::CgNoConvergence`] carrying the budget, the reached
+/// residual, and the tolerance — not a panic, not a silently wrong
+/// answer.
+#[test]
+fn cg_non_convergence_is_a_typed_error() {
+    let mut spec = IdealizationSpec::new("ILL CONDITIONED STRIP");
+    spec.add_subdivision(Subdivision::rectangular(1, (0, 0), (8, 2)).unwrap());
+    spec.add_shape_line(
+        1,
+        ShapeLine::straight((0, 0), (8, 0), Point::new(0.0, 0.0), Point::new(8.0, 0.0)),
+    );
+    spec.add_shape_line(
+        1,
+        ShapeLine::straight((0, 2), (8, 2), Point::new(0.0, 2.0), Point::new(8.0, 2.0)),
+    );
+    let result = Idealization::run(&spec).unwrap();
+    let mut model = standard_setup(&result.mesh).unwrap();
+    // Soft left half, rigid right half: a stiffness contrast the Jacobi
+    // preconditioner cannot flatten in a handful of iterations.
+    for (id, _) in result.mesh.elements() {
+        if result.mesh.triangle(id).centroid().x > 4.0 {
+            model.set_element_material(id, Material::isotropic(3.0e13, 0.3));
+        } else {
+            model.set_element_material(id, Material::isotropic(30.0, 0.3));
+        }
+    }
+    let starved = CgOptions::new()
+        .with_tolerance(1e-14)
+        .with_max_iterations(10);
+    let err = model.solve_sparse_with(&starved).unwrap_err();
+    match err {
+        FemError::CgNoConvergence {
+            iterations,
+            residual,
+            tolerance,
+        } => {
+            assert_eq!(iterations, 10);
+            assert!(residual > tolerance, "residual {residual:e}");
+            assert_eq!(tolerance, 1e-14);
+        }
+        other => panic!("expected CgNoConvergence, got {other}"),
+    }
+    let message = model.solve_sparse_with(&starved).unwrap_err().to_string();
+    assert!(
+        message.starts_with("conjugate gradient did not converge in 10 iterations"),
+        "{message}"
+    );
+}
+
+/// A spec legal under Table 2 but within 10 % of the horizontal grid
+/// limit (38 of 40). D004 must fire under the historical capability and
+/// stay silent under `LargeMesh` — the lint reads the *active* limits
+/// the pipeline installs, not Table 2 unconditionally.
+fn near_limit_spec() -> IdealizationSpec {
+    let mut spec = IdealizationSpec::new("NEAR THE GRID LIMIT");
+    spec.add_subdivision(Subdivision::rectangular(1, (0, 0), (38, 2)).unwrap());
+    spec.add_shape_line(
+        1,
+        ShapeLine::straight((0, 0), (38, 0), Point::new(0.0, 0.0), Point::new(38.0, 0.0)),
+    );
+    spec.add_shape_line(
+        1,
+        ShapeLine::straight((0, 2), (38, 2), Point::new(0.0, 1.0), Point::new(38.0, 1.0)),
+    );
+    spec
+}
+
+#[test]
+fn d004_reads_the_active_capability_limits() {
+    let deny_proximity = LintConfig::new().with(LintCode::GridLimitProximity, Severity::Deny);
+
+    // Historical limits: 38 is within 10 % of Table 2's 40 — denied.
+    let err = PipelineBuilder::new()
+        .lint(deny_proximity.clone())
+        .specs(vec![near_limit_spec()])
+        .idealize()
+        .unwrap_err();
+    assert_eq!(err.stage(), Stage::DeckParse);
+    match err.source_error() {
+        StageError::Lint(lint) => {
+            assert!(lint
+                .diagnostics
+                .iter()
+                .all(|d| d.code == LintCode::GridLimitProximity));
+        }
+        other => panic!("expected a lint denial, got {other:?}"),
+    }
+
+    // Large-mesh limits: nowhere near i32::MAX — clean, no false warning.
+    let idealized = PipelineBuilder::new()
+        .capability(Capability::LargeMesh)
+        .lint(deny_proximity)
+        .specs(vec![near_limit_spec()])
+        .idealize()
+        .unwrap();
+    assert_eq!(idealized.sets().len(), 1);
+}
+
+/// A spec beyond Table 2 must fail idealization under the default
+/// (historical) capability and succeed under `LargeMesh`, with the
+/// sparse backend solving what the direct path never could in 1970.
+#[test]
+fn large_mesh_capability_lifts_the_table2_ceiling() {
+    let mut spec = IdealizationSpec::new("BEYOND TABLE 2");
+    // 50 > max_grid_x = 40, and 51 × 11 = 561 nodes > 500.
+    spec.add_subdivision(Subdivision::rectangular(1, (0, 0), (50, 10)).unwrap());
+    spec.add_shape_line(
+        1,
+        ShapeLine::straight((0, 0), (50, 0), Point::new(0.0, 0.0), Point::new(50.0, 0.0)),
+    );
+    spec.add_shape_line(
+        1,
+        ShapeLine::straight(
+            (0, 10),
+            (50, 10),
+            Point::new(0.0, 10.0),
+            Point::new(50.0, 10.0),
+        ),
+    );
+
+    let err = PipelineBuilder::new()
+        .specs(vec![spec.clone()])
+        .idealize()
+        .unwrap_err();
+    assert_eq!(err.stage(), Stage::Idealize);
+
+    let solved = PipelineBuilder::new()
+        .capability(Capability::LargeMesh)
+        .solver(SolverBackend::SparseCg)
+        .specs(vec![spec])
+        .idealize()
+        .unwrap()
+        .setup(standard_setup)
+        .unwrap()
+        .solve()
+        .unwrap();
+    let reference = PipelineBuilder::new()
+        .capability(Capability::LargeMesh)
+        .specs(vec![near_limit_spec()])
+        .idealize()
+        .unwrap()
+        .setup(standard_setup)
+        .unwrap()
+        .solve()
+        .unwrap();
+    // Both sessions solved; the sparse one on a mesh the historical
+    // limits reject outright.
+    assert!(solved.cases()[0].solution().max_displacement() > 0.0);
+    assert!(reference.cases()[0].solution().max_displacement() > 0.0);
+}
