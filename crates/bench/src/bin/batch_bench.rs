@@ -11,7 +11,7 @@
 //! second how many times the corpus is repeated to lengthen the run
 //! (default: 2). The JSON carries the aggregated `batch.*` stage spans
 //! plus the `batch.jobs_per_sec_milli` throughput counter that the
-//! `batch_smoke` validator and CI check.
+//! `bench_validate` gate and CI check.
 
 use std::error::Error;
 

@@ -1,0 +1,86 @@
+//! The consolidated `BENCH_*.json` gate: structurally validates every
+//! perf artifact against its declarative spec.
+//!
+//! ```sh
+//! # validate specific artifacts
+//! cargo run --release -p cafemio-bench --bin bench_validate -- BENCH_batch.json
+//! # or discover and validate every known BENCH_*.json in the cwd
+//! cargo run --release -p cafemio-bench --bin bench_validate
+//! ```
+//!
+//! Replaces the per-artifact `bench_smoke`/`batch_smoke` binaries and
+//! the structural checks that were inlined in the other producers; the
+//! specs live in [`cafemio_bench::validate`]. Exits nonzero if any named
+//! artifact is missing, unknown, unparseable, or breaks its contract —
+//! and, in discovery mode, if no artifact is found at all.
+
+use std::process::ExitCode;
+
+use cafemio::instrument::PerfReport;
+use cafemio_bench::validate::{spec_for, validate, SPECS};
+
+fn main() -> ExitCode {
+    let named: Vec<String> = std::env::args().skip(1).collect();
+    let paths: Vec<String> = if named.is_empty() {
+        SPECS
+            .iter()
+            .map(|spec| spec.file.to_string())
+            .filter(|file| std::path::Path::new(file).exists())
+            .collect()
+    } else {
+        named
+    };
+    if paths.is_empty() {
+        eprintln!("bench-validate: no BENCH_*.json artifacts found in the current directory");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failures = 0usize;
+    for path in &paths {
+        let spec = match spec_for(path) {
+            Some(spec) => spec,
+            None => {
+                eprintln!("bench-validate: {path}: no spec for this artifact name");
+                failures += 1;
+                continue;
+            }
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("bench-validate: cannot read {path}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let report = match PerfReport::from_json(&text) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("bench-validate: {path} does not parse as a perf report: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let violations = validate(spec, &report);
+        if violations.is_empty() {
+            println!(
+                "bench-validate: {path} ok ({} spans, {} counters)",
+                report.spans.len(),
+                report.counters.len()
+            );
+        } else {
+            for violation in &violations {
+                eprintln!("bench-validate: {path}: {violation}");
+            }
+            failures += 1;
+        }
+    }
+
+    if failures == 0 {
+        println!("bench-validate: {} artifact(s) clean", paths.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench-validate: {failures} artifact(s) failed validation");
+        ExitCode::FAILURE
+    }
+}

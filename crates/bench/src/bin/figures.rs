@@ -54,7 +54,7 @@ fn profile_pipeline() -> Result<cafemio::instrument::PerfReport, Box<dyn Error>>
         // The iterative sparse-CG backend joins the sweep under its own
         // counters: CG only matches a factorization to its convergence
         // tolerance (1e-8 bound, not 1e-9), so folding it into the direct
-        // counters would poison the tighter bound bench_smoke enforces.
+        // counters would poison the tighter bound bench_validate enforces.
         let mut sparse_checks = 0u64;
         let mut sparse_failures = 0u64;
         let mut sparse_worst = 0.0f64;

@@ -1,0 +1,472 @@
+//! The service load generator: boots a `cafemio-serve` server in-process
+//! (real TCP, real HTTP), drives the full models corpus over N
+//! concurrent connections, and writes `BENCH_serve.json`.
+//!
+//! ```sh
+//! cargo run --release -p cafemio-bench --bin load_gen -- \
+//!     --connections 8 --rounds 2
+//! ```
+//!
+//! Four phases, each with a hard pass/fail contract:
+//!
+//! 1. **Load** — every connection thread POSTs every corpus deck to
+//!    `/analyze`; all must answer 200 with retries only on 503. Yields
+//!    the p50/p99 latency and throughput counters.
+//! 2. **Determinism** — each corpus deck is served twice and computed
+//!    once directly through the session pipeline; all three summary
+//!    bodies must be byte-identical.
+//! 3. **Rejection** — a gate blocks the worker pool, the dispatcher is
+//!    filled to `max_in_flight`, and one more request must be answered
+//!    503 `saturated`; the gate then opens and every held job must
+//!    complete. Proves admission control deterministically.
+//! 4. **Drain** — concurrent requests are in flight when `/shutdown`
+//!    lands; every connection must still receive exactly one complete
+//!    response (200 or 503 `draining`), and the server's drained report
+//!    must account for every accepted job.
+//!
+//! Exits nonzero on any violation; `bench_validate` then checks the
+//! artifact's structural contract in CI.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::ExitCode;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use cafemio::batch::BatchOptions;
+use cafemio::instrument::{CounterRecord, PerfReport};
+use cafemio::lint::LintConfig;
+use cafemio::pipeline::PipelineBuilder;
+use cafemio_bench::mutate::base_decks;
+use cafemio_serve::http::percent_encode;
+use cafemio_serve::{analysis_summary_json, default_setup, ServeOptions, Server};
+
+/// A blocking HTTP/1.1 exchange: connect, send, read to EOF, split the
+/// status line and body. `Err` means the peer gave no complete response.
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    body: &[u8],
+) -> Result<(u16, Vec<u8>), String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: load_gen\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body))
+        .map_err(|e| format!("write {target}: {e}"))?;
+    let mut response = Vec::new();
+    stream
+        .read_to_end(&mut response)
+        .map_err(|e| format!("read {target}: {e}"))?;
+    let text_head = response
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| format!("{target}: response has no header terminator"))?;
+    let status = std::str::from_utf8(&response[..text_head])
+        .ok()
+        .and_then(|head| head.split_whitespace().nth(1))
+        .and_then(|code| code.parse::<u16>().ok())
+        .ok_or_else(|| format!("{target}: unparseable status line"))?;
+    Ok((status, response[text_head + 4..].to_vec()))
+}
+
+fn percentile(sorted_micros: &[u64], p: usize) -> u64 {
+    if sorted_micros.is_empty() {
+        return 0;
+    }
+    let index = (sorted_micros.len() - 1) * p / 100;
+    sorted_micros[index]
+}
+
+struct Args {
+    connections: usize,
+    rounds: usize,
+    max_in_flight: usize,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        connections: 8,
+        rounds: 2,
+        max_in_flight: 4,
+        out: "BENCH_serve.json".to_string(),
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--connections" => {
+                args.connections = value("--connections")?
+                    .parse()
+                    .map_err(|e| format!("--connections: {e}"))?;
+            }
+            "--rounds" => {
+                args.rounds = value("--rounds")?
+                    .parse()
+                    .map_err(|e| format!("--rounds: {e}"))?;
+            }
+            "--max-in-flight" => {
+                args.max_in_flight = value("--max-in-flight")?
+                    .parse()
+                    .map_err(|e| format!("--max-in-flight: {e}"))?;
+            }
+            "--out" => args.out = value("--out")?,
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    args.connections = args.connections.max(1);
+    args.rounds = args.rounds.max(1);
+    args.max_in_flight = args.max_in_flight.max(1);
+    Ok(args)
+}
+
+/// Worker-pool gate for the rejection phase: while closed, every job
+/// blocks inside its setup callback, pinning the dispatcher full.
+#[derive(Default)]
+struct Gate {
+    closed: Mutex<bool>,
+    opened: Condvar,
+}
+
+impl Gate {
+    fn close(&self) {
+        *self.closed.lock().unwrap_or_else(|e| e.into_inner()) = true;
+    }
+
+    fn open(&self) {
+        *self.closed.lock().unwrap_or_else(|e| e.into_inner()) = false;
+        self.opened.notify_all();
+    }
+
+    fn wait_open(&self) {
+        let mut closed = self.closed.lock().unwrap_or_else(|e| e.into_inner());
+        while *closed {
+            closed = self
+                .opened
+                .wait(closed)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let corpus = base_decks();
+    if corpus.is_empty() {
+        return Err("the models corpus is empty".into());
+    }
+
+    let gate = Arc::new(Gate::default());
+    let setup_gate = Arc::clone(&gate);
+    let server = Server::start(
+        ServeOptions::new()
+            .batch(
+                BatchOptions::new()
+                    .workers(args.connections.min(4))
+                    .max_in_flight(args.max_in_flight),
+            )
+            .setup(Arc::new(move |mesh| {
+                setup_gate.wait_open();
+                default_setup(mesh)
+            })),
+    )
+    .map_err(|e| format!("cannot start server: {e}"))?;
+    let addr = server.local_addr();
+    println!("load-gen: serving on http://{addr}");
+
+    // ---- Phase 1: concurrent load over the corpus -------------------
+    let started = Instant::now();
+    let latencies = Mutex::new(Vec::<u64>::new());
+    let rejected_retries = Mutex::new(0u64);
+    let failures = Mutex::new(Vec::<String>::new());
+    std::thread::scope(|scope| {
+        for connection in 0..args.connections {
+            let corpus = &corpus;
+            let latencies = &latencies;
+            let rejected_retries = &rejected_retries;
+            let failures = &failures;
+            let rounds = args.rounds;
+            scope.spawn(move || {
+                for round in 0..rounds {
+                    for (name, deck) in corpus {
+                        let target = format!("/analyze?name={}", percent_encode(name));
+                        let request_started = Instant::now();
+                        let mut outcome = request(addr, "POST", &target, deck.as_bytes());
+                        // 503 means admission control said "not now", not
+                        // failure: back off and retry until a slot frees.
+                        while matches!(outcome, Ok((503, _))) {
+                            *rejected_retries.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+                            std::thread::sleep(Duration::from_millis(5));
+                            outcome = request(addr, "POST", &target, deck.as_bytes());
+                        }
+                        match outcome {
+                            Ok((200, _)) => {
+                                let micros = u64::try_from(
+                                    request_started.elapsed().as_micros(),
+                                )
+                                .unwrap_or(u64::MAX)
+                                .max(1);
+                                latencies
+                                    .lock()
+                                    .unwrap_or_else(|e| e.into_inner())
+                                    .push(micros);
+                            }
+                            Ok((status, body)) => failures
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .push(format!(
+                                    "conn {connection} round {round} {name}: status {status}: {}",
+                                    String::from_utf8_lossy(&body)
+                                )),
+                            Err(e) => failures
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .push(format!("conn {connection} round {round} {name}: {e}")),
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let load_elapsed = started.elapsed();
+    let failures = failures.into_inner().unwrap_or_else(|e| e.into_inner());
+    if !failures.is_empty() {
+        for failure in &failures {
+            eprintln!("load-gen: LOAD: {failure}");
+        }
+        return Err(format!("{} load request(s) failed", failures.len()));
+    }
+    let mut latencies = latencies.into_inner().unwrap_or_else(|e| e.into_inner());
+    latencies.sort_unstable();
+    let completed_load = latencies.len() as u64;
+    let expected_load = (args.connections * args.rounds * corpus.len()) as u64;
+    if completed_load != expected_load {
+        return Err(format!(
+            "load phase completed {completed_load} of {expected_load} requests"
+        ));
+    }
+    let p50 = percentile(&latencies, 50).max(1);
+    let p99 = percentile(&latencies, 99).max(1);
+    let jobs_per_sec_milli = ((completed_load as f64 / load_elapsed.as_secs_f64()) * 1000.0) as u64;
+    println!(
+        "load-gen: load ok — {completed_load} requests over {} connections in {:.2} s \
+         (p50 {p50} us, p99 {p99} us)",
+        args.connections,
+        load_elapsed.as_secs_f64()
+    );
+
+    // ---- Phase 2: serve responses must equal direct pipeline runs ---
+    let mut determinism_checks = 0u64;
+    let mut determinism_failures = 0u64;
+    for (name, deck) in &corpus {
+        let target = format!("/analyze?name={}", percent_encode(name));
+        let (status_a, body_a) = request(addr, "POST", &target, deck.as_bytes())?;
+        let (status_b, body_b) = request(addr, "POST", &target, deck.as_bytes())?;
+        let expected = {
+            let builder = PipelineBuilder::new().lint(LintConfig::new());
+            let parsed = builder
+                .parse(deck)
+                .map_err(|e| format!("{name}: direct parse failed: {e}"))?;
+            let lint = parsed.lint_report().cloned();
+            let plots = parsed
+                .idealize()
+                .and_then(|i| i.setup(default_setup))
+                .and_then(|m| m.solve())
+                .and_then(|s| s.recover())
+                .and_then(|r| r.contour())
+                .map_err(|e| format!("{name}: direct run failed: {e}"))?;
+            analysis_summary_json(name, &plots, lint.as_ref())
+        };
+        determinism_checks += 1;
+        if status_a != 200 || status_b != 200 {
+            determinism_failures += 1;
+            eprintln!("load-gen: DETERMINISM: {name}: statuses {status_a}/{status_b}");
+        } else if body_a != body_b || body_a != expected.as_bytes() {
+            determinism_failures += 1;
+            eprintln!(
+                "load-gen: DETERMINISM: {name}: serve/serve identical: {}, \
+                 serve/direct identical: {}",
+                body_a == body_b,
+                body_a == expected.as_bytes()
+            );
+        }
+    }
+    if determinism_failures != 0 {
+        return Err(format!(
+            "{determinism_failures} of {determinism_checks} determinism checks failed"
+        ));
+    }
+    println!("load-gen: determinism ok — {determinism_checks} decks byte-identical to direct runs");
+
+    // ---- Phase 3: deterministic admission rejection -----------------
+    let (fill_name, fill_deck) = &corpus[0];
+    gate.close();
+    let rejection_result = std::thread::scope(|scope| {
+        let mut holders = Vec::new();
+        for _ in 0..args.max_in_flight {
+            let target = format!("/analyze?name={}", percent_encode(fill_name));
+            let deck = fill_deck.as_bytes();
+            holders.push(scope.spawn(move || request(addr, "POST", &target, deck)));
+        }
+        // Wait until every slot is pinned behind the gate.
+        let fill_deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let (status, body) = request(addr, "GET", "/healthz", b"")?;
+            if status != 200 {
+                gate.open();
+                return Err(format!("healthz answered {status}"));
+            }
+            let text = String::from_utf8_lossy(&body).into_owned();
+            if text.contains(&format!("\"in_flight\": {}", args.max_in_flight)) {
+                break;
+            }
+            if Instant::now() > fill_deadline {
+                gate.open();
+                return Err(format!(
+                    "dispatcher never filled to {}: {text}",
+                    args.max_in_flight
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let target = format!("/analyze?name={}", percent_encode(fill_name));
+        let overflow = request(addr, "POST", &target, fill_deck.as_bytes());
+        gate.open();
+        for holder in holders {
+            match holder.join() {
+                Ok(Ok((200, _))) => {}
+                Ok(other) => return Err(format!("held job did not complete: {other:?}")),
+                Err(_) => return Err("holder thread panicked".into()),
+            }
+        }
+        match overflow {
+            Ok((503, body)) if String::from_utf8_lossy(&body).contains("saturated") => Ok(()),
+            other => Err(format!("overflow request was not 503 saturated: {other:?}")),
+        }
+    });
+    rejection_result?;
+    println!(
+        "load-gen: rejection ok — slot {} saturated, overflow answered 503",
+        args.max_in_flight
+    );
+
+    // ---- Phase 4: graceful drain under fire -------------------------
+    let drain_submitted = args.connections as u64;
+    let drain_outcomes = std::thread::scope(|scope| {
+        let mut clients = Vec::new();
+        for i in 0..args.connections {
+            let (name, deck) = &corpus[i % corpus.len()];
+            let target = format!("/analyze?name={}", percent_encode(name));
+            let deck = deck.as_bytes();
+            clients.push(scope.spawn(move || request(addr, "POST", &target, deck)));
+        }
+        // Let the fleet reach the server, then pull the plug mid-flight.
+        std::thread::sleep(Duration::from_millis(10));
+        let shutdown = request(addr, "POST", "/shutdown", b"");
+        let outcomes: Vec<Result<(u16, Vec<u8>), String>> = clients
+            .into_iter()
+            .map(|c| c.join().unwrap_or_else(|_| Err("client panicked".into())))
+            .collect();
+        (shutdown, outcomes)
+    });
+    let (shutdown_response, outcomes) = drain_outcomes;
+    match shutdown_response {
+        Ok((200, _)) => {}
+        other => return Err(format!("shutdown request was not 200: {other:?}")),
+    }
+    let mut drain_responses = 0u64;
+    let mut drain_lost = 0u64;
+    for outcome in &outcomes {
+        match outcome {
+            // 200 = the job was accepted and finished; 503 = admission
+            // control refused it (draining or saturated). Both are a
+            // complete response: nothing was silently dropped.
+            Ok((200 | 503, _)) => drain_responses += 1,
+            Ok((status, body)) => {
+                drain_lost += 1;
+                eprintln!(
+                    "load-gen: DRAIN: unexpected status {status}: {}",
+                    String::from_utf8_lossy(body)
+                );
+            }
+            Err(e) => {
+                drain_lost += 1;
+                eprintln!("load-gen: DRAIN: no response: {e}");
+            }
+        }
+    }
+
+    let mut report = server.shutdown();
+    // The drained report must account for every job the dispatcher
+    // accepted across all phases: accepted == completed + failed.
+    let accepted = report.counter("batch.jobs").unwrap_or(0);
+    let finished = report.counter("batch.completed").unwrap_or(0)
+        + report.counter("batch.failed").unwrap_or(0);
+    if accepted != finished {
+        return Err(format!(
+            "drain lost jobs: dispatcher accepted {accepted} but finished {finished}"
+        ));
+    }
+    if drain_lost != 0 {
+        return Err(format!(
+            "{drain_lost} of {drain_submitted} drain clients got no complete response"
+        ));
+    }
+    println!(
+        "load-gen: drain ok — {drain_responses}/{drain_submitted} responses, \
+         {accepted} accepted jobs all finished"
+    );
+
+    for (name, value) in [
+        ("serve.load_connections", args.connections as u64),
+        ("serve.latency_p50_micros", p50),
+        ("serve.latency_p99_micros", p99),
+        ("serve.jobs_per_sec_milli", jobs_per_sec_milli.max(1)),
+        (
+            "serve.load_rejected_retries",
+            rejected_retries.into_inner().unwrap_or_else(|e| e.into_inner()),
+        ),
+        ("serve.determinism_checks", determinism_checks),
+        ("serve.determinism_failures", determinism_failures),
+        ("serve.drain_submitted", drain_submitted),
+        ("serve.drain_responses", drain_responses),
+        ("serve.drain_lost", drain_lost),
+    ] {
+        report.counters.push(CounterRecord {
+            name: name.to_string(),
+            value,
+        });
+    }
+    let _ = PerfReport::from_json(&report.to_json())
+        .map_err(|e| format!("artifact does not round-trip: {e}"))?;
+    std::fs::write(&args.out, report.to_json()).map_err(|e| format!("write {}: {e}", args.out))?;
+    println!(
+        "load-gen: {} requests, {} rejections, p50 {p50} us, p99 {p99} us -> {}",
+        report.counter("serve.requests").unwrap_or(0),
+        report.counter("serve.rejected").unwrap_or(0),
+        args.out
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("load-gen: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -11,6 +11,7 @@ pub mod experiments;
 pub mod jobs;
 pub mod mutate;
 pub mod timing;
+pub mod validate;
 
 use cafemio::plotter::Frame;
 

@@ -67,7 +67,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use cafemio_audit::AuditOptions;
-use cafemio_fem::{FemError, FemModel, SolverBackend};
+use cafemio_fem::{CgOptions, FemError, FemModel, SolverBackend};
 use cafemio_idlz::Capability;
 use cafemio_instrument::{CounterRecord, PerfReport, SpanRecord};
 use cafemio_lint::{LintConfig, LintError};
@@ -183,6 +183,7 @@ pub struct BatchOptions {
     lint: Option<LintConfig>,
     capability: Capability,
     solver: SolverBackend,
+    cg: CgOptions,
 }
 
 impl Default for BatchOptions {
@@ -198,6 +199,7 @@ impl Default for BatchOptions {
             lint: None,
             capability: Capability::Historical,
             solver: SolverBackend::Band,
+            cg: CgOptions::new(),
         }
     }
 }
@@ -303,6 +305,19 @@ impl BatchOptions {
     /// The configured solver backend.
     pub fn solver_backend(&self) -> SolverBackend {
         self.solver
+    }
+
+    /// Sets the conjugate-gradient options every job solves with when
+    /// the backend is [`SolverBackend::SparseCg`] (default:
+    /// [`CgOptions::new`]). Ignored by the direct backends.
+    pub fn cg_options(mut self, cg: CgOptions) -> BatchOptions {
+        self.cg = cg;
+        self
+    }
+
+    /// The configured conjugate-gradient options.
+    pub fn cg_solver_options(&self) -> CgOptions {
+        self.cg
     }
 }
 
@@ -567,7 +582,8 @@ fn execute(
         .component(job.component)
         .contour_options(job.options.clone())
         .capability(options.capability)
-        .solver(options.solver);
+        .solver(options.solver)
+        .cg_options(options.cg);
     let parsed = clock.time("batch.parse", || builder.parse(&job.deck))?;
     let idealized = clock.time("batch.idealize", || parsed.idealize())?;
     if let Some(audit) = audit {
@@ -791,6 +807,422 @@ pub fn run_batch(jobs: &[BatchJob], options: &BatchOptions) -> BatchReport {
         });
     }
     report
+}
+
+/// Why [`BatchDispatcher::submit`] (or [`BatchClient::submit`]) refused
+/// a job. Admission is refused **without blocking** — the front end
+/// decides what to tell the caller (a service maps these to `503`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The dispatcher already holds `max_in_flight` accepted jobs that
+    /// have not finished; try again once some complete.
+    Saturated {
+        /// Jobs accepted and not yet finished at refusal time.
+        in_flight: usize,
+        /// The configured [`BatchOptions::max_in_flight`] bound.
+        capacity: usize,
+    },
+    /// The dispatcher is draining ([`BatchDispatcher::drain`] was
+    /// called): in-flight jobs finish, but nothing new is accepted.
+    Draining,
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::Saturated {
+                in_flight,
+                capacity,
+            } => write!(
+                f,
+                "dispatcher saturated: {in_flight} of {capacity} job slots in flight"
+            ),
+            AdmissionError::Draining => f.write_str("dispatcher is draining"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// One accepted job's pending result. Every accepted job produces
+/// exactly one outcome; [`wait`](JobTicket::wait) blocks until the
+/// worker publishes it.
+#[derive(Debug)]
+pub struct JobTicket {
+    shared: Arc<TicketShared>,
+}
+
+#[derive(Debug)]
+struct TicketShared {
+    slot: Mutex<Option<JobOutcome>>,
+    done: Condvar,
+}
+
+impl JobTicket {
+    /// Blocks until the job finishes and returns its outcome. Consumes
+    /// the ticket: one accepted job, one response.
+    pub fn wait(self) -> JobOutcome {
+        let mut slot = self.shared.slot.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(outcome) = slot.take() {
+                return outcome;
+            }
+            slot = self
+                .shared
+                .done
+                .wait(slot)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// The outcome, if the job has already finished (non-blocking).
+    pub fn try_take(&self) -> Option<JobOutcome> {
+        self.shared
+            .slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+    }
+}
+
+struct DispatcherState {
+    queue: VecDeque<(BatchJob, Arc<TicketShared>)>,
+    /// Jobs accepted and not yet finished (queued + executing).
+    in_flight: usize,
+    /// Total jobs ever accepted.
+    accepted: u64,
+    closed: bool,
+}
+
+struct DispatcherShared {
+    state: Mutex<DispatcherState>,
+    ready: Condvar,
+    options: BatchOptions,
+}
+
+/// A cloneable submission handle onto a running [`BatchDispatcher`] —
+/// what a connection handler holds. Submission and introspection only;
+/// draining stays with the owning dispatcher.
+#[derive(Clone)]
+pub struct BatchClient {
+    shared: Arc<DispatcherShared>,
+}
+
+impl std::fmt::Debug for BatchClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchClient")
+            .field("in_flight", &self.in_flight())
+            .field("capacity", &self.capacity())
+            .finish()
+    }
+}
+
+impl BatchClient {
+    /// Non-blocking admission: accepts the job and returns its ticket,
+    /// or refuses with a typed [`AdmissionError`] when the dispatcher is
+    /// saturated or draining. Never queues beyond
+    /// [`BatchOptions::max_in_flight`].
+    pub fn submit(&self, job: BatchJob) -> Result<JobTicket, AdmissionError> {
+        let capacity = self.shared.options.max_in_flight;
+        let mut state = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if state.closed {
+            return Err(AdmissionError::Draining);
+        }
+        if state.in_flight >= capacity {
+            return Err(AdmissionError::Saturated {
+                in_flight: state.in_flight,
+                capacity,
+            });
+        }
+        state.in_flight += 1;
+        state.accepted += 1;
+        let ticket = Arc::new(TicketShared {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        });
+        state.queue.push_back((job, Arc::clone(&ticket)));
+        self.shared.ready.notify_one();
+        Ok(JobTicket { shared: ticket })
+    }
+
+    /// Jobs accepted and not yet finished (queued + executing).
+    pub fn in_flight(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .in_flight
+    }
+
+    /// The admission bound ([`BatchOptions::max_in_flight`]).
+    pub fn capacity(&self) -> usize {
+        self.shared.options.max_in_flight
+    }
+
+    /// Total jobs ever accepted.
+    pub fn accepted(&self) -> u64 {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .accepted
+    }
+
+    /// Whether [`BatchDispatcher::drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .closed
+    }
+}
+
+/// A **persistent** batch engine: the same worker pool, error typing,
+/// and per-stage accounting as [`run_batch`], but accepting jobs one at
+/// a time for as long as the dispatcher lives — the shape a long-running
+/// service needs.
+///
+/// Differences from [`run_batch`]:
+///
+/// * **admission control is non-blocking** — [`submit`](Self::submit)
+///   refuses with [`AdmissionError::Saturated`] instead of applying
+///   backpressure by blocking, so a front end can answer "try later"
+///   immediately;
+/// * **results are per-job** — each accepted job yields a [`JobTicket`]
+///   resolving to exactly one [`JobOutcome`];
+/// * **the error policy is ignored** — jobs are independent requests,
+///   so [`ErrorPolicy::FailFast`] would make one caller's bad deck
+///   cancel another caller's good one. Every job runs
+///   ([`ErrorPolicy::CollectAll`] semantics).
+///
+/// [`drain`](Self::drain) is the graceful shutdown: admission closes,
+/// every already-accepted job still runs to completion and resolves its
+/// ticket, the workers exit, and their merged [`PerfReport`] (the
+/// `batch.*` spans plus `audit.*`/`lint.*` when enabled) is returned.
+///
+/// ```
+/// use cafemio::batch::{BatchDispatcher, BatchJob, BatchOptions};
+/// # use cafemio::prelude::*;
+/// # fn setup(mesh: &TriMesh) -> Result<FemModel, FemError> {
+/// #     let mut model = FemModel::new(
+/// #         mesh.clone(),
+/// #         AnalysisKind::PlaneStress { thickness: 1.0 },
+/// #         Material::isotropic(1.0e7, 0.3),
+/// #     );
+/// #     let mut corner = None;
+/// #     for (id, node) in mesh.nodes() {
+/// #         if node.position.x.abs() < 1e-9 {
+/// #             model.fix_x(id);
+/// #             if node.position.y.abs() < 1e-9 { corner = Some(id); }
+/// #         } else {
+/// #             model.add_force(id, 10.0, 0.0);
+/// #         }
+/// #     }
+/// #     model.fix_y(corner.expect("corner"));
+/// #     Ok(model)
+/// # }
+/// # const DECK: &str = concat!(
+/// #     "    1\n", "SIMPLE PLATE\n", "    1    1    1    1\n",
+/// #     "    1    0    0    4    2         0    0\n", "    1    2\n",
+/// #     "    0    0    4    0  0.0000  0.0000  2.0000  0.0000  0.0000\n",
+/// #     "    0    2    4    2  0.0000  0.5000  2.0000  0.5000  0.0000\n",
+/// #     "(2F9.5, 51X, I3, 5X, I3)\n", "(3I5, 62X, I3)\n",
+/// # );
+/// let dispatcher = BatchDispatcher::start(BatchOptions::new().workers(2));
+/// let ticket = dispatcher.submit(BatchJob::new("plate", DECK, setup)).unwrap();
+/// assert!(ticket.wait().plots().is_some());
+/// let report = dispatcher.drain();
+/// assert_eq!(report.counter("batch.jobs"), Some(1));
+/// ```
+pub struct BatchDispatcher {
+    shared: Arc<DispatcherShared>,
+    workers: Vec<std::thread::JoinHandle<PerfReport>>,
+}
+
+impl std::fmt::Debug for BatchDispatcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchDispatcher")
+            .field("workers", &self.workers.len())
+            .field("client", &self.client())
+            .finish()
+    }
+}
+
+impl BatchDispatcher {
+    /// Spawns the worker pool and starts accepting jobs. The
+    /// [`ErrorPolicy`] in `options` is ignored (see the type docs);
+    /// every other knob — worker count, `max_in_flight`, audit, lint,
+    /// capability, solver, CG options — behaves as in [`run_batch`].
+    pub fn start(options: BatchOptions) -> BatchDispatcher {
+        let shared = Arc::new(DispatcherShared {
+            state: Mutex::new(DispatcherState {
+                queue: VecDeque::new(),
+                in_flight: 0,
+                accepted: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            options,
+        });
+        let workers = (0..shared.options.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        BatchDispatcher { shared, workers }
+    }
+
+    /// A cloneable submission handle (see [`BatchClient`]).
+    pub fn client(&self) -> BatchClient {
+        BatchClient {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Non-blocking admission — see [`BatchClient::submit`].
+    pub fn submit(&self, job: BatchJob) -> Result<JobTicket, AdmissionError> {
+        self.client().submit(job)
+    }
+
+    /// Jobs accepted and not yet finished.
+    pub fn in_flight(&self) -> usize {
+        self.client().in_flight()
+    }
+
+    /// Graceful shutdown: closes admission (subsequent submissions get
+    /// [`AdmissionError::Draining`]), lets every accepted job run to
+    /// completion and resolve its ticket, joins the workers, and returns
+    /// their merged per-stage [`PerfReport`] with the same span/counter
+    /// layout as [`run_batch`] (minus `batch.total`, which belongs to
+    /// the caller's clock).
+    pub fn drain(self) -> PerfReport {
+        {
+            let mut state = self
+                .shared
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            state.closed = true;
+            self.shared.ready.notify_all();
+        }
+        let mut perf = PerfReport::default();
+        for name in STAGE_SPANS {
+            perf.spans.push(SpanRecord {
+                name: name.to_owned(),
+                depth: 1,
+                nanos: 0,
+            });
+        }
+        for name in ["batch.completed", "batch.failed"] {
+            perf.counters.push(CounterRecord {
+                name: name.to_owned(),
+                value: 0,
+            });
+        }
+        if self.shared.options.audit.is_some() {
+            for name in ["audit.idealize", "audit.solve", "audit.contour"] {
+                perf.spans.push(SpanRecord {
+                    name: name.to_owned(),
+                    depth: 1,
+                    nanos: 0,
+                });
+            }
+            for name in ["audit.checks", "audit.violations"] {
+                perf.counters.push(CounterRecord {
+                    name: name.to_owned(),
+                    value: 0,
+                });
+            }
+        }
+        if self.shared.options.lint.is_some() {
+            perf.spans.push(SpanRecord {
+                name: "lint.deck".to_owned(),
+                depth: 1,
+                nanos: 0,
+            });
+            for name in ["lint.diagnostics", "lint.denied"] {
+                perf.counters.push(CounterRecord {
+                    name: name.to_owned(),
+                    value: 0,
+                });
+            }
+        }
+        for worker in self.workers {
+            // invariant: `execute` is panic-free on user input (the PR-2
+            // guarantee), so a worker thread never dies mid-job.
+            let report = worker.join().expect("batch worker never panics");
+            perf.merge(&report);
+        }
+        let accepted = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .accepted;
+        perf.counters.push(CounterRecord {
+            name: "batch.jobs".to_owned(),
+            value: accepted,
+        });
+        perf.counters.push(CounterRecord {
+            name: "batch.workers".to_owned(),
+            value: self.shared.options.workers.max(1) as u64,
+        });
+        perf
+    }
+}
+
+/// One dispatcher worker: claim, execute, publish, repeat — exits only
+/// when the dispatcher is draining **and** the queue is empty, so every
+/// accepted job resolves its ticket exactly once.
+fn worker_loop(shared: &DispatcherShared) -> PerfReport {
+    let mut clock = StageClock::new();
+    loop {
+        let (job, ticket) = {
+            let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(entry) = state.queue.pop_front() {
+                    break entry;
+                }
+                if state.closed {
+                    return clock.report;
+                }
+                state = shared
+                    .ready
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let outcome = match execute(&job, &mut clock, &shared.options) {
+            Ok(plots) => {
+                clock.count("batch.completed", 1);
+                JobOutcome::Completed(plots)
+            }
+            Err(err) => {
+                if matches!(err.source_error(), StageError::Audit(_)) {
+                    clock.count("audit.violations", 1);
+                }
+                clock.count("batch.failed", 1);
+                JobOutcome::Failed(err)
+            }
+        };
+        // Free the admission slot before publishing, so a caller woken
+        // by its ticket never observes its own finished job still
+        // counted in flight.
+        {
+            let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.in_flight -= 1;
+        }
+        let mut slot = ticket.slot.lock().unwrap_or_else(|e| e.into_inner());
+        *slot = Some(outcome);
+        ticket.done.notify_all();
+        drop(slot);
+    }
 }
 
 #[cfg(test)]
@@ -1033,5 +1465,102 @@ mod tests {
         let options = BatchOptions::new().max_in_flight(2).workers(8);
         assert!(options.in_flight_bound() >= 8);
         assert_eq!(options.policy(), ErrorPolicy::CollectAll);
+        let options = BatchOptions::new().cg_options(CgOptions::new().with_max_iterations(7));
+        assert_eq!(options.cg_solver_options().max_iterations, 7);
+    }
+
+    #[test]
+    fn dispatcher_runs_jobs_and_merges_perf_on_drain() {
+        let dispatcher = BatchDispatcher::start(BatchOptions::new().workers(2).max_in_flight(8));
+        let tickets: Vec<_> = plate_jobs(4)
+            .into_iter()
+            .map(|job| dispatcher.submit(job).expect("admitted"))
+            .collect();
+        for ticket in tickets {
+            let outcome = ticket.wait();
+            assert!(outcome.plots().is_some(), "{outcome:?}");
+        }
+        assert_eq!(dispatcher.in_flight(), 0);
+        let perf = dispatcher.drain();
+        assert_eq!(perf.counter("batch.jobs"), Some(4));
+        assert_eq!(perf.counter("batch.completed"), Some(4));
+        assert_eq!(perf.counter("batch.failed"), Some(0));
+        for name in STAGE_SPANS {
+            assert!(perf.span_nanos(name) > 0, "{name} never timed");
+        }
+    }
+
+    #[test]
+    fn dispatcher_refuses_when_saturated_and_when_draining() {
+        let dispatcher = BatchDispatcher::start(BatchOptions::new().workers(1).max_in_flight(1));
+        let client = dispatcher.client();
+        // Occupy the single slot with a job whose setup blocks until
+        // released — admission state is then deterministic.
+        let (release, gate) = std::sync::mpsc::channel::<()>();
+        let gate = Mutex::new(gate);
+        let blocked = client
+            .submit(BatchJob::new("blocked", PLATE_DECK, move |mesh| {
+                let _ = gate.lock().unwrap_or_else(|e| e.into_inner()).recv();
+                cantilever(mesh)
+            }))
+            .expect("first job admitted");
+        assert_eq!(client.in_flight(), 1);
+        match client.submit(plate_jobs(1).remove(0)) {
+            Err(AdmissionError::Saturated {
+                in_flight,
+                capacity,
+            }) => {
+                assert_eq!(in_flight, 1);
+                assert_eq!(capacity, 1);
+            }
+            other => panic!("expected saturation, got {other:?}"),
+        }
+        release.send(()).expect("worker waiting");
+        assert!(blocked.wait().plots().is_some());
+        let perf = dispatcher.drain();
+        assert_eq!(perf.counter("batch.jobs"), Some(1));
+        // A client that outlives the drain gets the typed refusal.
+        assert!(client.is_draining());
+        assert_eq!(
+            client.submit(plate_jobs(1).remove(0)).unwrap_err(),
+            AdmissionError::Draining
+        );
+    }
+
+    #[test]
+    fn drain_resolves_every_accepted_ticket() {
+        let dispatcher = BatchDispatcher::start(BatchOptions::new().workers(2).max_in_flight(16));
+        let tickets: Vec<_> = plate_jobs(10)
+            .into_iter()
+            .map(|job| dispatcher.submit(job).expect("admitted"))
+            .collect();
+        // Drain races the workers: every accepted job must still resolve.
+        let perf = dispatcher.drain();
+        let mut resolved = 0;
+        for ticket in tickets {
+            assert!(ticket.wait().plots().is_some());
+            resolved += 1;
+        }
+        assert_eq!(resolved, 10);
+        assert_eq!(perf.counter("batch.jobs"), Some(10));
+        assert_eq!(perf.counter("batch.completed"), Some(10));
+    }
+
+    #[test]
+    fn starved_cg_budget_is_a_typed_solve_failure_through_the_engine() {
+        let jobs = plate_jobs(1);
+        let report = run_batch(
+            &jobs,
+            &BatchOptions::new()
+                .workers(1)
+                .solver(SolverBackend::SparseCg)
+                .cg_options(CgOptions::new().with_max_iterations(1)),
+        );
+        let err = report.outcomes[0].error().expect("starved CG fails");
+        assert_eq!(err.stage(), crate::pipeline::Stage::Solve);
+        assert!(matches!(
+            err.source_error(),
+            StageError::Fem(FemError::CgNoConvergence { .. })
+        ));
     }
 }

@@ -99,7 +99,8 @@ pub mod prelude {
     pub use cafemio_plotter::{render_svg, AsciiCanvas, Frame};
 
     pub use crate::batch::{
-        run_batch, BatchJob, BatchOptions, BatchReport, ErrorPolicy, JobOutcome,
+        run_batch, AdmissionError, BatchClient, BatchDispatcher, BatchJob, BatchOptions,
+        BatchReport, ErrorPolicy, JobOutcome, JobTicket,
     };
     pub use crate::pipeline::{
         Idealized, IdealizedSet, ModelReady, ParsedDeck, PipelineBuilder, PipelineError,

@@ -35,7 +35,7 @@ use std::fmt;
 
 use cafemio_audit::{AuditError, AuditOptions, AuditStage};
 use cafemio_cards::{CardError, Deck};
-use cafemio_fem::{FemError, FemModel, Solution, SolverBackend, StressField};
+use cafemio_fem::{CgOptions, FemError, FemModel, Solution, SolverBackend, StressField};
 use cafemio_idlz::{Capability, Idealization, IdealizationResult, IdealizationSpec, IdlzError};
 use cafemio_lint::{LintConfig, LintError, LintReport};
 use cafemio_mesh::{NodalField, TriMesh};
@@ -254,6 +254,7 @@ struct SessionConfig {
     lint: Option<LintConfig>,
     capability: Capability,
     solver: SolverBackend,
+    cg: CgOptions,
 }
 
 impl Default for SessionConfig {
@@ -265,6 +266,7 @@ impl Default for SessionConfig {
             lint: None,
             capability: Capability::Historical,
             solver: SolverBackend::Band,
+            cg: CgOptions::new(),
         }
     }
 }
@@ -367,6 +369,15 @@ impl PipelineBuilder {
     /// [`SolverBackend::SparseCg`] for large meshes.
     pub fn solver(mut self, solver: SolverBackend) -> PipelineBuilder {
         self.config.solver = solver;
+        self
+    }
+
+    /// Sets the conjugate-gradient options the session solves with when
+    /// the backend is [`SolverBackend::SparseCg`] (default:
+    /// [`CgOptions::new`] — 1e-12 relative residual, order-scaled
+    /// iteration budget). Ignored by the direct backends.
+    pub fn cg_options(mut self, cg: CgOptions) -> PipelineBuilder {
+        self.config.cg = cg;
         self
     }
 
@@ -593,13 +604,16 @@ impl ModelReady {
     pub fn solve(self) -> Result<Solved, PipelineError> {
         let _span = cafemio_instrument::span("pipeline.solve");
         let backend = self.config.solver;
+        let cg = self.config.cg;
         let cases = self
             .models
             .into_iter()
             .map(|model| {
-                let solution = model
-                    .solve_with(backend)
-                    .map_err(|e| PipelineError::at(Stage::Solve, StageError::Fem(e)))?;
+                let solution = match backend {
+                    SolverBackend::SparseCg => model.solve_sparse_with(&cg),
+                    direct => model.solve_with(direct),
+                }
+                .map_err(|e| PipelineError::at(Stage::Solve, StageError::Fem(e)))?;
                 Ok(SolvedCase { model, solution })
             })
             .collect::<Result<Vec<_>, PipelineError>>()?;

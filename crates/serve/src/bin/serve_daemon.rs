@@ -1,0 +1,125 @@
+//! The standalone daemon: boots a [`Server`] and runs until a
+//! `POST /shutdown` request drains it.
+//!
+//! ```sh
+//! cargo run --release -p cafemio-serve --bin serve_daemon -- \
+//!     --addr 127.0.0.1:0 --workers 4 --max-in-flight 16
+//! ```
+//!
+//! Prints `listening on http://HOST:PORT` on stdout once bound (scripts
+//! scrape the port from that line), serves until drained, then prints the
+//! merged perf report summary. With `--metrics-out PATH` the full report
+//! JSON is also written to disk.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use cafemio::batch::BatchOptions;
+use cafemio_serve::{ServeOptions, Server};
+
+struct Args {
+    addr: String,
+    workers: usize,
+    max_in_flight: usize,
+    read_timeout_ms: u64,
+    max_body_bytes: usize,
+    metrics_out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 0,
+        max_in_flight: 0,
+        read_timeout_ms: 10_000,
+        max_body_bytes: 1024 * 1024,
+        metrics_out: None,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--max-in-flight" => {
+                args.max_in_flight = value("--max-in-flight")?
+                    .parse()
+                    .map_err(|e| format!("--max-in-flight: {e}"))?;
+            }
+            "--read-timeout-ms" => {
+                args.read_timeout_ms = value("--read-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--read-timeout-ms: {e}"))?;
+            }
+            "--max-body-bytes" => {
+                args.max_body_bytes = value("--max-body-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--max-body-bytes: {e}"))?;
+            }
+            "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("serve_daemon: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut batch = BatchOptions::new();
+    if args.workers > 0 {
+        batch = batch.workers(args.workers);
+    }
+    if args.max_in_flight > 0 {
+        batch = batch.max_in_flight(args.max_in_flight);
+    }
+    let options = ServeOptions::new()
+        .addr(args.addr)
+        .batch(batch)
+        .read_timeout(Duration::from_millis(args.read_timeout_ms))
+        .max_body_bytes(args.max_body_bytes);
+
+    let server = match Server::start(options) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("serve_daemon: cannot start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on http://{}", server.local_addr());
+
+    // Park until a POST /shutdown flips the drain flag; the daemon has
+    // no other exit path, mirroring a SIGTERM-driven service manager.
+    let handle = server.handle();
+    while !handle.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    let report = server.shutdown();
+    println!(
+        "serve_daemon: drained ({} responses, {} completed, {} rejected)",
+        report.counter("serve.responses").unwrap_or(0),
+        report.counter("serve.completed").unwrap_or(0),
+        report.counter("serve.rejected").unwrap_or(0),
+    );
+    if let Some(path) = args.metrics_out {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("serve_daemon: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,46 @@
+//! # cafemio-serve
+//!
+//! A long-running deck-analysis service over the cafemio batch engine:
+//! the modern shape of the 1970 paper's time-shared input/output loop.
+//! A std-only HTTP/1.1 daemon accepts card-deck text on POST, runs
+//! lint → idealize → solve → contour through a persistent
+//! [`cafemio::batch::BatchDispatcher`], and answers with deterministic
+//! JSON summaries or SVG contour plots. Pipeline failures map to typed
+//! status codes (400 for unparseable decks, 422 for lint denials, audit
+//! violations, and solver failures, 503 when admission control is
+//! saturated or draining), and a drain request finishes every accepted
+//! job before the merged `serve.*`/`batch.*` perf report is flushed.
+//!
+//! ```no_run
+//! use cafemio_serve::{Server, ServeOptions};
+//!
+//! let server = Server::start(ServeOptions::new())?;
+//! println!("listening on http://{}", server.local_addr());
+//! // ... serve until a drain is requested ...
+//! let report = server.shutdown();
+//! println!("{}", report.to_json());
+//! # Ok::<(), std::io::Error>(())
+//! ```
+//!
+//! See `docs/SERVE.md` for the endpoint and status-code reference.
+//!
+//! ## Layering
+//!
+//! This crate sits **above** the `cafemio` umbrella (like
+//! `cafemio-bench`), because it consumes the batch engine; it is
+//! therefore not re-exported from `cafemio` itself.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod artifact;
+pub mod http;
+mod server;
+
+pub use artifact::{
+    admission_error_body, analysis_summary_json, error_body, error_kind, lint_json,
+    pipeline_error_body, status_for_error,
+};
+pub use server::{
+    default_setup, ServeOptions, Server, ServerHandle, SERVE_COUNTERS, SERVE_SPANS,
+};

@@ -1,0 +1,659 @@
+//! The daemon: a thread-per-connection HTTP front end over a persistent
+//! [`BatchDispatcher`].
+//!
+//! ## Lifecycle
+//!
+//! [`Server::start`] binds the listener, boots the dispatcher's worker
+//! pool, and spawns the accept loop; the calling thread keeps the
+//! [`Server`] value as the drain capability. Each connection is handled
+//! on its own thread: one request, one `Connection: close` response.
+//! A request that reaches `POST /analyze` or `POST /contour` is linted
+//! and parsed inline (cheap, and it gives the response its lint report),
+//! then submitted to the dispatcher; the connection thread blocks on the
+//! job ticket, so batch backpressure (`max_in_flight`) is what bounds
+//! service concurrency — a submit against a full dispatcher returns 503
+//! immediately rather than queueing without bound.
+//!
+//! ## Graceful drain
+//!
+//! [`Server::shutdown`] (or a `POST /shutdown` request) flips the drain
+//! flag. From that point the accept loop answers new connections with
+//! 503 and exits; connections already being handled run to completion —
+//! their submitted jobs are finished by the worker pool, each ticket is
+//! resolved, and each response is written. Only then is the dispatcher
+//! drained and the merged `serve.*` + `batch.*` [`PerfReport`] returned.
+//! Every job the dispatcher accepted therefore gets exactly one
+//! response; jobs never outlive the server silently.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use cafemio::batch::{BatchDispatcher, BatchJob, BatchOptions, JobOutcome, SetupFn};
+use cafemio::fem::{AnalysisKind, FemError, FemModel, Material};
+use cafemio::instrument::{CounterRecord, PerfReport, SpanRecord};
+use cafemio::lint::LintConfig;
+use cafemio::mesh::TriMesh;
+use cafemio::pipeline::{PipelineBuilder, StressComponent};
+use cafemio::plotter::render_svg;
+
+use crate::artifact;
+use crate::http::{self, HttpError, Request};
+
+/// The per-request span names the service records, in request order.
+pub const SERVE_SPANS: [&str; 4] = [
+    "serve.accept",
+    "serve.parse",
+    "serve.dispatch",
+    "serve.respond",
+];
+
+/// The counters the final drained report always carries (seeded to zero
+/// so a quiet server still produces a structurally complete report).
+pub const SERVE_COUNTERS: [&str; 6] = [
+    "serve.requests",
+    "serve.responses",
+    "serve.completed",
+    "serve.failed",
+    "serve.rejected",
+    "serve.http_errors",
+];
+
+/// A deck-agnostic cantilever setup used when the operator does not
+/// install one: clamp a thin band at minimum `x`, pull the matching band
+/// at maximum `x`. Identical in spirit to the bench corpus setup, so
+/// service runs are comparable to direct batch runs out of the box.
+pub fn default_setup(mesh: &TriMesh) -> Result<FemModel, FemError> {
+    let mut model = FemModel::new(
+        mesh.clone(),
+        AnalysisKind::PlaneStress { thickness: 1.0 },
+        Material::isotropic(30.0e6, 0.3),
+    );
+    let (min, max) = mesh
+        .nodes()
+        .map(|(_, n)| n.position.x)
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), x| {
+            (lo.min(x), hi.max(x))
+        });
+    let band = 1e-9 + 0.10 * (max - min);
+    for (id, node) in mesh.nodes() {
+        if node.position.x <= min + band {
+            model.fix_both(id);
+        } else if node.position.x >= max - band {
+            model.add_force(id, 25.0, 0.0);
+        }
+    }
+    Ok(model)
+}
+
+/// Configuration for [`Server::start`]. Defaults: bind `127.0.0.1:0`
+/// (ephemeral port), 10-second read timeout, 1 MiB body cap, default
+/// batch options, [`default_setup`] boundary conditions, effective
+/// stress, default lint configuration.
+#[derive(Clone)]
+pub struct ServeOptions {
+    batch: BatchOptions,
+    addr: String,
+    read_timeout: Duration,
+    max_body_bytes: usize,
+    setup: SetupFn,
+    component: StressComponent,
+    lint: LintConfig,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions::new()
+    }
+}
+
+impl ServeOptions {
+    /// The documented defaults.
+    pub fn new() -> ServeOptions {
+        ServeOptions {
+            batch: BatchOptions::new(),
+            addr: "127.0.0.1:0".to_string(),
+            read_timeout: Duration::from_secs(10),
+            max_body_bytes: 1024 * 1024,
+            setup: Arc::new(default_setup),
+            component: StressComponent::Effective,
+            lint: LintConfig::new(),
+        }
+    }
+
+    /// Sets the batch-engine options (workers, `max_in_flight`, solver,
+    /// audit, lint, capability) the dispatcher runs with.
+    pub fn batch(mut self, batch: BatchOptions) -> ServeOptions {
+        self.batch = batch;
+        self
+    }
+
+    /// Sets the bind address (default `127.0.0.1:0`).
+    pub fn addr(mut self, addr: impl Into<String>) -> ServeOptions {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Sets the per-connection read timeout. A connection that has not
+    /// delivered a full request within it is answered 408 and closed.
+    pub fn read_timeout(mut self, timeout: Duration) -> ServeOptions {
+        self.read_timeout = timeout.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Sets the request-body cap; larger declared bodies are answered
+    /// 413 before a single body byte is read.
+    pub fn max_body_bytes(mut self, limit: usize) -> ServeOptions {
+        self.max_body_bytes = limit.max(1);
+        self
+    }
+
+    /// Installs the boundary-condition callback applied to every deck.
+    pub fn setup(mut self, setup: SetupFn) -> ServeOptions {
+        self.setup = setup;
+        self
+    }
+
+    /// Sets the stress component jobs contour (default: effective).
+    pub fn component(mut self, component: StressComponent) -> ServeOptions {
+        self.component = component;
+        self
+    }
+
+    /// Sets the lint configuration applied to every submitted deck;
+    /// denials answer 422 without reaching the worker pool.
+    pub fn lint(mut self, lint: LintConfig) -> ServeOptions {
+        self.lint = lint;
+        self
+    }
+
+    /// The configured batch options.
+    pub fn batch_options(&self) -> &BatchOptions {
+        &self.batch
+    }
+
+    /// The configured read timeout.
+    pub fn read_timeout_value(&self) -> Duration {
+        self.read_timeout
+    }
+
+    /// The configured body cap in bytes.
+    pub fn max_body_limit(&self) -> usize {
+        self.max_body_bytes
+    }
+}
+
+/// A per-request clock accumulating `serve.*` spans and counters into a
+/// private report, merged into the shared metrics once per connection so
+/// the hot path takes the metrics lock exactly once.
+#[derive(Default)]
+struct RequestClock {
+    report: PerfReport,
+}
+
+impl RequestClock {
+    fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let value = f();
+        // Clamp to >= 1 ns so a recorded span is always distinguishable
+        // from a seeded zero span in the drained report.
+        let nanos = u64::try_from(start.elapsed().as_nanos())
+            .unwrap_or(u64::MAX)
+            .max(1);
+        match self.report.spans.iter_mut().find(|s| s.name == name) {
+            Some(span) => span.nanos = span.nanos.saturating_add(nanos),
+            None => self.report.spans.push(SpanRecord {
+                name: name.to_string(),
+                depth: 0,
+                nanos,
+            }),
+        }
+        value
+    }
+
+    fn count(&mut self, name: &str, by: u64) {
+        match self.report.counters.iter_mut().find(|c| c.name == name) {
+            Some(counter) => counter.value = counter.value.saturating_add(by),
+            None => self.report.counters.push(CounterRecord {
+                name: name.to_string(),
+                value: by,
+            }),
+        }
+    }
+}
+
+/// State shared by the accept loop, every connection thread, and the
+/// drain path.
+struct ServeShared {
+    client: cafemio::batch::BatchClient,
+    metrics: Mutex<PerfReport>,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    read_timeout: Duration,
+    max_body_bytes: usize,
+    setup: SetupFn,
+    component: StressComponent,
+    lint: LintConfig,
+}
+
+impl ServeShared {
+    fn merge_metrics(&self, clock: RequestClock) {
+        let mut metrics = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        metrics.merge(&clock.report);
+    }
+}
+
+/// A cloneable remote control for a running [`Server`]: observe state and
+/// request a drain without owning the server value.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<ServeShared>,
+}
+
+impl ServerHandle {
+    /// The bound socket address.
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Whether a drain has been requested (by [`Server::shutdown`],
+    /// [`ServerHandle::request_shutdown`], or `POST /shutdown`).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests a drain: the accept loop stops taking connections and
+    /// new submissions are refused. Idempotent.
+    pub fn request_shutdown(&self) {
+        begin_shutdown(&self.shared);
+    }
+}
+
+/// The running service. Dropping it without calling
+/// [`shutdown`](Server::shutdown) leaks the worker threads for the
+/// process lifetime; long-running daemons should always drain.
+pub struct Server {
+    shared: Arc<ServeShared>,
+    accept: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+    dispatcher: Option<BatchDispatcher>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.shared.addr)
+            .field("draining", &self.shared.shutdown.load(Ordering::SeqCst))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds the listener, boots the dispatcher, and starts accepting.
+    pub fn start(options: ServeOptions) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&options.addr)?;
+        let addr = listener.local_addr()?;
+        let dispatcher = BatchDispatcher::start(options.batch);
+        let shared = Arc::new(ServeShared {
+            client: dispatcher.client(),
+            metrics: Mutex::new(PerfReport::default()),
+            shutdown: AtomicBool::new(false),
+            addr,
+            read_timeout: options.read_timeout,
+            max_body_bytes: options.max_body_bytes,
+            setup: options.setup,
+            component: options.component,
+            lint: options.lint,
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || accept_loop(listener, accept_shared));
+        Ok(Server {
+            shared,
+            accept: Some(accept),
+            dispatcher: Some(dispatcher),
+        })
+    }
+
+    /// The bound socket address (useful with the `127.0.0.1:0` default).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A cloneable handle for observing and draining the server.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Jobs currently queued or running in the dispatcher.
+    pub fn in_flight(&self) -> usize {
+        self.shared.client.in_flight()
+    }
+
+    /// Gracefully drains the service and returns the merged report:
+    /// stops accepting, finishes every in-flight connection and job,
+    /// drains the worker pool, and flushes the `serve.*` spans and
+    /// counters alongside the batch engine's own `batch.*` layout.
+    pub fn shutdown(mut self) -> PerfReport {
+        begin_shutdown(&self.shared);
+        let connections = match self.accept.take() {
+            // invariant: the accept loop never panics — every branch in
+            // accept_loop handles its errors; join can only Err on panic.
+            Some(handle) => handle.join().expect("accept loop never panics"),
+            None => Vec::new(),
+        };
+        for connection in connections {
+            // invariant: connection handlers never panic — handle_connection
+            // catches every protocol and pipeline error as a response.
+            connection.join().expect("connection handlers never panic");
+        }
+        let mut report = seeded_serve_report();
+        {
+            let metrics = self.shared.metrics.lock().unwrap_or_else(|e| e.into_inner());
+            report.merge(&metrics);
+        }
+        if let Some(dispatcher) = self.dispatcher.take() {
+            report.merge(&dispatcher.drain());
+        }
+        report
+    }
+}
+
+/// The zero-valued `serve.*` skeleton every drained report starts from,
+/// so quiet servers still emit the full span/counter layout.
+fn seeded_serve_report() -> PerfReport {
+    PerfReport {
+        spans: SERVE_SPANS
+            .iter()
+            .map(|name| SpanRecord {
+                name: name.to_string(),
+                depth: 0,
+                nanos: 0,
+            })
+            .collect(),
+        counters: SERVE_COUNTERS
+            .iter()
+            .map(|name| CounterRecord {
+                name: name.to_string(),
+                value: 0,
+            })
+            .collect(),
+    }
+}
+
+fn begin_shutdown(shared: &ServeShared) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    // Wake the accept loop with a throwaway connection so it observes
+    // the flag; if the connect fails the loop is already gone.
+    let _ = TcpStream::connect(shared.addr);
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<ServeShared>) -> Vec<JoinHandle<()>> {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        let accepted = listener.accept();
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Drain mode: answer the final accepted connection (possibly
+            // the shutdown waker, which never reads it) with 503 and stop.
+            if let Ok((mut stream, _)) = accepted {
+                let body = artifact::error_body(503, "draining", None, "service is draining");
+                let _ = http::write_response(&mut stream, 503, "application/json", body.as_bytes());
+            }
+            return connections;
+        }
+        match accepted {
+            Ok((stream, _)) => {
+                connections.retain(|handle| !handle.is_finished());
+                let mut clock = RequestClock::default();
+                let conn_shared = Arc::clone(&shared);
+                let handle = clock.time("serve.accept", || {
+                    std::thread::spawn(move || handle_connection(stream, conn_shared))
+                });
+                shared.merge_metrics(clock);
+                connections.push(handle);
+            }
+            // Transient accept failures (per-connection resets, fd
+            // pressure) are not fatal to the loop; back off briefly so a
+            // persistently broken listener cannot spin a core.
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: Arc<ServeShared>) {
+    let mut clock = RequestClock::default();
+    clock.count("serve.requests", 1);
+    let _ = stream.set_read_timeout(Some(shared.read_timeout));
+    respond(&stream, &shared, &mut clock);
+    shared.merge_metrics(clock);
+}
+
+/// Reads, routes, and answers one request. Every protocol or pipeline
+/// failure becomes a typed response; only a vanished peer ends the
+/// exchange without one.
+fn respond(stream: &TcpStream, shared: &ServeShared, clock: &mut RequestClock) {
+    let parsed = clock.time("serve.parse", || {
+        let mut reader = BufReader::new(stream);
+        http::read_request(&mut reader, shared.max_body_bytes)
+    });
+    let (status, content_type, body) = match parsed {
+        Err(HttpError::Io(_)) => {
+            clock.count("serve.http_errors", 1);
+            return;
+        }
+        Err(error) => {
+            clock.count("serve.http_errors", 1);
+            let body = artifact::error_body(error.status(), error.kind(), None, &error.to_string());
+            (error.status(), "application/json", body.into_bytes())
+        }
+        Ok(request) => route(&request, shared, clock),
+    };
+    clock.count("serve.responses", 1);
+    clock.time("serve.respond", || {
+        // A write failure means the peer vanished; the job (if any)
+        // still completed and was accounted, so there is nothing to do.
+        let mut writer = stream;
+        let _ = http::write_response(&mut writer, status, content_type, &body);
+    });
+}
+
+fn route(
+    request: &Request,
+    shared: &ServeShared,
+    clock: &mut RequestClock,
+) -> (u16, &'static str, Vec<u8>) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => (200, "application/json", health_body(shared).into_bytes()),
+        ("GET", "/metrics") => {
+            let metrics = {
+                let locked = shared.metrics.lock().unwrap_or_else(|e| e.into_inner());
+                let mut snapshot = seeded_serve_report();
+                snapshot.merge(&locked);
+                snapshot
+            };
+            (200, "application/json", metrics.to_json().into_bytes())
+        }
+        ("POST", "/shutdown") => {
+            // The flag flips before this connection's response is
+            // written, so the requester always hears the drain began.
+            begin_shutdown(shared);
+            let body = "{\n  \"status\": \"draining\"\n}\n".to_string();
+            (200, "application/json", body.into_bytes())
+        }
+        ("POST", "/analyze") | ("POST", "/contour") => analyze(request, shared, clock),
+        (_, "/healthz" | "/metrics" | "/shutdown" | "/analyze" | "/contour") => {
+            clock.count("serve.http_errors", 1);
+            let body = artifact::error_body(
+                405,
+                "method_not_allowed",
+                None,
+                &format!("{} is not supported on {}", request.method, request.path),
+            );
+            (405, "application/json", body.into_bytes())
+        }
+        (_, path) => {
+            clock.count("serve.http_errors", 1);
+            let body =
+                artifact::error_body(404, "not_found", None, &format!("no route for {path}"));
+            (404, "application/json", body.into_bytes())
+        }
+    }
+}
+
+fn health_body(shared: &ServeShared) -> String {
+    format!(
+        "{{\n  \"status\": {},\n  \"in_flight\": {},\n  \"capacity\": {},\n  \
+         \"accepted\": {},\n  \"draining\": {}\n}}\n",
+        artifact::json_escape(if shared.shutdown.load(Ordering::SeqCst) {
+            "draining"
+        } else {
+            "ok"
+        }),
+        shared.client.in_flight(),
+        shared.client.capacity(),
+        shared.client.accepted(),
+        shared.shutdown.load(Ordering::SeqCst)
+    )
+}
+
+/// The deck-processing endpoint pair. Lints and parses inline (keeping
+/// the lint report for the response), submits through admission control,
+/// blocks on the ticket, and renders either the JSON summary
+/// (`/analyze`) or the SVG contour plot (`/contour`).
+fn analyze(
+    request: &Request,
+    shared: &ServeShared,
+    clock: &mut RequestClock,
+) -> (u16, &'static str, Vec<u8>) {
+    let deck = match std::str::from_utf8(&request.body) {
+        Ok(text) => text.to_string(),
+        Err(_) => {
+            clock.count("serve.http_errors", 1);
+            let body =
+                artifact::error_body(400, "deck_parse", None, "request body is not UTF-8 text");
+            return (400, "application/json", body.into_bytes());
+        }
+    };
+    let name = request.query_param("name").unwrap_or("deck").to_string();
+
+    // Lint + parse inline: denials and parse failures answer without
+    // ever taking a dispatcher slot, and a clean parse yields the lint
+    // report the success body carries.
+    let lint_report = match clock.time("serve.parse", || {
+        PipelineBuilder::new().lint(shared.lint.clone()).parse(&deck)
+    }) {
+        Ok(parsed) => parsed.lint_report().cloned(),
+        Err(error) => {
+            clock.count("serve.failed", 1);
+            let status = artifact::status_for_error(&error);
+            let body = artifact::pipeline_error_body(&error);
+            return (status, "application/json", body.into_bytes());
+        }
+    };
+
+    let outcome = clock.time("serve.dispatch", || {
+        let job = BatchJob::with_setup_fn(name.clone(), deck, Arc::clone(&shared.setup))
+            .component(shared.component);
+        shared.client.submit(job).map(|ticket| ticket.wait())
+    });
+    match outcome {
+        Err(rejection) => {
+            clock.count("serve.rejected", 1);
+            let body = artifact::admission_error_body(&rejection);
+            (503, "application/json", body.into_bytes())
+        }
+        Ok(JobOutcome::Failed(error)) => {
+            clock.count("serve.failed", 1);
+            let status = artifact::status_for_error(&error);
+            let body = artifact::pipeline_error_body(&error);
+            (status, "application/json", body.into_bytes())
+        }
+        Ok(JobOutcome::Skipped) => {
+            // The dispatcher never applies FailFast skipping, but the
+            // enum is shared with run_batch; answer defensively.
+            clock.count("serve.failed", 1);
+            let body = artifact::error_body(503, "skipped", None, "job was skipped");
+            (503, "application/json", body.into_bytes())
+        }
+        Ok(JobOutcome::Completed(plots)) => {
+            clock.count("serve.completed", 1);
+            if request.path == "/contour" {
+                let index: usize = match request.query_param("data_set").unwrap_or("0").parse() {
+                    Ok(index) => index,
+                    Err(_) => {
+                        let body = artifact::error_body(
+                            400,
+                            "bad_query",
+                            None,
+                            "data_set must be a non-negative integer",
+                        );
+                        return (400, "application/json", body.into_bytes());
+                    }
+                };
+                match plots.get(index) {
+                    Some(plot) => {
+                        let svg = render_svg(&plot.contours.frame);
+                        (200, "image/svg+xml", svg.into_bytes())
+                    }
+                    None => {
+                        let body = artifact::error_body(
+                            404,
+                            "no_such_data_set",
+                            None,
+                            &format!(
+                                "deck has {} data set(s); no index {index}",
+                                plots.len()
+                            ),
+                        );
+                        (404, "application/json", body.into_bytes())
+                    }
+                }
+            } else {
+                let body = artifact::analysis_summary_json(&name, &plots, lint_report.as_ref());
+                (200, "application/json", body.into_bytes())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_report_is_seeded_with_the_full_layout() {
+        let report = seeded_serve_report();
+        for name in SERVE_SPANS {
+            assert!(report.spans.iter().any(|s| s.name == name), "{name}");
+        }
+        for name in SERVE_COUNTERS {
+            assert_eq!(report.counter(name), Some(0), "{name}");
+        }
+    }
+
+    #[test]
+    fn options_clamp_their_knobs() {
+        let options = ServeOptions::new()
+            .read_timeout(Duration::from_secs(0))
+            .max_body_bytes(0);
+        assert!(options.read_timeout_value() >= Duration::from_millis(1));
+        assert_eq!(options.max_body_limit(), 1);
+    }
+
+    #[test]
+    fn request_clock_merges_repeated_spans_and_counts() {
+        let mut clock = RequestClock::default();
+        clock.time("serve.parse", || {});
+        clock.time("serve.parse", || {});
+        clock.count("serve.requests", 1);
+        clock.count("serve.requests", 1);
+        assert_eq!(clock.report.spans.len(), 1);
+        assert!(clock.report.spans[0].nanos >= 2);
+        assert_eq!(clock.report.counter("serve.requests"), Some(2));
+    }
+}

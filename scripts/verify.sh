@@ -4,6 +4,9 @@
 #   scripts/verify.sh              # every stage
 #   scripts/verify.sh build test   # a selection
 #
+# Every cargo invocation runs --locked so neither local runs nor CI can
+# drift from Cargo.lock.
+#
 # Stages:
 #   build   release build of the whole workspace
 #   test    workspace test suite (includes the fault-injection suite)
@@ -15,66 +18,83 @@
 #   audit   strict-audit bug sweep over the faulted corpus + BENCH_audit.json
 #   lint    srclint source gate + decklint golden-corpus gate + BENCH_lint.json
 #   large_mesh  100k-element sparse-CG smoke + BENCH_sparse.json
+#   serve   deck service under concurrent load + BENCH_serve.json
+#
+# Every bench-producing stage finishes by running the consolidated
+# bench_validate gate on its artifact.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+validate_artifact() {
+  cargo run --locked --release -p cafemio-bench --bin bench_validate -- "$1"
+}
+
 run_build() {
   echo "== build (release)"
-  cargo build --release --workspace
+  cargo build --locked --release --workspace
 }
 
 run_test() {
   echo "== tests"
-  cargo test -q --workspace
+  cargo test --locked -q --workspace
 }
 
 run_doc() {
   echo "== rustdoc (warnings are errors)"
-  RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+  RUSTDOCFLAGS="-D warnings" cargo doc --locked --no-deps --workspace
 }
 
 run_clippy() {
   echo "== clippy (warnings are errors)"
-  cargo clippy --workspace --all-targets -- -D warnings
+  cargo clippy --locked --workspace --all-targets -- -D warnings
 }
 
 run_fuzz() {
   echo "== fuzz smoke (fixed-seed fault injection)"
-  cargo run --release -p cafemio-bench --bin fuzz_smoke
+  cargo run --locked --release -p cafemio-bench --bin fuzz_smoke
 }
 
 run_bench() {
   echo "== bench smoke (stage timings artifact)"
   # Regenerate only the timing profile (the filter matches no figure id).
-  cargo run --release -p cafemio-bench --bin figures -- NONE_SELECTED
-  cargo run --release -p cafemio-bench --bin bench_smoke
+  cargo run --locked --release -p cafemio-bench --bin figures -- NONE_SELECTED
+  validate_artifact BENCH_pipeline.json
 }
 
 run_batch() {
   echo "== batch smoke (concurrent batch engine + throughput artifact)"
-  cargo run --release -p cafemio-bench --bin batch_bench
-  cargo run --release -p cafemio-bench --bin batch_smoke
+  cargo run --locked --release -p cafemio-bench --bin batch_bench
+  validate_artifact BENCH_batch.json
 }
 
 run_audit() {
   echo "== audit sweep (strict per-stage invariants over the faulted corpus)"
-  cargo run --release -p cafemio-bench --bin audit_sweep
+  cargo run --locked --release -p cafemio-bench --bin audit_sweep
+  validate_artifact BENCH_audit.json
 }
 
 run_lint() {
   echo "== static analysis (repo source gate + deck lint golden corpus)"
-  cargo run --release -p cafemio-bench --bin srclint
-  cargo run --release -p cafemio-bench --bin decklint -- --golden
+  cargo run --locked --release -p cafemio-bench --bin srclint
+  cargo run --locked --release -p cafemio-bench --bin decklint -- --golden
+  validate_artifact BENCH_lint.json
 }
 
 run_large_mesh() {
   echo "== large-mesh smoke (100k-element sparse-CG solve + residual audit)"
-  cargo run --release -p cafemio-bench --bin large_mesh_smoke
+  cargo run --locked --release -p cafemio-bench --bin large_mesh_smoke
+  validate_artifact BENCH_sparse.json
+}
+
+run_serve() {
+  echo "== serve smoke (deck service under concurrent load + graceful drain)"
+  cargo run --locked --release -p cafemio-bench --bin load_gen -- --connections 8
+  validate_artifact BENCH_serve.json
 }
 
 stages=("$@")
 if [ ${#stages[@]} -eq 0 ]; then
-  stages=(build test doc clippy fuzz bench batch audit lint large_mesh)
+  stages=(build test doc clippy fuzz bench batch audit lint large_mesh serve)
 fi
 
 for stage in "${stages[@]}"; do
@@ -89,6 +109,7 @@ for stage in "${stages[@]}"; do
     audit) run_audit ;;
     lint) run_lint ;;
     large_mesh) run_large_mesh ;;
+    serve) run_serve ;;
     *)
       echo "verify: unknown stage '$stage'" >&2
       exit 2

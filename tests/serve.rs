@@ -1,0 +1,288 @@
+//! Integration tests for the `cafemio-serve` deck service.
+//!
+//! Each test boots a real server on an ephemeral port and talks to it
+//! over raw TCP: one golden request per typed error class asserting the
+//! status code and JSON error body, a graceful-drain test proving no
+//! accepted job is lost or answered twice, and a determinism test
+//! diffing served summaries against a direct pipeline run.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use cafemio::batch::BatchOptions;
+use cafemio::fem::{CgOptions, SolverBackend};
+use cafemio::lint::LintConfig;
+use cafemio::pipeline::PipelineBuilder;
+use cafemio_bench::mutate::base_decks;
+use cafemio_serve::http::percent_encode;
+use cafemio_serve::{analysis_summary_json, default_setup, ServeOptions, Server};
+
+/// One blocking HTTP exchange: connect, send, read to EOF, return the
+/// status code and body text.
+fn request(addr: SocketAddr, method: &str, target: &str, body: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("set timeout");
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body).expect("write body");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read response");
+    let split = response
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response has a header terminator");
+    let status = std::str::from_utf8(&response[..split])
+        .ok()
+        .and_then(|head| head.split_whitespace().nth(1))
+        .and_then(|code| code.parse::<u16>().ok())
+        .expect("parseable status line");
+    (status, String::from_utf8_lossy(&response[split + 4..]).into_owned())
+}
+
+/// A valid catalog deck (name, text) for requests that must succeed.
+fn good_deck() -> (String, String) {
+    let (name, deck) = base_decks().into_iter().next().expect("non-empty corpus");
+    (name.to_string(), deck)
+}
+
+/// A deck the default lint config denies.
+fn denied_deck() -> &'static str {
+    cafemio::lint::golden_cases()
+        .into_iter()
+        .find(|c| c.code == cafemio::lint::LintCode::DuplicateSubdivisionId)
+        .expect("golden corpus covers every code")
+        .deck
+}
+
+#[test]
+fn unparseable_deck_answers_400_with_typed_body() {
+    let server = Server::start(ServeOptions::new()).expect("start");
+    let addr = server.local_addr();
+    let (status, body) = request(addr, "POST", "/analyze?name=garbage", b"THIS IS NOT A DECK");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("\"status\": 400"), "{body}");
+    assert!(body.contains("\"kind\": \"deck_parse\""), "{body}");
+    server.shutdown();
+}
+
+#[test]
+fn lint_denial_answers_422_with_typed_body() {
+    let server = Server::start(ServeOptions::new()).expect("start");
+    let addr = server.local_addr();
+    let (status, body) = request(addr, "POST", "/analyze?name=denied", denied_deck().as_bytes());
+    assert_eq!(status, 422, "{body}");
+    assert!(body.contains("\"status\": 422"), "{body}");
+    assert!(body.contains("\"kind\": \"lint_denied\""), "{body}");
+    server.shutdown();
+}
+
+#[test]
+fn cg_no_convergence_answers_422_with_typed_body() {
+    // A one-iteration CG budget cannot converge on any catalog deck, so
+    // the solve stage fails with the typed CgNoConvergence error.
+    let server = Server::start(
+        ServeOptions::new().batch(
+            BatchOptions::new()
+                .solver(SolverBackend::SparseCg)
+                .cg_options(CgOptions::new().with_max_iterations(1)),
+        ),
+    )
+    .expect("start");
+    let addr = server.local_addr();
+    let (name, deck) = good_deck();
+    let target = format!("/analyze?name={}", percent_encode(&name));
+    let (status, body) = request(addr, "POST", &target, deck.as_bytes());
+    assert_eq!(status, 422, "{body}");
+    assert!(body.contains("\"kind\": \"cg_no_convergence\""), "{body}");
+    assert!(body.contains("\"stage\": \"solution\""), "{body}");
+    server.shutdown();
+}
+
+#[test]
+fn oversized_body_answers_413_before_analysis() {
+    let server = Server::start(ServeOptions::new().max_body_bytes(64)).expect("start");
+    let addr = server.local_addr();
+    let (_, deck) = good_deck();
+    assert!(deck.len() > 64, "catalog decks exceed the tiny test limit");
+    let (status, body) = request(addr, "POST", "/analyze?name=big", deck.as_bytes());
+    assert_eq!(status, 413, "{body}");
+    assert!(body.contains("\"kind\": \"body_too_large\""), "{body}");
+    server.shutdown();
+}
+
+#[test]
+fn unknown_paths_and_methods_answer_404_and_405() {
+    let server = Server::start(ServeOptions::new()).expect("start");
+    let addr = server.local_addr();
+    let (status, body) = request(addr, "GET", "/no-such-endpoint", b"");
+    assert_eq!(status, 404, "{body}");
+    assert!(body.contains("\"kind\": \"not_found\""), "{body}");
+    let (status, body) = request(addr, "GET", "/analyze", b"");
+    assert_eq!(status, 405, "{body}");
+    assert!(body.contains("\"kind\": \"method_not_allowed\""), "{body}");
+    server.shutdown();
+}
+
+/// Worker-pool gate: while closed, every accepted job blocks inside its
+/// setup callback, pinning the dispatcher at capacity.
+#[derive(Default)]
+struct Gate {
+    closed: Mutex<bool>,
+    opened: Condvar,
+}
+
+impl Gate {
+    fn close(&self) {
+        *self.closed.lock().unwrap_or_else(|e| e.into_inner()) = true;
+    }
+
+    fn open(&self) {
+        *self.closed.lock().unwrap_or_else(|e| e.into_inner()) = false;
+        self.opened.notify_all();
+    }
+
+    fn wait_open(&self) {
+        let mut closed = self.closed.lock().unwrap_or_else(|e| e.into_inner());
+        while *closed {
+            closed = self.opened.wait(closed).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+#[test]
+fn saturated_admission_answers_503_and_held_jobs_still_finish() {
+    let gate = Arc::new(Gate::default());
+    let setup_gate = Arc::clone(&gate);
+    let server = Server::start(
+        ServeOptions::new()
+            .batch(BatchOptions::new().workers(1).max_in_flight(1))
+            .setup(Arc::new(move |mesh| {
+                setup_gate.wait_open();
+                default_setup(mesh)
+            })),
+    )
+    .expect("start");
+    let addr = server.local_addr();
+    let (name, deck) = good_deck();
+    let target = format!("/analyze?name={}", percent_encode(&name));
+
+    gate.close();
+    let held = {
+        let target = target.clone();
+        let deck = deck.clone();
+        std::thread::spawn(move || request(addr, "POST", &target, deck.as_bytes()))
+    };
+    // Wait until the single slot is pinned behind the gate.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (status, body) = request(addr, "GET", "/healthz", b"");
+        assert_eq!(status, 200, "{body}");
+        if body.contains("\"in_flight\": 1") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "dispatcher never filled: {body}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let (status, body) = request(addr, "POST", &target, deck.as_bytes());
+    gate.open();
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("\"kind\": \"saturated\""), "{body}");
+    assert!(body.contains("\"status\": 503"), "{body}");
+
+    let (status, body) = held.join().expect("holder thread");
+    assert_eq!(status, 200, "held job must still complete: {body}");
+    server.shutdown();
+}
+
+#[test]
+fn drain_finishes_every_accepted_job_and_loses_none() {
+    let server = Server::start(
+        ServeOptions::new().batch(BatchOptions::new().workers(2).max_in_flight(4)),
+    )
+    .expect("start");
+    let addr = server.local_addr();
+    let corpus = base_decks();
+    let clients = 6usize;
+
+    let (shutdown, outcomes) = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for i in 0..clients {
+            let (name, deck) = &corpus[i % corpus.len()];
+            let target = format!("/analyze?name={}", percent_encode(name));
+            let deck = deck.as_bytes();
+            handles.push(scope.spawn(move || request(addr, "POST", &target, deck)));
+        }
+        // Let the fleet reach the server, then pull the plug mid-flight.
+        std::thread::sleep(Duration::from_millis(10));
+        let shutdown = request(addr, "POST", "/shutdown", b"");
+        let outcomes: Vec<(u16, String)> = handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect();
+        (shutdown, outcomes)
+    });
+    assert_eq!(shutdown.0, 200, "{}", shutdown.1);
+    assert!(shutdown.1.contains("\"status\": \"draining\""), "{}", shutdown.1);
+
+    // Every client gets exactly one complete response: 200 means its job
+    // was accepted and finished, 503 means admission control refused it.
+    let mut completed = 0u64;
+    for (status, body) in &outcomes {
+        match status {
+            200 => completed += 1,
+            503 => assert!(
+                body.contains("\"kind\": \"draining\"") || body.contains("\"kind\": \"saturated\""),
+                "{body}"
+            ),
+            other => panic!("drain client got unexpected status {other}: {body}"),
+        }
+    }
+
+    let report = server.shutdown();
+    let accepted = report.counter("batch.jobs").unwrap_or(0);
+    let finished =
+        report.counter("batch.completed").unwrap_or(0) + report.counter("batch.failed").unwrap_or(0);
+    assert_eq!(accepted, finished, "drain lost accepted jobs");
+    // Catalog decks cannot fail, so accepted jobs and 200 responses must
+    // match one-to-one: nothing lost, nothing answered twice.
+    assert_eq!(report.counter("batch.failed").unwrap_or(0), 0);
+    assert_eq!(accepted, completed, "accepted jobs vs 200 responses");
+}
+
+#[test]
+fn served_summary_is_byte_identical_to_direct_pipeline_run() {
+    let server = Server::start(ServeOptions::new()).expect("start");
+    let addr = server.local_addr();
+    let (name, deck) = good_deck();
+    let target = format!("/analyze?name={}", percent_encode(&name));
+
+    let (status_a, body_a) = request(addr, "POST", &target, deck.as_bytes());
+    let (status_b, body_b) = request(addr, "POST", &target, deck.as_bytes());
+    assert_eq!((status_a, status_b), (200, 200));
+
+    let parsed = PipelineBuilder::new()
+        .lint(LintConfig::new())
+        .parse(&deck)
+        .expect("catalog deck parses");
+    let lint = parsed.lint_report().cloned();
+    let plots = parsed
+        .idealize()
+        .and_then(|i| i.setup(default_setup))
+        .and_then(|m| m.solve())
+        .and_then(|s| s.recover())
+        .and_then(|r| r.contour())
+        .expect("catalog deck analyzes");
+    let expected = analysis_summary_json(&name, &plots, lint.as_ref());
+
+    assert_eq!(body_a, body_b, "serve/serve runs must agree byte-for-byte");
+    assert_eq!(body_a, expected, "serve/direct runs must agree byte-for-byte");
+    server.shutdown();
+}
