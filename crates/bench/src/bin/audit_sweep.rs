@@ -24,6 +24,7 @@ use std::error::Error;
 use cafemio::audit::AuditOptions;
 use cafemio::batch::{run_batch, BatchOptions, JobOutcome};
 use cafemio::pipeline::StageError;
+use cafemio::SessionConfig;
 use cafemio_bench::jobs::faulted_corpus;
 
 fn main() -> Result<(), Box<dyn Error>> {
@@ -43,7 +44,7 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     let report = run_batch(
         &jobs,
-        &BatchOptions::new().audit(AuditOptions::strict()),
+        &BatchOptions::new().config(SessionConfig::new().audit(AuditOptions::strict())),
     );
 
     let mut clean_ok = 0usize;

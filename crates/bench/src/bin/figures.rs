@@ -16,6 +16,7 @@ use std::fs;
 use cafemio::audit::{check_differential, check_sparse_differential, AuditOptions};
 use cafemio::models::joint;
 use cafemio::pipeline::{PipelineBuilder, StressComponent};
+use cafemio::SessionConfig;
 use cafemio::plotter::render_svg;
 use cafemio_bench::experiments::run_all;
 use cafemio_bench::jobs::standard_setup;
@@ -33,7 +34,7 @@ fn profile_pipeline() -> Result<cafemio::instrument::PerfReport, Box<dyn Error>>
         let _total = span("pipeline.total");
         PipelineBuilder::new()
             .component(StressComponent::Effective)
-            .audit(AuditOptions::strict())
+            .config(SessionConfig::new().audit(AuditOptions::strict()))
             .specs(vec![joint::spec()])
             .idealize()?
             .setup(|mesh| Ok(joint::pressure_model(mesh)))?

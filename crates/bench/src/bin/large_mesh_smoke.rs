@@ -19,6 +19,7 @@ use cafemio::geom::Point;
 use cafemio::idlz::{Capability, IdealizationSpec, ShapeLine, Subdivision};
 use cafemio::instrument::{set_enabled, take_report};
 use cafemio::pipeline::PipelineBuilder;
+use cafemio::SessionConfig;
 
 /// Grid width of every subdivision (and of the whole plate).
 const WIDTH: i32 = 60;
@@ -72,8 +73,11 @@ fn run() -> Result<String, String> {
     let started = Instant::now();
     let top = (BANDS * BAND_HEIGHT) as f64;
     let solved = PipelineBuilder::new()
-        .capability(Capability::LargeMesh)
-        .solver(SolverBackend::SparseCg)
+        .config(
+            SessionConfig::new()
+                .capability(Capability::LargeMesh)
+                .solver(SolverBackend::SparseCg),
+        )
         .specs(vec![spec])
         .idealize()
         .map_err(|e| format!("idealize failed: {e}"))?

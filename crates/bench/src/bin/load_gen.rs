@@ -37,6 +37,7 @@ use cafemio::batch::BatchOptions;
 use cafemio::instrument::{CounterRecord, PerfReport};
 use cafemio::lint::LintConfig;
 use cafemio::pipeline::PipelineBuilder;
+use cafemio::SessionConfig;
 use cafemio_bench::mutate::base_decks;
 use cafemio_serve::http::percent_encode;
 use cafemio_serve::{analysis_summary_json, default_setup, ServeOptions, Server};
@@ -275,7 +276,7 @@ fn run() -> Result<(), String> {
         let (status_a, body_a) = request(addr, "POST", &target, deck.as_bytes())?;
         let (status_b, body_b) = request(addr, "POST", &target, deck.as_bytes())?;
         let expected = {
-            let builder = PipelineBuilder::new().lint(LintConfig::new());
+            let builder = PipelineBuilder::new().config(SessionConfig::new().lint(LintConfig::new()));
             let parsed = builder
                 .parse(deck)
                 .map_err(|e| format!("{name}: direct parse failed: {e}"))?;

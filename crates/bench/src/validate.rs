@@ -99,7 +99,7 @@ const JOB_BALANCE: [Balance; 1] = [Balance {
 }];
 
 /// The specs for every artifact the repo produces, in verify-stage order.
-pub const SPECS: [ArtifactSpec; 6] = [
+pub const SPECS: [ArtifactSpec; 7] = [
     ArtifactSpec {
         file: "BENCH_pipeline.json",
         positive_spans: &PIPELINE_SPANS,
@@ -187,6 +187,30 @@ pub const SPECS: [ArtifactSpec; 6] = [
         bounded_counters: &[],
         balances: &[],
         ordered_counters: &[("serve.latency_p50_micros", "serve.latency_p99_micros")],
+    },
+    ArtifactSpec {
+        file: "BENCH_cache.json",
+        // The instrumented replays are warm, so only the lookup side of
+        // the store (plus the always-open stage spans) must appear.
+        positive_spans: &["cache.lookup", "pipeline.parse", "pipeline.solve"],
+        // Hit-rate strictly positive, both percentiles measured.
+        positive_counters: &[
+            "cache.hits",
+            "cache.replay_decks",
+            "cache.cold_p50_micros",
+            "cache.warm_p50_micros",
+            "cache.speedup_milli",
+        ],
+        // Warm must be bit-identical to cold, and warm replays must
+        // never reach the solver.
+        zero_counters: &["cache.replay_mismatches", "cache.warm_fem_spans"],
+        bounded_counters: &[],
+        balances: &[],
+        // warm p50 <= cold p50, and the speedup clears its 10x floor.
+        ordered_counters: &[
+            ("cache.warm_p50_micros", "cache.cold_p50_micros"),
+            ("cache.speedup_floor_milli", "cache.speedup_milli"),
+        ],
     },
 ];
 
@@ -295,6 +319,7 @@ mod tests {
             "BENCH_lint.json",
             "BENCH_sparse.json",
             "BENCH_serve.json",
+            "BENCH_cache.json",
         ] {
             assert!(spec_for(file).is_some(), "{file}");
             assert!(spec_for(&format!("some/dir/{file}")).is_some(), "{file} by path");

@@ -1,0 +1,195 @@
+//! Deterministic content hashing for cache keys.
+
+/// A streaming, process-independent content hasher.
+///
+/// Built on the SplitMix64 finalizer (the same constant family as the
+/// bench harness's `SplitMix64` RNG): each written word is absorbed by
+/// one finalizer round over the running state. The result is stable
+/// across processes, platforms, and runs — unlike
+/// [`std::collections::hash_map::DefaultHasher`], which is seeded per
+/// process and therefore useless as a content address.
+///
+/// Floats are hashed by their IEEE-754 bit pattern ([`f64::to_bits`]),
+/// so `-0.0` and `+0.0` hash differently and `NaN` payloads are
+/// distinguished — exactly the "bit-identical input" notion the cache's
+/// warm ≡ cold contract is stated in.
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_cache::StableHasher;
+///
+/// let mut a = StableHasher::new();
+/// a.write_str("plate");
+/// a.write_f64(2.5);
+/// let mut b = StableHasher::new();
+/// b.write_str("plate");
+/// b.write_f64(2.5);
+/// assert_eq!(a.finish(), b.finish());
+/// assert_ne!(a.finish(), StableHasher::hash_str("plate"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> StableHasher {
+        StableHasher::new()
+    }
+}
+
+impl StableHasher {
+    /// A fresh hasher.
+    pub fn new() -> StableHasher {
+        StableHasher {
+            state: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// One SplitMix64 finalizer round absorbing `value`.
+    fn mix(&mut self, value: u64) {
+        let mut z = self
+            .state
+            .wrapping_add(value)
+            .wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.state = z ^ (z >> 31);
+    }
+
+    /// Absorbs a raw 64-bit word.
+    pub fn write_u64(&mut self, value: u64) {
+        self.mix(value);
+    }
+
+    /// Absorbs a signed 64-bit word (two's-complement bit pattern).
+    pub fn write_i64(&mut self, value: i64) {
+        self.mix(value as u64);
+    }
+
+    /// Absorbs a `usize`.
+    pub fn write_usize(&mut self, value: usize) {
+        self.mix(value as u64);
+    }
+
+    /// Absorbs an `i32` (sign-extended).
+    pub fn write_i32(&mut self, value: i32) {
+        self.mix(value as i64 as u64);
+    }
+
+    /// Absorbs a byte.
+    pub fn write_u8(&mut self, value: u8) {
+        self.mix(u64::from(value));
+    }
+
+    /// Absorbs a boolean.
+    pub fn write_bool(&mut self, value: bool) {
+        self.mix(u64::from(value));
+    }
+
+    /// Absorbs a float by its IEEE-754 bit pattern.
+    pub fn write_f64(&mut self, value: f64) {
+        self.mix(value.to_bits());
+    }
+
+    /// Absorbs a byte slice: the length first (so `["ab","c"]` and
+    /// `["a","bc"]` differ), then little-endian 8-byte words.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.mix(bytes.len() as u64);
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(word));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.mix(u64::from_le_bytes(word));
+        }
+    }
+
+    /// Absorbs a string (UTF-8 bytes, length-prefixed).
+    pub fn write_str(&mut self, text: &str) {
+        self.write_bytes(text.as_bytes());
+    }
+
+    /// The current digest. Does not consume: more writes may follow.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+
+    /// One-shot convenience: the digest of a single string.
+    pub fn hash_str(text: &str) -> u64 {
+        let mut hasher = StableHasher::new();
+        hasher.write_str(text);
+        hasher.finish()
+    }
+
+    /// One-shot convenience: the digest of a single byte slice.
+    pub fn hash_bytes(bytes: &[u8]) -> u64 {
+        let mut hasher = StableHasher::new();
+        hasher.write_bytes(bytes);
+        hasher.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_inputs_hash_equal_and_order_matters() {
+        let mut a = StableHasher::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = StableHasher::new();
+        b.write_u64(1);
+        b.write_u64(2);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = StableHasher::new();
+        c.write_u64(2);
+        c.write_u64(1);
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn byte_boundaries_are_unambiguous() {
+        let mut a = StableHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn floats_hash_by_bit_pattern() {
+        let mut pos = StableHasher::new();
+        pos.write_f64(0.0);
+        let mut neg = StableHasher::new();
+        neg.write_f64(-0.0);
+        assert_ne!(pos.finish(), neg.finish());
+        let mut nan_a = StableHasher::new();
+        nan_a.write_f64(f64::NAN);
+        let mut nan_b = StableHasher::new();
+        nan_b.write_f64(f64::NAN);
+        assert_eq!(nan_a.finish(), nan_b.finish());
+    }
+
+    #[test]
+    fn long_byte_slices_cover_the_remainder_path() {
+        let bytes: Vec<u8> = (0u8..23).collect();
+        let h1 = StableHasher::hash_bytes(&bytes);
+        let mut tweaked = bytes.clone();
+        tweaked[22] ^= 1;
+        assert_ne!(h1, StableHasher::hash_bytes(&tweaked));
+        // Trailing zero bytes are covered by the length prefix.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert_ne!(h1, StableHasher::hash_bytes(&padded));
+    }
+}

@@ -74,9 +74,32 @@ use cafemio_lint::{LintConfig, LintError};
 use cafemio_mesh::TriMesh;
 use cafemio_ospl::ContourOptions;
 
+use crate::config::SessionConfig;
 use crate::pipeline::{
     audit_failure, PipelineBuilder, PipelineError, StageError, StressComponent, StressPlot,
 };
+
+/// Appends a `cache.*` counter snapshot from the configured store (if
+/// any) to a merged report: hits, misses, evictions, resident bytes, and
+/// entry count at the moment the report was assembled.
+fn append_cache_counters(perf: &mut PerfReport, config: &SessionConfig) {
+    let Some(store) = config.cache_store() else {
+        return;
+    };
+    let stats = store.stats();
+    for (name, value) in [
+        ("cache.hits", stats.hits),
+        ("cache.misses", stats.misses),
+        ("cache.evictions", stats.evictions),
+        ("cache.bytes", stats.bytes),
+        ("cache.entries", stats.entries as u64),
+    ] {
+        perf.counters.push(CounterRecord {
+            name: name.to_owned(),
+            value,
+        });
+    }
+}
 
 /// The model-setup callback a job carries: boundary conditions and loads
 /// for one idealized mesh. Shared (`Arc`) so a corpus of jobs can reuse
@@ -173,17 +196,16 @@ pub enum ErrorPolicy {
 }
 
 /// Engine knobs, builder-style with documented defaults so adding fields
-/// is non-breaking.
+/// is non-breaking. The scheduling knobs (`workers`, `max_in_flight`,
+/// `error_policy`) live here; every cross-cutting session option (audit,
+/// lint, capability, solver, CG tuning, stage cache) lives in the shared
+/// [`SessionConfig`] set with [`BatchOptions::config`].
 #[derive(Debug, Clone)]
 pub struct BatchOptions {
     workers: usize,
     max_in_flight: usize,
     policy: ErrorPolicy,
-    audit: Option<AuditOptions>,
-    lint: Option<LintConfig>,
-    capability: Capability,
-    solver: SolverBackend,
-    cg: CgOptions,
+    pub(crate) config: SessionConfig,
 }
 
 impl Default for BatchOptions {
@@ -195,11 +217,7 @@ impl Default for BatchOptions {
             workers,
             max_in_flight: 2 * workers,
             policy: ErrorPolicy::CollectAll,
-            audit: None,
-            lint: None,
-            capability: Capability::Historical,
-            solver: SolverBackend::Band,
-            cg: CgOptions::new(),
+            config: SessionConfig::new(),
         }
     }
 }
@@ -249,19 +267,39 @@ impl BatchOptions {
         self.policy
     }
 
+    /// Sets the shared [`SessionConfig`] every job's session runs under:
+    /// audit, lint, capability, solver backend, CG tuning, and the stage
+    /// cache, in one value reusable across [`run_batch`],
+    /// [`PipelineBuilder::config`](crate::pipeline::PipelineBuilder::config),
+    /// and the serve layer.
+    ///
+    /// Audit and lint still run at the batch layer (so their cost lands
+    /// in dedicated `audit.*` / `lint.deck` spans), but they are
+    /// configured here like every other session option.
+    pub fn config(mut self, config: SessionConfig) -> BatchOptions {
+        self.config = config;
+        self
+    }
+
+    /// The shared session configuration.
+    pub fn session_config(&self) -> &SessionConfig {
+        &self.config
+    }
+
     /// Turns on audit mode for every job: each worker re-derives the
     /// stage invariants after idealize, solve, and contour, the time
     /// lands in `audit.*` spans of the merged [`PerfReport`], and the
     /// check/violation totals land in the `audit.checks` /
     /// `audit.violations` counters. Off by default.
+    #[deprecated(since = "0.3.0", note = "use `config(SessionConfig::new().audit(..))`")]
     pub fn audit(mut self, options: AuditOptions) -> BatchOptions {
-        self.audit = Some(options);
+        self.config.audit = Some(options);
         self
     }
 
     /// The configured audit options, if audit mode is on.
     pub fn audit_options(&self) -> Option<&AuditOptions> {
-        self.audit.as_ref()
+        self.config.audit_options()
     }
 
     /// Turns on the static lint pass for every job: each deck is
@@ -270,54 +308,67 @@ impl BatchOptions {
     /// totals land in the `lint.diagnostics` / `lint.denied` counters,
     /// and a deck with deny-severity diagnostics fails with a
     /// [`StageError::Lint`] at deck-parse stage. Off by default.
+    #[deprecated(since = "0.3.0", note = "use `config(SessionConfig::new().lint(..))`")]
     pub fn lint(mut self, config: LintConfig) -> BatchOptions {
-        self.lint = Some(config);
+        self.config.lint = Some(config);
         self
     }
 
     /// The configured lint severities, if lint mode is on.
     pub fn lint_options(&self) -> Option<&LintConfig> {
-        self.lint.as_ref()
+        self.config.lint_options()
     }
 
     /// Sets the capability mode every job's session runs under (default:
     /// [`Capability::Historical`], the paper's Table 2 card limits).
     /// [`Capability::LargeMesh`] lifts the limits for decks beyond the
     /// 1970 hardware ceiling.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `config(SessionConfig::new().capability(..))`"
+    )]
     pub fn capability(mut self, capability: Capability) -> BatchOptions {
-        self.capability = capability;
+        self.config.capability = capability;
         self
     }
 
     /// The configured capability mode.
     pub fn capability_mode(&self) -> Capability {
-        self.capability
+        self.config.capability_mode()
     }
 
     /// Sets the solver backend every job solves with (default:
     /// [`SolverBackend::Band`], the paper-faithful path). See
     /// `docs/SOLVERS.md` for the selection guide.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `config(SessionConfig::new().solver(..))`"
+    )]
     pub fn solver(mut self, solver: SolverBackend) -> BatchOptions {
-        self.solver = solver;
+        self.config.solver = solver;
         self
     }
 
     /// The configured solver backend.
     pub fn solver_backend(&self) -> SolverBackend {
-        self.solver
+        self.config.solver_backend()
     }
 
     /// Sets the conjugate-gradient options every job solves with when
     /// the backend is [`SolverBackend::SparseCg`] (default:
     /// [`CgOptions::new`]). Ignored by the direct backends.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `config(SessionConfig::new().cg_options(..))`"
+    )]
     pub fn cg_options(mut self, cg: CgOptions) -> BatchOptions {
-        self.cg = cg;
+        self.config.cg = cg;
         self
     }
 
     /// The configured conjugate-gradient options.
     pub fn cg_solver_options(&self) -> CgOptions {
-        self.cg
+        self.config.cg_solver_options()
     }
 }
 
@@ -557,8 +608,8 @@ fn execute(
     clock: &mut StageClock,
     options: &BatchOptions,
 ) -> Result<Vec<StressPlot>, PipelineError> {
-    let audit = options.audit.as_ref();
-    let lint = options.lint.as_ref();
+    let audit = options.config.audit_options();
+    let lint = options.config.lint_options();
     if let Some(lint) = lint {
         // Lint runs at this layer — like audit — so its cost lands in a
         // dedicated `lint.deck` span. A deck that does not even parse is
@@ -578,12 +629,16 @@ fn execute(
             }
         }
     }
+    // Audit and lint run at this layer for span attribution, so the
+    // session itself gets the shared config with both stripped; the
+    // stage cache, capability, and solver knobs pass straight through.
+    let mut session = options.config.clone();
+    session.audit = None;
+    session.lint = None;
     let builder = PipelineBuilder::new()
         .component(job.component)
         .contour_options(job.options.clone())
-        .capability(options.capability)
-        .solver(options.solver)
-        .cg_options(options.cg);
+        .config(session);
     let parsed = clock.time("batch.parse", || builder.parse(&job.deck))?;
     let idealized = clock.time("batch.idealize", || parsed.idealize())?;
     if let Some(audit) = audit {
@@ -608,7 +663,7 @@ fn execute(
                 if audit.differential() {
                     // An iterative session solution only matches the
                     // direct re-solves to its own convergence tolerance.
-                    let effective = if options.solver == SolverBackend::SparseCg {
+                    let effective = if options.config.solver == SolverBackend::SparseCg {
                         audit
                             .clone()
                             .with_divergence_tolerance(audit.iterative_divergence_tolerance())
@@ -619,7 +674,7 @@ fn execute(
                         .map_err(audit_failure)?;
                     checks += 1;
                 }
-                if audit.sparse_differential() && options.solver != SolverBackend::SparseCg {
+                if audit.sparse_differential() && options.config.solver != SolverBackend::SparseCg {
                     cafemio_audit::check_sparse_differential(
                         case.model(),
                         case.solution(),
@@ -747,7 +802,7 @@ pub fn run_batch(jobs: &[BatchJob], options: &BatchOptions) -> BatchReport {
             nanos: 0,
         });
     }
-    if options.audit.is_some() {
+    if options.config.audit.is_some() {
         for name in ["audit.idealize", "audit.solve", "audit.contour"] {
             perf.spans.push(SpanRecord {
                 name: name.to_owned(),
@@ -762,7 +817,7 @@ pub fn run_batch(jobs: &[BatchJob], options: &BatchOptions) -> BatchReport {
             });
         }
     }
-    if options.lint.is_some() {
+    if options.config.lint.is_some() {
         perf.spans.push(SpanRecord {
             name: "lint.deck".to_owned(),
             depth: 1,
@@ -806,6 +861,7 @@ pub fn run_batch(jobs: &[BatchJob], options: &BatchOptions) -> BatchReport {
             value,
         });
     }
+    append_cache_counters(&mut report.perf, &options.config);
     report
 }
 
@@ -1125,7 +1181,7 @@ impl BatchDispatcher {
                 value: 0,
             });
         }
-        if self.shared.options.audit.is_some() {
+        if self.shared.options.config.audit.is_some() {
             for name in ["audit.idealize", "audit.solve", "audit.contour"] {
                 perf.spans.push(SpanRecord {
                     name: name.to_owned(),
@@ -1140,7 +1196,7 @@ impl BatchDispatcher {
                 });
             }
         }
-        if self.shared.options.lint.is_some() {
+        if self.shared.options.config.lint.is_some() {
             perf.spans.push(SpanRecord {
                 name: "lint.deck".to_owned(),
                 depth: 1,
@@ -1173,6 +1229,7 @@ impl BatchDispatcher {
             name: "batch.workers".to_owned(),
             value: self.shared.options.workers.max(1) as u64,
         });
+        append_cache_counters(&mut perf, &self.shared.options.config);
         perf
     }
 }
@@ -1362,7 +1419,7 @@ mod tests {
             &jobs,
             &BatchOptions::new()
                 .workers(2)
-                .audit(cafemio_audit::AuditOptions::strict()),
+                .config(SessionConfig::new().audit(cafemio_audit::AuditOptions::strict())),
         );
         assert_eq!(report.completed(), 3);
         assert!(report.perf.counter("audit.checks").unwrap() > 0);
@@ -1403,7 +1460,12 @@ mod tests {
         );
         let mut jobs = plate_jobs(2);
         jobs.insert(1, BatchJob::new("overlapping", overlapping, cantilever));
-        let report = run_batch(&jobs, &BatchOptions::new().workers(2).lint(LintConfig::new()));
+        let report = run_batch(
+            &jobs,
+            &BatchOptions::new()
+                .workers(2)
+                .config(SessionConfig::new().lint(LintConfig::new())),
+        );
         assert_eq!(report.completed(), 2);
         assert_eq!(report.failed(), 1);
         let err = report.outcomes[1].error().unwrap();
@@ -1424,7 +1486,9 @@ mod tests {
         use cafemio_lint::LintConfig;
         let report = run_batch(
             &plate_jobs(2),
-            &BatchOptions::new().workers(1).lint(LintConfig::new()),
+            &BatchOptions::new()
+                .workers(1)
+                .config(SessionConfig::new().lint(LintConfig::new())),
         );
         assert_eq!(report.completed(), 2);
         assert_eq!(report.perf.counter("lint.diagnostics"), Some(0));
@@ -1451,7 +1515,7 @@ mod tests {
             &jobs,
             &BatchOptions::new()
                 .workers(1)
-                .audit(cafemio_audit::AuditOptions::new()),
+                .config(SessionConfig::new().audit(cafemio_audit::AuditOptions::new())),
         );
         assert_eq!(report.failed(), 1);
         assert_eq!(report.perf.counter("audit.violations"), Some(0));
@@ -1465,7 +1529,8 @@ mod tests {
         let options = BatchOptions::new().max_in_flight(2).workers(8);
         assert!(options.in_flight_bound() >= 8);
         assert_eq!(options.policy(), ErrorPolicy::CollectAll);
-        let options = BatchOptions::new().cg_options(CgOptions::new().with_max_iterations(7));
+        let options = BatchOptions::new()
+            .config(SessionConfig::new().cg_options(CgOptions::new().with_max_iterations(7)));
         assert_eq!(options.cg_solver_options().max_iterations, 7);
     }
 
@@ -1553,8 +1618,11 @@ mod tests {
             &jobs,
             &BatchOptions::new()
                 .workers(1)
-                .solver(SolverBackend::SparseCg)
-                .cg_options(CgOptions::new().with_max_iterations(1)),
+                .config(
+                    SessionConfig::new()
+                        .solver(SolverBackend::SparseCg)
+                        .cg_options(CgOptions::new().with_max_iterations(1)),
+                ),
         );
         let err = report.outcomes[0].error().expect("starved CG fails");
         assert_eq!(err.stage(), crate::pipeline::Stage::Solve);

@@ -1,0 +1,324 @@
+//! Canonical-input hashing for the stage cache: one function per stage
+//! input, each absorbing every field that influences the stage's output
+//! (and nothing else) into a [`StableHasher`].
+//!
+//! These digests form the *content* half of a [`CacheKey`] — the other
+//! half is [`SessionConfig::fingerprint`](crate::SessionConfig::fingerprint).
+//! A field missed here would let an edit serve a stale artifact, so each
+//! hasher walks the complete canonical form of its input in a fixed,
+//! deterministic order (`BTreeMap` iteration, id-ordered mesh walks —
+//! never `HashMap` order).
+//!
+//! [`CacheKey`]: cafemio_cache::CacheKey
+
+use cafemio_cache::StableHasher;
+use cafemio_fem::{AnalysisKind, FemModel, Material, Solution};
+use cafemio_idlz::{IdealizationSpec, ShapeLine, Subdivision, Taper};
+use cafemio_mesh::{BoundaryKind, NodalField, TriMesh};
+use cafemio_ospl::ContourOptions;
+
+use crate::pipeline::StressComponent;
+
+/// Digest of one idealization spec: title, options, limits,
+/// subdivisions, shape lines, punch formats — the full Type-1…Type-6
+/// card content.
+pub(crate) fn hash_spec(spec: &IdealizationSpec) -> u64 {
+    let mut hasher = StableHasher::new();
+    write_spec(&mut hasher, spec);
+    hasher.finish()
+}
+
+pub(crate) fn write_spec(hasher: &mut StableHasher, spec: &IdealizationSpec) {
+    hasher.write_str(spec.title());
+    let options = spec.options();
+    hasher.write_bool(options.plots);
+    hasher.write_bool(options.renumber);
+    hasher.write_bool(options.punch);
+    let limits = spec.limits();
+    hasher.write_usize(limits.max_subdivisions);
+    hasher.write_usize(limits.max_elements);
+    hasher.write_usize(limits.max_nodes);
+    hasher.write_i32(limits.max_grid_x);
+    hasher.write_i32(limits.max_grid_y);
+    hasher.write_usize(spec.subdivisions().len());
+    for subdivision in spec.subdivisions() {
+        write_subdivision(hasher, subdivision);
+    }
+    hasher.write_usize(spec.shape_lines().len());
+    for (&subdivision_id, lines) in spec.shape_lines() {
+        hasher.write_usize(subdivision_id);
+        hasher.write_usize(lines.len());
+        for line in lines {
+            write_shape_line(hasher, line);
+        }
+    }
+    hasher.write_str(spec.nodal_format());
+    hasher.write_str(spec.element_format());
+}
+
+pub(crate) fn write_subdivision(hasher: &mut StableHasher, subdivision: &Subdivision) {
+    hasher.write_usize(subdivision.id());
+    let (llx, lly) = subdivision.lower_left();
+    let (urx, ury) = subdivision.upper_right();
+    hasher.write_i32(llx);
+    hasher.write_i32(lly);
+    hasher.write_i32(urx);
+    hasher.write_i32(ury);
+    match subdivision.taper() {
+        Taper::None => hasher.write_i32(0),
+        Taper::Row(t) => {
+            hasher.write_i32(1);
+            hasher.write_i32(t);
+        }
+        Taper::Column(t) => {
+            hasher.write_i32(2);
+            hasher.write_i32(t);
+        }
+    }
+}
+
+pub(crate) fn write_shape_line(hasher: &mut StableHasher, line: &ShapeLine) {
+    hasher.write_i32(line.from.0);
+    hasher.write_i32(line.from.1);
+    hasher.write_i32(line.to.0);
+    hasher.write_i32(line.to.1);
+    hasher.write_f64(line.start.x);
+    hasher.write_f64(line.start.y);
+    hasher.write_f64(line.end.x);
+    hasher.write_f64(line.end.y);
+    hasher.write_f64(line.radius);
+}
+
+fn write_mesh(hasher: &mut StableHasher, mesh: &TriMesh) {
+    hasher.write_usize(mesh.node_count());
+    for (_, node) in mesh.nodes() {
+        hasher.write_f64(node.position.x);
+        hasher.write_f64(node.position.y);
+        hasher.write_u8(match node.boundary {
+            BoundaryKind::Interior => 0,
+            BoundaryKind::Boundary => 1,
+            BoundaryKind::BoundaryCorner => 2,
+        });
+    }
+    hasher.write_usize(mesh.element_count());
+    for (_, element) in mesh.elements() {
+        for node in element.nodes {
+            hasher.write_usize(node.index());
+        }
+    }
+}
+
+fn write_material(hasher: &mut StableHasher, material: &Material) {
+    match *material {
+        Material::Isotropic { e, nu } => {
+            hasher.write_u8(0);
+            hasher.write_f64(e);
+            hasher.write_f64(nu);
+        }
+        Material::Orthotropic {
+            e1,
+            e2,
+            e3,
+            nu12,
+            nu13,
+            nu23,
+            g12,
+        } => {
+            hasher.write_u8(1);
+            for value in [e1, e2, e3, nu12, nu13, nu23, g12] {
+                hasher.write_f64(value);
+            }
+        }
+    }
+}
+
+/// Digest of a loaded, constrained model: mesh geometry and topology,
+/// analysis kind, per-element materials, constraints, applied forces,
+/// and the thermal load. Returns `None` when the model's force
+/// evaluation fails — such a model cannot be keyed (and its solve will
+/// fail anyway), so the caller bypasses the cache.
+pub(crate) fn hash_model(model: &FemModel) -> Option<u64> {
+    let forces = model.applied_forces().ok()?;
+    let mut hasher = StableHasher::new();
+    write_mesh(&mut hasher, model.mesh());
+    match model.kind() {
+        AnalysisKind::PlaneStress { thickness } => {
+            hasher.write_u8(0);
+            hasher.write_f64(thickness);
+        }
+        AnalysisKind::PlaneStrain => hasher.write_u8(1),
+        AnalysisKind::Axisymmetric => hasher.write_u8(2),
+    }
+    for (id, _) in model.mesh().elements() {
+        write_material(&mut hasher, &model.element_material(id));
+    }
+    // BTreeMap-backed: deterministic dof order.
+    for (dof, value) in model.constrained_dofs() {
+        hasher.write_usize(dof);
+        hasher.write_f64(value);
+    }
+    hasher.write_usize(forces.len());
+    for force in &forces {
+        hasher.write_f64(*force);
+    }
+    match model.thermal_load() {
+        None => hasher.write_bool(false),
+        Some(thermal) => {
+            hasher.write_bool(true);
+            hasher.write_usize(thermal.temperatures.len());
+            for t in &thermal.temperatures {
+                hasher.write_f64(*t);
+            }
+            hasher.write_f64(thermal.expansion);
+            hasher.write_f64(thermal.reference);
+        }
+    }
+    Some(hasher.finish())
+}
+
+/// Digest of a displacement solution (the raw dof vector).
+pub(crate) fn write_solution(hasher: &mut StableHasher, solution: &Solution) {
+    let dofs = solution.dofs();
+    hasher.write_usize(dofs.len());
+    for dof in dofs {
+        hasher.write_f64(*dof);
+    }
+}
+
+/// Digest of a stress-recovery input: the solved model plus its
+/// displacement solution. `None` when the model itself cannot be keyed.
+pub(crate) fn hash_recovery(model: &FemModel, solution: &Solution) -> Option<u64> {
+    let model_hash = hash_model(model)?;
+    let mut hasher = StableHasher::new();
+    hasher.write_u64(model_hash);
+    write_solution(&mut hasher, solution);
+    Some(hasher.finish())
+}
+
+/// Digest of a contour input: the mesh the field lives on, the nodal
+/// field itself, and the full contour request.
+pub(crate) fn hash_contour(
+    mesh: &TriMesh,
+    field: &NodalField,
+    component: StressComponent,
+    options: &ContourOptions,
+) -> u64 {
+    let mut hasher = StableHasher::new();
+    write_mesh(&mut hasher, mesh);
+    write_field(&mut hasher, field);
+    write_contour_request(&mut hasher, component, options);
+    hasher.finish()
+}
+
+/// Digest of a nodal field (name + values in node order).
+pub(crate) fn write_field(hasher: &mut StableHasher, field: &NodalField) {
+    hasher.write_str(field.name());
+    hasher.write_usize(field.len());
+    for value in field.values() {
+        hasher.write_f64(*value);
+    }
+}
+
+/// Digest of the contour request: the component plus every
+/// [`ContourOptions`] knob (interval, lowest, window, limits, title).
+pub(crate) fn write_contour_request(
+    hasher: &mut StableHasher,
+    component: StressComponent,
+    options: &ContourOptions,
+) {
+    hasher.write_u8(match component {
+        StressComponent::Radial => 0,
+        StressComponent::Meridional => 1,
+        StressComponent::Circumferential => 2,
+        StressComponent::Shear => 3,
+        StressComponent::Effective => 4,
+    });
+    match options.interval {
+        None => hasher.write_bool(false),
+        Some(interval) => {
+            hasher.write_bool(true);
+            hasher.write_f64(interval);
+        }
+    }
+    match options.lowest {
+        None => hasher.write_bool(false),
+        Some(lowest) => {
+            hasher.write_bool(true);
+            hasher.write_f64(lowest);
+        }
+    }
+    match &options.window {
+        None => hasher.write_bool(false),
+        Some(window) if window.is_empty() => {
+            hasher.write_bool(true);
+            hasher.write_bool(true);
+        }
+        Some(window) => {
+            hasher.write_bool(true);
+            hasher.write_bool(false);
+            hasher.write_f64(window.min().x);
+            hasher.write_f64(window.min().y);
+            hasher.write_f64(window.max().x);
+            hasher.write_f64(window.max().y);
+        }
+    }
+    hasher.write_usize(options.limits.max_nodes);
+    hasher.write_usize(options.limits.max_elements);
+    match &options.title {
+        None => hasher.write_bool(false),
+        Some(title) => {
+            hasher.write_bool(true);
+            hasher.write_str(title);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cafemio_models::joint;
+
+    #[test]
+    fn spec_hash_is_stable_and_edit_sensitive() {
+        let spec = joint::spec();
+        assert_eq!(hash_spec(&spec), hash_spec(&joint::spec()));
+        let mut retitled = joint::spec();
+        let element_format = retitled.element_format().to_owned();
+        retitled.set_punch_formats("(2I5,2F10.4)", &element_format);
+        assert_ne!(hash_spec(&spec), hash_spec(&retitled));
+    }
+
+    #[test]
+    fn model_hash_sees_loads_and_constraints() {
+        let mesh = cafemio_idlz::Idealization::run(&joint::spec())
+            .expect("joint idealizes")
+            .mesh;
+        let base = hash_model(&joint::pressure_model(&mesh)).expect("hashable");
+        assert_eq!(
+            base,
+            hash_model(&joint::pressure_model(&mesh)).expect("hashable"),
+        );
+        let mut reloaded = joint::pressure_model(&mesh);
+        let node = reloaded.mesh().nodes().next().map(|(id, _)| id).expect("nodes");
+        reloaded.add_force(node, 1.0, 0.0);
+        assert_ne!(base, hash_model(&reloaded).expect("hashable"));
+    }
+
+    #[test]
+    fn contour_request_hash_distinguishes_components_and_options() {
+        let mut a = StableHasher::new();
+        write_contour_request(&mut a, StressComponent::Effective, &ContourOptions::new());
+        let mut b = StableHasher::new();
+        write_contour_request(&mut b, StressComponent::Radial, &ContourOptions::new());
+        assert_ne!(a.finish(), b.finish());
+        let mut c = StableHasher::new();
+        write_contour_request(
+            &mut c,
+            StressComponent::Effective,
+            &ContourOptions::with_interval(100.0),
+        );
+        let mut d = StableHasher::new();
+        write_contour_request(&mut d, StressComponent::Effective, &ContourOptions::new());
+        assert_ne!(c.finish(), d.finish());
+    }
+}

@@ -46,12 +46,14 @@
 //!     }
 //! }
 //!
-//! // 3. Contour-plot the effective stress with a staged session. Audit
-//! //    mode re-checks every stage invariant (residual, equilibrium,
-//! //    cross-solver agreement, contour placement) as the session runs.
+//! // 3. Contour-plot the effective stress with a staged session. The
+//! //    shared [`SessionConfig`] carries every cross-cutting option;
+//! //    audit mode re-checks every stage invariant (residual,
+//! //    equilibrium, cross-solver agreement, contour placement) as the
+//! //    session runs.
 //! let plots = PipelineBuilder::new()
 //!     .component(StressComponent::Effective)
-//!     .audit(AuditOptions::strict())
+//!     .config(SessionConfig::new().audit(AuditOptions::strict()))
 //!     .model(model)
 //!     .solve()?
 //!     .recover()?
@@ -65,6 +67,7 @@
 #![warn(missing_docs)]
 
 pub use cafemio_audit as audit;
+pub use cafemio_cache as cache;
 pub use cafemio_cards as cards;
 pub use cafemio_fem as fem;
 pub use cafemio_geom as geom;
@@ -77,11 +80,16 @@ pub use cafemio_ospl as ospl;
 pub use cafemio_plotter as plotter;
 
 pub mod batch;
+mod config;
+mod content;
 pub mod pipeline;
+
+pub use config::SessionConfig;
 
 /// The names most programs want in scope.
 pub mod prelude {
     pub use cafemio_audit::{AuditError, AuditOptions, AuditStage};
+    pub use cafemio_cache::{CacheKey, CacheStage, CacheStats, StageCache};
     pub use cafemio_fem::{
         solve_contact_increments, solve_with_contact, AnalysisKind, CgOptions, ContactSupport,
         FemError, FemModel, Material, SolverBackend, StressField, ThermalMaterial, ThermalModel,
@@ -97,6 +105,8 @@ pub mod prelude {
     pub use cafemio_mesh::{BoundaryKind, NodalField, NodeId, TriMesh};
     pub use cafemio_ospl::{ContourOptions, Ospl, OsplResult};
     pub use cafemio_plotter::{render_svg, AsciiCanvas, Frame};
+
+    pub use crate::config::SessionConfig;
 
     pub use crate::batch::{
         run_batch, AdmissionError, BatchClient, BatchDispatcher, BatchJob, BatchOptions,

@@ -32,14 +32,22 @@
 //! golden-identical results.
 
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 use cafemio_audit::{AuditError, AuditOptions, AuditStage};
+use cafemio_cache::{CacheKey, CacheStage, StableHasher, StageCache};
 use cafemio_cards::{CardError, Deck};
 use cafemio_fem::{CgOptions, FemError, FemModel, Solution, SolverBackend, StressField};
-use cafemio_idlz::{Capability, Idealization, IdealizationResult, IdealizationSpec, IdlzError};
+use cafemio_idlz::{
+    Capability, Idealization, IdealizationResult, IdealizationSpec, IdlzError,
+    IncrementalIdealizer,
+};
 use cafemio_lint::{LintConfig, LintError, LintReport};
 use cafemio_mesh::{NodalField, TriMesh};
 use cafemio_ospl::{ContourOptions, Ospl, OsplError, OsplResult};
+
+use crate::config::SessionConfig;
+use crate::content;
 
 /// Which recovered stress field to plot — one per contour plot in
 /// Figures 13 and 15–18.
@@ -244,43 +252,33 @@ pub struct StressPlot {
 }
 
 /// The session-wide defaults a [`PipelineBuilder`] carries into every
-/// downstream stage: which stress component to contour and with what
-/// contour options.
+/// downstream stage: which stress component to contour, with what
+/// contour options, and the shared [`SessionConfig`] (audit, lint,
+/// capability, solver, CG, cache).
 #[derive(Debug, Clone)]
-struct SessionConfig {
+struct SessionState {
     component: StressComponent,
     options: ContourOptions,
-    audit: Option<AuditOptions>,
-    lint: Option<LintConfig>,
-    capability: Capability,
-    solver: SolverBackend,
-    cg: CgOptions,
+    shared: SessionConfig,
 }
 
-impl Default for SessionConfig {
-    fn default() -> SessionConfig {
-        SessionConfig {
+impl Default for SessionState {
+    fn default() -> SessionState {
+        SessionState {
             component: StressComponent::Effective,
             options: ContourOptions::new(),
-            audit: None,
-            lint: None,
-            capability: Capability::Historical,
-            solver: SolverBackend::Band,
-            cg: CgOptions::new(),
+            shared: SessionConfig::new(),
         }
     }
 }
 
-impl SessionConfig {
-    /// Installs the session capability's limits on a spec. The
-    /// historical default leaves specs untouched (they already default
-    /// to Table 2, and callers may have set custom limits on purpose);
-    /// `LargeMesh` lifts the limits on every spec so idealization and
-    /// the D004 proximity lint both see the active regime.
-    fn apply_capability(&self, spec: &mut IdealizationSpec) {
-        if self.capability != Capability::Historical {
-            spec.set_limits(self.capability.limits());
-        }
+impl SessionState {
+    /// The cache store and config fingerprint, when caching is on.
+    fn cache(&self) -> Option<(&Arc<StageCache>, u64)> {
+        self.shared
+            .cache
+            .as_ref()
+            .map(|store| (store, self.shared.fingerprint()))
     }
 }
 
@@ -310,12 +308,13 @@ impl SessionConfig {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct PipelineBuilder {
-    config: SessionConfig,
+    config: SessionState,
 }
 
 impl PipelineBuilder {
     /// A builder with the documented defaults: effective stress,
-    /// automatic contour interval ([`ContourOptions::new`]).
+    /// automatic contour interval ([`ContourOptions::new`]), default
+    /// [`SessionConfig`].
     pub fn new() -> PipelineBuilder {
         PipelineBuilder::default()
     }
@@ -332,12 +331,29 @@ impl PipelineBuilder {
         self
     }
 
+    /// Installs the shared session options — audit, lint, capability,
+    /// solver, CG tuning, cache — from one [`SessionConfig`]. This is
+    /// the single option surface shared with
+    /// [`BatchOptions::config`](crate::batch::BatchOptions::config);
+    /// its [`SessionConfig::fingerprint`] is also the config half of
+    /// every stage-cache key.
+    pub fn config(mut self, config: SessionConfig) -> PipelineBuilder {
+        self.config.shared = config;
+        self
+    }
+
+    /// The shared session options currently installed.
+    pub fn session_config(&self) -> &SessionConfig {
+        &self.config.shared
+    }
+
     /// Turns on audit mode: after every stage transition the session
     /// re-derives that stage's invariants (see [`cafemio_audit`]) and
     /// fails with a [`StageError::Audit`] attributed to the stage whose
     /// promise broke. Off by default — the hot path pays nothing.
+    #[deprecated(since = "0.3.0", note = "use `config(SessionConfig::new().audit(..))`")]
     pub fn audit(mut self, options: AuditOptions) -> PipelineBuilder {
-        self.config.audit = Some(options);
+        self.config.shared.audit = Some(options);
         self
     }
 
@@ -347,19 +363,23 @@ impl PipelineBuilder {
     /// [`ParsedDeck::idealize`]), failing the [`Stage::DeckParse`]
     /// transition with a [`StageError::Lint`] when any diagnostic reaches
     /// deny severity under `config`. Off by default.
+    #[deprecated(since = "0.3.0", note = "use `config(SessionConfig::new().lint(..))`")]
     pub fn lint(mut self, config: LintConfig) -> PipelineBuilder {
-        self.config.lint = Some(config);
+        self.config.shared.lint = Some(config);
         self
     }
 
     /// Sets the session's capacity regime. The default,
     /// [`Capability::Historical`], enforces the Table-2 card limits;
     /// [`Capability::LargeMesh`] lifts them on every spec entering the
-    /// session — pair it with [`solver`](PipelineBuilder::solver) and
-    /// [`SolverBackend::SparseCg`] for meshes past the 1970 scale (see
-    /// `docs/SOLVERS.md`).
+    /// session — pair it with [`SolverBackend::SparseCg`] for meshes
+    /// past the 1970 scale (see `docs/SOLVERS.md`).
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `config(SessionConfig::new().capability(..))`"
+    )]
     pub fn capability(mut self, capability: Capability) -> PipelineBuilder {
-        self.config.capability = capability;
+        self.config.shared.capability = capability;
         self
     }
 
@@ -367,8 +387,12 @@ impl PipelineBuilder {
     /// through. The default, [`SolverBackend::Band`], is
     /// behavior-identical to the historical API; use
     /// [`SolverBackend::SparseCg`] for large meshes.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `config(SessionConfig::new().solver(..))`"
+    )]
     pub fn solver(mut self, solver: SolverBackend) -> PipelineBuilder {
-        self.config.solver = solver;
+        self.config.shared.solver = solver;
         self
     }
 
@@ -376,8 +400,12 @@ impl PipelineBuilder {
     /// the backend is [`SolverBackend::SparseCg`] (default:
     /// [`CgOptions::new`] — 1e-12 relative residual, order-scaled
     /// iteration budget). Ignored by the direct backends.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `config(SessionConfig::new().cg_options(..))`"
+    )]
     pub fn cg_options(mut self, cg: CgOptions) -> PipelineBuilder {
-        self.config.cg = cg;
+        self.config.shared.cg = cg;
         self
     }
 
@@ -389,17 +417,38 @@ impl PipelineBuilder {
     /// or deck structure).
     pub fn parse(&self, text: &str) -> Result<ParsedDeck, PipelineError> {
         let _span = cafemio_instrument::span("pipeline.parse");
+        let key = self
+            .config
+            .cache()
+            .map(|(_, fp)| CacheKey::new(CacheStage::Parse, StableHasher::hash_str(text), fp));
+        if let (Some((store, _)), Some(key)) = (self.config.cache(), key) {
+            if let Some(hit) = store.get::<(Vec<IdealizationSpec>, Option<LintReport>)>(&key) {
+                return Ok(ParsedDeck {
+                    specs: hit.0.clone(),
+                    lint_report: hit.1.clone(),
+                    config: self.config.clone(),
+                });
+            }
+        }
         let deck = Deck::from_text(text)
             .map_err(|e| PipelineError::at(Stage::DeckParse, StageError::Card(e)))?;
         let (mut specs, layouts) = cafemio_idlz::deck::parse_deck_with_layout(&deck)
             .map_err(|e| PipelineError::at(Stage::DeckParse, StageError::Idlz(e)))?;
         for spec in &mut specs {
-            self.config.apply_capability(spec);
+            self.config.shared.apply_capability(spec);
         }
-        let lint_report = match &self.config.lint {
+        let lint_report = match &self.config.shared.lint {
             Some(config) => Some(run_lint(|| cafemio_lint::lint_idlz(&specs, &layouts, config))?),
             None => None,
         };
+        if let (Some((store, _)), Some(key)) = (self.config.cache(), key) {
+            let bytes = 256 + 16 * specs.iter().map(IdealizationSpec::input_value_count).sum::<usize>();
+            store.put(
+                key,
+                Arc::new((specs.clone(), lint_report.clone())),
+                bytes as u64,
+            );
+        }
         Ok(ParsedDeck {
             specs,
             lint_report,
@@ -413,7 +462,7 @@ impl PipelineBuilder {
     /// [`ParsedDeck::idealize`].
     pub fn specs(&self, mut specs: Vec<IdealizationSpec>) -> ParsedDeck {
         for spec in &mut specs {
-            self.config.apply_capability(spec);
+            self.config.shared.apply_capability(spec);
         }
         ParsedDeck {
             specs,
@@ -452,13 +501,61 @@ fn run_lint(produce: impl FnOnce() -> LintReport) -> Result<LintReport, Pipeline
     }
 }
 
+/// Idealizes one data set, consulting the stage cache when configured.
+///
+/// On a miss the work runs through a per-data-set
+/// [`IncrementalIdealizer`] kept in the store's slot table, so an
+/// edited deck regenerates only the subdivisions the edit touched; the
+/// finished result is then memoized under its content key. Failures
+/// are never cached.
+fn idealize_spec(
+    spec: &IdealizationSpec,
+    index: usize,
+    cache: &Option<(Arc<StageCache>, u64)>,
+) -> Result<IdealizationResult, IdlzError> {
+    let Some((store, fingerprint)) = cache else {
+        return Idealization::run(spec);
+    };
+    let key = CacheKey::new(CacheStage::Idealize, content::hash_spec(spec), *fingerprint);
+    if let Some(hit) = store.get::<IdealizationResult>(&key) {
+        return Ok((*hit).clone());
+    }
+    // The content key cannot find "the previous version of this data
+    // set", so the incremental state lives in the slot table under a
+    // positional identity instead.
+    let mut slot_hasher = StableHasher::new();
+    slot_hasher.write_str("idlz.incremental");
+    slot_hasher.write_usize(index);
+    slot_hasher.write_u64(*fingerprint);
+    let identity = slot_hasher.finish();
+    let idealizer = store
+        .slot(identity)
+        .and_then(|slot| slot.downcast::<Mutex<IncrementalIdealizer>>().ok())
+        .unwrap_or_else(|| {
+            let fresh = Arc::new(Mutex::new(IncrementalIdealizer::new()));
+            store.set_slot(identity, Arc::clone(&fresh) as _);
+            fresh
+        });
+    let result = idealizer
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .update(spec)?
+        .0;
+    let bytes = 1024
+        + 48 * result.mesh.node_count()
+        + 32 * result.mesh.element_count()
+        + 8192 * result.frames.len();
+    store.put(key, Arc::new(result.clone()), bytes as u64);
+    Ok(result)
+}
+
 /// Stage 1: a parsed deck — one [`IdealizationSpec`] per data set, not
 /// yet idealized.
 #[derive(Debug, Clone)]
 pub struct ParsedDeck {
     specs: Vec<IdealizationSpec>,
     lint_report: Option<LintReport>,
-    config: SessionConfig,
+    config: SessionState,
 }
 
 impl ParsedDeck {
@@ -489,20 +586,22 @@ impl ParsedDeck {
     /// [`Stage::DeckParse`] when lint mode denies specs that entered
     /// through [`PipelineBuilder::specs`] (never linted until now).
     pub fn idealize(mut self) -> Result<Idealized, PipelineError> {
-        if let (Some(lint), None) = (&self.config.lint, &self.lint_report) {
+        if let (Some(lint), None) = (&self.config.shared.lint, &self.lint_report) {
             self.lint_report = Some(run_lint(|| cafemio_lint::lint_specs(&self.specs, lint))?);
         }
         let _span = cafemio_instrument::span("pipeline.idealize");
+        let cache = self.config.cache().map(|(store, fp)| (Arc::clone(store), fp));
         let sets = self
             .specs
             .into_iter()
-            .map(|spec| {
-                let result = Idealization::run(&spec)
+            .enumerate()
+            .map(|(index, spec)| {
+                let result = idealize_spec(&spec, index, &cache)
                     .map_err(|e| PipelineError::at(Stage::Idealize, StageError::Idlz(e)))?;
                 Ok(IdealizedSet { spec, result })
             })
             .collect::<Result<Vec<_>, PipelineError>>()?;
-        if let Some(audit) = &self.config.audit {
+        if let Some(audit) = &self.config.shared.audit {
             let _audit_span = cafemio_instrument::span("audit.idealize");
             for set in &sets {
                 cafemio_audit::check_idealization(&set.spec, &set.result, audit)
@@ -531,7 +630,7 @@ pub struct IdealizedSet {
 #[derive(Debug, Clone)]
 pub struct Idealized {
     sets: Vec<IdealizedSet>,
-    config: SessionConfig,
+    config: SessionState,
 }
 
 impl Idealized {
@@ -583,7 +682,7 @@ impl Idealized {
 #[derive(Debug, Clone)]
 pub struct ModelReady {
     models: Vec<FemModel>,
-    config: SessionConfig,
+    config: SessionState,
 }
 
 impl ModelReady {
@@ -603,21 +702,41 @@ impl ModelReady {
     /// to converge).
     pub fn solve(self) -> Result<Solved, PipelineError> {
         let _span = cafemio_instrument::span("pipeline.solve");
-        let backend = self.config.solver;
-        let cg = self.config.cg;
+        let backend = self.config.shared.solver;
+        let cg = self.config.shared.cg;
+        let cache = self.config.cache().map(|(store, fp)| (Arc::clone(store), fp));
         let cases = self
             .models
             .into_iter()
             .map(|model| {
+                // A model whose force evaluation fails has no content
+                // key; it falls through to the solver, which reports
+                // the error with full stage provenance.
+                let key = cache.as_ref().and_then(|&(_, fp)| {
+                    content::hash_model(&model)
+                        .map(|hash| CacheKey::new(CacheStage::Solve, hash, fp))
+                });
+                if let (Some((store, _)), Some(key)) = (&cache, key) {
+                    if let Some(hit) = store.get::<Solution>(&key) {
+                        return Ok(SolvedCase {
+                            model,
+                            solution: (*hit).clone(),
+                        });
+                    }
+                }
                 let solution = match backend {
                     SolverBackend::SparseCg => model.solve_sparse_with(&cg),
                     direct => model.solve_with(direct),
                 }
                 .map_err(|e| PipelineError::at(Stage::Solve, StageError::Fem(e)))?;
+                if let (Some((store, _)), Some(key)) = (&cache, key) {
+                    let bytes = 64 + 8 * solution.dofs().len();
+                    store.put(key, Arc::new(solution.clone()), bytes as u64);
+                }
                 Ok(SolvedCase { model, solution })
             })
             .collect::<Result<Vec<_>, PipelineError>>()?;
-        if let Some(audit) = &self.config.audit {
+        if let Some(audit) = &self.config.shared.audit {
             let _audit_span = cafemio_instrument::span("audit.solve");
             for case in &cases {
                 cafemio_audit::check_solution(&case.model, &case.solution, audit)
@@ -675,7 +794,7 @@ impl SolvedCase {
 #[derive(Debug, Clone)]
 pub struct Solved {
     cases: Vec<SolvedCase>,
-    config: SessionConfig,
+    config: SessionState,
 }
 
 impl Solved {
@@ -691,13 +810,32 @@ impl Solved {
     /// A [`PipelineError`] attributed to [`Stage::StressRecovery`].
     pub fn recover(self) -> Result<Recovered, PipelineError> {
         let _span = cafemio_instrument::span("pipeline.stress_recovery");
+        let cache = self.config.cache().map(|(store, fp)| (Arc::clone(store), fp));
         let cases = self
             .cases
             .into_iter()
             .map(|case| {
+                let key = cache.as_ref().and_then(|&(_, fp)| {
+                    content::hash_recovery(&case.model, &case.solution)
+                        .map(|hash| CacheKey::new(CacheStage::StressRecovery, hash, fp))
+                });
+                if let (Some((store, _)), Some(key)) = (&cache, key) {
+                    if let Some(hit) = store.get::<StressField>(&key) {
+                        return Ok(RecoveredCase {
+                            model: case.model,
+                            solution: case.solution,
+                            stresses: (*hit).clone(),
+                        });
+                    }
+                }
                 let stresses = StressField::compute(&case.model, &case.solution).map_err(|e| {
                     PipelineError::at(Stage::StressRecovery, StageError::Fem(e))
                 })?;
+                if let (Some((store, _)), Some(key)) = (&cache, key) {
+                    let mesh = case.model.mesh();
+                    let bytes = 128 + 32 * (mesh.element_count() + mesh.node_count());
+                    store.put(key, Arc::new(stresses.clone()), bytes as u64);
+                }
                 Ok(RecoveredCase {
                     model: case.model,
                     solution: case.solution,
@@ -744,7 +882,7 @@ impl RecoveredCase {
 #[derive(Debug, Clone)]
 pub struct Recovered {
     cases: Vec<RecoveredCase>,
-    config: SessionConfig,
+    config: SessionState,
 }
 
 impl Recovered {
@@ -775,12 +913,35 @@ impl Recovered {
         options: &ContourOptions,
     ) -> Result<Vec<StressPlot>, PipelineError> {
         let _span = cafemio_instrument::span("pipeline.contour");
+        let cache = self.config.cache().map(|(store, fp)| (Arc::clone(store), fp));
         let mut plots = Vec::with_capacity(self.cases.len());
         for case in &self.cases {
             let field = component.field(&case.stresses);
-            let contours = Ospl::run(case.model.mesh(), &field, options)
-                .map_err(|e| PipelineError::at(Stage::Contour, StageError::Ospl(e)))?;
-            if let Some(audit) = &self.config.audit {
+            let key = cache.as_ref().map(|&(_, fp)| {
+                let hash = content::hash_contour(case.model.mesh(), &field, component, options);
+                CacheKey::new(CacheStage::Contour, hash, fp)
+            });
+            let cached = match (&cache, key) {
+                (Some((store, _)), Some(key)) => store.get::<OsplResult>(&key),
+                _ => None,
+            };
+            let contours = match cached {
+                Some(hit) => (*hit).clone(),
+                None => {
+                    let contours = Ospl::run(case.model.mesh(), &field, options)
+                        .map_err(|e| PipelineError::at(Stage::Contour, StageError::Ospl(e)))?;
+                    if let (Some((store, _)), Some(key)) = (&cache, key) {
+                        let bytes = 8192
+                            + 128 * contours.isograms.len() as u64
+                            + 8 * contours.levels.len() as u64;
+                        store.put(key, Arc::new(contours.clone()), bytes);
+                    }
+                    contours
+                }
+            };
+            // Audit invariants are re-derived even on cache hits, so a
+            // warm session proves the same properties a cold one does.
+            if let Some(audit) = &self.config.shared.audit {
                 let _audit_span = cafemio_instrument::span("audit.contour");
                 cafemio_audit::check_contours(case.model.mesh(), &field, &contours, audit)
                     .map_err(audit_failure)?;
@@ -1102,7 +1263,7 @@ mod tests {
             "(3I5, 62X, I3)\n",
         );
         let err = PipelineBuilder::new()
-            .lint(LintConfig::new())
+            .config(SessionConfig::new().lint(LintConfig::new()))
             .parse(overlapping)
             .unwrap_err();
         assert_eq!(err.stage(), Stage::DeckParse);
@@ -1115,7 +1276,7 @@ mod tests {
         }
         // Allowing the code turns the same deck clean.
         let parsed = PipelineBuilder::new()
-            .lint(LintConfig::new().allow(LintCode::OverlappingSubdivisions))
+            .config(SessionConfig::new().lint(LintConfig::new().allow(LintCode::OverlappingSubdivisions)))
             .parse(overlapping)
             .unwrap();
         assert!(parsed.lint_report().unwrap().is_clean());
@@ -1125,7 +1286,7 @@ mod tests {
     fn lint_mode_passes_clean_decks_and_stores_the_report() {
         use cafemio_lint::LintConfig;
         let parsed = PipelineBuilder::new()
-            .lint(LintConfig::new())
+            .config(SessionConfig::new().lint(LintConfig::new()))
             .parse(PLATE_DECK)
             .unwrap();
         let report = parsed.lint_report().expect("lint ran at parse");
@@ -1143,7 +1304,7 @@ mod tests {
         spec.add_subdivision(Subdivision::rectangular(1, (0, 0), (2, 2)).unwrap());
         spec.add_subdivision(Subdivision::rectangular(2, (0, 0), (2, 2)).unwrap());
         let err = PipelineBuilder::new()
-            .lint(LintConfig::new())
+            .config(SessionConfig::new().lint(LintConfig::new()))
             .specs(vec![spec])
             .idealize()
             .unwrap_err();

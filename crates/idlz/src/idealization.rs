@@ -93,24 +93,7 @@ impl Idealization {
     /// Any of the [`IdlzError`] conditions: bad subdivisions, Table-2
     /// limits, shaping failures, overlapping subdivisions.
     pub fn run(spec: &IdealizationSpec) -> Result<IdealizationResult, IdlzError> {
-        let limits = spec.limits();
-        limits.check_subdivisions(spec.subdivisions().len())?;
-        if spec.subdivisions().is_empty() {
-            return Err(IdlzError::BadDeck {
-                reason: "data set contains no subdivisions".to_owned(),
-            });
-        }
-        for sub in spec.subdivisions() {
-            let (k1, l1) = sub.lower_left();
-            let (k2, l2) = sub.upper_right();
-            limits.check_grid(sub.id(), k1, l1)?;
-            limits.check_grid(sub.id(), k2, l2)?;
-        }
-        for &id in spec.shape_lines().keys() {
-            if !spec.subdivisions().iter().any(|s| s.id() == id) {
-                return Err(IdlzError::UnknownSubdivision { id });
-            }
-        }
+        validate_spec(spec)?;
 
         let _run_span = cafemio_instrument::span("idlz.run");
 
@@ -120,7 +103,7 @@ impl Idealization {
         // so it fans out one task per subdivision; the merge below runs
         // serially in subdivision order, keeping results bit-identical
         // to the old single-threaded loop at any thread count.
-        let per_sub: Vec<(Vec<GridPoint>, Vec<[GridPoint; 3]>)> =
+        let per_sub: Vec<SubGrid> =
             cafemio_instrument::par::parallel_map_grained(spec.subdivisions(), 1, |s| {
                 (s.grid_points(), s.grid_elements())
             });
@@ -128,176 +111,222 @@ impl Idealization {
             "idealize.parallel.subdivisions",
             spec.subdivisions().len() as u64,
         );
-        let mut points: Vec<GridPoint> = per_sub
-            .iter()
-            .flat_map(|(pts, _)| pts.iter().copied())
-            .collect();
-        points.sort_by_key(|&(k, l)| (l, k));
-        points.dedup();
-        limits.check_nodes(points.len())?;
-        let node_index: BTreeMap<GridPoint, usize> = points
-            .iter()
-            .copied()
-            .enumerate()
-            .map(|(i, p)| (p, i))
-            .collect();
-
-        // ---- Create elements (and catch overlapping subdivisions). ----
-        let mut element_triples: Vec<[usize; 3]> = Vec::new();
-        let mut element_owner: Vec<usize> = Vec::new();
-        let mut seen: BTreeMap<[usize; 3], usize> = BTreeMap::new();
-        let mut subdivision_node_sets: Vec<(usize, Vec<usize>)> = Vec::new();
-        for (sub, (sub_points, sub_tris)) in spec.subdivisions().iter().zip(&per_sub) {
-            let mut sub_nodes: Vec<usize> = sub_points.iter().map(|p| node_index[p]).collect();
-            sub_nodes.sort_unstable();
-            sub_nodes.dedup();
-            subdivision_node_sets.push((sub.id(), sub_nodes));
-            for tri in sub_tris {
-                let ids = [
-                    node_index[&tri[0]],
-                    node_index[&tri[1]],
-                    node_index[&tri[2]],
-                ];
-                let mut key = ids;
-                key.sort_unstable();
-                if let Some(&owner) = seen.get(&key) {
-                    return Err(IdlzError::OverlappingSubdivisions {
-                        first: owner,
-                        second: sub.id(),
-                    });
-                }
-                seen.insert(key, sub.id());
-                element_triples.push(ids);
-                element_owner.push(sub.id());
-            }
-        }
-        limits.check_elements(element_triples.len())?;
-
-        // ---- Mesh before shaping: grid coordinates as positions. ----
-        let mut unshaped = TriMesh::new();
-        for &(k, l) in &points {
-            unshaped.add_node(Point::new(k as f64, l as f64), BoundaryKind::Interior);
-        }
-        for ids in &element_triples {
-            unshaped.add_element([NodeId(ids[0]), NodeId(ids[1]), NodeId(ids[2])])?;
-        }
-        drop(grid_span);
-        cafemio_instrument::counter("idlz.nodes", points.len() as u64);
-        cafemio_instrument::counter("idlz.elements", element_triples.len() as u64);
-
-        // ---- Shape the structure. ----
-        let shape_span = cafemio_instrument::span("idlz.shape");
-        let positions = shape_nodes(
-            spec.subdivisions(),
-            spec.shape_lines(),
-            &node_index,
-            points.len(),
-        )?;
-        let mut mesh = unshaped.clone();
-        for (i, &position) in positions.iter().enumerate() {
-            mesh.node_mut(NodeId(i)).position = position;
-        }
-
-        // ---- Detect folds; normalize a globally mirrored shaping. ----
-        let mut ccw = 0usize;
-        let mut cw = 0usize;
-        for (id, _) in mesh.elements() {
-            if mesh.triangle(id).signed_area() >= 0.0 {
-                ccw += 1;
-            } else {
-                cw += 1;
-            }
-        }
-        if ccw > 0 && cw > 0 {
-            return Err(IdlzError::FoldedShaping { ccw, cw });
-        }
-        if cw > 0 {
-            // The user's coordinates mirror the grid (legal); restore the
-            // counter-clockwise convention element by element.
-            let ids: Vec<_> = mesh.elements().map(|(id, _)| id).collect();
-            for id in ids {
-                mesh.element_mut(id).nodes.swap(1, 2);
-            }
-        }
-        drop(shape_span);
-
-        // ---- Reform needle elements. ----
-        let reform_span = cafemio_instrument::span("idlz.reform");
-        let reform = reform_elements(&mut mesh, 20);
-        drop(reform_span);
-
-        // ---- Classify boundary nodes (the OSPL flags). ----
-        mesh.classify_boundary();
-        unshaped.classify_boundary();
-
-        // ---- Renumber for bandwidth. ----
-        let renumber_span = cafemio_instrument::span("idlz.renumber");
-        let bandwidth_before = mesh.bandwidth();
-        let mut subdivision_nodes: Vec<(usize, Vec<NodeId>)> = subdivision_node_sets
-            .iter()
-            .map(|(id, nodes)| (*id, nodes.iter().map(|&n| NodeId(n)).collect()))
-            .collect();
-        let bandwidth_after = if spec.options().renumber {
-            // Renumber only when Cuthill–McKee actually narrows the band:
-            // the initial left-right/bottom-top numbering is already
-            // optimal for many of the paper's strip-like cross-sections.
-            let perm = cuthill_mckee(&mesh);
-            if bandwidth_of_permutation(&mesh, &perm) < bandwidth_before {
-                mesh.renumber_nodes(&perm);
-                for (_, nodes) in &mut subdivision_nodes {
-                    for n in nodes.iter_mut() {
-                        *n = NodeId(perm[n.index()]);
-                    }
-                }
-            }
-            mesh.bandwidth()
-        } else {
-            bandwidth_before
-        };
-        drop(renumber_span);
-        cafemio_instrument::counter("idlz.bandwidth_before", bandwidth_before as u64);
-        cafemio_instrument::counter("idlz.bandwidth_after", bandwidth_after as u64);
-
-        mesh.validate()?;
-
-        let stats = IdlzStats {
-            input_values: spec.input_value_count(),
-            output_values: 4 * mesh.node_count() + 4 * mesh.element_count(),
-            bandwidth_before,
-            bandwidth_after,
-        };
-
-        // ---- Plots. ----
-        let _plot_span = cafemio_instrument::span("idlz.plot");
-        let mut frames = Vec::new();
-        if spec.options().plots {
-            frames.push(plot_mesh(
-                &unshaped,
-                &format!("{} - INITIAL REPRESENTATION", spec.title()),
-                PlotOptions::default(),
-            ));
-            frames.push(plot_mesh(
-                &mesh,
-                &format!("{} - FINAL IDEALIZATION", spec.title()),
-                PlotOptions::default(),
-            ));
-            frames.extend(plot_subdivision_numbers(
-                &mesh,
-                spec.title(),
-                &subdivision_nodes,
-            ));
-        }
-
-        let _ = element_owner;
-        Ok(IdealizationResult {
-            mesh,
-            unshaped_mesh: unshaped,
-            reform,
-            stats,
-            subdivision_nodes,
-            frames,
-        })
+        assemble(spec, &per_sub, grid_span)
     }
+}
+
+/// One subdivision's generated grid payload: its grid points and element
+/// triples (in grid coordinates) — the unit the incremental region store
+/// caches.
+pub(crate) type SubGrid = (Vec<GridPoint>, Vec<[GridPoint; 3]>);
+
+/// The pre-pipeline structural checks: subdivision count and grid limits,
+/// non-empty deck, and shape lines naming known subdivisions. Shared by
+/// the cold path ([`Idealization::run`]) and the incremental path
+/// ([`IncrementalIdealizer::update`](crate::IncrementalIdealizer::update)).
+pub(crate) fn validate_spec(spec: &IdealizationSpec) -> Result<(), IdlzError> {
+    let limits = spec.limits();
+    limits.check_subdivisions(spec.subdivisions().len())?;
+    if spec.subdivisions().is_empty() {
+        return Err(IdlzError::BadDeck {
+            reason: "data set contains no subdivisions".to_owned(),
+        });
+    }
+    for sub in spec.subdivisions() {
+        let (k1, l1) = sub.lower_left();
+        let (k2, l2) = sub.upper_right();
+        limits.check_grid(sub.id(), k1, l1)?;
+        limits.check_grid(sub.id(), k2, l2)?;
+    }
+    for &id in spec.shape_lines().keys() {
+        if !spec.subdivisions().iter().any(|s| s.id() == id) {
+            return Err(IdlzError::UnknownSubdivision { id });
+        }
+    }
+    Ok(())
+}
+
+/// Everything downstream of per-subdivision grid generation: merge,
+/// element creation, shaping, reform, renumbering, stats, and plots.
+/// Takes the open `idlz.grid` span so the merge is timed under the same
+/// span whether the payloads were freshly generated or reused from the
+/// region store — the two paths are structurally identical from here on,
+/// which is what makes warm results bit-identical to cold ones.
+pub(crate) fn assemble(
+    spec: &IdealizationSpec,
+    per_sub: &[SubGrid],
+    grid_span: cafemio_instrument::Span,
+) -> Result<IdealizationResult, IdlzError> {
+    let limits = spec.limits();
+    let mut points: Vec<GridPoint> = per_sub
+        .iter()
+        .flat_map(|(pts, _)| pts.iter().copied())
+        .collect();
+    points.sort_by_key(|&(k, l)| (l, k));
+    points.dedup();
+    limits.check_nodes(points.len())?;
+    let node_index: BTreeMap<GridPoint, usize> = points
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(i, p)| (p, i))
+        .collect();
+
+    // ---- Create elements (and catch overlapping subdivisions). ----
+    let mut element_triples: Vec<[usize; 3]> = Vec::new();
+    let mut element_owner: Vec<usize> = Vec::new();
+    let mut seen: BTreeMap<[usize; 3], usize> = BTreeMap::new();
+    let mut subdivision_node_sets: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (sub, (sub_points, sub_tris)) in spec.subdivisions().iter().zip(per_sub) {
+        let mut sub_nodes: Vec<usize> = sub_points.iter().map(|p| node_index[p]).collect();
+        sub_nodes.sort_unstable();
+        sub_nodes.dedup();
+        subdivision_node_sets.push((sub.id(), sub_nodes));
+        for tri in sub_tris {
+            let ids = [
+                node_index[&tri[0]],
+                node_index[&tri[1]],
+                node_index[&tri[2]],
+            ];
+            let mut key = ids;
+            key.sort_unstable();
+            if let Some(&owner) = seen.get(&key) {
+                return Err(IdlzError::OverlappingSubdivisions {
+                    first: owner,
+                    second: sub.id(),
+                });
+            }
+            seen.insert(key, sub.id());
+            element_triples.push(ids);
+            element_owner.push(sub.id());
+        }
+    }
+    limits.check_elements(element_triples.len())?;
+
+    // ---- Mesh before shaping: grid coordinates as positions. ----
+    let mut unshaped = TriMesh::new();
+    for &(k, l) in &points {
+        unshaped.add_node(Point::new(k as f64, l as f64), BoundaryKind::Interior);
+    }
+    for ids in &element_triples {
+        unshaped.add_element([NodeId(ids[0]), NodeId(ids[1]), NodeId(ids[2])])?;
+    }
+    drop(grid_span);
+    cafemio_instrument::counter("idlz.nodes", points.len() as u64);
+    cafemio_instrument::counter("idlz.elements", element_triples.len() as u64);
+
+    // ---- Shape the structure. ----
+    let shape_span = cafemio_instrument::span("idlz.shape");
+    let positions = shape_nodes(
+        spec.subdivisions(),
+        spec.shape_lines(),
+        &node_index,
+        points.len(),
+    )?;
+    let mut mesh = unshaped.clone();
+    for (i, &position) in positions.iter().enumerate() {
+        mesh.node_mut(NodeId(i)).position = position;
+    }
+
+    // ---- Detect folds; normalize a globally mirrored shaping. ----
+    let mut ccw = 0usize;
+    let mut cw = 0usize;
+    for (id, _) in mesh.elements() {
+        if mesh.triangle(id).signed_area() >= 0.0 {
+            ccw += 1;
+        } else {
+            cw += 1;
+        }
+    }
+    if ccw > 0 && cw > 0 {
+        return Err(IdlzError::FoldedShaping { ccw, cw });
+    }
+    if cw > 0 {
+        // The user's coordinates mirror the grid (legal); restore the
+        // counter-clockwise convention element by element.
+        let ids: Vec<_> = mesh.elements().map(|(id, _)| id).collect();
+        for id in ids {
+            mesh.element_mut(id).nodes.swap(1, 2);
+        }
+    }
+    drop(shape_span);
+
+    // ---- Reform needle elements. ----
+    let reform_span = cafemio_instrument::span("idlz.reform");
+    let reform = reform_elements(&mut mesh, 20);
+    drop(reform_span);
+
+    // ---- Classify boundary nodes (the OSPL flags). ----
+    mesh.classify_boundary();
+    unshaped.classify_boundary();
+
+    // ---- Renumber for bandwidth. ----
+    let renumber_span = cafemio_instrument::span("idlz.renumber");
+    let bandwidth_before = mesh.bandwidth();
+    let mut subdivision_nodes: Vec<(usize, Vec<NodeId>)> = subdivision_node_sets
+        .iter()
+        .map(|(id, nodes)| (*id, nodes.iter().map(|&n| NodeId(n)).collect()))
+        .collect();
+    let bandwidth_after = if spec.options().renumber {
+        // Renumber only when Cuthill–McKee actually narrows the band:
+        // the initial left-right/bottom-top numbering is already
+        // optimal for many of the paper's strip-like cross-sections.
+        let perm = cuthill_mckee(&mesh);
+        if bandwidth_of_permutation(&mesh, &perm) < bandwidth_before {
+            mesh.renumber_nodes(&perm);
+            for (_, nodes) in &mut subdivision_nodes {
+                for n in nodes.iter_mut() {
+                    *n = NodeId(perm[n.index()]);
+                }
+            }
+        }
+        mesh.bandwidth()
+    } else {
+        bandwidth_before
+    };
+    drop(renumber_span);
+    cafemio_instrument::counter("idlz.bandwidth_before", bandwidth_before as u64);
+    cafemio_instrument::counter("idlz.bandwidth_after", bandwidth_after as u64);
+
+    mesh.validate()?;
+
+    let stats = IdlzStats {
+        input_values: spec.input_value_count(),
+        output_values: 4 * mesh.node_count() + 4 * mesh.element_count(),
+        bandwidth_before,
+        bandwidth_after,
+    };
+
+    // ---- Plots. ----
+    let _plot_span = cafemio_instrument::span("idlz.plot");
+    let mut frames = Vec::new();
+    if spec.options().plots {
+        frames.push(plot_mesh(
+            &unshaped,
+            &format!("{} - INITIAL REPRESENTATION", spec.title()),
+            PlotOptions::default(),
+        ));
+        frames.push(plot_mesh(
+            &mesh,
+            &format!("{} - FINAL IDEALIZATION", spec.title()),
+            PlotOptions::default(),
+        ));
+        frames.extend(plot_subdivision_numbers(
+            &mesh,
+            spec.title(),
+            &subdivision_nodes,
+        ));
+    }
+
+    let _ = element_owner;
+    Ok(IdealizationResult {
+        mesh,
+        unshaped_mesh: unshaped,
+        reform,
+        stats,
+        subdivision_nodes,
+        frames,
+    })
 }
 
 /// The semi-bandwidth the mesh would have after applying `perm`
@@ -426,7 +455,10 @@ mod tests {
         spec.add_subdivision(Subdivision::rectangular(2, (1, 0), (3, 2)).unwrap());
         assert!(matches!(
             Idealization::run(&spec).unwrap_err(),
-            IdlzError::OverlappingSubdivisions { first: 1, second: 2 }
+            IdlzError::OverlappingSubdivisions {
+                first: 1,
+                second: 2
+            }
         ));
     }
 

@@ -1,0 +1,363 @@
+//! Incremental re-idealization: regenerate only the subdivisions an
+//! edit touched, reuse every other region's payload, then run the
+//! shared assembly — bit-identical to a cold [`Idealization::run`].
+//!
+//! The analyst edit loop the paper describes is local: one subdivision
+//! corner moves, one shape line is redrawn. The expensive part of grid
+//! generation is per-subdivision and independent, so an
+//! [`IncrementalIdealizer`] keeps a [`RegionStore`] of per-subdivision
+//! payloads keyed by a content hash of each subdivision's definition
+//! (corners, taper, and its shape lines). On
+//! [`update`](IncrementalIdealizer::update) the store is diffed against
+//! the edited spec: vanished regions are removed (survivor remap),
+//! changed or new subdivisions are regenerated, unchanged ones are
+//! served from the store — and the merge/shape/reform/renumber pipeline
+//! downstream is the *same code* the cold path runs
+//! ([`assemble`](crate::idealization::assemble)), which is what makes
+//! warm output bit-identical to cold.
+//!
+//! [`Idealization::run`]: crate::Idealization::run
+
+use cafemio_cache::StableHasher;
+
+use crate::idealization::{assemble, validate_spec, SubGrid};
+use crate::region::RegionStore;
+use crate::spec::IdealizationSpec;
+use crate::subdivision::Subdivision;
+use crate::{IdealizationResult, IdlzError, ShapeLine};
+
+/// What one [`IncrementalIdealizer::update`] reused versus redid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IncrementalStats {
+    /// Subdivisions whose region payload was served from the store.
+    pub reused: usize,
+    /// Subdivisions whose payload had to be (re)generated.
+    pub regenerated: usize,
+    /// Stale regions dropped from the store by this update.
+    pub removed: usize,
+}
+
+/// A stateful idealizer that reuses per-subdivision grid payloads
+/// across successive edits of "the same" deck.
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_geom::Point;
+/// use cafemio_idlz::{
+///     Idealization, IdealizationSpec, IncrementalIdealizer, ShapeLine, Subdivision,
+/// };
+/// # fn main() -> Result<(), cafemio_idlz::IdlzError> {
+/// // Two adjacent subdivisions with identity shaping; `right` is the
+/// // second one's right edge — the knob the analyst edits.
+/// fn deck(right: i32) -> Result<IdealizationSpec, cafemio_idlz::IdlzError> {
+///     let mut spec = IdealizationSpec::new("TWO");
+///     for (id, k0, k1) in [(1usize, 0, 2), (2, 2, right)] {
+///         spec.add_subdivision(Subdivision::rectangular(id, (k0, 0), (k1, 2))?);
+///         for l in [0, 2] {
+///             spec.add_shape_line(id, ShapeLine::straight(
+///                 (k0, l), (k1, l),
+///                 Point::new(k0 as f64, l as f64), Point::new(k1 as f64, l as f64)));
+///         }
+///     }
+///     Ok(spec)
+/// }
+///
+/// let mut incremental = IncrementalIdealizer::new();
+/// let (_, stats) = incremental.update(&deck(4)?)?;
+/// assert_eq!(stats.regenerated, 2);
+///
+/// // Edit one subdivision: only it regenerates, and the result is
+/// // bit-identical to a cold run of the edited spec.
+/// let (second, stats) = incremental.update(&deck(5)?)?;
+/// assert_eq!((stats.reused, stats.regenerated), (1, 1));
+/// assert_eq!(second.mesh.node_count(), Idealization::run(&deck(5)?)?.mesh.node_count());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalIdealizer {
+    store: RegionStore,
+}
+
+impl IncrementalIdealizer {
+    /// An idealizer with an empty region store (the first update is a
+    /// full cold run).
+    pub fn new() -> IncrementalIdealizer {
+        IncrementalIdealizer::default()
+    }
+
+    /// Number of regions currently held.
+    pub fn region_count(&self) -> usize {
+        self.store.region_count()
+    }
+
+    /// Idealizes `spec`, regenerating only the subdivisions whose
+    /// definition (corners, taper, or own shape lines) changed since
+    /// the previous update, and reports what was reused.
+    ///
+    /// The result is bit-identical to [`Idealization::run`] on the same
+    /// spec: payload generation is deterministic per subdivision, and
+    /// everything downstream of it is the same shared assembly code.
+    ///
+    /// [`Idealization::run`]: crate::Idealization::run
+    ///
+    /// # Errors
+    ///
+    /// Exactly the cold-path [`IdlzError`] conditions — including
+    /// overlapping-subdivision detection, which happens at assembly and
+    /// therefore fires identically for reused payloads.
+    pub fn update(
+        &mut self,
+        spec: &IdealizationSpec,
+    ) -> Result<(IdealizationResult, IncrementalStats), IdlzError> {
+        validate_spec(spec)?;
+
+        let _run_span = cafemio_instrument::span("idlz.run");
+        let grid_span = cafemio_instrument::span("idlz.grid");
+
+        let desired: Vec<(usize, u64)> = spec
+            .subdivisions()
+            .iter()
+            .map(|sub| {
+                let lines = spec
+                    .shape_lines()
+                    .get(&sub.id())
+                    .map(Vec::as_slice)
+                    .unwrap_or(&[]);
+                (sub.id(), region_hash(sub, lines))
+            })
+            .collect();
+
+        let mut stats = IncrementalStats {
+            removed: self.store.retain(&desired),
+            ..IncrementalStats::default()
+        };
+        for (sub, &(id, hash)) in spec.subdivisions().iter().zip(&desired) {
+            if self.store.contains(id, hash) {
+                stats.reused += 1;
+            } else {
+                self.store
+                    .add(id, hash, sub.grid_points(), sub.grid_elements());
+                stats.regenerated += 1;
+            }
+        }
+        cafemio_instrument::counter(
+            "idlz.incremental.reused_subdivisions",
+            stats.reused as u64,
+        );
+        cafemio_instrument::counter(
+            "idlz.incremental.regenerated_subdivisions",
+            stats.regenerated as u64,
+        );
+
+        let per_sub: Vec<SubGrid> = desired
+            .iter()
+            .map(|&(id, hash)| {
+                // invariant: every desired key was added above if absent.
+                self.store.snapshot(id, hash).expect("region present")
+            })
+            .collect();
+        let result = assemble(spec, &per_sub, grid_span)?;
+        Ok((result, stats))
+    }
+}
+
+/// The content hash of one subdivision's definition: id, corners,
+/// taper, and the shape lines attached to its id. A region is valid
+/// exactly as long as none of these change.
+fn region_hash(subdivision: &Subdivision, lines: &[ShapeLine]) -> u64 {
+    let mut hasher = StableHasher::new();
+    hasher.write_usize(subdivision.id());
+    let (llx, lly) = subdivision.lower_left();
+    let (urx, ury) = subdivision.upper_right();
+    hasher.write_i32(llx);
+    hasher.write_i32(lly);
+    hasher.write_i32(urx);
+    hasher.write_i32(ury);
+    match subdivision.taper() {
+        crate::Taper::None => hasher.write_i32(0),
+        crate::Taper::Row(t) => {
+            hasher.write_i32(1);
+            hasher.write_i32(t);
+        }
+        crate::Taper::Column(t) => {
+            hasher.write_i32(2);
+            hasher.write_i32(t);
+        }
+    }
+    hasher.write_usize(lines.len());
+    for line in lines {
+        hasher.write_i32(line.from.0);
+        hasher.write_i32(line.from.1);
+        hasher.write_i32(line.to.0);
+        hasher.write_i32(line.to.1);
+        hasher.write_f64(line.start.x);
+        hasher.write_f64(line.start.y);
+        hasher.write_f64(line.end.x);
+        hasher.write_f64(line.end.y);
+        hasher.write_f64(line.radius);
+    }
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Idealization;
+    use cafemio_geom::Point;
+
+    /// Two adjacent subdivisions, no shape lines.
+    fn two_subs(right_edge: i32) -> IdealizationSpec {
+        let mut spec = IdealizationSpec::new("TWO");
+        spec.add_subdivision(Subdivision::rectangular(1, (0, 0), (2, 2)).unwrap());
+        spec.add_subdivision(Subdivision::rectangular(2, (2, 0), (right_edge, 2)).unwrap());
+        spec
+    }
+
+    /// Two adjacent subdivisions with identity shaping.
+    fn two_sub_spec(right_edge: i32) -> IdealizationSpec {
+        let mut spec = two_subs(right_edge);
+        for (id, k0, k1) in [(1usize, 0, 2), (2, 2, right_edge)] {
+            for l in [0, 2] {
+                spec.add_shape_line(
+                    id,
+                    ShapeLine::straight(
+                        (k0, l),
+                        (k1, l),
+                        Point::new(k0 as f64, l as f64),
+                        Point::new(k1 as f64, l as f64),
+                    ),
+                );
+            }
+        }
+        spec
+    }
+
+    fn meshes_equal(a: &IdealizationResult, b: &IdealizationResult) -> bool {
+        let nodes_equal = a
+            .mesh
+            .nodes()
+            .zip(b.mesh.nodes())
+            .all(|((ia, na), (ib, nb))| ia == ib && na == nb);
+        let elements_equal = a
+            .mesh
+            .elements()
+            .zip(b.mesh.elements())
+            .all(|((ia, ea), (ib, eb))| ia == ib && ea == eb);
+        a.mesh.node_count() == b.mesh.node_count()
+            && a.mesh.element_count() == b.mesh.element_count()
+            && nodes_equal
+            && elements_equal
+            && a.stats == b.stats
+            && a.subdivision_nodes == b.subdivision_nodes
+    }
+
+    #[test]
+    fn first_update_is_a_full_cold_run() {
+        let spec = two_sub_spec(4);
+        let mut incremental = IncrementalIdealizer::new();
+        let (result, stats) = incremental.update(&spec).unwrap();
+        assert_eq!(stats, IncrementalStats { reused: 0, regenerated: 2, removed: 0 });
+        assert!(meshes_equal(&result, &Idealization::run(&spec).unwrap()));
+    }
+
+    #[test]
+    fn unchanged_spec_reuses_every_region() {
+        let spec = two_sub_spec(4);
+        let mut incremental = IncrementalIdealizer::new();
+        let (cold, _) = incremental.update(&spec).unwrap();
+        let (warm, stats) = incremental.update(&spec).unwrap();
+        assert_eq!(stats, IncrementalStats { reused: 2, regenerated: 0, removed: 0 });
+        assert!(meshes_equal(&cold, &warm));
+    }
+
+    #[test]
+    fn corner_edit_regenerates_only_the_touched_subdivision() {
+        let mut incremental = IncrementalIdealizer::new();
+        incremental.update(&two_sub_spec(4)).unwrap();
+        let edited = two_sub_spec(5);
+        let (warm, stats) = incremental.update(&edited).unwrap();
+        assert_eq!(stats, IncrementalStats { reused: 1, regenerated: 1, removed: 1 });
+        assert!(meshes_equal(&warm, &Idealization::run(&edited).unwrap()));
+    }
+
+    #[test]
+    fn shape_line_edit_invalidates_only_its_subdivision() {
+        let mut base = two_subs(4);
+        for (id, x0) in [(1usize, 0.0), (2, 2.0)] {
+            let k0 = x0 as i32;
+            base.add_shape_line(
+                id,
+                ShapeLine::straight(
+                    (k0, 0),
+                    (k0 + 2, 0),
+                    Point::new(x0, 0.0),
+                    Point::new(x0 + 2.0, 0.0),
+                ),
+            );
+            base.add_shape_line(
+                id,
+                ShapeLine::straight(
+                    (k0, 2),
+                    (k0 + 2, 2),
+                    Point::new(x0, 2.0),
+                    Point::new(x0 + 2.0, 2.0),
+                ),
+            );
+        }
+        let mut incremental = IncrementalIdealizer::new();
+        incremental.update(&base).unwrap();
+
+        // Redraw subdivision 2's top edge only.
+        let mut edited = two_subs(4);
+        for (id, x0) in [(1usize, 0.0), (2, 2.0)] {
+            let k0 = x0 as i32;
+            edited.add_shape_line(
+                id,
+                ShapeLine::straight(
+                    (k0, 0),
+                    (k0 + 2, 0),
+                    Point::new(x0, 0.0),
+                    Point::new(x0 + 2.0, 0.0),
+                ),
+            );
+            let top = if id == 2 { 2.5 } else { 2.0 };
+            edited.add_shape_line(
+                id,
+                ShapeLine::straight(
+                    (k0, 2),
+                    (k0 + 2, 2),
+                    Point::new(x0, top),
+                    Point::new(x0 + 2.0, top),
+                ),
+            );
+        }
+        let (warm, stats) = incremental.update(&edited).unwrap();
+        assert_eq!(stats.reused, 1);
+        assert_eq!(stats.regenerated, 1);
+        assert!(meshes_equal(&warm, &Idealization::run(&edited).unwrap()));
+    }
+
+    #[test]
+    fn overlap_detected_identically_on_reused_payloads() {
+        let mut incremental = IncrementalIdealizer::new();
+        incremental.update(&two_sub_spec(4)).unwrap();
+        let mut overlapping = IdealizationSpec::new("TWO");
+        overlapping.add_subdivision(Subdivision::rectangular(1, (0, 0), (2, 2)).unwrap());
+        overlapping.add_subdivision(Subdivision::rectangular(2, (1, 0), (3, 2)).unwrap());
+        let incremental_err = incremental.update(&overlapping).unwrap_err();
+        let cold_err = Idealization::run(&overlapping).unwrap_err();
+        assert_eq!(incremental_err, cold_err);
+    }
+
+    #[test]
+    fn validation_errors_fire_before_touching_the_store() {
+        let mut incremental = IncrementalIdealizer::new();
+        incremental.update(&two_sub_spec(4)).unwrap();
+        let regions_before = incremental.region_count();
+        let empty = IdealizationSpec::new("EMPTY");
+        assert!(incremental.update(&empty).is_err());
+        assert_eq!(incremental.region_count(), regions_before);
+    }
+}

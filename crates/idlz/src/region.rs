@@ -1,0 +1,199 @@
+//! The stable-id region store behind incremental re-idealization.
+//!
+//! Each *region* is one subdivision's generated grid payload — its grid
+//! points and element triples — stored in flat vectors with a per-region
+//! index entry carrying the subdivision id, a content hash of the
+//! subdivision's definition (corners, taper, and its shape lines), and
+//! the payload ranges. Editing a deck removes the regions whose content
+//! hash disappeared (draining their ranges and shifting every survivor's
+//! ranges down — the survivor remap) and appends regions for the new
+//! content; unchanged subdivisions keep their payload untouched.
+
+use std::ops::Range;
+
+use crate::idealization::SubGrid;
+use crate::subdivision::GridPoint;
+
+/// One region's index entry: which subdivision it belongs to, what
+/// content it was generated from, and where its payload lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct RegionEntry {
+    sub_id: usize,
+    content_hash: u64,
+    point_range: Range<usize>,
+    element_range: Range<usize>,
+}
+
+/// Flat storage for per-subdivision grid payloads with add/remove and
+/// survivor remapping.
+///
+/// Regions are keyed by `(subdivision id, content hash)`: two
+/// subdivisions that share an id but differ in content (an input error
+/// the assembly step reports) occupy distinct regions, and a lookup
+/// only hits when both the id *and* the full definition match — a stale
+/// payload can never be reused for an edited subdivision.
+#[derive(Debug, Clone, Default)]
+pub struct RegionStore {
+    points: Vec<GridPoint>,
+    elements: Vec<[GridPoint; 3]>,
+    index: Vec<RegionEntry>,
+}
+
+impl RegionStore {
+    /// An empty store.
+    pub fn new() -> RegionStore {
+        RegionStore::default()
+    }
+
+    /// Number of regions held.
+    pub fn region_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when a region for this id and content exists.
+    pub fn contains(&self, sub_id: usize, content_hash: u64) -> bool {
+        self.find(sub_id, content_hash).is_some()
+    }
+
+    fn find(&self, sub_id: usize, content_hash: u64) -> Option<usize> {
+        self.index
+            .iter()
+            .position(|e| e.sub_id == sub_id && e.content_hash == content_hash)
+    }
+
+    /// Appends a region with the given payload.
+    pub fn add(
+        &mut self,
+        sub_id: usize,
+        content_hash: u64,
+        points: Vec<GridPoint>,
+        elements: Vec<[GridPoint; 3]>,
+    ) {
+        let point_start = self.points.len();
+        let element_start = self.elements.len();
+        self.points.extend(points);
+        self.elements.extend(elements);
+        self.index.push(RegionEntry {
+            sub_id,
+            content_hash,
+            point_range: point_start..self.points.len(),
+            element_range: element_start..self.elements.len(),
+        });
+    }
+
+    /// Removes a region, draining its payload ranges and shifting every
+    /// surviving region's ranges down over the hole. Returns whether a
+    /// region was removed.
+    pub fn remove(&mut self, sub_id: usize, content_hash: u64) -> bool {
+        let Some(slot) = self.find(sub_id, content_hash) else {
+            return false;
+        };
+        let entry = self.index.remove(slot);
+        let point_len = entry.point_range.len();
+        let element_len = entry.element_range.len();
+        self.points.drain(entry.point_range.clone());
+        self.elements.drain(entry.element_range.clone());
+        for survivor in &mut self.index {
+            if survivor.point_range.start >= entry.point_range.end {
+                survivor.point_range.start -= point_len;
+                survivor.point_range.end -= point_len;
+            }
+            if survivor.element_range.start >= entry.element_range.end {
+                survivor.element_range.start -= element_len;
+                survivor.element_range.end -= element_len;
+            }
+        }
+        true
+    }
+
+    /// Drops every region whose `(id, content hash)` key is not in
+    /// `keep`, returning how many were removed.
+    pub fn retain(&mut self, keep: &[(usize, u64)]) -> usize {
+        let stale: Vec<(usize, u64)> = self
+            .index
+            .iter()
+            .filter(|e| !keep.contains(&(e.sub_id, e.content_hash)))
+            .map(|e| (e.sub_id, e.content_hash))
+            .collect();
+        for (sub_id, content_hash) in &stale {
+            self.remove(*sub_id, *content_hash);
+        }
+        stale.len()
+    }
+
+    /// Clones out the payload of one region.
+    pub fn snapshot(&self, sub_id: usize, content_hash: u64) -> Option<SubGrid> {
+        let slot = self.find(sub_id, content_hash)?;
+        let entry = &self.index[slot];
+        Some((
+            self.points[entry.point_range.clone()].to_vec(),
+            self.elements[entry.element_range.clone()].to_vec(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(base: i32) -> (Vec<GridPoint>, Vec<[GridPoint; 3]>) {
+        (
+            vec![(base, 0), (base + 1, 0)],
+            vec![[(base, 0), (base + 1, 0), (base, 1)]],
+        )
+    }
+
+    #[test]
+    fn add_and_snapshot_round_trip() {
+        let mut store = RegionStore::new();
+        let (pts, els) = payload(0);
+        store.add(1, 0xaa, pts.clone(), els.clone());
+        assert!(store.contains(1, 0xaa));
+        assert!(!store.contains(1, 0xbb));
+        assert!(!store.contains(2, 0xaa));
+        assert_eq!(store.snapshot(1, 0xaa), Some((pts, els)));
+    }
+
+    #[test]
+    fn remove_remaps_survivor_ranges() {
+        let mut store = RegionStore::new();
+        for (id, base) in [(1usize, 0), (2, 10), (3, 20)] {
+            let (pts, els) = payload(base);
+            store.add(id, id as u64, pts, els);
+        }
+        assert!(store.remove(2, 2));
+        assert!(!store.remove(2, 2), "double remove");
+        assert_eq!(store.region_count(), 2);
+        // Survivors keep their exact payloads after the shift.
+        assert_eq!(store.snapshot(1, 1), Some(payload(0)));
+        assert_eq!(store.snapshot(3, 3), Some(payload(20)));
+        // Flat storage actually shrank (no leaked hole).
+        assert_eq!(store.points.len(), 4);
+        assert_eq!(store.elements.len(), 2);
+    }
+
+    #[test]
+    fn retain_drops_everything_not_kept() {
+        let mut store = RegionStore::new();
+        for (id, base) in [(1usize, 0), (2, 10), (3, 20)] {
+            let (pts, els) = payload(base);
+            store.add(id, 7, pts, els);
+        }
+        let removed = store.retain(&[(2, 7)]);
+        assert_eq!(removed, 2);
+        assert_eq!(store.region_count(), 1);
+        assert_eq!(store.snapshot(2, 7), Some(payload(10)));
+    }
+
+    #[test]
+    fn same_id_different_content_are_distinct_regions() {
+        let mut store = RegionStore::new();
+        let (pts, els) = payload(0);
+        store.add(1, 0xaa, pts, els);
+        let (pts, els) = payload(5);
+        store.add(1, 0xbb, pts, els);
+        assert_eq!(store.region_count(), 2);
+        assert_eq!(store.snapshot(1, 0xaa), Some(payload(0)));
+        assert_eq!(store.snapshot(1, 0xbb), Some(payload(5)));
+    }
+}

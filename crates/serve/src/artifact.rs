@@ -171,6 +171,7 @@ mod tests {
     use cafemio::fem::{CgOptions, SolverBackend};
     use cafemio::lint::LintConfig;
     use cafemio::pipeline::{PipelineBuilder, StressComponent};
+    use cafemio::SessionConfig;
 
     /// The first catalog structure whose deck round-trips: written to
     /// card text and proven parseable again.
@@ -202,8 +203,11 @@ mod tests {
         let deck = plate_deck();
         let err = PipelineBuilder::new()
             .component(StressComponent::Effective)
-            .solver(SolverBackend::SparseCg)
-            .cg_options(CgOptions::new().with_max_iterations(1))
+            .config(
+                SessionConfig::new()
+                    .solver(SolverBackend::SparseCg)
+                    .cg_options(CgOptions::new().with_max_iterations(1)),
+            )
             .parse(&deck)
             .and_then(|p| p.idealize())
             .and_then(|i| i.setup(crate::default_setup))
@@ -220,7 +224,7 @@ mod tests {
             .find(|c| c.code == cafemio::lint::LintCode::DuplicateSubdivisionId)
             .expect("golden corpus covers every code");
         let err = PipelineBuilder::new()
-            .lint(LintConfig::new())
+            .config(SessionConfig::new().lint(LintConfig::new()))
             .parse(case.deck)
             .expect_err("duplicate subdivision id is deny by default");
         assert_eq!(status_for_error(&err), 422);
@@ -233,7 +237,7 @@ mod tests {
         let run = || {
             let plots = PipelineBuilder::new()
                 .component(StressComponent::Effective)
-                .lint(LintConfig::new())
+                .config(SessionConfig::new().lint(LintConfig::new()))
                 .parse(&deck)
                 .and_then(|p| {
                     let lint = p.lint_report().cloned();

@@ -3,7 +3,7 @@
 //!
 //! ```sh
 //! cargo run --release -p cafemio-serve --bin serve_daemon -- \
-//!     --addr 127.0.0.1:0 --workers 4 --max-in-flight 16
+//!     --addr 127.0.0.1:0 --workers 4 --max-in-flight 16 --cache-mib 256
 //! ```
 //!
 //! Prints `listening on http://HOST:PORT` on stdout once bound (scripts
@@ -12,9 +12,12 @@
 //! JSON is also written to disk.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 use cafemio::batch::BatchOptions;
+use cafemio::cache::StageCache;
+use cafemio::SessionConfig;
 use cafemio_serve::{ServeOptions, Server};
 
 struct Args {
@@ -23,6 +26,7 @@ struct Args {
     max_in_flight: usize,
     read_timeout_ms: u64,
     max_body_bytes: usize,
+    cache_mib: u64,
     metrics_out: Option<String>,
 }
 
@@ -33,6 +37,7 @@ fn parse_args() -> Result<Args, String> {
         max_in_flight: 0,
         read_timeout_ms: 10_000,
         max_body_bytes: 1024 * 1024,
+        cache_mib: 256,
         metrics_out: None,
     };
     let mut argv = std::env::args().skip(1);
@@ -63,6 +68,11 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--max-body-bytes: {e}"))?;
             }
+            "--cache-mib" => {
+                args.cache_mib = value("--cache-mib")?
+                    .parse()
+                    .map_err(|e| format!("--cache-mib: {e}"))?;
+            }
             "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
             other => return Err(format!("unknown flag: {other}")),
         }
@@ -86,6 +96,15 @@ fn main() -> ExitCode {
     if args.max_in_flight > 0 {
         batch = batch.max_in_flight(args.max_in_flight);
     }
+    // The daemon caches by default (the library stays opt-in): repeated
+    // deck submissions answer from the shared stage cache with
+    // byte-identical bodies and an `X-Cafemio-Cache: hit` header.
+    // `--cache-mib 0` turns memoization off while keeping the counters.
+    batch = batch.config(
+        SessionConfig::new().cache(Arc::new(StageCache::with_max_bytes(
+            args.cache_mib * 1024 * 1024,
+        ))),
+    );
     let options = ServeOptions::new()
         .addr(args.addr)
         .batch(batch)

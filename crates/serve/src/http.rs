@@ -308,13 +308,33 @@ pub fn write_response(
     content_type: &str,
     body: &[u8],
 ) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    write_response_with_headers(stream, status, content_type, &[], body)
+}
+
+/// [`write_response`] with extra `(name, value)` headers between the
+/// standard frame headers and the blank line. Callers supply well-formed
+/// ASCII names/values (the service only emits its own fixed headers).
+pub fn write_response_with_headers(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         status,
         status_reason(status),
         content_type,
         body.len()
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()
@@ -407,6 +427,22 @@ mod tests {
         let text = String::from_utf8(out).expect("ascii");
         assert!(text.starts_with("HTTP/1.1 422 Unprocessable Entity\r\n"));
         assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn extra_headers_land_before_the_blank_line() {
+        let mut out = Vec::new();
+        write_response_with_headers(
+            &mut out,
+            200,
+            "application/json",
+            &[("X-Cafemio-Cache", "hit")],
+            b"{}",
+        )
+        .expect("write to vec");
+        let text = String::from_utf8(out).expect("ascii");
+        assert!(text.contains("\r\nX-Cafemio-Cache: hit\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
     }
 }

@@ -33,12 +33,14 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use cafemio::batch::{BatchDispatcher, BatchJob, BatchOptions, JobOutcome, SetupFn};
+use cafemio::cache::{CacheKey, CacheStage, StableHasher, StageCache};
 use cafemio::fem::{AnalysisKind, FemError, FemModel, Material};
 use cafemio::instrument::{CounterRecord, PerfReport, SpanRecord};
 use cafemio::lint::LintConfig;
 use cafemio::mesh::TriMesh;
 use cafemio::pipeline::{PipelineBuilder, StressComponent};
 use cafemio::plotter::render_svg;
+use cafemio::SessionConfig;
 
 use crate::artifact;
 use crate::http::{self, HttpError, Request};
@@ -237,6 +239,14 @@ struct ServeShared {
     setup: SetupFn,
     component: StressComponent,
     lint: LintConfig,
+    /// The batch engine's stage cache, when its [`SessionConfig`] has
+    /// one: response bodies are memoized here under
+    /// [`CacheStage::Response`] so a byte-identical resubmission answers
+    /// without taking a dispatcher slot.
+    cache: Option<Arc<StageCache>>,
+    /// The session fingerprint of the dispatcher's config — the second
+    /// half of every response cache key.
+    fingerprint: u64,
 }
 
 impl ServeShared {
@@ -295,6 +305,7 @@ impl Server {
     pub fn start(options: ServeOptions) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&options.addr)?;
         let addr = listener.local_addr()?;
+        let session = options.batch.session_config().clone();
         let dispatcher = BatchDispatcher::start(options.batch);
         let shared = Arc::new(ServeShared {
             client: dispatcher.client(),
@@ -306,6 +317,8 @@ impl Server {
             setup: options.setup,
             component: options.component,
             lint: options.lint,
+            cache: session.cache_store().cloned(),
+            fingerprint: session.fingerprint(),
         });
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::spawn(move || accept_loop(listener, accept_shared));
@@ -441,7 +454,7 @@ fn respond(stream: &TcpStream, shared: &ServeShared, clock: &mut RequestClock) {
         let mut reader = BufReader::new(stream);
         http::read_request(&mut reader, shared.max_body_bytes)
     });
-    let (status, content_type, body) = match parsed {
+    let (status, content_type, body, cache_outcome) = match parsed {
         Err(HttpError::Io(_)) => {
             clock.count("serve.http_errors", 1);
             return;
@@ -449,7 +462,7 @@ fn respond(stream: &TcpStream, shared: &ServeShared, clock: &mut RequestClock) {
         Err(error) => {
             clock.count("serve.http_errors", 1);
             let body = artifact::error_body(error.status(), error.kind(), None, &error.to_string());
-            (error.status(), "application/json", body.into_bytes())
+            (error.status(), "application/json", body.into_bytes(), None)
         }
         Ok(request) => route(&request, shared, clock),
     };
@@ -458,7 +471,12 @@ fn respond(stream: &TcpStream, shared: &ServeShared, clock: &mut RequestClock) {
         // A write failure means the peer vanished; the job (if any)
         // still completed and was accounted, so there is nothing to do.
         let mut writer = stream;
-        let _ = http::write_response(&mut writer, status, content_type, &body);
+        let extra: Vec<(&str, &str)> = cache_outcome
+            .map(|outcome| ("X-Cafemio-Cache", outcome))
+            .into_iter()
+            .collect();
+        let _ =
+            http::write_response_with_headers(&mut writer, status, content_type, &extra, &body);
     });
 }
 
@@ -466,16 +484,36 @@ fn route(
     request: &Request,
     shared: &ServeShared,
     clock: &mut RequestClock,
-) -> (u16, &'static str, Vec<u8>) {
-    match (request.method.as_str(), request.path.as_str()) {
+) -> (u16, &'static str, Vec<u8>, Option<&'static str>) {
+    if request.method == "POST" && matches!(request.path.as_str(), "/analyze" | "/contour") {
+        return analyze(request, shared, clock);
+    }
+    let (status, content_type, body) = match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => (200, "application/json", health_body(shared).into_bytes()),
         ("GET", "/metrics") => {
-            let metrics = {
+            let mut metrics = {
                 let locked = shared.metrics.lock().unwrap_or_else(|e| e.into_inner());
                 let mut snapshot = seeded_serve_report();
                 snapshot.merge(&locked);
                 snapshot
             };
+            // Cache effectiveness rides along: store totals at snapshot
+            // time, so operators can watch the hit rate climb.
+            if let Some(store) = &shared.cache {
+                let stats = store.stats();
+                for (name, value) in [
+                    ("cache.hits", stats.hits),
+                    ("cache.misses", stats.misses),
+                    ("cache.evictions", stats.evictions),
+                    ("cache.bytes", stats.bytes),
+                    ("cache.entries", stats.entries as u64),
+                ] {
+                    metrics.counters.push(CounterRecord {
+                        name: name.to_string(),
+                        value,
+                    });
+                }
+            }
             (200, "application/json", metrics.to_json().into_bytes())
         }
         ("POST", "/shutdown") => {
@@ -485,7 +523,6 @@ fn route(
             let body = "{\n  \"status\": \"draining\"\n}\n".to_string();
             (200, "application/json", body.into_bytes())
         }
-        ("POST", "/analyze") | ("POST", "/contour") => analyze(request, shared, clock),
         (_, "/healthz" | "/metrics" | "/shutdown" | "/analyze" | "/contour") => {
             clock.count("serve.http_errors", 1);
             let body = artifact::error_body(
@@ -502,7 +539,8 @@ fn route(
                 artifact::error_body(404, "not_found", None, &format!("no route for {path}"));
             (404, "application/json", body.into_bytes())
         }
-    }
+    };
+    (status, content_type, body, None)
 }
 
 fn health_body(shared: &ServeShared) -> String {
@@ -521,11 +559,53 @@ fn health_body(shared: &ServeShared) -> String {
     )
 }
 
-/// The deck-processing endpoint pair. Lints and parses inline (keeping
-/// the lint report for the response), submits through admission control,
-/// blocks on the ticket, and renders either the JSON summary
-/// (`/analyze`) or the SVG contour plot (`/contour`).
+/// The deck-processing endpoint pair, behind the response cache when the
+/// dispatcher's [`SessionConfig`] carries a store: a byte-identical
+/// resubmission (same endpoint, deck, name, and data-set selection)
+/// answers with the memoized body — `X-Cafemio-Cache: hit` — without
+/// taking a dispatcher slot. Only 200 responses are memoized; errors and
+/// rejections always re-run.
 fn analyze(
+    request: &Request,
+    shared: &ServeShared,
+    clock: &mut RequestClock,
+) -> (u16, &'static str, Vec<u8>, Option<&'static str>) {
+    let Some(store) = shared.cache.as_ref() else {
+        let (status, content_type, body) = analyze_uncached(request, shared, clock);
+        return (status, content_type, body, None);
+    };
+    let key = response_key(request, shared);
+    if let Some(hit) = store.get::<(&'static str, Vec<u8>)>(&key) {
+        clock.count("serve.completed", 1);
+        let (content_type, body) = &*hit;
+        return (200, content_type, body.clone(), Some("hit"));
+    }
+    let (status, content_type, body) = analyze_uncached(request, shared, clock);
+    if status == 200 {
+        let bytes = 256 + body.len() as u64;
+        store.put(key, Arc::new((content_type, body.clone())), bytes);
+    }
+    (status, content_type, body, Some("miss"))
+}
+
+/// The response cache key: endpoint, deck name, data-set selection, the
+/// configured component, and the raw deck bytes, under the dispatcher's
+/// session fingerprint.
+fn response_key(request: &Request, shared: &ServeShared) -> CacheKey {
+    let mut hasher = StableHasher::new();
+    hasher.write_str(&request.path);
+    hasher.write_str(request.query_param("name").unwrap_or("deck"));
+    hasher.write_str(request.query_param("data_set").unwrap_or("0"));
+    hasher.write_str(&shared.component.to_string());
+    hasher.write_bytes(&request.body);
+    CacheKey::new(CacheStage::Response, hasher.finish(), shared.fingerprint)
+}
+
+/// Lints and parses inline (keeping the lint report for the response),
+/// submits through admission control, blocks on the ticket, and renders
+/// either the JSON summary (`/analyze`) or the SVG contour plot
+/// (`/contour`).
+fn analyze_uncached(
     request: &Request,
     shared: &ServeShared,
     clock: &mut RequestClock,
@@ -545,7 +625,9 @@ fn analyze(
     // ever taking a dispatcher slot, and a clean parse yields the lint
     // report the success body carries.
     let lint_report = match clock.time("serve.parse", || {
-        PipelineBuilder::new().lint(shared.lint.clone()).parse(&deck)
+        PipelineBuilder::new()
+            .config(SessionConfig::new().lint(shared.lint.clone()))
+            .parse(&deck)
     }) {
         Ok(parsed) => parsed.lint_report().cloned(),
         Err(error) => {

@@ -19,6 +19,7 @@
 #   lint    srclint source gate + decklint golden-corpus gate + BENCH_lint.json
 #   large_mesh  100k-element sparse-CG smoke + BENCH_sparse.json
 #   serve   deck service under concurrent load + BENCH_serve.json
+#   cache   edit-replay stage-cache bench (warm ≡ cold) + BENCH_cache.json
 #
 # Every bench-producing stage finishes by running the consolidated
 # bench_validate gate on its artifact.
@@ -92,9 +93,15 @@ run_serve() {
   validate_artifact BENCH_serve.json
 }
 
+run_cache() {
+  echo "== cache replay (warm-vs-cold edit replay over the catalog)"
+  cargo run --locked --release -p cafemio-bench --bin cache_replay
+  validate_artifact BENCH_cache.json
+}
+
 stages=("$@")
 if [ ${#stages[@]} -eq 0 ]; then
-  stages=(build test doc clippy fuzz bench batch audit lint large_mesh serve)
+  stages=(build test doc clippy fuzz bench batch audit lint large_mesh serve cache)
 fi
 
 for stage in "${stages[@]}"; do
@@ -110,6 +117,7 @@ for stage in "${stages[@]}"; do
     lint) run_lint ;;
     large_mesh) run_large_mesh ;;
     serve) run_serve ;;
+    cache) run_cache ;;
     *)
       echo "verify: unknown stage '$stage'" >&2
       exit 2

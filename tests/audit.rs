@@ -14,6 +14,7 @@ use cafemio::idlz::{Idealization, IdealizationSpec, ShapeLine, Subdivision};
 use cafemio::mesh::{BoundaryKind, NodalField, TriMesh};
 use cafemio::ospl::{ContourOptions, Ospl};
 use cafemio::pipeline::{PipelineBuilder, Stage, StageError, StressComponent};
+use cafemio::SessionConfig;
 use cafemio_bench::jobs::standard_setup;
 use cafemio_bench::mutate::base_decks;
 
@@ -231,7 +232,7 @@ fn the_whole_catalog_passes_a_strict_staged_audit() {
     for (name, text) in base_decks() {
         let plots = PipelineBuilder::new()
             .component(StressComponent::Effective)
-            .audit(AuditOptions::strict())
+            .config(SessionConfig::new().audit(AuditOptions::strict()))
             .parse(&text)
             .unwrap_or_else(|e| panic!("{name}: {e}"))
             .idealize()
@@ -254,7 +255,7 @@ fn a_pipeline_audit_failure_is_attributed_to_the_broken_stage() {
     // perfectly good model: the error must surface as StageError::Audit
     // attributed to the solve stage.
     let err = PipelineBuilder::new()
-        .audit(AuditOptions::new().with_residual_tolerance(0.0))
+        .config(SessionConfig::new().audit(AuditOptions::new().with_residual_tolerance(0.0)))
         .model(pulled_square())
         .solve()
         .unwrap_err();
@@ -276,7 +277,7 @@ fn batch_audit_counters_are_reachable_from_the_prelude() {
     let jobs: Vec<BatchJob> = (0..2)
         .map(|i| BatchJob::new(format!("audit-{i}"), text.clone(), standard_setup))
         .collect();
-    let report = run_batch(&jobs, &BatchOptions::new().audit(AuditOptions::strict()));
+    let report = run_batch(&jobs, &BatchOptions::new().config(SessionConfig::new().audit(AuditOptions::strict())));
     assert_eq!(report.completed(), jobs.len());
     assert!(report.perf.counter("audit.checks").unwrap_or(0) > 0);
     assert_eq!(report.perf.counter("audit.violations"), Some(0));

@@ -1,11 +1,13 @@
-//! Golden compatibility for the deprecated free functions.
+//! Golden compatibility for the deprecated free functions and the
+//! deprecated per-option setters.
 //!
 //! `run_deck`, `idealize_deck_text`, and `solve_and_contour` survive as
-//! thin wrappers over the staged-session API; these tests pin the
-//! contract that they still compile and produce **identical** output to
-//! the sessions they delegate to. This file is the one place in the
-//! repository allowed to call them — everywhere else `deprecated` is
-//! denied.
+//! thin wrappers over the staged-session API, and the per-option setters
+//! on `PipelineBuilder` / `BatchOptions` survive as delegating wrappers
+//! over [`SessionConfig`]; these tests pin the contract that they still
+//! compile and produce **identical** output to the API they delegate to.
+//! This file is the one place in the repository allowed to call them —
+//! everywhere else `deprecated` is denied.
 #![allow(deprecated)]
 
 use cafemio::pipeline::{idealize_deck_text, run_deck, solve_and_contour};
@@ -90,4 +92,86 @@ fn wrapper_errors_keep_their_stage_attribution() {
     let truncated: String = text.lines().take(3).collect::<Vec<_>>().join("\n");
     let err = idealize_deck_text(&truncated).unwrap_err();
     assert_eq!(err.stage(), Stage::DeckParse);
+}
+
+#[test]
+fn deprecated_pipeline_setters_match_session_config_bit_for_bit() {
+    let (_, text) = &base_decks()[0];
+    let run = |builder: PipelineBuilder| {
+        builder
+            .component(StressComponent::Effective)
+            .parse(text)
+            .unwrap()
+            .idealize()
+            .unwrap()
+            .setup(standard_setup)
+            .unwrap()
+            .solve()
+            .unwrap()
+            .recover()
+            .unwrap()
+            .contour()
+            .unwrap()
+    };
+    let old = run(PipelineBuilder::new()
+        .audit(AuditOptions::strict())
+        .lint(LintConfig::new())
+        .capability(Capability::Historical)
+        .solver(SolverBackend::Skyline)
+        .cg_options(CgOptions::new()));
+    let new = run(PipelineBuilder::new().config(
+        SessionConfig::new()
+            .audit(AuditOptions::strict())
+            .lint(LintConfig::new())
+            .capability(Capability::Historical)
+            .solver(SolverBackend::Skyline)
+            .cg_options(CgOptions::new()),
+    ));
+    assert_eq!(old, new, "setter path diverged from SessionConfig path");
+    assert_eq!(format!("{old:?}"), format!("{new:?}"));
+}
+
+#[test]
+fn deprecated_batch_setters_configure_the_same_session() {
+    let old = BatchOptions::new()
+        .audit(AuditOptions::strict())
+        .lint(LintConfig::new())
+        .capability(Capability::LargeMesh)
+        .solver(SolverBackend::SparseCg)
+        .cg_options(CgOptions::new().with_max_iterations(7));
+    let new = BatchOptions::new().config(
+        SessionConfig::new()
+            .audit(AuditOptions::strict())
+            .lint(LintConfig::new())
+            .capability(Capability::LargeMesh)
+            .solver(SolverBackend::SparseCg)
+            .cg_options(CgOptions::new().with_max_iterations(7)),
+    );
+    assert_eq!(
+        old.session_config().fingerprint(),
+        new.session_config().fingerprint(),
+        "setter path and SessionConfig path disagree on the fingerprint"
+    );
+    assert_eq!(old.capability_mode(), new.capability_mode());
+    assert_eq!(old.solver_backend(), new.solver_backend());
+    assert_eq!(
+        old.cg_solver_options().max_iterations,
+        new.cg_solver_options().max_iterations
+    );
+    assert!(old.audit_options().is_some() && new.audit_options().is_some());
+    assert!(old.lint_options().is_some() && new.lint_options().is_some());
+
+    // And the two run identically through the engine.
+    let (_, text) = &base_decks()[0];
+    let jobs = vec![BatchJob::new("golden", text.clone(), standard_setup)];
+    let options = BatchOptions::new().workers(1);
+    let report_old = run_batch(&jobs, &options.clone().audit(AuditOptions::strict()));
+    let report_new = run_batch(
+        &jobs,
+        &options.config(SessionConfig::new().audit(AuditOptions::strict())),
+    );
+    assert_eq!(
+        format!("{:?}", report_old.outcomes),
+        format!("{:?}", report_new.outcomes)
+    );
 }

@@ -18,6 +18,7 @@ use cafemio::lint::{
     LintConfig, Severity,
 };
 use cafemio::pipeline::{PipelineBuilder, Stage, StageError};
+use cafemio::SessionConfig;
 use cafemio_bench::jobs::{corpus, standard_setup};
 use cafemio_bench::mutate::base_decks;
 
@@ -88,7 +89,7 @@ fn every_round_tripped_catalog_deck_lints_clean() {
 fn the_pipeline_denies_a_bad_deck_at_parse_with_typed_diagnostics() {
     let deck = golden_deck(LintCode::OverlappingSubdivisions);
     let err = PipelineBuilder::new()
-        .lint(LintConfig::new())
+        .config(SessionConfig::new().lint(LintConfig::new()))
         .parse(deck)
         .unwrap_err();
     assert_eq!(err.stage(), Stage::DeckParse);
@@ -107,7 +108,7 @@ fn the_pipeline_denies_a_bad_deck_at_parse_with_typed_diagnostics() {
 fn warn_level_findings_survive_on_the_parsed_deck_without_failing() {
     let deck = golden_deck(LintCode::BandwidthHostileNumbering);
     let parsed = PipelineBuilder::new()
-        .lint(LintConfig::new())
+        .config(SessionConfig::new().lint(LintConfig::new()))
         .parse(deck)
         .unwrap();
     let report = parsed.lint_report().expect("lint mode stores the report");
@@ -124,7 +125,7 @@ fn severity_overrides_rewrite_the_verdict_in_both_directions() {
     // A default-deny code, allowed: the deck parses.
     let denied = golden_deck(LintCode::OverlappingSubdivisions);
     let parsed = PipelineBuilder::new()
-        .lint(LintConfig::new().allow(LintCode::OverlappingSubdivisions))
+        .config(SessionConfig::new().lint(LintConfig::new().allow(LintCode::OverlappingSubdivisions)))
         .parse(denied)
         .unwrap();
     assert!(parsed.lint_report().unwrap().is_clean());
@@ -135,7 +136,10 @@ fn severity_overrides_rewrite_the_verdict_in_both_directions() {
         LintConfig::new().with(LintCode::DeadShapeLine, Severity::Deny),
         LintConfig::new().deny_warnings(),
     ] {
-        let err = PipelineBuilder::new().lint(config).parse(warned).unwrap_err();
+        let err = PipelineBuilder::new()
+            .config(SessionConfig::new().lint(config))
+            .parse(warned)
+            .unwrap_err();
         assert_eq!(err.stage(), Stage::DeckParse);
         assert!(matches!(err.source_error(), StageError::Lint(_)), "{err}");
     }
@@ -157,7 +161,7 @@ fn the_batch_engine_fails_linted_jobs_with_stage_attribution() {
     let report = run_batch(
         &jobs,
         &BatchOptions::new()
-            .lint(LintConfig::new())
+            .config(SessionConfig::new().lint(LintConfig::new()))
             .error_policy(ErrorPolicy::CollectAll),
     );
     assert!(matches!(report.outcomes[0], JobOutcome::Completed(_)));
@@ -176,7 +180,7 @@ fn the_batch_engine_fails_linted_jobs_with_stage_attribution() {
 #[test]
 fn the_models_corpus_passes_the_batch_lint_gate() {
     let jobs = corpus();
-    let report = run_batch(&jobs, &BatchOptions::new().lint(LintConfig::new()));
+    let report = run_batch(&jobs, &BatchOptions::new().config(SessionConfig::new().lint(LintConfig::new())));
     assert_eq!(report.completed(), jobs.len());
     assert_eq!(report.perf.counter("lint.diagnostics"), Some(0));
     assert_eq!(report.perf.counter("lint.denied"), Some(0));

@@ -15,13 +15,19 @@ use cafemio::batch::BatchOptions;
 use cafemio::fem::{CgOptions, SolverBackend};
 use cafemio::lint::LintConfig;
 use cafemio::pipeline::PipelineBuilder;
+use cafemio::SessionConfig;
 use cafemio_bench::mutate::base_decks;
 use cafemio_serve::http::percent_encode;
 use cafemio_serve::{analysis_summary_json, default_setup, ServeOptions, Server};
 
 /// One blocking HTTP exchange: connect, send, read to EOF, return the
-/// status code and body text.
-fn request(addr: SocketAddr, method: &str, target: &str, body: &[u8]) -> (u16, String) {
+/// status code, raw header block, and body text.
+fn request_full(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    body: &[u8],
+) -> (u16, String, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(120)))
@@ -38,12 +44,29 @@ fn request(addr: SocketAddr, method: &str, target: &str, body: &[u8]) -> (u16, S
         .windows(4)
         .position(|w| w == b"\r\n\r\n")
         .expect("response has a header terminator");
-    let status = std::str::from_utf8(&response[..split])
-        .ok()
-        .and_then(|head| head.split_whitespace().nth(1))
+    let head = String::from_utf8_lossy(&response[..split]).into_owned();
+    let status = head
+        .split_whitespace()
+        .nth(1)
         .and_then(|code| code.parse::<u16>().ok())
         .expect("parseable status line");
-    (status, String::from_utf8_lossy(&response[split + 4..]).into_owned())
+    (status, head, String::from_utf8_lossy(&response[split + 4..]).into_owned())
+}
+
+/// The value of a response header, case-insensitive on the name.
+fn header_value<'a>(head: &'a str, name: &str) -> Option<&'a str> {
+    head.lines().find_map(|line| {
+        let (key, value) = line.split_once(':')?;
+        key.trim()
+            .eq_ignore_ascii_case(name)
+            .then(|| value.trim())
+    })
+}
+
+/// Like [`request_full`], but dropping the header block.
+fn request(addr: SocketAddr, method: &str, target: &str, body: &[u8]) -> (u16, String) {
+    let (status, _, body) = request_full(addr, method, target, body);
+    (status, body)
 }
 
 /// A valid catalog deck (name, text) for requests that must succeed.
@@ -89,9 +112,11 @@ fn cg_no_convergence_answers_422_with_typed_body() {
     // the solve stage fails with the typed CgNoConvergence error.
     let server = Server::start(
         ServeOptions::new().batch(
-            BatchOptions::new()
-                .solver(SolverBackend::SparseCg)
-                .cg_options(CgOptions::new().with_max_iterations(1)),
+            BatchOptions::new().config(
+                SessionConfig::new()
+                    .solver(SolverBackend::SparseCg)
+                    .cg_options(CgOptions::new().with_max_iterations(1)),
+            ),
         ),
     )
     .expect("start");
@@ -269,7 +294,7 @@ fn served_summary_is_byte_identical_to_direct_pipeline_run() {
     assert_eq!((status_a, status_b), (200, 200));
 
     let parsed = PipelineBuilder::new()
-        .lint(LintConfig::new())
+        .config(SessionConfig::new().lint(LintConfig::new()))
         .parse(&deck)
         .expect("catalog deck parses");
     let lint = parsed.lint_report().cloned();
@@ -284,5 +309,65 @@ fn served_summary_is_byte_identical_to_direct_pipeline_run() {
 
     assert_eq!(body_a, body_b, "serve/serve runs must agree byte-for-byte");
     assert_eq!(body_a, expected, "serve/direct runs must agree byte-for-byte");
+    server.shutdown();
+}
+
+#[test]
+fn response_cache_marks_hits_and_answers_byte_identically() {
+    let store = Arc::new(cafemio::cache::StageCache::new());
+    let server = Server::start(
+        ServeOptions::new().batch(
+            BatchOptions::new().config(SessionConfig::new().cache(Arc::clone(&store))),
+        ),
+    )
+    .expect("start");
+    let addr = server.local_addr();
+    let (name, deck) = good_deck();
+    let target = format!("/analyze?name={}", percent_encode(&name));
+
+    let (status_a, head_a, body_a) = request_full(addr, "POST", &target, deck.as_bytes());
+    assert_eq!(status_a, 200, "{body_a}");
+    assert_eq!(header_value(&head_a, "X-Cafemio-Cache"), Some("miss"), "{head_a}");
+
+    let (status_b, head_b, body_b) = request_full(addr, "POST", &target, deck.as_bytes());
+    assert_eq!(status_b, 200, "{body_b}");
+    assert_eq!(header_value(&head_b, "X-Cafemio-Cache"), Some("hit"), "{head_b}");
+    assert_eq!(body_a, body_b, "a cache hit must serve the identical bytes");
+
+    // A different query names a different response: back to a miss
+    // (although every pipeline stage underneath answers from the store).
+    let renamed = format!("/analyze?name={}", percent_encode("other-name"));
+    let (status_c, head_c, body_c) = request_full(addr, "POST", &renamed, deck.as_bytes());
+    assert_eq!(status_c, 200, "{body_c}");
+    assert_eq!(header_value(&head_c, "X-Cafemio-Cache"), Some("miss"), "{head_c}");
+
+    // Errors are never memoized, so a bad deck always reports a miss.
+    let bad = format!("/analyze?name={}", percent_encode("garbage"));
+    for _ in 0..2 {
+        let (status, head, body) = request_full(addr, "POST", &bad, b"THIS IS NOT A DECK");
+        assert_eq!(status, 400, "{body}");
+        assert_eq!(header_value(&head, "X-Cafemio-Cache"), Some("miss"), "{head}");
+    }
+
+    // /metrics surfaces the shared store's effectiveness counters.
+    let (status, body) = request(addr, "GET", "/metrics", b"");
+    assert_eq!(status, 200, "{body}");
+    for counter in ["cache.hits", "cache.misses", "cache.bytes", "cache.entries"] {
+        assert!(body.contains(counter), "missing {counter} in {body}");
+    }
+    let stats = store.stats();
+    assert!(stats.hits >= 1, "the hit response must come from the store: {stats:?}");
+    server.shutdown();
+}
+
+#[test]
+fn uncached_server_sends_no_cache_header() {
+    let server = Server::start(ServeOptions::new()).expect("start");
+    let addr = server.local_addr();
+    let (name, deck) = good_deck();
+    let target = format!("/analyze?name={}", percent_encode(&name));
+    let (status, head, body) = request_full(addr, "POST", &target, deck.as_bytes());
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(header_value(&head, "X-Cafemio-Cache"), None, "{head}");
     server.shutdown();
 }

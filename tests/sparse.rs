@@ -10,6 +10,7 @@ use cafemio::idlz::{Capability, Idealization, IdealizationSpec, ShapeLine, Subdi
 use cafemio::lint::{LintCode, LintConfig, Severity};
 use cafemio::models::catalog;
 use cafemio::pipeline::{PipelineBuilder, Stage, StageError};
+use cafemio::SessionConfig;
 use cafemio_bench::jobs::standard_setup;
 
 /// The iterative backend must agree with the skyline factorization to
@@ -119,7 +120,7 @@ fn d004_reads_the_active_capability_limits() {
 
     // Historical limits: 38 is within 10 % of Table 2's 40 — denied.
     let err = PipelineBuilder::new()
-        .lint(deny_proximity.clone())
+        .config(SessionConfig::new().lint(deny_proximity.clone()))
         .specs(vec![near_limit_spec()])
         .idealize()
         .unwrap_err();
@@ -136,8 +137,11 @@ fn d004_reads_the_active_capability_limits() {
 
     // Large-mesh limits: nowhere near i32::MAX — clean, no false warning.
     let idealized = PipelineBuilder::new()
-        .capability(Capability::LargeMesh)
-        .lint(deny_proximity)
+        .config(
+            SessionConfig::new()
+                .capability(Capability::LargeMesh)
+                .lint(deny_proximity),
+        )
         .specs(vec![near_limit_spec()])
         .idealize()
         .unwrap();
@@ -173,8 +177,11 @@ fn large_mesh_capability_lifts_the_table2_ceiling() {
     assert_eq!(err.stage(), Stage::Idealize);
 
     let solved = PipelineBuilder::new()
-        .capability(Capability::LargeMesh)
-        .solver(SolverBackend::SparseCg)
+        .config(
+            SessionConfig::new()
+                .capability(Capability::LargeMesh)
+                .solver(SolverBackend::SparseCg),
+        )
         .specs(vec![spec])
         .idealize()
         .unwrap()
@@ -183,7 +190,7 @@ fn large_mesh_capability_lifts_the_table2_ceiling() {
         .solve()
         .unwrap();
     let reference = PipelineBuilder::new()
-        .capability(Capability::LargeMesh)
+        .config(SessionConfig::new().capability(Capability::LargeMesh))
         .specs(vec![near_limit_spec()])
         .idealize()
         .unwrap()
