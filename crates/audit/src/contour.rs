@@ -2,8 +2,7 @@
 
 use std::cmp::Ordering;
 
-use cafemio_geom::Segment;
-use cafemio_mesh::{NodalField, TriMesh};
+use cafemio_mesh::{MeshIndex, NodalField, TriMesh};
 use cafemio_ospl::OsplResult;
 
 use crate::{AuditError, AuditOptions};
@@ -15,6 +14,12 @@ use crate::{AuditError, AuditOptions};
 /// field was sampled on — the marching extraction only ever interpolates
 /// along edges, so a point off every edge is a fabricated crossing.
 ///
+/// The nearest-edge distance runs on a [`MeshIndex`] BVH instead of
+/// folding over every edge per endpoint; the distances (and therefore
+/// the verdicts) are bit-identical to the full fold. Builds the index
+/// internally — use [`check_contours_with_index`] to share one index
+/// across the several fields audited on the same mesh.
+///
 /// Returns the number of individual checks that ran.
 ///
 /// # Errors
@@ -25,6 +30,23 @@ pub fn check_contours(
     field: &NodalField,
     result: &OsplResult,
     options: &AuditOptions,
+) -> Result<u64, AuditError> {
+    check_contours_with_index(mesh, field, result, options, &MeshIndex::new(mesh))
+}
+
+/// [`check_contours`] with a caller-supplied spatial index, so one
+/// [`MeshIndex`] serves every stress component contoured on the same
+/// mesh.
+///
+/// # Errors
+///
+/// [`AuditError::LevelOutOfRange`] or [`AuditError::SegmentOffEdge`].
+pub fn check_contours_with_index(
+    mesh: &TriMesh,
+    field: &NodalField,
+    result: &OsplResult,
+    options: &AuditOptions,
+    index: &MeshIndex,
 ) -> Result<u64, AuditError> {
     let Some((min, max)) = field.min_max() else {
         return Ok(0);
@@ -38,11 +60,6 @@ pub fn check_contours(
     } else {
         options.geometry_tolerance()
     };
-    let edges: Vec<Segment> = mesh
-        .edges()
-        .keys()
-        .map(|edge| Segment::new(mesh.node(edge.0).position, mesh.node(edge.1).position))
-        .collect();
 
     let mut checks = 0u64;
     for isogram in &result.isograms {
@@ -60,10 +77,7 @@ pub fn check_contours(
 
         for segment in &isogram.segments {
             for point in [segment.a, segment.b] {
-                let nearest = edges
-                    .iter()
-                    .map(|edge| edge.distance_to_point(point))
-                    .fold(f64::INFINITY, f64::min);
+                let nearest = index.nearest_edge_distance(point);
                 // partial_cmp so a NaN distance fails the check too.
                 let on_edge = matches!(
                     nearest.partial_cmp(&tolerance),
@@ -123,6 +137,37 @@ mod tests {
         isogram.level = 1.0e6;
         let err = check_contours(&mesh, &field, &result, &AuditOptions::new()).unwrap_err();
         assert!(matches!(err, AuditError::LevelOutOfRange { .. }), "{err}");
+    }
+
+    #[test]
+    fn reported_distance_matches_the_brute_force_fold() {
+        // The SegmentOffEdge distance must be the exact value the old
+        // every-edge fold produced, not merely within tolerance.
+        let (mesh, field) = square_with_gradient();
+        let mut result = Ospl::run(&mesh, &field, &ContourOptions::new()).unwrap();
+        let isogram = result
+            .isograms
+            .iter_mut()
+            .find(|i| !i.segments.is_empty())
+            .unwrap();
+        isogram.segments[0].a.x += 0.0371;
+        isogram.segments[0].a.y -= 0.0279;
+        let shifted = isogram.segments[0].a;
+        let brute = mesh
+            .edges()
+            .keys()
+            .map(|e| {
+                cafemio_geom::Segment::new(mesh.node(e.0).position, mesh.node(e.1).position)
+                    .distance_to_point(shifted)
+            })
+            .fold(f64::INFINITY, f64::min);
+        let err = check_contours(&mesh, &field, &result, &AuditOptions::new()).unwrap_err();
+        match err {
+            AuditError::SegmentOffEdge { distance, .. } => {
+                assert_eq!(distance, brute, "accelerated distance must be bit-identical")
+            }
+            other => panic!("expected SegmentOffEdge, got {other}"),
+        }
     }
 
     #[test]

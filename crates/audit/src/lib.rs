@@ -42,7 +42,7 @@ mod idealize;
 mod options;
 mod solve;
 
-pub use contour::check_contours;
+pub use contour::{check_contours, check_contours_with_index};
 pub use error::{AuditError, AuditStage};
 pub use idealize::{check_idealization, check_permutation};
 pub use options::AuditOptions;

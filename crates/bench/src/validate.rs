@@ -43,7 +43,7 @@ pub struct ArtifactSpec {
 
 /// Every stage span one instrumented idealize → solve → contour session
 /// records (the `figures` sweep artifact).
-const PIPELINE_SPANS: [&str; 26] = [
+const PIPELINE_SPANS: [&str; 27] = [
     "pipeline.total",
     "audit.idealize",
     "audit.solve",
@@ -70,6 +70,7 @@ const PIPELINE_SPANS: [&str; 26] = [
     "ospl.interval",
     "ospl.isograms",
     "ospl.plot",
+    "ospl.contour_bench",
 ];
 
 /// The per-stage spans a batch run aggregates (mirrors
@@ -110,10 +111,18 @@ pub const SPECS: [ArtifactSpec; 7] = [
             "ospl.segments",
             "audit.solver_divergence_checks",
             "audit.sparse_divergence_checks",
+            "ospl.contour_bench_cases",
+            "ospl.contour_brute_nanos",
+            "ospl.contour_fast_nanos",
+            "ospl.contour_speedup_milli",
+            "ospl.contour_stage_share_milli",
         ],
+        // The BVH-indexed contour paths must agree with the brute-force
+        // scans bit for bit across the whole catalog sweep.
         zero_counters: &[
             "audit.solver_divergence_failures",
             "audit.sparse_divergence_failures",
+            "ospl.contour_parity_mismatches",
         ],
         // Direct backends must agree to 1e-9 (1e6 femto); the iterative
         // backend only to its own 1e-8 tolerance (1e7 femto).
@@ -122,7 +131,10 @@ pub const SPECS: [ArtifactSpec; 7] = [
             ("audit.sparse_divergence_max_femto", 10_000_000),
         ],
         balances: &[],
-        ordered_counters: &[],
+        // The indexed contour path must clear its 2x speedup floor.
+        ordered_counters: &[
+            ("ospl.contour_speedup_floor_milli", "ospl.contour_speedup_milli"),
+        ],
     },
     ArtifactSpec {
         file: "BENCH_batch.json",

@@ -102,7 +102,7 @@ pub mod prelude {
     pub use cafemio_lint::{
         Diagnostic, LintCode, LintConfig, LintError, LintReport, Severity, SourceSpan,
     };
-    pub use cafemio_mesh::{BoundaryKind, NodalField, NodeId, TriMesh};
+    pub use cafemio_mesh::{BoundaryKind, FieldProbe, MeshIndex, NodalField, NodeId, TriMesh};
     pub use cafemio_ospl::{ContourOptions, Ospl, OsplResult};
     pub use cafemio_plotter::{render_svg, AsciiCanvas, Frame};
 

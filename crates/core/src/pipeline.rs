@@ -43,7 +43,7 @@ use cafemio_idlz::{
     IncrementalIdealizer,
 };
 use cafemio_lint::{LintConfig, LintError, LintReport};
-use cafemio_mesh::{NodalField, TriMesh};
+use cafemio_mesh::{FieldProbe, NodalField, ProbeError, TriMesh};
 use cafemio_ospl::{ContourOptions, Ospl, OsplError, OsplResult};
 
 use crate::config::SessionConfig;
@@ -148,6 +148,8 @@ pub enum StageError {
     Audit(AuditError),
     /// Deny-severity diagnostics found by the static lint pass.
     Lint(LintError),
+    /// A field/mesh mismatch while binding a point probe.
+    Probe(ProbeError),
 }
 
 impl fmt::Display for StageError {
@@ -159,6 +161,7 @@ impl fmt::Display for StageError {
             StageError::Ospl(e) => e.fmt(f),
             StageError::Audit(e) => e.fmt(f),
             StageError::Lint(e) => e.fmt(f),
+            StageError::Probe(e) => e.fmt(f),
         }
     }
 }
@@ -226,6 +229,7 @@ impl std::error::Error for PipelineError {
             StageError::Ospl(e) => Some(e),
             StageError::Audit(e) => Some(e),
             StageError::Lint(e) => Some(e),
+            StageError::Probe(e) => Some(e),
         }
     }
 }
@@ -873,6 +877,24 @@ impl RecoveredCase {
     /// The recovered stress state.
     pub fn stresses(&self) -> &StressField {
         &self.stresses
+    }
+
+    /// Binds one recovered stress component to the case's mesh for
+    /// point evaluation: `probe.sample(x, y)` returns the
+    /// barycentric-interpolated value and owning element, and
+    /// [`FieldProbe::line_graph`] extracts value graphs along arbitrary
+    /// cut paths — a workload the 1970 plotter never had.
+    ///
+    /// # Errors
+    ///
+    /// A [`PipelineError`] attributed to [`Stage::Contour`] when the
+    /// recovered field does not cover the mesh (cannot happen for
+    /// fields recovered by this pipeline; guarded for parity with the
+    /// mesh-level API).
+    pub fn probe(&self, component: StressComponent) -> Result<FieldProbe, PipelineError> {
+        let field = component.field(&self.stresses);
+        FieldProbe::new(self.model.mesh(), &field)
+            .map_err(|e| PipelineError::at(Stage::Contour, StageError::Probe(e)))
     }
 }
 

@@ -1,0 +1,475 @@
+//! A bounding-volume hierarchy over axis-aligned boxes.
+//!
+//! The contour hot path (isogram tracing, the audit's endpoint-on-edge
+//! check, the O001 window lint, label overlap suppression) used to be a
+//! family of point-against-everything scans. This flat, std-only BVH
+//! turns each of them into an `O(log n + k)` query while staying
+//! **bit-identical** to the scans it replaces: overlap and stabbing
+//! queries return the *exact* box-match set in ascending item order,
+//! and the caller still re-applies whatever finer predicate the
+//! brute-force loop used on those candidates.
+//!
+//! Determinism discipline:
+//!
+//! * construction is a median split on the widest centroid axis, with
+//!   ties broken by item index (`total_cmp`, then index) — the tree
+//!   shape is a pure function of the input boxes;
+//! * [`overlapping`](Bvh::overlapping) and [`stabbing`](Bvh::stabbing)
+//!   sort their results ascending, so callers iterate candidates in the
+//!   same order the brute-force scan visited them;
+//! * [`nearest_by`](Bvh::nearest_by) prunes with a slack factor so a
+//!   rounded box lower bound can never discard the true minimum, and
+//!   resolves distance ties toward the lower item index.
+//!
+//! Items with an empty (or non-finite) bounding box are excluded from
+//! the tree: they can never satisfy an overlap query, and their
+//! distances are NaN, which the scans ignored as well.
+//!
+//! # Examples
+//!
+//! ```
+//! use cafemio_geom::{BoundingBox, Bvh, Point};
+//! let boxes: Vec<BoundingBox> = (0..10)
+//!     .map(|i| {
+//!         let x = i as f64;
+//!         BoundingBox::new(Point::new(x, 0.0), Point::new(x + 1.5, 1.0))
+//!     })
+//!     .collect();
+//! let bvh = Bvh::build(&boxes);
+//! // Boxes 3..=5 span x in [3, 6.5] and overlap the query window.
+//! let query = BoundingBox::new(Point::new(3.6, 0.2), Point::new(5.2, 0.8));
+//! assert_eq!(bvh.overlapping(&query), vec![3, 4, 5]);
+//! ```
+
+use crate::{BoundingBox, Point};
+
+/// Items per leaf; small enough that leaves stay cache-friendly, large
+/// enough that the tree stays shallow.
+const LEAF_SIZE: usize = 8;
+
+/// Relative slack applied when pruning nearest-neighbour subtrees: a box
+/// lower bound within a few ulps of the current best must not prune, or
+/// rounding could hide the true minimum and break bit-parity with the
+/// brute-force fold. Under-pruning only costs a few extra node visits.
+const NEAREST_PRUNE_SLACK: f64 = 1.0 + 1e-9;
+
+#[derive(Debug, Clone)]
+enum NodeKind {
+    /// `start..start + count` into the item order.
+    Leaf { start: usize, count: usize },
+    /// Indices of the two children in the node array.
+    Internal { left: usize, right: usize },
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    bbox: BoundingBox,
+    kind: NodeKind,
+}
+
+/// A static bounding-box hierarchy over the boxes passed to
+/// [`build`](Bvh::build). Item indices returned by queries refer to
+/// positions in that input slice.
+#[derive(Debug, Clone)]
+pub struct Bvh {
+    nodes: Vec<Node>,
+    /// Item indices, partitioned so each leaf owns a contiguous,
+    /// ascending run.
+    order: Vec<usize>,
+    /// Copy of the input boxes, so leaves can filter candidates exactly
+    /// instead of reporting the whole leaf.
+    boxes: Vec<BoundingBox>,
+}
+
+impl Bvh {
+    /// Builds a hierarchy over `boxes`. Items whose box is empty are
+    /// excluded from every query (see the module docs).
+    pub fn build(boxes: &[BoundingBox]) -> Bvh {
+        let mut order: Vec<usize> = (0..boxes.len()).filter(|&i| !boxes[i].is_empty()).collect();
+        let mut nodes = Vec::new();
+        if !order.is_empty() {
+            let n = order.len();
+            let centroids: Vec<Point> = boxes
+                .iter()
+                .map(|b| if b.is_empty() { Point::ORIGIN } else { b.center() })
+                .collect();
+            build_node(&mut nodes, boxes, &centroids, &mut order, 0, n);
+        }
+        Bvh {
+            nodes,
+            order,
+            boxes: boxes.to_vec(),
+        }
+    }
+
+    /// Number of boxes the hierarchy was built over.
+    pub fn len(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// True when built over no boxes.
+    pub fn is_empty(&self) -> bool {
+        self.boxes.is_empty()
+    }
+
+    /// The box enclosing every (non-empty) item, or an empty box.
+    pub fn bounding_box(&self) -> BoundingBox {
+        self.nodes
+            .first()
+            .map(|root| root.bbox)
+            .unwrap_or_default()
+    }
+
+    /// Indices of the items whose box overlaps `query` (sharing an edge
+    /// counts), in ascending order — the order the brute-force scan
+    /// visited them.
+    pub fn overlapping(&self, query: &BoundingBox) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_each_overlapping(query, |i| out.push(i));
+        out.sort_unstable();
+        out
+    }
+
+    /// Calls `f` for every item whose box overlaps `query`, in tree
+    /// traversal order (NOT ascending item order — use
+    /// [`overlapping`](Self::overlapping) when order matters).
+    pub fn for_each_overlapping(&self, query: &BoundingBox, mut f: impl FnMut(usize)) {
+        if self.nodes.is_empty() || query.is_empty() {
+            return;
+        }
+        let mut stack = vec![0usize];
+        while let Some(n) = stack.pop() {
+            let node = &self.nodes[n];
+            if !node.bbox.intersects(query) {
+                continue;
+            }
+            match node.kind {
+                NodeKind::Leaf { start, count } => {
+                    for &item in &self.order[start..start + count] {
+                        if self.boxes[item].intersects(query) {
+                            f(item);
+                        }
+                    }
+                }
+                NodeKind::Internal { left, right } => {
+                    stack.push(right);
+                    stack.push(left);
+                }
+            }
+        }
+    }
+
+    /// Indices of the items whose box contains `p` (boundary inclusive),
+    /// in ascending order.
+    pub fn stabbing(&self, p: Point) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_each_stabbing(p, |i| out.push(i));
+        out.sort_unstable();
+        out
+    }
+
+    /// Calls `f` for every item whose box contains `p`, in tree
+    /// traversal order.
+    pub fn for_each_stabbing(&self, p: Point, mut f: impl FnMut(usize)) {
+        if self.nodes.is_empty() {
+            return;
+        }
+        let mut stack = vec![0usize];
+        while let Some(n) = stack.pop() {
+            let node = &self.nodes[n];
+            if !node.bbox.contains(p) {
+                continue;
+            }
+            match node.kind {
+                NodeKind::Leaf { start, count } => {
+                    for &item in &self.order[start..start + count] {
+                        if self.boxes[item].contains(p) {
+                            f(item);
+                        }
+                    }
+                }
+                NodeKind::Internal { left, right } => {
+                    stack.push(right);
+                    stack.push(left);
+                }
+            }
+        }
+    }
+
+    /// The item minimizing `distance(item)` from `p`, with the exact
+    /// distance — branch-and-bound over the box lower bounds. The
+    /// distance closure must be bounded below by the Euclidean distance
+    /// from `p` to the item's box (true for any geometry inside the
+    /// box). Ties resolve to the lower item index; items whose distance
+    /// is NaN are ignored, like `f64::min` ignores them in a fold.
+    pub fn nearest_by(&self, p: Point, distance: impl Fn(usize) -> f64) -> Option<(usize, f64)> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        let mut stack = vec![0usize];
+        while let Some(n) = stack.pop() {
+            let node = &self.nodes[n];
+            if let Some((_, best_d)) = best {
+                let bound_sq = distance_sq_to_box(p, &node.bbox);
+                // NaN bound compares false and therefore never prunes.
+                if bound_sq > best_d * best_d * NEAREST_PRUNE_SLACK {
+                    continue;
+                }
+            }
+            match node.kind {
+                NodeKind::Leaf { start, count } => {
+                    for &item in &self.order[start..start + count] {
+                        let d = distance(item);
+                        let better = match best {
+                            None => !d.is_nan(),
+                            Some((best_i, best_d)) => {
+                                d < best_d || (d == best_d && item < best_i)
+                            }
+                        };
+                        if better {
+                            best = Some((item, d));
+                        }
+                    }
+                }
+                NodeKind::Internal { left, right } => {
+                    // Visit the nearer child first so the bound tightens
+                    // early; push the farther one to revisit later.
+                    let dl = distance_sq_to_box(p, &self.nodes[left].bbox);
+                    let dr = distance_sq_to_box(p, &self.nodes[right].bbox);
+                    if dl <= dr {
+                        stack.push(right);
+                        stack.push(left);
+                    } else {
+                        stack.push(left);
+                        stack.push(right);
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Squared Euclidean distance from `p` to the nearest point of `bbox`
+/// (zero inside). NaN for an empty box — callers treat NaN bounds as
+/// "do not prune".
+fn distance_sq_to_box(p: Point, bbox: &BoundingBox) -> f64 {
+    if bbox.is_empty() {
+        return f64::NAN;
+    }
+    let (min, max) = (bbox.min(), bbox.max());
+    let dx = (min.x - p.x).max(0.0).max(p.x - max.x);
+    let dy = (min.y - p.y).max(0.0).max(p.y - max.y);
+    dx * dx + dy * dy
+}
+
+/// Recursively builds the subtree over `order[start..start + count]`
+/// (count >= 1) and returns its node index. Children follow their parent
+/// in the node array.
+fn build_node(
+    nodes: &mut Vec<Node>,
+    boxes: &[BoundingBox],
+    centroids: &[Point],
+    order: &mut [usize],
+    start: usize,
+    count: usize,
+) -> usize {
+    let slot = nodes.len();
+    let mut bbox = BoundingBox::empty();
+    for &i in &order[start..start + count] {
+        bbox.expand_box(&boxes[i]);
+    }
+    // Placeholder; patched below once the children exist.
+    nodes.push(Node {
+        bbox,
+        kind: NodeKind::Leaf { start, count },
+    });
+    if count <= LEAF_SIZE {
+        // Ascending order inside the leaf keeps traversal deterministic
+        // regardless of how the splits shuffled the slice.
+        order[start..start + count].sort_unstable();
+        return slot;
+    }
+    // Median split on the widest centroid axis; total_cmp plus the index
+    // tiebreak makes the partition a pure function of the input.
+    let mut cb = BoundingBox::empty();
+    for &i in &order[start..start + count] {
+        cb.expand(centroids[i]);
+    }
+    let split_x = cb.width() >= cb.height();
+    order[start..start + count].sort_unstable_by(|&a, &b| {
+        let (ka, kb) = if split_x {
+            (centroids[a].x, centroids[b].x)
+        } else {
+            (centroids[a].y, centroids[b].y)
+        };
+        ka.total_cmp(&kb).then(a.cmp(&b))
+    });
+    let half = count / 2;
+    let left = build_node(nodes, boxes, centroids, order, start, half);
+    let right = build_node(nodes, boxes, centroids, order, start + half, count - half);
+    nodes[slot].kind = NodeKind::Internal { left, right };
+    slot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// SplitMix64 — the workspace's dependency-free test RNG.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+            let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            lo + unit * (hi - lo)
+        }
+    }
+
+    fn random_boxes(rng: &mut Rng, n: usize) -> Vec<BoundingBox> {
+        (0..n)
+            .map(|_| {
+                let x = rng.f64_in(-10.0, 10.0);
+                let y = rng.f64_in(-10.0, 10.0);
+                let w = rng.f64_in(0.0, 3.0);
+                let h = rng.f64_in(0.0, 3.0);
+                BoundingBox::new(Point::new(x, y), Point::new(x + w, y + h))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn overlap_matches_brute_force_scan() {
+        let mut rng = Rng(7);
+        for n in [0usize, 1, 3, 8, 9, 64, 257] {
+            let boxes = random_boxes(&mut rng, n);
+            let bvh = Bvh::build(&boxes);
+            for _ in 0..20 {
+                let q = random_boxes(&mut rng, 1)[0];
+                let brute: Vec<usize> = (0..n).filter(|&i| boxes[i].intersects(&q)).collect();
+                assert_eq!(bvh.overlapping(&q), brute, "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn stabbing_matches_brute_force_scan() {
+        let mut rng = Rng(11);
+        let boxes = random_boxes(&mut rng, 200);
+        let bvh = Bvh::build(&boxes);
+        for _ in 0..200 {
+            let p = Point::new(rng.f64_in(-12.0, 14.0), rng.f64_in(-12.0, 14.0));
+            let brute: Vec<usize> = (0..boxes.len()).filter(|&i| boxes[i].contains(p)).collect();
+            assert_eq!(bvh.stabbing(p), brute);
+        }
+    }
+
+    #[test]
+    fn nearest_matches_brute_force_fold() {
+        let mut rng = Rng(13);
+        let boxes = random_boxes(&mut rng, 150);
+        // Distance to each box's center point — a geometry inside the box.
+        let centers: Vec<Point> = boxes.iter().map(|b| b.center()).collect();
+        let bvh = Bvh::build(&boxes);
+        for _ in 0..200 {
+            let p = Point::new(rng.f64_in(-15.0, 15.0), rng.f64_in(-15.0, 15.0));
+            let brute = centers
+                .iter()
+                .map(|c| c.distance_to(p))
+                .fold(f64::INFINITY, f64::min);
+            let (_, d) = bvh.nearest_by(p, |i| centers[i].distance_to(p)).unwrap();
+            assert_eq!(d, brute, "bit-identical minimum distance");
+        }
+    }
+
+    #[test]
+    fn nearest_ties_resolve_to_the_lower_index() {
+        // Two items at the same spot: index 0 wins however the tree
+        // arranges them.
+        let b = BoundingBox::new(Point::new(1.0, 1.0), Point::new(2.0, 2.0));
+        let bvh = Bvh::build(&[b, b]);
+        let (i, _) = bvh
+            .nearest_by(Point::ORIGIN, |_| Point::new(1.0, 1.0).distance_to(Point::ORIGIN))
+            .unwrap();
+        assert_eq!(i, 0);
+    }
+
+    #[test]
+    fn empty_boxes_are_invisible_to_queries() {
+        let boxes = vec![
+            BoundingBox::empty(),
+            BoundingBox::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)),
+            BoundingBox::empty(),
+        ];
+        let bvh = Bvh::build(&boxes);
+        assert_eq!(bvh.len(), 3);
+        let everything = BoundingBox::new(Point::new(-9.0, -9.0), Point::new(9.0, 9.0));
+        assert_eq!(bvh.overlapping(&everything), vec![1]);
+        assert_eq!(bvh.stabbing(Point::new(0.5, 0.5)), vec![1]);
+        let (i, _) = bvh.nearest_by(Point::ORIGIN, |_| 1.0).unwrap();
+        assert_eq!(i, 1);
+    }
+
+    #[test]
+    fn empty_hierarchy_answers_empty() {
+        let bvh = Bvh::build(&[]);
+        assert!(bvh.is_empty());
+        assert!(bvh.bounding_box().is_empty());
+        let q = BoundingBox::new(Point::ORIGIN, Point::new(1.0, 1.0));
+        assert!(bvh.overlapping(&q).is_empty());
+        assert!(bvh.nearest_by(Point::ORIGIN, |_| 0.0).is_none());
+    }
+
+    #[test]
+    fn bounding_box_covers_all_items() {
+        let mut rng = Rng(17);
+        let boxes = random_boxes(&mut rng, 50);
+        let bvh = Bvh::build(&boxes);
+        let root = bvh.bounding_box();
+        for b in &boxes {
+            assert!(root.contains(b.min()) && root.contains(b.max()));
+        }
+    }
+
+    #[test]
+    fn nan_distances_are_ignored_like_a_min_fold() {
+        let boxes = random_boxes(&mut Rng(23), 20);
+        let bvh = Bvh::build(&boxes);
+        // Every distance NaN: no nearest item, as the fold would yield
+        // its INFINITY seed.
+        assert!(bvh.nearest_by(Point::ORIGIN, |_| f64::NAN).is_none());
+        // One finite distance: that item wins.
+        let (i, d) = bvh
+            .nearest_by(Point::ORIGIN, |i| if i == 7 { 4.5 } else { f64::NAN })
+            .unwrap();
+        assert_eq!((i, d), (7, 4.5));
+    }
+
+    #[test]
+    fn degenerate_interval_boxes_support_stabbing() {
+        // The isogram tracer keys elements by their value interval as a
+        // zero-height box; stabbing at (level, 0) must behave like the
+        // lo <= level <= hi scan.
+        let intervals = [(0.0, 2.0), (1.5, 1.5), (3.0, 7.0), (-4.0, -1.0)];
+        let boxes: Vec<BoundingBox> = intervals
+            .iter()
+            .map(|&(lo, hi)| BoundingBox::new(Point::new(lo, 0.0), Point::new(hi, 0.0)))
+            .collect();
+        let bvh = Bvh::build(&boxes);
+        for level in [-5.0, -2.0, 0.0, 1.5, 1.7, 3.0, 7.0, 8.0] {
+            let brute: Vec<usize> = (0..intervals.len())
+                .filter(|&i| intervals[i].0 <= level && level <= intervals[i].1)
+                .collect();
+            assert_eq!(bvh.stabbing(Point::new(level, 0.0)), brute, "level {level}");
+        }
+    }
+}

@@ -33,6 +33,7 @@
 
 mod arc;
 mod bbox;
+mod bvh;
 mod interp;
 mod point;
 mod segment;
@@ -40,6 +41,7 @@ mod triangle;
 
 pub use arc::{Arc, ArcError};
 pub use bbox::BoundingBox;
+pub use bvh::Bvh;
 pub use interp::{inverse_lerp, lerp, lerp_point};
 pub use point::{Point, Vector};
 pub use segment::Segment;

@@ -1,6 +1,6 @@
 //! Triangle geometry and the quality measures used by element reforming.
 
-use crate::Point;
+use crate::{BoundingBox, Point};
 
 /// Winding order of a triangle's vertices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,6 +137,60 @@ impl Triangle {
         !(has_neg && has_pos)
     }
 
+    /// True when the triangle and the box have any point in common —
+    /// touching at an edge or a corner counts. Separating-axis test over
+    /// the box axes and the three edge normals, so partial overlaps with
+    /// no vertex of either shape inside the other are still detected
+    /// (the O001 window lint needs exactly that case).
+    pub fn intersects_box(&self, bbox: &BoundingBox) -> bool {
+        if bbox.is_empty() {
+            return false;
+        }
+        let (min, max) = (bbox.min(), bbox.max());
+        let [a, b, c] = self.vertices;
+        // Box axes: project the triangle.
+        let (tx_lo, tx_hi) = (a.x.min(b.x).min(c.x), a.x.max(b.x).max(c.x));
+        if tx_hi < min.x || tx_lo > max.x {
+            return false;
+        }
+        let (ty_lo, ty_hi) = (a.y.min(b.y).min(c.y), a.y.max(b.y).max(c.y));
+        if ty_hi < min.y || ty_lo > max.y {
+            return false;
+        }
+        // Edge-normal axes: project the box corners.
+        let corners = [
+            min,
+            Point::new(max.x, min.y),
+            max,
+            Point::new(min.x, max.y),
+        ];
+        for (p, q) in [(a, b), (b, c), (c, a)] {
+            // Outward-ish normal of edge p→q; direction does not matter
+            // for an interval-overlap test.
+            let nx = q.y - p.y;
+            let ny = p.x - q.x;
+            let project = |pt: Point| nx * pt.x + ny * pt.y;
+            let mut t_lo = f64::INFINITY;
+            let mut t_hi = f64::NEG_INFINITY;
+            for v in self.vertices {
+                let s = project(v);
+                t_lo = t_lo.min(s);
+                t_hi = t_hi.max(s);
+            }
+            let mut b_lo = f64::INFINITY;
+            let mut b_hi = f64::NEG_INFINITY;
+            for v in corners {
+                let s = project(v);
+                b_lo = b_lo.min(s);
+                b_hi = b_hi.max(s);
+            }
+            if t_hi < b_lo || t_lo > b_hi {
+                return false;
+            }
+        }
+        true
+    }
+
     /// Barycentric coordinates of `p` with respect to the triangle, or
     /// `None` for a degenerate triangle. Useful for interpolating nodal
     /// values at arbitrary points (OSPL's per-element view of the field).
@@ -261,6 +315,30 @@ mod tests {
     fn barycentric_of_degenerate_is_none() {
         let t = Triangle::new(Point::ORIGIN, Point::new(1.0, 0.0), Point::new(2.0, 0.0));
         assert!(t.barycentric(Point::new(0.5, 0.0)).is_none());
+    }
+
+    #[test]
+    fn intersects_box_covers_partial_overlaps() {
+        let t = right_triangle(); // (0,0) (4,0) (0,3)
+        let boxed = |x0: f64, y0: f64, x1: f64, y1: f64| {
+            BoundingBox::new(Point::new(x0, y0), Point::new(x1, y1))
+        };
+        // Box fully inside the triangle.
+        assert!(t.intersects_box(&boxed(0.5, 0.5, 1.0, 1.0)));
+        // Triangle fully inside the box.
+        assert!(t.intersects_box(&boxed(-1.0, -1.0, 5.0, 4.0)));
+        // Partial overlap with no contained vertices either way: a thin
+        // horizontal band crossing the middle of the triangle.
+        assert!(t.intersects_box(&boxed(-1.0, 1.0, 5.0, 1.2)));
+        // Touching the hypotenuse from outside at a single point counts.
+        assert!(t.intersects_box(&boxed(2.0, 1.5, 4.0, 3.5)));
+        // Outside the bounding box entirely.
+        assert!(!t.intersects_box(&boxed(5.0, 5.0, 6.0, 6.0)));
+        // Inside the triangle's bounding box but beyond the hypotenuse —
+        // only the edge-normal axis separates this one.
+        assert!(!t.intersects_box(&boxed(3.0, 2.0, 3.9, 2.9)));
+        // Empty boxes never intersect.
+        assert!(!t.intersects_box(&BoundingBox::empty()));
     }
 
     #[test]

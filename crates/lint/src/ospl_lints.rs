@@ -3,6 +3,7 @@
 //! without running the contour tracer.
 
 use cafemio_cards::Deck;
+use cafemio_mesh::MeshIndex;
 use cafemio_ospl::deck::{parse_ospl_deck, OsplInput};
 use cafemio_ospl::OsplError;
 
@@ -36,6 +37,11 @@ pub fn lint_ospl_input(input: &OsplInput, config: &LintConfig) -> LintReport {
     let control_card = SourceSpan::card(0);
 
     // O001: a zoom window that misses the mesh entirely plots nothing.
+    // Two tiers: a window off the mesh bounding box is reported against
+    // the extents (the numbers the user can read off their deck); a
+    // window inside the extents is checked element-precisely with the
+    // spatial index — a window in a concave notch or a hole plots
+    // nothing even though the bounding boxes overlap.
     let extents = input.mesh.bounding_box();
     if let (Some(window), false) = (&input.options.window, extents.is_empty()) {
         if !window.intersects(&extents) {
@@ -54,6 +60,26 @@ pub fn lint_ospl_input(input: &OsplInput, config: &LintConfig) -> LintReport {
                     extents.max().x,
                     extents.min().y,
                     extents.max().y,
+                ),
+                suggestion: Some(
+                    "fix XMX/XMN/YMX/YMN on the Type-1 card, or zero them to plot \
+                     everything"
+                        .into(),
+                ),
+            });
+        } else if !window.is_empty() && !MeshIndex::new(&input.mesh).any_element_intersects(window)
+        {
+            report.push(Diagnostic {
+                code: LintCode::ContourWindowOutsideExtents,
+                severity: config.severity(LintCode::ContourWindowOutsideExtents),
+                span: control_card,
+                message: format!(
+                    "window x [{:.4}, {:.4}] y [{:.4}, {:.4}] lies inside the mesh extents \
+                     but touches no element; the plot would be empty",
+                    window.min().x,
+                    window.max().x,
+                    window.min().y,
+                    window.max().y,
                 ),
                 suggestion: Some(
                     "fix XMX/XMN/YMX/YMN on the Type-1 card, or zero them to plot \
@@ -87,4 +113,82 @@ pub fn lint_ospl_input(input: &OsplInput, config: &LintConfig) -> LintReport {
     }
 
     report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cafemio_geom::{BoundingBox, Point};
+    use cafemio_mesh::{BoundaryKind, NodalField, TriMesh};
+    use cafemio_ospl::ContourOptions;
+
+    /// An L-shaped mesh: elements around the corner, nothing in the
+    /// upper-right quadrant of the bounding box.
+    fn l_shape() -> TriMesh {
+        let mut mesh = TriMesh::new();
+        let p = |x: f64, y: f64| Point::new(x, y);
+        let n0 = mesh.add_node(p(0.0, 0.0), BoundaryKind::Boundary);
+        let n1 = mesh.add_node(p(2.0, 0.0), BoundaryKind::Boundary);
+        let n2 = mesh.add_node(p(2.0, 1.0), BoundaryKind::Boundary);
+        let n3 = mesh.add_node(p(0.0, 1.0), BoundaryKind::Boundary);
+        let n4 = mesh.add_node(p(1.0, 2.0), BoundaryKind::Boundary);
+        let n5 = mesh.add_node(p(0.0, 2.0), BoundaryKind::Boundary);
+        mesh.add_element([n0, n1, n2]).unwrap();
+        mesh.add_element([n0, n2, n3]).unwrap();
+        mesh.add_element([n3, n2, n4]).unwrap();
+        mesh.add_element([n3, n4, n5]).unwrap();
+        mesh
+    }
+
+    fn input_with_window(window: BoundingBox) -> OsplInput {
+        let mesh = l_shape();
+        let field = NodalField::new("S", vec![0.0; mesh.node_count()]);
+        OsplInput {
+            mesh,
+            field,
+            options: ContourOptions::new().window(window),
+            titles: (String::new(), String::new()),
+        }
+    }
+
+    #[test]
+    fn o001_fires_for_a_window_in_a_mesh_notch() {
+        // The L-shape's bounding box is [0,2]x[0,2] but the upper-right
+        // region holds no elements: a window there passes the old
+        // bbox-only check yet plots nothing.
+        let input = input_with_window(BoundingBox::new(
+            Point::new(1.6, 1.6),
+            Point::new(1.9, 1.9),
+        ));
+        let report = lint_ospl_input(&input, &LintConfig::new());
+        assert_eq!(report.diagnostics().len(), 1);
+        let d = &report.diagnostics()[0];
+        assert_eq!(d.code, LintCode::ContourWindowOutsideExtents);
+        assert!(d.message.contains("touches no element"), "{}", d.message);
+    }
+
+    #[test]
+    fn o001_stays_quiet_for_a_window_touching_elements() {
+        let input = input_with_window(BoundingBox::new(
+            Point::new(0.2, 0.2),
+            Point::new(0.8, 0.8),
+        ));
+        let report = lint_ospl_input(&input, &LintConfig::new());
+        assert!(report.diagnostics().is_empty(), "{:?}", report.diagnostics());
+    }
+
+    #[test]
+    fn o001_keeps_the_extents_message_off_the_bounding_box() {
+        let input = input_with_window(BoundingBox::new(
+            Point::new(5.0, 5.0),
+            Point::new(6.0, 6.0),
+        ));
+        let report = lint_ospl_input(&input, &LintConfig::new());
+        assert_eq!(report.diagnostics().len(), 1);
+        assert!(
+            report.diagnostics()[0].message.contains("does not intersect the mesh extents"),
+            "{}",
+            report.diagnostics()[0].message
+        );
+    }
 }

@@ -1,0 +1,284 @@
+//! Spatial index over a mesh's elements and edges.
+//!
+//! [`MeshIndex`] snapshots a [`TriMesh`]'s triangles and unique edges
+//! into two [`Bvh`] hierarchies, turning the contour path's
+//! point-against-mesh scans into logarithmic queries. Every query is
+//! defined in terms of the brute-force scan it replaces and returns the
+//! same result bit for bit:
+//!
+//! * [`locate`](MeshIndex::locate) — the first element *in id order*
+//!   whose triangle contains the point, exactly like scanning
+//!   `mesh.elements()` front to back;
+//! * [`nearest_edge_distance`](MeshIndex::nearest_edge_distance) — the
+//!   same value as folding [`Segment::distance_to_point`] over
+//!   `mesh.edges()` with `f64::min` from an `INFINITY` seed;
+//! * [`elements_in_box`](MeshIndex::elements_in_box) — ascending element
+//!   ids whose triangle bounding box overlaps the query box (callers
+//!   refine with the exact triangle test).
+//!
+//! The index is **derived state**: it is rebuilt from the mesh on
+//! demand and never participates in content hashing or stage-cache
+//! keys (see `docs/CACHING.md`).
+
+use cafemio_geom::{BoundingBox, Bvh, Point, Segment, Triangle};
+
+use crate::element::ElementId;
+use crate::mesh::{Edge, TriMesh};
+
+/// A bounding-volume index over one mesh's elements and edges.
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_geom::Point;
+/// use cafemio_mesh::{BoundaryKind, MeshIndex, TriMesh};
+/// # fn main() -> Result<(), cafemio_mesh::MeshError> {
+/// let mut mesh = TriMesh::new();
+/// let a = mesh.add_node(Point::new(0.0, 0.0), BoundaryKind::Boundary);
+/// let b = mesh.add_node(Point::new(2.0, 0.0), BoundaryKind::Boundary);
+/// let c = mesh.add_node(Point::new(0.0, 2.0), BoundaryKind::Boundary);
+/// mesh.add_element([a, b, c])?;
+/// let index = MeshIndex::new(&mesh);
+/// assert_eq!(index.locate(Point::new(0.5, 0.5)), Some(cafemio_mesh::ElementId(0)));
+/// assert!(index.locate(Point::new(5.0, 5.0)).is_none());
+/// assert!((index.nearest_edge_distance(Point::new(-1.0, 0.0)) - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MeshIndex {
+    triangles: Vec<Triangle>,
+    element_bvh: Bvh,
+    edges: Vec<Edge>,
+    segments: Vec<Segment>,
+    edge_bvh: Bvh,
+}
+
+impl MeshIndex {
+    /// Builds the index: one BVH over element triangles (in element id
+    /// order) and one over the mesh's unique edges (in the canonical
+    /// ascending [`Edge`] order that `mesh.edges()` yields).
+    pub fn new(mesh: &TriMesh) -> MeshIndex {
+        let triangles: Vec<Triangle> = (0..mesh.element_count())
+            .map(|i| mesh.triangle(ElementId(i)))
+            .collect();
+        let element_boxes: Vec<BoundingBox> = triangles
+            .iter()
+            .map(|t| BoundingBox::from_points(t.vertices))
+            .collect();
+        let edges: Vec<Edge> = mesh.edges().into_keys().collect();
+        let segments: Vec<Segment> = edges
+            .iter()
+            .map(|e| Segment::new(mesh.node(e.0).position, mesh.node(e.1).position))
+            .collect();
+        let edge_boxes: Vec<BoundingBox> = segments
+            .iter()
+            .map(|s| BoundingBox::from_points([s.start, s.end]))
+            .collect();
+        MeshIndex {
+            element_bvh: Bvh::build(&element_boxes),
+            edge_bvh: Bvh::build(&edge_boxes),
+            triangles,
+            edges,
+            segments,
+        }
+    }
+
+    /// Number of elements indexed.
+    pub fn element_count(&self) -> usize {
+        self.triangles.len()
+    }
+
+    /// Number of unique edges indexed.
+    pub fn edge_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The indexed triangle of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for the indexed mesh.
+    pub fn triangle(&self, id: ElementId) -> &Triangle {
+        // invariant: ids come from this index's own query results.
+        &self.triangles[id.index()]
+    }
+
+    /// The unique edges in canonical ascending order, with their
+    /// geometry — the exact sequence `mesh.edges()` produced at build
+    /// time.
+    pub fn edges(&self) -> impl Iterator<Item = (&Edge, &Segment)> {
+        self.edges.iter().zip(self.segments.iter())
+    }
+
+    /// Ascending indices of the elements whose triangle bounding box
+    /// contains `p` — the candidate set [`locate`](Self::locate) refines
+    /// with the exact containment test.
+    pub fn element_candidates(&self, p: Point) -> Vec<usize> {
+        self.element_bvh.stabbing(p)
+    }
+
+    /// The first element in id order whose triangle contains `p`
+    /// (boundary inclusive) — identical to scanning `mesh.elements()`
+    /// front to back with [`Triangle::contains`].
+    pub fn locate(&self, p: Point) -> Option<ElementId> {
+        self.element_candidates(p)
+            .into_iter()
+            .find(|&i| self.triangles[i].contains(p))
+            .map(ElementId)
+    }
+
+    /// Ascending ids of the elements whose triangle bounding box
+    /// overlaps `query` (sharing an edge counts). A superset of the
+    /// elements whose triangle truly intersects the box — refine with
+    /// [`Triangle::intersects_box`] when exactness matters.
+    pub fn elements_in_box(&self, query: &BoundingBox) -> Vec<ElementId> {
+        self.element_bvh
+            .overlapping(query)
+            .into_iter()
+            .map(ElementId)
+            .collect()
+    }
+
+    /// True when some element's triangle truly intersects `query`
+    /// (touching counts) — the exact separating-axis test, reached only
+    /// for the few bounding-box candidates.
+    pub fn any_element_intersects(&self, query: &BoundingBox) -> bool {
+        self.element_bvh
+            .overlapping(query)
+            .into_iter()
+            .any(|i| self.triangles[i].intersects_box(query))
+    }
+
+    /// Distance from `p` to the nearest mesh edge — the same value as
+    /// `edges.iter().map(|e| e.distance_to_point(p)).fold(f64::INFINITY,
+    /// f64::min)` over the canonical edge order, including the
+    /// `INFINITY` seed when the mesh has no edges.
+    pub fn nearest_edge_distance(&self, p: Point) -> f64 {
+        self.edge_bvh
+            .nearest_by(p, |i| self.segments[i].distance_to_point(p))
+            .map(|(_, d)| d)
+            .unwrap_or(f64::INFINITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::BoundaryKind;
+
+    /// A small structured grid of right triangles on [0, n] x [0, n].
+    fn grid(n: usize) -> TriMesh {
+        let mut mesh = TriMesh::new();
+        let mut ids = Vec::new();
+        for j in 0..=n {
+            for i in 0..=n {
+                let kind = if i == 0 || j == 0 || i == n || j == n {
+                    BoundaryKind::Boundary
+                } else {
+                    BoundaryKind::Interior
+                };
+                ids.push(mesh.add_node(Point::new(i as f64, j as f64), kind));
+            }
+        }
+        let at = |i: usize, j: usize| ids[j * (n + 1) + i];
+        for j in 0..n {
+            for i in 0..n {
+                mesh.add_element([at(i, j), at(i + 1, j), at(i + 1, j + 1)])
+                    .unwrap();
+                mesh.add_element([at(i, j), at(i + 1, j + 1), at(i, j + 1)])
+                    .unwrap();
+            }
+        }
+        mesh
+    }
+
+    #[test]
+    fn locate_matches_first_containing_scan() {
+        let mesh = grid(6);
+        let index = MeshIndex::new(&mesh);
+        let probes = [
+            Point::new(0.25, 0.75),
+            Point::new(3.0, 3.0), // grid vertex shared by several elements
+            Point::new(5.5, 0.5),
+            Point::new(2.0, 4.5),
+            Point::new(-0.5, 2.0), // outside
+            Point::new(6.0, 6.0),  // corner vertex
+        ];
+        for p in probes {
+            let brute = mesh
+                .elements()
+                .map(|(id, _)| id)
+                .find(|&id| mesh.triangle(id).contains(p));
+            assert_eq!(index.locate(p), brute, "probe {p:?}");
+        }
+    }
+
+    #[test]
+    fn nearest_edge_distance_matches_fold() {
+        let mesh = grid(5);
+        let index = MeshIndex::new(&mesh);
+        let segments: Vec<Segment> = mesh
+            .edges()
+            .keys()
+            .map(|e| Segment::new(mesh.node(e.0).position, mesh.node(e.1).position))
+            .collect();
+        for p in [
+            Point::new(0.3, 0.3),
+            Point::new(2.5, 2.5),
+            Point::new(-3.0, 7.0),
+            Point::new(5.0, 5.0),
+            Point::new(1.9, 0.05),
+        ] {
+            let brute = segments
+                .iter()
+                .map(|s| s.distance_to_point(p))
+                .fold(f64::INFINITY, f64::min);
+            assert_eq!(index.nearest_edge_distance(p), brute, "probe {p:?}");
+        }
+    }
+
+    #[test]
+    fn empty_mesh_yields_infinity_and_no_location() {
+        let index = MeshIndex::new(&TriMesh::new());
+        assert_eq!(index.element_count(), 0);
+        assert_eq!(index.edge_count(), 0);
+        assert!(index.locate(Point::ORIGIN).is_none());
+        assert_eq!(index.nearest_edge_distance(Point::ORIGIN), f64::INFINITY);
+        let window = BoundingBox::new(Point::new(-1.0, -1.0), Point::new(1.0, 1.0));
+        assert!(!index.any_element_intersects(&window));
+    }
+
+    #[test]
+    fn elements_in_box_are_ascending_and_complete() {
+        let mesh = grid(4);
+        let index = MeshIndex::new(&mesh);
+        let window = BoundingBox::new(Point::new(0.5, 0.5), Point::new(2.5, 1.5));
+        let got = index.elements_in_box(&window);
+        let brute: Vec<ElementId> = mesh
+            .elements()
+            .map(|(id, _)| id)
+            .filter(|&id| {
+                BoundingBox::from_points(mesh.triangle(id).vertices).intersects(&window)
+            })
+            .collect();
+        assert_eq!(got, brute);
+        assert!(got.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn window_intersection_is_exact_not_bbox_approximate() {
+        // One triangle; a window inside its bounding box but fully
+        // beyond the hypotenuse must not count as intersecting.
+        let mut mesh = TriMesh::new();
+        let a = mesh.add_node(Point::new(0.0, 0.0), BoundaryKind::Boundary);
+        let b = mesh.add_node(Point::new(4.0, 0.0), BoundaryKind::Boundary);
+        let c = mesh.add_node(Point::new(0.0, 4.0), BoundaryKind::Boundary);
+        mesh.add_element([a, b, c]).unwrap();
+        let index = MeshIndex::new(&mesh);
+        let beyond = BoundingBox::new(Point::new(3.0, 3.0), Point::new(3.9, 3.9));
+        assert!(!index.any_element_intersects(&beyond));
+        let inside = BoundingBox::new(Point::new(0.1, 0.1), Point::new(0.4, 0.4));
+        assert!(index.any_element_intersects(&inside));
+    }
+}

@@ -16,6 +16,11 @@
 //! * [`cuthill_mckee`] / [`reverse_cuthill_mckee`] orderings (the paper's
 //!   "numbering scheme of Reference 2 … to ensure a narrow bandwidth"),
 //! * [`NodalField`] — one scalar per node, the unit of OSPL input,
+//! * [`MeshIndex`] — a deterministic BVH over elements and edges that
+//!   turns the contour path's point-against-mesh scans into logarithmic
+//!   queries (bit-identical to the scans),
+//! * [`FieldProbe`] — `field.sample(x, y)` point evaluation and
+//!   line-graph extraction along arbitrary cut paths,
 //! * [`QualityReport`] — the element-shape statistics IDLZ's reforming
 //!   pass improves.
 //!
@@ -40,13 +45,17 @@
 mod bandwidth;
 mod element;
 mod field;
+mod index;
 mod mesh;
 mod node;
+mod probe;
 mod quality;
 
 pub use bandwidth::{cuthill_mckee, reverse_cuthill_mckee};
 pub use element::{Element, ElementId};
 pub use field::NodalField;
+pub use index::MeshIndex;
 pub use mesh::{Edge, MeshError, TriMesh};
 pub use node::{BoundaryKind, Node, NodeId};
+pub use probe::{FieldProbe, ProbeError, Sample};
 pub use quality::QualityReport;

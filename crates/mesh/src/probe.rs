@@ -1,0 +1,278 @@
+//! Point probing of a nodal field — `field.sample(x, y)`.
+//!
+//! A [`NodalField`] stores one scalar per node and knows nothing about
+//! geometry; [`FieldProbe`] binds one field to one mesh so arbitrary
+//! plane points can be evaluated by barycentric interpolation over the
+//! owning element. Point location runs on a [`MeshIndex`] BVH, but the
+//! result is *defined* by the brute-force scan (and tested against it,
+//! see [`FieldProbe::sample_reference`]): the first element in id order
+//! that contains the point and has well-defined barycentric
+//! coordinates.
+//!
+//! Probing opens line-graph extraction along arbitrary cut paths —
+//! stress along a weld line, temperature across a wall — as a workload
+//! the 1970 plotter never had: see [`FieldProbe::line_graph`].
+
+use cafemio_geom::{lerp_point, Point};
+use std::fmt;
+
+use crate::element::ElementId;
+use crate::field::NodalField;
+use crate::index::MeshIndex;
+use crate::mesh::TriMesh;
+
+/// Why a [`FieldProbe`] could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProbeError {
+    /// The field's value count does not match the mesh's node count.
+    FieldSizeMismatch {
+        /// Nodes in the mesh.
+        nodes: usize,
+        /// Values in the field.
+        values: usize,
+    },
+}
+
+impl fmt::Display for ProbeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProbeError::FieldSizeMismatch { nodes, values } => write!(
+                f,
+                "field has {values} values but the mesh has {nodes} nodes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProbeError {}
+
+/// One field evaluation at a plane point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Barycentric-interpolated field value.
+    pub value: f64,
+    /// The element the point was located in.
+    pub element: ElementId,
+    /// Barycentric weights with respect to that element's corners.
+    pub weights: [f64; 3],
+}
+
+/// A [`NodalField`] bound to its mesh for point evaluation.
+///
+/// # Examples
+///
+/// ```
+/// use cafemio_geom::Point;
+/// use cafemio_mesh::{BoundaryKind, FieldProbe, NodalField, TriMesh};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut mesh = TriMesh::new();
+/// let a = mesh.add_node(Point::new(0.0, 0.0), BoundaryKind::Boundary);
+/// let b = mesh.add_node(Point::new(2.0, 0.0), BoundaryKind::Boundary);
+/// let c = mesh.add_node(Point::new(0.0, 2.0), BoundaryKind::Boundary);
+/// mesh.add_element([a, b, c])?;
+/// // A linear field f(x, y) = 10 x.
+/// let field = NodalField::new("SIGX", vec![0.0, 20.0, 0.0]);
+/// let probe = FieldProbe::new(&mesh, &field)?;
+/// let s = probe.sample(0.5, 0.5).expect("inside the mesh");
+/// assert!((s.value - 5.0).abs() < 1e-12);
+/// assert!(probe.sample(9.0, 9.0).is_none());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FieldProbe {
+    index: MeshIndex,
+    /// Field values at each element's three corners, in element id order.
+    corner_values: Vec<[f64; 3]>,
+}
+
+impl FieldProbe {
+    /// Binds `field` to `mesh`, building the spatial index.
+    ///
+    /// Fails when the field was produced for a different mesh (value
+    /// count differs from the node count).
+    pub fn new(mesh: &TriMesh, field: &NodalField) -> Result<FieldProbe, ProbeError> {
+        if field.values().len() != mesh.node_count() {
+            return Err(ProbeError::FieldSizeMismatch {
+                nodes: mesh.node_count(),
+                values: field.values().len(),
+            });
+        }
+        let corner_values = (0..mesh.element_count())
+            .map(|i| {
+                let el = mesh.element(ElementId(i));
+                [
+                    field.value(el.nodes[0]),
+                    field.value(el.nodes[1]),
+                    field.value(el.nodes[2]),
+                ]
+            })
+            .collect();
+        Ok(FieldProbe {
+            index: MeshIndex::new(mesh),
+            corner_values,
+        })
+    }
+
+    /// The spatial index the probe runs on (shared with other contour
+    /// consumers so the mesh is indexed once).
+    pub fn index(&self) -> &MeshIndex {
+        &self.index
+    }
+
+    /// Evaluates the field at `(x, y)`: the owning element is the first
+    /// element in id order containing the point with well-defined
+    /// barycentric coordinates; `None` outside the mesh. Accelerated,
+    /// but bit-identical to [`sample_reference`](Self::sample_reference).
+    pub fn sample(&self, x: f64, y: f64) -> Option<Sample> {
+        let p = Point::new(x, y);
+        let mut result = None;
+        // Stab candidates come back ascending; the first that passes the
+        // exact containment + barycentric test is the scan's answer.
+        for i in self.index.element_candidates(p) {
+            if let Some(sample) = self.evaluate_in(i, p) {
+                result = Some(sample);
+                break;
+            }
+        }
+        result
+    }
+
+    /// The brute-force definition of [`sample`](Self::sample): scan all
+    /// elements front to back. Kept public as the parity oracle for
+    /// tests and benchmarks.
+    pub fn sample_reference(&self, x: f64, y: f64) -> Option<Sample> {
+        let p = Point::new(x, y);
+        (0..self.index.element_count()).find_map(|i| self.evaluate_in(i, p))
+    }
+
+    /// Evaluates the field along the straight cut from `from` to `to` at
+    /// `samples` evenly spaced stations (endpoints included once
+    /// `samples >= 2`). Each entry is the arc-length position along the
+    /// cut and the field sample there — `None` where the cut leaves the
+    /// mesh, so gaps across holes stay visible in the extracted graph.
+    pub fn line_graph(&self, from: Point, to: Point, samples: usize) -> Vec<(f64, Option<Sample>)> {
+        let length = from.distance_to(to);
+        (0..samples)
+            .map(|i| {
+                let t = if samples > 1 {
+                    i as f64 / (samples - 1) as f64
+                } else {
+                    0.0
+                };
+                let p = lerp_point(from, to, t);
+                (t * length, self.sample(p.x, p.y))
+            })
+            .collect()
+    }
+
+    /// Containment + interpolation against one element.
+    fn evaluate_in(&self, element: usize, p: Point) -> Option<Sample> {
+        let tri = self.index.triangle(ElementId(element));
+        if !tri.contains(p) {
+            return None;
+        }
+        let weights = tri.barycentric(p)?;
+        let v = self.corner_values[element];
+        Some(Sample {
+            value: weights[0] * v[0] + weights[1] * v[1] + weights[2] * v[2],
+            element: ElementId(element),
+            weights,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::BoundaryKind;
+
+    fn two_element_square() -> TriMesh {
+        let mut mesh = TriMesh::new();
+        let a = mesh.add_node(Point::new(0.0, 0.0), BoundaryKind::Boundary);
+        let b = mesh.add_node(Point::new(1.0, 0.0), BoundaryKind::Boundary);
+        let c = mesh.add_node(Point::new(1.0, 1.0), BoundaryKind::Boundary);
+        let d = mesh.add_node(Point::new(0.0, 1.0), BoundaryKind::Boundary);
+        mesh.add_element([a, b, c]).unwrap();
+        mesh.add_element([a, c, d]).unwrap();
+        mesh
+    }
+
+    #[test]
+    fn sample_interpolates_a_linear_field_exactly_in_form() {
+        let mesh = two_element_square();
+        // f(x, y) = 3x + 4y: barycentric interpolation reproduces
+        // linear fields.
+        let field = NodalField::new("F", vec![0.0, 3.0, 7.0, 4.0]);
+        let probe = FieldProbe::new(&mesh, &field).unwrap();
+        for (x, y) in [(0.2, 0.1), (0.9, 0.9), (0.5, 0.5), (0.0, 1.0)] {
+            let s = probe.sample(x, y).unwrap();
+            assert!(
+                (s.value - (3.0 * x + 4.0 * y)).abs() < 1e-12,
+                "({x}, {y}) -> {}",
+                s.value
+            );
+            assert_eq!(Some(s), probe.sample_reference(x, y));
+        }
+    }
+
+    #[test]
+    fn sample_outside_is_none() {
+        let mesh = two_element_square();
+        let field = NodalField::zeros("F", 4);
+        let probe = FieldProbe::new(&mesh, &field).unwrap();
+        assert!(probe.sample(2.0, 2.0).is_none());
+        assert!(probe.sample_reference(2.0, 2.0).is_none());
+    }
+
+    #[test]
+    fn shared_edge_points_belong_to_the_lower_element_id() {
+        let mesh = two_element_square();
+        let field = NodalField::zeros("F", 4);
+        let probe = FieldProbe::new(&mesh, &field).unwrap();
+        // The diagonal a-c is shared: the scan finds element 0 first.
+        let s = probe.sample(0.5, 0.5).unwrap();
+        assert_eq!(s.element, ElementId(0));
+        assert_eq!(
+            probe.sample_reference(0.5, 0.5).unwrap().element,
+            ElementId(0)
+        );
+    }
+
+    #[test]
+    fn mismatched_field_is_rejected() {
+        let mesh = two_element_square();
+        let field = NodalField::zeros("F", 3);
+        let err = FieldProbe::new(&mesh, &field).unwrap_err();
+        assert_eq!(err, ProbeError::FieldSizeMismatch { nodes: 4, values: 3 });
+    }
+
+    #[test]
+    fn line_graph_spans_the_cut_and_marks_gaps() {
+        let mesh = two_element_square();
+        let field = NodalField::new("F", vec![0.0, 3.0, 7.0, 4.0]); // 3x + 4y
+        let probe = FieldProbe::new(&mesh, &field).unwrap();
+        // Cut from inside the square out past its right edge.
+        let graph = probe.line_graph(Point::new(0.0, 0.5), Point::new(2.0, 0.5), 5);
+        assert_eq!(graph.len(), 5);
+        assert_eq!(graph[0].0, 0.0);
+        assert_eq!(graph[4].0, 2.0);
+        // Stations at x = 0, 0.5, 1 are inside; 1.5 and 2 are out.
+        assert!(graph[0].1.is_some() && graph[1].1.is_some() && graph[2].1.is_some());
+        assert!(graph[3].1.is_none() && graph[4].1.is_none());
+        let mid = graph[1].1.unwrap();
+        assert!((mid.value - (3.0 * 0.5 + 4.0 * 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_station_line_graph_sits_at_the_start() {
+        let mesh = two_element_square();
+        let field = NodalField::zeros("F", 4);
+        let probe = FieldProbe::new(&mesh, &field).unwrap();
+        let graph = probe.line_graph(Point::new(0.5, 0.5), Point::new(0.9, 0.9), 1);
+        assert_eq!(graph.len(), 1);
+        assert_eq!(graph[0].0, 0.0);
+        assert!(graph[0].1.is_some());
+        assert!(probe.line_graph(Point::ORIGIN, Point::new(1.0, 0.0), 0).is_empty());
+    }
+}

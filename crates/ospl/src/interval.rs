@@ -91,11 +91,11 @@ pub fn contour_levels(min: f64, max: f64, interval: f64) -> Vec<f64> {
     let mut n = first;
     while n <= last {
         // Multiply rather than accumulate to avoid drift over many levels.
-        let level = n * interval;
-        // Skip levels that only touch the extremes exactly: they produce
-        // zero-length contours. Keep interior equality (min/max nodes are
-        // legitimate contour seeds elsewhere in the mesh).
-        levels.push(level);
+        // Levels equal to the field extremes stay in the ladder here —
+        // whether they draw anything depends on the mesh, so `Ospl::run`
+        // filters the extreme levels whose trace came back empty instead
+        // of second-guessing them this early.
+        levels.push(n * interval);
         n += 1.0;
     }
     levels

@@ -1,7 +1,16 @@
 //! Isogram extraction: the element-by-element contour construction of the
 //! report's OSPL section (Figure 12).
+//!
+//! Tracing is accelerated by a one-dimensional [`Bvh`] over each
+//! element's value interval `[lo, hi]`: a level only visits the
+//! elements whose interval contains it, instead of scanning the whole
+//! mesh per level. The accelerated path is bit-identical to the full
+//! scan — [`extract_isograms_reference`] keeps the brute-force loop as
+//! the parity oracle for tests and benchmarks.
 
-use cafemio_geom::{inverse_lerp, lerp_point, Point};
+use std::collections::HashMap;
+
+use cafemio_geom::{inverse_lerp, lerp_point, BoundingBox, Bvh, Point};
 use cafemio_mesh::{Edge, NodalField, TriMesh};
 
 use crate::OsplError;
@@ -60,6 +69,43 @@ impl Isogram {
         let n = self.segments.len();
         let mut used = vec![false; n];
         let close = |p: Point, q: Point| p.approx_eq(q, tol);
+        // Bucket every segment endpoint on a grid of twice the join
+        // tolerance: any endpoint within `tol` of a query point then
+        // lives in the 3x3 cell neighbourhood, with slack to spare for
+        // division rounding at the cell boundaries. Taking the *minimum*
+        // unused index over the candidates reproduces exactly what the
+        // old first-match linear scan returned, in O(1) instead of O(n)
+        // per join — the chains are bit-identical.
+        let cell = (2.0 * tol).max(1e-300);
+        let key = |p: Point| ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64);
+        let mut buckets: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+        for (j, s) in self.segments.iter().enumerate() {
+            buckets.entry(key(s.a)).or_default().push(j);
+            if key(s.b) != key(s.a) {
+                buckets.entry(key(s.b)).or_default().push(j);
+            }
+        }
+        let find_next = |used: &[bool], p: Point| -> Option<usize> {
+            let (kx, ky) = key(p);
+            let mut best: Option<usize> = None;
+            for dx in -1i64..=1 {
+                for dy in -1i64..=1 {
+                    let neighbour = (kx.saturating_add(dx), ky.saturating_add(dy));
+                    let Some(list) = buckets.get(&neighbour) else {
+                        continue;
+                    };
+                    for &j in list {
+                        if !used[j]
+                            && best.is_none_or(|b| j < b)
+                            && (close(self.segments[j].a, p) || close(self.segments[j].b, p))
+                        {
+                            best = Some(j);
+                        }
+                    }
+                }
+            }
+            best
+        };
         let mut chains = Vec::new();
         for start in 0..n {
             if used[start] {
@@ -71,11 +117,7 @@ impl Isogram {
             loop {
                 // invariant: the chain is seeded with two points above.
                 let tail = *chain.last().expect("non-empty chain");
-                let next = (0..n).find(|&j| {
-                    !used[j]
-                        && (close(self.segments[j].a, tail) || close(self.segments[j].b, tail))
-                });
-                match next {
+                match find_next(&used, tail) {
                     Some(j) => {
                         used[j] = true;
                         let s = &self.segments[j];
@@ -86,11 +128,7 @@ impl Isogram {
             }
             loop {
                 let head = chain[0];
-                let next = (0..n).find(|&j| {
-                    !used[j]
-                        && (close(self.segments[j].a, head) || close(self.segments[j].b, head))
-                });
-                match next {
+                match find_next(&used, head) {
                     Some(j) => {
                         used[j] = true;
                         let s = &self.segments[j];
@@ -143,19 +181,78 @@ pub fn extract_isograms(
     field: &NodalField,
     levels: &[f64],
 ) -> Result<Vec<Isogram>, OsplError> {
+    let elements = gather_element_traces(mesh, field)?;
+    // One-dimensional BVH over the element value intervals: stabbing it
+    // at `level` yields exactly the elements with `lo <= level <= hi`,
+    // in ascending element order — the elements the full scan would
+    // have traced. (Elements whose corner values are all NaN have an
+    // empty interval box and are excluded; the scan produces no
+    // crossings for them either.)
+    let index = Bvh::build(
+        &elements
+            .iter()
+            .map(|el| {
+                BoundingBox::from_points([Point::new(el.lo, 0.0), Point::new(el.hi, 0.0)])
+            })
+            .collect::<Vec<_>>(),
+    );
+    // Grain 2: one level already sweeps its candidate set, so even a
+    // handful of levels are worth fanning out.
+    Ok(cafemio_instrument::par::parallel_map_grained(
+        levels,
+        2,
+        |&level| Isogram {
+            level,
+            segments: trace_level_over(
+                &elements,
+                index.stabbing(Point::new(level, 0.0)).into_iter(),
+                level,
+            ),
+        },
+    ))
+}
+
+/// The brute-force definition of [`extract_isograms`]: every level scans
+/// every element. Kept public as the parity oracle — property tests and
+/// the contour benchmark compare the accelerated output against this,
+/// bit for bit.
+///
+/// # Errors
+///
+/// [`OsplError::FieldSizeMismatch`] when the field does not cover the
+/// mesh.
+pub fn extract_isograms_reference(
+    mesh: &TriMesh,
+    field: &NodalField,
+    levels: &[f64],
+) -> Result<Vec<Isogram>, OsplError> {
+    let elements = gather_element_traces(mesh, field)?;
+    Ok(levels
+        .iter()
+        .map(|&level| Isogram {
+            level,
+            segments: trace_level_over(&elements, 0..elements.len(), level),
+        })
+        .collect())
+}
+
+/// Gathers the per-element corner values, vertices, and edge boundary
+/// flags once, so each contour level traces from a flat array instead of
+/// re-querying the mesh. Levels are then independent: each one can be
+/// traced in its own task, element order preserved within a level — the
+/// per-level segment lists are identical to the serial loop's.
+fn gather_element_traces(
+    mesh: &TriMesh,
+    field: &NodalField,
+) -> Result<Vec<ElementTrace>, OsplError> {
     if field.len() != mesh.node_count() {
         return Err(OsplError::FieldSizeMismatch {
             nodes: mesh.node_count(),
             values: field.len(),
         });
     }
-    // Gather the per-element corner values, vertices, and edge boundary
-    // flags once, so each contour level traces from a flat array instead
-    // of re-querying the mesh. Levels are then independent: each one is
-    // traced in its own task, element order preserved within a level —
-    // the per-level segment lists are identical to the serial loop's.
     let edge_map = mesh.edges();
-    let elements: Vec<ElementTrace> = mesh
+    Ok(mesh
         .elements()
         .map(|(id, el)| {
             let values = [
@@ -176,18 +273,7 @@ pub fn extract_isograms(
                 edge_on_boundary,
             }
         })
-        .collect();
-
-    // Grain 2: one level already sweeps every element, so even a handful
-    // of levels are worth fanning out.
-    Ok(cafemio_instrument::par::parallel_map_grained(
-        levels,
-        2,
-        |&level| Isogram {
-            level,
-            segments: trace_level(&elements, level),
-        },
-    ))
+        .collect())
 }
 
 /// Vertex index pairs of a triangle's three edges, in trace order.
@@ -202,10 +288,17 @@ struct ElementTrace {
     edge_on_boundary: [bool; 3],
 }
 
-/// Traces one contour level across every element, in element order.
-fn trace_level(elements: &[ElementTrace], level: f64) -> Vec<IsoSegment> {
+/// Traces one contour level across the elements named by `indices` (in
+/// the order given — callers pass ascending element indices, either the
+/// whole range or the interval index's candidate set).
+fn trace_level_over(
+    elements: &[ElementTrace],
+    indices: impl Iterator<Item = usize>,
+    level: f64,
+) -> Vec<IsoSegment> {
     let mut segments = Vec::new();
-    for el in elements {
+    for idx in indices {
+        let el = &elements[idx];
         if level < el.lo || level > el.hi || el.lo == el.hi {
             continue;
         }
@@ -222,12 +315,15 @@ fn trace_level(elements: &[ElementTrace], level: f64) -> Vec<IsoSegment> {
             };
             let p = lerp_point(el.vertices[i], el.vertices[j], t);
             // A level hitting a shared corner appears on both incident
-            // edges; keep one copy.
-            if !crossings
-                .iter()
-                .any(|(q, _)| q.approx_eq(p, 1e-12 * (1.0 + p.x.abs() + p.y.abs())))
+            // edges; keep one copy, but OR the boundary flags — the
+            // corner is a label site if *any* of its coincident edges is
+            // a boundary edge, regardless of which edge traced first.
+            match crossings
+                .iter_mut()
+                .find(|(q, _)| q.approx_eq(p, 1e-12 * (1.0 + p.x.abs() + p.y.abs())))
             {
-                crossings.push((p, el.edge_on_boundary[e]));
+                Some((_, on_boundary)) => *on_boundary |= el.edge_on_boundary[e],
+                None => crossings.push((p, el.edge_on_boundary[e])),
             }
         }
         if crossings.len() == 2 {
@@ -418,6 +514,174 @@ mod tests {
         let isograms = extract_isograms(&mesh, &field, &[5.0]).unwrap();
         let chains = isograms[0].polylines(1e-9);
         assert_eq!(chains.len(), 2, "two disjoint hot-spot contours");
+    }
+
+    #[test]
+    fn corner_crossing_keeps_the_boundary_flag_from_any_incident_edge() {
+        // A level passing exactly through a vertex shared by a boundary
+        // edge and an interior edge: whichever edge traces first, the
+        // kept crossing must still count as a label site.
+        //
+        //   d --- c        Elements: (a b c) and (a c d); the diagonal
+        //   | \ 1 |        a-c is interior, everything else boundary.
+        //   | 0 \ |        Field increases along x + y, so a mid level
+        //   a --- b        passes exactly through corners b and d.
+        let mut mesh = TriMesh::new();
+        let a = mesh.add_node(Point::new(0.0, 0.0), BoundaryKind::Boundary);
+        let b = mesh.add_node(Point::new(2.0, 0.0), BoundaryKind::Boundary);
+        let c = mesh.add_node(Point::new(2.0, 2.0), BoundaryKind::Boundary);
+        let d = mesh.add_node(Point::new(0.0, 2.0), BoundaryKind::Boundary);
+        mesh.add_element([a, b, c]).unwrap();
+        mesh.add_element([a, c, d]).unwrap();
+        // f = x + y: a=0, b=2, c=4, d=2. Level 2 runs through b and d
+        // and crosses the interior diagonal at (1, 1).
+        let field = NodalField::new("S", vec![0.0, 2.0, 4.0, 2.0]);
+        let isograms = extract_isograms(&mesh, &field, &[2.0]).unwrap();
+        let segments = &isograms[0].segments;
+        assert_eq!(segments.len(), 2);
+        // In element 0 the trace visits edge a-b (boundary, crossing at
+        // b), then b-c (boundary, same corner b — the dedup case), then
+        // c-a (interior, crossing at (1,1)). The corner b crossing must
+        // be flagged as boundary however the coincident edges were
+        // ordered; same for d in element 1.
+        for (seg, corner) in [(segments[0], Point::new(2.0, 0.0)), (segments[1], Point::new(0.0, 2.0))] {
+            let (corner_flag, other_flag) = if seg.a.approx_eq(corner, 1e-12) {
+                (seg.a_on_boundary, seg.b_on_boundary)
+            } else {
+                assert!(seg.b.approx_eq(corner, 1e-12), "segment misses corner {corner:?}");
+                (seg.b_on_boundary, seg.a_on_boundary)
+            };
+            assert!(corner_flag, "corner {corner:?} lost its boundary flag");
+            assert!(!other_flag, "interior diagonal crossing must not be a label site");
+        }
+        // Both corner sites survive into the label list.
+        assert_eq!(isograms[0].boundary_intersections().len(), 2);
+    }
+
+    #[test]
+    fn accelerated_extraction_matches_the_reference_scan() {
+        // Random fields over a small grid: the interval-index path must
+        // reproduce the full-scan output exactly, including NaN corners.
+        let mut mesh = TriMesh::new();
+        let mut ids = Vec::new();
+        for j in 0..=4 {
+            for i in 0..=4 {
+                ids.push(mesh.add_node(
+                    Point::new(i as f64, j as f64),
+                    BoundaryKind::Boundary,
+                ));
+            }
+        }
+        let at = |i: usize, j: usize| ids[j * 5 + i];
+        for j in 0..4 {
+            for i in 0..4 {
+                mesh.add_element([at(i, j), at(i + 1, j), at(i + 1, j + 1)]).unwrap();
+                mesh.add_element([at(i, j), at(i + 1, j + 1), at(i, j + 1)]).unwrap();
+            }
+        }
+        let mut seed = 2024u64;
+        let mut rand = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (seed >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for round in 0..10 {
+            let values: Vec<f64> = (0..mesh.node_count())
+                .map(|_| {
+                    let v = rand() * 100.0 - 50.0;
+                    // Sprinkle NaNs in some rounds: both paths must
+                    // treat poisoned elements identically.
+                    if round >= 8 && v > 40.0 {
+                        f64::NAN
+                    } else {
+                        v
+                    }
+                })
+                .collect();
+            let field = NodalField::new("S", values);
+            let levels: Vec<f64> = (0..7).map(|_| rand() * 120.0 - 60.0).collect();
+            let fast = extract_isograms(&mesh, &field, &levels).unwrap();
+            let slow = extract_isograms_reference(&mesh, &field, &levels).unwrap();
+            assert_eq!(fast, slow, "round {round}");
+        }
+    }
+
+    #[test]
+    fn polylines_match_the_linear_scan_reference() {
+        // The bucketed endpoint join must chain exactly like the old
+        // first-match linear scan, whatever the segment order.
+        fn reference_polylines(iso: &Isogram, tol: f64) -> Vec<Vec<Point>> {
+            let n = iso.segments.len();
+            let mut used = vec![false; n];
+            let close = |p: Point, q: Point| p.approx_eq(q, tol);
+            let mut chains = Vec::new();
+            for start in 0..n {
+                if used[start] {
+                    continue;
+                }
+                used[start] = true;
+                let mut chain = vec![iso.segments[start].a, iso.segments[start].b];
+                loop {
+                    let tail = *chain.last().unwrap();
+                    match (0..n).find(|&j| {
+                        !used[j]
+                            && (close(iso.segments[j].a, tail) || close(iso.segments[j].b, tail))
+                    }) {
+                        Some(j) => {
+                            used[j] = true;
+                            let s = &iso.segments[j];
+                            chain.push(if close(s.a, tail) { s.b } else { s.a });
+                        }
+                        None => break,
+                    }
+                }
+                loop {
+                    let head = chain[0];
+                    match (0..n).find(|&j| {
+                        !used[j]
+                            && (close(iso.segments[j].a, head) || close(iso.segments[j].b, head))
+                    }) {
+                        Some(j) => {
+                            used[j] = true;
+                            let s = &iso.segments[j];
+                            chain.insert(0, if close(s.a, head) { s.b } else { s.a });
+                        }
+                        None => break,
+                    }
+                }
+                chains.push(chain);
+            }
+            chains
+        }
+
+        let mut seed = 77u64;
+        let mut rand = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (seed >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for _ in 0..20 {
+            // Random walk broken into several disjoint pieces, segments
+            // shuffled by construction order.
+            let mut segments = Vec::new();
+            let mut p = Point::new(rand() * 10.0, rand() * 10.0);
+            for k in 0..40 {
+                if k % 9 == 0 {
+                    p = Point::new(rand() * 10.0, rand() * 10.0); // break the chain
+                }
+                let q = Point::new(p.x + rand() - 0.5, p.y + rand() - 0.5);
+                let flip = rand() > 0.5;
+                segments.push(IsoSegment {
+                    a: if flip { q } else { p },
+                    b: if flip { p } else { q },
+                    a_on_boundary: false,
+                    b_on_boundary: false,
+                });
+                p = q;
+            }
+            let iso = Isogram { level: 0.0, segments };
+            for tol in [1e-9, 1e-3, 0.3] {
+                assert_eq!(iso.polylines(tol), reference_polylines(&iso, tol), "tol {tol}");
+            }
+        }
     }
 
     #[test]

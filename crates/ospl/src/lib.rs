@@ -59,7 +59,7 @@ mod plot;
 
 pub use error::OsplError;
 pub use interval::{automatic_interval, contour_levels};
-pub use isogram::{extract_isograms, IsoSegment, Isogram};
+pub use isogram::{extract_isograms, extract_isograms_reference, IsoSegment, Isogram};
 pub use limits::OsplLimits;
 pub use listing::listing;
 pub use ospl::{ContourOptions, Ospl, OsplResult};

@@ -176,6 +176,21 @@ impl Ospl {
             let _s = cafemio_instrument::span("ospl.isograms");
             extract_isograms(mesh, field, &levels)?
         };
+        // A level sitting exactly on a field extreme often traces nothing:
+        // the extreme is attained at an isolated vertex or a flat element,
+        // so the "contour" is a point, which draws no segment.
+        // `contour_levels` keeps extremes in the ladder (whether they draw
+        // depends on the mesh); here, with the trace in hand, the empty
+        // extreme levels are dropped so the result lists only contours
+        // that exist. Empty levels *inside* the range stay — they mark
+        // genuine gaps (e.g. between disjoint plateaus).
+        let (isograms, levels): (Vec<Isogram>, Vec<f64>) = isograms
+            .into_iter()
+            .zip(levels)
+            .filter(|(iso, level)| {
+                !iso.segments.is_empty() || (*level != min && *level != max)
+            })
+            .unzip();
         cafemio_instrument::counter("ospl.levels", levels.len() as u64);
         cafemio_instrument::counter(
             "ospl.segments",
@@ -344,6 +359,35 @@ mod tests {
         // But a user-set interval still works (no contours drawn).
         let result = Ospl::run(&mesh, &flat, &ContourOptions::with_interval(1.0)).unwrap();
         assert_eq!(result.drawn_contours(), 0);
+    }
+
+    #[test]
+    fn empty_extreme_levels_are_dropped_but_interior_gaps_kept() {
+        // One triangle, linear field 5/15/35: a level exactly at the max
+        // (or min) crosses only at a single vertex — no segment — while
+        // every level strictly inside (5, 35) draws. The ladder
+        // lowest = -10, interval = 15 produces [-10, 5, 20, 35]:
+        //   -10  below the field range, empty, NOT extreme → kept,
+        //     5  == min, empty point-contour               → dropped,
+        //    20  interior, draws                           → kept,
+        //    35  == max, empty point-contour               → dropped.
+        let mut mesh = TriMesh::new();
+        let a = mesh.add_node(Point::new(0.0, 0.0), BoundaryKind::BoundaryCorner);
+        let b = mesh.add_node(Point::new(4.0, 0.0), BoundaryKind::BoundaryCorner);
+        let c = mesh.add_node(Point::new(2.0, 3.0), BoundaryKind::BoundaryCorner);
+        mesh.add_element([a, b, c]).unwrap();
+        let field = NodalField::new("S", vec![5.0, 15.0, 35.0]);
+        let options = ContourOptions {
+            interval: Some(15.0),
+            lowest: Some(-10.0),
+            ..ContourOptions::default()
+        };
+        let result = Ospl::run(&mesh, &field, &options).unwrap();
+        assert_eq!(result.levels, vec![-10.0, 20.0]);
+        assert_eq!(result.isograms.len(), 2);
+        assert!(result.isograms[0].segments.is_empty(), "interior gap kept");
+        assert!(!result.isograms[1].segments.is_empty());
+        assert_eq!(result.drawn_contours(), 1);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Rendering: boundary outline, contour lines, and labels on an SD-4020
 //! frame.
 
-use cafemio_geom::{BoundingBox, Point};
+use cafemio_geom::{BoundingBox, Bvh, Point};
 use cafemio_mesh::TriMesh;
 use cafemio_plotter::{Frame, Window};
 
@@ -74,27 +74,61 @@ pub fn plot_contours(
     }
 
     // Labels: zero contours first (they are always labeled), then the
-    // rest with overlap suppression.
-    let mut placed: Vec<(f64, f64, usize)> = Vec::new(); // raster x, y, chars
+    // rest with overlap suppression. The "does this overlap a label
+    // already placed?" lookup runs on a BVH over all label-site raster
+    // positions: the query box (widest possible label reach) yields a
+    // candidate superset, and the exact strict-inequality predicate is
+    // evaluated only on those candidates — the placed set is identical
+    // to the old every-placed-label scan.
+    let texts: Vec<String> = label_sites
+        .iter()
+        .map(|&(index, _)| format_value(isograms[index].level, interval))
+        .collect();
+    let rasters: Vec<(f64, f64)> = label_sites
+        .iter()
+        .map(|&(_, p)| {
+            let r = view.to_raster(p);
+            (r.x() as f64, r.y() as f64)
+        })
+        .collect();
+    let max_chars = texts.iter().map(String::len).max().unwrap_or(0);
+    let site_bvh = Bvh::build(
+        &rasters
+            .iter()
+            .map(|&(x, y)| BoundingBox::from_points([Point::new(x, y)]))
+            .collect::<Vec<_>>(),
+    );
+    // Per-site label length once placed; None while unplaced.
+    let mut placed_chars: Vec<Option<usize>> = vec![None; label_sites.len()];
     let mut label_pass = |frame: &mut Frame, zero_pass: bool| {
-        for &(index, p) in &label_sites {
+        for (site, &(index, p)) in label_sites.iter().enumerate() {
             let level = isograms[index].level;
             let is_zero = level == 0.0;
             if is_zero != zero_pass {
                 continue;
             }
-            let text = format_value(level, interval);
-            let r = view.to_raster(p);
-            let (rx, ry) = (r.x() as f64, r.y() as f64);
-            let overlaps = placed.iter().any(|&(px, py, chars)| {
-                let w = LABEL_CHAR_W * chars.max(text.len()) as f64;
-                (rx - px).abs() < w && (ry - py).abs() < LABEL_CHAR_H
+            let text = &texts[site];
+            let (rx, ry) = rasters[site];
+            // chars.max(text.len()) is at most the longest label text,
+            // so this query box covers every site the predicate could
+            // accept.
+            let reach = LABEL_CHAR_W * max_chars.max(text.len()) as f64;
+            let query = BoundingBox::from_points([
+                Point::new(rx - reach, ry - LABEL_CHAR_H),
+                Point::new(rx + reach, ry + LABEL_CHAR_H),
+            ]);
+            let overlaps = site_bvh.overlapping(&query).into_iter().any(|other| {
+                placed_chars[other].is_some_and(|chars| {
+                    let (px, py) = rasters[other];
+                    let w = LABEL_CHAR_W * chars.max(text.len()) as f64;
+                    (rx - px).abs() < w && (ry - py).abs() < LABEL_CHAR_H
+                })
             });
             if overlaps && !is_zero {
                 continue;
             }
-            frame.label(&view, p, &text);
-            placed.push((rx, ry, text.len()));
+            frame.label(&view, p, text);
+            placed_chars[site] = Some(text.len());
         }
     };
     label_pass(&mut frame, true);
@@ -125,6 +159,11 @@ fn clip_segment_detailed(a: Point, b: Point, world: &BoundingBox) -> Option<Clip
 /// `0` for zero, otherwise an explicit sign and a trailing decimal point
 /// (`+2500.`, `-125.`), with decimals shown when the interval is finer
 /// than one unit (`+0.10`).
+///
+/// Sub-unit intervals show enough places to distinguish adjacent levels:
+/// the decade gives the base count, and a fractional mantissa — the
+/// base-2.5 ladders, `interval / 10^floor(log10)` not integral — needs
+/// one more place (`0.75` at interval `0.25` is `+0.75`, not `+0.8`).
 pub(crate) fn format_value(value: f64, interval: f64) -> String {
     if value == 0.0 {
         return "0".to_owned();
@@ -132,7 +171,11 @@ pub(crate) fn format_value(value: f64, interval: f64) -> String {
     let decimals = if interval >= 1.0 || interval <= 0.0 {
         0usize
     } else {
-        (-interval.log10().floor() as i32).max(1) as usize
+        let decade = interval.log10().floor();
+        let places = (-decade as i32).max(1) as usize;
+        let mantissa = interval / 10f64.powi(decade as i32);
+        let fractional = (mantissa - mantissa.round()).abs() > 1e-9 * mantissa.abs().max(1.0);
+        places + usize::from(fractional)
     };
     if decimals == 0 {
         format!("{value:+.0}.")
@@ -229,6 +272,34 @@ mod tests {
         assert_eq!(format_value(-12500.0, 2500.0), "-12500.");
         assert_eq!(format_value(0.1, 0.1), "+0.1");
         assert_eq!(format_value(-0.25, 0.05), "-0.25");
+    }
+
+    #[test]
+    fn base_two_point_five_ladders_keep_their_significant_digit() {
+        // Regression: interval 0.25 used to print level 0.75 as "+0.8",
+        // collapsing adjacent labels. The fractional 2.5 mantissa needs
+        // one more decimal place than its decade alone.
+        assert_eq!(format_value(0.25, 0.25), "+0.25");
+        assert_eq!(format_value(0.5, 0.25), "+0.50");
+        assert_eq!(format_value(0.75, 0.25), "+0.75");
+        assert_eq!(format_value(-1.25, 0.25), "-1.25");
+        assert_eq!(format_value(0.025, 0.025), "+0.025");
+        assert_eq!(format_value(0.075, 0.025), "+0.075");
+        assert_eq!(format_value(-0.175, 0.025), "-0.175");
+        // Integral-mantissa sub-unit intervals are unchanged.
+        assert_eq!(format_value(0.2, 0.2), "+0.2");
+        assert_eq!(format_value(-0.4, 0.2), "-0.4");
+        // Whole-number intervals keep the figures' trailing point.
+        assert_eq!(format_value(5.0, 2.5), "+5.");
+    }
+
+    #[test]
+    fn subtitle_banner_prints_the_two_point_five_interval_exactly() {
+        let mesh = TriMesh::new();
+        let frame = plot_contours(&mesh, &[], 0.25, None, "T");
+        assert_eq!(frame.subtitle(), Some("CONTOUR INTERVAL IS +0.25"));
+        let frame = plot_contours(&mesh, &[], 0.025, None, "T");
+        assert_eq!(frame.subtitle(), Some("CONTOUR INTERVAL IS +0.025"));
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub fn error_kind(error: &PipelineError) -> &'static str {
         StageError::Ospl(_) => "contour",
         StageError::Audit(_) => "audit_violation",
         StageError::Lint(_) => "lint_denied",
+        StageError::Probe(_) => "contour",
     }
 }
 
