@@ -1,33 +1,57 @@
 //! Static deck analysis from the command line: lint IDLZ (and OSPL)
-//! card decks without generating a mesh or assembling a matrix.
+//! card decks — and repair them — without generating a mesh or
+//! assembling a matrix.
 //!
 //! ```sh
 //! cargo run --release -p cafemio-bench --bin decklint -- deck.txt      # lint IDLZ deck files
 //! cargo run --release -p cafemio-bench --bin decklint -- --ospl c.txt  # lint OSPL deck files
+//! cargo run --release -p cafemio-bench --bin decklint -- --fix deck.txt          # repair in place
+//! cargo run --release -p cafemio-bench --bin decklint -- --fix --fix-out o.txt deck.txt
+//! cargo run --release -p cafemio-bench --bin decklint -- --deny O002 --allow D004 deck.txt
 //! cargo run --release -p cafemio-bench --bin decklint -- --golden      # verify the lint catalog
+//! cargo run --release -p cafemio-bench --bin decklint -- --doc         # print docs/LINTS.md
+//! cargo run --release -p cafemio-bench --bin decklint -- --doc-check   # CI drift gate
 //! ```
 //!
 //! File mode prints one line per diagnostic (`severity[code] name at
 //! card N: message (help: ...)`) and exits nonzero when any deck has a
-//! deny-severity diagnostic.
+//! deny-severity diagnostic. `--deny` / `--warn` / `--allow` override
+//! one code's severity each (repeatable; codes by id or kebab name).
+//!
+//! `--fix` runs the machine-applicable fixes to a fixpoint and rewrites
+//! each file in place (`--fix-out` redirects a single file's output);
+//! the exit status then reflects the *repaired* deck's diagnostics.
 //!
 //! `--golden` is the repo's own lint gate: every [`LintCode`] must be
 //! triggered by its golden corpus deck at the right card with the right
-//! severity, every catalog model and every round-tripped catalog deck
-//! must lint clean at default severity, and the merged diagnostic
-//! counters are written to `BENCH_lint.json` for the CI artifact.
+//! severity, every machine-applicable code must round-trip its fix
+//! corpus pair (including the pipeline-parity check), every catalog
+//! model and every round-tripped catalog deck must lint clean at
+//! default severity, and the merged diagnostic + fix counters are
+//! written to `BENCH_lint.json` for the CI artifact.
+//!
+//! `--doc` renders the generated lint catalog (`docs/LINTS.md`) to
+//! stdout; `--doc-check` fails when the committed file has drifted from
+//! the registry.
 
 use std::error::Error;
 use std::process::ExitCode;
 
-use cafemio::instrument::PerfReport;
+use cafemio::instrument::{CounterRecord, PerfReport};
 use cafemio::lint::{
-    golden_cases, lint_deck_text, lint_ospl_deck_text, lint_specs, run_case, verify_corpus,
-    LintCode, LintConfig, LintReport,
+    apply_fixes, docs, golden_cases, lint_deck_text, lint_ospl_deck_text, lint_specs, run_case,
+    verify_corpus, verify_fix_corpus, DeckKind, LintCode, LintConfig, LintReport, Severity,
 };
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--doc") {
+        print!("{}", docs::render_lints_md());
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--doc-check") {
+        return doc_check(&args);
+    }
     if args.iter().any(|a| a == "--golden") {
         return match golden(&args) {
             Ok(()) => ExitCode::SUCCESS,
@@ -37,32 +61,105 @@ fn main() -> ExitCode {
             }
         };
     }
-    let ospl = args.iter().any(|a| a == "--ospl");
-    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
-    if files.is_empty() {
-        eprintln!("usage: decklint [--ospl] <deck>...  |  decklint --golden");
-        return ExitCode::FAILURE;
+    match lint_files(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("decklint: {e}");
+            ExitCode::FAILURE
+        }
     }
+}
+
+/// Builds the effective [`LintConfig`] from repeated `--deny CODE` /
+/// `--warn CODE` / `--allow CODE` overrides.
+fn config_from_args(args: &[String]) -> Result<LintConfig, String> {
+    let mut config = LintConfig::new();
+    let mut i = 0;
+    while i < args.len() {
+        let severity = match args[i].as_str() {
+            "--deny" => Some(Severity::Deny),
+            "--warn" => Some(Severity::Warn),
+            "--allow" => Some(Severity::Allow),
+            _ => None,
+        };
+        if let Some(severity) = severity {
+            let name = args
+                .get(i + 1)
+                .ok_or_else(|| format!("{} needs a lint code", args[i]))?;
+            let code = LintCode::parse(name)
+                .ok_or_else(|| format!("unknown lint code {name:?} (try D001..O004)"))?;
+            config = config.with(code, severity);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    Ok(config)
+}
+
+/// The deck file paths among the arguments (everything that is not a
+/// flag or a flag's value).
+fn file_args(args: &[String]) -> Vec<&String> {
+    let mut files = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--deny" | "--warn" | "--allow" | "--fix-out" | "--out" => i += 2,
+            a if a.starts_with("--") => i += 1,
+            _ => {
+                files.push(&args[i]);
+                i += 1;
+            }
+        }
+    }
+    files
+}
+
+/// A flag's value, e.g. `value_of(args, "--fix-out")`.
+fn value_of<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1))
+}
+
+fn lint_files(args: &[String]) -> Result<ExitCode, Box<dyn Error>> {
+    let ospl = args.iter().any(|a| a == "--ospl");
+    let fix = args.iter().any(|a| a == "--fix");
+    let fix_out = value_of(args, "--fix-out");
+    let config = config_from_args(args)?;
+    let files = file_args(args);
+    if files.is_empty() {
+        return Err("usage: decklint [--ospl] [--fix [--fix-out FILE]] \
+                    [--deny|--warn|--allow CODE]... <deck>...  |  decklint --golden  |  \
+                    decklint --doc | --doc-check"
+            .into());
+    }
+    if fix_out.is_some() && (!fix || files.len() != 1) {
+        return Err("--fix-out needs --fix and exactly one deck file".into());
+    }
+    let kind = if ospl { DeckKind::Ospl } else { DeckKind::Idlz };
     let mut denied = 0usize;
     for path in files {
-        let text = match std::fs::read_to_string(path) {
-            Ok(text) => text,
-            Err(e) => {
-                eprintln!("decklint: {path}: {e}");
-                return ExitCode::FAILURE;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let report = if fix {
+            let outcome =
+                apply_fixes(&text, kind, &config).map_err(|e| format!("{path}: {e}"))?;
+            for applied in &outcome.applied {
+                println!(
+                    "{path}: fixed [{}] {} (pass {})",
+                    applied.code.code(),
+                    applied.label,
+                    applied.pass
+                );
             }
-        };
-        let report = if ospl {
-            lint_ospl_deck_text(&text, &LintConfig::new()).map_err(|e| e.to_string())
+            if outcome.text != text {
+                let target = fix_out.map_or(path.as_str(), String::as_str);
+                std::fs::write(target, &outcome.text).map_err(|e| format!("{target}: {e}"))?;
+                println!("{path}: {} fix(es) applied -> {target}", outcome.applied.len());
+            }
+            outcome.report
+        } else if ospl {
+            lint_ospl_deck_text(&text, &config).map_err(|e| format!("{path}: {e}"))?
         } else {
-            lint_deck_text(&text, &LintConfig::new()).map_err(|e| e.to_string())
-        };
-        let report = match report {
-            Ok(report) => report,
-            Err(e) => {
-                eprintln!("decklint: {path}: {e}");
-                return ExitCode::FAILURE;
-            }
+            lint_deck_text(&text, &config).map_err(|e| format!("{path}: {e}"))?
         };
         for diagnostic in report.diagnostics() {
             println!("{path}: {diagnostic}");
@@ -74,20 +171,45 @@ fn main() -> ExitCode {
     }
     if denied > 0 {
         eprintln!("decklint: {denied} deny-severity diagnostic(s)");
-        ExitCode::FAILURE
+        Ok(ExitCode::FAILURE)
     } else {
-        ExitCode::SUCCESS
+        Ok(ExitCode::SUCCESS)
     }
 }
 
-/// The self-gate: golden corpus + catalog cleanliness, with the merged
-/// counters written to `BENCH_lint.json`.
-fn golden(args: &[String]) -> Result<(), Box<dyn Error>> {
-    let out_path = args
+/// `--doc-check [PATH]`: the committed catalog must match the registry.
+fn doc_check(args: &[String]) -> ExitCode {
+    let path = args
         .iter()
-        .position(|a| a == "--out")
+        .position(|a| a == "--doc-check")
         .and_then(|i| args.get(i + 1))
-        .map_or("BENCH_lint.json", String::as_str);
+        .filter(|a| !a.starts_with("--"))
+        .map_or("docs/LINTS.md", String::as_str);
+    let want = docs::render_lints_md();
+    match std::fs::read_to_string(path) {
+        Ok(got) if got == want => {
+            println!("decklint: {path} matches the lint registry");
+            ExitCode::SUCCESS
+        }
+        Ok(_) => {
+            eprintln!(
+                "decklint: {path} has drifted from the lint registry — regenerate with \
+                 `cargo run --release -p cafemio-bench --bin decklint -- --doc > {path}`"
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("decklint: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The self-gate: golden corpus + fix corpus (with pipeline parity) +
+/// catalog cleanliness, with the merged counters written to
+/// `BENCH_lint.json`.
+fn golden(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let out_path = value_of(args, "--out").map_or("BENCH_lint.json", String::as_str);
 
     // 1. Every lint code fires on its golden deck at the right card.
     verify_corpus().map_err(|problems| problems.join("\n"))?;
@@ -98,7 +220,26 @@ fn golden(args: &[String]) -> Result<(), Box<dyn Error>> {
         LintCode::ALL.len()
     );
 
-    // 2. Every catalog model lints clean at default severity. Specs are
+    // 2. Every machine-applicable code repairs its before-deck to
+    // exactly its after-deck, idempotently, with pipeline parity.
+    let fix_report = verify_fix_corpus();
+    if !fix_report.problems.is_empty() {
+        return Err(format!(
+            "fix corpus failed:\n{}",
+            fix_report.problems.join("\n")
+        )
+        .into());
+    }
+    println!(
+        "decklint: fix corpus ok — {} pairs, {} fixes applied, {} parity checks, \
+         {} mismatches",
+        fix_report.cases,
+        fix_report.fixes_applied,
+        fix_report.parity_checks,
+        fix_report.parity_mismatches
+    );
+
+    // 3. Every catalog model lints clean at default severity. Specs are
     // linted directly (write_deck does not preserve unbounded limits).
     let mut dirty = Vec::new();
     let mut catalog_models = 0usize;
@@ -109,7 +250,7 @@ fn golden(args: &[String]) -> Result<(), Box<dyn Error>> {
             dirty.push(format!("{}: {diagnostic}", entry.name));
         }
     }
-    // 3. Every round-tripped catalog deck lints clean through the full
+    // 4. Every round-tripped catalog deck lints clean through the full
     // text → cards → spec path, with card provenance active.
     let mut catalog_decks = 0usize;
     for (name, text) in cafemio_bench::mutate::base_decks() {
@@ -131,11 +272,24 @@ fn golden(args: &[String]) -> Result<(), Box<dyn Error>> {
     );
 
     // The artifact: merged per-code counters from the whole golden
-    // corpus (each golden deck contributes exactly one diagnostic).
+    // corpus (each golden deck contributes at least one diagnostic),
+    // plus the fix-corpus metrics the lint-fix CI stage validates.
     let mut perf = PerfReport::default();
     for case in &cases {
         let report: LintReport = run_case(case).map_err(|e| e.to_string())?;
         perf.merge(&report.to_perf_report());
+    }
+    for (name, value) in [
+        ("lint.fix_cases", fix_report.cases as u64),
+        ("lint.fixes_applied", fix_report.fixes_applied as u64),
+        ("lint.fix_parity_checks", fix_report.parity_checks as u64),
+        ("lint.fix_parity_mismatches", fix_report.parity_mismatches as u64),
+        ("lint.fix_unconverged", fix_report.unconverged as u64),
+    ] {
+        perf.counters.push(CounterRecord {
+            name: name.to_string(),
+            value,
+        });
     }
     std::fs::write(out_path, perf.to_json())?;
     println!(

@@ -1,8 +1,9 @@
-//! Repo self-lint: a dependency-free (std-only) source gate enforcing
-//! the workspace panic policy on `crates/*/src`.
+//! Repo self-lint: a source gate enforcing the workspace panic policy
+//! and the telemetry schema on `crates/*/src`.
 //!
 //! ```sh
 //! cargo run --release -p cafemio-bench --bin srclint
+//! cargo run --release -p cafemio-bench --bin srclint -- --dump-telemetry
 //! ```
 //!
 //! Rules:
@@ -17,13 +18,23 @@
 //!    (outside comments and the `unsafe_code` lint name itself).
 //! 3. **Lint headers** — every crate's `lib.rs` must declare
 //!    `#![forbid(unsafe_code)]`.
+//! 4. **Telemetry schema** — every span/counter name literal at an
+//!    emission site (`span("..")`, `counter("..")`, `.time("..")`,
+//!    `.count("..")`) in non-test library code must be declared in
+//!    `cafemio::instrument::names`, and every declared exact name must
+//!    have at least one emission site (no dead registry entries).
+//!    `--dump-telemetry` prints the extracted names instead of checking.
 //!
 //! Prints one line per violation and exits nonzero on any.
 
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use cafemio::instrument::names;
+
 fn main() -> ExitCode {
+    let dump = std::env::args().any(|a| a == "--dump-telemetry");
     let crates_dir = Path::new("crates");
     let mut crate_dirs: Vec<PathBuf> = match std::fs::read_dir(crates_dir) {
         Ok(entries) => entries
@@ -39,6 +50,8 @@ fn main() -> ExitCode {
     crate_dirs.sort();
 
     let mut violations = Vec::new();
+    let mut emitted: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut corpus = String::new();
     let mut files = 0usize;
     for crate_dir in &crate_dirs {
         let crate_name = crate_dir
@@ -63,16 +76,38 @@ fn main() -> ExitCode {
         for path in sources {
             files += 1;
             match std::fs::read_to_string(&path) {
-                Ok(text) => check_file(&path, &text, panic_rule, &mut violations),
+                Ok(text) => {
+                    check_file(&path, &text, panic_rule, &mut violations);
+                    // This file's own marker strings and the registry's
+                    // declarations are not emission sites.
+                    let meta = path.ends_with("bin/srclint.rs")
+                        || path.ends_with("instrument/src/names.rs");
+                    if !meta {
+                        let stripped = non_test_code(&text);
+                        for (kind, name) in telemetry_sites(&stripped) {
+                            emitted.insert((kind.to_string(), name));
+                        }
+                        corpus.push_str(&stripped);
+                    }
+                }
                 Err(e) => violations.push(format!("{}: {e}", path.display())),
             }
         }
     }
 
+    if dump {
+        for (kind, name) in &emitted {
+            println!("{kind}\t{name}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    check_telemetry_schema(&emitted, &corpus, &mut violations);
+
     if violations.is_empty() {
         println!(
-            "srclint: clean — {} crates, {files} files, 0 violations",
-            crate_dirs.len()
+            "srclint: clean — {} crates, {files} files, {} telemetry names, 0 violations",
+            crate_dirs.len(),
+            emitted.len()
         );
         ExitCode::SUCCESS
     } else {
@@ -82,6 +117,93 @@ fn main() -> ExitCode {
         eprintln!("srclint: {} violation(s)", violations.len());
         ExitCode::FAILURE
     }
+}
+
+/// The telemetry-schema gate: every emitted name must be registered, and
+/// every registered exact name must appear somewhere in non-test library
+/// code (names published through `CounterRecord` batches — the batch
+/// summary tuples, the seeded serve skeleton — count as live even though
+/// they are not call sites). Prefix families are exempt from the
+/// dead-name check (their sites are `format!` calls, not literals).
+fn check_telemetry_schema(
+    emitted: &BTreeSet<(String, String)>,
+    corpus: &str,
+    violations: &mut Vec<String>,
+) {
+    for (kind, name) in emitted {
+        if !names::is_registered(name) {
+            violations.push(format!(
+                "telemetry: {kind} name {name:?} is not declared in \
+                 crates/instrument/src/names.rs"
+            ));
+        }
+    }
+    for name in names::SPANS.iter().chain(names::COUNTERS) {
+        if !corpus.contains(&format!("\"{name}\"")) {
+            violations.push(format!(
+                "telemetry: registered name {name:?} has no emission site — remove it \
+                 from crates/instrument/src/names.rs or emit it"
+            ));
+        }
+    }
+}
+
+/// The non-test, non-comment portion of one source file: everything
+/// before the first `#[cfg(test)]`, with `//` lines dropped.
+fn non_test_code(text: &str) -> String {
+    let lines: Vec<&str> = text.lines().collect();
+    let test_tail = lines
+        .iter()
+        .position(|line| line.trim_start().starts_with("#[cfg(test)]"))
+        .unwrap_or(lines.len());
+    lines[..test_tail]
+        .iter()
+        .filter(|line| !line.trim_start().starts_with("//"))
+        .map(|line| format!("{line}\n"))
+        .collect()
+}
+
+/// Extracts `(kind, name)` for every telemetry emission site in
+/// already-stripped source. Sites are the free functions `span("..")` /
+/// `counter("..")` (not preceded by `.` — accessor reads like
+/// `report.counter("..")` are not emissions) and the clock methods
+/// `.time("..")` / `.count("..")`. The name literal may sit on the next
+/// line (rustfmt wraps long calls), so matching runs over the joined
+/// source, not per line.
+fn telemetry_sites(code: &str) -> Vec<(&'static str, String)> {
+    let mut sites = Vec::new();
+    for (marker, kind, method) in [
+        ("span(", "span", false),
+        ("counter(", "counter", false),
+        (".time(", "span", true),
+        (".count(", "counter", true),
+    ] {
+        let bytes = code.as_bytes();
+        let mut from = 0;
+        while let Some(at) = code[from..].find(marker) {
+            let start = from + at;
+            from = start + marker.len();
+            if !method {
+                // Reject `.counter(` accessor reads and identifier tails
+                // like `active_spans(`.
+                if start > 0 {
+                    let before = bytes[start - 1];
+                    if before == b'.' || before == b'_' || before.is_ascii_alphanumeric() {
+                        continue;
+                    }
+                }
+            }
+            let rest = code[start + marker.len()..].trim_start();
+            let Some(literal) = rest.strip_prefix('"') else {
+                continue;
+            };
+            let Some(end) = literal.find('"') else {
+                continue;
+            };
+            sites.push((kind, literal[..end].to_string()));
+        }
+    }
+    sites
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>, violations: &mut Vec<String>) {

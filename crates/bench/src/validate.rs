@@ -162,15 +162,25 @@ pub const SPECS: [ArtifactSpec; 7] = [
         file: "BENCH_lint.json",
         positive_spans: &[],
         // The golden corpus fires every code once, spanning both
-        // severity classes.
-        positive_counters: &["lint.diagnostics", "lint.denied", "lint.warnings"],
-        zero_counters: &[],
+        // severity classes, and every machine-applicable code must have
+        // exercised its fix-corpus pair with its parity check run.
+        positive_counters: &[
+            "lint.diagnostics",
+            "lint.denied",
+            "lint.warnings",
+            "lint.fix_cases",
+            "lint.fixes_applied",
+            "lint.fix_parity_checks",
+        ],
+        // The parity gate: zero mesh mismatches, zero unconverged pairs.
+        zero_counters: &["lint.fix_parity_mismatches", "lint.fix_unconverged"],
         bounded_counters: &[],
         balances: &[Balance {
             total: "lint.diagnostics",
             parts: &["lint.denied", "lint.warnings"],
         }],
-        ordered_counters: &[],
+        // Every exercised pair applies at least one fix.
+        ordered_counters: &[("lint.fix_cases", "lint.fixes_applied")],
     },
     ArtifactSpec {
         file: "BENCH_sparse.json",

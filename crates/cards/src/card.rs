@@ -69,6 +69,36 @@ impl Card {
         &self.text[from - 1..to]
     }
 
+    /// Returns a copy with columns `from..=to` (one-based, inclusive)
+    /// replaced by `text`, right-justified and blank-padded to the span —
+    /// the rewrite primitive behind machine-applicable lint fixes. Cards
+    /// are one byte per column, so the column range doubles as the byte
+    /// range of the rewritten field within [`Card::text`].
+    ///
+    /// # Errors
+    ///
+    /// [`CardError::FieldOverflow`] when `text` is wider than the span.
+    ///
+    /// # Panics
+    ///
+    /// As [`Card::columns`] for an invalid column range.
+    pub fn with_columns(&self, from: usize, to: usize, text: &str) -> Result<Card, CardError> {
+        assert!(
+            from >= 1 && from <= to && to <= CARD_COLUMNS,
+            "column range {from}..={to} is not a valid card range"
+        );
+        let width = to - from + 1;
+        if text.chars().count() > width {
+            return Err(CardError::FieldOverflow {
+                text: text.to_owned(),
+                width,
+            });
+        }
+        let mut image = self.text.clone();
+        image.replace_range(from - 1..to, &format!("{text:>width$}"));
+        Card::new(&image)
+    }
+
     /// The image with trailing blanks removed (for listings).
     pub fn trimmed(&self) -> &str {
         self.text.trim_end()
@@ -155,6 +185,40 @@ impl Deck {
     /// Panics when `index` is out of range.
     pub fn card(&self, index: usize) -> &Card {
         &self.cards[index]
+    }
+
+    /// Replaces the card at `index` (zero-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn replace_card(&mut self, index: usize, card: Card) {
+        self.cards[index] = card;
+    }
+
+    /// Removes the card at `index` (zero-based), shifting later cards up.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn remove_card(&mut self, index: usize) {
+        self.cards.remove(index);
+    }
+
+    /// Half-open byte range of card `index` within the [`Deck::to_text`]
+    /// rendering (trimmed images, one `\n` terminator per card), for
+    /// editors that address the deck as a flat text buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn byte_range(&self, index: usize) -> (usize, usize) {
+        assert!(index < self.cards.len(), "card {index} is out of range");
+        let start = self.cards[..index]
+            .iter()
+            .map(|c| c.trimmed().len() + 1)
+            .sum();
+        (start, start + self.cards[index].trimmed().len())
     }
 
     /// Iterator over the cards in order.
@@ -319,5 +383,27 @@ mod tests {
             .collect();
         assert_eq!(deck.len(), 3);
         assert_eq!(deck.card(2).trimmed(), "CARD 2");
+    }
+
+    #[test]
+    fn with_columns_right_justifies_into_the_span() {
+        let card = Card::new("    1    2    3").unwrap();
+        let patched = card.with_columns(6, 10, "42").unwrap();
+        assert_eq!(patched.columns(1, 15), "    1   42    3");
+        assert!(matches!(
+            card.with_columns(6, 10, "123456"),
+            Err(CardError::FieldOverflow { width: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn deck_replace_remove_and_byte_ranges() {
+        let mut deck = Deck::from_text("FIRST\nSECOND\nTHIRD\n").unwrap();
+        assert_eq!(deck.byte_range(0), (0, 5));
+        assert_eq!(deck.byte_range(1), (6, 12));
+        assert_eq!(deck.byte_range(2), (13, 18));
+        deck.replace_card(1, Card::new("TWO").unwrap());
+        deck.remove_card(0);
+        assert_eq!(deck.to_text(), "TWO\nTHIRD\n");
     }
 }

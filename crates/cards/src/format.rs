@@ -162,6 +162,80 @@ impl Format {
     pub fn data_field_count(&self) -> usize {
         self.expanded().iter().filter(|d| d.is_data()).count()
     }
+
+    /// One-based inclusive column range of the `ordinal`-th (one-based)
+    /// data field, or `None` when the format has fewer data fields.
+    /// Cards are one byte per column, so the range doubles as the
+    /// field's byte range within the card image.
+    pub fn data_field_columns(&self, ordinal: usize) -> Option<(usize, usize)> {
+        let mut column = 1usize;
+        let mut seen = 0usize;
+        for descriptor in self.expanded() {
+            let width = descriptor.width();
+            if descriptor.is_data() {
+                seen += 1;
+                if seen == ordinal {
+                    return Some((column, column + width - 1));
+                }
+            }
+            column += width;
+        }
+        None
+    }
+
+    /// Rebuilds a format from a flat descriptor sequence; the
+    /// specification text is regenerated from the descriptors (no repeat
+    /// grouping).
+    ///
+    /// # Errors
+    ///
+    /// As [`Format::parse`] on the regenerated specification — notably
+    /// [`CardError::NoDataDescriptors`] when no descriptor carries data.
+    pub fn from_descriptors(descriptors: &[EditDescriptor]) -> Result<Format, CardError> {
+        // Runs of identical data descriptors re-collapse to the repeated
+        // form ("F9.5, F9.5" -> "2F9.5") so a rebuilt format reads like
+        // the one the analyst punched.
+        let mut parts: Vec<String> = Vec::new();
+        let mut i = 0;
+        while i < descriptors.len() {
+            let d = &descriptors[i];
+            let mut run = 1;
+            while d.is_data() && i + run < descriptors.len() && descriptors[i + run] == *d {
+                run += 1;
+            }
+            if run > 1 {
+                parts.push(format!("{run}{d}"));
+            } else {
+                parts.push(d.to_string());
+            }
+            i += run;
+        }
+        Format::parse(&format!("({})", parts.join(", ")))
+    }
+
+    /// Returns a format whose `ordinal`-th (one-based) data field is
+    /// resized to `width` columns (decimal counts preserved), or `None`
+    /// when there is no such data field or the rebuilt specification is
+    /// invalid. Skip and literal descriptors are untouched, so later
+    /// fields shift right by the width change.
+    pub fn with_data_field_width(&self, ordinal: usize, width: usize) -> Option<Format> {
+        let mut descriptors = self.expanded();
+        let mut seen = 0usize;
+        let target = descriptors.iter_mut().find(|d| {
+            if d.is_data() {
+                seen += 1;
+            }
+            d.is_data() && seen == ordinal
+        })?;
+        match target {
+            EditDescriptor::Int { width: w }
+            | EditDescriptor::Fixed { width: w, .. }
+            | EditDescriptor::Exp { width: w, .. }
+            | EditDescriptor::Alpha { width: w } => *w = width,
+            EditDescriptor::Skip { .. } | EditDescriptor::Literal { .. } => return None,
+        }
+        Format::from_descriptors(&descriptors).ok()
+    }
 }
 
 impl fmt::Display for Format {
@@ -559,5 +633,38 @@ mod tests {
         let e: Format = "(E15.8)".parse().unwrap();
         let d: Format = "(D15.8)".parse().unwrap();
         assert_eq!(e.expanded(), d.expanded());
+    }
+
+    #[test]
+    fn data_field_columns_walk_skips_and_repeats() {
+        let fmt: Format = "(2I5, 5F10.4)".parse().unwrap();
+        assert_eq!(fmt.data_field_columns(1), Some((1, 5)));
+        assert_eq!(fmt.data_field_columns(2), Some((6, 10)));
+        assert_eq!(fmt.data_field_columns(3), Some((11, 20)));
+        assert_eq!(fmt.data_field_columns(7), Some((51, 60)));
+        assert_eq!(fmt.data_field_columns(8), None);
+
+        let nodal: Format = "(2F9.5, 22X, F10.3, I1)".parse().unwrap();
+        assert_eq!(nodal.data_field_columns(3), Some((41, 50)));
+        assert_eq!(nodal.data_field_columns(4), Some((51, 51)));
+    }
+
+    #[test]
+    fn from_descriptors_round_trips_an_expanded_format() {
+        let fmt: Format = "(2F6.3, 51X, I3, 5X, I3)".parse().unwrap();
+        let rebuilt = Format::from_descriptors(&fmt.expanded()).unwrap();
+        assert_eq!(rebuilt.expanded(), fmt.expanded());
+        assert_eq!(rebuilt.spec(), "(2F6.3, 51X, I3, 5X, I3)");
+    }
+
+    #[test]
+    fn with_data_field_width_widens_exactly_one_field() {
+        let fmt: Format = "(2F6.3, 51X, I3, 5X, I3)".parse().unwrap();
+        let wide = fmt.with_data_field_width(1, 9).unwrap();
+        assert_eq!(wide.spec(), "(F9.3, F6.3, 51X, I3, 5X, I3)");
+        assert_eq!(wide.data_field_columns(2), Some((10, 15)));
+        let wide_int = fmt.with_data_field_width(4, 6).unwrap();
+        assert_eq!(wide_int.spec(), "(2F6.3, 51X, I3, 5X, I6)");
+        assert!(fmt.with_data_field_width(5, 9).is_none());
     }
 }

@@ -37,7 +37,7 @@ use std::sync::{Arc, Mutex};
 use cafemio_audit::{AuditError, AuditOptions, AuditStage};
 use cafemio_cache::{CacheKey, CacheStage, StableHasher, StageCache};
 use cafemio_cards::{CardError, Deck};
-use cafemio_fem::{CgOptions, FemError, FemModel, Solution, SolverBackend, StressField};
+use cafemio_fem::{AnalysisKind, CgOptions, FemError, FemModel, Solution, SolverBackend, StressField};
 use cafemio_idlz::{
     Capability, Idealization, IdealizationResult, IdealizationSpec, IdlzError,
     IncrementalIdealizer,
@@ -74,6 +74,17 @@ impl StressComponent {
         StressComponent::Shear,
         StressComponent::Effective,
     ];
+
+    /// True when the analysis kind actually produces this component —
+    /// plane stress has no out-of-plane constraint, so its
+    /// circumferential (hoop) field is identically zero and a contour
+    /// request over it plots nothing but exact zeros (lint code `O003`).
+    pub fn is_produced_by(self, kind: AnalysisKind) -> bool {
+        !matches!(
+            (self, kind),
+            (StressComponent::Circumferential, AnalysisKind::PlaneStress { .. })
+        )
+    }
 
     /// Extracts the matching nodal field from a recovered stress state.
     pub fn field(self, stresses: &StressField) -> NodalField {
@@ -442,7 +453,9 @@ impl PipelineBuilder {
             self.config.shared.apply_capability(spec);
         }
         let lint_report = match &self.config.shared.lint {
-            Some(config) => Some(run_lint(|| cafemio_lint::lint_idlz(&specs, &layouts, config))?),
+            Some(config) => Some(run_lint(|| {
+                cafemio_lint::lint_idlz_with_deck(&deck, &specs, &layouts, config)
+            })?),
             None => None,
         };
         if let (Some((store, _)), Some(key)) = (self.config.cache(), key) {
@@ -935,6 +948,33 @@ impl Recovered {
         options: &ContourOptions,
     ) -> Result<Vec<StressPlot>, PipelineError> {
         let _span = cafemio_instrument::span("pipeline.contour");
+        // Session-level dataflow lint (O003): the component request is
+        // checked against what each case's analysis kind produces —
+        // knowledge the deck-level lint pass cannot have. Deny-severity
+        // hits fail the contour stage before any tracing happens.
+        if let Some(config) = &self.config.shared.lint {
+            for case in &self.cases {
+                let kind = case.model.kind();
+                let analysis = match kind {
+                    AnalysisKind::PlaneStress { .. } => "plane stress",
+                    AnalysisKind::PlaneStrain => "plane strain",
+                    AnalysisKind::Axisymmetric => "axisymmetric",
+                };
+                let report = cafemio_lint::lint_component_request(
+                    analysis,
+                    &component.to_string(),
+                    component.is_produced_by(kind),
+                    config,
+                );
+                cafemio_instrument::counter(
+                    "lint.session_diagnostics",
+                    report.diagnostics().len() as u64,
+                );
+                if let Some(error) = LintError::from_report(&report) {
+                    return Err(PipelineError::at(Stage::Contour, StageError::Lint(error)));
+                }
+            }
+        }
         let cache = self.config.cache().map(|(store, fp)| (Arc::clone(store), fp));
         let mut plots = Vec::with_capacity(self.cases.len());
         for case in &self.cases {

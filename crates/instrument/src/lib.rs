@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 mod json;
+pub mod names;
 pub mod par;
 mod report;
 mod span;

@@ -1,9 +1,12 @@
 //! Golden lint corpus: one minimal deck per lint code, each designed to
-//! trigger exactly that diagnostic at a known card. The corpus is the
-//! executable specification of the lint catalog — `decklint --golden`
-//! and the integration tests both run [`verify_corpus`].
+//! trigger exactly that diagnostic at a known card, plus a before/after
+//! *fix corpus* — one pair per machine-applicable code — that pins the
+//! auto-fix engine's exact output. The corpus is the executable
+//! specification of the lint catalog: `decklint --golden` and the
+//! integration tests run [`verify_corpus`] and [`verify_fix_corpus`].
 
-use crate::diagnostic::{LintCode, LintConfig, LintReport};
+use crate::diagnostic::{Diagnostic, LintCode, LintConfig, LintReport};
+use crate::fix::apply_fixes;
 use crate::idlz_lints::lint_deck_text;
 use crate::ospl_lints::lint_ospl_deck_text;
 
@@ -16,7 +19,7 @@ pub enum DeckKind {
     Ospl,
 }
 
-/// One golden deck and the single diagnostic it must produce.
+/// One golden deck and the single primary diagnostic it must produce.
 #[derive(Debug, Clone, Copy)]
 pub struct GoldenCase {
     /// The lint code the deck triggers.
@@ -27,6 +30,13 @@ pub struct GoldenCase {
     pub deck: &'static str,
     /// Zero-based index of the card the diagnostic must point at.
     pub card: usize,
+    /// One-based field the diagnostic must name, when the code is
+    /// field-precise.
+    pub field: Option<usize>,
+    /// Secondary codes the deck is allowed to co-trigger — some hazards
+    /// are intrinsically linked (a duplicate shape group always leaves
+    /// some subdivision unshaped).
+    pub also: &'static [LintCode],
 }
 
 /// The golden corpus, one case per lint code in catalog order.
@@ -36,6 +46,8 @@ pub fn golden_cases() -> Vec<GoldenCase> {
             code: LintCode::OverlappingSubdivisions,
             kind: DeckKind::Idlz,
             card: 4,
+            field: None,
+            also: &[],
             deck: concat!(
                 "    1\n",
                 "OVERLAPPING BOXES\n",
@@ -52,6 +64,8 @@ pub fn golden_cases() -> Vec<GoldenCase> {
             code: LintCode::DisconnectedAssemblage,
             kind: DeckKind::Idlz,
             card: 4,
+            field: None,
+            also: &[],
             deck: concat!(
                 "    1\n",
                 "ISLAND SUBDIVISION\n",
@@ -68,6 +82,10 @@ pub fn golden_cases() -> Vec<GoldenCase> {
             code: LintCode::DuplicateSubdivisionId,
             kind: DeckKind::Idlz,
             card: 4,
+            field: None,
+            // Both Type-5 groups must name the twin number, so the
+            // duplicate-group hazard co-fires by construction.
+            also: &[LintCode::DuplicateShapeGroup],
             deck: concat!(
                 "    1\n",
                 "TWIN NUMBERS\n",
@@ -84,6 +102,8 @@ pub fn golden_cases() -> Vec<GoldenCase> {
             code: LintCode::GridLimitProximity,
             kind: DeckKind::Idlz,
             card: 3,
+            field: None,
+            also: &[],
             deck: concat!(
                 "    1\n",
                 "NEAR THE GRID LIMIT\n",
@@ -95,9 +115,48 @@ pub fn golden_cases() -> Vec<GoldenCase> {
             ),
         },
         GoldenCase {
+            code: LintCode::UnshapedSubdivision,
+            kind: DeckKind::Idlz,
+            card: 4,
+            field: None,
+            // The group that should have shaped subdivision 2 points at
+            // 1 instead, so the duplicate-group hazard co-fires.
+            also: &[LintCode::DuplicateShapeGroup],
+            deck: concat!(
+                "    1\n",
+                "UNSHAPED SUBDIVISION\n",
+                "    1    1    1    2\n",
+                "    1    0    0    2    2         0    0\n",
+                "    2    2    0    4    2         0    0\n",
+                "    1    0\n",
+                "    1    0\n",
+                "(2F9.5, 51X, I3, 5X, I3)\n",
+                "(3I5, 62X, I3)\n",
+            ),
+        },
+        GoldenCase {
+            code: LintCode::TrailingCardsIgnored,
+            kind: DeckKind::Idlz,
+            card: 7,
+            field: None,
+            also: &[],
+            deck: concat!(
+                "    1\n",
+                "TRAILING BLANK CARD\n",
+                "    1    1    1    1\n",
+                "    1    0    0    4    2         0    0\n",
+                "    1    0\n",
+                "(2F9.5, 51X, I3, 5X, I3)\n",
+                "(3I5, 62X, I3)\n",
+                "\n",
+            ),
+        },
+        GoldenCase {
             code: LintCode::ShapeSegmentSpanMismatch,
             kind: DeckKind::Idlz,
             card: 5,
+            field: Some(1),
+            also: &[],
             deck: concat!(
                 "    1\n",
                 "DIAGONAL SHAPE LINE\n",
@@ -113,6 +172,8 @@ pub fn golden_cases() -> Vec<GoldenCase> {
             code: LintCode::ArcSweepExceeds90,
             kind: DeckKind::Idlz,
             card: 5,
+            field: Some(9),
+            also: &[],
             deck: concat!(
                 "    1\n",
                 "HALF TURN ARC\n",
@@ -128,14 +189,16 @@ pub fn golden_cases() -> Vec<GoldenCase> {
             code: LintCode::DeadShapeLine,
             kind: DeckKind::Idlz,
             card: 5,
+            field: None,
+            also: &[],
             deck: concat!(
                 "    1\n",
                 "DEAD SHAPE LINE\n",
                 "    1    1    1    1\n",
                 "    1    0    0    4    2         0    0\n",
                 "    1    2\n",
-                "    0    0    4    0  0.0000  0.0000  2.0000  0.0000  0.0000\n",
-                "    0    0    4    0  0.0000  0.1000  2.0000  0.1000  0.0000\n",
+                "    0    0    4    0  0.0000  0.0000  4.0000  0.0000  0.0000\n",
+                "    0    0    4    0  0.0000  0.0000  4.0000  0.0000  0.0000\n",
                 "(2F9.5, 51X, I3, 5X, I3)\n",
                 "(3I5, 62X, I3)\n",
             ),
@@ -144,6 +207,10 @@ pub fn golden_cases() -> Vec<GoldenCase> {
             code: LintCode::ShapeLineUnknownSubdivision,
             kind: DeckKind::Idlz,
             card: 4,
+            field: Some(1),
+            // The only group names a phantom subdivision, so the real
+            // subdivision 1 is left unshaped.
+            also: &[LintCode::UnshapedSubdivision],
             deck: concat!(
                 "    1\n",
                 "PHANTOM SUBDIVISION\n",
@@ -155,9 +222,49 @@ pub fn golden_cases() -> Vec<GoldenCase> {
             ),
         },
         GoldenCase {
+            code: LintCode::ConflictingPointPosition,
+            kind: DeckKind::Idlz,
+            card: 6,
+            field: None,
+            also: &[],
+            deck: concat!(
+                "    1\n",
+                "CONFLICTING CORNER PIN\n",
+                "    1    1    1    1\n",
+                "    1    0    0    4    2         0    0\n",
+                "    1    2\n",
+                "    0    0    4    0  0.0000  0.0000  2.0000  0.0000  0.0000\n",
+                "    4    0    4    2  2.5000  0.0000  2.5000  1.0000  0.0000\n",
+                "(2F9.5, 51X, I3, 5X, I3)\n",
+                "(3I5, 62X, I3)\n",
+            ),
+        },
+        GoldenCase {
+            code: LintCode::DuplicateShapeGroup,
+            kind: DeckKind::Idlz,
+            card: 6,
+            field: Some(1),
+            // The second group's true target (subdivision 2) is left
+            // unshaped by the same mistake.
+            also: &[LintCode::UnshapedSubdivision],
+            deck: concat!(
+                "    1\n",
+                "DOUBLY SHAPED SUBDIVISION\n",
+                "    1    1    1    2\n",
+                "    1    0    0    2    2         0    0\n",
+                "    2    2    0    4    2         0    0\n",
+                "    1    0\n",
+                "    1    0\n",
+                "(2F9.5, 51X, I3, 5X, I3)\n",
+                "(3I5, 62X, I3)\n",
+            ),
+        },
+        GoldenCase {
             code: LintCode::BandwidthHostileNumbering,
             kind: DeckKind::Idlz,
             card: 2,
+            field: Some(2),
+            also: &[],
             deck: concat!(
                 "    1\n",
                 "WIDE FLAT NO RENUMBER\n",
@@ -172,6 +279,8 @@ pub fn golden_cases() -> Vec<GoldenCase> {
             code: LintCode::FormatFieldTooNarrowForCoordinateRange,
             kind: DeckKind::Idlz,
             card: 6,
+            field: Some(1),
+            also: &[],
             deck: concat!(
                 "    1\n",
                 "COORDINATES OVERFLOW F6.3\n",
@@ -187,6 +296,8 @@ pub fn golden_cases() -> Vec<GoldenCase> {
             code: LintCode::FormatFieldTooNarrowForCount,
             kind: DeckKind::Idlz,
             card: 5,
+            field: Some(4),
+            also: &[],
             deck: concat!(
                 "    1\n",
                 "NODE NUMBER OVERFLOWS I2\n",
@@ -201,6 +312,8 @@ pub fn golden_cases() -> Vec<GoldenCase> {
             code: LintCode::ContourWindowOutsideExtents,
             kind: DeckKind::Ospl,
             card: 0,
+            field: Some(3),
+            also: &[],
             deck: concat!(
                 "    3    1     104.0     100.0     103.0     100.0       0.0\n",
                 "WINDOW OFF THE MESH\n",
@@ -215,6 +328,8 @@ pub fn golden_cases() -> Vec<GoldenCase> {
             code: LintCode::IntervalExceedsFieldRange,
             kind: DeckKind::Ospl,
             card: 0,
+            field: Some(7),
+            also: &[],
             deck: concat!(
                 "    3    1       0.0       0.0       0.0       0.0    1000.0\n",
                 "HUGE DELTA\n",
@@ -222,6 +337,23 @@ pub fn golden_cases() -> Vec<GoldenCase> {
                 "  0.00000  0.00000                           5.0002\n",
                 "  4.00000  0.00000                          15.0002\n",
                 "  2.00000  3.00000                          35.0002\n",
+                "    1    2    3\n",
+            ),
+        },
+        GoldenCase {
+            code: LintCode::UnreferencedPlotNode,
+            kind: DeckKind::Ospl,
+            card: 6,
+            field: None,
+            also: &[],
+            deck: concat!(
+                "    4    1       0.0       0.0       0.0       0.0       0.0\n",
+                "UNREFERENCED NODE\n",
+                "LINT CORPUS\n",
+                "  0.00000  0.00000                           5.0002\n",
+                "  4.00000  0.00000                          15.0002\n",
+                "  2.00000  3.00000                          35.0002\n",
+                "  9.00000  9.00000                           0.0002\n",
                 "    1    2    3\n",
             ),
         },
@@ -243,8 +375,10 @@ pub fn run_case(case: &GoldenCase) -> Result<LintReport, String> {
     }
 }
 
-/// Runs the whole corpus, checking that every case produces exactly its
-/// expected diagnostic — right code, right default severity, right card.
+/// Runs the whole corpus, checking that every deck-derivable code has a
+/// case, that each case produces exactly its expected primary diagnostic
+/// (right code, right default severity, right card/field), and that any
+/// extra diagnostics are declared in the case's `also` list.
 ///
 /// # Errors
 ///
@@ -252,10 +386,9 @@ pub fn run_case(case: &GoldenCase) -> Result<LintReport, String> {
 pub fn verify_corpus() -> Result<(), Vec<String>> {
     let mut problems = Vec::new();
     let cases = golden_cases();
-    for missing in LintCode::ALL
-        .iter()
-        .filter(|code| !cases.iter().any(|c| c.code == **code))
-    {
+    for missing in LintCode::ALL.iter().filter(|code| {
+        !LintCode::SESSION.contains(code) && !cases.iter().any(|c| c.code == **code)
+    }) {
         problems.push(format!("no corpus deck covers {missing}"));
     }
     for case in &cases {
@@ -268,18 +401,25 @@ pub fn verify_corpus() -> Result<(), Vec<String>> {
             }
         };
         let diagnostics = report.diagnostics();
-        if diagnostics.len() != 1 {
+        let primary: Vec<&Diagnostic> =
+            diagnostics.iter().filter(|d| d.code == case.code).collect();
+        if primary.len() != 1 {
             problems.push(format!(
-                "{code}: expected exactly one diagnostic, got {}: {:?}",
-                diagnostics.len(),
+                "{code}: expected exactly one {code} diagnostic, got {}: {:?}",
+                primary.len(),
                 diagnostics.iter().map(ToString::to_string).collect::<Vec<_>>(),
             ));
             continue;
         }
-        let d = &diagnostics[0];
-        if d.code != case.code {
-            problems.push(format!("{code}: deck triggered {} instead", d.code));
+        for extra in diagnostics.iter().filter(|d| d.code != case.code) {
+            if !case.also.contains(&extra.code) {
+                problems.push(format!(
+                    "{code}: deck also triggered undeclared {} ({})",
+                    extra.code, extra.message
+                ));
+            }
         }
+        let d = primary[0];
         if d.severity != case.code.default_severity() {
             problems.push(format!(
                 "{code}: severity {} does not match the default {}",
@@ -293,12 +433,385 @@ pub fn verify_corpus() -> Result<(), Vec<String>> {
                 d.span.card, case.card
             ));
         }
+        if case.field.is_some() && d.span.field != case.field {
+            problems.push(format!(
+                "{code}: diagnostic names field {:?}, expected {:?}",
+                d.span.field, case.field
+            ));
+        }
     }
     if problems.is_empty() {
         Ok(())
     } else {
         Err(problems)
     }
+}
+
+/// Pipeline-parity class of a machine-applicable fix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FixClass {
+    /// The repaired deck idealizes to a bit-identical mesh — the fix
+    /// touches only punch formats or unread cards.
+    Formatting,
+    /// The repair changes exactly the documented artifact (the deck
+    /// becomes idealizable, the renumbering flips, the contour request
+    /// widens); the repaired deck must process cleanly.
+    Semantic,
+}
+
+/// One before/after pair of the fix corpus.
+#[derive(Debug, Clone, Copy)]
+pub struct FixCase {
+    /// The machine-applicable code under test.
+    pub code: LintCode,
+    /// The parser front end.
+    pub kind: DeckKind,
+    /// Parity class, enforced by [`verify_fix_corpus`].
+    pub class: FixClass,
+    /// Deck text triggering the code.
+    pub before: &'static str,
+    /// The exact engine output.
+    pub after: &'static str,
+}
+
+/// The fix corpus: one before/after pair per machine-applicable code.
+pub fn fix_cases() -> Vec<FixCase> {
+    vec![
+        FixCase {
+            code: LintCode::TrailingCardsIgnored,
+            kind: DeckKind::Idlz,
+            class: FixClass::Formatting,
+            before: concat!(
+                "    1\n",
+                "TRAILING BLANK CARDS\n",
+                "    1    1    1    1\n",
+                "    1    0    0    4    2         0    0\n",
+                "    1    2\n",
+                "    0    0    4    0  0.0000  0.0000  4.0000  0.0000  0.0000\n",
+                "    0    2    4    2  0.0000  2.0000  4.0000  2.0000  0.0000\n",
+                "(2F9.5, 51X, I3, 5X, I3)\n",
+                "(3I5, 62X, I3)\n",
+                "\n",
+                "\n",
+            ),
+            after: concat!(
+                "    1\n",
+                "TRAILING BLANK CARDS\n",
+                "    1    1    1    1\n",
+                "    1    0    0    4    2         0    0\n",
+                "    1    2\n",
+                "    0    0    4    0  0.0000  0.0000  4.0000  0.0000  0.0000\n",
+                "    0    2    4    2  0.0000  2.0000  4.0000  2.0000  0.0000\n",
+                "(2F9.5, 51X, I3, 5X, I3)\n",
+                "(3I5, 62X, I3)\n",
+            ),
+        },
+        FixCase {
+            code: LintCode::ArcSweepExceeds90,
+            kind: DeckKind::Idlz,
+            class: FixClass::Semantic,
+            before: concat!(
+                "    1\n",
+                "NEGATIVE RADIUS ARC\n",
+                "    1    1    1    1\n",
+                "    1    0    0    4    2         0    0\n",
+                "    1    2\n",
+                "    0    0    4    0  0.0000  0.0000  2.0000  0.0000 -2.0000\n",
+                "    0    2    4    2  0.0000  2.0000  2.0000  2.0000  0.0000\n",
+                "(2F9.5, 51X, I3, 5X, I3)\n",
+                "(3I5, 62X, I3)\n",
+            ),
+            after: concat!(
+                "    1\n",
+                "NEGATIVE RADIUS ARC\n",
+                "    1    1    1    1\n",
+                "    1    0    0    4    2         0    0\n",
+                "    1    2\n",
+                "    4    0    0    0  2.0000  0.0000  0.0000  0.0000  2.0000\n",
+                "    0    2    4    2  0.0000  2.0000  2.0000  2.0000  0.0000\n",
+                "(2F9.5, 51X, I3, 5X, I3)\n",
+                "(3I5, 62X, I3)\n",
+            ),
+        },
+        FixCase {
+            code: LintCode::DeadShapeLine,
+            kind: DeckKind::Idlz,
+            class: FixClass::Formatting,
+            before: concat!(
+                "    1\n",
+                "DEAD SHAPE LINE\n",
+                "    1    1    1    1\n",
+                "    1    0    0    4    2         0    0\n",
+                "    1    3\n",
+                "    0    0    4    0  0.0000  0.0000  4.0000  0.0000  0.0000\n",
+                "    0    0    4    0  0.0000  0.0000  4.0000  0.0000  0.0000\n",
+                "    0    2    4    2  0.0000  2.0000  4.0000  2.0000  0.0000\n",
+                "(2F9.5, 51X, I3, 5X, I3)\n",
+                "(3I5, 62X, I3)\n",
+            ),
+            after: concat!(
+                "    1\n",
+                "DEAD SHAPE LINE\n",
+                "    1    1    1    1\n",
+                "    1    0    0    4    2         0    0\n",
+                "    1    2\n",
+                "    0    0    4    0  0.0000  0.0000  4.0000  0.0000  0.0000\n",
+                "    0    2    4    2  0.0000  2.0000  4.0000  2.0000  0.0000\n",
+                "(2F9.5, 51X, I3, 5X, I3)\n",
+                "(3I5, 62X, I3)\n",
+            ),
+        },
+        FixCase {
+            code: LintCode::BandwidthHostileNumbering,
+            kind: DeckKind::Idlz,
+            class: FixClass::Semantic,
+            before: concat!(
+                "    1\n",
+                "WIDE FLAT NO RENUMBER\n",
+                "    1    0    1    1\n",
+                "    1    0    0   30    1         0    0\n",
+                "    1    2\n",
+                "    0    0   30    0  0.0000  0.0000 30.0000  0.0000  0.0000\n",
+                "    0    1   30    1  0.0000  1.0000 30.0000  1.0000  0.0000\n",
+                "(2F9.5, 51X, I3, 5X, I3)\n",
+                "(3I5, 62X, I3)\n",
+            ),
+            after: concat!(
+                "    1\n",
+                "WIDE FLAT NO RENUMBER\n",
+                "    1    1    1    1\n",
+                "    1    0    0   30    1         0    0\n",
+                "    1    2\n",
+                "    0    0   30    0  0.0000  0.0000 30.0000  0.0000  0.0000\n",
+                "    0    1   30    1  0.0000  1.0000 30.0000  1.0000  0.0000\n",
+                "(2F9.5, 51X, I3, 5X, I3)\n",
+                "(3I5, 62X, I3)\n",
+            ),
+        },
+        FixCase {
+            code: LintCode::FormatFieldTooNarrowForCoordinateRange,
+            kind: DeckKind::Idlz,
+            class: FixClass::Formatting,
+            before: concat!(
+                "    1\n",
+                "COORDINATES OVERFLOW F6.3\n",
+                "    1    1    1    1\n",
+                "    1    0    0    4    2         0    0\n",
+                "    1    2\n",
+                "    0    0    4    0  0.0000  0.0000  1234.5  0.0000  0.0000\n",
+                "    0    2    4    2  0.0000  2.0000  1234.5  2.0000  0.0000\n",
+                "(2F6.3, 51X, I3, 5X, I3)\n",
+                "(3I5, 62X, I3)\n",
+            ),
+            after: concat!(
+                "    1\n",
+                "COORDINATES OVERFLOW F6.3\n",
+                "    1    1    1    1\n",
+                "    1    0    0    4    2         0    0\n",
+                "    1    2\n",
+                "    0    0    4    0  0.0000  0.0000  1234.5  0.0000  0.0000\n",
+                "    0    2    4    2  0.0000  2.0000  1234.5  2.0000  0.0000\n",
+                "(F8.3, F6.3, 51X, I3, 5X, I3)\n",
+                "(3I5, 62X, I3)\n",
+            ),
+        },
+        FixCase {
+            code: LintCode::FormatFieldTooNarrowForCount,
+            kind: DeckKind::Idlz,
+            class: FixClass::Formatting,
+            before: concat!(
+                "    1\n",
+                "NODE NUMBER OVERFLOWS I2\n",
+                "    1    1    1    1\n",
+                "    1    0    0    9    9         0    0\n",
+                "    1    2\n",
+                "    0    0    9    0  0.0000  0.0000  9.0000  0.0000  0.0000\n",
+                "    0    9    9    9  0.0000  9.0000  9.0000  9.0000  0.0000\n",
+                "(2F9.5, 52X, I3, 5X, I2)\n",
+                "(3I5, 62X, I3)\n",
+            ),
+            after: concat!(
+                "    1\n",
+                "NODE NUMBER OVERFLOWS I2\n",
+                "    1    1    1    1\n",
+                "    1    0    0    9    9         0    0\n",
+                "    1    2\n",
+                "    0    0    9    0  0.0000  0.0000  9.0000  0.0000  0.0000\n",
+                "    0    9    9    9  0.0000  9.0000  9.0000  9.0000  0.0000\n",
+                "(2F9.5, 52X, I3, 5X, I3)\n",
+                "(3I5, 62X, I3)\n",
+            ),
+        },
+        FixCase {
+            code: LintCode::ContourWindowOutsideExtents,
+            kind: DeckKind::Ospl,
+            class: FixClass::Semantic,
+            before: concat!(
+                "    3    1     104.0     100.0     103.0     100.0       0.0\n",
+                "WINDOW OFF THE MESH\n",
+                "LINT CORPUS\n",
+                "  0.00000  0.00000                           5.0002\n",
+                "  4.00000  0.00000                          15.0002\n",
+                "  2.00000  3.00000                          35.0002\n",
+                "    1    2    3\n",
+            ),
+            after: concat!(
+                "    3    1    0.0000    0.0000    0.0000    0.0000       0.0\n",
+                "WINDOW OFF THE MESH\n",
+                "LINT CORPUS\n",
+                "  0.00000  0.00000                           5.0002\n",
+                "  4.00000  0.00000                          15.0002\n",
+                "  2.00000  3.00000                          35.0002\n",
+                "    1    2    3\n",
+            ),
+        },
+        FixCase {
+            code: LintCode::IntervalExceedsFieldRange,
+            kind: DeckKind::Ospl,
+            class: FixClass::Semantic,
+            before: concat!(
+                "    3    1       0.0       0.0       0.0       0.0    1000.0\n",
+                "HUGE DELTA\n",
+                "LINT CORPUS\n",
+                "  0.00000  0.00000                           5.0002\n",
+                "  4.00000  0.00000                          15.0002\n",
+                "  2.00000  3.00000                          35.0002\n",
+                "    1    2    3\n",
+            ),
+            after: concat!(
+                "    3    1       0.0       0.0       0.0       0.0    0.0000\n",
+                "HUGE DELTA\n",
+                "LINT CORPUS\n",
+                "  0.00000  0.00000                           5.0002\n",
+                "  4.00000  0.00000                          15.0002\n",
+                "  2.00000  3.00000                          35.0002\n",
+                "    1    2    3\n",
+            ),
+        },
+    ]
+}
+
+/// The fix-corpus gate's tally, consumed by `decklint --golden` and the
+/// `lint-fix` verify stage.
+#[derive(Debug, Clone, Default)]
+pub struct FixCorpusReport {
+    /// Before/after pairs exercised.
+    pub cases: usize,
+    /// Total fixes the engine applied across all pairs.
+    pub fixes_applied: usize,
+    /// Pipeline-parity comparisons run (idealize before and after).
+    pub parity_checks: usize,
+    /// Formatting-class pairs whose meshes were NOT bit-identical —
+    /// must be zero.
+    pub parity_mismatches: usize,
+    /// Pairs where the engine failed to converge — must be zero.
+    pub unconverged: usize,
+    /// Every failure, human-readable; empty means the gate passed.
+    pub problems: Vec<String>,
+}
+
+/// Runs the fix corpus: every machine-applicable code must have a pair;
+/// each pair's `before` must repair to exactly `after`; the output must
+/// re-lint with no machine-applicable fixes left and be a fixpoint
+/// (applying again changes nothing); Formatting-class IDLZ pairs must
+/// idealize to bit-identical meshes, Semantic-class IDLZ pairs must
+/// idealize cleanly after repair.
+pub fn verify_fix_corpus() -> FixCorpusReport {
+    let mut report = FixCorpusReport::default();
+    let cases = fix_cases();
+    let config = LintConfig::new();
+    for missing in LintCode::ALL
+        .iter()
+        .filter(|code| code.fixable() && !cases.iter().any(|c| c.code == **code))
+    {
+        report
+            .problems
+            .push(format!("no fix-corpus pair covers {missing}"));
+    }
+    for case in &cases {
+        let code = case.code.code();
+        report.cases += 1;
+        let outcome = match apply_fixes(case.before, case.kind, &config) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                if matches!(e, crate::fix::FixError::NoConvergence { .. }) {
+                    report.unconverged += 1;
+                }
+                report.problems.push(format!("{code}: apply_fixes failed: {e}"));
+                continue;
+            }
+        };
+        report.fixes_applied += outcome.applied.len();
+        if !outcome.applied.iter().any(|a| a.code == case.code) {
+            report.problems.push(format!(
+                "{code}: the engine never applied a {code} fix (applied: {:?})",
+                outcome.applied.iter().map(|a| a.code.code()).collect::<Vec<_>>()
+            ));
+        }
+        if outcome.text != case.after {
+            report.problems.push(format!(
+                "{code}: repaired text differs from the golden `after`:\n--- got\n{}--- want\n{}",
+                outcome.text, case.after
+            ));
+            continue;
+        }
+        if outcome
+            .report
+            .diagnostics()
+            .iter()
+            .any(Diagnostic::is_machine_fixable)
+        {
+            report.problems.push(format!(
+                "{code}: the repaired deck still carries machine-fixable diagnostics"
+            ));
+        }
+        // Idempotence: a second run is a no-op.
+        match apply_fixes(case.after, case.kind, &config) {
+            Ok(second) => {
+                if !second.applied.is_empty() || second.text != case.after {
+                    report.problems.push(format!(
+                        "{code}: the engine is not idempotent on its own output"
+                    ));
+                }
+            }
+            Err(e) => report
+                .problems
+                .push(format!("{code}: re-running on `after` failed: {e}")),
+        }
+        // Pipeline parity.
+        if case.kind == DeckKind::Idlz {
+            report.parity_checks += 1;
+            if let Err(problem) = check_idlz_parity(case) {
+                if case.class == FixClass::Formatting {
+                    report.parity_mismatches += 1;
+                }
+                report.problems.push(format!("{code}: {problem}"));
+            }
+        }
+    }
+    report
+}
+
+/// Formatting: the before/after decks idealize to bit-identical meshes.
+/// Semantic: the after deck idealizes cleanly (the before deck need
+/// not — several semantic repairs exist to make the deck runnable).
+fn check_idlz_parity(case: &FixCase) -> Result<(), String> {
+    use cafemio_cards::Deck;
+    use cafemio_idlz::Idealization;
+    let run = |text: &str| -> Result<Vec<cafemio_mesh::TriMesh>, String> {
+        let deck = Deck::from_text(text).map_err(|e| e.to_string())?;
+        let sets = Idealization::run_deck(&deck).map_err(|e| e.to_string())?;
+        Ok(sets.into_iter().map(|(_, r)| r.mesh).collect())
+    };
+    let after = run(case.after).map_err(|e| format!("repaired deck does not idealize: {e}"))?;
+    if case.class == FixClass::Formatting {
+        let before = run(case.before)
+            .map_err(|e| format!("formatting-class before deck does not idealize: {e}"))?;
+        if before != after {
+            return Err("formatting-class fix changed the idealized mesh".to_owned());
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -310,5 +823,18 @@ mod tests {
         if let Err(problems) = verify_corpus() {
             panic!("corpus failures:\n{}", problems.join("\n"));
         }
+    }
+
+    #[test]
+    fn every_fixable_code_round_trips_through_the_fix_corpus() {
+        let report = verify_fix_corpus();
+        assert!(
+            report.problems.is_empty(),
+            "fix corpus failures:\n{}",
+            report.problems.join("\n")
+        );
+        assert_eq!(report.parity_mismatches, 0);
+        assert_eq!(report.unconverged, 0);
+        assert!(report.cases >= 8);
     }
 }

@@ -1,0 +1,235 @@
+//! The cross-card reference graph behind the dataflow lints.
+//!
+//! A deck is a tiny dataflow program: Type-4 cards *define* subdivisions,
+//! Type-5 groups *reference* them, OSPL Type-3 cards define plot nodes
+//! and Type-4 element cards reference those. [`DeckGraph`] makes the
+//! def/use structure explicit so lints can ask classic dataflow
+//! questions — defined-but-unreferenced (`D005`, `O004`), referenced
+//! twice (`S006`), referenced-but-undefined (`S004`) — instead of
+//! re-deriving ad-hoc maps per check.
+
+use cafemio_idlz::deck::DataSetLayout;
+use cafemio_idlz::IdealizationSpec;
+use cafemio_mesh::TriMesh;
+
+/// What a graph entity stands for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntityKind {
+    /// A Type-4 subdivision definition (IDLZ).
+    Subdivision,
+    /// A Type-5 shape-line group, which references a subdivision (IDLZ).
+    ShapeGroup,
+    /// A Type-3 nodal card (OSPL).
+    PlotNode,
+    /// A Type-4 element card, which references three plot nodes (OSPL).
+    PlotElement,
+}
+
+/// One card-defined entity of the deck.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entity {
+    /// What the entity is.
+    pub kind: EntityKind,
+    /// Its user-visible number (subdivision id, node/element ordinal).
+    pub id: usize,
+    /// The zero-based index of its defining card, when known.
+    pub card: Option<usize>,
+}
+
+/// A directed reference: entity `from` consumes entity `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reference {
+    /// Index of the referencing entity in [`DeckGraph::entities`].
+    pub from: usize,
+    /// Index of the referenced entity.
+    pub to: usize,
+}
+
+/// The cross-card reference graph of one deck (or one IDLZ data set).
+#[derive(Debug, Clone, Default)]
+pub struct DeckGraph {
+    entities: Vec<Entity>,
+    references: Vec<Reference>,
+}
+
+impl DeckGraph {
+    /// Builds the Type-4 ↔ Type-5 graph of one IDLZ data set. Card
+    /// provenance comes from the layout; without one the graph has
+    /// subdivision definitions but no groups (programmatic specs carry
+    /// no Type-5 structure).
+    pub fn from_idlz_set(spec: &IdealizationSpec, layout: Option<&DataSetLayout>) -> DeckGraph {
+        let mut graph = DeckGraph::default();
+        for (i, sub) in spec.subdivisions().iter().enumerate() {
+            graph.entities.push(Entity {
+                kind: EntityKind::Subdivision,
+                id: sub.id(),
+                card: layout.and_then(|l| l.subdivision_cards.get(i).copied()),
+            });
+        }
+        let sub_count = graph.entities.len();
+        if let Some(layout) = layout {
+            for group in &layout.shape_groups {
+                let from = graph.entities.len();
+                graph.entities.push(Entity {
+                    kind: EntityKind::ShapeGroup,
+                    id: group.subdivision,
+                    card: Some(group.header_card),
+                });
+                // Every subdivision with the matching number is a
+                // target: the runtime keys shape lines by number, so
+                // twin-numbered subdivisions (D003) all consume the
+                // group's lines.
+                let targets: Vec<usize> = (0..sub_count)
+                    .filter(|&s| graph.entities[s].id == group.subdivision)
+                    .collect();
+                for to in targets {
+                    graph.references.push(Reference { from, to });
+                }
+            }
+        }
+        graph
+    }
+
+    /// Builds the node ↔ element graph of an OSPL deck. The parser reads
+    /// a fixed layout — control card, two titles, `NN` nodal cards,
+    /// `NE` element cards — so card indices are derived from position:
+    /// node `i` sits at card `3 + i`, element `j` at card `3 + NN + j`.
+    pub fn from_ospl_mesh(mesh: &TriMesh) -> DeckGraph {
+        let mut graph = DeckGraph::default();
+        let node_count = mesh.node_count();
+        for i in 0..node_count {
+            graph.entities.push(Entity {
+                kind: EntityKind::PlotNode,
+                id: i + 1,
+                card: Some(3 + i),
+            });
+        }
+        for (id, element) in mesh.elements() {
+            let from = graph.entities.len();
+            graph.entities.push(Entity {
+                kind: EntityKind::PlotElement,
+                id: id.index() + 1,
+                card: Some(3 + node_count + id.index()),
+            });
+            for node in element.nodes {
+                graph.references.push(Reference {
+                    from,
+                    to: node.index(),
+                });
+            }
+        }
+        graph
+    }
+
+    /// Every entity, in definition (deck) order.
+    pub fn entities(&self) -> &[Entity] {
+        &self.entities
+    }
+
+    /// Every reference, in consumer order.
+    pub fn references(&self) -> &[Reference] {
+        &self.references
+    }
+
+    /// True when at least one reference points at `entity`.
+    pub fn is_referenced(&self, entity: usize) -> bool {
+        self.references.iter().any(|r| r.to == entity)
+    }
+
+    /// Entities of one kind that nothing references — the
+    /// defined-but-dead set.
+    pub fn unreferenced(&self, kind: EntityKind) -> Vec<&Entity> {
+        self.entities
+            .iter()
+            .enumerate()
+            .filter(|(i, e)| e.kind == kind && !self.is_referenced(*i))
+            .map(|(_, e)| e)
+            .collect()
+    }
+
+    /// Groups of entities of one kind that share an id, in first-seen
+    /// order — the conflicting-redefinition set. Each group lists the
+    /// entities in deck order.
+    pub fn duplicate_definitions(&self, kind: EntityKind) -> Vec<Vec<&Entity>> {
+        let mut by_id: Vec<(usize, Vec<&Entity>)> = Vec::new();
+        for entity in self.entities.iter().filter(|e| e.kind == kind) {
+            match by_id.iter_mut().find(|(id, _)| *id == entity.id) {
+                Some((_, group)) => group.push(entity),
+                None => by_id.push((entity.id, vec![entity])),
+            }
+        }
+        by_id
+            .into_iter()
+            .filter(|(_, group)| group.len() > 1)
+            .map(|(_, group)| group)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cafemio_cards::Deck;
+    use cafemio_geom::Point;
+    use cafemio_idlz::deck::parse_deck_with_layout;
+    use cafemio_mesh::BoundaryKind;
+
+    fn two_sub_deck(second_group_target: usize) -> (Vec<IdealizationSpec>, Vec<DataSetLayout>) {
+        let text = format!(
+            concat!(
+                "    1\n",
+                "TWO BOXES\n",
+                "    1    1    1    2\n",
+                "    1    0    0    2    2         0    0\n",
+                "    2    2    0    4    2         0    0\n",
+                "    1    0\n",
+                "{:5}    0\n",
+                "(2F9.5, 51X, I3, 5X, I3)\n",
+                "(3I5, 62X, I3)\n",
+            ),
+            second_group_target
+        );
+        parse_deck_with_layout(&Deck::from_text(&text).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn idlz_graph_links_groups_to_their_subdivisions() {
+        let (specs, layouts) = two_sub_deck(2);
+        let graph = DeckGraph::from_idlz_set(&specs[0], layouts.first());
+        assert_eq!(graph.entities().len(), 4);
+        assert_eq!(graph.references().len(), 2);
+        assert!(graph.unreferenced(EntityKind::Subdivision).is_empty());
+        assert!(graph.duplicate_definitions(EntityKind::ShapeGroup).is_empty());
+    }
+
+    #[test]
+    fn idlz_graph_exposes_dead_subdivisions_and_duplicate_groups() {
+        let (specs, layouts) = two_sub_deck(1);
+        let graph = DeckGraph::from_idlz_set(&specs[0], layouts.first());
+        let dead = graph.unreferenced(EntityKind::Subdivision);
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].id, 2);
+        assert_eq!(dead[0].card, Some(4));
+        let dups = graph.duplicate_definitions(EntityKind::ShapeGroup);
+        assert_eq!(dups.len(), 1);
+        assert_eq!(dups[0].len(), 2);
+        assert_eq!(dups[0][1].card, Some(6));
+    }
+
+    #[test]
+    fn ospl_graph_exposes_unreferenced_nodes() {
+        let mut mesh = TriMesh::new();
+        let a = mesh.add_node(Point::new(0.0, 0.0), BoundaryKind::Boundary);
+        let b = mesh.add_node(Point::new(1.0, 0.0), BoundaryKind::Boundary);
+        let c = mesh.add_node(Point::new(0.0, 1.0), BoundaryKind::Boundary);
+        let _d = mesh.add_node(Point::new(9.0, 9.0), BoundaryKind::Boundary);
+        mesh.add_element([a, b, c]).unwrap();
+        let graph = DeckGraph::from_ospl_mesh(&mesh);
+        assert_eq!(graph.entities().len(), 5);
+        let dead = graph.unreferenced(EntityKind::PlotNode);
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].id, 4);
+        assert_eq!(dead[0].card, Some(6));
+        assert!(graph.unreferenced(EntityKind::PlotElement).len() == 1);
+    }
+}

@@ -59,29 +59,57 @@ pub enum LintCode {
     /// `F002`: a punch-format integer field is too narrow for the node
     /// or element numbers the deck will generate.
     FormatFieldTooNarrowForCount,
+    /// `D005`: a subdivision is defined on a Type-4 card but shaped by no
+    /// Type-5 group, so its region keeps unshaped straight edges.
+    UnshapedSubdivision,
+    /// `D006`: cards after the last parsed data set are silently ignored
+    /// by the reader.
+    TrailingCardsIgnored,
+    /// `S005`: two shape-line end points pin the same grid point to
+    /// different physical positions; the later card silently wins.
+    ConflictingPointPosition,
+    /// `S006`: two Type-5 groups name the same subdivision; their lines
+    /// are concatenated in deck order, an order-dependence hazard.
+    DuplicateShapeGroup,
     /// `O001`: the OSPL plot window excludes every node of the mesh.
     ContourWindowOutsideExtents,
     /// `O002`: the contour interval exceeds the whole field range.
     IntervalExceedsFieldRange,
+    /// `O003`: a contour was requested over a stress component the
+    /// requested analysis kind never produces (identically zero).
+    ComponentNotProduced,
+    /// `O004`: an OSPL node is defined by a Type-3 card but referenced by
+    /// no Type-4 element.
+    UnreferencedPlotNode,
 }
 
 impl LintCode {
     /// Every registered code, in registry order.
-    pub const ALL: [LintCode; 13] = [
+    pub const ALL: [LintCode; 19] = [
         LintCode::OverlappingSubdivisions,
         LintCode::DisconnectedAssemblage,
         LintCode::DuplicateSubdivisionId,
         LintCode::GridLimitProximity,
+        LintCode::UnshapedSubdivision,
+        LintCode::TrailingCardsIgnored,
         LintCode::ShapeSegmentSpanMismatch,
         LintCode::ArcSweepExceeds90,
         LintCode::DeadShapeLine,
         LintCode::ShapeLineUnknownSubdivision,
+        LintCode::ConflictingPointPosition,
+        LintCode::DuplicateShapeGroup,
         LintCode::BandwidthHostileNumbering,
         LintCode::FormatFieldTooNarrowForCoordinateRange,
         LintCode::FormatFieldTooNarrowForCount,
         LintCode::ContourWindowOutsideExtents,
         LintCode::IntervalExceedsFieldRange,
+        LintCode::ComponentNotProduced,
+        LintCode::UnreferencedPlotNode,
     ];
+
+    /// Codes derived from session state rather than deck text alone;
+    /// these cannot appear in the deck-based golden corpus.
+    pub const SESSION: [LintCode; 1] = [LintCode::ComponentNotProduced];
 
     /// The stable text code (e.g. `"D001"`).
     pub fn code(self) -> &'static str {
@@ -99,7 +127,22 @@ impl LintCode {
             LintCode::FormatFieldTooNarrowForCount => "F002",
             LintCode::ContourWindowOutsideExtents => "O001",
             LintCode::IntervalExceedsFieldRange => "O002",
+            LintCode::UnshapedSubdivision => "D005",
+            LintCode::TrailingCardsIgnored => "D006",
+            LintCode::ConflictingPointPosition => "S005",
+            LintCode::DuplicateShapeGroup => "S006",
+            LintCode::ComponentNotProduced => "O003",
+            LintCode::UnreferencedPlotNode => "O004",
         }
+    }
+
+    /// Looks a code up by its stable text code (`"D001"`) or kebab-case
+    /// name (`"overlapping-subdivisions"`), case-insensitively on the
+    /// text code.
+    pub fn parse(text: &str) -> Option<LintCode> {
+        LintCode::ALL
+            .into_iter()
+            .find(|c| c.code().eq_ignore_ascii_case(text) || c.name() == text)
     }
 
     /// The kebab-case name (e.g. `"overlapping-subdivisions"`).
@@ -120,6 +163,12 @@ impl LintCode {
             LintCode::FormatFieldTooNarrowForCount => "format-field-too-narrow-for-count",
             LintCode::ContourWindowOutsideExtents => "contour-window-outside-extents",
             LintCode::IntervalExceedsFieldRange => "interval-exceeds-field-range",
+            LintCode::UnshapedSubdivision => "unshaped-subdivision",
+            LintCode::TrailingCardsIgnored => "trailing-cards-ignored",
+            LintCode::ConflictingPointPosition => "conflicting-point-position",
+            LintCode::DuplicateShapeGroup => "duplicate-shape-group",
+            LintCode::ComponentNotProduced => "component-not-produced",
+            LintCode::UnreferencedPlotNode => "unreferenced-plot-node",
         }
     }
 
@@ -143,8 +192,31 @@ impl LintCode {
             LintCode::GridLimitProximity
             | LintCode::DeadShapeLine
             | LintCode::BandwidthHostileNumbering
-            | LintCode::IntervalExceedsFieldRange => Severity::Warn,
+            | LintCode::IntervalExceedsFieldRange
+            | LintCode::UnshapedSubdivision
+            | LintCode::TrailingCardsIgnored
+            | LintCode::ConflictingPointPosition
+            | LintCode::DuplicateShapeGroup
+            | LintCode::ComponentNotProduced
+            | LintCode::UnreferencedPlotNode => Severity::Warn,
         }
+    }
+
+    /// True when the lint pass can attach a machine-applicable [`Fix`]
+    /// for at least one shape of this finding (some codes, like `S002`,
+    /// are repairable only in specific sub-cases).
+    pub fn fixable(self) -> bool {
+        matches!(
+            self,
+            LintCode::TrailingCardsIgnored
+                | LintCode::ArcSweepExceeds90
+                | LintCode::DeadShapeLine
+                | LintCode::BandwidthHostileNumbering
+                | LintCode::FormatFieldTooNarrowForCoordinateRange
+                | LintCode::FormatFieldTooNarrowForCount
+                | LintCode::ContourWindowOutsideExtents
+                | LintCode::IntervalExceedsFieldRange
+        )
     }
 }
 
@@ -154,14 +226,19 @@ impl fmt::Display for LintCode {
     }
 }
 
-/// Where in the deck a diagnostic points: a card index and, when it can
-/// be pinned down, the one-based data-field ordinal on that card.
+/// Where in the deck a diagnostic points: a card index and, when they
+/// can be pinned down, the one-based data-field ordinal and its
+/// one-based inclusive column range on that card. Cards are one byte
+/// per column, so the column range doubles as the field's byte range
+/// within the 80-column card image.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SourceSpan {
     /// Zero-based card index in the deck (displayed one-based).
     pub card: Option<usize>,
     /// One-based data-field ordinal on the card.
     pub field: Option<usize>,
+    /// One-based inclusive column (= byte) range of the field.
+    pub columns: Option<(usize, usize)>,
 }
 
 impl SourceSpan {
@@ -175,6 +252,7 @@ impl SourceSpan {
         SourceSpan {
             card: Some(card),
             field: None,
+            columns: None,
         }
     }
 
@@ -183,17 +261,108 @@ impl SourceSpan {
         SourceSpan {
             card: Some(card),
             field: Some(field),
+            columns: None,
         }
+    }
+
+    /// The same span with the field's column range attached.
+    pub fn with_columns(mut self, from: usize, to: usize) -> SourceSpan {
+        self.columns = Some((from, to));
+        self
     }
 }
 
 impl fmt::Display for SourceSpan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match (self.card, self.field) {
-            (Some(card), Some(field)) => write!(f, "card {}, field {field}", card + 1),
-            (Some(card), None) => write!(f, "card {}", card + 1),
-            _ => f.write_str("deck"),
+            (Some(card), Some(field)) => write!(f, "card {}, field {field}", card + 1)?,
+            (Some(card), None) => write!(f, "card {}", card + 1)?,
+            _ => return f.write_str("deck"),
         }
+        if let Some((from, to)) = self.columns {
+            write!(f, " (cols {from}-{to})")?;
+        }
+        Ok(())
+    }
+}
+
+/// One card rewrite of a [`Fix`]. Card indices are zero-based into the
+/// deck the diagnostic was produced from; column ranges are one-based
+/// inclusive keypunch columns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Edit {
+    /// Replace columns `from..=to` of one card with `text`,
+    /// right-justified and blank-padded ([`cafemio_cards::Card::with_columns`]).
+    ReplaceColumns {
+        /// Zero-based card index.
+        card: usize,
+        /// One-based inclusive column range.
+        columns: (usize, usize),
+        /// Replacement text (right-justified into the span).
+        text: String,
+    },
+    /// Replace one card's whole image.
+    ReplaceCard {
+        /// Zero-based card index.
+        card: usize,
+        /// The new card image (at most 80 columns).
+        text: String,
+    },
+    /// Delete one card, shifting later cards up.
+    DeleteCard {
+        /// Zero-based card index.
+        card: usize,
+    },
+}
+
+impl Edit {
+    /// The card this edit touches.
+    pub fn card(&self) -> usize {
+        match self {
+            Edit::ReplaceColumns { card, .. }
+            | Edit::ReplaceCard { card, .. }
+            | Edit::DeleteCard { card } => *card,
+        }
+    }
+
+    /// True for card deletions (which invalidate later card indices).
+    pub fn deletes(&self) -> bool {
+        matches!(self, Edit::DeleteCard { .. })
+    }
+}
+
+/// A structured repair attached to a diagnostic: a human-readable label
+/// plus zero or more span-anchored card edits. A fix with no edits is
+/// advice only; a fix with edits is machine-applicable through
+/// [`crate::apply_fixes`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fix {
+    /// One-line description of the repair (shown as `help:` text).
+    pub label: String,
+    /// The card rewrites realizing the repair; empty for advice.
+    pub edits: Vec<Edit>,
+}
+
+impl Fix {
+    /// An advice-only fix (no machine-applicable edits).
+    pub fn advice(label: impl Into<String>) -> Fix {
+        Fix {
+            label: label.into(),
+            edits: Vec::new(),
+        }
+    }
+
+    /// A machine-applicable fix.
+    pub fn edits(label: impl Into<String>, edits: Vec<Edit>) -> Fix {
+        Fix {
+            label: label.into(),
+            edits,
+        }
+    }
+
+    /// True when the fix carries edits a machine can apply.
+    pub fn is_machine_applicable(&self) -> bool {
+        !self.edits.is_empty()
     }
 }
 
@@ -208,8 +377,17 @@ pub struct Diagnostic {
     pub span: SourceSpan,
     /// What is wrong.
     pub message: String,
-    /// How to fix it, when a concrete fix is known.
-    pub suggestion: Option<String>,
+    /// How to fix it, when a concrete repair is known.
+    pub fix: Option<Fix>,
+}
+
+impl Diagnostic {
+    /// True when the diagnostic carries a machine-applicable fix.
+    pub fn is_machine_fixable(&self) -> bool {
+        self.fix
+            .as_ref()
+            .is_some_and(Fix::is_machine_applicable)
+    }
 }
 
 impl fmt::Display for Diagnostic {
@@ -223,8 +401,8 @@ impl fmt::Display for Diagnostic {
             self.span,
             self.message
         )?;
-        if let Some(fix) = &self.suggestion {
-            write!(f, " (help: {fix})")?;
+        if let Some(fix) = &self.fix {
+            write!(f, " (help: {})", fix.label)?;
         }
         Ok(())
     }
@@ -398,11 +576,24 @@ impl LintError {
             Some(LintError { diagnostics })
         }
     }
+
+    /// How many of the denials carry a machine-applicable fix — the
+    /// number `decklint --fix` or `POST /lint` would repair.
+    pub fn machine_fixable_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.is_machine_fixable())
+            .count()
+    }
 }
 
 impl fmt::Display for LintError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{} lint denial(s)", self.diagnostics.len())?;
+        let fixable = self.machine_fixable_count();
+        if fixable > 0 {
+            write!(f, " ({fixable} machine-fixable)")?;
+        }
         if let Some(first) = self.diagnostics.first() {
             write!(f, ", first: {first}")?;
         }
@@ -424,6 +615,26 @@ mod tests {
         assert_eq!(codes.len(), LintCode::ALL.len(), "duplicate code text");
         assert_eq!(LintCode::OverlappingSubdivisions.code(), "D001");
         assert_eq!(LintCode::ContourWindowOutsideExtents.code(), "O001");
+        assert_eq!(LintCode::UnshapedSubdivision.code(), "D005");
+        assert_eq!(LintCode::ComponentNotProduced.code(), "O003");
+    }
+
+    #[test]
+    fn codes_parse_by_text_code_and_name() {
+        assert_eq!(LintCode::parse("O002"), Some(LintCode::IntervalExceedsFieldRange));
+        assert_eq!(LintCode::parse("o002"), Some(LintCode::IntervalExceedsFieldRange));
+        assert_eq!(
+            LintCode::parse("dead-shape-line"),
+            Some(LintCode::DeadShapeLine)
+        );
+        assert_eq!(LintCode::parse("Z999"), None);
+    }
+
+    #[test]
+    fn session_codes_are_registered() {
+        for code in LintCode::SESSION {
+            assert!(LintCode::ALL.contains(&code), "{code}");
+        }
     }
 
     #[test]
@@ -446,7 +657,7 @@ mod tests {
             severity: Severity::Allow,
             span: SourceSpan::none(),
             message: "suppressed".into(),
-            suggestion: None,
+            fix: None,
         });
         assert!(report.is_clean());
     }
@@ -459,14 +670,14 @@ mod tests {
             severity: Severity::Deny,
             span: SourceSpan::card(4),
             message: "overlap".into(),
-            suggestion: None,
+            fix: None,
         });
         report.push(Diagnostic {
             code: LintCode::DeadShapeLine,
             severity: Severity::Warn,
             span: SourceSpan::card_field(6, 2),
             message: "dead".into(),
-            suggestion: Some("remove it".into()),
+            fix: Some(Fix::advice("remove it")),
         });
         let perf = report.to_perf_report();
         assert_eq!(perf.counter("lint.diagnostics"), Some(2));
@@ -485,7 +696,7 @@ mod tests {
             severity: Severity::Deny,
             span: SourceSpan::card_field(5, 9),
             message: "arc subtends 180 degrees".into(),
-            suggestion: Some("split the arc".into()),
+            fix: Some(Fix::advice("split the arc")),
         };
         assert_eq!(
             d.to_string(),
@@ -496,5 +707,48 @@ mod tests {
             diagnostics: vec![d],
         };
         assert!(err.to_string().starts_with("1 lint denial(s), first: deny[S002]"));
+    }
+
+    #[test]
+    fn spans_carry_and_display_column_ranges() {
+        let span = SourceSpan::card_field(0, 7).with_columns(51, 60);
+        assert_eq!(span.columns, Some((51, 60)));
+        assert_eq!(span.to_string(), "card 1, field 7 (cols 51-60)");
+        assert_eq!(SourceSpan::card(2).to_string(), "card 3");
+    }
+
+    #[test]
+    fn machine_fixable_denials_are_counted_in_the_error() {
+        let advice = Diagnostic {
+            code: LintCode::ShapeSegmentSpanMismatch,
+            severity: Severity::Deny,
+            span: SourceSpan::card(4),
+            message: "span mismatch".into(),
+            fix: Some(Fix::advice("re-point the line")),
+        };
+        let machine = Diagnostic {
+            code: LintCode::IntervalExceedsFieldRange,
+            severity: Severity::Deny,
+            span: SourceSpan::card_field(0, 7),
+            message: "interval too wide".into(),
+            fix: Some(Fix::edits(
+                "zero DELTA for the automatic interval",
+                vec![Edit::ReplaceColumns {
+                    card: 0,
+                    columns: (51, 60),
+                    text: "0.0000".into(),
+                }],
+            )),
+        };
+        assert!(!advice.is_machine_fixable());
+        assert!(machine.is_machine_fixable());
+        let err = LintError {
+            diagnostics: vec![advice, machine],
+        };
+        assert_eq!(err.machine_fixable_count(), 1);
+        assert!(
+            err.to_string().starts_with("2 lint denial(s) (1 machine-fixable)"),
+            "{err}"
+        );
     }
 }

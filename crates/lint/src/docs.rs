@@ -1,0 +1,195 @@
+//! Renders the lint catalog as Markdown (`docs/LINTS.md`).
+//!
+//! The document is *generated from the registry* — the code table, the
+//! per-code descriptions, and the before/after examples all come from
+//! [`LintCode::ALL`] and the corpora, so `decklint --doc-check` in CI
+//! guarantees the published catalog can never drift from the
+//! implementation.
+
+use crate::corpus::{fix_cases, FixClass};
+use crate::diagnostic::LintCode;
+
+/// One-paragraph description of a code, for the generated catalog.
+/// Exhaustive on purpose: adding a code without describing it is a
+/// compile error.
+fn description(code: LintCode) -> &'static str {
+    match code {
+        LintCode::OverlappingSubdivisions => {
+            "Two Type-4 subdivisions generate the same grid-cell triangle. The idealizer \
+             rejects the deck with `OverlappingSubdivisions` — after doing all the mesh \
+             work; the lint replicates the exact criterion up front."
+        }
+        LintCode::DisconnectedAssemblage => {
+            "A subdivision shares no grid point with the rest of the assemblage, so the \
+             stiffness matrix decouples into independent blocks."
+        }
+        LintCode::DuplicateSubdivisionId => {
+            "Two Type-4 cards carry the same subdivision number. The runtime silently \
+             merges their shape-line groups, which is never what the analyst meant."
+        }
+        LintCode::GridLimitProximity => {
+            "A grid coordinate or projected node/element count uses more than 90% of an \
+             active capacity limit: the deck runs today, but the next refinement pass \
+             will not."
+        }
+        LintCode::UnshapedSubdivision => {
+            "Dataflow: a subdivision is defined but no Type-5 group references it, so its \
+             boundary keeps the straight grid shape. With the fixed-count card layout \
+             this always means some group points at the wrong subdivision."
+        }
+        LintCode::TrailingCardsIgnored => {
+            "Dataflow: the reader consumes exactly the cards the NSET/count fields \
+             describe; cards after the last data set are never read. Blank stragglers \
+             are deleted by the fix; non-blank ones usually mean NSET is too small."
+        }
+        LintCode::ShapeSegmentSpanMismatch => {
+            "A shape line's end points do not lie on a common side of the subdivision: \
+             the shaping pass cannot find the run of boundary nodes to relocate."
+        }
+        LintCode::ArcSweepExceeds90 => {
+            "An arc is geometrically impossible (chord longer than the diameter, \
+             non-finite values, negative radius) or subtends more than the 90 degrees \
+             the program supports. A negative radius is machine-fixed by negating it and \
+             swapping the end points."
+        }
+        LintCode::DeadShapeLine => {
+            "Every node this line locates is relocated by a later line of the same \
+             subdivision — the card has no effect on the final mesh and is deleted by \
+             the fix (decrementing NLINES on its Type-5 header)."
+        }
+        LintCode::ShapeLineUnknownSubdivision => {
+            "Dataflow: a Type-5 group names a subdivision no Type-4 card defines; its \
+             lines are parsed and then never consumed."
+        }
+        LintCode::ConflictingPointPosition => {
+            "Dataflow: two shape lines pin the same grid point to different physical \
+             positions. The shaping pass applies cards in deck order, so the later card \
+             silently wins — an order-dependence hazard."
+        }
+        LintCode::DuplicateShapeGroup => {
+            "Dataflow: two Type-5 groups name the same subdivision. Their lines \
+             concatenate in deck order, so which position a node ends up with depends on \
+             group order — and some other subdivision is usually left unshaped."
+        }
+        LintCode::BandwidthHostileNumbering => {
+            "Renumbering is off and the natural row-major numbering has more than twice \
+             the bandwidth of the transposed ordering: the solver will pay for the \
+             orientation. The fix turns the renumber option back on."
+        }
+        LintCode::FormatFieldTooNarrowForCoordinateRange => {
+            "A Type-7 punch field (Fw.d) is too narrow for the coordinate range the deck \
+             implies; punching would overflow the field. The fix widens exactly that \
+             field on the format card."
+        }
+        LintCode::FormatFieldTooNarrowForCount => {
+            "A Type-7 punch field (Iw) is too narrow for the node or element numbers the \
+             deck will generate. The fix widens exactly that field on the format card."
+        }
+        LintCode::ContourWindowOutsideExtents => {
+            "The Type-1 zoom window (XMX/XMN/YMX/YMN) misses every element — either off \
+             the mesh bounding box entirely, or inside it but over a hole/notch. The \
+             plot would be empty; the fix zeroes the window, which means \"plot \
+             everything\"."
+        }
+        LintCode::IntervalExceedsFieldRange => {
+            "The contour interval DELTA exceeds the whole field range, so at most one \
+             contour can appear — almost always a units mistake. The fix zeroes DELTA, \
+             selecting the automatic interval."
+        }
+        LintCode::ComponentNotProduced => {
+            "Session-level dataflow: the contour request names a stress component the \
+             session's analysis kind never produces (e.g. the circumferential component \
+             under plane stress is identically zero), so every plotted value would be an \
+             exact zero. Not derivable from the deck alone, so it has no golden deck."
+        }
+        LintCode::UnreferencedPlotNode => {
+            "Dataflow: an OSPL nodal card is defined but no element card references it. \
+             The contour tracer interpolates along element edges only, so the node is \
+             dead weight."
+        }
+    }
+}
+
+/// Renders the complete catalog, ready to be written to `docs/LINTS.md`.
+pub fn render_lints_md() -> String {
+    let mut out = String::new();
+    out.push_str(
+        "# Lint catalog\n\n\
+         <!-- GENERATED FILE: do not edit. Regenerate with `cargo run --release --bin \
+         decklint -- --doc > docs/LINTS.md`; CI runs `decklint --doc-check`. -->\n\n\
+         Every diagnostic `decklint` (and the pipeline's lint gate) can emit, generated \
+         from the registry in `cafemio-lint`. *Deny* codes reject the deck at the \
+         session's lint gate because the runtime would reject it anyway; *warn* codes \
+         flag decks that run today but are fragile. Machine-fixable codes are repaired \
+         by `decklint --fix` (see the fix corpus for the exact before/after \
+         behavior); the others carry advice only.\n\n",
+    );
+    out.push_str("| Code | Name | Default | Machine-fixable |\n");
+    out.push_str("|------|------|---------|------------------|\n");
+    for code in LintCode::ALL {
+        out.push_str(&format!(
+            "| {} | `{}` | {} | {} |\n",
+            code.code(),
+            code.name(),
+            code.default_severity(),
+            if code.fixable() { "yes" } else { "no" },
+        ));
+    }
+    out.push('\n');
+    let pairs = fix_cases();
+    for code in LintCode::ALL {
+        out.push_str(&format!("## {} (`{}`)\n\n", code.code(), code.name()));
+        out.push_str(&format!(
+            "*Default severity: {}.*{}\n\n",
+            code.default_severity(),
+            if LintCode::SESSION.contains(&code) {
+                " *Session-level: derived from session state, not deck text.*"
+            } else {
+                ""
+            }
+        ));
+        out.push_str(description(code));
+        out.push_str("\n\n");
+        if let Some(pair) = pairs.iter().find(|p| p.code == code) {
+            let class = match pair.class {
+                FixClass::Formatting => {
+                    "formatting-class: the repaired deck idealizes to a bit-identical mesh"
+                }
+                FixClass::Semantic => {
+                    "semantic-class: the repair changes exactly the documented artifact"
+                }
+            };
+            out.push_str(&format!("Machine fix ({class}). Before:\n\n```text\n"));
+            out.push_str(pair.before);
+            out.push_str("```\n\nAfter `decklint --fix`:\n\n```text\n");
+            out.push_str(pair.after);
+            out.push_str("```\n\n");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_catalog_names_every_code_once() {
+        let md = render_lints_md();
+        for code in LintCode::ALL {
+            assert!(
+                md.contains(&format!("## {} (`{}`)", code.code(), code.name())),
+                "catalog is missing {}",
+                code.code()
+            );
+        }
+        assert!(md.contains("GENERATED FILE"));
+    }
+
+    #[test]
+    fn every_fixable_code_documents_a_before_after_pair() {
+        let md = render_lints_md();
+        let fixable = LintCode::ALL.iter().filter(|c| c.fixable()).count();
+        assert_eq!(md.matches("Machine fix (").count(), fixable);
+    }
+}

@@ -1,0 +1,321 @@
+//! The auto-fix engine: applies machine-applicable [`Fix`]es to deck
+//! text until the deck stops producing fixable diagnostics.
+//!
+//! The engine is a classic fixpoint loop with two guarantees:
+//!
+//! - **Convergence**: at most [`MAX_PASSES`] re-lint rounds; a deck whose
+//!   fixes keep producing new fixable diagnostics past that bound is an
+//!   engine bug and reported as [`FixError::NoConvergence`] instead of
+//!   looping.
+//! - **Idempotence**: the returned text re-lints with zero
+//!   machine-applicable fixes, so running the engine on its own output
+//!   applies nothing.
+//!
+//! Within one pass, fixes apply in diagnostic order under a conflict
+//! policy: card-replacing fixes claim disjoint card sets, and at most
+//! one card-*deleting* fix runs per pass (applied last, deletions in
+//! descending card order) because deletions shift every later card
+//! index. Conflicting or inapplicable fixes simply wait for the next
+//! pass, where the re-lint re-derives their spans.
+
+use std::collections::BTreeSet;
+
+use cafemio_cards::{Card, Deck};
+
+use crate::corpus::DeckKind;
+use crate::diagnostic::{Diagnostic, Edit, Fix, LintCode, LintConfig, LintReport};
+use crate::idlz_lints::lint_deck_text;
+use crate::ospl_lints::lint_ospl_deck_text;
+
+/// Upper bound on re-lint rounds before the engine declares divergence.
+/// Every shipped fix removes its own diagnostic in one round, so real
+/// decks converge in one or two passes; the bound exists to turn an
+/// engine bug into an error instead of a loop.
+pub const MAX_PASSES: usize = 8;
+
+/// One fix the engine applied.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppliedFix {
+    /// The code of the diagnostic the fix repaired.
+    pub code: LintCode,
+    /// The fix's human-readable label.
+    pub label: String,
+    /// The 1-based pass in which it applied.
+    pub pass: usize,
+}
+
+/// The engine's result: repaired text plus an audit trail.
+#[derive(Debug, Clone)]
+pub struct FixOutcome {
+    /// The repaired deck text (the input verbatim when nothing applied).
+    pub text: String,
+    /// Every fix applied, in application order.
+    pub applied: Vec<AppliedFix>,
+    /// Number of apply-and-re-lint passes that changed the deck.
+    pub passes: usize,
+    /// The lint report of the final text — what remains after repair
+    /// (advice-only diagnostics, or fixable ones whose edits could not
+    /// apply).
+    pub report: LintReport,
+}
+
+/// Why the engine could not produce a repaired deck.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FixError {
+    /// The deck text (input or an intermediate) failed to parse; the
+    /// message carries the front end's own card-anchored error.
+    Parse(String),
+    /// The fixpoint did not converge within [`MAX_PASSES`] passes.
+    NoConvergence {
+        /// Passes run before giving up.
+        passes: usize,
+    },
+}
+
+impl std::fmt::Display for FixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FixError::Parse(message) => write!(f, "deck does not parse: {message}"),
+            FixError::NoConvergence { passes } => write!(
+                f,
+                "fixes did not converge after {passes} passes; the deck keeps producing \
+                 machine-applicable diagnostics"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FixError {}
+
+/// Applies every machine-applicable fix to `text`, re-linting between
+/// passes until the deck produces no more fixable diagnostics.
+///
+/// # Errors
+///
+/// [`FixError::Parse`] when the text does not parse (before or after a
+/// pass — a fix that breaks parsing is an engine bug surfaced, not
+/// swallowed); [`FixError::NoConvergence`] when [`MAX_PASSES`] rounds do
+/// not reach the fixpoint.
+pub fn apply_fixes(
+    text: &str,
+    kind: DeckKind,
+    config: &LintConfig,
+) -> Result<FixOutcome, FixError> {
+    let mut text = text.to_owned();
+    let mut applied: Vec<AppliedFix> = Vec::new();
+    let mut passes = 0usize;
+    loop {
+        let report = relint(&text, kind, config)?;
+        if !report.diagnostics().iter().any(Diagnostic::is_machine_fixable) {
+            return Ok(FixOutcome {
+                text,
+                applied,
+                passes,
+                report,
+            });
+        }
+        if passes == MAX_PASSES {
+            return Err(FixError::NoConvergence { passes });
+        }
+        let pass_applied = match apply_one_pass(&mut text, &report, passes + 1) {
+            Ok(pass_applied) => pass_applied,
+            Err(message) => return Err(FixError::Parse(message)),
+        };
+        if pass_applied.is_empty() {
+            // Fixable diagnostics remain but none of their edits can
+            // actually apply (stale spans, overflow): stop — rerunning
+            // would hit the same wall, so this is already the fixpoint.
+            return Ok(FixOutcome {
+                text,
+                applied,
+                passes,
+                report,
+            });
+        }
+        applied.extend(pass_applied);
+        passes += 1;
+    }
+}
+
+fn relint(text: &str, kind: DeckKind, config: &LintConfig) -> Result<LintReport, FixError> {
+    match kind {
+        DeckKind::Idlz => lint_deck_text(text, config).map_err(|e| FixError::Parse(e.to_string())),
+        DeckKind::Ospl => {
+            lint_ospl_deck_text(text, config).map_err(|e| FixError::Parse(e.to_string()))
+        }
+    }
+}
+
+/// One pass: select non-conflicting fixes, apply their card
+/// replacements, then the (single) deleting fix's deletions. Returns
+/// the fixes applied; `text` is rewritten in place.
+fn apply_one_pass(
+    text: &mut String,
+    report: &LintReport,
+    pass: usize,
+) -> Result<Vec<AppliedFix>, String> {
+    let mut deck = Deck::from_text(text).map_err(|e| e.to_string())?;
+    let mut claimed: BTreeSet<usize> = BTreeSet::new();
+    let mut selected: Vec<(&Diagnostic, &Fix)> = Vec::new();
+    let mut deleting: Option<(&Diagnostic, &Fix)> = None;
+
+    // Replacement-only fixes first, each claiming its cards.
+    for d in report.diagnostics() {
+        let Some(fix) = &d.fix else { continue };
+        if !fix.is_machine_applicable() || fix.edits.iter().any(Edit::deletes) {
+            continue;
+        }
+        let cards: BTreeSet<usize> = fix.edits.iter().map(Edit::card).collect();
+        if cards.iter().all(|c| !claimed.contains(c) && *c < deck.len()) {
+            claimed.extend(cards);
+            selected.push((d, fix));
+        }
+    }
+    // Then at most one deleting fix (deletions shift later indices, so
+    // two in one pass could delete the wrong cards).
+    for d in report.diagnostics() {
+        let Some(fix) = &d.fix else { continue };
+        if !fix.is_machine_applicable() || !fix.edits.iter().any(Edit::deletes) {
+            continue;
+        }
+        let cards: BTreeSet<usize> = fix.edits.iter().map(Edit::card).collect();
+        if cards.iter().all(|c| !claimed.contains(c) && *c < deck.len()) {
+            claimed.extend(cards);
+            deleting = Some((d, fix));
+            break;
+        }
+    }
+
+    let mut applied = Vec::new();
+    for (d, fix) in &selected {
+        if apply_replacements(&mut deck, &fix.edits).is_ok() {
+            applied.push(AppliedFix {
+                code: d.code,
+                label: fix.label.clone(),
+                pass,
+            });
+        }
+    }
+    if let Some((d, fix)) = deleting {
+        // The deleting fix is atomic too: deletions only run when its
+        // replacement edits succeeded.
+        if apply_replacements(&mut deck, &fix.edits).is_ok() {
+            let mut cards: Vec<usize> = fix
+                .edits
+                .iter()
+                .filter(|e| e.deletes())
+                .map(Edit::card)
+                .collect();
+            cards.sort_unstable();
+            cards.dedup();
+            for &card in cards.iter().rev() {
+                if card < deck.len() {
+                    deck.remove_card(card);
+                }
+            }
+            applied.push(AppliedFix {
+                code: d.code,
+                label: fix.label.clone(),
+                pass,
+            });
+        }
+    }
+    if !applied.is_empty() {
+        *text = deck.to_text();
+    }
+    Ok(applied)
+}
+
+/// Applies the non-deleting edits of one fix. Any failure (bad column
+/// range, text overflow, malformed card image) abandons the whole fix —
+/// a half-applied fix would be worse than none.
+fn apply_replacements(deck: &mut Deck, edits: &[Edit]) -> Result<(), String> {
+    // Dry-run against a clone so failure leaves the deck untouched.
+    let mut staged = deck.clone();
+    for edit in edits {
+        match edit {
+            Edit::ReplaceColumns {
+                card,
+                columns: (from, to),
+                text,
+            } => {
+                if *card >= staged.len() || *from < 1 || from > to || *to > 80 {
+                    return Err(format!("edit out of range: card {card} cols {from}-{to}"));
+                }
+                let rewritten = staged
+                    .card(*card)
+                    .with_columns(*from, *to, text)
+                    .map_err(|e| e.to_string())?;
+                staged.replace_card(*card, rewritten);
+            }
+            Edit::ReplaceCard { card, text } => {
+                if *card >= staged.len() {
+                    return Err(format!("edit out of range: card {card}"));
+                }
+                let rewritten = Card::new(text).map_err(|e| e.to_string())?;
+                staged.replace_card(*card, rewritten);
+            }
+            Edit::DeleteCard { .. } => {}
+        }
+    }
+    *deck = staged;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The N001 golden deck: renumber off, wide flat model. Its fix
+    /// flips the renumber flag in place — a one-pass, one-card repair.
+    const BANDWIDTH_DECK: &str = concat!(
+        "    1\n",
+        "WIDE FLAT NO RENUMBER\n",
+        "    1    0    1    1\n",
+        "    1    0    0   30    1         0    0\n",
+        "    1    0\n",
+        "(2F9.5, 51X, I3, 5X, I3)\n",
+        "(3I5, 62X, I3)\n",
+    );
+
+    #[test]
+    fn fixes_apply_and_the_output_relints_clean() {
+        let outcome = apply_fixes(BANDWIDTH_DECK, DeckKind::Idlz, &LintConfig::new()).unwrap();
+        assert_eq!(outcome.applied.len(), 1);
+        assert_eq!(outcome.applied[0].code, LintCode::BandwidthHostileNumbering);
+        assert_eq!(outcome.passes, 1);
+        assert!(outcome.report.is_clean(), "{:?}", outcome.report.diagnostics());
+        assert!(outcome.text.contains("    1    1    1    1"));
+    }
+
+    #[test]
+    fn the_engine_is_idempotent() {
+        let once = apply_fixes(BANDWIDTH_DECK, DeckKind::Idlz, &LintConfig::new()).unwrap();
+        let twice = apply_fixes(&once.text, DeckKind::Idlz, &LintConfig::new()).unwrap();
+        assert!(twice.applied.is_empty());
+        assert_eq!(twice.passes, 0);
+        assert_eq!(twice.text, once.text);
+    }
+
+    #[test]
+    fn a_clean_deck_passes_through_verbatim() {
+        let deck = concat!(
+            "    1\n",
+            "CLEAN\n",
+            "    1    1    1    1\n",
+            "    1    0    0    4    2         0    0\n",
+            "    1    0\n",
+            "(2F9.5, 51X, I3, 5X, I3)\n",
+            "(3I5, 62X, I3)\n",
+        );
+        let outcome = apply_fixes(deck, DeckKind::Idlz, &LintConfig::new()).unwrap();
+        assert!(outcome.applied.is_empty());
+        assert_eq!(outcome.text, deck);
+    }
+
+    #[test]
+    fn unparseable_text_reports_a_parse_error() {
+        let err = apply_fixes("not a deck", DeckKind::Idlz, &LintConfig::new()).unwrap_err();
+        assert!(matches!(err, FixError::Parse(_)));
+    }
+}

@@ -14,7 +14,8 @@ use cafemio_cards::{Deck, EditDescriptor, Format};
 use cafemio_idlz::deck::{parse_deck_with_layout, DataSetLayout};
 use cafemio_idlz::{GridPoint, IdealizationSpec, IdlzError, ShapeLine, Side, Subdivision};
 
-use crate::diagnostic::{Diagnostic, LintCode, LintConfig, LintReport, SourceSpan};
+use crate::dataflow::{DeckGraph, EntityKind};
+use crate::diagnostic::{Diagnostic, Edit, Fix, LintCode, LintConfig, LintReport, SourceSpan};
 
 /// Lints IDLZ deck text: parses (with card provenance) and analyzes.
 ///
@@ -35,7 +36,67 @@ pub fn lint_deck_text(text: &str, config: &LintConfig) -> Result<LintReport, Idl
 /// [`IdlzError`] when parsing fails.
 pub fn lint_idlz_deck(deck: &Deck, config: &LintConfig) -> Result<LintReport, IdlzError> {
     let (specs, layouts) = parse_deck_with_layout(deck)?;
-    Ok(lint_idlz(&specs, &layouts, config))
+    Ok(lint_idlz_with_deck(deck, &specs, &layouts, config))
+}
+
+/// Lints already-parsed specs together with the deck they came from —
+/// the deck enables the checks that see past the parsed region (`D006`
+/// trailing cards).
+pub fn lint_idlz_with_deck(
+    deck: &Deck,
+    specs: &[IdealizationSpec],
+    layouts: &[DataSetLayout],
+    config: &LintConfig,
+) -> LintReport {
+    let mut report = lint_idlz(specs, layouts, config);
+    check_trailing_cards(deck, layouts, config, &mut report);
+    report
+}
+
+/// D006: the reader consumes exactly the cards the NSET/count fields
+/// describe; anything after the last data set is silently ignored — a
+/// dataflow hazard (the trailing cards are never consumed). When every
+/// ignored card is blank the fix deletes them.
+fn check_trailing_cards(
+    deck: &Deck,
+    layouts: &[DataSetLayout],
+    config: &LintConfig,
+    report: &mut LintReport,
+) {
+    if deck.is_empty() {
+        return;
+    }
+    let consumed = layouts
+        .last()
+        .map(|l| l.element_format_card + 1)
+        .unwrap_or(1);
+    if consumed >= deck.len() {
+        return;
+    }
+    let trailing = deck.len() - consumed;
+    let all_blank = (consumed..deck.len()).all(|i| deck.card(i).is_blank());
+    let fix = if all_blank {
+        Some(Fix::edits(
+            format!("delete the {trailing} blank trailing card(s)"),
+            (consumed..deck.len())
+                .rev()
+                .map(|card| Edit::DeleteCard { card })
+                .collect(),
+        ))
+    } else {
+        Some(Fix::advice(
+            "remove the unread cards, or raise NSET so they are read",
+        ))
+    };
+    report.push(Diagnostic {
+        code: LintCode::TrailingCardsIgnored,
+        severity: config.severity(LintCode::TrailingCardsIgnored),
+        span: SourceSpan::card(consumed),
+        message: format!(
+            "{trailing} card(s) after the last data set are never read by the deck reader"
+        ),
+        fix,
+    });
 }
 
 /// Lints specs with their card layouts (parallel slices; a missing layout
@@ -76,6 +137,8 @@ impl SetContext<'_> {
         self.check_overlap(report);
         self.check_connectivity(report);
         self.check_limit_proximity(report);
+        self.check_dataflow(report);
+        self.check_point_conflicts(report);
         self.check_shape_lines(report);
         self.check_numbering(report);
         self.check_formats(report);
@@ -87,14 +150,14 @@ impl SetContext<'_> {
         code: LintCode,
         span: SourceSpan,
         message: String,
-        suggestion: Option<String>,
+        fix: Option<Fix>,
     ) {
         report.push(Diagnostic {
             code,
             severity: self.config.severity(code),
             span,
             message,
-            suggestion,
+            fix,
         });
     }
 
@@ -112,6 +175,7 @@ impl SetContext<'_> {
             Some(l) => SourceSpan {
                 card: Some(l.options_card),
                 field,
+                columns: None,
             },
             None => SourceSpan::none(),
         }
@@ -133,7 +197,11 @@ impl SetContext<'_> {
 
     fn line_span(&self, sub_id: usize, ordinal: usize, field: Option<usize>) -> SourceSpan {
         match self.line_cards(sub_id).get(ordinal) {
-            Some(&card) => SourceSpan { card: Some(card), field },
+            Some(&card) => SourceSpan {
+                card: Some(card),
+                field,
+                columns: None,
+            },
             None => SourceSpan::none(),
         }
     }
@@ -154,7 +222,7 @@ impl SetContext<'_> {
                         sub.id(),
                         first + 1
                     ),
-                    Some("give every Type-4 card a distinct subdivision number".into()),
+                    Some(Fix::advice("give every Type-4 card a distinct subdivision number")),
                 );
             } else {
                 seen.insert(sub.id(), i);
@@ -185,11 +253,10 @@ impl SetContext<'_> {
                                      subdivision {other}",
                                     sub.id()
                                 ),
-                                Some(
+                                Some(Fix::advice(
                                     "shift the subdivision so it abuts its neighbor instead of \
-                                     covering it"
-                                        .into(),
-                                ),
+                                     covering it",
+                                    )),
                             );
                         }
                     }
@@ -245,11 +312,10 @@ impl SetContext<'_> {
                         "subdivision {} shares no grid points with the rest of the assemblage",
                         sub.id()
                     ),
-                    Some(
+                    Some(Fix::advice(
                         "connect it to a neighbor through a shared side (same integer \
-                         coordinates on both Type-4 cards)"
-                            .into(),
-                    ),
+                         coordinates on both Type-4 cards)",
+                        )),
                 );
             }
         }
@@ -279,7 +345,7 @@ impl SetContext<'_> {
                         "horizontal grid coordinate {k2} uses more than 90% of the limit {}",
                         limits.max_grid_x
                     ),
-                    Some("coarsen the grid or raise the limits".into()),
+                    Some(Fix::advice("coarsen the grid or raise the limits")),
                 );
             }
             if l2 > 0 && near(l2 as u128, limits.max_grid_y as u128) {
@@ -291,7 +357,7 @@ impl SetContext<'_> {
                         "vertical grid coordinate {l2} uses more than 90% of the limit {}",
                         limits.max_grid_y
                     ),
-                    Some("coarsen the grid or raise the limits".into()),
+                    Some(Fix::advice("coarsen the grid or raise the limits")),
                 );
             }
         }
@@ -305,7 +371,7 @@ impl SetContext<'_> {
                     "the deck will generate {nodes} nodes, more than 90% of the limit {}",
                     limits.max_nodes
                 ),
-                Some("coarsen the grid or raise the limits".into()),
+                Some(Fix::advice("coarsen the grid or raise the limits")),
             );
         }
         if near(elements as u128, limits.max_elements as u128) {
@@ -317,7 +383,7 @@ impl SetContext<'_> {
                     "the deck will generate {elements} elements, more than 90% of the limit {}",
                     limits.max_elements
                 ),
-                Some("coarsen the grid or raise the limits".into()),
+                Some(Fix::advice("coarsen the grid or raise the limits")),
             );
         }
     }
@@ -351,7 +417,7 @@ impl SetContext<'_> {
                              defines it",
                             group.subdivision
                         ),
-                        Some("match the Type-5 card's subdivision number to a Type-4 card".into()),
+                        Some(Fix::advice("match the Type-5 card's subdivision number to a Type-4 card")),
                     );
                 }
             }
@@ -366,7 +432,7 @@ impl SetContext<'_> {
                             "shape lines reference subdivision {sub_id}, but no subdivision \
                              has that number"
                         ),
-                        Some("match the shape-line group to a defined subdivision".into()),
+                        Some(Fix::advice("match the shape-line group to a defined subdivision")),
                     );
                 }
             }
@@ -396,11 +462,10 @@ impl SetContext<'_> {
                              subdivision {sub_id}",
                             line.from, line.to
                         ),
-                        Some(
+                        Some(Fix::advice(
                             "run each shape line along exactly one side; split runs that \
-                             turn a corner into one line per side"
-                                .into(),
-                        ),
+                             turn a corner into one line per side",
+                            )),
                     ),
                     Some(run) if run.len() > 1 => {
                         self.check_arc(report, *sub_id, ordinal, line);
@@ -417,6 +482,9 @@ impl SetContext<'_> {
                     shadow.extend(run_j.iter().copied());
                 }
                 if !run_i.is_empty() && run_i.iter().all(|p| shadow.contains(p)) {
+                    let fix = self.dead_line_fix(*sub_id, i).unwrap_or_else(|| {
+                        Fix::advice("remove the line, or reorder it after the lines that shadow it")
+                    });
                     self.emit(
                         report,
                         LintCode::DeadShapeLine,
@@ -425,7 +493,7 @@ impl SetContext<'_> {
                             "every node this line locates is overwritten by a later shape \
                              line of subdivision {sub_id}"
                         ),
-                        Some("remove the line, or reorder it after the lines that shadow it".into()),
+                        Some(fix),
                     );
                 }
             }
@@ -450,17 +518,20 @@ impl SetContext<'_> {
                 LintCode::ArcSweepExceeds90,
                 span,
                 "arc geometry is not finite".into(),
-                Some("replace the NaN/infinite field with a real coordinate or radius".into()),
+                Some(Fix::advice("replace the NaN/infinite field with a real coordinate or radius")),
             );
             return;
         }
         if r < 0.0 {
+            let fix = self.arc_flip_fix(sub_id, ordinal, line).unwrap_or_else(|| {
+                Fix::advice("negate the radius and swap the end points to flip the arc")
+            });
             self.emit(
                 report,
                 LintCode::ArcSweepExceeds90,
                 span,
                 format!("radius {r} is negative; arcs require a positive radius"),
-                Some("negate the radius and swap the end points to flip the arc".into()),
+                Some(fix),
             );
             return;
         }
@@ -475,7 +546,10 @@ impl SetContext<'_> {
                      {r:.4} connects the end points",
                     2.0 * r
                 ),
-                Some(format!("use a radius of at least {:.4}", chord / 2.0)),
+                Some(Fix::advice(format!(
+                    "use a radius of at least {:.4}",
+                    chord / 2.0
+                ))),
             );
         } else if chord > r * std::f64::consts::SQRT_2 * (1.0 + 1e-9) {
             let sweep = 2.0 * (chord / (2.0 * r)).min(1.0).asin().to_degrees();
@@ -484,7 +558,7 @@ impl SetContext<'_> {
                 LintCode::ArcSweepExceeds90,
                 span,
                 format!("arc subtends {sweep:.1} degrees, more than the 90 allowed"),
-                Some("split the arc into quarter-turn (or smaller) pieces".into()),
+                Some(Fix::advice("split the arc into quarter-turn (or smaller) pieces")),
             );
         }
     }
@@ -524,6 +598,21 @@ impl SetContext<'_> {
         let row_major = bandwidth(|&(k, l)| (l, k));
         let col_major = bandwidth(|&(k, l)| (k, l));
         if row_major > 2 * col_major && row_major > 8 {
+            // Field 2 of the (4I5) options card occupies columns 6-10.
+            let fix = match self.layout {
+                Some(l) => Fix::edits(
+                    "turn the renumber option back on (Type-3 card, field 2)",
+                    vec![Edit::ReplaceColumns {
+                        card: l.options_card,
+                        columns: (6, 10),
+                        text: "1".into(),
+                    }],
+                ),
+                None => Fix::advice(
+                    "turn the renumber option back on (Type-3 card, field 2), or rotate \
+                     the model so its long direction runs vertically",
+                ),
+            };
             self.emit(
                 report,
                 LintCode::BandwidthHostileNumbering,
@@ -532,11 +621,7 @@ impl SetContext<'_> {
                     "renumbering is off and the natural numbering has bandwidth \
                      {row_major}, though the transposed ordering achieves {col_major}"
                 ),
-                Some(
-                    "turn the renumber option back on (Type-3 card, field 2), or rotate \
-                     the model so its long direction runs vertically"
-                        .into(),
-                ),
+                Some(fix),
             );
         }
     }
@@ -550,6 +635,7 @@ impl SetContext<'_> {
             Some(l) => SourceSpan {
                 card: Some(l.nodal_format_card),
                 field,
+                columns: None,
             },
             None => SourceSpan::none(),
         };
@@ -557,6 +643,7 @@ impl SetContext<'_> {
             Some(l) => SourceSpan {
                 card: Some(l.element_format_card),
                 field,
+                columns: None,
             },
             None => SourceSpan::none(),
         };
@@ -569,15 +656,26 @@ impl SetContext<'_> {
                 .collect();
             // Appendix-B nodal cards punch [x, y, boundary flag, node
             // number]: the first two data fields carry coordinates.
+            let nodal_card = self.layout.map(|l| l.nodal_format_card);
             let (xs, ys) = self.coordinate_extremes();
             for (ordinal, extremes) in [(1usize, xs), (2, ys)] {
                 let Some(EditDescriptor::Fixed { width, decimals }) = data.get(ordinal - 1) else {
                     continue;
                 };
-                for value in extremes {
-                    let required = fixed_width_required(value, *decimals);
+                let worst = extremes
+                    .iter()
+                    .map(|&v| (fixed_width_required(v, *decimals), v))
+                    .max_by_key(|&(required, _)| required);
+                if let Some((required, value)) = worst {
                     if required > *width {
                         let axis = if ordinal == 1 { "x" } else { "y" };
+                        let fix = self.widen_format_fix(
+                            nodal_card,
+                            &format,
+                            ordinal,
+                            required,
+                            format!("widen the field to F{required}.{decimals}"),
+                        );
                         self.emit(
                             report,
                             LintCode::FormatFieldTooNarrowForCoordinateRange,
@@ -586,9 +684,8 @@ impl SetContext<'_> {
                                 "{axis} coordinates reach {value}: F{width}.{decimals} \
                                  overflows (needs at least {required} columns)"
                             ),
-                            Some(format!("widen the field to F{required}.{decimals}")),
+                            Some(fix),
                         );
-                        break;
                     }
                 }
             }
@@ -596,6 +693,13 @@ impl SetContext<'_> {
             if let Some(EditDescriptor::Int { width }) = data.last() {
                 let digits = decimal_digits(nodes);
                 if digits > *width && nodes > 0 {
+                    let fix = self.widen_format_fix(
+                        nodal_card,
+                        &format,
+                        data.len(),
+                        digits,
+                        format!("widen the node-number field to I{digits}"),
+                    );
                     self.emit(
                         report,
                         LintCode::FormatFieldTooNarrowForCount,
@@ -605,7 +709,7 @@ impl SetContext<'_> {
                              I{width} holds at most {} ",
                             max_for_digits(*width)
                         ),
-                        Some(format!("widen the node-number field to I{digits}")),
+                        Some(fix),
                     );
                 }
             }
@@ -618,10 +722,18 @@ impl SetContext<'_> {
                 .filter(EditDescriptor::is_data)
                 .collect();
             // Element cards punch [n1, n2, n3, element number].
+            let element_card = self.layout.map(|l| l.element_format_card);
             let node_digits = decimal_digits(nodes);
             for (ordinal, descriptor) in data.iter().enumerate().take(3) {
                 if let EditDescriptor::Int { width } = descriptor {
                     if node_digits > *width && nodes > 0 {
+                        let fix = self.widen_format_fix(
+                            element_card,
+                            &format,
+                            ordinal + 1,
+                            node_digits,
+                            format!("widen the field to I{node_digits}"),
+                        );
                         self.emit(
                             report,
                             LintCode::FormatFieldTooNarrowForCount,
@@ -631,7 +743,7 @@ impl SetContext<'_> {
                                  {} is I{width}",
                                 ordinal + 1
                             ),
-                            Some(format!("widen the field to I{node_digits}")),
+                            Some(fix),
                         );
                         break;
                     }
@@ -641,6 +753,13 @@ impl SetContext<'_> {
                 if let Some(EditDescriptor::Int { width }) = data.last() {
                     let digits = decimal_digits(elements);
                     if digits > *width && elements > 0 {
+                        let fix = self.widen_format_fix(
+                            element_card,
+                            &format,
+                            data.len(),
+                            digits,
+                            format!("widen the element-number field to I{digits}"),
+                        );
                         self.emit(
                             report,
                             LintCode::FormatFieldTooNarrowForCount,
@@ -649,7 +768,7 @@ impl SetContext<'_> {
                                 "the deck will number {elements} elements but the \
                                  element-number field is I{width}"
                             ),
-                            Some(format!("widen the element-number field to I{digits}")),
+                            Some(fix),
                         );
                     }
                 }
@@ -688,6 +807,225 @@ impl SetContext<'_> {
         };
         (extremes(&xs), extremes(&ys))
     }
+
+    /// D005/S006: dataflow over the Type-4 ↔ Type-5 reference graph —
+    /// a subdivision defined but never shaped by any group, and a
+    /// subdivision named by two groups. Both need card provenance (a
+    /// programmatic spec carries no Type-5 structure), so they are
+    /// layout-gated.
+    fn check_dataflow(&self, report: &mut LintReport) {
+        if self.layout.is_none() {
+            return;
+        }
+        let graph = DeckGraph::from_idlz_set(self.spec, self.layout);
+        for dead in graph.unreferenced(EntityKind::Subdivision) {
+            self.emit(
+                report,
+                LintCode::UnshapedSubdivision,
+                dead.card.map(SourceSpan::card).unwrap_or_default(),
+                format!(
+                    "subdivision {} is defined but no Type-5 group references it, so its \
+                     boundary keeps the straight grid shape",
+                    dead.id
+                ),
+                Some(Fix::advice(
+                    "add a Type-5 header for it (NLINES may be zero), or re-point the \
+                     group that should have named it",
+                )),
+            );
+        }
+        for twins in graph.duplicate_definitions(EntityKind::ShapeGroup) {
+            // invariant: duplicate_definitions only yields groups of >= 2.
+            let first = twins[0];
+            for later in &twins[1..] {
+                let span = later
+                    .card
+                    .map(|c| SourceSpan::card_field(c, 1))
+                    .unwrap_or_default();
+                self.emit(
+                    report,
+                    LintCode::DuplicateShapeGroup,
+                    span,
+                    format!(
+                        "a second Type-5 group names subdivision {}; its lines silently \
+                         append after the group at card {} — whether a node keeps its \
+                         position now depends on group order",
+                        later.id,
+                        first.card.map(|c| c + 1).unwrap_or(0),
+                    ),
+                    Some(Fix::advice(
+                        "merge the two groups into one, or re-point one of them at the \
+                         subdivision it was meant for",
+                    )),
+                );
+            }
+        }
+    }
+
+    /// S005: two shape-line end points pin the same grid point to
+    /// different physical positions. The shaping pass applies lines in
+    /// deck order, so the later card silently wins — a conflicting
+    /// redefinition the analyst almost never intended.
+    fn check_point_conflicts(&self, report: &mut LintReport) {
+        // First pin wins the map; scale tracks coordinate magnitude so
+        // the tolerance is relative for large models, absolute near zero.
+        let mut pins: BTreeMap<GridPoint, (f64, f64, usize, usize)> = BTreeMap::new();
+        let mut reported: BTreeSet<GridPoint> = BTreeSet::new();
+        let mut scale = 1.0f64;
+        for lines in self.spec.shape_lines().values() {
+            for line in lines {
+                for p in [line.start, line.end] {
+                    if p.x.is_finite() && p.y.is_finite() {
+                        scale = scale.max(p.x.abs()).max(p.y.abs());
+                    }
+                }
+            }
+        }
+        let tolerance = 1e-9 * scale;
+        for (sub_id, lines) in self.spec.shape_lines() {
+            for (ordinal, line) in lines.iter().enumerate() {
+                for (grid, pos) in [(line.from, line.start), (line.to, line.end)] {
+                    if !pos.x.is_finite() || !pos.y.is_finite() {
+                        continue;
+                    }
+                    match pins.get(&grid) {
+                        Some(&(x, y, first_sub, first_ord)) => {
+                            let conflict = (pos.x - x).abs() > tolerance
+                                || (pos.y - y).abs() > tolerance;
+                            if conflict && reported.insert(grid) {
+                                let first_card = self
+                                    .line_cards(first_sub)
+                                    .get(first_ord)
+                                    .map(|&c| format!("card {}", c + 1))
+                                    .unwrap_or_else(|| "an earlier line".to_owned());
+                                self.emit(
+                                    report,
+                                    LintCode::ConflictingPointPosition,
+                                    self.line_span(*sub_id, ordinal, None),
+                                    format!(
+                                        "grid point {grid:?} is pinned to ({pos_x}, {pos_y}) \
+                                         here but to ({x}, {y}) by {first_card}; the shaping \
+                                         pass lets the later card win",
+                                        pos_x = pos.x,
+                                        pos_y = pos.y,
+                                    ),
+                                    Some(Fix::advice(
+                                        "make every line that touches a grid point agree on \
+                                         its physical position",
+                                    )),
+                                );
+                            }
+                        }
+                        None => {
+                            pins.insert(grid, (pos.x, pos.y, *sub_id, ordinal));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The machine repair for a negative-radius arc: negate the radius
+    /// and swap the end points (grid and physical), which flips the arc
+    /// to the geometry the analyst described. `None` when a value will
+    /// not re-punch into its Type-6 field.
+    fn arc_flip_fix(&self, sub_id: usize, ordinal: usize, line: &ShapeLine) -> Option<Fix> {
+        let card = *self.line_cards(sub_id).get(ordinal)?;
+        let format: Format = "(4I5, 5F8.4)".parse().ok()?;
+        let swapped: [String; 9] = [
+            punch_int(i64::from(line.to.0), 5)?,
+            punch_int(i64::from(line.to.1), 5)?,
+            punch_int(i64::from(line.from.0), 5)?,
+            punch_int(i64::from(line.from.1), 5)?,
+            punch_fixed(line.end.x, 8, 4)?,
+            punch_fixed(line.end.y, 8, 4)?,
+            punch_fixed(line.start.x, 8, 4)?,
+            punch_fixed(line.start.y, 8, 4)?,
+            punch_fixed(-line.radius, 8, 4)?,
+        ];
+        let mut edits = Vec::new();
+        for (i, text) in swapped.into_iter().enumerate() {
+            let columns = format.data_field_columns(i + 1)?;
+            edits.push(Edit::ReplaceColumns {
+                card,
+                columns,
+                text,
+            });
+        }
+        Some(Fix::edits(
+            "negate the radius and swap the end points to flip the arc",
+            edits,
+        ))
+    }
+
+    /// The machine repair for a dead shape line: delete its card and
+    /// decrement NLINES on the owning Type-5 header. Safe because every
+    /// node the line locates is re-located by a later line.
+    fn dead_line_fix(&self, sub_id: usize, ordinal: usize) -> Option<Fix> {
+        let card = *self.line_cards(sub_id).get(ordinal)?;
+        let layout = self.layout?;
+        let group = layout
+            .shape_groups
+            .iter()
+            .find(|g| g.line_cards.contains(&card))?;
+        let columns = "(2I5)".parse::<Format>().ok()?.data_field_columns(2)?;
+        Some(Fix::edits(
+            "delete the dead line and decrement NLINES on its Type-5 header",
+            vec![
+                Edit::ReplaceColumns {
+                    card: group.header_card,
+                    columns,
+                    text: (group.line_cards.len() - 1).to_string(),
+                },
+                Edit::DeleteCard { card },
+            ],
+        ))
+    }
+
+    /// A machine repair that re-punches a Type-7 format card with one
+    /// data field widened; degrades to advice when provenance is missing
+    /// or the widened spec would not fit a card.
+    fn widen_format_fix(
+        &self,
+        card: Option<usize>,
+        format: &Format,
+        ordinal: usize,
+        width: usize,
+        label: String,
+    ) -> Fix {
+        match card.zip(format.with_data_field_width(ordinal, width)) {
+            Some((card, widened)) if widened.spec().len() <= 80 => Fix::edits(
+                label,
+                vec![Edit::ReplaceCard {
+                    card,
+                    text: widened.spec().to_owned(),
+                }],
+            ),
+            _ => Fix::advice(label),
+        }
+    }
+}
+
+/// Right-justifiable integer text for an `Iw` field, or `None` on
+/// overflow.
+fn punch_int(value: i64, width: usize) -> Option<String> {
+    let text = value.to_string();
+    (text.len() <= width).then_some(text)
+}
+
+/// Fixed-point text for an `Fw.d` field, dropping the leading zero of
+/// `0.x` when that is what makes it fit (the deck writer's own
+/// fallback); `None` on overflow.
+fn punch_fixed(value: f64, width: usize, decimals: usize) -> Option<String> {
+    let mut text = format!("{value:.decimals$}");
+    if text.len() > width {
+        if let Some(rest) = text.strip_prefix("0.") {
+            text = format!(".{rest}");
+        } else if let Some(rest) = text.strip_prefix("-0.") {
+            text = format!("-.{rest}");
+        }
+    }
+    (text.len() <= width).then_some(text)
 }
 
 /// The consecutive side nodes a shape line covers, or `None` when its end

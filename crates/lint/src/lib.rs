@@ -4,11 +4,14 @@
 //! matrix is assembled — and reports structured [`Diagnostic`]s, each
 //! carrying a stable [`LintCode`], a [`Severity`] (configurable per code
 //! through [`LintConfig`]), a [`SourceSpan`] pointing back at the
-//! offending card, a message, and a fix suggestion. Checks that mirror a
-//! runtime rejection replicate the runtime's exact criterion, so a deck
-//! that lints clean at default severity cannot hit that rejection later;
+//! offending card (down to keypunch columns), a message, and an optional
+//! [`Fix`] — advice, or span-anchored card [`Edit`]s that [`apply_fixes`]
+//! applies mechanically to convergence. Checks that mirror a runtime
+//! rejection replicate the runtime's exact criterion, so a deck that
+//! lints clean at default severity cannot hit that rejection later;
 //! `Warn`-level codes flag decks that run today but are fragile
-//! (capacity proximity, bandwidth-hostile numbering, dead shape lines).
+//! (capacity proximity, bandwidth-hostile numbering, dead shape lines,
+//! dataflow hazards over the [`dataflow::DeckGraph`] reference graph).
 //!
 //! Entry points by input form:
 //!
@@ -47,13 +50,24 @@
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod dataflow;
 mod diagnostic;
+pub mod docs;
+mod fix;
 mod idlz_lints;
 mod ospl_lints;
 
-pub use corpus::{golden_cases, run_case, verify_corpus, DeckKind, GoldenCase};
-pub use diagnostic::{
-    Diagnostic, LintCode, LintConfig, LintError, LintReport, Severity, SourceSpan,
+pub use corpus::{
+    fix_cases, golden_cases, run_case, verify_corpus, verify_fix_corpus, DeckKind, FixCase,
+    FixClass, FixCorpusReport, GoldenCase,
 };
-pub use idlz_lints::{lint_deck_text, lint_idlz, lint_idlz_deck, lint_specs};
-pub use ospl_lints::{lint_ospl_deck, lint_ospl_deck_text, lint_ospl_input};
+pub use diagnostic::{
+    Diagnostic, Edit, Fix, LintCode, LintConfig, LintError, LintReport, Severity, SourceSpan,
+};
+pub use fix::{apply_fixes, AppliedFix, FixError, FixOutcome, MAX_PASSES};
+pub use idlz_lints::{
+    lint_deck_text, lint_idlz, lint_idlz_deck, lint_idlz_with_deck, lint_specs,
+};
+pub use ospl_lints::{
+    lint_component_request, lint_ospl_deck, lint_ospl_deck_text, lint_ospl_input,
+};

@@ -1,13 +1,15 @@
 //! Static analysis of OSPL contour-plot decks (`Oxxx` lints): checks the
 //! Type-1 control card against the mesh and field the deck carries,
-//! without running the contour tracer.
+//! without running the contour tracer, plus the node ↔ element dataflow
+//! check (`O004`).
 
-use cafemio_cards::Deck;
+use cafemio_cards::{Deck, Format};
 use cafemio_mesh::MeshIndex;
 use cafemio_ospl::deck::{parse_ospl_deck, OsplInput};
 use cafemio_ospl::OsplError;
 
-use crate::diagnostic::{Diagnostic, LintCode, LintConfig, LintReport, SourceSpan};
+use crate::dataflow::{DeckGraph, EntityKind};
+use crate::diagnostic::{Diagnostic, Edit, Fix, LintCode, LintConfig, LintReport, SourceSpan};
 
 /// Lints OSPL deck text.
 ///
@@ -30,11 +32,68 @@ pub fn lint_ospl_deck(deck: &Deck, config: &LintConfig) -> Result<LintReport, Os
     Ok(lint_ospl_input(&input, config))
 }
 
-/// Lints a parsed OSPL input. Both `Oxxx` diagnostics point at the
-/// Type-1 control card, which is always the first card of the deck.
+/// One-based inclusive keypunch columns spanned by data fields
+/// `from_field..=to_field` of the Type-1 control format `(2I5, 5F10.4)`.
+fn t1_columns(from_field: usize, to_field: usize) -> Option<(usize, usize)> {
+    let format: Format = "(2I5, 5F10.4)".parse().ok()?;
+    let (from, _) = format.data_field_columns(from_field)?;
+    let (_, to) = format.data_field_columns(to_field)?;
+    Some((from, to))
+}
+
+/// The machine repair for a useless zoom window: zero XMX/XMN/YMX/YMN
+/// (fields 3-6 of the Type-1 card), which the reader interprets as "plot
+/// everything".
+fn zero_window_fix() -> Fix {
+    match t1_columns(3, 6) {
+        Some(columns) => Fix::edits(
+            "zero XMX/XMN/YMX/YMN on the Type-1 card to plot everything",
+            vec![Edit::ReplaceColumns {
+                card: 0,
+                columns,
+                text: "    0.0000".repeat(4),
+            }],
+        ),
+        // invariant: the literal control format always parses; this arm
+        // only keeps the lint total rather than panicking.
+        None => Fix::advice("zero XMX/XMN/YMX/YMN on the Type-1 card to plot everything"),
+    }
+}
+
+/// The machine repair for an oversized contour interval: zero DELTA
+/// (field 7 of the Type-1 card), selecting the automatic interval.
+fn zero_delta_fix() -> Fix {
+    match t1_columns(7, 7) {
+        Some(columns) => Fix::edits(
+            "zero DELTA on the Type-1 card for the automatic interval",
+            vec![Edit::ReplaceColumns {
+                card: 0,
+                columns,
+                text: "0.0000".into(),
+            }],
+        ),
+        // invariant: the literal control format always parses; this arm
+        // only keeps the lint total rather than panicking.
+        None => Fix::advice("zero DELTA on the Type-1 card for the automatic interval"),
+    }
+}
+
+/// Lints a parsed OSPL input. The window/interval diagnostics point at
+/// the offending *field* of the Type-1 control card (with keypunch
+/// columns); `O004` points at the unreferenced nodal card.
 pub fn lint_ospl_input(input: &OsplInput, config: &LintConfig) -> LintReport {
     let mut report = LintReport::new();
-    let control_card = SourceSpan::card(0);
+    // Fields 3-6 of the control card hold the window, field 7 DELTA.
+    let window_span = SourceSpan {
+        card: Some(0),
+        field: Some(3),
+        columns: t1_columns(3, 6),
+    };
+    let delta_span = SourceSpan {
+        card: Some(0),
+        field: Some(7),
+        columns: t1_columns(7, 7),
+    };
 
     // O001: a zoom window that misses the mesh entirely plots nothing.
     // Two tiers: a window off the mesh bounding box is reported against
@@ -48,7 +107,7 @@ pub fn lint_ospl_input(input: &OsplInput, config: &LintConfig) -> LintReport {
             report.push(Diagnostic {
                 code: LintCode::ContourWindowOutsideExtents,
                 severity: config.severity(LintCode::ContourWindowOutsideExtents),
-                span: control_card,
+                span: window_span,
                 message: format!(
                     "window x [{:.4}, {:.4}] y [{:.4}, {:.4}] does not intersect the mesh \
                      extents x [{:.4}, {:.4}] y [{:.4}, {:.4}]; the plot would be empty",
@@ -61,18 +120,14 @@ pub fn lint_ospl_input(input: &OsplInput, config: &LintConfig) -> LintReport {
                     extents.min().y,
                     extents.max().y,
                 ),
-                suggestion: Some(
-                    "fix XMX/XMN/YMX/YMN on the Type-1 card, or zero them to plot \
-                     everything"
-                        .into(),
-                ),
+                fix: Some(zero_window_fix()),
             });
         } else if !window.is_empty() && !MeshIndex::new(&input.mesh).any_element_intersects(window)
         {
             report.push(Diagnostic {
                 code: LintCode::ContourWindowOutsideExtents,
                 severity: config.severity(LintCode::ContourWindowOutsideExtents),
-                span: control_card,
+                span: window_span,
                 message: format!(
                     "window x [{:.4}, {:.4}] y [{:.4}, {:.4}] lies inside the mesh extents \
                      but touches no element; the plot would be empty",
@@ -81,11 +136,7 @@ pub fn lint_ospl_input(input: &OsplInput, config: &LintConfig) -> LintReport {
                     window.min().y,
                     window.max().y,
                 ),
-                suggestion: Some(
-                    "fix XMX/XMN/YMX/YMN on the Type-1 card, or zero them to plot \
-                     everything"
-                        .into(),
-                ),
+                fix: Some(zero_window_fix()),
             });
         }
     }
@@ -98,20 +149,67 @@ pub fn lint_ospl_input(input: &OsplInput, config: &LintConfig) -> LintReport {
             report.push(Diagnostic {
                 code: LintCode::IntervalExceedsFieldRange,
                 severity: config.severity(LintCode::IntervalExceedsFieldRange),
-                span: control_card,
+                span: delta_span,
                 message: format!(
                     "contour interval {delta} exceeds the whole field range {range} \
                      ({min} to {max}); at most one contour can appear"
                 ),
-                suggestion: Some(
-                    "shrink DELTA on the Type-1 card, or set it to zero for the automatic \
-                     interval"
-                        .into(),
-                ),
+                fix: Some(zero_delta_fix()),
             });
         }
     }
 
+    // O004: dataflow over the node ↔ element reference graph — a nodal
+    // card no element references is dead weight the tracer never visits
+    // (contours interpolate along element edges only).
+    let graph = DeckGraph::from_ospl_mesh(&input.mesh);
+    for dead in graph.unreferenced(EntityKind::PlotNode) {
+        report.push(Diagnostic {
+            code: LintCode::UnreferencedPlotNode,
+            severity: config.severity(LintCode::UnreferencedPlotNode),
+            span: dead.card.map(SourceSpan::card).unwrap_or_default(),
+            message: format!(
+                "node {} is defined but no element card references it; the contour \
+                 tracer never visits it",
+                dead.id
+            ),
+            fix: Some(Fix::advice(
+                "remove the unused nodal card (renumbering later nodes), or add it to \
+                 an element",
+            )),
+        });
+    }
+
+    report
+}
+
+/// O003: a contour request over a stress component the session's
+/// analysis kind never produces — every plotted value would be an exact
+/// zero. Session-level ([`LintCode::SESSION`]): the deck alone cannot
+/// decide it, so the caller states what was requested and whether the
+/// analysis produces it (e.g. the circumferential component under plane
+/// stress is identically zero).
+pub fn lint_component_request(
+    analysis: &str,
+    component: &str,
+    produced: bool,
+    config: &LintConfig,
+) -> LintReport {
+    let mut report = LintReport::new();
+    if !produced {
+        report.push(Diagnostic {
+            code: LintCode::ComponentNotProduced,
+            severity: config.severity(LintCode::ComponentNotProduced),
+            span: SourceSpan::none(),
+            message: format!(
+                "the {analysis} analysis never produces the {component} component; every \
+                 contour value would be an exact zero"
+            ),
+            fix: Some(Fix::advice(
+                "contour a component the analysis produces, or switch the analysis kind",
+            )),
+        });
+    }
     report
 }
 
@@ -165,6 +263,10 @@ mod tests {
         let d = &report.diagnostics()[0];
         assert_eq!(d.code, LintCode::ContourWindowOutsideExtents);
         assert!(d.message.contains("touches no element"), "{}", d.message);
+        // The span names the window fields, columns 11-50 of card 1.
+        assert_eq!(d.span.field, Some(3));
+        assert_eq!(d.span.columns, Some((11, 50)));
+        assert!(d.is_machine_fixable());
     }
 
     #[test]
@@ -190,5 +292,43 @@ mod tests {
             "{}",
             report.diagnostics()[0].message
         );
+    }
+
+    #[test]
+    fn o002_points_at_the_delta_field() {
+        let mesh = l_shape();
+        let field = NodalField::new("S", (0..mesh.node_count()).map(|i| i as f64).collect());
+        let input = OsplInput {
+            mesh,
+            field,
+            options: ContourOptions::new().interval(100.0),
+            titles: (String::new(), String::new()),
+        };
+        let report = lint_ospl_input(&input, &LintConfig::new());
+        assert_eq!(report.diagnostics().len(), 1);
+        let d = &report.diagnostics()[0];
+        assert_eq!(d.code, LintCode::IntervalExceedsFieldRange);
+        assert_eq!(d.span.columns, Some((51, 60)));
+        assert!(d.is_machine_fixable());
+    }
+
+    #[test]
+    fn o004_flags_a_node_no_element_references() {
+        let mut mesh = l_shape();
+        mesh.add_node(Point::new(9.0, 9.0), BoundaryKind::Boundary);
+        let field = NodalField::new("S", vec![0.0; mesh.node_count()]);
+        let input = OsplInput {
+            mesh,
+            field,
+            options: ContourOptions::new(),
+            titles: (String::new(), String::new()),
+        };
+        let report = lint_ospl_input(&input, &LintConfig::new());
+        assert_eq!(report.diagnostics().len(), 1);
+        let d = &report.diagnostics()[0];
+        assert_eq!(d.code, LintCode::UnreferencedPlotNode);
+        // Node 7 sits at card index 3 (control + two titles) + 6.
+        assert_eq!(d.span.card, Some(9));
+        assert!(!d.is_machine_fixable());
     }
 }

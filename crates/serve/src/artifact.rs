@@ -99,7 +99,9 @@ pub fn admission_error_body(error: &AdmissionError) -> String {
 }
 
 /// The lint report as a JSON array of diagnostics, deterministic in deck
-/// order. `[]` for a clean report.
+/// order. `[]` for a clean report. Each entry carries the full source
+/// span (card, field, keypunch columns) and, when the diagnostic has a
+/// fix, its label and whether `decklint --fix` can apply it mechanically.
 pub fn lint_json(report: &LintReport) -> String {
     let mut out = String::from("[");
     for (i, d) in report.diagnostics().iter().enumerate() {
@@ -115,12 +117,59 @@ pub fn lint_json(report: &LintReport) -> String {
             Some(card) => out.push_str(&format!("\"card\": {card}, ")),
             None => out.push_str("\"card\": null, "),
         }
+        match d.span.field {
+            Some(field) => out.push_str(&format!("\"field\": {field}, ")),
+            None => out.push_str("\"field\": null, "),
+        }
+        match d.span.columns {
+            Some((from, to)) => out.push_str(&format!("\"columns\": [{from}, {to}], ")),
+            None => out.push_str("\"columns\": null, "),
+        }
+        match &d.fix {
+            Some(fix) => out.push_str(&format!(
+                "\"fix\": {}, \"machine_fixable\": {}, ",
+                json_escape(&fix.label),
+                d.is_machine_fixable()
+            )),
+            None => out.push_str("\"fix\": null, \"machine_fixable\": false, "),
+        }
         out.push_str(&format!("\"message\": {}}}", json_escape(&d.message)));
     }
     if !report.diagnostics().is_empty() {
         out.push_str("\n  ");
     }
     out.push(']');
+    out
+}
+
+/// The `POST /lint` success body: the applied fixes (code, label, pass),
+/// the residual diagnostics of the repaired deck, and the repaired deck
+/// text itself. Deterministic — a pure function of the fix outcome.
+pub fn lint_fix_body(name: &str, outcome: &cafemio::lint::FixOutcome) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"name\": {},\n", json_escape(name)));
+    out.push_str(&format!("  \"fixes_applied\": {},\n", outcome.applied.len()));
+    out.push_str(&format!("  \"passes\": {},\n", outcome.passes));
+    out.push_str(&format!("  \"clean\": {},\n", outcome.report.is_clean()));
+    out.push_str("  \"applied\": [");
+    for (i, fix) in outcome.applied.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"code\": {}, \"label\": {}, \"pass\": {}}}",
+            json_escape(fix.code.code()),
+            json_escape(&fix.label),
+            fix.pass
+        ));
+    }
+    if !outcome.applied.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+    out.push_str(&format!("  \"lint\": {},\n", lint_json(&outcome.report)));
+    out.push_str(&format!("  \"deck\": {}\n", json_escape(&outcome.text)));
+    out.push_str("}\n");
     out
 }
 

@@ -55,13 +55,15 @@ pub const SERVE_SPANS: [&str; 4] = [
 
 /// The counters the final drained report always carries (seeded to zero
 /// so a quiet server still produces a structurally complete report).
-pub const SERVE_COUNTERS: [&str; 6] = [
+pub const SERVE_COUNTERS: [&str; 8] = [
     "serve.requests",
     "serve.responses",
     "serve.completed",
     "serve.failed",
     "serve.rejected",
     "serve.http_errors",
+    "serve.lint_requests",
+    "serve.fixes_applied",
 ];
 
 /// A deck-agnostic cantilever setup used when the operator does not
@@ -454,7 +456,7 @@ fn respond(stream: &TcpStream, shared: &ServeShared, clock: &mut RequestClock) {
         let mut reader = BufReader::new(stream);
         http::read_request(&mut reader, shared.max_body_bytes)
     });
-    let (status, content_type, body, cache_outcome) = match parsed {
+    let (status, content_type, body, extra_headers) = match parsed {
         Err(HttpError::Io(_)) => {
             clock.count("serve.http_errors", 1);
             return;
@@ -462,7 +464,12 @@ fn respond(stream: &TcpStream, shared: &ServeShared, clock: &mut RequestClock) {
         Err(error) => {
             clock.count("serve.http_errors", 1);
             let body = artifact::error_body(error.status(), error.kind(), None, &error.to_string());
-            (error.status(), "application/json", body.into_bytes(), None)
+            (
+                error.status(),
+                "application/json",
+                body.into_bytes(),
+                Vec::new(),
+            )
         }
         Ok(request) => route(&request, shared, clock),
     };
@@ -471,22 +478,29 @@ fn respond(stream: &TcpStream, shared: &ServeShared, clock: &mut RequestClock) {
         // A write failure means the peer vanished; the job (if any)
         // still completed and was accounted, so there is nothing to do.
         let mut writer = stream;
-        let extra: Vec<(&str, &str)> = cache_outcome
-            .map(|outcome| ("X-Cafemio-Cache", outcome))
-            .into_iter()
+        let extra: Vec<(&str, &str)> = extra_headers
+            .iter()
+            .map(|(name, value)| (name.as_str(), value.as_str()))
             .collect();
         let _ =
             http::write_response_with_headers(&mut writer, status, content_type, &extra, &body);
     });
 }
 
+/// Response headers beyond the standard frame, e.g. `X-Cafemio-Cache`
+/// on the deck endpoints and `X-Cafemio-Fixed` on `/lint`.
+type ExtraHeaders = Vec<(String, String)>;
+
 fn route(
     request: &Request,
     shared: &ServeShared,
     clock: &mut RequestClock,
-) -> (u16, &'static str, Vec<u8>, Option<&'static str>) {
+) -> (u16, &'static str, Vec<u8>, ExtraHeaders) {
     if request.method == "POST" && matches!(request.path.as_str(), "/analyze" | "/contour") {
         return analyze(request, shared, clock);
+    }
+    if request.method == "POST" && request.path == "/lint" {
+        return lint_endpoint(request, shared, clock);
     }
     let (status, content_type, body) = match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => (200, "application/json", health_body(shared).into_bytes()),
@@ -523,7 +537,7 @@ fn route(
             let body = "{\n  \"status\": \"draining\"\n}\n".to_string();
             (200, "application/json", body.into_bytes())
         }
-        (_, "/healthz" | "/metrics" | "/shutdown" | "/analyze" | "/contour") => {
+        (_, "/healthz" | "/metrics" | "/shutdown" | "/analyze" | "/contour" | "/lint") => {
             clock.count("serve.http_errors", 1);
             let body = artifact::error_body(
                 405,
@@ -540,7 +554,67 @@ fn route(
             (404, "application/json", body.into_bytes())
         }
     };
-    (status, content_type, body, None)
+    (status, content_type, body, Vec::new())
+}
+
+/// `POST /lint`: run the lint + auto-fix engine over the posted deck
+/// without touching the dispatcher. Answers 400 when the body is not a
+/// deck at all, 422 when fixing cannot converge or the repaired deck
+/// still carries deny-severity diagnostics, and 200 otherwise; the
+/// body always carries the diagnostics, the applied fixes, and the
+/// repaired deck text, and `X-Cafemio-Fixed` counts the applied fixes.
+/// `?ospl=1` selects the OSPL deck dialect (default IDLZ).
+fn lint_endpoint(
+    request: &Request,
+    shared: &ServeShared,
+    clock: &mut RequestClock,
+) -> (u16, &'static str, Vec<u8>, ExtraHeaders) {
+    use cafemio::lint::{apply_fixes, DeckKind, FixError, LintError};
+
+    clock.count("serve.lint_requests", 1);
+    let deck = match std::str::from_utf8(&request.body) {
+        Ok(text) => text.to_string(),
+        Err(_) => {
+            clock.count("serve.http_errors", 1);
+            let body =
+                artifact::error_body(400, "deck_parse", None, "request body is not UTF-8 text");
+            return (400, "application/json", body.into_bytes(), Vec::new());
+        }
+    };
+    let kind = if request.query_param("ospl") == Some("1") {
+        DeckKind::Ospl
+    } else {
+        DeckKind::Idlz
+    };
+    let name = request.query_param("name").unwrap_or("deck").to_string();
+    let outcome = clock.time("serve.dispatch", || apply_fixes(&deck, kind, &shared.lint));
+    match outcome {
+        Err(FixError::Parse(message)) => {
+            clock.count("serve.failed", 1);
+            let body = artifact::error_body(400, "deck_parse", None, &message);
+            (400, "application/json", body.into_bytes(), Vec::new())
+        }
+        Err(error @ FixError::NoConvergence { .. }) => {
+            clock.count("serve.failed", 1);
+            let body = artifact::error_body(422, "fix_no_convergence", None, &error.to_string());
+            (422, "application/json", body.into_bytes(), Vec::new())
+        }
+        Ok(outcome) => {
+            clock.count("serve.completed", 1);
+            clock.count("serve.fixes_applied", outcome.applied.len() as u64);
+            let status = if LintError::from_report(&outcome.report).is_some() {
+                422
+            } else {
+                200
+            };
+            let headers = vec![(
+                "X-Cafemio-Fixed".to_string(),
+                outcome.applied.len().to_string(),
+            )];
+            let body = artifact::lint_fix_body(&name, &outcome);
+            (status, "application/json", body.into_bytes(), headers)
+        }
+    }
 }
 
 fn health_body(shared: &ServeShared) -> String {
@@ -569,23 +643,24 @@ fn analyze(
     request: &Request,
     shared: &ServeShared,
     clock: &mut RequestClock,
-) -> (u16, &'static str, Vec<u8>, Option<&'static str>) {
+) -> (u16, &'static str, Vec<u8>, ExtraHeaders) {
+    let cache_header = |outcome: &str| vec![("X-Cafemio-Cache".to_string(), outcome.to_string())];
     let Some(store) = shared.cache.as_ref() else {
         let (status, content_type, body) = analyze_uncached(request, shared, clock);
-        return (status, content_type, body, None);
+        return (status, content_type, body, Vec::new());
     };
     let key = response_key(request, shared);
     if let Some(hit) = store.get::<(&'static str, Vec<u8>)>(&key) {
         clock.count("serve.completed", 1);
         let (content_type, body) = &*hit;
-        return (200, content_type, body.clone(), Some("hit"));
+        return (200, content_type, body.clone(), cache_header("hit"));
     }
     let (status, content_type, body) = analyze_uncached(request, shared, clock);
     if status == 200 {
         let bytes = 256 + body.len() as u64;
         store.put(key, Arc::new((content_type, body.clone())), bytes);
     }
-    (status, content_type, body, Some("miss"))
+    (status, content_type, body, cache_header("miss"))
 }
 
 /// The response cache key: endpoint, deck name, data-set selection, the

@@ -17,6 +17,9 @@
 #   batch   batch engine over the models corpus + BENCH_batch.json validation
 #   audit   strict-audit bug sweep over the faulted corpus + BENCH_audit.json
 #   lint    srclint source gate + decklint golden-corpus gate + BENCH_lint.json
+#   lint-fix  auto-fix engine gate: fix-corpus round-trip + pipeline
+#             parity, fixpoint property tests over the fault-mutator
+#             corpus, LINTS.md drift check, BENCH_lint.json validation
 #   large_mesh  100k-element sparse-CG smoke + BENCH_sparse.json
 #   serve   deck service under concurrent load + BENCH_serve.json
 #   cache   edit-replay stage-cache bench (warm ≡ cold) + BENCH_cache.json
@@ -81,6 +84,18 @@ run_lint() {
   validate_artifact BENCH_lint.json
 }
 
+run_lint_fix() {
+  echo "== lint-fix (auto-fix round-trip + parity gate + doc drift)"
+  # The golden gate replays every before/after fix pair (idempotence +
+  # mesh parity) and writes the fix counters into BENCH_lint.json.
+  cargo run --locked --release -p cafemio-bench --bin decklint -- --golden
+  # Fixpoint properties over the fault-mutator corpus.
+  cargo test --locked -q --test lint_fix
+  # The committed lint catalog must match the registry.
+  cargo run --locked --release -p cafemio-bench --bin decklint -- --doc-check
+  validate_artifact BENCH_lint.json
+}
+
 run_large_mesh() {
   echo "== large-mesh smoke (100k-element sparse-CG solve + residual audit)"
   cargo run --locked --release -p cafemio-bench --bin large_mesh_smoke
@@ -101,7 +116,7 @@ run_cache() {
 
 stages=("$@")
 if [ ${#stages[@]} -eq 0 ]; then
-  stages=(build test doc clippy fuzz bench batch audit lint large_mesh serve cache)
+  stages=(build test doc clippy fuzz bench batch audit lint lint-fix large_mesh serve cache)
 fi
 
 for stage in "${stages[@]}"; do
@@ -115,6 +130,7 @@ for stage in "${stages[@]}"; do
     batch) run_batch ;;
     audit) run_audit ;;
     lint) run_lint ;;
+    lint-fix|lint_fix) run_lint_fix ;;
     large_mesh) run_large_mesh ;;
     serve) run_serve ;;
     cache) run_cache ;;

@@ -46,15 +46,34 @@ fn the_corpus_covers_the_whole_registry_with_card_spans() {
     let cases = golden_cases();
     let covered: std::collections::BTreeSet<LintCode> =
         cases.iter().map(|case| case.code).collect();
-    assert_eq!(covered.len(), LintCode::ALL.len(), "registry gaps");
+    // Session-level codes (O003) are derived from session state, not
+    // deck text, so they have no golden deck by construction.
+    let deck_derivable = LintCode::ALL
+        .iter()
+        .filter(|code| !LintCode::SESSION.contains(code))
+        .count();
+    assert_eq!(covered.len(), deck_derivable, "registry gaps");
     assert!(covered.len() >= 10, "acceptance floor: ten distinct codes");
     for case in &cases {
         let report = run_case(case).unwrap();
-        let diagnostic = &report.diagnostics()[0];
-        assert_eq!(diagnostic.code, case.code);
+        let diagnostic = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == case.code)
+            .unwrap_or_else(|| panic!("{} never fired", case.code));
         assert_eq!(diagnostic.severity, case.code.default_severity());
         assert_eq!(diagnostic.span.card, Some(case.card), "{}", case.code);
+        assert_eq!(diagnostic.span.field, case.field, "{}", case.code);
         assert!(!diagnostic.message.is_empty(), "{}", case.code);
+        // Anything else the deck fires must be a declared co-trigger.
+        for extra in report.diagnostics().iter().filter(|d| d.code != case.code) {
+            assert!(
+                case.also.contains(&extra.code),
+                "{}: undeclared co-trigger {}",
+                case.code,
+                extra.code
+            );
+        }
     }
 }
 
@@ -142,6 +161,60 @@ fn severity_overrides_rewrite_the_verdict_in_both_directions() {
             .unwrap_err();
         assert_eq!(err.stage(), Stage::DeckParse);
         assert!(matches!(err.source_error(), StageError::Lint(_)), "{err}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Session-level dataflow (O003): the contour request is checked against
+// what the analysis kind actually produces — plane stress has no
+// circumferential component, so requesting one is a dataflow hazard the
+// deck text alone cannot reveal.
+
+#[test]
+fn requesting_an_unproduced_component_warns_by_default_and_denies_on_demand() {
+    use cafemio::pipeline::StressComponent;
+    let (_, deck) = base_decks().into_iter().next().expect("non-empty corpus");
+    let recover = |config: LintConfig| {
+        PipelineBuilder::new()
+            .config(SessionConfig::new().lint(config))
+            .parse(&deck)
+            .and_then(|p| p.idealize())
+            .and_then(|i| i.setup(standard_setup))
+            .and_then(|m| m.solve())
+            .and_then(|s| s.recover())
+            .expect("catalog deck analyzes under plane stress")
+    };
+
+    // Default severity is warn: the session gate lets the request
+    // through. What happens next is OSPL's business — the all-zero σθ
+    // field has nothing to contour, which is precisely the wasted run
+    // the lint exists to flag — but it must not be a *lint* failure.
+    let options = cafemio::ospl::ContourOptions::default();
+    if let Err(err) = recover(LintConfig::new())
+        .contour_with(StressComponent::Circumferential, &options)
+    {
+        assert!(
+            !matches!(err.source_error(), StageError::Lint(_)),
+            "warn-level O003 must not fail the stage: {err}"
+        );
+    }
+    // A produced component never trips the gate, even at deny.
+    let strict = LintConfig::new().with(LintCode::ComponentNotProduced, Severity::Deny);
+    recover(strict.clone())
+        .contour_with(StressComponent::Effective, &options)
+        .expect("produced components pass the session gate");
+
+    // Escalated to deny, the request fails at Stage::Contour with the
+    // typed diagnostic attached.
+    let err = recover(strict)
+        .contour_with(StressComponent::Circumferential, &options)
+        .unwrap_err();
+    assert_eq!(err.stage(), Stage::Contour);
+    match err.source_error() {
+        StageError::Lint(lint) => {
+            assert_eq!(lint.diagnostics[0].code, LintCode::ComponentNotProduced);
+        }
+        other => panic!("expected a lint error, got {other:?}"),
     }
 }
 

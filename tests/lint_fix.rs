@@ -1,0 +1,93 @@
+//! Property tests for the auto-fix engine over the fault-mutator corpus:
+//! on every deck `apply_fixes` can parse — catalog decks, golden lint
+//! decks, fix-corpus decks, and hundreds of mutated variants — fixing
+//! must **converge** (well under the pass bound) and be **idempotent**
+//! (fixing the fixed text changes nothing). Decks the mutator breaks
+//! beyond parsing must fail with a typed parse error, never a
+//! convergence failure or a panic.
+
+use cafemio::lint::{
+    apply_fixes, fix_cases, golden_cases, DeckKind, FixError, LintConfig, MAX_PASSES,
+};
+use cafemio_bench::mutate::{base_decks, mutate, Fault, SplitMix64};
+
+/// Fix, assert convergence + idempotence, and return the outcome's text.
+/// `None` when the deck does not parse (a legitimate mutator outcome).
+fn fix_and_check(label: &str, text: &str, kind: DeckKind) -> Option<String> {
+    let config = LintConfig::new();
+    let outcome = match apply_fixes(text, kind, &config) {
+        Ok(outcome) => outcome,
+        Err(FixError::Parse(_)) => return None,
+        Err(e @ FixError::NoConvergence { .. }) => panic!("{label}: {e}"),
+    };
+    // Convergence: the engine reports how many passes it ran, and the
+    // bound exists to catch oscillating fixes — real decks settle fast.
+    assert!(
+        outcome.passes <= MAX_PASSES,
+        "{label}: {} passes",
+        outcome.passes
+    );
+    // No machine-applicable fix may survive on the repaired text.
+    let refix = apply_fixes(&outcome.text, kind, &config)
+        .unwrap_or_else(|e| panic!("{label}: repaired deck must re-parse: {e}"));
+    assert_eq!(
+        refix.text, outcome.text,
+        "{label}: apply_fixes is not idempotent"
+    );
+    assert!(
+        refix.applied.is_empty(),
+        "{label}: second fix pass applied {:?}",
+        refix.applied
+    );
+    Some(outcome.text)
+}
+
+#[test]
+fn fixing_is_idempotent_and_convergent_on_clean_catalog_decks() {
+    for (name, text) in base_decks() {
+        let fixed = fix_and_check(name, &text, DeckKind::Idlz)
+            .unwrap_or_else(|| panic!("{name}: catalog deck must parse"));
+        // Clean decks are returned verbatim — no gratuitous rewrites.
+        assert_eq!(fixed, text, "{name}: clean deck was rewritten");
+    }
+}
+
+#[test]
+fn fixing_is_idempotent_and_convergent_on_the_golden_corpus() {
+    for case in golden_cases() {
+        fix_and_check(case.code.code(), case.deck, case.kind);
+    }
+}
+
+#[test]
+fn fixing_is_idempotent_and_convergent_on_the_fix_corpus() {
+    for case in fix_cases() {
+        let fixed = fix_and_check(case.code.code(), case.before, case.kind)
+            .unwrap_or_else(|| panic!("{}: before-deck must parse", case.code.code()));
+        assert_eq!(fixed, case.after, "{}: wrong repair", case.code.code());
+    }
+}
+
+#[test]
+fn fixing_survives_the_fault_mutator_corpus() {
+    let mut rng = SplitMix64::new(0x1970_CAFE_F1D0_0001);
+    let mut parsed = 0usize;
+    let mut rejected = 0usize;
+    for round in 0..4 {
+        for (name, text) in base_decks() {
+            for fault in Fault::ALL {
+                let mutated = mutate(&text, fault, &mut rng);
+                let label = format!("{name}/{}/round{round}", fault.name());
+                match fix_and_check(&label, &mutated, DeckKind::Idlz) {
+                    Some(_) => parsed += 1,
+                    None => rejected += 1,
+                }
+            }
+        }
+    }
+    // The mutator produces both parseable and unparseable decks; the
+    // property holds on every parseable one, and the split proves both
+    // branches were exercised.
+    assert!(parsed > 0, "no mutated deck parsed ({rejected} rejected)");
+    assert!(rejected > 0, "no mutated deck was rejected ({parsed} parsed)");
+}

@@ -155,6 +155,58 @@ fn unknown_paths_and_methods_answer_404_and_405() {
     server.shutdown();
 }
 
+#[test]
+fn lint_endpoint_repairs_a_fixable_deck_and_reports_the_fix() {
+    let case = cafemio::lint::fix_cases()
+        .into_iter()
+        .find(|c| c.code == cafemio::lint::LintCode::DeadShapeLine)
+        .expect("fix corpus covers D006");
+    let server = Server::start(ServeOptions::new()).expect("start");
+    let addr = server.local_addr();
+    let (status, head, body) =
+        request_full(addr, "POST", "/lint?name=dead-line", case.before.as_bytes());
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(header_value(&head, "X-Cafemio-Fixed"), Some("1"), "{head}");
+    assert!(body.contains("\"fixes_applied\": 1"), "{body}");
+    assert!(
+        body.contains(&format!("\"code\": \"{}\"", case.code.code())),
+        "{body}"
+    );
+    assert!(body.contains("\"clean\": true"), "{body}");
+
+    // The repaired deck in the body is exactly the corpus after-deck —
+    // and posting it back is a no-op with zero fixes.
+    let escaped = format!(
+        "\"{}\"",
+        case.after.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+    );
+    assert!(body.contains(&escaped), "{body}");
+    let (status, head, again) =
+        request_full(addr, "POST", "/lint?name=dead-line", case.after.as_bytes());
+    assert_eq!(status, 200, "{again}");
+    assert_eq!(header_value(&head, "X-Cafemio-Fixed"), Some("0"), "{head}");
+    assert!(again.contains("\"fixes_applied\": 0"), "{again}");
+    server.shutdown();
+}
+
+#[test]
+fn lint_endpoint_answers_422_when_denials_survive_and_400_on_garbage() {
+    let server = Server::start(ServeOptions::new()).expect("start");
+    let addr = server.local_addr();
+    // No machine fix exists for a duplicate-id denial: typed 422.
+    let (status, head, body) =
+        request_full(addr, "POST", "/lint?name=denied", denied_deck().as_bytes());
+    assert_eq!(status, 422, "{body}");
+    assert_eq!(header_value(&head, "X-Cafemio-Fixed"), Some("0"), "{head}");
+    assert!(body.contains("\"clean\": false"), "{body}");
+    assert!(body.contains("\"machine_fixable\": false"), "{body}");
+    // An unparseable deck cannot be linted at all: typed 400.
+    let (status, body) = request(addr, "POST", "/lint?name=garbage", b"THIS IS NOT A DECK");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("\"kind\": \"deck_parse\""), "{body}");
+    server.shutdown();
+}
+
 /// Worker-pool gate: while closed, every accepted job blocks inside its
 /// setup callback, pinning the dispatcher at capacity.
 #[derive(Default)]
